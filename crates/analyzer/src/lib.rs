@@ -1,0 +1,381 @@
+//! High-level static analysis of XPath queries under regular tree types —
+//! the decision problems of the paper's §8.
+//!
+//! An [`Analyzer`] owns a formula arena and reduces each decision problem to
+//! Lµ satisfiability, solved by the symbolic BDD engine:
+//!
+//! * **emptiness** — does a query ever select a node?
+//! * **containment** — `e1 ⊆ e2`: is every node selected by `e1` also
+//!   selected by `e2`? (`E→⟦e1⟧ ∧ ¬E→⟦e2⟧` unsatisfiable);
+//! * **overlap** — can two queries select a common node?
+//! * **coverage** — is `e` always within the union of other queries?
+//! * **static type-checking** — are all nodes selected by `e` under an
+//!   input type valid roots of an output type?
+//! * **equivalence** — containment both ways.
+//!
+//! Each verdict carries solver statistics and, when the property fails, an
+//! XML counter-example tree annotated with the start mark.
+//!
+//! # Example
+//!
+//! ```
+//! use analyzer::Analyzer;
+//! use xpath::parse;
+//!
+//! let mut az = Analyzer::new();
+//! let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
+//! let e2 = parse("child::c[child::b]")?;
+//! let v = az.contains(&e1, None, &e2, None);
+//! assert!(!v.holds); // the Fig 18 example: e1 ⊄ e2
+//! assert!(v.counter_example.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod types;
+
+use mulogic::{Formula, Logic};
+use solver::{solve_symbolic_with, Model, Outcome, Stats, SymbolicOptions};
+use treetypes::Dtd;
+use xpath::Expr;
+
+/// The result of one decision problem.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Whether the queried property holds.
+    pub holds: bool,
+    /// A witness against the property (for containment, coverage, emptiness
+    /// and type-checking) or for it (for overlap and satisfiability), when
+    /// one exists.
+    pub counter_example: Option<Model>,
+    /// Solver statistics.
+    pub stats: Stats,
+}
+
+/// The analysis engine: a formula arena plus the symbolic solver.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    lg: Logic,
+    options: SymbolicOptions,
+    /// Cache of compiled type formulas, keyed by a structural rendering of
+    /// the DTD. Sharing one formula across the queries of a problem keeps
+    /// the lean small: a coverage check against four queries under the same
+    /// type must not carry four isomorphic copies of the type translation.
+    type_cache: std::collections::HashMap<String, Formula>,
+}
+
+fn dtd_key(dtd: &Dtd) -> String {
+    use std::fmt::Write as _;
+    let mut key = format!("start={};", dtd.start());
+    for (l, c) in dtd.elements() {
+        let _ = write!(key, "{l}={c};");
+    }
+    key
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the paper-faithful solver options.
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Creates an analyzer with custom solver options (ablations).
+    pub fn with_options(options: SymbolicOptions) -> Self {
+        Analyzer {
+            lg: Logic::new(),
+            options,
+            type_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The (cached) Lµ translation of a DTD.
+    pub(crate) fn type_formula(&mut self, dtd: &Dtd) -> Formula {
+        let key = dtd_key(dtd);
+        if let Some(&f) = self.type_cache.get(&key) {
+            return f;
+        }
+        let f = dtd.formula(&mut self.lg);
+        self.type_cache.insert(key, f);
+        f
+    }
+
+    /// The underlying formula arena (for advanced uses: custom formulas,
+    /// display, model checking).
+    pub fn logic_mut(&mut self) -> &mut Logic {
+        &mut self.lg
+    }
+
+    /// `E→⟦e⟧χ` with χ the type's formula (or ⊤): the query translation
+    /// used by all decision problems (§8).
+    ///
+    /// The type context is *root-anchored*: the context node must be the
+    /// document root (`¬⟨1̄⟩⊤ ∧ ¬⟨2̄⟩⊤`) of a tree of the type, so the
+    /// analysis quantifies exactly over the valid documents, evaluating the
+    /// query from their root. This is the additional root restriction §5.2
+    /// recommends when a type constrains a query. Use
+    /// [`Analyzer::query_formula_floating`] for the unanchored variant.
+    pub fn query_formula(&mut self, e: &Expr, ty: Option<&Dtd>) -> Formula {
+        let chi = match ty {
+            Some(dtd) => {
+                let t = self.type_formula(dtd);
+                let no_parent = self.lg.not_diam_true(mulogic::Program::Up1);
+                let no_left = self.lg.not_diam_true(mulogic::Program::Up2);
+                let at_root = self.lg.and(no_parent, no_left);
+                self.lg.and(t, at_root)
+            }
+            None => self.lg.tt(),
+        };
+        xpath::compile_expr(&mut self.lg, e, chi)
+    }
+
+    /// Like [`Analyzer::query_formula`] but without anchoring the typed
+    /// context node at the document root: the context satisfies the type
+    /// formula wherever it sits in a larger tree (the bare translation of
+    /// §5.2/§8).
+    pub fn query_formula_floating(&mut self, e: &Expr, ty: Option<&Dtd>) -> Formula {
+        let chi = match ty {
+            Some(dtd) => self.type_formula(dtd),
+            None => self.lg.tt(),
+        };
+        xpath::compile_expr(&mut self.lg, e, chi)
+    }
+
+    /// Decides satisfiability of an arbitrary Lµ formula.
+    pub fn solve_formula(&mut self, f: Formula) -> solver::Solved {
+        solve_symbolic_with(&mut self.lg, f, &self.options)
+    }
+
+    pub(crate) fn check_unsat(&mut self, f: Formula) -> Analysis {
+        let solved = self.solve_formula(f);
+        match solved.outcome {
+            Outcome::Unsatisfiable => Analysis {
+                holds: true,
+                counter_example: None,
+                stats: solved.stats,
+            },
+            Outcome::Satisfiable(m) => Analysis {
+                holds: false,
+                counter_example: Some(m),
+                stats: solved.stats,
+            },
+        }
+    }
+
+    fn check_sat(&mut self, f: Formula) -> Analysis {
+        let solved = self.solve_formula(f);
+        match solved.outcome {
+            Outcome::Satisfiable(m) => Analysis {
+                holds: true,
+                counter_example: Some(m),
+                stats: solved.stats,
+            },
+            Outcome::Unsatisfiable => Analysis {
+                holds: false,
+                counter_example: None,
+                stats: solved.stats,
+            },
+        }
+    }
+
+    /// XPath emptiness: `e` selects no node in any tree (of the type).
+    pub fn is_empty(&mut self, e: &Expr, ty: Option<&Dtd>) -> Analysis {
+        let f = self.query_formula(e, ty);
+        self.check_unsat(f)
+    }
+
+    /// XPath satisfiability: `e` selects a node in some tree of the type
+    /// (the `e7`/`e8` rows of Table 2). The witness is a satisfying tree.
+    pub fn is_satisfiable(&mut self, e: &Expr, ty: Option<&Dtd>) -> Analysis {
+        let f = self.query_formula(e, ty);
+        self.check_sat(f)
+    }
+
+    /// XPath containment `e1 ⊆ e2` under per-side type constraints:
+    /// `E→⟦e1⟧⟦T1⟧ ∧ ¬E→⟦e2⟧⟦T2⟧` must be unsatisfiable.
+    pub fn contains(
+        &mut self,
+        e1: &Expr,
+        t1: Option<&Dtd>,
+        e2: &Expr,
+        t2: Option<&Dtd>,
+    ) -> Analysis {
+        let f1 = self.query_formula(e1, t1);
+        let f2 = self.query_formula(e2, t2);
+        let nf2 = self.lg.not(f2);
+        let goal = self.lg.and(f1, nf2);
+        self.check_unsat(goal)
+    }
+
+    /// XPath overlap: some node is selected by both queries.
+    pub fn overlaps(
+        &mut self,
+        e1: &Expr,
+        t1: Option<&Dtd>,
+        e2: &Expr,
+        t2: Option<&Dtd>,
+    ) -> Analysis {
+        let f1 = self.query_formula(e1, t1);
+        let f2 = self.query_formula(e2, t2);
+        let goal = self.lg.and(f1, f2);
+        self.check_sat(goal)
+    }
+
+    /// XPath coverage: every node selected by `e` is selected by at least
+    /// one of `covers`.
+    pub fn covers(
+        &mut self,
+        e: &Expr,
+        ty: Option<&Dtd>,
+        covers: &[(&Expr, Option<&Dtd>)],
+    ) -> Analysis {
+        let mut goal = self.query_formula(e, ty);
+        for &(ei, ti) in covers {
+            let fi = self.query_formula(ei, ti);
+            let nfi = self.lg.not(fi);
+            goal = self.lg.and(goal, nfi);
+        }
+        self.check_unsat(goal)
+    }
+
+    /// Static type-checking of an annotated query: every node selected by
+    /// `e` under the input type is a valid root of the output type
+    /// (`E→⟦e⟧⟦T_in⟧ ∧ ¬⟦T_out⟧` unsatisfiable).
+    pub fn type_checks(&mut self, e: &Expr, input: &Dtd, output: &Dtd) -> Analysis {
+        let f = self.query_formula(e, Some(input));
+        let out = self.type_formula(output);
+        let nout = self.lg.not(out);
+        let goal = self.lg.and(f, nout);
+        self.check_unsat(goal)
+    }
+
+    /// XPath equivalence under type constraints: containment both ways.
+    /// Returns the two directions (`e1 ⊆ e2`, `e2 ⊆ e1`).
+    pub fn equivalent(
+        &mut self,
+        e1: &Expr,
+        t1: Option<&Dtd>,
+        e2: &Expr,
+        t2: Option<&Dtd>,
+    ) -> (Analysis, Analysis) {
+        let fwd = self.contains(e1, t1, e2, t2);
+        let bwd = self.contains(e2, t2, e1, t1);
+        (fwd, bwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath::parse;
+
+    #[test]
+    fn fig18_containment() {
+        let mut az = Analyzer::new();
+        let e1 = parse("child::c/preceding-sibling::a[child::b]").unwrap();
+        let e2 = parse("child::c[child::b]").unwrap();
+        let v = az.contains(&e1, None, &e2, None);
+        assert!(!v.holds);
+        let m = v.counter_example.unwrap();
+        // The paper's counter-example has an `a` with a `b` child followed
+        // by a `c` sibling.
+        let xml = m.xml();
+        assert!(xml.contains("<a>"), "{xml}");
+        assert!(xml.contains("<b"), "{xml}");
+        assert!(xml.contains("<c"), "{xml}");
+    }
+
+    #[test]
+    fn self_containment_and_equivalence() {
+        let mut az = Analyzer::new();
+        let e = parse("a/b[c]").unwrap();
+        let v = az.contains(&e, None, &e, None);
+        assert!(v.holds);
+        let (f, b) = az.equivalent(&e, None, &e, None);
+        assert!(f.holds && b.holds);
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut az = Analyzer::new();
+        // a ∩ b at the same node: empty.
+        let e = parse("child::a ∩ child::b").unwrap();
+        let v = az.is_empty(&e, None);
+        assert!(v.holds);
+        let e2 = parse("child::a").unwrap();
+        let v2 = az.is_empty(&e2, None);
+        assert!(!v2.holds);
+        assert!(v2.counter_example.is_some());
+    }
+
+    #[test]
+    fn overlap() {
+        let mut az = Analyzer::new();
+        let e1 = parse("child::*[child::b]").unwrap();
+        let e2 = parse("child::a").unwrap();
+        let v = az.overlaps(&e1, None, &e2, None);
+        assert!(v.holds);
+        let w = v.counter_example.unwrap();
+        assert!(w.xml().contains("<a"), "{w}");
+        let e3 = parse("child::c").unwrap();
+        assert!(!az.overlaps(&e2, None, &e3, None).holds);
+    }
+
+    #[test]
+    fn coverage() {
+        let mut az = Analyzer::new();
+        let e = parse("child::*").unwrap();
+        let ea = parse("child::a").unwrap();
+        let estar = parse("child::*[not(self::a)]").unwrap();
+        let v = az.covers(&e, None, &[(&ea, None), (&estar, None)]);
+        assert!(v.holds);
+        // Dropping one disjunct breaks coverage.
+        let v2 = az.covers(&e, None, &[(&ea, None)]);
+        assert!(!v2.holds);
+    }
+
+    #[test]
+    fn containment_under_type() {
+        // Under <!ELEMENT r (x, y)> …, child::* from the root is covered by
+        // child::x | child::y.
+        let dtd = Dtd::parse("<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>").unwrap();
+        let mut az = Analyzer::new();
+        let all = parse("child::*").unwrap();
+        let xy = parse("child::x | child::y").unwrap();
+        let v = az.contains(&all, Some(&dtd), &xy, Some(&dtd));
+        assert!(v.holds, "{:?}", v.counter_example.map(|m| m.xml()));
+        // Without the type it fails.
+        let v2 = az.contains(&all, None, &xy, None);
+        assert!(!v2.holds);
+    }
+
+    #[test]
+    fn type_checking() {
+        // The output type's start variable is `x(C, ε)` (Fig 14): it also
+        // constrains the selected node to have no following sibling, so the
+        // input type uses a single occurrence of x.
+        let input = Dtd::parse("<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>").unwrap();
+        let out_ok = Dtd::parse("<!ELEMENT x (y)> <!ELEMENT y EMPTY>").unwrap();
+        let out_bad = Dtd::parse("<!ELEMENT x EMPTY>").unwrap();
+        let mut az = Analyzer::new();
+        let e = parse("child::x").unwrap();
+        assert!(az.type_checks(&e, &input, &out_ok).holds);
+        let v = az.type_checks(&e, &input, &out_bad);
+        assert!(!v.holds);
+        assert!(v.counter_example.is_some());
+    }
+
+    #[test]
+    fn type_checking_rejects_extra_siblings() {
+        // With x* in the input, a selected x may have a following x
+        // sibling, which the output type's root (no next sibling) rejects.
+        let input = Dtd::parse("<!ELEMENT r (x*)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>").unwrap();
+        let out = Dtd::parse("<!ELEMENT x (y)> <!ELEMENT y EMPTY>").unwrap();
+        let mut az = Analyzer::new();
+        let e = parse("child::x").unwrap();
+        let v = az.type_checks(&e, &input, &out);
+        assert!(!v.holds);
+    }
+}

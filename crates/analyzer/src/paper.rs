@@ -1,0 +1,166 @@
+//! The paper's evaluation workload (§8): the twelve XPath expressions of
+//! Fig 21 and the decision problems of Table 2.
+
+use treetypes::Dtd;
+use xpath::Expr;
+
+/// The XPath expressions e1–e12 of Fig 21 (1-indexed source strings).
+pub const QUERIES: [&str; 12] = [
+    "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+    "/a[.//b[c/*//d]/b[c/d]]",
+    "a/b//c/foll-sibling::d/e",
+    "a/b//d[prec-sibling::c]/e",
+    "a/c/following::d/e",
+    "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
+    "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+    "descendant::a[ancestor::a]",
+    "/descendant::*",
+    "html/(head | body)",
+    "html/head/descendant::*",
+    "html/body/descendant::*",
+];
+
+/// Parses query `eᵢ` of Fig 21 (`i` in `1..=12`).
+///
+/// # Panics
+///
+/// Panics if `i` is out of range (the queries themselves always parse).
+pub fn query(i: usize) -> Expr {
+    assert!((1..=12).contains(&i), "queries are e1..e12");
+    xpath::parse(QUERIES[i - 1]).expect("paper query parses")
+}
+
+/// Which DTD a Table 2 row uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeUsed {
+    /// No type constraint.
+    None,
+    /// SMIL 1.0.
+    Smil,
+    /// XHTML 1.0 Strict.
+    Xhtml,
+}
+
+impl TypeUsed {
+    /// Loads the DTD, if any.
+    pub fn dtd(self) -> Option<Dtd> {
+        match self {
+            TypeUsed::None => None,
+            TypeUsed::Smil => Some(treetypes::smil_1_0()),
+            TypeUsed::Xhtml => Some(treetypes::xhtml_1_0_strict()),
+        }
+    }
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Human-readable description, as printed in the paper.
+    pub description: &'static str,
+    /// The type constraint column.
+    pub type_used: TypeUsed,
+    /// Milliseconds reported by the paper (JAVA, Pentium 4 3 GHz, 2007).
+    pub paper_ms: u64,
+    /// The decision problem.
+    pub problem: Table2Problem,
+}
+
+/// The decision problem of a Table 2 row.
+#[derive(Debug, Clone)]
+pub enum Table2Problem {
+    /// `e_i ⊆ e_j` and `e_j ⊄ e_i` (indices into Fig 21).
+    ContainmentAsymmetric {
+        /// Index of the contained query.
+        lhs: usize,
+        /// Index of the containing query.
+        rhs: usize,
+    },
+    /// `e_i ⊆ e_j` (one direction checked both ways by the paper's row 2).
+    ContainmentBoth {
+        /// Index of the contained query.
+        lhs: usize,
+        /// Index of the containing query.
+        rhs: usize,
+    },
+    /// `e_i` is satisfiable under the type.
+    Satisfiable {
+        /// Query index.
+        query: usize,
+    },
+    /// `e ⊆ e_a ∪ e_b ∪ e_c` (coverage).
+    Coverage {
+        /// Covered query index.
+        covered: usize,
+        /// Covering query indices.
+        covering: [usize; 3],
+    },
+}
+
+/// The six rows of Table 2.
+pub fn table2() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            description: "e1 ⊆ e2 and e2 ⊄ e1",
+            type_used: TypeUsed::None,
+            paper_ms: 353,
+            problem: Table2Problem::ContainmentAsymmetric { lhs: 1, rhs: 2 },
+        },
+        Table2Row {
+            description: "e4 ⊆ e3 and e3 ⊆ e4",
+            type_used: TypeUsed::None,
+            paper_ms: 45,
+            problem: Table2Problem::ContainmentBoth { lhs: 4, rhs: 3 },
+        },
+        Table2Row {
+            description: "e6 ⊆ e5 and e5 ⊄ e6",
+            type_used: TypeUsed::None,
+            paper_ms: 41,
+            problem: Table2Problem::ContainmentAsymmetric { lhs: 6, rhs: 5 },
+        },
+        Table2Row {
+            description: "e7 is satisfiable",
+            type_used: TypeUsed::Smil,
+            paper_ms: 157,
+            problem: Table2Problem::Satisfiable { query: 7 },
+        },
+        Table2Row {
+            description: "e8 is satisfiable",
+            type_used: TypeUsed::Xhtml,
+            paper_ms: 2630,
+            problem: Table2Problem::Satisfiable { query: 8 },
+        },
+        Table2Row {
+            description: "e9 ⊆ (e10 ∪ e11 ∪ e12)",
+            type_used: TypeUsed::Xhtml,
+            paper_ms: 2872,
+            problem: Table2Problem::Coverage {
+                covered: 9,
+                covering: [10, 11, 12],
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse_and_roundtrip() {
+        for i in 1..=12 {
+            let e = query(i);
+            let canon = e.to_string();
+            let e2 = xpath::parse(&canon).unwrap();
+            assert_eq!(e2.to_string(), canon, "e{i}");
+        }
+    }
+
+    #[test]
+    fn table_has_six_rows() {
+        let rows = table2();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[3].type_used, TypeUsed::Smil);
+        assert!(rows[3].type_used.dtd().is_some());
+        assert!(rows[0].type_used.dtd().is_none());
+    }
+}

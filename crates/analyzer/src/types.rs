@@ -1,0 +1,146 @@
+//! Decision problems on regular tree types themselves.
+//!
+//! Since a DTD translates to an Lµ formula (Fig 14), relations *between
+//! types* reduce to satisfiability exactly like query problems:
+//!
+//! * inclusion `T1 ⊆ T2` — every T1-document is a T2-document
+//!   (`⟦T1⟧ ∧ ¬⟦T2⟧` unsatisfiable);
+//! * equivalence — inclusion both ways;
+//! * disjointness — no document inhabits both;
+//! * emptiness — no document at all inhabits the type.
+//!
+//! These are the schema-evolution checks of the paper's introduction (is
+//! the new schema backward compatible?), and they compose with query
+//! problems ([`Analyzer::type_checks`](crate::Analyzer::type_checks)).
+
+use treetypes::Dtd;
+
+use crate::{Analysis, Analyzer};
+
+impl Analyzer {
+    /// Type inclusion: every document valid for `sub` is valid for `sup`.
+    ///
+    /// The witness of a failed inclusion is a document of `sub` outside
+    /// `sup`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use analyzer::Analyzer;
+    /// use treetypes::Dtd;
+    ///
+    /// let old = Dtd::parse("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")?;
+    /// let new = Dtd::parse("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>")?;
+    /// let mut az = Analyzer::new();
+    /// assert!(az.type_subset(&old, &new).holds);   // b ⊆ b+
+    /// assert!(!az.type_subset(&new, &old).holds);  // b+ ⊄ b
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn type_subset(&mut self, sub: &Dtd, sup: &Dtd) -> Analysis {
+        let f_sub = self.type_formula(sub);
+        let f_sup = self.type_formula(sup);
+        let lg = self.logic_mut();
+        let n_sup = lg.not(f_sup);
+        let goal = lg.and(f_sub, n_sup);
+        self.check_unsat(goal)
+    }
+
+    /// Type equivalence: inclusion both ways.
+    pub fn type_equivalent(&mut self, t1: &Dtd, t2: &Dtd) -> (Analysis, Analysis) {
+        (self.type_subset(t1, t2), self.type_subset(t2, t1))
+    }
+
+    /// Type disjointness: no document is valid for both. The witness of a
+    /// failed disjointness is a common document.
+    pub fn type_disjoint(&mut self, t1: &Dtd, t2: &Dtd) -> Analysis {
+        let f1 = self.type_formula(t1);
+        let f2 = self.type_formula(t2);
+        let goal = self.logic_mut().and(f1, f2);
+        self.check_unsat(goal)
+    }
+
+    /// Type emptiness: the type has no finite document at all (e.g. an
+    /// element transitively requiring itself).
+    pub fn type_empty(&mut self, t: &Dtd) -> Analysis {
+        let f = self.type_formula(t);
+        self.check_unsat(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dtd(src: &str) -> Dtd {
+        Dtd::parse(src).expect("test dtd parses")
+    }
+
+    #[test]
+    fn subset_star_plus_opt() {
+        let star = dtd("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>");
+        let plus = dtd("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>");
+        let opt = dtd("<!ELEMENT a (b?)> <!ELEMENT b EMPTY>");
+        let one = dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>");
+        let mut az = Analyzer::new();
+        assert!(az.type_subset(&plus, &star).holds);
+        assert!(!az.type_subset(&star, &plus).holds);
+        assert!(az.type_subset(&opt, &star).holds);
+        assert!(az.type_subset(&one, &plus).holds);
+        assert!(az.type_subset(&one, &opt).holds);
+        assert!(!az.type_subset(&opt, &one).holds);
+        // Failed inclusion yields a concrete separating document.
+        let v = az.type_subset(&star, &one);
+        let w = v.counter_example.expect("separating document");
+        let t = w.tree().clear_marks();
+        assert!(star.validates(&t) && !one.validates(&t), "{w}");
+    }
+
+    #[test]
+    fn equivalence_of_rewritten_models() {
+        // (b, c) | (b, d)  ≡  b, (c | d)
+        let t1 = dtd(
+            "<!ELEMENT a ((b, c) | (b, d))> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+        );
+        let t2 = dtd(
+            "<!ELEMENT a (b, (c | d))> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
+        );
+        let mut az = Analyzer::new();
+        let (fwd, bwd) = az.type_equivalent(&t1, &t2);
+        assert!(fwd.holds && bwd.holds);
+    }
+
+    #[test]
+    fn disjointness() {
+        let t1 = dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>");
+        let t2 = dtd("<!ELEMENT a (c)> <!ELEMENT c EMPTY>");
+        let t3 = dtd("<!ELEMENT a (b | c)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>");
+        let mut az = Analyzer::new();
+        assert!(az.type_disjoint(&t1, &t2).holds);
+        let v = az.type_disjoint(&t1, &t3);
+        assert!(!v.holds);
+        let w = v.counter_example.expect("common document");
+        let t = w.tree().clear_marks();
+        assert!(t1.validates(&t) && t3.validates(&t), "{w}");
+    }
+
+    #[test]
+    fn empty_type_detected() {
+        // a requires itself forever: no finite document.
+        let t = dtd("<!ELEMENT a (a)>");
+        let mut az = Analyzer::new();
+        assert!(az.type_empty(&t).holds);
+        // a allows stopping: inhabited.
+        let t2 = dtd("<!ELEMENT a (a?)>");
+        let v = az.type_empty(&t2);
+        assert!(!v.holds);
+    }
+
+    #[test]
+    fn wikipedia_not_included_in_smil() {
+        let wiki = treetypes::wikipedia();
+        let smil = treetypes::smil_1_0();
+        let mut az = Analyzer::new();
+        assert!(!az.type_subset(&wiki, &smil).holds);
+        assert!(az.type_disjoint(&wiki, &smil).holds);
+    }
+}

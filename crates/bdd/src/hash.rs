@@ -1,0 +1,84 @@
+//! A fast, non-cryptographic hasher for the unique and operation caches.
+//!
+//! The std `HashMap` default (SipHash) is safe against adversarial keys but
+//! slow for the tiny fixed-size integer keys BDD operations hash millions of
+//! times. This is the classic multiply-xor scheme (as used by rustc's
+//! `FxHasher`), implemented locally to keep the crate dependency-free.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over machine words.
+#[derive(Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` build-hasher using [`FastHasher`].
+pub type FastBuild = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_small_keys() {
+        let mut buckets = [0usize; 16];
+        for i in 0u64..4096 {
+            let mut h = FastHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() % 16) as usize] += 1;
+        }
+        // Every bucket gets a reasonable share.
+        assert!(buckets.iter().all(|&b| b > 128), "{buckets:?}");
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FastMap<(u32, u32), u32> = FastMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+    }
+}

@@ -1,0 +1,45 @@
+//! A from-scratch Binary Decision Diagram engine.
+//!
+//! The symbolic satisfiability solver of the paper (§7.1) represents *sets of
+//! ψ-types* as boolean functions over one variable per lean atom, and the
+//! compatibility relations `∆_a` as functions over two interleaved copies of
+//! those variables. This crate provides the BDD machinery it needs:
+//!
+//! * hash-consed nodes with a shared unique table ([`Bdd`]);
+//! * the classic `ite` (if-then-else) operation with memoization, from which
+//!   conjunction, disjunction, negation, implication and equivalence derive;
+//! * existential quantification over interned variable sets, and the fused
+//!   relational product [`Bdd::and_exists`] — the `∃ȳ (h(ȳ) ∧ ∆(x̄,ȳ))`
+//!   step that conjunctive partitioning with early quantification (§7.3)
+//!   relies on;
+//! * monotone variable shifting ([`Bdd::shift`]) to move a set function
+//!   between the `x̄` (even) and `ȳ` (odd) variable rails;
+//! * model extraction ([`Bdd::sat_one`]) and satisfying-assignment counting.
+//!
+//! Nodes are never garbage collected: the managers used by the solver are
+//! short-lived and bounded by the fixpoint computation they serve.
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::Bdd;
+//!
+//! let mut m = Bdd::new();
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.and(x, y);
+//! let g = m.or(x, y);
+//! assert!(m.implies_check(f, g));
+//! let cube = m.quant_set([1]);
+//! assert_eq!(m.exists(f, cube), x); // ∃y. x∧y = x
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod manager;
+mod quant;
+
+pub use manager::{Bdd, NodeId};
+pub use quant::QuantSet;

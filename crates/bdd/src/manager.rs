@@ -1,0 +1,543 @@
+//! The BDD manager: node store, unique table and core operations.
+
+use crate::hash::FastMap;
+
+/// Handle to a BDD node (a boolean function) within one [`Bdd`] manager.
+///
+/// The constants [`Bdd::zero`] and [`Bdd::one`] are the terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+const FALSE: NodeId = NodeId(0);
+const TRUE: NodeId = NodeId(1);
+/// Sentinel level for terminals: larger than any real variable.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// A BDD manager: owns the nodes and all operation caches.
+///
+/// Variables are `u32` levels; the variable order is the numeric order.
+/// Reduction invariants (no redundant node, shared structure) are maintained
+/// by construction, so two [`NodeId`]s are equal iff they denote the same
+/// boolean function.
+#[derive(Debug)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: FastMap<(u32, NodeId, NodeId), NodeId>,
+    ite_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
+    not_cache: FastMap<NodeId, NodeId>,
+    shift_cache: FastMap<(NodeId, i32), NodeId>,
+    pub(crate) quant_sets: Vec<Vec<u32>>,
+    pub(crate) exists_cache: FastMap<(u32, NodeId), NodeId>,
+    pub(crate) and_exists_cache: FastMap<(u32, NodeId, NodeId), NodeId>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// Creates a manager containing only the two terminals.
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
+            ],
+            unique: FastMap::default(),
+            ite_cache: FastMap::default(),
+            not_cache: FastMap::default(),
+            shift_cache: FastMap::default(),
+            quant_sets: Vec::new(),
+            exists_cache: FastMap::default(),
+            and_exists_cache: FastMap::default(),
+        }
+    }
+
+    /// The constant false function.
+    pub fn zero(&self) -> NodeId {
+        FALSE
+    }
+
+    /// The constant true function.
+    pub fn one(&self) -> NodeId {
+        TRUE
+    }
+
+    /// Number of live nodes (terminals included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn var_of(&self, f: NodeId) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    pub(crate) fn lo(&self, f: NodeId) -> NodeId {
+        self.nodes[f.0 as usize].lo
+    }
+
+    pub(crate) fn hi(&self, f: NodeId) -> NodeId {
+        self.nodes[f.0 as usize].hi
+    }
+
+    /// Whether `f` is one of the two terminal nodes.
+    pub fn is_terminal(&self, f: NodeId) -> bool {
+        f == FALSE || f == TRUE
+    }
+
+    /// Creates (or reuses) the node `(var, lo, hi)`.
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi));
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("bdd node overflow"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The single-variable function `v`.
+    pub fn var(&mut self, v: u32) -> NodeId {
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// The negated single-variable function `¬v`.
+    pub fn nvar(&mut self, v: u32) -> NodeId {
+        self.mk(v, TRUE, FALSE)
+    }
+
+    fn cofactor(&self, f: NodeId, v: u32) -> (NodeId, NodeId) {
+        if self.var_of(f) == v {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `f ? g : h`.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal shortcuts.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactor(f, v);
+        let (g0, g1) = self.cofactor(g, v);
+        let (h0, h1) = self.cofactor(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        self.ite(f, g, FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        self.ite(f, TRUE, g)
+    }
+
+    /// Complement.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        if f == TRUE {
+            return FALSE;
+        }
+        if f == FALSE {
+            return TRUE;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let (lo, hi) = (self.lo(f), self.hi(f));
+        let nlo = self.not(lo);
+        let nhi = self.not(hi);
+        let r = self.mk(self.var_of(f), nlo, nhi);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, TRUE)
+    }
+
+    /// Equivalence `f ↔ g`.
+    pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Checks `f → g` as a decision (no new nodes beyond the cache).
+    pub fn implies_check(&mut self, f: NodeId, g: NodeId) -> bool {
+        self.implies(f, g) == TRUE
+    }
+
+    /// Renames every variable `v` of `f` to `v + delta`.
+    ///
+    /// The map is monotone, so the result is a well-ordered BDD built in one
+    /// traversal. Used to move set functions between the interleaved `x̄`
+    /// (even) and `ȳ` (odd) rails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shifted variable would be negative.
+    pub fn shift(&mut self, f: NodeId, delta: i32) -> NodeId {
+        if self.is_terminal(f) || delta == 0 {
+            return f;
+        }
+        if let Some(&r) = self.shift_cache.get(&(f, delta)) {
+            return r;
+        }
+        let v = self.var_of(f);
+        let nv = u32::try_from(i64::from(v) + i64::from(delta)).expect("negative variable");
+        let (lo, hi) = (self.lo(f), self.hi(f));
+        let nlo = self.shift(lo, delta);
+        let nhi = self.shift(hi, delta);
+        let r = self.mk(nv, nlo, nhi);
+        self.shift_cache.insert((f, delta), r);
+        r
+    }
+
+    /// The set of variables on which `f` depends.
+    pub fn support(&self, f: NodeId) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if self.is_terminal(n) || !seen.insert(n) {
+                continue;
+            }
+            vars.insert(self.var_of(n));
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Number of nodes reachable from `f` (its size as a diagram).
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut n = 0;
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            n += 1;
+            if !self.is_terminal(x) {
+                stack.push(self.lo(x));
+                stack.push(self.hi(x));
+            }
+        }
+        n
+    }
+
+    /// One satisfying assignment of `f` as `(variable, value)` pairs for the
+    /// variables along the chosen path, or `None` if `f` is unsatisfiable.
+    ///
+    /// Variables absent from the result are don't-cares.
+    pub fn sat_one(&self, f: NodeId) -> Option<Vec<(u32, bool)>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = f;
+        while cur != TRUE {
+            let v = self.var_of(cur);
+            if self.lo(cur) != FALSE {
+                out.push((v, false));
+                cur = self.lo(cur);
+            } else {
+                out.push((v, true));
+                cur = self.hi(cur);
+            }
+        }
+        Some(out)
+    }
+
+    /// Number of satisfying assignments of `f` over variables `0..nvars`.
+    ///
+    /// Returns `f64` because counts are astronomically large for wide leans;
+    /// used for statistics only.
+    pub fn sat_count(&self, f: NodeId, nvars: u32) -> f64 {
+        fn go(bdd: &Bdd, f: NodeId, memo: &mut FastMap<NodeId, f64>, nvars: u32) -> f64 {
+            if f == FALSE {
+                return 0.0;
+            }
+            if f == TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let v = bdd.var_of(f);
+            let lo = go(bdd, bdd.lo(f), memo, nvars);
+            let hi = go(bdd, bdd.hi(f), memo, nvars);
+            // Scale each branch by the variables skipped below this node.
+            let lv = bdd.var_of(bdd.lo(f)).min(nvars);
+            let hv = bdd.var_of(bdd.hi(f)).min(nvars);
+            let c = lo * 2f64.powi((lv - v - 1) as i32) + hi * 2f64.powi((hv - v - 1) as i32);
+            memo.insert(f, c);
+            c
+        }
+        if f == FALSE {
+            return 0.0;
+        }
+        let mut memo = FastMap::default();
+        let top = self.var_of(f).min(nvars);
+        go(self, f, &mut memo, nvars) * 2f64.powi(top as i32)
+    }
+
+    /// Mark-compact garbage collection.
+    ///
+    /// Keeps exactly the nodes reachable from `roots` (and the terminals),
+    /// compacts the node store, rewrites every root in place, and drops all
+    /// operation caches. Handles *not* passed as roots are invalidated —
+    /// callers own the root inventory.
+    pub fn gc(&mut self, roots: &mut [&mut NodeId]) {
+        let n = self.nodes.len();
+        let mut live = vec![false; n];
+        live[0] = true;
+        live[1] = true;
+        let mut stack: Vec<NodeId> = roots.iter().map(|r| **r).collect();
+        while let Some(f) = stack.pop() {
+            let i = f.0 as usize;
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            stack.push(self.nodes[i].lo);
+            stack.push(self.nodes[i].hi);
+        }
+        // Children precede parents in the store (nodes are created bottom
+        // up), so a single forward pass can remap in place.
+        let mut remap: Vec<NodeId> = vec![FALSE; n];
+        remap[0] = FALSE;
+        remap[1] = TRUE;
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(2 + live.iter().filter(|&&b| b).count());
+        new_nodes.push(self.nodes[0]);
+        new_nodes.push(self.nodes[1]);
+        let mut unique = FastMap::default();
+        for i in 2..n {
+            if !live[i] {
+                continue;
+            }
+            let old = self.nodes[i];
+            let node = Node {
+                var: old.var,
+                lo: remap[old.lo.0 as usize],
+                hi: remap[old.hi.0 as usize],
+            };
+            let id = NodeId(new_nodes.len() as u32);
+            unique.insert((node.var, node.lo, node.hi), id);
+            new_nodes.push(node);
+            remap[i] = id;
+        }
+        for r in roots.iter_mut() {
+            **r = remap[r.0 as usize];
+        }
+        self.nodes = new_nodes;
+        self.unique = unique;
+        self.ite_cache = FastMap::default();
+        self.not_cache = FastMap::default();
+        self.shift_cache = FastMap::default();
+        self.exists_cache = FastMap::default();
+        self.and_exists_cache = FastMap::default();
+    }
+
+    /// Evaluates `f` under a total assignment (`assignment[v]` for var `v`).
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !self.is_terminal(cur) {
+            let v = self.var_of(cur) as usize;
+            cur = if assignment[v] { self.hi(cur) } else { self.lo(cur) };
+        }
+        cur == TRUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let m = Bdd::new();
+        assert_ne!(m.zero(), m.one());
+        assert!(m.is_terminal(m.zero()));
+    }
+
+    #[test]
+    fn boolean_laws() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let nx = m.not(x);
+        assert_eq!(m.and(x, nx), m.zero());
+        assert_eq!(m.or(x, nx), m.one());
+        assert_eq!(m.not(nx), x);
+        let xy = m.and(x, y);
+        let yx = m.and(y, x);
+        assert_eq!(xy, yx);
+        // De Morgan.
+        let lhs = m.not(xy);
+        let ny = m.not(y);
+        let rhs = m.or(nx, ny);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn iff_xor() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let e = m.iff(x, y);
+        let xo = m.xor(x, y);
+        assert_eq!(m.not(e), xo);
+        let ee = m.iff(x, x);
+        assert_eq!(ee, m.one());
+    }
+
+    #[test]
+    fn shift_is_monotone_rename() {
+        let mut m = Bdd::new();
+        let x0 = m.var(0);
+        let x2 = m.var(2);
+        let f = m.and(x0, x2);
+        let g = m.shift(f, 1);
+        assert_eq!(m.support(g), vec![1, 3]);
+        let back = m.shift(g, -1);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn sat_one_and_eval() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let ny = m.not(y);
+        let f = m.and(x, ny);
+        let sat = m.sat_one(f).unwrap();
+        let mut assignment = vec![false; 2];
+        for (v, b) in sat {
+            assignment[v as usize] = b;
+        }
+        assert!(m.eval(f, &assignment));
+        assert!(m.sat_one(m.zero()).is_none());
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.or(x, y);
+        assert_eq!(m.sat_count(f, 2), 3.0);
+        assert_eq!(m.sat_count(m.one(), 3), 8.0);
+        assert_eq!(m.sat_count(m.zero(), 3), 0.0);
+        assert_eq!(m.sat_count(x, 2), 2.0);
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut m = Bdd::new();
+        let x = m.var(3);
+        let y = m.var(7);
+        let f = m.xor(x, y);
+        assert_eq!(m.support(f), vec![3, 7]);
+        assert_eq!(m.size(f), 5); // 2 terminals + x-node + two y-nodes
+    }
+}
+
+#[cfg(test)]
+mod gc_tests {
+    use super::*;
+
+    #[test]
+    fn gc_preserves_roots_and_semantics() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let mut f = m.and(x, y);
+        let mut g = m.or(f, z);
+        // Garbage: a function we drop.
+        let ny = m.not(y);
+        let _dead = m.xor(ny, z);
+        let before = m.node_count();
+        m.gc(&mut [&mut f, &mut g]);
+        assert!(m.node_count() < before);
+        // Semantics preserved: f = x∧y, g = x∧y ∨ z.
+        assert!(m.eval(f, &[true, true, false]));
+        assert!(!m.eval(f, &[true, false, false]));
+        assert!(m.eval(g, &[false, false, true]));
+        // New operations still work and hash-consing still holds.
+        let x2 = m.var(0);
+        let y2 = m.var(1);
+        let f2 = m.and(x2, y2);
+        assert_eq!(f2, f);
+    }
+
+    #[test]
+    fn gc_with_no_roots_keeps_terminals() {
+        let mut m = Bdd::new();
+        let x = m.var(5);
+        let _ = m.not(x);
+        m.gc(&mut []);
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.zero(), NodeId(0));
+        assert_eq!(m.one(), NodeId(1));
+    }
+}

@@ -1,0 +1,194 @@
+//! Existential quantification and the fused relational product.
+
+use crate::manager::{Bdd, NodeId};
+
+/// An interned set of variables to quantify over.
+///
+/// Interning gives each set a small id, so the quantification caches can be
+/// keyed by `(set, node)` pairs cheaply. Create with [`Bdd::quant_set`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantSet(pub(crate) u32);
+
+impl Bdd {
+    /// Interns a set of variables for quantification.
+    pub fn quant_set(&mut self, vars: impl IntoIterator<Item = u32>) -> QuantSet {
+        let mut v: Vec<u32> = vars.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if let Some(pos) = self.quant_sets.iter().position(|s| *s == v) {
+            return QuantSet(pos as u32);
+        }
+        self.quant_sets.push(v);
+        QuantSet((self.quant_sets.len() - 1) as u32)
+    }
+
+    fn quant_contains(&self, set: QuantSet, var: u32) -> bool {
+        self.quant_sets[set.0 as usize].binary_search(&var).is_ok()
+    }
+
+    /// Largest variable of the set, used to stop recursion early.
+    fn quant_max(&self, set: QuantSet) -> Option<u32> {
+        self.quant_sets[set.0 as usize].last().copied()
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    pub fn exists(&mut self, f: NodeId, set: QuantSet) -> NodeId {
+        let Some(max) = self.quant_max(set) else {
+            return f;
+        };
+        self.exists_rec(f, set, max)
+    }
+
+    fn exists_rec(&mut self, f: NodeId, set: QuantSet, max: u32) -> NodeId {
+        if self.is_terminal(f) || self.var_of(f) > max {
+            return f;
+        }
+        if let Some(&r) = self.exists_cache.get(&(set.0, f)) {
+            return r;
+        }
+        let v = self.var_of(f);
+        let lo = self.lo(f);
+        let hi = self.hi(f);
+        let rlo = self.exists_rec(lo, set, max);
+        let rhi = self.exists_rec(hi, set, max);
+        let r = if self.quant_contains(set, v) {
+            self.or(rlo, rhi)
+        } else {
+            self.mk(v, rlo, rhi)
+        };
+        self.exists_cache.insert((set.0, f), r);
+        r
+    }
+
+    /// Fused relational product `∃ vars. (f ∧ g)`.
+    ///
+    /// Computes the conjunction and the quantification in a single recursion
+    /// without materializing `f ∧ g` — the core primitive of conjunctive
+    /// partitioning with early quantification (paper §7.3).
+    pub fn and_exists(&mut self, f: NodeId, g: NodeId, set: QuantSet) -> NodeId {
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if f == self.zero() {
+            return self.zero();
+        }
+        if f == self.one() {
+            return self.exists(g, set);
+        }
+        // Neither is terminal now (g >= f > one).
+        if let Some(&r) = self.and_exists_cache.get(&(set.0, f, g)) {
+            return r;
+        }
+        let vf = self.var_of(f);
+        let vg = self.var_of(g);
+        let v = vf.min(vg);
+        let (f0, f1) = if vf == v {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if vg == v {
+            (self.lo(g), self.hi(g))
+        } else {
+            (g, g)
+        };
+        let r = if self.quant_contains(set, v) {
+            let r0 = self.and_exists(f0, g0, set);
+            // Short-circuit: x ∨ ⊤ = ⊤.
+            if r0 == self.one() {
+                self.one()
+            } else {
+                let r1 = self.and_exists(f1, g1, set);
+                self.or(r0, r1)
+            }
+        } else {
+            let r0 = self.and_exists(f0, g0, set);
+            let r1 = self.and_exists(f1, g1, set);
+            self.mk(v, r0, r1)
+        };
+        self.and_exists_cache.insert((set.0, f, g), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exists_drops_variable() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let s = m.quant_set([1]);
+        assert_eq!(m.exists(f, s), x);
+        let s01 = m.quant_set([0, 1]);
+        assert_eq!(m.exists(f, s01), m.one());
+        let z = m.zero();
+        assert_eq!(m.exists(z, s01), m.zero());
+    }
+
+    #[test]
+    fn exists_of_disjunction() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let ny = m.not(y);
+        let f = m.or(x, ny); // ∃y: always satisfiable
+        let s = m.quant_set([1]);
+        assert_eq!(m.exists(f, s), m.one());
+    }
+
+    #[test]
+    fn and_exists_equals_unfused() {
+        let mut m = Bdd::new();
+        // f(x0,y1,y3), g(y1,x2,y3) with y-vars odd.
+        let x0 = m.var(0);
+        let y1 = m.var(1);
+        let x2 = m.var(2);
+        let y3 = m.var(3);
+        let f = {
+            let t = m.xor(x0, y1);
+            m.or(t, y3)
+        };
+        let g = {
+            let t = m.iff(y1, x2);
+            m.and(t, y3)
+        };
+        let s = m.quant_set([1, 3]);
+        let fused = m.and_exists(f, g, s);
+        let plain = {
+            let c = m.and(f, g);
+            m.exists(c, s)
+        };
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn and_exists_terminal_cases() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let s = m.quant_set([0]);
+        let zero = m.zero();
+        let one = m.one();
+        assert_eq!(m.and_exists(zero, x, s), m.zero());
+        assert_eq!(m.and_exists(one, x, s), m.one());
+        let empty = m.quant_set(std::iter::empty());
+        assert_eq!(m.and_exists(one, x, empty), x);
+    }
+
+    #[test]
+    fn relational_image() {
+        // Relation R(x,y) = (y ↔ ¬x) over rails x=var0, y=var1.
+        // Image of {x=1} is {y=0} — computed as ∃x. S(x) ∧ R(x,y).
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let nx = m.not(x);
+        let r = m.iff(y, nx);
+        let s_set = x; // S = {x=1}
+        let qx = m.quant_set([0]);
+        let img = m.and_exists(s_set, r, qx);
+        let ny = m.not(y);
+        assert_eq!(img, ny);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the BDD engine against a brute-force truth-table
+//! oracle on a small variable universe.
+
+use bdd::{Bdd, NodeId};
+use proptest::prelude::*;
+
+const NVARS: u32 = 5;
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Iff(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Const(bool),
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_expr(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        2 => sub.clone().prop_map(|e| Expr::Not(Box::new(e))),
+        2 => (arb_expr(depth - 1), arb_expr(depth - 1))
+            .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+        2 => (arb_expr(depth - 1), arb_expr(depth - 1))
+            .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        1 => (arb_expr(depth - 1), arb_expr(depth - 1))
+            .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        1 => (arb_expr(depth - 1), arb_expr(depth - 1))
+            .prop_map(|(a, b)| Expr::Iff(Box::new(a), Box::new(b))),
+        1 => (arb_expr(depth - 1), arb_expr(depth - 1), arb_expr(depth - 1))
+            .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+    ]
+    .boxed()
+}
+
+fn build(m: &mut Bdd, e: &Expr) -> NodeId {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Const(true) => m.one(),
+        Expr::Const(false) => m.zero(),
+        Expr::Not(a) => {
+            let x = build(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.xor(x, y)
+        }
+        Expr::Iff(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.iff(x, y)
+        }
+        Expr::Ite(a, b, c) => {
+            let (x, y, z) = (build(m, a), build(m, b), build(m, c));
+            m.ite(x, y, z)
+        }
+    }
+}
+
+fn truth(e: &Expr, env: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => env[*v as usize],
+        Expr::Const(b) => *b,
+        Expr::Not(a) => !truth(a, env),
+        Expr::And(a, b) => truth(a, env) && truth(b, env),
+        Expr::Or(a, b) => truth(a, env) || truth(b, env),
+        Expr::Xor(a, b) => truth(a, env) != truth(b, env),
+        Expr::Iff(a, b) => truth(a, env) == truth(b, env),
+        Expr::Ite(a, b, c) => {
+            if truth(a, env) {
+                truth(b, env)
+            } else {
+                truth(c, env)
+            }
+        }
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << NVARS).map(|m| (0..NVARS).map(|v| m >> v & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// BDD evaluation equals the truth-table semantics.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr(4)) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        for env in assignments() {
+            prop_assert_eq!(m.eval(f, &env), truth(&e, &env));
+        }
+    }
+
+    /// Canonicity: semantically equal expressions share a node.
+    #[test]
+    fn bdd_is_canonical(e in arb_expr(3)) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        // Double negation is the identity node-wise.
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        prop_assert_eq!(nnf, f);
+        // f xor f is the zero node.
+        let xo = m.xor(f, f);
+        prop_assert_eq!(xo, m.zero());
+    }
+
+    /// `sat_count` agrees with the truth table.
+    #[test]
+    fn sat_count_matches(e in arb_expr(3)) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        let expected = assignments().filter(|env| truth(&e, env)).count();
+        prop_assert_eq!(m.sat_count(f, NVARS) as usize, expected);
+    }
+
+    /// Quantification: ∃v.f matches the or of cofactors, computed by brute
+    /// force on the truth table.
+    #[test]
+    fn exists_matches(e in arb_expr(3), v in 0..NVARS) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        let q = m.quant_set([v]);
+        let g = m.exists(f, q);
+        for env in assignments() {
+            let mut e1 = env.clone();
+            e1[v as usize] = false;
+            let mut e2 = env.clone();
+            e2[v as usize] = true;
+            let expected = truth(&e, &e1) || truth(&e, &e2);
+            prop_assert_eq!(m.eval(g, &env), expected);
+        }
+    }
+
+    /// GC preserves the function of every root.
+    #[test]
+    fn gc_preserves_functions(e1 in arb_expr(3), e2 in arb_expr(3)) {
+        let mut m = Bdd::new();
+        let mut f = build(&mut m, &e1);
+        let mut g = build(&mut m, &e2);
+        // Build garbage.
+        let tmp = m.xor(f, g);
+        let _ = m.not(tmp);
+        m.gc(&mut [&mut f, &mut g]);
+        for env in assignments() {
+            prop_assert_eq!(m.eval(f, &env), truth(&e1, &env));
+            prop_assert_eq!(m.eval(g, &env), truth(&e2, &env));
+        }
+        // Operations after GC still canonical.
+        let h1 = m.and(f, g);
+        let h2 = m.and(g, f);
+        prop_assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Scaling with lean size (Lemma 6.7: satisfiability is `2^O(|Lean(ψ)|)`).
+//!
+//! A family of valid containments over growing child-step chains exercises
+//! the full fixpoint. The worst case is exponential; the measured curve on
+//! these structured instances is what makes the approach practical — the
+//! same observation as the paper's §8.
+
+use analyzer::Analyzer;
+use bench::chain_containment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_chains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/chain-containment");
+    g.sample_size(10);
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        // Print the lean size once per point so the series can be plotted.
+        let mut az = Analyzer::new();
+        let goal = chain_containment(&mut az, n, true);
+        let s = az.solve_formula(goal);
+        assert!(!s.outcome.is_satisfiable());
+        println!(
+            "scaling n={n}: lean={} iterations={} bdd-nodes={:?}",
+            s.stats.lean_size, s.stats.iterations, s.stats.bdd_nodes
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut az = Analyzer::new();
+                let goal = chain_containment(&mut az, black_box(n), true);
+                let s = az.solve_formula(goal);
+                assert!(!s.outcome.is_satisfiable());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_repeated_label_chains(c: &mut Criterion) {
+    // Same shape but a single repeated label: smaller alphabet, deeper
+    // sharing in the BDD.
+    let mut g = c.benchmark_group("scaling/chain-one-label");
+    g.sample_size(10);
+    for n in [4usize, 8, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut az = Analyzer::new();
+                let goal = chain_containment(&mut az, black_box(n), false);
+                let s = az.solve_formula(goal);
+                assert!(!s.outcome.is_satisfiable());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chains, bench_repeated_label_chains);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1: compilation of the evaluation DTDs into binary tree types and
+//! Lµ formulas (SMIL 1.0: 19 symbols, XHTML 1.0 Strict: 77 symbols, plus
+//! the Wikipedia fragment of Fig 12).
+//!
+//! The paper reports only the sizes (symbols / binary type variables);
+//! this bench additionally times the whole type-compilation pipeline and
+//! prints the measured sizes for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mulogic::Logic;
+use std::hint::black_box;
+use treetypes::{BinaryType, Dtd};
+
+fn pipeline(src: &str) -> (usize, usize, usize) {
+    let dtd = Dtd::parse(src).expect("fixture parses");
+    let bt = BinaryType::from_dtd(&dtd);
+    let mut lg = Logic::new();
+    let f = bt.formula(&mut lg);
+    (dtd.symbol_count(), bt.var_count(), lg.size(f))
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    for (name, src) in [
+        ("wikipedia", treetypes::WIKIPEDIA_DTD),
+        ("smil-1.0", treetypes::SMIL_1_0_DTD),
+        ("xhtml-1.0-strict", treetypes::XHTML_1_0_STRICT_DTD),
+    ] {
+        let (symbols, vars, fsize) = pipeline(src);
+        println!("table1 {name}: symbols={symbols} binary-vars={vars} formula-size={fsize}");
+        g.bench_function(name, |b| b.iter(|| pipeline(black_box(src))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

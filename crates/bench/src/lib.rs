@@ -1,0 +1,118 @@
+//! Shared helpers for the benchmark harness: construction of the paper's
+//! decision problems (Table 2) and synthetic workload families.
+
+use analyzer::{paper, Analyzer};
+use mulogic::{Formula, Logic};
+use solver::SymbolicOptions;
+use treetypes::Dtd;
+
+/// Builds the goal formula of one Table 2 containment sub-problem so benches
+/// can time the solver in isolation from parsing/translation.
+pub fn containment_goal(az: &mut Analyzer, lhs: usize, rhs: usize, dtd: Option<&Dtd>) -> Formula {
+    let e1 = paper::query(lhs);
+    let e2 = paper::query(rhs);
+    let f1 = az.query_formula(&e1, dtd);
+    let f2 = az.query_formula(&e2, dtd);
+    let lg: &mut Logic = az.logic_mut();
+    let nf2 = lg.not(f2);
+    lg.and(f1, nf2)
+}
+
+/// Goal formula for "query is satisfiable under type".
+pub fn satisfiability_goal(az: &mut Analyzer, query: usize, dtd: Option<&Dtd>) -> Formula {
+    let e = paper::query(query);
+    az.query_formula(&e, dtd)
+}
+
+/// Goal formula for the coverage row: `e ∧ ¬e_a ∧ ¬e_b ∧ ¬e_c` (all under
+/// XHTML 1.0 Strict, as in Table 2).
+pub fn coverage_goal(az: &mut Analyzer, covered: usize, covering: [usize; 3]) -> Formula {
+    let dtd = treetypes::xhtml_1_0_strict();
+    let e = paper::query(covered);
+    let mut goal = az.query_formula(&e, Some(&dtd));
+    for i in covering {
+        let ei = paper::query(i);
+        let fi = az.query_formula(&ei, Some(&dtd));
+        let lg = az.logic_mut();
+        let nfi = lg.not(fi);
+        goal = lg.and(goal, nfi);
+    }
+    goal
+}
+
+/// A synthetic containment family `l1/l2/…/ln ⊆ l1/l2/…/ln[self::*]` whose
+/// lean grows linearly with `n` — used by the scaling bench (Lemma 6.7).
+/// The containment holds, so the solver runs to its full fixpoint.
+pub fn chain_containment(az: &mut Analyzer, n: usize, distinct_labels: bool) -> Formula {
+    let steps: Vec<String> = (0..n)
+        .map(|i| {
+            if distinct_labels {
+                format!("l{i}")
+            } else {
+                "a".to_owned()
+            }
+        })
+        .collect();
+    let src = steps.join("/");
+    let e1 = xpath::parse(&src).expect("chain query parses");
+    let src2 = format!("{src}[self::*]");
+    let e2 = xpath::parse(&src2).expect("chain query parses");
+    let f1 = az.query_formula(&e1, None);
+    let f2 = az.query_formula(&e2, None);
+    let lg = az.logic_mut();
+    let nf2 = lg.not(f2);
+    lg.and(f1, nf2)
+}
+
+/// Ablation configurations: (name, options).
+pub fn ablation_configs() -> Vec<(&'static str, SymbolicOptions)> {
+    use solver::VarOrder;
+    vec![
+        (
+            "early-quantification+bfs",
+            SymbolicOptions {
+                monolithic_delta: false,
+                var_order: VarOrder::Bfs,
+                ..SymbolicOptions::default()
+            },
+        ),
+        (
+            "monolithic-delta+bfs",
+            SymbolicOptions {
+                monolithic_delta: true,
+                var_order: VarOrder::Bfs,
+                ..SymbolicOptions::default()
+            },
+        ),
+        (
+            "early-quantification+reversed",
+            SymbolicOptions {
+                monolithic_delta: false,
+                var_order: VarOrder::Reversed,
+                ..SymbolicOptions::default()
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goals_build() {
+        let mut az = Analyzer::new();
+        let g = containment_goal(&mut az, 1, 2, None);
+        assert!(az.logic_mut().is_closed(g));
+        let g = chain_containment(&mut az, 4, true);
+        assert!(az.logic_mut().is_closed(g));
+    }
+
+    #[test]
+    fn chain_goal_is_unsat() {
+        let mut az = Analyzer::new();
+        let g = chain_containment(&mut az, 3, true);
+        let s = az.solve_formula(g);
+        assert!(!s.outcome.is_satisfiable());
+    }
+}

@@ -1,0 +1,167 @@
+//! First-child / next-sibling binary encoding of unranked trees.
+//!
+//! The logic navigates trees in *binary style*: program `1` goes to the first
+//! child, program `2` to the next sibling. A [`BinaryTree`] materializes that
+//! view. The satisfiability solver reconstructs counter-examples as binary
+//! trees of ψ-types; [`BinaryTree::to_unranked`] converts them back to XML
+//! unranked syntax (paper §7.2).
+
+use std::fmt;
+
+use crate::{Label, Tree};
+
+/// A binary tree node with optional `1`- and `2`-successors.
+///
+/// # Example
+///
+/// ```
+/// use ftree::{BinaryTree, Tree};
+///
+/// let t = Tree::parse_xml("<a><b/><c/></a>").unwrap();
+/// let b = BinaryTree::from_unranked(&t);
+/// // a's 1-child is b, whose 2-child is c.
+/// assert_eq!(b.child1().unwrap().label().as_str(), "b");
+/// assert_eq!(b.child1().unwrap().child2().unwrap().label().as_str(), "c");
+/// assert_eq!(b.to_unranked(), t);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BinaryTree {
+    label: Label,
+    marked: bool,
+    child1: Option<Box<BinaryTree>>,
+    child2: Option<Box<BinaryTree>>,
+}
+
+impl BinaryTree {
+    /// Creates a binary node.
+    pub fn new(
+        label: impl Into<Label>,
+        marked: bool,
+        child1: Option<BinaryTree>,
+        child2: Option<BinaryTree>,
+    ) -> Self {
+        BinaryTree {
+            label: label.into(),
+            marked,
+            child1: child1.map(Box::new),
+            child2: child2.map(Box::new),
+        }
+    }
+
+    /// The node label.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// Whether this node carries the start mark.
+    pub fn is_marked(&self) -> bool {
+        self.marked
+    }
+
+    /// The `1`-successor (first child in unranked view).
+    pub fn child1(&self) -> Option<&BinaryTree> {
+        self.child1.as_deref()
+    }
+
+    /// The `2`-successor (next sibling in unranked view).
+    pub fn child2(&self) -> Option<&BinaryTree> {
+        self.child2.as_deref()
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.child1().map_or(0, BinaryTree::size) + self.child2().map_or(0, BinaryTree::size)
+    }
+
+    /// Encodes an unranked tree. The root has no `2`-successor.
+    pub fn from_unranked(t: &Tree) -> BinaryTree {
+        fn row(siblings: &[Tree]) -> Option<BinaryTree> {
+            let (first, rest) = siblings.split_first()?;
+            Some(BinaryTree {
+                label: first.label(),
+                marked: first.is_marked(),
+                child1: row(first.children()).map(Box::new),
+                child2: row(rest).map(Box::new),
+            })
+        }
+        BinaryTree {
+            label: t.label(),
+            marked: t.is_marked(),
+            child1: row(t.children()).map(Box::new),
+            child2: None,
+        }
+    }
+
+    /// Decodes back to an unranked tree.
+    ///
+    /// The `2`-successor of `self`, if any, is ignored: an unranked tree has
+    /// a single root. Use [`BinaryTree::to_unranked_row`] to keep the whole
+    /// sibling row.
+    pub fn to_unranked(&self) -> Tree {
+        let children = self
+            .child1()
+            .map(BinaryTree::to_unranked_row)
+            .unwrap_or_default();
+        if self.marked {
+            Tree::marked_node(self.label, children)
+        } else {
+            Tree::node(self.label, children)
+        }
+    }
+
+    /// Decodes this node and its `2`-successor chain into a sibling row.
+    pub fn to_unranked_row(&self) -> Vec<Tree> {
+        let mut out = Vec::new();
+        let mut cur = Some(self);
+        while let Some(n) = cur {
+            out.push(n.to_unranked());
+            cur = n.child2();
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BinaryTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = if self.marked { "ˢ" } else { "" };
+        write!(f, "{}{}(", self.label, m)?;
+        match self.child1() {
+            Some(c) => write!(f, "{c:?}, ")?,
+            None => write!(f, "#, ")?,
+        }
+        match self.child2() {
+            Some(c) => write!(f, "{c:?})", c = c),
+            None => write!(f, "#)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = Tree::parse_xml("<a><b><d/><e/></b><c/></a>").unwrap();
+        let b = BinaryTree::from_unranked(&t);
+        assert_eq!(b.to_unranked(), t);
+        assert_eq!(b.size(), t.size());
+    }
+
+    #[test]
+    fn marks_survive_encoding() {
+        let t = Tree::parse_xml("<a><b s=\"1\"/></a>").unwrap();
+        let b = BinaryTree::from_unranked(&t);
+        assert!(b.child1().unwrap().is_marked());
+        assert_eq!(b.to_unranked().mark_count(), 1);
+    }
+
+    #[test]
+    fn leaf() {
+        let t = Tree::leaf("x");
+        let b = BinaryTree::from_unranked(&t);
+        assert!(b.child1().is_none());
+        assert!(b.child2().is_none());
+        assert_eq!(b.to_unranked(), t);
+    }
+}

@@ -1,0 +1,174 @@
+//! Contexts `c ::= (tl, Top, tl) | (tl, c[σ], tl)` (paper §3).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::{Label, Tree};
+
+/// The context of a focused tree: everything around the subtree in focus.
+///
+/// A context records the left siblings (in reverse order: the first element
+/// is the tree immediately to the left), the context above, and the right
+/// siblings. The context above is either `Top` (the focus row is the root
+/// row) or a parent node `c[σ]` whose label — and possibly start mark — is
+/// stored here.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Context(Rc<CtxNode>);
+
+#[derive(PartialEq, Eq, Hash)]
+enum CtxNode {
+    /// `(tl, Top, tl)`
+    Top { left: Vec<Tree>, right: Vec<Tree> },
+    /// `(tl, c[σ°], tl)`
+    Under {
+        left: Vec<Tree>,
+        label: Label,
+        marked: bool,
+        parent: Context,
+        right: Vec<Tree>,
+    },
+}
+
+impl Context {
+    /// The empty top-level context `(ε, Top, ε)`.
+    pub fn top() -> Self {
+        Context(Rc::new(CtxNode::Top {
+            left: Vec::new(),
+            right: Vec::new(),
+        }))
+    }
+
+    /// A top-level context with explicit sibling rows. `left` is in reverse
+    /// order.
+    pub fn top_with(left: Vec<Tree>, right: Vec<Tree>) -> Self {
+        Context(Rc::new(CtxNode::Top { left, right }))
+    }
+
+    /// A context under a parent node `c[σ°]`. `left` is in reverse order.
+    pub fn under(
+        left: Vec<Tree>,
+        label: Label,
+        marked: bool,
+        parent: Context,
+        right: Vec<Tree>,
+    ) -> Self {
+        Context(Rc::new(CtxNode::Under {
+            left,
+            label,
+            marked,
+            parent,
+            right,
+        }))
+    }
+
+    /// Whether the context above is `Top`.
+    pub fn is_top(&self) -> bool {
+        matches!(&*self.0, CtxNode::Top { .. })
+    }
+
+    /// Left siblings, reversed (first = immediately left of the focus).
+    pub fn left(&self) -> &[Tree] {
+        match &*self.0 {
+            CtxNode::Top { left, .. } | CtxNode::Under { left, .. } => left,
+        }
+    }
+
+    /// Right siblings in document order.
+    pub fn right(&self) -> &[Tree] {
+        match &*self.0 {
+            CtxNode::Top { right, .. } | CtxNode::Under { right, .. } => right,
+        }
+    }
+
+    /// The enclosing element's label, mark flag, and its own context, if the
+    /// context above is not `Top`.
+    pub fn parent_parts(&self) -> Option<(Label, bool, &Context)> {
+        match &*self.0 {
+            CtxNode::Top { .. } => None,
+            CtxNode::Under {
+                label,
+                marked,
+                parent,
+                ..
+            } => Some((*label, *marked, parent)),
+        }
+    }
+
+    /// Number of start marks stored in the context (on enclosing elements or
+    /// inside sibling trees).
+    pub fn mark_count(&self) -> usize {
+        let own: usize = self.left().iter().chain(self.right()).map(Tree::mark_count).sum();
+        match &*self.0 {
+            CtxNode::Top { .. } => own,
+            CtxNode::Under { marked, parent, .. } => own + usize::from(*marked) + parent.mark_count(),
+        }
+    }
+
+    /// Replaces the sibling rows, keeping what is above.
+    pub(crate) fn with_rows(&self, left: Vec<Tree>, right: Vec<Tree>) -> Context {
+        match &*self.0 {
+            CtxNode::Top { .. } => Context(Rc::new(CtxNode::Top { left, right })),
+            CtxNode::Under {
+                label,
+                marked,
+                parent,
+                ..
+            } => Context(Rc::new(CtxNode::Under {
+                left,
+                label: *label,
+                marked: *marked,
+                parent: parent.clone(),
+                right,
+            })),
+        }
+    }
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.0 {
+            CtxNode::Top { left, right } => write!(f, "({left:?}, Top, {right:?})"),
+            CtxNode::Under {
+                left,
+                label,
+                marked,
+                parent,
+                right,
+            } => {
+                let m = if *marked { "ˢ" } else { "" };
+                write!(f, "({left:?}, {parent:?}[{label}{m}], {right:?})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_context() {
+        let c = Context::top();
+        assert!(c.is_top());
+        assert!(c.left().is_empty());
+        assert!(c.right().is_empty());
+        assert!(c.parent_parts().is_none());
+        assert_eq!(c.mark_count(), 0);
+    }
+
+    #[test]
+    fn under_context_marks() {
+        let c = Context::under(
+            vec![Tree::leaf("x").with_mark(true)],
+            Label::new("p"),
+            false,
+            Context::top(),
+            vec![],
+        );
+        assert_eq!(c.mark_count(), 1);
+        let (l, m, p) = c.parent_parts().unwrap();
+        assert_eq!(l.as_str(), "p");
+        assert!(!m);
+        assert!(p.is_top());
+    }
+}

@@ -1,0 +1,372 @@
+//! Focused trees `f ::= (t, c)` and binary-style navigation (paper §3).
+
+use std::fmt;
+
+use crate::{Context, Label, Tree};
+
+/// The four programs (modalities) of the logic.
+///
+/// `Down1`/`Down2` are the forward programs `1`/`2`; `Up1`/`Up2` are their
+/// converses `1̄`/`2̄`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// `⟨1⟩` — first child.
+    Down1,
+    /// `⟨2⟩` — next sibling.
+    Down2,
+    /// `⟨1̄⟩` — parent, defined on leftmost siblings only.
+    Up1,
+    /// `⟨2̄⟩` — previous sibling.
+    Up2,
+}
+
+impl Direction {
+    /// All four programs, forward first.
+    pub const ALL: [Direction; 4] = [
+        Direction::Down1,
+        Direction::Down2,
+        Direction::Up1,
+        Direction::Up2,
+    ];
+
+    /// The converse program `ā` (with `ā̄ = a`).
+    pub fn converse(self) -> Direction {
+        match self {
+            Direction::Down1 => Direction::Up1,
+            Direction::Down2 => Direction::Up2,
+            Direction::Up1 => Direction::Down1,
+            Direction::Up2 => Direction::Down2,
+        }
+    }
+
+    /// Whether this is a forward program (`1` or `2`).
+    pub fn is_forward(self) -> bool {
+        matches!(self, Direction::Down1 | Direction::Down2)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::Down1 => "1",
+            Direction::Down2 => "2",
+            Direction::Up1 => "-1",
+            Direction::Up2 => "-2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A focused tree: a subtree in focus paired with its context.
+///
+/// Focused trees compare structurally; two foci are equal iff they denote the
+/// same position in the same underlying marked tree.
+///
+/// # Example
+///
+/// ```
+/// use ftree::{Tree, FocusedTree, Direction};
+///
+/// let f = FocusedTree::at_root(Tree::parse_xml("<a><b/><c/></a>").unwrap());
+/// let b = f.step(Direction::Down1).unwrap();
+/// let c = b.step(Direction::Down2).unwrap();
+/// assert_eq!(c.step(Direction::Up2), Some(b));
+/// assert_eq!(c.root(), f);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FocusedTree {
+    tree: Tree,
+    ctx: Context,
+}
+
+impl FocusedTree {
+    /// Focuses the root of `tree` with the empty top-level context.
+    pub fn at_root(tree: Tree) -> Self {
+        FocusedTree {
+            tree,
+            ctx: Context::top(),
+        }
+    }
+
+    /// Builds a focused tree from explicit parts.
+    pub fn new(tree: Tree, ctx: Context) -> Self {
+        FocusedTree { tree, ctx }
+    }
+
+    /// The subtree in focus.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The context around the focus.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// `nm(f)`: the label of the node in focus.
+    pub fn label(&self) -> Label {
+        self.tree.label()
+    }
+
+    /// Whether the node in focus carries the start mark.
+    pub fn is_marked(&self) -> bool {
+        self.tree.is_marked()
+    }
+
+    /// Total number of start marks in the whole underlying tree.
+    pub fn mark_count(&self) -> usize {
+        self.tree.mark_count() + self.ctx.mark_count()
+    }
+
+    /// `f⟨1⟩`: focus on the first child.
+    pub fn down1(&self) -> Option<FocusedTree> {
+        let (first, rest) = self.tree.children().split_first()?;
+        Some(FocusedTree {
+            tree: first.clone(),
+            ctx: Context::under(
+                Vec::new(),
+                self.tree.label(),
+                self.tree.is_marked(),
+                self.ctx.clone(),
+                rest.to_vec(),
+            ),
+        })
+    }
+
+    /// `f⟨2⟩`: focus on the next sibling.
+    pub fn down2(&self) -> Option<FocusedTree> {
+        let (next, rest) = self.ctx.right().split_first()?;
+        let mut left = self.ctx.left().to_vec();
+        left.insert(0, self.tree.clone());
+        Some(FocusedTree {
+            tree: next.clone(),
+            ctx: self.ctx.with_rows(left, rest.to_vec()),
+        })
+    }
+
+    /// `f⟨1̄⟩`: focus on the parent; defined only when the focus is a
+    /// leftmost sibling.
+    pub fn up1(&self) -> Option<FocusedTree> {
+        if !self.ctx.left().is_empty() {
+            return None;
+        }
+        let (label, marked, parent) = self.ctx.parent_parts()?;
+        let mut children = Vec::with_capacity(1 + self.ctx.right().len());
+        children.push(self.tree.clone());
+        children.extend(self.ctx.right().iter().cloned());
+        let node = if marked {
+            Tree::marked_node(label, children)
+        } else {
+            Tree::node(label, children)
+        };
+        Some(FocusedTree {
+            tree: node,
+            ctx: parent.clone(),
+        })
+    }
+
+    /// `f⟨2̄⟩`: focus on the previous sibling.
+    pub fn up2(&self) -> Option<FocusedTree> {
+        let (prev, rest) = self.ctx.left().split_first()?;
+        let mut right = self.ctx.right().to_vec();
+        right.insert(0, self.tree.clone());
+        Some(FocusedTree {
+            tree: prev.clone(),
+            ctx: self.ctx.with_rows(rest.to_vec(), right),
+        })
+    }
+
+    /// `f⟨a⟩` for any program `a`.
+    pub fn step(&self, dir: Direction) -> Option<FocusedTree> {
+        match dir {
+            Direction::Down1 => self.down1(),
+            Direction::Down2 => self.down2(),
+            Direction::Up1 => self.up1(),
+            Direction::Up2 => self.up2(),
+        }
+    }
+
+    /// The parent of the focus regardless of sibling position
+    /// (the `parent(F)` auxiliary of Fig 6). Returns `None` at the root row.
+    pub fn parent(&self) -> Option<FocusedTree> {
+        let (label, marked, parent) = self.ctx.parent_parts()?;
+        let mut children: Vec<Tree> = self.ctx.left().iter().rev().cloned().collect();
+        children.push(self.tree.clone());
+        children.extend(self.ctx.right().iter().cloned());
+        let node = if marked {
+            Tree::marked_node(label, children)
+        } else {
+            Tree::node(label, children)
+        };
+        Some(FocusedTree {
+            tree: node,
+            ctx: parent.clone(),
+        })
+    }
+
+    /// Climbs to the root row (the `root(F)` auxiliary of Fig 6): applies
+    /// [`FocusedTree::parent`] until the context above is `Top`.
+    pub fn root(&self) -> FocusedTree {
+        let mut cur = self.clone();
+        while let Some(p) = cur.parent() {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Reassembles the whole underlying tree (the focus of [`root`] when the
+    /// root row is a single tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the top-level context has sibling rows (an XML document has
+    /// a single root element).
+    ///
+    /// [`root`]: FocusedTree::root
+    pub fn into_whole_tree(self) -> Tree {
+        let r = self.root();
+        assert!(
+            r.ctx.left().is_empty() && r.ctx.right().is_empty(),
+            "top-level context has siblings"
+        );
+        r.tree
+    }
+
+    /// Enumerates the foci of every node of `tree`, in document order.
+    ///
+    /// This is the finite universe over which the model checker evaluates
+    /// formulas for a fixed tree.
+    pub fn all_foci(tree: &Tree) -> Vec<FocusedTree> {
+        Self::row_foci(std::slice::from_ref(tree))
+    }
+
+    /// Enumerates the foci of every node of a top-level sibling row (a
+    /// *hedge*), in document order.
+    ///
+    /// The grammar of contexts allows sibling lists at `Top`, so a
+    /// satisfying model is in general a row of trees; this builds the focus
+    /// universe for such a model.
+    pub fn row_foci(row: &[Tree]) -> Vec<FocusedTree> {
+        let Some(first) = row.first() else {
+            return Vec::new();
+        };
+        let start = FocusedTree::new(
+            first.clone(),
+            Context::top_with(Vec::new(), row[1..].to_vec()),
+        );
+        let mut out = Vec::with_capacity(row.iter().map(Tree::size).sum());
+        // Seed with the whole top row, in document order.
+        let mut top_row = Vec::new();
+        let mut cur = Some(start);
+        while let Some(f) = cur {
+            cur = f.down2();
+            top_row.push(f);
+        }
+        let mut stack: Vec<FocusedTree> = top_row.into_iter().rev().collect();
+        while let Some(f) = stack.pop() {
+            if let Some(c) = f.down1() {
+                let mut sib = Some(c);
+                let mut row = Vec::new();
+                while let Some(s) = sib {
+                    sib = s.down2();
+                    row.push(s);
+                }
+                for s in row.into_iter().rev() {
+                    stack.push(s);
+                }
+            }
+            out.push(f);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for FocusedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.tree, self.ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FocusedTree {
+        // <a><b><d/></b><c/></a>
+        let t = Tree::node(
+            "a",
+            vec![Tree::node("b", vec![Tree::leaf("d")]), Tree::leaf("c")],
+        );
+        FocusedTree::at_root(t)
+    }
+
+    #[test]
+    fn navigation_roundtrips() {
+        let root = sample();
+        let b = root.down1().unwrap();
+        assert_eq!(b.label().as_str(), "b");
+        assert_eq!(b.up1().unwrap(), root);
+
+        let c = b.down2().unwrap();
+        assert_eq!(c.label().as_str(), "c");
+        assert_eq!(c.up2().unwrap(), b);
+
+        let d = b.down1().unwrap();
+        assert_eq!(d.label().as_str(), "d");
+        assert_eq!(d.up1().unwrap(), b);
+    }
+
+    #[test]
+    fn undefined_moves() {
+        let root = sample();
+        assert!(root.up1().is_none());
+        assert!(root.up2().is_none());
+        assert!(root.down2().is_none());
+        let c = root.down1().unwrap().down2().unwrap();
+        // c is not a leftmost sibling: ⟨1̄⟩ undefined there.
+        assert!(c.up1().is_none());
+        assert!(c.down1().is_none());
+    }
+
+    #[test]
+    fn parent_from_any_sibling() {
+        let root = sample();
+        let c = root.down1().unwrap().down2().unwrap();
+        assert_eq!(c.parent().unwrap(), root);
+        assert_eq!(c.root(), root);
+    }
+
+    #[test]
+    fn all_foci_count_and_order() {
+        let root = sample();
+        let foci = FocusedTree::all_foci(root.tree());
+        assert_eq!(foci.len(), 4);
+        let labels: Vec<&str> = foci.iter().map(|f| f.label().as_str()).collect();
+        assert_eq!(labels, vec!["a", "b", "d", "c"]);
+    }
+
+    #[test]
+    fn whole_tree_roundtrip() {
+        let root = sample();
+        let d = root.down1().unwrap().down1().unwrap();
+        assert_eq!(d.into_whole_tree(), root.tree().clone());
+    }
+
+    #[test]
+    fn mark_counting_through_context() {
+        let t = Tree::node("a", vec![Tree::leaf("b").with_mark(true)]);
+        let f = FocusedTree::at_root(t).down1().unwrap();
+        assert!(f.is_marked());
+        assert_eq!(f.mark_count(), 1);
+        let up = f.up1().unwrap();
+        assert!(!up.is_marked());
+        assert_eq!(up.mark_count(), 1);
+    }
+
+    #[test]
+    fn converse_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.converse().converse(), d);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Interned node labels (the alphabet Σ of the paper).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned element name from the alphabet Σ.
+///
+/// Labels are cheap to copy, compare and hash; the string itself is stored
+/// once in a process-wide interner. Two labels are equal iff their strings
+/// are equal.
+///
+/// # Example
+///
+/// ```
+/// use ftree::Label;
+///
+/// let a = Label::new("section");
+/// let b = Label::new("section");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "section");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `name` and returns its label.
+    pub fn new(name: &str) -> Self {
+        let mut int = interner().lock().expect("label interner poisoned");
+        if let Some(&id) = int.map.get(name) {
+            return Label(id);
+        }
+        let id = u32::try_from(int.strings.len()).expect("too many distinct labels");
+        // Leaking is fine: the set of distinct element names in a session is
+        // small and bounded by the input grammars/queries.
+        let owned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        int.strings.push(owned);
+        int.map.insert(owned, id);
+        Label(id)
+    }
+
+    /// Returns the interned name.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("label interner poisoned");
+        int.strings[self.0 as usize]
+    }
+
+    /// Returns the dense numeric id of this label (stable within a process).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Label::new("x");
+        let b = Label::new("x");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_names_distinct_labels() {
+        assert_ne!(Label::new("left"), Label::new("right"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let l = Label::new("chapter");
+        assert_eq!(l.to_string(), "chapter");
+        assert_eq!(format!("{l:?}"), "Label(\"chapter\")");
+    }
+}

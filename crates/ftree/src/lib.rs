@@ -1,0 +1,48 @@
+//! Finite focused trees — the data model of the Lµ logic (paper §3).
+//!
+//! An XML document is modeled as a finite unranked tree whose nodes carry a
+//! [`Label`]. To navigate both downward *and* upward without losing
+//! information, the paper uses *focused trees*, a variant of Huet's zipper: a
+//! pair of the subtree in focus and its [`Context`] (left siblings in reverse
+//! order, the parent context, right siblings).
+//!
+//! Navigation is *binary style*: the four programs of the logic are
+//!
+//! * `⟨1⟩` — [`FocusedTree::down1`]: to the first child,
+//! * `⟨2⟩` — [`FocusedTree::down2`]: to the next sibling,
+//! * `⟨1̄⟩` — [`FocusedTree::up1`]: to the parent (only from a leftmost child),
+//! * `⟨2̄⟩` — [`FocusedTree::up2`]: to the previous sibling.
+//!
+//! A single node of the tree may carry the *start mark* `s`, recording where
+//! the evaluation of an XPath request started (needed for containment).
+//!
+//! # Example
+//!
+//! ```
+//! use ftree::{Tree, FocusedTree};
+//!
+//! let t = Tree::parse_xml("<a><b/><c/></a>").unwrap();
+//! let f = FocusedTree::at_root(t);
+//! let b = f.down1().unwrap();
+//! assert_eq!(b.label().as_str(), "b");
+//! let c = b.down2().unwrap();
+//! assert_eq!(c.label().as_str(), "c");
+//! assert_eq!(c.up2().unwrap(), b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod context;
+mod focus;
+mod label;
+mod tree;
+mod xml;
+
+pub use binary::BinaryTree;
+pub use context::Context;
+pub use focus::{Direction, FocusedTree};
+pub use label::Label;
+pub use tree::{Tree, TreeBuilder};
+pub use xml::ParseXmlError;

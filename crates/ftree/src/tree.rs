@@ -1,0 +1,300 @@
+//! Unranked finite trees `t ::= σ[tl]` with an optional start mark.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::{Label, xml};
+
+/// A finite unranked tree (an XML element and its content).
+///
+/// Trees are immutable and cheaply cloneable (reference counted). A node may
+/// carry the *start mark* `s` of the paper, written `σˢ[tl]`; a well-formed
+/// focused tree contains at most one mark.
+///
+/// # Example
+///
+/// ```
+/// use ftree::Tree;
+///
+/// let t = Tree::node("a", vec![Tree::leaf("b"), Tree::leaf("c")]);
+/// assert_eq!(t.label().as_str(), "a");
+/// assert_eq!(t.children().len(), 2);
+/// assert_eq!(t.to_xml(), "<a><b/><c/></a>");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tree(Rc<TreeNode>);
+
+#[derive(PartialEq, Eq, Hash)]
+struct TreeNode {
+    label: Label,
+    marked: bool,
+    children: Vec<Tree>,
+}
+
+impl Tree {
+    /// Creates a node with the given label and children.
+    pub fn node(label: impl Into<Label>, children: Vec<Tree>) -> Self {
+        Tree(Rc::new(TreeNode {
+            label: label.into(),
+            marked: false,
+            children,
+        }))
+    }
+
+    /// Creates a childless node.
+    pub fn leaf(label: impl Into<Label>) -> Self {
+        Tree::node(label, Vec::new())
+    }
+
+    /// Creates a node carrying the start mark `s`.
+    pub fn marked_node(label: impl Into<Label>, children: Vec<Tree>) -> Self {
+        Tree(Rc::new(TreeNode {
+            label: label.into(),
+            marked: true,
+            children,
+        }))
+    }
+
+    /// Returns a copy of this node with the mark set or cleared (children
+    /// unchanged).
+    pub fn with_mark(&self, marked: bool) -> Self {
+        Tree(Rc::new(TreeNode {
+            label: self.0.label,
+            marked,
+            children: self.0.children.clone(),
+        }))
+    }
+
+    /// The label σ of the root node.
+    pub fn label(&self) -> Label {
+        self.0.label
+    }
+
+    /// Whether the root node carries the start mark.
+    pub fn is_marked(&self) -> bool {
+        self.0.marked
+    }
+
+    /// The children, in document order.
+    pub fn children(&self) -> &[Tree] {
+        &self.0.children
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Height of the tree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(Tree::height)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of start marks contained anywhere in the tree.
+    pub fn mark_count(&self) -> usize {
+        usize::from(self.0.marked)
+            + self.children().iter().map(Tree::mark_count).sum::<usize>()
+    }
+
+    /// Returns the same tree with the mark placed on the node reached by the
+    /// child-index path `path` (and no mark anywhere else).
+    ///
+    /// Returns `None` if the path is invalid.
+    pub fn mark_at(&self, path: &[usize]) -> Option<Tree> {
+        let cleared = self.clear_marks();
+        cleared.mark_at_inner(path)
+    }
+
+    fn mark_at_inner(&self, path: &[usize]) -> Option<Tree> {
+        match path.split_first() {
+            None => Some(self.with_mark(true)),
+            Some((&i, rest)) => {
+                let mut children = self.children().to_vec();
+                let child = children.get(i)?;
+                children[i] = child.mark_at_inner(rest)?;
+                Some(Tree(Rc::new(TreeNode {
+                    label: self.label(),
+                    marked: self.is_marked(),
+                    children,
+                })))
+            }
+        }
+    }
+
+    /// Returns the same tree with every mark removed.
+    pub fn clear_marks(&self) -> Tree {
+        Tree(Rc::new(TreeNode {
+            label: self.label(),
+            marked: false,
+            children: self.children().iter().map(Tree::clear_marks).collect(),
+        }))
+    }
+
+    /// All child-index paths of nodes, in document order. The empty path is
+    /// the root.
+    pub fn node_paths(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.size());
+        let mut stack = vec![(self.clone(), Vec::new())];
+        while let Some((t, path)) = stack.pop() {
+            for (i, c) in t.children().iter().enumerate().rev() {
+                let mut p = path.clone();
+                p.push(i);
+                stack.push((c.clone(), p));
+            }
+            out.push(path);
+        }
+        out.sort();
+        out
+    }
+
+    /// Renders the tree in XML syntax. The start mark is rendered as the
+    /// attribute `s="1"`.
+    pub fn to_xml(&self) -> String {
+        let mut s = String::new();
+        xml::write_tree(&mut s, self);
+        s
+    }
+
+    /// Parses a tree from a tiny XML fragment (elements and the `s`
+    /// attribute only, no text nodes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXmlError`](crate::ParseXmlError) on malformed input.
+    pub fn parse_xml(input: &str) -> Result<Tree, crate::ParseXmlError> {
+        xml::parse_tree(input)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_marked() {
+            write!(f, "{}ˢ", self.label())?;
+        } else {
+            write!(f, "{}", self.label())?;
+        }
+        if !self.children().is_empty() {
+            let mut dl = f.debug_list();
+            for c in self.children() {
+                dl.entry(c);
+            }
+            dl.finish()?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// Convenience builder for trees in tests and examples.
+///
+/// # Example
+///
+/// ```
+/// use ftree::TreeBuilder;
+///
+/// let t = TreeBuilder::new("root").child("a").child("b").build();
+/// assert_eq!(t.children().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    label: Label,
+    marked: bool,
+    children: Vec<Tree>,
+}
+
+impl TreeBuilder {
+    /// Starts a builder for a node labelled `label`.
+    pub fn new(label: impl Into<Label>) -> Self {
+        TreeBuilder {
+            label: label.into(),
+            marked: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a leaf child.
+    #[must_use]
+    pub fn child(mut self, label: impl Into<Label>) -> Self {
+        self.children.push(Tree::leaf(label));
+        self
+    }
+
+    /// Adds an already-built subtree as the next child.
+    #[must_use]
+    pub fn subtree(mut self, t: Tree) -> Self {
+        self.children.push(t);
+        self
+    }
+
+    /// Marks this node with the start mark.
+    #[must_use]
+    pub fn marked(mut self) -> Self {
+        self.marked = true;
+        self
+    }
+
+    /// Finishes the tree.
+    pub fn build(self) -> Tree {
+        Tree(Rc::new(TreeNode {
+            label: self.label,
+            marked: self.marked,
+            children: self.children,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_height() {
+        let t = Tree::node("a", vec![Tree::leaf("b"), Tree::node("c", vec![Tree::leaf("d")])]);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn mark_placement() {
+        let t = Tree::node("a", vec![Tree::leaf("b"), Tree::leaf("c")]);
+        let m = t.mark_at(&[1]).unwrap();
+        assert_eq!(m.mark_count(), 1);
+        assert!(!m.is_marked());
+        assert!(m.children()[1].is_marked());
+        assert!(t.mark_at(&[5]).is_none());
+    }
+
+    #[test]
+    fn mark_at_clears_previous_marks() {
+        let t = Tree::node("a", vec![Tree::leaf("b")]);
+        let m1 = t.mark_at(&[0]).unwrap();
+        let m2 = m1.mark_at(&[]).unwrap();
+        assert_eq!(m2.mark_count(), 1);
+        assert!(m2.is_marked());
+    }
+
+    #[test]
+    fn node_paths_in_document_order() {
+        let t = Tree::node("a", vec![Tree::node("b", vec![Tree::leaf("d")]), Tree::leaf("c")]);
+        let paths = t.node_paths();
+        assert_eq!(paths, vec![vec![], vec![0], vec![0, 0], vec![1]]);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let t1 = Tree::node("a", vec![Tree::leaf("b")]);
+        let t2 = Tree::node("a", vec![Tree::leaf("b")]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t1.with_mark(true));
+    }
+}

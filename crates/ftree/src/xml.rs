@@ -1,0 +1,219 @@
+//! Minimal XML rendering and parsing for trees.
+//!
+//! The fragment supported is exactly what the system needs: elements with
+//! name-only structure plus the optional start-mark attribute `s="1"`.
+//! Counter-example trees produced by the solver are rendered through
+//! [`Tree::to_xml`], and test fixtures are parsed with [`Tree::parse_xml`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Label, Tree};
+
+/// Error returned by [`Tree::parse_xml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    msg: String,
+    at: usize,
+}
+
+impl ParseXmlError {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        ParseXmlError {
+            msg: msg.into(),
+            at,
+        }
+    }
+
+    /// Byte offset of the error in the input.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed xml at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl Error for ParseXmlError {}
+
+pub(crate) fn write_tree(out: &mut String, t: &Tree) {
+    out.push('<');
+    out.push_str(t.label().as_str());
+    if t.is_marked() {
+        out.push_str(" s=\"1\"");
+    }
+    if t.children().is_empty() {
+        out.push_str("/>");
+    } else {
+        out.push('>');
+        for c in t.children() {
+            write_tree(out, c);
+        }
+        out.push_str("</");
+        out.push_str(t.label().as_str());
+        out.push('>');
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: impl Into<String>) -> ParseXmlError {
+        ParseXmlError::new(msg, self.pos)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseXmlError> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?}")))
+        }
+    }
+
+    fn name(&mut self) -> Result<&'a str, ParseXmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || "-_.:".contains(c)) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn element(&mut self) -> Result<Tree, ParseXmlError> {
+        self.expect('<')?;
+        let name = self.name()?;
+        self.skip_ws();
+        let mut marked = false;
+        // Attributes: only `s` is meaningful; others are rejected.
+        while matches!(self.peek(), Some(c) if c.is_alphabetic()) {
+            let attr = self.name()?;
+            self.skip_ws();
+            self.expect('=')?;
+            self.skip_ws();
+            let quote = self.bump().ok_or_else(|| self.error("expected a quote"))?;
+            if quote != '"' && quote != '\'' {
+                return Err(self.error("expected a quoted attribute value"));
+            }
+            let vstart = self.pos;
+            while self.peek().is_some_and(|c| c != quote) {
+                self.bump();
+            }
+            let value = &self.input[vstart..self.pos];
+            self.expect(quote)?;
+            self.skip_ws();
+            match attr {
+                "s" => marked = value == "1" || value == "true",
+                other => return Err(self.error(format!("unsupported attribute {other:?}"))),
+            }
+        }
+        match self.peek() {
+            Some('/') => {
+                self.bump();
+                self.expect('>')?;
+                Ok(make(name, marked, Vec::new()))
+            }
+            Some('>') => {
+                self.bump();
+                let mut children = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.input[self.pos..].starts_with("</") {
+                        break;
+                    }
+                    children.push(self.element()?);
+                }
+                self.expect('<')?;
+                self.expect('/')?;
+                let close = self.name()?;
+                if close != name {
+                    return Err(self.error(format!(
+                        "mismatched closing tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                self.expect('>')?;
+                Ok(make(name, marked, children))
+            }
+            _ => Err(self.error("expected '>' or '/>'")),
+        }
+    }
+}
+
+fn make(name: &str, marked: bool, children: Vec<Tree>) -> Tree {
+    if marked {
+        Tree::marked_node(Label::new(name), children)
+    } else {
+        Tree::node(Label::new(name), children)
+    }
+}
+
+pub(crate) fn parse_tree(input: &str) -> Result<Tree, ParseXmlError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let t = p.element()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.error("trailing content after root element"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let src = "<a><b s=\"1\"/><c><d/></c></a>";
+        let t = parse_tree(src).unwrap();
+        assert_eq!(t.to_xml(), src);
+        assert_eq!(t.mark_count(), 1);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let t = parse_tree("  <a >\n <b/> </a>  ").unwrap();
+        assert_eq!(t.to_xml(), "<a><b/></a>");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_tree("<a>").is_err());
+        assert!(parse_tree("<a></b>").is_err());
+        assert!(parse_tree("<a/><b/>").is_err());
+        assert!(parse_tree("<a x=\"2\"/>").is_err());
+        assert!(parse_tree("").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_tree("<a></b>").unwrap_err();
+        assert!(err.offset() > 0);
+        assert!(err.to_string().contains("mismatched"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the zipper laws of focused-tree navigation (§3):
+//! each program is a partial injection whose inverse is its converse, the
+//! focus universe covers every node exactly once, and the binary encoding
+//! is a bijection.
+
+use ftree::{BinaryTree, Direction, FocusedTree, Tree};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+fn arb_label() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(&LABELS[..])
+}
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = Tree> {
+    let leaf = arb_label().prop_map(Tree::leaf);
+    leaf.prop_recursive(depth, 16, 4, |inner| {
+        (arb_label(), prop::collection::vec(inner, 0..4)).prop_map(|(l, cs)| Tree::node(l, cs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `f⟨a⟩⟨ā⟩ = f` wherever `⟨a⟩` is defined.
+    #[test]
+    fn step_then_converse_is_identity(t in arb_tree(4)) {
+        for f in FocusedTree::all_foci(&t) {
+            for d in Direction::ALL {
+                if let Some(g) = f.step(d) {
+                    let back = g.step(d.converse());
+                    prop_assert_eq!(back.as_ref(), Some(&f), "direction {:?}", d);
+                }
+            }
+        }
+    }
+
+    /// The focus universe enumerates every node exactly once and preserves
+    /// the underlying tree.
+    #[test]
+    fn focus_universe_is_exact(t in arb_tree(4)) {
+        let foci = FocusedTree::all_foci(&t);
+        prop_assert_eq!(foci.len(), t.size());
+        for f in &foci {
+            prop_assert_eq!(f.clone().into_whole_tree(), t.clone());
+        }
+        // All foci are distinct.
+        let set: std::collections::HashSet<_> = foci.iter().cloned().collect();
+        prop_assert_eq!(set.len(), t.size());
+    }
+
+    /// `root()` is idempotent and reaches a parentless focus.
+    #[test]
+    fn root_is_idempotent(t in arb_tree(4)) {
+        for f in FocusedTree::all_foci(&t) {
+            let r = f.root();
+            prop_assert!(r.parent().is_none());
+            prop_assert_eq!(r.root(), r);
+        }
+    }
+
+    /// The first-child/next-sibling encoding round-trips.
+    #[test]
+    fn binary_roundtrip(t in arb_tree(4)) {
+        let b = BinaryTree::from_unranked(&t);
+        prop_assert_eq!(b.to_unranked(), t.clone());
+        prop_assert_eq!(b.size(), t.size());
+    }
+
+    /// XML rendering round-trips.
+    #[test]
+    fn xml_roundtrip(t in arb_tree(4)) {
+        let parsed = Tree::parse_xml(&t.to_xml()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Marking a node places exactly one mark, visible from every focus.
+    #[test]
+    fn single_mark_invariant(t in arb_tree(3), ix in any::<prop::sample::Index>()) {
+        let paths = t.node_paths();
+        let path = &paths[ix.index(paths.len())];
+        let marked = t.mark_at(path).unwrap();
+        prop_assert_eq!(marked.mark_count(), 1);
+        for f in FocusedTree::all_foci(&marked) {
+            prop_assert_eq!(f.mark_count(), 1);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Fisher–Ladner closure `cl(ψ)` and the lean `Lean(ψ)` (§6.1).
+//!
+//! The closure is the set of subformulas of ψ where fixpoints are unwound
+//! once (`→e` relation). Every formula of `cl*(ψ)` is a boolean combination
+//! of the *lean*:
+//!
+//! ```text
+//! Lean(ψ) = {⟨a⟩⊤ | a ∈ {1,2,1̄,2̄}} ∪ Σ(ψ) ∪ {σx} ∪ {s} ∪ {⟨a⟩ϕ ∈ cl(ψ)}
+//! ```
+//!
+//! where `σx` is a fresh name standing for every label not occurring in ψ.
+//! A ψ-type is a subset of the lean subject to the consistency constraints
+//! enforced by the solver. The *order* of lean atoms matters for the
+//! BDD-based solver: §7.4 reports that a breadth-first traversal order of ψ,
+//! which keeps sister subformulas close, performs best — that is the order
+//! produced here.
+
+use std::collections::HashMap;
+
+use ftree::Label;
+
+use crate::syntax::{Formula, FormulaKind, Program};
+use crate::Logic;
+
+/// One atom of the lean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeanAtom {
+    /// `⟨a⟩⊤` — a topological proposition: an `a`-neighbour exists.
+    DiamTrue(Program),
+    /// An atomic proposition σ (one of them is the fresh `σx`).
+    Prop(Label),
+    /// The start proposition `s`.
+    Start,
+    /// An existential `⟨a⟩ϕ` from the closure, with `ϕ ≠ ⊤`.
+    Diam(Program, Formula),
+}
+
+/// The Fisher–Ladner closure of a µ-only closed formula.
+#[derive(Debug)]
+pub struct Closure {
+    formulas: Vec<Formula>,
+}
+
+impl Closure {
+    /// Computes `cl(ψ)` in breadth-first discovery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ψ contains a greatest fixpoint (run
+    /// [`Logic::collapse_nu`] first) or a free variable.
+    pub fn compute(lg: &mut Logic, psi: Formula) -> Closure {
+        assert!(lg.is_closed(psi), "closure requires a closed formula");
+        let mut seen: HashMap<Formula, ()> = HashMap::new();
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(psi);
+        while let Some(f) = queue.pop_front() {
+            if seen.contains_key(&f) {
+                continue;
+            }
+            seen.insert(f, ());
+            order.push(f);
+            match lg.kind(f).clone() {
+                FormulaKind::Or(a, b) | FormulaKind::And(a, b) => {
+                    queue.push_back(a);
+                    queue.push_back(b);
+                }
+                FormulaKind::Diam(_, p) => queue.push_back(p),
+                FormulaKind::Mu(..) => {
+                    let e = lg.exp(f);
+                    queue.push_back(e);
+                }
+                FormulaKind::Nu(..) => {
+                    panic!("closure: greatest fixpoint present; collapse_nu first")
+                }
+                FormulaKind::Var(v) => {
+                    panic!("closure: free variable {}", lg.var_name(v))
+                }
+                _ => {}
+            }
+        }
+        Closure { formulas: order }
+    }
+
+    /// The closure members in discovery (BFS) order; the first element is ψ.
+    pub fn formulas(&self) -> &[Formula] {
+        &self.formulas
+    }
+
+    /// Number of formulas in the closure.
+    pub fn len(&self) -> usize {
+        self.formulas.len()
+    }
+
+    /// Whether the closure is empty (it never is: ψ itself belongs to it).
+    pub fn is_empty(&self) -> bool {
+        self.formulas.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, f: Formula) -> bool {
+        self.formulas.contains(&f)
+    }
+}
+
+/// The lean of a formula: the atoms from which ψ-types are built.
+///
+/// Tree successors are deterministic (a node has at most one `a`-neighbour
+/// for every program), so `⟨a⟩¬ξ ⟺ ⟨a⟩⊤ ∧ ¬⟨a⟩ξ`. When both a modality
+/// and its negated-argument twin occur in the closure (typical for
+/// containment goals `ϕ1 ∧ ¬ϕ2` sharing subformulas), only one *canonical*
+/// atom is allocated; the twin is represented through
+/// [`Lean::diam_lookup`]'s `negated` flag. This keeps the lean — the
+/// exponent of the complexity bound — close to the number of semantically
+/// distinct modalities.
+#[derive(Debug)]
+pub struct Lean {
+    atoms: Vec<LeanAtom>,
+    /// Labels of Σ(ψ) plus the fresh `σx` (last).
+    props: Vec<Label>,
+    other: Label,
+    diam_true: [usize; 4],
+    start: usize,
+    prop_index: HashMap<Label, usize>,
+    /// `(a, ϕ) → (canonical index, negated)`: when `negated`, the formula
+    /// `⟨a⟩ϕ` is represented as `⟨a⟩⊤ ∧ ¬atom`.
+    diam_index: HashMap<(Program, Formula), (usize, bool)>,
+}
+
+impl Lean {
+    /// Builds `Lean(ψ)` from its closure.
+    ///
+    /// Atoms are laid out in breadth-first discovery order of ψ —
+    /// propositions and modalities *interleaved* exactly as they appear —
+    /// which keeps sister subformulas on nearby BDD variables (§7.4). The
+    /// four `⟨a⟩⊤` and `s` come first; the fresh `σx` last.
+    pub fn compute(lg: &mut Logic, closure: &Closure) -> Lean {
+        let mut atoms = Vec::new();
+        let mut diam_true = [0usize; 4];
+        for (i, a) in Program::ALL.iter().enumerate() {
+            diam_true[i] = atoms.len();
+            atoms.push(LeanAtom::DiamTrue(*a));
+        }
+        let start = atoms.len();
+        atoms.push(LeanAtom::Start);
+        let mut props: Vec<Label> = Vec::new();
+        let mut prop_index = HashMap::new();
+        let mut diam_index: HashMap<(Program, Formula), (usize, bool)> = HashMap::new();
+        for &f in closure.formulas() {
+            match lg.kind(f) {
+                FormulaKind::Prop(l) | FormulaKind::NotProp(l) => {
+                    if !prop_index.contains_key(l) {
+                        prop_index.insert(*l, atoms.len());
+                        atoms.push(LeanAtom::Prop(*l));
+                        props.push(*l);
+                    }
+                }
+                FormulaKind::Diam(a, p) => {
+                    let (a, p) = (*a, *p);
+                    if matches!(lg.kind(p), FormulaKind::True) {
+                        continue; // canonicalized as DiamTrue
+                    }
+                    if diam_index.contains_key(&(a, p)) {
+                        continue;
+                    }
+                    // Determinism: ⟨a⟩¬ξ = ⟨a⟩⊤ ∧ ¬⟨a⟩ξ — reuse the twin's
+                    // atom when the negated argument is already canonical.
+                    // Negation flips mu to nu; collapse back so the twin
+                    // key matches the mu-only closure (Lemma 4.2).
+                    let np = lg.not(p);
+                    let np = lg.collapse_nu(np);
+                    if let Some(&(idx, neg)) = diam_index.get(&(a, np)) {
+                        diam_index.insert((a, p), (idx, !neg));
+                        continue;
+                    }
+                    let idx = atoms.len();
+                    atoms.push(LeanAtom::Diam(a, p));
+                    diam_index.insert((a, p), (idx, false));
+                }
+                _ => {}
+            }
+        }
+        // σx: a name not occurring in ψ.
+        let other = {
+            let mut name = "_other".to_owned();
+            while props.iter().any(|l| l.as_str() == name) {
+                name.push('_');
+            }
+            Label::new(&name)
+        };
+        prop_index.insert(other, atoms.len());
+        atoms.push(LeanAtom::Prop(other));
+        props.push(other);
+        Lean {
+            atoms,
+            props,
+            other,
+            diam_true,
+            start,
+            prop_index,
+            diam_index,
+        }
+    }
+
+    /// The atoms, in BDD variable order.
+    pub fn atoms(&self) -> &[LeanAtom] {
+        &self.atoms
+    }
+
+    /// Number of lean atoms `n = |Lean(ψ)|` (the exponent of the complexity
+    /// bound `2^O(n)`).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the lean is empty (it never is).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Index of `⟨a⟩⊤`.
+    pub fn diam_true_index(&self, a: Program) -> usize {
+        let pos = Program::ALL.iter().position(|x| *x == a).expect("program");
+        self.diam_true[pos]
+    }
+
+    /// Index of the start proposition.
+    pub fn start_index(&self) -> usize {
+        self.start
+    }
+
+    /// Index of the atomic proposition `σ`, if it belongs to Σ(ψ) ∪ {σx}.
+    pub fn prop_index(&self, l: Label) -> Option<usize> {
+        self.prop_index.get(&l).copied()
+    }
+
+    /// Canonical representation of `⟨a⟩ϕ` (with `ϕ ≠ ⊤`), if it belongs to
+    /// the lean: the atom index and whether the formula is the *negated*
+    /// twin of that atom (`⟨a⟩ϕ = ⟨a⟩⊤ ∧ ¬atom`).
+    pub fn diam_lookup(&self, a: Program, phi: Formula) -> Option<(usize, bool)> {
+        self.diam_index.get(&(a, phi)).copied()
+    }
+
+    /// Index of `⟨a⟩ϕ` when it is a canonical (non-negated) lean atom.
+    pub fn diam_index(&self, a: Program, phi: Formula) -> Option<usize> {
+        match self.diam_index.get(&(a, phi)) {
+            Some(&(idx, false)) => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// The labels Σ(ψ) ∪ {σx}; the fresh `σx` is last.
+    pub fn props(&self) -> &[Label] {
+        &self.props
+    }
+
+    /// The fresh label `σx` standing for all names not in ψ.
+    pub fn other_prop(&self) -> Label {
+        self.other
+    }
+
+    /// Iterates over the `⟨a⟩ϕ` entries (excluding `⟨a⟩⊤`) with their
+    /// indices.
+    pub fn diam_entries(&self) -> impl Iterator<Item = (usize, Program, Formula)> + '_ {
+        self.atoms.iter().enumerate().filter_map(|(i, a)| match a {
+            LeanAtom::Diam(p, f) => Some((i, *p, *f)),
+            _ => None,
+        })
+    }
+
+    /// Iterates over the proposition entries with their indices (σx
+    /// included).
+    pub fn prop_entries(&self) -> impl Iterator<Item = (usize, Label)> + '_ {
+        self.atoms.iter().enumerate().filter_map(|(i, a)| match a {
+            LeanAtom::Prop(l) => Some((i, *l)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::Direction;
+
+    /// Builds the lean of `a ∧ ⟨1⟩(µX. b ∨ ⟨2⟩X)`.
+    fn sample(lg: &mut Logic) -> (Formula, Closure, Lean) {
+        let a = lg.prop(Label::new("a"));
+        let b = lg.prop(Label::new("b"));
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        let d2 = lg.diam(Direction::Down2, xv);
+        let or = lg.or(b, d2);
+        let mu = lg.mu1(x, or);
+        let d1 = lg.diam(Direction::Down1, mu);
+        let psi = lg.and(a, d1);
+        let cl = Closure::compute(lg, psi);
+        let lean = Lean::compute(lg, &cl);
+        (psi, cl, lean)
+    }
+
+    #[test]
+    fn closure_contains_unfolding() {
+        let mut lg = Logic::new();
+        let (psi, cl, _) = sample(&mut lg);
+        assert!(cl.contains(psi));
+        // The unfolded body b ∨ ⟨2⟩(µX=…in X) must appear.
+        assert!(cl.len() >= 6);
+    }
+
+    #[test]
+    fn lean_layout() {
+        let mut lg = Logic::new();
+        let (_, _, lean) = sample(&mut lg);
+        // 4 ⟨a⟩⊤ + s + props {a, b, σx} + 2 diamonds (⟨1⟩µ…, ⟨2⟩µ…).
+        assert_eq!(lean.len(), 4 + 1 + 3 + 2);
+        assert_eq!(lean.diam_true_index(Direction::Down1), 0);
+        assert_eq!(lean.start_index(), 4);
+        assert!(lean.prop_index(Label::new("a")).is_some());
+        assert!(lean.prop_index(Label::new("b")).is_some());
+        assert!(lean.prop_index(lean.other_prop()).is_some());
+        assert_eq!(lean.diam_entries().count(), 2);
+    }
+
+    #[test]
+    fn other_prop_is_fresh() {
+        let mut lg = Logic::new();
+        let o = lg.prop(Label::new("_other"));
+        let cl = Closure::compute(&mut lg, o);
+        let lean = Lean::compute(&mut lg, &cl);
+        assert_ne!(lean.other_prop(), Label::new("_other"));
+        assert_eq!(lean.other_prop().as_str(), "_other_");
+    }
+
+    #[test]
+    fn closure_of_fixpoint_is_finite() {
+        let mut lg = Logic::new();
+        // µX. ⟨1⟩X ∨ ⟨2⟩X — expansion must converge by hash-consing.
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        let d1 = lg.diam(Direction::Down1, xv);
+        let d2 = lg.diam(Direction::Down2, xv);
+        let or = lg.or(d1, d2);
+        let mu = lg.mu1(x, or);
+        let cl = Closure::compute(&mut lg, mu);
+        assert!(cl.len() < 12, "closure blew up: {}", cl.len());
+    }
+
+    #[test]
+    fn negated_diamond_twins_share_an_atom() {
+        let mut lg = Logic::new();
+        // ⟨1⟩(b ∧ c) ∧ ¬⟨1⟩(b ∧ c): the negation expands to
+        // ¬⟨1⟩⊤ ∨ ⟨1⟩(¬b ∨ ¬c); the twin argument must not allocate a new
+        // lean atom.
+        let b = lg.prop(Label::new("b"));
+        let c = lg.prop(Label::new("c"));
+        let bc = lg.and(b, c);
+        let d = lg.diam(Direction::Down1, bc);
+        let nd = lg.not(d);
+        let psi = lg.and(d, nd); // unsatisfiable, but the lean is what matters
+        let cl = Closure::compute(&mut lg, psi);
+        let lean = Lean::compute(&mut lg, &cl);
+        assert_eq!(lean.diam_entries().count(), 1, "twins must share an atom");
+        // The canonical entry answers both lookups, with opposite polarity.
+        let (i1, n1) = lean.diam_lookup(Direction::Down1, bc).unwrap();
+        let nbc = lg.not(bc);
+        let (i2, n2) = lean.diam_lookup(Direction::Down1, nbc).unwrap();
+        assert_eq!(i1, i2);
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed formula")]
+    fn closure_rejects_open_formulas() {
+        let mut lg = Logic::new();
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        Closure::compute(&mut lg, xv);
+    }
+}

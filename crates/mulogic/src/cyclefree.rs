@@ -1,0 +1,297 @@
+//! The cycle-freeness judgment `∆ ‖ Γ ⊢ᴿᵢ ϕ` of Fig 3.
+//!
+//! Cycle-free formulas bound the number of *modality cycles* `⟨a⟩⟨ā⟩` along
+//! every path, independently of fixpoint unfolding. This is the syntactic
+//! condition under which least and greatest fixpoints collapse on finite
+//! trees (Lemma 4.2), making the logic closed under negation. The
+//! translations of XPath expressions and regular tree types are cycle-free
+//! by construction (Proposition 5.1); this module provides the check used to
+//! validate that invariant and arbitrary user-written formulas.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::syntax::{Formula, FormulaKind, Program, Var};
+use crate::Logic;
+
+/// Direction information Γ(X) attached to a fixpoint variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// `⊘` — nothing known yet (the variable occurs under no modality).
+    Unknown,
+    /// `⟨a⟩` — the last modality taken was consistent.
+    Mod(Program),
+    /// `⊥` — a modality cycle `⟨a⟩⟨ā⟩` was detected.
+    Bot,
+}
+
+impl Dir {
+    /// The `· C ⟨a⟩` operator: updates the direction when crossing `⟨a⟩`.
+    ///
+    /// A cycle appears exactly when the new modality is the converse of the
+    /// previous one (the table of §4).
+    fn cross(self, a: Program) -> Dir {
+        match self {
+            Dir::Bot => Dir::Bot,
+            Dir::Unknown => Dir::Mod(a),
+            Dir::Mod(prev) => {
+                if a == prev.converse() {
+                    Dir::Bot
+                } else {
+                    Dir::Mod(a)
+                }
+            }
+        }
+    }
+}
+
+struct Checker<'a> {
+    lg: &'a Logic,
+    /// ∆: recursion variables to their defining formulas.
+    defs: HashMap<Var, Formula>,
+}
+
+impl Checker<'_> {
+    /// `∆ ‖ Γ ⊢ᴿᵢ ϕ` — returns true iff derivable.
+    fn check(
+        &mut self,
+        gamma: &HashMap<Var, Dir>,
+        expanded: &HashSet<Var>, // R
+        ignored: &HashSet<Var>,  // I
+        f: Formula,
+    ) -> bool {
+        match self.lg.kind(f).clone() {
+            FormulaKind::True
+            | FormulaKind::False
+            | FormulaKind::Prop(_)
+            | FormulaKind::NotProp(_)
+            | FormulaKind::Start
+            | FormulaKind::NotStart
+            | FormulaKind::NotDiamTrue(_) => true,
+            FormulaKind::Or(a, b) | FormulaKind::And(a, b) => {
+                self.check(gamma, expanded, ignored, a)
+                    && self.check(gamma, expanded, ignored, b)
+            }
+            FormulaKind::Diam(a, phi) => {
+                let crossed: HashMap<Var, Dir> =
+                    gamma.iter().map(|(&v, &d)| (v, d.cross(a))).collect();
+                self.check(&crossed, expanded, ignored, phi)
+            }
+            FormulaKind::Mu(binds, body) | FormulaKind::Nu(binds, body) => {
+                let bound: Vec<Var> = binds.iter().map(|&(v, _)| v).collect();
+                // ∆ + X̄ : ϕ̄
+                let saved: Vec<(Var, Option<Formula>)> = bound
+                    .iter()
+                    .map(|&v| (v, self.defs.get(&v).copied()))
+                    .collect();
+                for &(v, phi) in binds.iter() {
+                    self.defs.insert(v, phi);
+                }
+                // Γ + X̄ : ⊘ ; R \ X̄ ; I \ X̄
+                let mut g2 = gamma.clone();
+                let mut r2 = expanded.clone();
+                let mut i2 = ignored.clone();
+                for &v in &bound {
+                    g2.insert(v, Dir::Unknown);
+                    r2.remove(&v);
+                    i2.remove(&v);
+                }
+                let defs_ok = binds
+                    .iter()
+                    .all(|&(_, phi)| self.check(&g2, &r2, &i2, phi));
+                // Body: ∆ ‖ Γ ⊢ with I ∪ X̄ and R \ X̄.
+                let mut ib = ignored.clone();
+                let mut rb = expanded.clone();
+                for &v in &bound {
+                    ib.insert(v);
+                    rb.remove(&v);
+                }
+                let body_ok = defs_ok && self.check(gamma, &rb, &ib, body);
+                // Restore ∆.
+                for (v, old) in saved {
+                    match old {
+                        Some(phi) => {
+                            self.defs.insert(v, phi);
+                        }
+                        None => {
+                            self.defs.remove(&v);
+                        }
+                    }
+                }
+                body_ok
+            }
+            FormulaKind::Var(v) => {
+                // Ign: already fully checked.
+                if ignored.contains(&v) {
+                    return true;
+                }
+                if expanded.contains(&v) {
+                    // NoRec: needs a consistent direction.
+                    return matches!(gamma.get(&v), Some(Dir::Mod(_)));
+                }
+                // Rec: expand the definition once.
+                match self.defs.get(&v).copied() {
+                    Some(def) => {
+                        let mut r2 = expanded.clone();
+                        r2.insert(v);
+                        self.check(gamma, &r2, ignored, def)
+                    }
+                    // A free variable: treated as an atom (no cycles through it).
+                    None => true,
+                }
+            }
+        }
+    }
+}
+
+/// Decides whether `f` is a cycle-free formula (Fig 3).
+///
+/// # Example
+///
+/// ```
+/// use mulogic::Logic;
+///
+/// let mut lg = Logic::new();
+/// let ok = lg.parse("let_mu X = a | <2>X in X").unwrap();
+/// assert!(mulogic::cycle_free(&lg, ok));
+/// let bad = lg.parse("let_mu X = <1>(a | <-1>X) in X").unwrap();
+/// assert!(!mulogic::cycle_free(&lg, bad));
+/// ```
+pub fn cycle_free(lg: &Logic, f: Formula) -> bool {
+    let mut ck = Checker {
+        lg,
+        defs: HashMap::new(),
+    };
+    ck.check(&HashMap::new(), &HashSet::new(), &HashSet::new(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::{Direction, Label};
+
+    fn lg() -> Logic {
+        Logic::new()
+    }
+
+    #[test]
+    fn atoms_are_cycle_free() {
+        let mut l = lg();
+        let a = l.prop(Label::new("a"));
+        assert!(cycle_free(&l, a));
+        let t = l.tt();
+        assert!(cycle_free(&l, t));
+    }
+
+    #[test]
+    fn child_axis_translation_is_cycle_free() {
+        // µZ. ⟨1̄⟩a ∨ ⟨2̄⟩Z
+        let mut l = lg();
+        let a = l.prop(Label::new("a"));
+        let z = l.fresh_var("Z");
+        let zv = l.var(z);
+        let up1 = l.diam(Direction::Up1, a);
+        let up2 = l.diam(Direction::Up2, zv);
+        let phi = l.or(up1, up2);
+        let f = l.mu1(z, phi);
+        assert!(cycle_free(&l, f));
+    }
+
+    #[test]
+    fn direct_cycle_rejected() {
+        // µX. ⟨1⟩⟨1̄⟩X — has a modality cycle even though X is guarded.
+        let mut l = lg();
+        let x = l.fresh_var("X");
+        let xv = l.var(x);
+        let up = l.diam(Direction::Up1, xv);
+        let dn = l.diam(Direction::Down1, up);
+        let f = l.mu1(x, dn);
+        assert!(!cycle_free(&l, f));
+    }
+
+    #[test]
+    fn paper_example_not_cycle_free() {
+        // µX = ⟨1⟩(a ∨ ⟨1̄⟩X) in X — the paper writes ⊤ in place of `a`; the
+        // smart constructors would simplify `⊤ ∨ ϕ`, so a proposition is
+        // used to preserve the shape. Any unfolding accumulates ⟨1⟩⟨1̄⟩
+        // cycles.
+        let mut l = lg();
+        let x = l.fresh_var("X");
+        let xv = l.var(x);
+        let a = l.prop(Label::new("a"));
+        let up = l.diam(Direction::Up1, xv);
+        let or = l.or(a, up);
+        let dn = l.diam(Direction::Down1, or);
+        let f = l.mu1(x, dn);
+        assert!(!cycle_free(&l, f));
+    }
+
+    #[test]
+    fn paper_example_cycle_free_pair() {
+        // µX = ⟨1⟩(X ∨ Y), Y = ⟨1̄⟩(Y ∨ ⊤) in X — at most one cycle per path.
+        let mut l = lg();
+        let x = l.fresh_var("X");
+        let y = l.fresh_var("Y");
+        let xv = l.var(x);
+        let yv = l.var(y);
+        let tt = l.tt();
+        let or_xy = l.or(xv, yv);
+        let def_x = l.diam(Direction::Down1, or_xy);
+        let or_yt = l.or(yv, tt);
+        let def_y = l.diam(Direction::Up1, or_yt);
+        let f = l.mu(vec![(x, def_x), (y, def_y)], xv);
+        assert!(cycle_free(&l, f));
+    }
+
+    #[test]
+    fn unguarded_variable_rejected() {
+        // µX. X ∨ a — X occurs under no modality: Γ(X) = ⊘ at occurrence.
+        let mut l = lg();
+        let x = l.fresh_var("X");
+        let xv = l.var(x);
+        let a = l.prop(Label::new("a"));
+        let phi = l.or(xv, a);
+        let f = l.mu1(x, phi);
+        assert!(!cycle_free(&l, f));
+    }
+
+    #[test]
+    fn plunging_formula_is_cycle_free() {
+        // µX. ϕ ∨ ⟨1⟩X ∨ ⟨2⟩X with ϕ cycle-free (§7.1).
+        let mut l = lg();
+        let a = l.prop(Label::new("a"));
+        let x = l.fresh_var("X");
+        let xv = l.var(x);
+        let d1 = l.diam(Direction::Down1, xv);
+        let d2 = l.diam(Direction::Down2, xv);
+        let or1 = l.or(a, d1);
+        let phi = l.or(or1, d2);
+        let f = l.mu1(x, phi);
+        assert!(cycle_free(&l, f));
+    }
+
+    #[test]
+    fn forward_backward_composition_cycle_free() {
+        // Fig 11: following-sibling then preceding-sibling — back and forth
+        // yet cycle-free.
+        // a ∧ µZ.⟨2̄⟩s ∨ ⟨2̄⟩Z wrapped under b ∧ µY.⟨2⟩(…) ∨ ⟨2⟩Y
+        let mut l = lg();
+        let s = l.start();
+        let z = l.fresh_var("Z");
+        let zv = l.var(z);
+        let u1 = l.diam(Direction::Up2, s);
+        let u2 = l.diam(Direction::Up2, zv);
+        let or_u = l.or(u1, u2);
+        let a = l.prop(Label::new("a"));
+        let mu_z = l.mu1(z, or_u);
+        let inner = l.and(a, mu_z);
+        let y = l.fresh_var("Y");
+        let yv = l.var(y);
+        let d1 = l.diam(Direction::Down2, inner);
+        let d2 = l.diam(Direction::Down2, yv);
+        let or_d = l.or(d1, d2);
+        let b = l.prop(Label::new("b"));
+        let mu_y = l.mu1(y, or_d);
+        let f = l.and(b, mu_y);
+        assert!(cycle_free(&l, f));
+    }
+}

@@ -1,0 +1,137 @@
+//! Pretty-printing of formulas in the paper's concrete syntax
+//! (`let_mu X = … in …`, `<1>`, `<-1>`, `~`, `&`, `|`).
+
+use std::fmt::Write as _;
+
+use crate::syntax::{Formula, FormulaKind, Program};
+use crate::Logic;
+
+fn prog_str(p: Program) -> &'static str {
+    match p {
+        Program::Down1 => "1",
+        Program::Down2 => "2",
+        Program::Up1 => "-1",
+        Program::Up2 => "-2",
+    }
+}
+
+/// Precedence levels: 0 = or, 1 = and, 2 = unary/atomic.
+fn prec(kind: &FormulaKind) -> u8 {
+    match kind {
+        FormulaKind::Or(..) => 0,
+        FormulaKind::And(..) => 1,
+        _ => 2,
+    }
+}
+
+impl Logic {
+    /// Renders `f` in the concrete syntax accepted by [`Logic::parse`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mulogic::Logic;
+    ///
+    /// let mut lg = Logic::new();
+    /// let f = lg.parse("a & <1>(b | s)").unwrap();
+    /// assert_eq!(lg.display(f), "a & <1>(b | s)");
+    /// ```
+    pub fn display(&self, f: Formula) -> String {
+        let mut out = String::new();
+        self.write(&mut out, f, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, f: Formula, min_prec: u8) {
+        let kind = self.kind(f);
+        let p = prec(kind);
+        let need_parens = p < min_prec;
+        if need_parens {
+            out.push('(');
+        }
+        match kind {
+            FormulaKind::True => out.push('T'),
+            FormulaKind::False => out.push('F'),
+            FormulaKind::Prop(l) => {
+                let _ = write!(out, "{l}");
+            }
+            FormulaKind::NotProp(l) => {
+                let _ = write!(out, "~{l}");
+            }
+            FormulaKind::Start => out.push('s'),
+            FormulaKind::NotStart => out.push_str("~s"),
+            FormulaKind::Var(v) => out.push_str(self.var_name(*v)),
+            FormulaKind::Or(a, b) => {
+                self.write(out, *a, 0);
+                out.push_str(" | ");
+                self.write(out, *b, 1);
+            }
+            FormulaKind::And(a, b) => {
+                self.write(out, *a, 1);
+                out.push_str(" & ");
+                self.write(out, *b, 2);
+            }
+            FormulaKind::Diam(a, phi) => {
+                let _ = write!(out, "<{}>", prog_str(*a));
+                self.write(out, *phi, 2);
+            }
+            FormulaKind::NotDiamTrue(a) => {
+                let _ = write!(out, "~<{}>T", prog_str(*a));
+            }
+            FormulaKind::Mu(binds, body) | FormulaKind::Nu(binds, body) => {
+                let kw = if matches!(kind, FormulaKind::Mu(..)) {
+                    "let_mu"
+                } else {
+                    "let_nu"
+                };
+                let _ = write!(out, "{kw} ");
+                for (i, (v, phi)) in binds.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{} = ", self.var_name(*v));
+                    self.write(out, *phi, 1);
+                }
+                out.push_str(" in ");
+                self.write(out, *body, 1);
+            }
+        }
+        if need_parens {
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::{Direction, Label};
+
+    #[test]
+    fn precedence() {
+        let mut lg = Logic::new();
+        let a = lg.prop(Label::new("a"));
+        let b = lg.prop(Label::new("b"));
+        let c = lg.prop(Label::new("c"));
+        let bc = lg.and(b, c);
+        let f = lg.or(a, bc);
+        assert_eq!(lg.display(f), "a | b & c");
+        let ab = lg.or(a, b);
+        let g = lg.and(ab, c);
+        assert_eq!(lg.display(g), "(a | b) & c");
+    }
+
+    #[test]
+    fn modalities_and_fixpoints() {
+        let mut lg = Logic::new();
+        let x = lg.fresh_var("X");
+        let b = lg.prop(Label::new("b"));
+        let xv = lg.var(x);
+        let d = lg.diam(Direction::Down2, xv);
+        let or = lg.or(b, d);
+        let f = lg.mu1(x, or);
+        let shown = lg.display(f);
+        assert!(shown.starts_with("let_mu X"), "{shown}");
+        assert!(shown.contains("<2>"), "{shown}");
+    }
+}

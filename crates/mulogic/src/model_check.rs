@@ -1,0 +1,390 @@
+//! Model checker: the denotational semantics of Fig 2 evaluated over the
+//! foci of one concrete finite tree.
+//!
+//! The interpretation domain is the (finite) set of focused trees obtained
+//! by focusing each node of a given tree. `⟨a⟩ϕ` holds at a focus `f` iff
+//! `f⟨a⟩` is defined and satisfies ϕ; fixpoints are computed by Kleene
+//! iteration (least from ∅, greatest from the full set).
+//!
+//! This module is the semantic *oracle* of the code base: translations and
+//! the satisfiability solver are property-tested against it.
+
+use std::collections::HashMap;
+
+use ftree::{FocusedTree, Tree};
+
+use crate::syntax::{Formula, FormulaKind, Program, Var};
+use crate::Logic;
+
+/// A set of foci of the checker's tree, as a bit set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FociSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FociSet {
+    fn empty(len: usize) -> Self {
+        FociSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    fn full(len: usize) -> Self {
+        let mut s = FociSet::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Whether focus index `i` belongs to the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of foci in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    fn union(&self, o: &FociSet) -> FociSet {
+        FociSet {
+            words: self
+                .words
+                .iter()
+                .zip(&o.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    fn inter(&self, o: &FociSet) -> FociSet {
+        FociSet {
+            words: self
+                .words
+                .iter()
+                .zip(&o.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Indices of member foci, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+/// Evaluates Lµ formulas over the foci of a fixed tree.
+///
+/// # Example
+///
+/// ```
+/// use ftree::Tree;
+/// use mulogic::{Logic, ModelChecker};
+///
+/// let mut lg = Logic::new();
+/// // "some following sibling is named c"
+/// let f = lg.parse("let_mu X = <2>c | <2>X in X").unwrap();
+/// let tree = Tree::parse_xml("<r><a/><b/><c/></r>").unwrap();
+/// let mc = ModelChecker::new(&tree);
+/// let sat = mc.eval(&lg, f);
+/// // holds at <a/> and <b/>, not at <c/> or <r>
+/// assert_eq!(sat.count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ModelChecker {
+    foci: Vec<FocusedTree>,
+    /// `succ[p][i] = Some(j)` iff `foci[i]⟨p⟩ = foci[j]`.
+    succ: [Vec<Option<usize>>; 4],
+    marked: FociSet,
+}
+
+impl ModelChecker {
+    /// Builds the focus universe and transition tables of `tree`.
+    pub fn new(tree: &Tree) -> Self {
+        Self::new_row(std::slice::from_ref(tree))
+    }
+
+    /// Builds the checker over a top-level sibling row (a *hedge*): the
+    /// general shape of the logic's models, whose `Top` context may hold
+    /// siblings.
+    pub fn new_row(row: &[Tree]) -> Self {
+        let foci = FocusedTree::row_foci(row);
+        let index: HashMap<&FocusedTree, usize> =
+            foci.iter().enumerate().map(|(i, f)| (f, i)).collect();
+        let mut succ = [const { Vec::new() }; 4];
+        for (pi, p) in Program::ALL.iter().enumerate() {
+            succ[pi] = foci
+                .iter()
+                .map(|f| f.step(*p).and_then(|g| index.get(&g).copied()))
+                .collect();
+        }
+        let mut marked = FociSet::empty(foci.len());
+        for (i, f) in foci.iter().enumerate() {
+            if f.is_marked() {
+                marked.insert(i);
+            }
+        }
+        ModelChecker { foci, succ, marked }
+    }
+
+    /// The focus universe, in document order (index 0 is the root).
+    pub fn foci(&self) -> &[FocusedTree] {
+        &self.foci
+    }
+
+    /// Index of a focus in the universe, if it focuses this tree.
+    pub fn index_of(&self, f: &FocusedTree) -> Option<usize> {
+        self.foci.iter().position(|g| g == f)
+    }
+
+    /// The interpretation `⟦f⟧∅` restricted to this tree's foci.
+    pub fn eval(&self, lg: &Logic, f: Formula) -> FociSet {
+        self.eval_env(lg, f, &HashMap::new())
+    }
+
+    /// Whether `f` holds at the given focus.
+    pub fn holds_at(&self, lg: &Logic, f: Formula, focus: &FocusedTree) -> bool {
+        match self.index_of(focus) {
+            Some(i) => self.eval(lg, f).contains(i),
+            None => false,
+        }
+    }
+
+    /// Foci satisfying `f`, materialized.
+    pub fn sat_foci(&self, lg: &Logic, f: Formula) -> Vec<FocusedTree> {
+        let s = self.eval(lg, f);
+        s.iter().map(|i| self.foci[i].clone()).collect()
+    }
+
+    fn eval_env(&self, lg: &Logic, f: Formula, env: &HashMap<Var, FociSet>) -> FociSet {
+        let n = self.foci.len();
+        match lg.kind(f) {
+            FormulaKind::True => FociSet::full(n),
+            FormulaKind::False => FociSet::empty(n),
+            FormulaKind::Prop(l) => {
+                let mut s = FociSet::empty(n);
+                for (i, fo) in self.foci.iter().enumerate() {
+                    if fo.label() == *l {
+                        s.insert(i);
+                    }
+                }
+                s
+            }
+            FormulaKind::NotProp(l) => {
+                let mut s = FociSet::empty(n);
+                for (i, fo) in self.foci.iter().enumerate() {
+                    if fo.label() != *l {
+                        s.insert(i);
+                    }
+                }
+                s
+            }
+            FormulaKind::Start => self.marked.clone(),
+            FormulaKind::NotStart => {
+                let mut s = FociSet::empty(n);
+                for i in 0..n {
+                    if !self.marked.contains(i) {
+                        s.insert(i);
+                    }
+                }
+                s
+            }
+            FormulaKind::Var(v) => env
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| panic!("model check: unbound variable {}", lg.var_name(*v))),
+            FormulaKind::Or(a, b) => {
+                let sa = self.eval_env(lg, *a, env);
+                let sb = self.eval_env(lg, *b, env);
+                sa.union(&sb)
+            }
+            FormulaKind::And(a, b) => {
+                let sa = self.eval_env(lg, *a, env);
+                let sb = self.eval_env(lg, *b, env);
+                sa.inter(&sb)
+            }
+            FormulaKind::Diam(p, phi) => {
+                let sp = self.eval_env(lg, *phi, env);
+                let pi = Program::ALL.iter().position(|x| x == p).expect("program");
+                let mut s = FociSet::empty(n);
+                for i in 0..n {
+                    if let Some(j) = self.succ[pi][i] {
+                        if sp.contains(j) {
+                            s.insert(i);
+                        }
+                    }
+                }
+                s
+            }
+            FormulaKind::NotDiamTrue(p) => {
+                let pi = Program::ALL.iter().position(|x| x == p).expect("program");
+                let mut s = FociSet::empty(n);
+                for i in 0..n {
+                    if self.succ[pi][i].is_none() {
+                        s.insert(i);
+                    }
+                }
+                s
+            }
+            FormulaKind::Mu(binds, body) => self.eval_fixpoint(lg, binds, *body, env, false),
+            FormulaKind::Nu(binds, body) => self.eval_fixpoint(lg, binds, *body, env, true),
+        }
+    }
+
+    fn eval_fixpoint(
+        &self,
+        lg: &Logic,
+        binds: &[(Var, Formula)],
+        body: Formula,
+        env: &HashMap<Var, FociSet>,
+        greatest: bool,
+    ) -> FociSet {
+        let n = self.foci.len();
+        let mut cur = env.clone();
+        for &(v, _) in binds {
+            cur.insert(
+                v,
+                if greatest {
+                    FociSet::full(n)
+                } else {
+                    FociSet::empty(n)
+                },
+            );
+        }
+        loop {
+            let next: Vec<(Var, FociSet)> = binds
+                .iter()
+                .map(|&(v, phi)| (v, self.eval_env(lg, phi, &cur)))
+                .collect();
+            let stable = next.iter().all(|(v, s)| cur.get(v) == Some(s));
+            for (v, s) in next {
+                cur.insert(v, s);
+            }
+            if stable {
+                break;
+            }
+        }
+        self.eval_env(lg, body, &cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::{Direction, Label};
+
+    fn tree() -> Tree {
+        // <a><b><d/></b><c/></a>
+        Tree::parse_xml("<a><b><d/></b><c/></a>").unwrap()
+    }
+
+    #[test]
+    fn props_and_modalities() {
+        let mut lg = Logic::new();
+        let mc = ModelChecker::new(&tree());
+        let b = lg.prop(Label::new("b"));
+        let sat = mc.eval(&lg, b);
+        assert_eq!(sat.count(), 1);
+        // ⟨1⟩b holds at a only.
+        let d = lg.diam(Direction::Down1, b);
+        let sat = mc.sat_foci(&lg, d);
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].label().as_str(), "a");
+    }
+
+    #[test]
+    fn no_first_child_at_leaves() {
+        let mut lg = Logic::new();
+        let mc = ModelChecker::new(&tree());
+        let f = lg.not_diam_true(Direction::Down1);
+        let sat = mc.sat_foci(&lg, f);
+        let mut labels: Vec<&str> = sat.iter().map(|f| f.label().as_str()).collect();
+        labels.sort();
+        assert_eq!(labels, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn least_fixpoint_descendant() {
+        let mut lg = Logic::new();
+        // µX. ⟨1⟩(d ∨ X) ∨ ⟨2⟩X : "d is among my descendants" (binary-style)
+        let d = lg.prop(Label::new("d"));
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        let or_inner = lg.or(d, xv);
+        let d1 = lg.diam(Direction::Down1, or_inner);
+        let d2 = lg.diam(Direction::Down2, xv);
+        let phi = lg.or(d1, d2);
+        let f = lg.mu1(x, phi);
+        let mc = ModelChecker::new(&tree());
+        let sat = mc.sat_foci(&lg, f);
+        let mut labels: Vec<&str> = sat.iter().map(|f| f.label().as_str()).collect();
+        labels.sort();
+        // In binary style: b has ⟨1⟩d; a has ⟨1⟩(b with X)... a and b hold.
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_least_vs_greatest_nonguarded() {
+        // ϕ = µX.⟨1⟩X ∨ ⟨1̄⟩X has an empty interpretation;
+        // ψ = νX.⟨1⟩X ∨ ⟨1̄⟩X holds at parent-child pairs (paper §4 example).
+        let mut lg = Logic::new();
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        let d1 = lg.diam(Direction::Down1, xv);
+        let u1 = lg.diam(Direction::Up1, xv);
+        let or = lg.or(d1, u1);
+        let mu = lg.mu1(x, or);
+        let nu = lg.nu1(x, or);
+        let t = Tree::parse_xml("<a><b/></a>").unwrap();
+        let mc = ModelChecker::new(&t);
+        assert!(mc.eval(&lg, mu).is_empty());
+        assert_eq!(mc.eval(&lg, nu).count(), 2);
+    }
+
+    #[test]
+    fn start_mark() {
+        let mut lg = Logic::new();
+        let t = Tree::parse_xml("<a><b s=\"1\"/></a>").unwrap();
+        let mc = ModelChecker::new(&t);
+        let s = lg.start();
+        let sat = mc.sat_foci(&lg, s);
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].label().as_str(), "b");
+    }
+
+    #[test]
+    fn mutually_recursive_fixpoint() {
+        // µ(X = ⟨1⟩Y, Y = c ∨ ⟨2⟩Y) in X : "some child is named c".
+        let mut lg = Logic::new();
+        let c = lg.prop(Label::new("c"));
+        let x = lg.fresh_var("X");
+        let y = lg.fresh_var("Y");
+        let yv = lg.var(y);
+        let xv = lg.var(x);
+        let def_y = {
+            let d2 = lg.diam(Direction::Down2, yv);
+            lg.or(c, d2)
+        };
+        let def_x = lg.diam(Direction::Down1, yv);
+        let f = lg.mu(vec![(x, def_x), (y, def_y)], xv);
+        let mc = ModelChecker::new(&tree());
+        let sat = mc.sat_foci(&lg, f);
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0].label().as_str(), "a");
+    }
+}

@@ -1,0 +1,483 @@
+//! Parser for the concrete formula syntax used in the paper's examples
+//! (Fig 14): `let_mu X = …, Y = … in …`, `<1>`, `<-1>`, `~`, `&`, `|`,
+//! `T`, `F`, `s`, plus the sugar `mu X . ϕ` for `let_mu X = ϕ in X`.
+
+use std::error::Error;
+use std::fmt;
+
+use ftree::Label;
+
+use crate::syntax::{Formula, Program, Var};
+use crate::Logic;
+
+/// Error returned by [`Logic::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormulaError {
+    msg: String,
+    at: usize,
+}
+
+impl ParseFormulaError {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        ParseFormulaError {
+            msg: msg.into(),
+            at,
+        }
+    }
+
+    /// Byte offset of the error.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParseFormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "formula syntax error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl Error for ParseFormulaError {}
+
+struct Parser<'a, 'lg> {
+    input: &'a str,
+    pos: usize,
+    lg: &'lg mut Logic,
+    /// Lexical scope of fixpoint variables.
+    scope: Vec<(String, Var)>,
+}
+
+impl Parser<'_, '_> {
+    fn err(&self, msg: impl Into<String>) -> ParseFormulaError {
+        ParseFormulaError::new(msg, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseFormulaError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    /// The identifier starting at the cursor (after whitespace), without
+    /// consuming it.
+    fn peek_ident(&mut self) -> Option<&str> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || "_.:".contains(*c) || *c == '-'))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            None
+        } else {
+            Some(&rest[..end])
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseFormulaError> {
+        match self.peek_ident().map(str::to_owned) {
+            Some(s) => {
+                self.pos += s.len();
+                Ok(s)
+            }
+            None => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_ident() == Some(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Var> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut acc = self.conjunction()?;
+        while self.eat('|') {
+            let rhs = self.conjunction()?;
+            acc = self.lg.or(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut acc = self.unary()?;
+        while self.eat('&') {
+            let rhs = self.unary()?;
+            acc = self.lg.and(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseFormulaError> {
+        let neg = self.eat('-');
+        let p = match self.peek() {
+            Some('1') => {
+                self.pos += 1;
+                if neg {
+                    Program::Up1
+                } else {
+                    Program::Down1
+                }
+            }
+            Some('2') => {
+                self.pos += 1;
+                if neg {
+                    Program::Up2
+                } else {
+                    Program::Down2
+                }
+            }
+            _ => return Err(self.err("expected a program: 1, 2, -1 or -2")),
+        };
+        Ok(p)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseFormulaError> {
+        if self.eat('~') {
+            let f = self.unary()?;
+            return Ok(self.lg.not(f));
+        }
+        if self.eat('<') {
+            let p = self.program()?;
+            self.expect('>')?;
+            let f = self.unary()?;
+            return Ok(self.lg.diam(p, f));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseFormulaError> {
+        if self.eat('(') {
+            let f = self.formula()?;
+            self.expect(')')?;
+            return Ok(f);
+        }
+        if self.eat_keyword("let_mu") {
+            return self.fixpoint(false);
+        }
+        if self.eat_keyword("let_nu") {
+            return self.fixpoint(true);
+        }
+        if self.eat_keyword("mu") {
+            return self.unary_fixpoint(false);
+        }
+        if self.eat_keyword("nu") {
+            return self.unary_fixpoint(true);
+        }
+        match self.peek_ident() {
+            Some("T") => {
+                self.pos += 1;
+                Ok(self.lg.tt())
+            }
+            Some("F") => {
+                self.pos += 1;
+                Ok(self.lg.ff())
+            }
+            Some("s") => {
+                self.pos += 1;
+                Ok(self.lg.start())
+            }
+            Some(_) => {
+                let name = self.ident()?;
+                match self.lookup(&name) {
+                    Some(v) => Ok(self.lg.var(v)),
+                    None => Ok(self.lg.prop(Label::new(&name))),
+                }
+            }
+            None => Err(self.err("expected a formula")),
+        }
+    }
+
+    fn unary_fixpoint(&mut self, greatest: bool) -> Result<Formula, ParseFormulaError> {
+        let name = self.ident()?;
+        self.expect('.')?;
+        let v = self.lg.named_var(&name);
+        self.scope.push((name, v));
+        let phi = self.formula()?;
+        self.scope.pop();
+        Ok(if greatest {
+            self.lg.nu1(v, phi)
+        } else {
+            self.lg.mu1(v, phi)
+        })
+    }
+
+    fn fixpoint(&mut self, greatest: bool) -> Result<Formula, ParseFormulaError> {
+        // First pass: collect the binding names so that definitions may be
+        // mutually (and forwardly) recursive.
+        let start = self.pos;
+        let names = self.scan_binding_names()?;
+        self.pos = start;
+
+        let vars: Vec<Var> = names.iter().map(|n| self.lg.named_var(n)).collect();
+        let depth = self.scope.len();
+        for (n, v) in names.iter().zip(&vars) {
+            self.scope.push((n.clone(), *v));
+        }
+        // Second pass: parse the definitions with the full scope installed.
+        let mut binds = Vec::with_capacity(vars.len());
+        for (i, var) in vars.iter().enumerate() {
+            let name = self.ident()?;
+            debug_assert_eq!(name, names[i]);
+            self.expect('=')?;
+            let phi = self.formula()?;
+            binds.push((*var, phi));
+            if i + 1 < vars.len() {
+                self.expect(',')?;
+            }
+        }
+        if !self.eat_keyword("in") {
+            return Err(self.err("expected 'in'"));
+        }
+        let body = self.formula()?;
+        self.scope.truncate(depth);
+        Ok(if greatest {
+            self.lg.nu(binds, body)
+        } else {
+            self.lg.mu(binds, body)
+        })
+    }
+
+    /// Scans `name = ϕ (, name = ϕ)* in` without building formulas, and
+    /// returns the binding names. The cursor ends after `in` (callers reset
+    /// it).
+    fn scan_binding_names(&mut self) -> Result<Vec<String>, ParseFormulaError> {
+        let mut names = Vec::new();
+        loop {
+            names.push(self.ident()?);
+            self.expect('=')?;
+            self.skip_definition()?;
+            if self.eat(',') {
+                continue;
+            }
+            if self.eat_keyword("in") {
+                return Ok(names);
+            }
+            return Err(self.err("expected ',' or 'in'"));
+        }
+    }
+
+    /// Advances past one definition body, stopping (at nesting depth 0)
+    /// before a `,` or the keyword `in`.
+    fn skip_definition(&mut self) -> Result<(), ParseFormulaError> {
+        let mut depth = 0usize;
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return if depth == 0 {
+                    Ok(())
+                } else {
+                    Err(self.err("unbalanced parentheses"))
+                };
+            }
+            if depth == 0 {
+                if self.input[self.pos..].starts_with(',') {
+                    return Ok(());
+                }
+                if self.peek_ident() == Some("in") {
+                    return Ok(());
+                }
+            }
+            if let Some(id) = self.peek_ident() {
+                // Skip identifiers (and 'in'/keywords at depth > 0) whole.
+                self.pos += id.len();
+                continue;
+            }
+            let c = self.input[self.pos..].chars().next().unwrap();
+            match c {
+                '(' | '<' => depth += 1,
+                ')' | '>' => {
+                    if depth == 0 {
+                        return Err(self.err("unbalanced parentheses"));
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+}
+
+impl Logic {
+    /// Parses a formula from the paper's concrete syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseFormulaError`] on malformed input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mulogic::Logic;
+    ///
+    /// let mut lg = Logic::new();
+    /// let f = lg.parse("let_mu X = (a & ~<1>T) | <2>X in X").unwrap();
+    /// assert!(lg.is_closed(f));
+    /// ```
+    pub fn parse(&mut self, input: &str) -> Result<Formula, ParseFormulaError> {
+        let mut p = Parser {
+            input,
+            pos: 0,
+            lg: self,
+            scope: Vec::new(),
+        };
+        let f = p.formula()?;
+        p.skip_ws();
+        if p.pos != input.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::FormulaKind;
+
+    #[test]
+    fn atoms() {
+        let mut lg = Logic::new();
+        assert_eq!(lg.parse("T").unwrap(), lg.tt());
+        assert_eq!(lg.parse("F").unwrap(), lg.ff());
+        assert_eq!(lg.parse("s").unwrap(), lg.start());
+        let a = lg.prop(Label::new("a"));
+        assert_eq!(lg.parse("a").unwrap(), a);
+        assert_eq!(lg.parse("~a").unwrap(), lg.not_prop(Label::new("a")));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let mut lg = Logic::new();
+        let f = lg.parse("a | b & c").unwrap();
+        assert!(matches!(lg.kind(f), FormulaKind::Or(..)));
+        let g = lg.parse("(a | b) & c").unwrap();
+        assert!(matches!(lg.kind(g), FormulaKind::And(..)));
+    }
+
+    #[test]
+    fn modalities() {
+        let mut lg = Logic::new();
+        let f = lg.parse("<1>T & <-2>a & ~<2>T").unwrap();
+        let shown = lg.display(f);
+        assert!(shown.contains("<1>T"));
+        assert!(shown.contains("<-2>a"));
+        assert!(shown.contains("~<2>T"));
+    }
+
+    #[test]
+    fn mu_sugar() {
+        let mut lg = Logic::new();
+        let f = lg.parse("mu X . b | <2>X").unwrap();
+        assert!(matches!(lg.kind(f), FormulaKind::Mu(..)));
+        assert!(lg.is_closed(f));
+    }
+
+    #[test]
+    fn let_mu_mutual_forward_reference() {
+        let mut lg = Logic::new();
+        let f = lg.parse("let_mu X = <1>Y, Y = c | <2>Y in X").unwrap();
+        match lg.kind(f) {
+            FormulaKind::Mu(binds, _) => assert_eq!(binds.len(), 2),
+            k => panic!("unexpected {k:?}"),
+        }
+        assert!(lg.is_closed(f));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut lg = Logic::new();
+        let srcs = [
+            "a & <1>(b | s)",
+            "let_mu X = (a & ~<1>T) | <2>X in X",
+            "~<1>T & ~<-1>T & ~<-2>T",
+            "let_mu X = <1>Y, Y = c | <2>Y in X & ~s",
+        ];
+        for src in srcs {
+            // Each parse allocates fresh variables, so formulas with binders
+            // are compared up to alpha-equivalence via their display form.
+            let f = lg.parse(src).unwrap();
+            let shown = lg.display(f);
+            let g = lg.parse(&shown).unwrap();
+            assert_eq!(
+                lg.display(g),
+                shown,
+                "roundtrip failed for {src} -> {shown}"
+            );
+        }
+    }
+
+    #[test]
+    fn wikipedia_style_formula_parses() {
+        // A fragment in the Fig 14 style.
+        let mut lg = Logic::new();
+        let f = lg
+            .parse(
+                "let_mu X2 = (((text & ~<1>T) & ~<2>T) | ((redirect & ~<1>T) & ~<2>T)) \
+                 | ((interwiki & ~<1>T) & (~<2>T | <2>X2)), \
+                 X9 = (meta & <1>X2) & <2>X2 \
+                 in X9",
+            )
+            .unwrap();
+        assert!(lg.is_closed(f));
+        assert!(crate::cycle_free(&lg, f));
+    }
+
+    #[test]
+    fn shadowing_inner_binder_wins() {
+        let mut lg = Logic::new();
+        let f = lg
+            .parse("let_mu X = <1>(let_mu X = a | <2>X in X) in X")
+            .unwrap();
+        assert!(lg.is_closed(f));
+    }
+
+    #[test]
+    fn errors() {
+        let mut lg = Logic::new();
+        assert!(lg.parse("").is_err());
+        assert!(lg.parse("a &").is_err());
+        assert!(lg.parse("<3>a").is_err());
+        assert!(lg.parse("(a").is_err());
+        assert!(lg.parse("let_mu X = a").is_err());
+        assert!(lg.parse("a b").is_err());
+    }
+}

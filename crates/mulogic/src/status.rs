@@ -1,0 +1,238 @@
+//! The truth-assignment relation `ϕ ∈̇ t` of Fig 15, evaluated over an
+//! arbitrary boolean algebra.
+//!
+//! A ψ-type `t ⊆ Lean(ψ)` determines the truth of every formula in
+//! `cl*(ψ)`: lean members are read off directly, boolean connectives
+//! decompose, and naked fixpoints are unfolded once with `exp(·)` (the
+//! number of naked fixpoints strictly decreases, so the recursion
+//! terminates on guarded formulas).
+//!
+//! Abstracting the booleans lets one evaluator drive two solvers:
+//!
+//! * the explicit solver instantiates `Value = bool`, reading bits of a
+//!   concrete type vector;
+//! * the symbolic solver instantiates `Value = bdd node`, producing the
+//!   *characteristic function* `status_ϕ(t̄)` of §7.1 in one pass.
+
+use std::collections::HashMap;
+
+use crate::closure::Lean;
+use crate::syntax::{Formula, FormulaKind};
+use crate::Logic;
+
+/// A boolean algebra over which [`status`] evaluates formulas.
+pub trait BoolAlg {
+    /// Truth values (e.g. `bool`, or a BDD node).
+    type Value: Clone;
+    /// Truth.
+    fn tt(&mut self) -> Self::Value;
+    /// Falsity.
+    fn ff(&mut self) -> Self::Value;
+    /// The value of the lean atom with the given index.
+    fn var(&mut self, lean_index: usize) -> Self::Value;
+    /// Complement.
+    fn not(&mut self, v: Self::Value) -> Self::Value;
+    /// Meet.
+    fn and(&mut self, a: Self::Value, b: Self::Value) -> Self::Value;
+    /// Join.
+    fn or(&mut self, a: Self::Value, b: Self::Value) -> Self::Value;
+}
+
+/// Evaluates `status_ϕ` over the algebra `alg` (the `ϕ ∈̇ t` relation).
+///
+/// `memo` caches results per formula id and may be reused across calls with
+/// the same `(lean, alg)` pair — the solver evaluates every lean argument
+/// and the goal formula against the same cache.
+///
+/// # Panics
+///
+/// Panics if `f` is not part of `cl*(ψ)` for the ψ whose lean is given
+/// (e.g. a modality that is not a lean atom), if `f` contains a free
+/// variable or greatest fixpoint, or if an unguarded fixpoint loops.
+pub fn status<A: BoolAlg>(
+    lg: &mut Logic,
+    lean: &Lean,
+    f: Formula,
+    alg: &mut A,
+    memo: &mut HashMap<Formula, A::Value>,
+) -> A::Value {
+    if let Some(v) = memo.get(&f) {
+        return v.clone();
+    }
+    let v = match lg.kind(f).clone() {
+        FormulaKind::True => alg.tt(),
+        FormulaKind::False => alg.ff(),
+        FormulaKind::Prop(l) => {
+            let i = lean
+                .prop_index(l)
+                .unwrap_or_else(|| panic!("status: proposition {l} not in lean"));
+            alg.var(i)
+        }
+        FormulaKind::NotProp(l) => {
+            let i = lean
+                .prop_index(l)
+                .unwrap_or_else(|| panic!("status: proposition {l} not in lean"));
+            let x = alg.var(i);
+            alg.not(x)
+        }
+        FormulaKind::Start => alg.var(lean.start_index()),
+        FormulaKind::NotStart => {
+            let x = alg.var(lean.start_index());
+            alg.not(x)
+        }
+        FormulaKind::Or(a, b) => {
+            let va = status(lg, lean, a, alg, memo);
+            let vb = status(lg, lean, b, alg, memo);
+            alg.or(va, vb)
+        }
+        FormulaKind::And(a, b) => {
+            let va = status(lg, lean, a, alg, memo);
+            let vb = status(lg, lean, b, alg, memo);
+            alg.and(va, vb)
+        }
+        FormulaKind::Diam(a, p) => {
+            if matches!(lg.kind(p), FormulaKind::True) {
+                alg.var(lean.diam_true_index(a))
+            } else {
+                let (i, negated) = lean
+                    .diam_lookup(a, p)
+                    .unwrap_or_else(|| panic!("status: modality not in lean"));
+                if negated {
+                    // ⟨a⟩¬ξ = ⟨a⟩⊤ ∧ ¬⟨a⟩ξ (deterministic successors).
+                    let hastep = alg.var(lean.diam_true_index(a));
+                    let atom = alg.var(i);
+                    let natom = alg.not(atom);
+                    alg.and(hastep, natom)
+                } else {
+                    alg.var(i)
+                }
+            }
+        }
+        FormulaKind::NotDiamTrue(a) => {
+            let x = alg.var(lean.diam_true_index(a));
+            alg.not(x)
+        }
+        FormulaKind::Mu(..) => {
+            let e = lg.exp(f);
+            assert_ne!(e, f, "status: unguarded fixpoint does not unfold");
+            status(lg, lean, e, alg, memo)
+        }
+        FormulaKind::Nu(..) => panic!("status: greatest fixpoint; collapse_nu first"),
+        FormulaKind::Var(v) => panic!("status: free variable {}", lg.var_name(v)),
+    };
+    memo.insert(f, v.clone());
+    v
+}
+
+/// A [`BoolAlg`] over plain booleans reading a concrete bit-vector type.
+///
+/// Used by the explicit solver and by tests.
+#[derive(Debug)]
+pub struct BitsAlg<'a> {
+    bits: &'a [bool],
+}
+
+impl<'a> BitsAlg<'a> {
+    /// Wraps a type given as one bool per lean atom.
+    pub fn new(bits: &'a [bool]) -> Self {
+        BitsAlg { bits }
+    }
+}
+
+impl BoolAlg for BitsAlg<'_> {
+    type Value = bool;
+    fn tt(&mut self) -> bool {
+        true
+    }
+    fn ff(&mut self) -> bool {
+        false
+    }
+    fn var(&mut self, i: usize) -> bool {
+        self.bits[i]
+    }
+    fn not(&mut self, v: bool) -> bool {
+        !v
+    }
+    fn and(&mut self, a: bool, b: bool) -> bool {
+        a && b
+    }
+    fn or(&mut self, a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Closure;
+    use ftree::{Direction, Label};
+
+    #[test]
+    fn status_reads_lean_bits() {
+        let mut lg = Logic::new();
+        let a = lg.prop(Label::new("a"));
+        let b = lg.prop(Label::new("b"));
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        let d2 = lg.diam(Direction::Down2, xv);
+        let or = lg.or(b, d2);
+        let mu = lg.mu1(x, or);
+        let d1 = lg.diam(Direction::Down1, mu);
+        let psi = lg.and(a, d1);
+        let cl = Closure::compute(&mut lg, psi);
+        let lean = Lean::compute(&mut lg, &cl);
+
+        // Type: {a, ⟨1⟩⊤, ⟨1⟩µ…}
+        let mut bits = vec![false; lean.len()];
+        bits[lean.prop_index(Label::new("a")).unwrap()] = true;
+        bits[lean.diam_true_index(Direction::Down1)] = true;
+        bits[lean.diam_index(Direction::Down1, mu).unwrap()] = true;
+
+        let mut alg = BitsAlg::new(&bits);
+        let mut memo = HashMap::new();
+        assert!(status(&mut lg, &lean, psi, &mut alg, &mut memo));
+
+        // Drop the diamond bit: ψ no longer holds.
+        let mut bits2 = bits.clone();
+        bits2[lean.diam_index(Direction::Down1, mu).unwrap()] = false;
+        let mut alg2 = BitsAlg::new(&bits2);
+        let mut memo2 = HashMap::new();
+        assert!(!status(&mut lg, &lean, psi, &mut alg2, &mut memo2));
+    }
+
+    #[test]
+    fn status_unfolds_fixpoints() {
+        let mut lg = Logic::new();
+        // µX. b ∨ ⟨2⟩X is true at a type containing b.
+        let b = lg.prop(Label::new("b"));
+        let x = lg.fresh_var("X");
+        let xv = lg.var(x);
+        let d2 = lg.diam(Direction::Down2, xv);
+        let or = lg.or(b, d2);
+        let mu = lg.mu1(x, or);
+        let cl = Closure::compute(&mut lg, mu);
+        let lean = Lean::compute(&mut lg, &cl);
+        let mut bits = vec![false; lean.len()];
+        bits[lean.prop_index(Label::new("b")).unwrap()] = true;
+        let mut alg = BitsAlg::new(&bits);
+        let mut memo = HashMap::new();
+        assert!(status(&mut lg, &lean, mu, &mut alg, &mut memo));
+    }
+
+    #[test]
+    fn negated_atoms() {
+        let mut lg = Logic::new();
+        let a = lg.prop(Label::new("a"));
+        let na = lg.not(a);
+        let psi = lg.or(a, na); // tautology over one bit
+        let cl = Closure::compute(&mut lg, psi);
+        let lean = Lean::compute(&mut lg, &cl);
+        for v in [false, true] {
+            let mut bits = vec![false; lean.len()];
+            bits[lean.prop_index(Label::new("a")).unwrap()] = v;
+            let mut alg = BitsAlg::new(&bits);
+            let mut memo = HashMap::new();
+            assert!(status(&mut lg, &lean, psi, &mut alg, &mut memo));
+        }
+    }
+}

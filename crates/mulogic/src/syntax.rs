@@ -1,0 +1,91 @@
+//! Abstract syntax of Lµ formulas (Fig 1 of the paper).
+
+use ftree::Label;
+
+/// A program (modality) `a ∈ {1, 2, 1̄, 2̄}`.
+///
+/// This is the navigation alphabet of [`ftree::Direction`], re-exported under
+/// the logic's name.
+pub type Program = ftree::Direction;
+
+/// A fixpoint variable.
+///
+/// Variables are allocated by [`Logic::fresh_var`](crate::Logic::fresh_var)
+/// (or by the parser) and carry a display name in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Dense index of this variable within its [`Logic`](crate::Logic).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A formula of Lµ, as a hash-consed id into a [`Logic`](crate::Logic) arena.
+///
+/// Two formulas constructed in the same arena are equal iff they are
+/// structurally identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Formula(pub(crate) u32);
+
+impl Formula {
+    /// Dense index of this formula within its arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The shape of a formula node (Fig 1).
+///
+/// Negation is primitive only on atomic propositions, the start proposition
+/// and `⟨a⟩⊤`, exactly as in the paper; general negation is the *derived*
+/// operation [`Logic::not`](crate::Logic::not). As a convenience the syntax
+/// also includes `False`; the paper spells it `σ ∧ ¬σ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FormulaKind {
+    /// `⊤`.
+    True,
+    /// `⊥` (the paper uses `σ ∧ ¬σ`).
+    False,
+    /// Atomic proposition `σ`: the node in focus is named σ.
+    Prop(Label),
+    /// Negated atomic proposition `¬σ`.
+    NotProp(Label),
+    /// Start proposition `s`: the node in focus carries the start mark.
+    Start,
+    /// Negated start proposition `¬s`.
+    NotStart,
+    /// Fixpoint variable.
+    Var(Var),
+    /// Disjunction `ϕ ∨ ψ`.
+    Or(Formula, Formula),
+    /// Conjunction `ϕ ∧ ψ`.
+    And(Formula, Formula),
+    /// Existential modality `⟨a⟩ϕ`: some `a`-neighbour satisfies ϕ.
+    Diam(Program, Formula),
+    /// `¬⟨a⟩⊤`: the focus has no `a`-neighbour.
+    NotDiamTrue(Program),
+    /// Least n-ary fixpoint `µ(Xᵢ = ϕᵢ) in ψ`.
+    Mu(Box<[(Var, Formula)]>, Formula),
+    /// Greatest n-ary fixpoint `ν(Xᵢ = ϕᵢ) in ψ`.
+    ///
+    /// On finite focused trees the two fixpoints coincide for cycle-free
+    /// formulas (Lemma 4.2); the solver works on µ-only formulas obtained
+    /// via [`Logic::collapse_nu`](crate::Logic::collapse_nu).
+    Nu(Box<[(Var, Formula)]>, Formula),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_small_and_copyable() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Formula>();
+        assert_copy::<Var>();
+        assert_copy::<Program>();
+        assert!(std::mem::size_of::<Formula>() <= 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Bit-vector ψ-types for the explicit solver.
+
+use std::fmt;
+
+use mulogic::{Lean, Program};
+
+/// A ψ-type as a bit vector over the lean (one bit per [`mulogic::LeanAtom`]).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeBits {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl TypeBits {
+    /// The all-zero vector over a lean of `len` atoms.
+    pub fn empty(len: usize) -> Self {
+        TypeBits {
+            words: vec![0; len.div_ceil(64)].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Number of atoms (bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        if v {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// The bits as a `Vec<bool>` (for the status evaluator).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Builds from a `bool` slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut t = TypeBits::empty(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            t.set(i, b);
+        }
+        t
+    }
+}
+
+impl fmt::Debug for TypeBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TypeBits[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Enumerates every well-formed ψ-type of a lean (explicit solver only).
+///
+/// A ψ-type satisfies (§6.1):
+/// * modal consistency: `⟨a⟩ϕ ∈ t ⇒ ⟨a⟩⊤ ∈ t`;
+/// * not both `⟨1̄⟩⊤` and `⟨2̄⟩⊤` (a node is not two kinds of child);
+/// * exactly one atomic proposition;
+/// * the start proposition is free.
+///
+/// The number of types is exponential in the number of `⟨a⟩ϕ` entries; the
+/// explicit solver is a reference implementation for small formulas and
+/// refuses leans with more than [`MAX_EXPLICIT_DIAMONDS`] diamonds.
+pub struct TypeEnumerator<'l> {
+    lean: &'l Lean,
+    diam_positions: Vec<(usize, Program)>,
+    prop_positions: Vec<usize>,
+}
+
+/// Upper bound on `⟨a⟩ϕ` lean entries accepted by the explicit enumeration.
+pub const MAX_EXPLICIT_DIAMONDS: usize = 16;
+
+impl<'l> TypeEnumerator<'l> {
+    /// Prepares enumeration over the given lean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lean has more than [`MAX_EXPLICIT_DIAMONDS`] diamond
+    /// entries.
+    pub fn new(lean: &'l Lean) -> Self {
+        let diam_positions: Vec<(usize, Program)> =
+            lean.diam_entries().map(|(i, p, _)| (i, p)).collect();
+        assert!(
+            diam_positions.len() <= MAX_EXPLICIT_DIAMONDS,
+            "lean too large for the explicit solver: {} diamonds (max {})",
+            diam_positions.len(),
+            MAX_EXPLICIT_DIAMONDS
+        );
+        let prop_positions = lean.prop_entries().map(|(i, _)| i).collect();
+        TypeEnumerator {
+            lean,
+            diam_positions,
+            prop_positions,
+        }
+    }
+
+    /// All well-formed types, materialized.
+    pub fn all(&self) -> Vec<TypeBits> {
+        let n = self.lean.len();
+        let d = self.diam_positions.len();
+        let mut out = Vec::new();
+        let dt: Vec<usize> = Program::ALL
+            .iter()
+            .map(|&p| self.lean.diam_true_index(p))
+            .collect();
+        for mask in 0u32..(1 << d) {
+            // Which programs are forced to have ⟨a⟩⊤ by modal consistency.
+            let mut forced = [false; 4];
+            for (k, &(_, p)) in self.diam_positions.iter().enumerate() {
+                if mask >> k & 1 == 1 {
+                    let pi = Program::ALL.iter().position(|&q| q == p).expect("program");
+                    forced[pi] = true;
+                }
+            }
+            // Free ⟨a⟩⊤ bits: those not forced may be 0 or 1.
+            let free: Vec<usize> = (0..4).filter(|&i| !forced[i]).collect();
+            for free_mask in 0u32..(1 << free.len()) {
+                let mut has = forced;
+                for (j, &fi) in free.iter().enumerate() {
+                    has[fi] = free_mask >> j & 1 == 1;
+                }
+                // A node cannot be both a first child and a second child.
+                let up1 = Program::ALL
+                    .iter()
+                    .position(|&q| q == Program::Up1)
+                    .expect("program");
+                let up2 = Program::ALL
+                    .iter()
+                    .position(|&q| q == Program::Up2)
+                    .expect("program");
+                if has[up1] && has[up2] {
+                    continue;
+                }
+                for &prop_i in &self.prop_positions {
+                    for s in [false, true] {
+                        let mut t = TypeBits::empty(n);
+                        for (k, &(pos, _)) in self.diam_positions.iter().enumerate() {
+                            t.set(pos, mask >> k & 1 == 1);
+                        }
+                        for (pi, &dti) in dt.iter().enumerate() {
+                            t.set(dti, has[pi]);
+                        }
+                        t.set(prop_i, true);
+                        t.set(self.lean.start_index(), s);
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mulogic::{Closure, Logic};
+
+    #[test]
+    fn bit_ops() {
+        let mut t = TypeBits::empty(130);
+        t.set(0, true);
+        t.set(64, true);
+        t.set(129, true);
+        assert!(t.get(0) && t.get(64) && t.get(129));
+        assert!(!t.get(1));
+        t.set(64, false);
+        assert!(!t.get(64));
+        let b = t.to_bools();
+        assert_eq!(TypeBits::from_bools(&b), t);
+    }
+
+    #[test]
+    fn enumeration_respects_constraints() {
+        let mut lg = Logic::new();
+        let f = lg.parse("a & <1>b").unwrap();
+        let cl = Closure::compute(&mut lg, f);
+        let lean = Lean::compute(&mut lg, &cl);
+        let en = TypeEnumerator::new(&lean);
+        let all = en.all();
+        assert!(!all.is_empty());
+        let props: Vec<usize> = lean.prop_entries().map(|(i, _)| i).collect();
+        for t in &all {
+            // Exactly one proposition.
+            assert_eq!(props.iter().filter(|&&i| t.get(i)).count(), 1);
+            // Modal consistency.
+            for (i, p, _) in lean.diam_entries() {
+                if t.get(i) {
+                    assert!(t.get(lean.diam_true_index(p)));
+                }
+            }
+            // Not both kinds of child.
+            assert!(
+                !(t.get(lean.diam_true_index(Program::Up1))
+                    && t.get(lean.diam_true_index(Program::Up2)))
+            );
+        }
+        // All types distinct.
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Solver results: satisfiability verdicts, models and statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+use ftree::{BinaryTree, Label, Tree};
+
+/// A satisfying model: a row of sibling trees (usually a single root).
+///
+/// The logic's models are focused trees whose top-level context may hold
+/// siblings, so a satisfying "document" is in general a hedge; XML documents
+/// are the common single-rooted case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    roots: Vec<Tree>,
+}
+
+impl Model {
+    pub(crate) fn from_binary(root: &BinaryTree) -> Model {
+        Model {
+            roots: root.to_unranked_row(),
+        }
+    }
+
+    /// The root row of the model.
+    pub fn roots(&self) -> &[Tree] {
+        &self.roots
+    }
+
+    /// The model as a single tree: the root itself if the row is a
+    /// singleton, otherwise a synthetic `#hedge` element wrapping the row.
+    pub fn tree(&self) -> Tree {
+        match self.roots.as_slice() {
+            [one] => one.clone(),
+            row => Tree::node(Label::new("hedge"), row.to_vec()),
+        }
+    }
+
+    /// Renders the model as XML (the start mark becomes `s="1"`).
+    pub fn xml(&self) -> String {
+        self.tree().to_xml()
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(Tree::size).sum()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.xml())
+    }
+}
+
+/// The verdict of a satisfiability run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A finite focused tree satisfies the formula; a minimal one is
+    /// reconstructed (§7.2).
+    Satisfiable(Model),
+    /// No finite focused tree satisfies the formula.
+    Unsatisfiable,
+}
+
+impl Outcome {
+    /// Whether the verdict is satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, Outcome::Satisfiable(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            Outcome::Satisfiable(m) => Some(m),
+            Outcome::Unsatisfiable => None,
+        }
+    }
+}
+
+/// Measurements of one solver run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// `|Lean(ψ)|` — the exponent of the complexity bound.
+    pub lean_size: usize,
+    /// `|cl(ψ)|`.
+    pub closure_size: usize,
+    /// Fixpoint iterations performed.
+    pub iterations: usize,
+    /// Wall-clock time of the satisfiability loop.
+    pub duration: Duration,
+    /// Total BDD nodes allocated (symbolic backend only).
+    pub bdd_nodes: Option<usize>,
+    /// Number of ψ-types enumerated (explicit backend only).
+    pub explicit_types: Option<usize>,
+}
+
+/// A verdict together with its statistics.
+#[derive(Debug)]
+pub struct Solved {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Measurements.
+    pub stats: Stats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_single_root() {
+        let t = Tree::parse_xml("<a><b/></a>").unwrap();
+        let b = BinaryTree::from_unranked(&t);
+        let m = Model::from_binary(&b);
+        assert_eq!(m.roots().len(), 1);
+        assert_eq!(m.tree(), t);
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn model_hedge() {
+        let a = BinaryTree::new("a", false, None, Some(BinaryTree::new("b", false, None, None)));
+        let m = Model::from_binary(&a);
+        assert_eq!(m.roots().len(), 2);
+        assert_eq!(m.tree().label().as_str(), "hedge");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = Outcome::Unsatisfiable;
+        assert!(!o.is_satisfiable());
+        assert!(o.model().is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared preparation: ν-collapse, the plunging formula, closure and lean.
+
+use mulogic::{Closure, Formula, Lean, Logic};
+
+/// A satisfiability problem after preprocessing (§7.1).
+///
+/// The goal ϕ is tested through the *plunging formula*
+/// `ψ = µX.ϕ ∨ ⟨1⟩X ∨ ⟨2⟩X` checked at root types (no pending backward
+/// modality), which lets both solvers track only sets of ψ-types instead of
+/// per-type witness maps.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The original goal ϕ (after `collapse_nu`).
+    pub goal: Formula,
+    /// The plunged formula ψ.
+    pub psi: Formula,
+    /// `cl(ψ)`.
+    pub closure: Closure,
+    /// `Lean(ψ)`.
+    pub lean: Lean,
+    /// Whether ϕ mentions the start proposition: models then must carry
+    /// exactly one mark and the final check runs on the marked set.
+    pub uses_mark: bool,
+}
+
+impl Prepared {
+    /// Preprocesses a goal formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `goal` is not closed.
+    pub fn new(lg: &mut Logic, goal: Formula) -> Prepared {
+        let goal = lg.collapse_nu(goal);
+        assert!(lg.is_closed(goal), "satisfiability goal must be closed");
+        let x = lg.fresh_var("Xplunge");
+        let xv = lg.var(x);
+        let d1 = lg.diam(mulogic::Program::Down1, xv);
+        let d2 = lg.diam(mulogic::Program::Down2, xv);
+        let or1 = lg.or(goal, d1);
+        let body = lg.or(or1, d2);
+        let psi = lg.mu1(x, body);
+        let closure = Closure::compute(lg, psi);
+        let lean = Lean::compute(lg, &closure);
+        let uses_mark = lg.mentions_start(goal);
+        Prepared {
+            goal,
+            psi,
+            closure,
+            lean,
+            uses_mark,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plunging_adds_descent_diamonds() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>b").unwrap();
+        let p = Prepared::new(&mut lg, goal);
+        // Lean must contain ⟨1⟩X and ⟨2⟩X for the plunge variable.
+        let descent: Vec<_> = p.lean.diam_entries().collect();
+        assert!(descent.len() >= 3, "{descent:?}");
+        assert!(!p.uses_mark);
+    }
+
+    #[test]
+    fn mark_detection() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & s").unwrap();
+        let p = Prepared::new(&mut lg, goal);
+        assert!(p.uses_mark);
+    }
+
+    #[test]
+    fn nu_is_collapsed() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("let_nu X = a & <1>X in X").unwrap();
+        // Would panic in Closure::compute if ν survived.
+        let _ = Prepared::new(&mut lg, goal);
+    }
+}

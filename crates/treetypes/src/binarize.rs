@@ -1,0 +1,569 @@
+//! Unranked regular tree types → binary regular tree types (paper §5.2).
+//!
+//! The logic navigates binary (first-child / next-sibling) trees, so a DTD
+//! is first compiled into the binary tree type expressions of the paper:
+//!
+//! ```text
+//! T ::= ∅ | ε | T1 | T2 | σ(X1, X2) | let X̄i.T̄i in T
+//! ```
+//!
+//! concretely, a list of *variables* each defined as a union of `EPSILON`
+//! and/or labelled alternatives `σ(content, next)` — exactly the shape of
+//! the paper's Fig 13. Each element's content model (a regular expression
+//! over names) is translated with a continuation-passing construction: the
+//! variable for `r · K` is built by structural recursion on `r` with `K`
+//! the "rest of the siblings" variable.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ftree::Label;
+
+use crate::content::Content;
+use crate::dtd::Dtd;
+
+/// A variable of a binary tree type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BinVar(u32);
+
+impl BinVar {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from its dense index (used by the Fig 13 parser).
+    pub(crate) fn from_index(i: usize) -> BinVar {
+        BinVar(i as u32)
+    }
+}
+
+/// A labelled alternative `σ(content, next)` of a variable definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeAlt {
+    /// The element name.
+    pub label: Label,
+    /// Variable describing the first child (the element's content).
+    pub content: BinVar,
+    /// Variable describing the next sibling (the continuation).
+    pub next: BinVar,
+}
+
+/// One variable definition: optional `EPSILON` plus labelled alternatives.
+#[derive(Debug, Clone)]
+pub struct BinDef {
+    /// Whether the variable accepts the empty forest (`EPSILON`).
+    pub nullable: bool,
+    /// The labelled alternatives.
+    pub alts: Vec<NodeAlt>,
+}
+
+/// A binary regular tree type: variable definitions plus a start variable.
+///
+/// Produced by [`BinaryType::from_dtd`]; the paper's Fig 13 output for the
+/// Wikipedia DTD fragment is reproduced by [`BinaryType::display`].
+#[derive(Debug, Clone)]
+pub struct BinaryType {
+    defs: Vec<BinDef>,
+    names: Vec<String>,
+    start: BinVar,
+}
+
+/// Alternatives during construction: epsilon, node, or a reference to all
+/// alternatives of another (possibly not yet finished) variable.
+#[derive(Debug, Clone, Copy)]
+enum RawAlt {
+    Epsilon,
+    Node(NodeAlt),
+    Ref(BinVar),
+}
+
+struct Builder<'d> {
+    dtd: &'d Dtd,
+    raw: Vec<Vec<RawAlt>>,
+    names: Vec<String>,
+    /// Content variable of each declared element.
+    content_var: HashMap<Label, BinVar>,
+    /// Memo for `forest(r, k)`, keyed by the address of the content node.
+    memo: HashMap<(usize, BinVar), BinVar>,
+    epsilon: BinVar,
+    any_var: Option<BinVar>,
+}
+
+impl Builder<'_> {
+    fn fresh(&mut self, name: impl Into<String>) -> BinVar {
+        let v = BinVar(self.raw.len() as u32);
+        self.raw.push(Vec::new());
+        self.names.push(name.into());
+        v
+    }
+
+    /// The variable denoting forests matching `r` followed by a forest of
+    /// `k`.
+    fn forest(&mut self, r: &Content, k: BinVar) -> BinVar {
+        let key = (r as *const Content as usize, k);
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        let v = match r {
+            Content::Empty | Content::PCData => k,
+            Content::Any => {
+                let any = self.any();
+                if k == self.epsilon {
+                    any
+                } else {
+                    // ANY followed by k: rare; approximate by a fresh var
+                    // chaining any-nodes then k.
+                    let v = self.fresh("any-chain");
+                    self.raw[v.index()].push(RawAlt::Ref(k));
+                    for &(label, _) in self.dtd.elements() {
+                        let c = self.content_var[&label];
+                        self.raw[v.index()].push(RawAlt::Node(NodeAlt {
+                            label,
+                            content: c,
+                            next: v,
+                        }));
+                    }
+                    v
+                }
+            }
+            Content::Name(l) => {
+                let v = self.fresh(format!("{l}·"));
+                let content = self.content_var.get(l).copied().unwrap_or_else(|| {
+                    // Undeclared element: its content is unconstrained ε
+                    // (the validator rejects such documents; the type
+                    // translation keeps the name but no children).
+                    self.epsilon
+                });
+                self.raw[v.index()].push(RawAlt::Node(NodeAlt {
+                    label: *l,
+                    content,
+                    next: k,
+                }));
+                v
+            }
+            Content::Seq(a, b) => {
+                let tail = self.forest(b, k);
+                self.forest(a, tail)
+            }
+            Content::Choice(a, b) => {
+                let va = self.forest(a, k);
+                let vb = self.forest(b, k);
+                let v = self.fresh("choice");
+                self.raw[v.index()].push(RawAlt::Ref(va));
+                self.raw[v.index()].push(RawAlt::Ref(vb));
+                v
+            }
+            Content::Opt(r) => {
+                let vr = self.forest(r, k);
+                let v = self.fresh("opt");
+                self.raw[v.index()].push(RawAlt::Ref(vr));
+                self.raw[v.index()].push(RawAlt::Ref(k));
+                v
+            }
+            Content::Star(r) => {
+                // X = r·X | k — allocate X first so r may refer to it.
+                let v = self.fresh("star");
+                self.memo.insert(key, v);
+                let body = self.forest(r, v);
+                self.raw[v.index()].push(RawAlt::Ref(body));
+                self.raw[v.index()].push(RawAlt::Ref(k));
+                return v;
+            }
+            Content::Plus(r) => {
+                // r+ · k = r · X with X = r·X | k (no temporary content
+                // node: memo keys are addresses of real DTD nodes only).
+                let x = self.fresh("plus-tail");
+                let body = self.forest(r, x);
+                self.raw[x.index()].push(RawAlt::Ref(body));
+                self.raw[x.index()].push(RawAlt::Ref(k));
+                body
+            }
+        };
+        self.memo.insert(key, v);
+        v
+    }
+
+    /// The `ANY` variable: any forest over declared elements.
+    fn any(&mut self) -> BinVar {
+        if let Some(v) = self.any_var {
+            return v;
+        }
+        let v = self.fresh("any");
+        self.any_var = Some(v);
+        self.raw[v.index()].push(RawAlt::Epsilon);
+        for &(label, _) in self.dtd.elements() {
+            let content = self.content_var[&label];
+            self.raw[v.index()].push(RawAlt::Node(NodeAlt {
+                label,
+                content,
+                next: v,
+            }));
+        }
+        v
+    }
+}
+
+impl BinaryType {
+    /// Assembles a binary type from raw parts (used by the Fig 13 parser);
+    /// runs the same minimization as [`BinaryType::from_dtd`].
+    pub(crate) fn from_parts(defs: Vec<BinDef>, names: Vec<String>, start: BinVar) -> BinaryType {
+        let mut bt = BinaryType { defs, names, start };
+        bt.minimize();
+        bt
+    }
+
+    /// Compiles a DTD to a binary tree type.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use treetypes::{BinaryType, Dtd};
+    ///
+    /// let dtd = Dtd::parse("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>").unwrap();
+    /// let bt = BinaryType::from_dtd(&dtd);
+    /// assert!(bt.var_count() >= 2);
+    /// ```
+    pub fn from_dtd(dtd: &Dtd) -> BinaryType {
+        let mut b = Builder {
+            dtd,
+            raw: Vec::new(),
+            names: Vec::new(),
+            content_var: HashMap::new(),
+            memo: HashMap::new(),
+            epsilon: BinVar(0),
+            any_var: None,
+        };
+        let eps = b.fresh("Epsilon");
+        b.raw[eps.index()].push(RawAlt::Epsilon);
+        b.epsilon = eps;
+        // Pre-allocate one content variable per element so that recursive
+        // DTDs (an element transitively containing itself) tie the knot.
+        for &(label, _) in dtd.elements() {
+            let v = b.fresh(format!("C_{label}"));
+            b.content_var.insert(label, v);
+        }
+        for &(label, ref model) in dtd.elements() {
+            let filled = b.forest(model, eps);
+            let slot = b.content_var[&label];
+            b.raw[slot.index()].push(RawAlt::Ref(filled));
+        }
+        // Start variable: start_label(C_start, ε).
+        let start = b.fresh(format!("{}", dtd.start()));
+        let c = b.content_var[&dtd.start()];
+        b.raw[start.index()].push(RawAlt::Node(NodeAlt {
+            label: dtd.start(),
+            content: c,
+            next: eps,
+        }));
+
+        // Flatten Ref indirections into (nullable, node alternatives).
+        let n = b.raw.len();
+        let mut defs: Vec<BinDef> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut nullable = false;
+            let mut alts: Vec<NodeAlt> = Vec::new();
+            let mut seen = vec![false; n];
+            let mut stack = vec![BinVar(i as u32)];
+            while let Some(v) = stack.pop() {
+                if seen[v.index()] {
+                    continue;
+                }
+                seen[v.index()] = true;
+                for alt in &b.raw[v.index()] {
+                    match alt {
+                        RawAlt::Epsilon => nullable = true,
+                        RawAlt::Node(a) => {
+                            if !alts.contains(a) {
+                                alts.push(*a);
+                            }
+                        }
+                        RawAlt::Ref(r) => stack.push(*r),
+                    }
+                }
+            }
+            defs.push(BinDef { nullable, alts });
+        }
+
+        // Prune to the variables reachable from the start.
+        let mut reach = vec![false; n];
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            if reach[v.index()] {
+                continue;
+            }
+            reach[v.index()] = true;
+            for a in &defs[v.index()].alts {
+                stack.push(a.content);
+                stack.push(a.next);
+            }
+        }
+        let mut remap: Vec<Option<BinVar>> = vec![None; n];
+        let mut out_defs = Vec::new();
+        let mut out_names = Vec::new();
+        for i in 0..n {
+            if reach[i] {
+                remap[i] = Some(BinVar(out_defs.len() as u32));
+                out_defs.push(defs[i].clone());
+                out_names.push(b.names[i].clone());
+            }
+        }
+        for d in &mut out_defs {
+            for a in &mut d.alts {
+                a.content = remap[a.content.index()].expect("reachable");
+                a.next = remap[a.next.index()].expect("reachable");
+            }
+        }
+        let mut bt = BinaryType {
+            defs: out_defs,
+            names: out_names,
+            start: remap[start.index()].expect("start is reachable"),
+        };
+        bt.minimize();
+        bt
+    }
+
+    /// Merges variables with identical definitions until a fixpoint.
+    ///
+    /// The continuation-passing construction creates one variable per name
+    /// occurrence; elements sharing a content model (very common in real
+    /// DTDs — every XHTML inline element has the same `%Inline;` content)
+    /// produce large families of identical definitions. Merging them is a
+    /// congruence, so iterating to a fixpoint is sound and keeps the
+    /// variable count comparable to the paper's Table 1.
+    fn minimize(&mut self) {
+        loop {
+            // Canonical key of each definition under the current ids.
+            let mut canon: HashMap<(bool, Vec<NodeAlt>), BinVar> = HashMap::new();
+            let mut remap: Vec<BinVar> = (0..self.defs.len() as u32).map(BinVar).collect();
+            let mut changed = false;
+            for (i, def) in self.defs.iter().enumerate() {
+                let mut alts = def.alts.clone();
+                alts.sort_by_key(|a| (a.label, a.content, a.next));
+                alts.dedup();
+                let key = (def.nullable, alts);
+                match canon.get(&key) {
+                    Some(&rep) => {
+                        remap[i] = rep;
+                        changed = true;
+                    }
+                    None => {
+                        canon.insert(key, BinVar(i as u32));
+                    }
+                }
+            }
+            if !changed {
+                // Also canonicalize alternative order for stable display.
+                for def in &mut self.defs {
+                    def.alts.sort_by_key(|a| (a.label, a.content, a.next));
+                    def.alts.dedup();
+                }
+                return;
+            }
+            // Apply the merge, drop unreferenced variables, and renumber.
+            for def in &mut self.defs {
+                for a in &mut def.alts {
+                    a.content = remap[a.content.index()];
+                    a.next = remap[a.next.index()];
+                }
+            }
+            self.start = remap[self.start.index()];
+            let n = self.defs.len();
+            let mut reach = vec![false; n];
+            let mut stack = vec![self.start];
+            while let Some(v) = stack.pop() {
+                if reach[v.index()] {
+                    continue;
+                }
+                reach[v.index()] = true;
+                for a in &self.defs[v.index()].alts {
+                    stack.push(a.content);
+                    stack.push(a.next);
+                }
+            }
+            let mut newid: Vec<Option<BinVar>> = vec![None; n];
+            let mut defs = Vec::new();
+            let mut names = Vec::new();
+            for i in 0..n {
+                if reach[i] {
+                    newid[i] = Some(BinVar(defs.len() as u32));
+                    defs.push(self.defs[i].clone());
+                    names.push(self.names[i].clone());
+                }
+            }
+            for def in &mut defs {
+                for a in &mut def.alts {
+                    a.content = newid[a.content.index()].expect("reachable");
+                    a.next = newid[a.next.index()].expect("reachable");
+                }
+            }
+            self.start = newid[self.start.index()].expect("start reachable");
+            self.defs = defs;
+            self.names = names;
+        }
+    }
+
+    /// The variable definitions.
+    pub fn defs(&self) -> &[BinDef] {
+        &self.defs
+    }
+
+    /// The definition of one variable.
+    pub fn def(&self, v: BinVar) -> &BinDef {
+        &self.defs[v.index()]
+    }
+
+    /// The start variable.
+    pub fn start(&self) -> BinVar {
+        self.start
+    }
+
+    /// Display name of a variable.
+    pub fn name(&self, v: BinVar) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of type variables (the "Binary Type Variables" column of the
+    /// paper's Table 1).
+    pub fn var_count(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> impl Iterator<Item = BinVar> {
+        (0..self.defs.len() as u32).map(BinVar)
+    }
+
+    /// Whether a binary-encoded tree (sibling row) matches variable `v`.
+    ///
+    /// `row` is a sequence of sibling subtrees in unranked form; used by
+    /// tests as an independent semantics of the binary type.
+    pub fn matches_row(&self, v: BinVar, row: &[ftree::Tree]) -> bool {
+        let def = self.def(v);
+        match row.split_first() {
+            None => def.nullable,
+            Some((first, rest)) => def.alts.iter().any(|a| {
+                a.label == first.label()
+                    && self.matches_row(a.content, first.children())
+                    && self.matches_row(a.next, rest)
+            }),
+        }
+    }
+
+    /// Whether a whole document matches the type (root = start variable).
+    pub fn matches_tree(&self, t: &ftree::Tree) -> bool {
+        self.matches_row(self.start, std::slice::from_ref(t))
+    }
+
+    /// Renders the type in the paper's Fig 13 style.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for (i, def) in self.defs.iter().enumerate() {
+            let _ = write!(out, "${} ->", self.names[i]);
+            let mut first = true;
+            if def.nullable {
+                let _ = write!(out, " EPSILON");
+                first = false;
+            }
+            for a in &def.alts {
+                if !first {
+                    let _ = write!(out, "\n    |");
+                }
+                let _ = write!(
+                    out,
+                    " {}(${}, ${})",
+                    a.label,
+                    self.names[a.content.index()],
+                    self.names[a.next.index()]
+                );
+                first = false;
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "Start Symbol is ${}\n", self.names[self.start.index()]);
+        let _ = write!(out, "{} type variables.", self.var_count());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::Tree;
+
+    fn wiki() -> Dtd {
+        Dtd::parse(
+            r#"
+            <!ELEMENT article (meta, (text | redirect))>
+            <!ELEMENT meta (title, status?, interwiki*, history?)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT interwiki (#PCDATA)>
+            <!ELEMENT status (#PCDATA)>
+            <!ELEMENT history (edit)+>
+            <!ELEMENT edit (status?, interwiki*, (text | redirect)?)>
+            <!ELEMENT redirect EMPTY>
+            <!ELEMENT text (#PCDATA)>
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_type_agrees_with_validator() {
+        let dtd = wiki();
+        let bt = BinaryType::from_dtd(&dtd);
+        let docs = [
+            ("<article><meta><title/></meta><text/></article>", true),
+            (
+                "<article><meta><title/><status/><history><edit/></history></meta><redirect/></article>",
+                true,
+            ),
+            ("<article><text/><meta><title/></meta></article>", false),
+            ("<article><meta/><text/></article>", false),
+            ("<article><meta><title/></meta></article>", false),
+            ("<text/>", false),
+        ];
+        for (src, expect) in docs {
+            let t = Tree::parse_xml(src).unwrap();
+            assert_eq!(dtd.validates(&t), expect, "validator on {src}");
+            assert_eq!(bt.matches_tree(&t), expect, "binary type on {src}");
+        }
+    }
+
+    #[test]
+    fn recursive_dtd_ties_the_knot() {
+        let dtd = Dtd::parse("<!ELEMENT div (div*)>").unwrap();
+        let bt = BinaryType::from_dtd(&dtd);
+        let t = Tree::parse_xml("<div><div><div/></div><div/></div>").unwrap();
+        assert!(bt.matches_tree(&t));
+        assert!(dtd.validates(&t));
+    }
+
+    #[test]
+    fn var_counts_are_reasonable() {
+        let bt = BinaryType::from_dtd(&wiki());
+        // The paper reports 9 variables for its encoding of this DTD; ours
+        // may differ slightly but must stay the same order of magnitude.
+        assert!(bt.var_count() >= 9 && bt.var_count() <= 30, "{}", bt.var_count());
+        let shown = bt.display();
+        assert!(shown.contains("Start Symbol"), "{shown}");
+        assert!(shown.contains("article($"), "{shown}");
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let dtd = Dtd::parse("<!ELEMENT h (e)+> <!ELEMENT e EMPTY>").unwrap();
+        let bt = BinaryType::from_dtd(&dtd);
+        assert!(!bt.matches_tree(&Tree::parse_xml("<h/>").unwrap()));
+        assert!(bt.matches_tree(&Tree::parse_xml("<h><e/></h>").unwrap()));
+        assert!(bt.matches_tree(&Tree::parse_xml("<h><e/><e/><e/></h>").unwrap()));
+    }
+
+    #[test]
+    fn any_content_type() {
+        let dtd = Dtd::parse("<!ELEMENT a ANY> <!ELEMENT b EMPTY>").unwrap();
+        let bt = BinaryType::from_dtd(&dtd);
+        assert!(bt.matches_tree(&Tree::parse_xml("<a><b/><a><b/></a></a>").unwrap()));
+        assert!(!bt.matches_tree(&Tree::parse_xml("<b/>").unwrap()));
+    }
+}

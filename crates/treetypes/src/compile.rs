@@ -1,0 +1,208 @@
+//! Translation of binary regular tree types into Lµ (paper §5.2, Fig 14).
+//!
+//! Each binary type variable `X` with alternatives `σᵢ(X₁ᵢ, X₂ᵢ)` becomes a
+//! fixpoint binding
+//!
+//! ```text
+//! X = ⋁ᵢ σᵢ ∧ succ₁(X₁ᵢ) ∧ succ₂(X₂ᵢ)
+//! ```
+//!
+//! where the frontier function `succ_α` encodes nullability:
+//!
+//! * `¬⟨α⟩⊤` when the successor variable is bound to ε only,
+//! * `¬⟨α⟩⊤ ∨ ⟨α⟩X` when it is nullable,
+//! * `⟨α⟩X` otherwise.
+//!
+//! The translation uses only downward modalities, so it is trivially
+//! cycle-free; it is linear in the size of the type.
+
+use std::collections::HashMap;
+
+use mulogic::{Formula, Logic, Program, Var};
+
+use crate::binarize::{BinDef, BinVar, BinaryType};
+use crate::dtd::Dtd;
+
+impl BinaryType {
+    /// Compiles the type into a (closed, cycle-free) Lµ formula that holds
+    /// at the root of every tree of the type.
+    ///
+    /// No condition is imposed on the *context* of that root: the formula
+    /// can be conjoined with a query translation wherever the typed tree is
+    /// plugged (paper §5.2).
+    pub fn formula(&self, lg: &mut Logic) -> Formula {
+        // Allocate one fixpoint variable per binary variable that has node
+        // alternatives (ε-only variables are expressed by ¬⟨α⟩⊤ alone).
+        let mut fp: HashMap<BinVar, Var> = HashMap::new();
+        for v in self.vars() {
+            if !self.def(v).alts.is_empty() {
+                fp.insert(v, lg.fresh_var(&format!("T_{}", self.name(v))));
+            }
+        }
+        let succ = |lg: &mut Logic, fp: &HashMap<BinVar, Var>, alpha: Program, x: BinVar, def: &BinDef| {
+            if def.alts.is_empty() {
+                // ε only.
+                lg.not_diam_true(alpha)
+            } else {
+                let xv = fp[&x];
+                let var = lg.var(xv);
+                let step = lg.diam(alpha, var);
+                if def.nullable {
+                    let none = lg.not_diam_true(alpha);
+                    lg.or(none, step)
+                } else {
+                    step
+                }
+            }
+        };
+        let mut bindings = Vec::new();
+        for v in self.vars() {
+            let def = self.def(v);
+            if def.alts.is_empty() {
+                continue;
+            }
+            let mut alts = Vec::new();
+            for a in &def.alts {
+                let prop = lg.prop(a.label);
+                let c_def = self.def(a.content);
+                let n_def = self.def(a.next);
+                let s1 = succ(lg, &fp, Program::Down1, a.content, c_def);
+                let s2 = succ(lg, &fp, Program::Down2, a.next, n_def);
+                let conj1 = lg.and(prop, s1);
+                alts.push(lg.and(conj1, s2));
+            }
+            let body = lg.or_all(alts);
+            bindings.push((fp[&v], body));
+        }
+        let start_def = self.def(self.start());
+        if start_def.alts.is_empty() {
+            // A type accepting only the empty forest: no tree satisfies it.
+            return lg.ff();
+        }
+        let body = lg.var(fp[&self.start()]);
+        lg.mu(bindings, body)
+    }
+}
+
+impl Dtd {
+    /// Convenience: binarizes and compiles the DTD in one step.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mulogic::Logic;
+    /// use treetypes::Dtd;
+    ///
+    /// let dtd = Dtd::parse("<!ELEMENT a (b*)> <!ELEMENT b EMPTY>").unwrap();
+    /// let mut lg = Logic::new();
+    /// let f = dtd.formula(&mut lg);
+    /// assert!(mulogic::cycle_free(&lg, f));
+    /// ```
+    pub fn formula(&self, lg: &mut Logic) -> Formula {
+        crate::binarize::BinaryType::from_dtd(self).formula(lg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::Tree;
+    use mulogic::{cycle_free, ModelChecker};
+
+    fn wiki() -> Dtd {
+        Dtd::parse(
+            r#"
+            <!ELEMENT article (meta, (text | redirect))>
+            <!ELEMENT meta (title, status?, interwiki*, history?)>
+            <!ELEMENT title (#PCDATA)>
+            <!ELEMENT interwiki (#PCDATA)>
+            <!ELEMENT status (#PCDATA)>
+            <!ELEMENT history (edit)+>
+            <!ELEMENT edit (status?, interwiki*, (text | redirect)?)>
+            <!ELEMENT redirect EMPTY>
+            <!ELEMENT text (#PCDATA)>
+        "#,
+        )
+        .unwrap()
+    }
+
+    /// The type formula holds at the root iff the validator accepts.
+    #[test]
+    fn formula_agrees_with_validator() {
+        let dtd = wiki();
+        let mut lg = Logic::new();
+        let f = dtd.formula(&mut lg);
+        assert!(cycle_free(&lg, f));
+        assert!(lg.is_closed(f));
+        let docs = [
+            ("<article><meta><title/></meta><text/></article>", true),
+            (
+                "<article><meta><title/><interwiki/><history><edit><status/></edit></history></meta><redirect/></article>",
+                true,
+            ),
+            ("<article><meta><title/></meta></article>", false),
+            ("<article><text/><meta><title/></meta></article>", false),
+            ("<title/>", false),
+        ];
+        for (src, expect) in docs {
+            let t = Tree::parse_xml(src).unwrap();
+            let mc = ModelChecker::new(&t);
+            let root = &mc.foci()[0];
+            assert_eq!(
+                mc.holds_at(&lg, f, root),
+                expect,
+                "type formula at root of {src}"
+            );
+            assert_eq!(dtd.validates(&t), expect, "validator on {src}");
+        }
+    }
+
+    #[test]
+    fn formula_is_context_free() {
+        // The type formula may hold at an inner node: it describes the
+        // subtree, not the whole document (paper §5.2).
+        let dtd = Dtd::parse("<!ELEMENT b EMPTY>").unwrap();
+        let mut lg = Logic::new();
+        let f = dtd.formula(&mut lg);
+        let t = Tree::parse_xml("<a><b/></a>").unwrap();
+        let mc = ModelChecker::new(&t);
+        let b_focus = mc.foci()[1].clone();
+        assert_eq!(b_focus.label().as_str(), "b");
+        assert!(mc.holds_at(&lg, f, &b_focus));
+        assert!(!mc.holds_at(&lg, f, &mc.foci()[0]));
+    }
+
+    #[test]
+    fn translation_size_is_linear() {
+        // Chain DTDs of growing size.
+        let mut sizes = Vec::new();
+        for n in [4usize, 8, 16] {
+            let mut src = String::new();
+            for i in 0..n {
+                if i + 1 < n {
+                    src.push_str(&format!("<!ELEMENT e{i} (e{}*)>\n", i + 1));
+                } else {
+                    src.push_str(&format!("<!ELEMENT e{i} EMPTY>\n"));
+                }
+            }
+            let dtd = Dtd::parse(&src).unwrap();
+            let mut lg = Logic::new();
+            let f = dtd.formula(&mut lg);
+            sizes.push(lg.size(f));
+        }
+        let d1 = sizes[1] - sizes[0];
+        let d2 = sizes[2] - sizes[1];
+        assert!(d2 <= 2 * d1 + 8, "superlinear: {sizes:?}");
+    }
+
+    #[test]
+    fn mark_does_not_disturb_type() {
+        // Type formulas say nothing about the start mark.
+        let dtd = Dtd::parse("<!ELEMENT a (b)> <!ELEMENT b EMPTY>").unwrap();
+        let mut lg = Logic::new();
+        let f = dtd.formula(&mut lg);
+        let t = Tree::parse_xml("<a><b s=\"1\"/></a>").unwrap();
+        let mc = ModelChecker::new(&t);
+        assert!(mc.holds_at(&lg, f, &mc.foci()[0]));
+    }
+}

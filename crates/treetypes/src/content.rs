@@ -1,0 +1,200 @@
+//! DTD content models (regular expressions over element names).
+
+use std::fmt;
+
+use ftree::Label;
+
+/// A content model: a regular expression over child element names.
+///
+/// `#PCDATA` is treated as the empty sequence — the logic abstracts from
+/// text nodes, exactly as in the paper's data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// `EMPTY` — no children.
+    Empty,
+    /// `(#PCDATA)` — text only; no element children.
+    PCData,
+    /// `ANY` — any sequence of declared elements.
+    Any,
+    /// A child element.
+    Name(Label),
+    /// `(r1, r2)` — sequence.
+    Seq(Box<Content>, Box<Content>),
+    /// `(r1 | r2)` — choice.
+    Choice(Box<Content>, Box<Content>),
+    /// `r?`
+    Opt(Box<Content>),
+    /// `r*`
+    Star(Box<Content>),
+    /// `r+`
+    Plus(Box<Content>),
+}
+
+impl Content {
+    /// Whether the model accepts the empty sequence of children.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Content::Empty | Content::PCData | Content::Any => true,
+            Content::Name(_) => false,
+            Content::Seq(a, b) => a.nullable() && b.nullable(),
+            Content::Choice(a, b) => a.nullable() || b.nullable(),
+            Content::Opt(_) | Content::Star(_) => true,
+            Content::Plus(r) => r.nullable(),
+        }
+    }
+
+    /// Brzozowski derivative with respect to a child label, or `None` when
+    /// no continuation exists. `Any` derives to itself for any label.
+    pub fn derive(&self, l: Label) -> Option<Content> {
+        match self {
+            Content::Empty | Content::PCData => None,
+            Content::Any => Some(Content::Any),
+            Content::Name(n) => {
+                if *n == l {
+                    Some(Content::PCData) // ε
+                } else {
+                    None
+                }
+            }
+            Content::Seq(a, b) => {
+                let left = a
+                    .derive(l)
+                    .map(|da| Content::Seq(Box::new(da), b.clone()));
+                let right = if a.nullable() { b.derive(l) } else { None };
+                match (left, right) {
+                    (Some(x), Some(y)) => Some(Content::Choice(Box::new(x), Box::new(y))),
+                    (Some(x), None) | (None, Some(x)) => Some(x),
+                    (None, None) => None,
+                }
+            }
+            Content::Choice(a, b) => match (a.derive(l), b.derive(l)) {
+                (Some(x), Some(y)) => Some(Content::Choice(Box::new(x), Box::new(y))),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            },
+            Content::Opt(r) => r.derive(l),
+            Content::Star(r) => r
+                .derive(l)
+                .map(|dr| Content::Seq(Box::new(dr), Box::new(Content::Star(r.clone())))),
+            Content::Plus(r) => r
+                .derive(l)
+                .map(|dr| Content::Seq(Box::new(dr), Box::new(Content::Star(r.clone())))),
+        }
+    }
+
+    /// Whether the model accepts a sequence of child labels.
+    pub fn matches(&self, labels: &[Label]) -> bool {
+        let mut cur = self.clone();
+        for &l in labels {
+            match cur.derive(l) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+        cur.nullable()
+    }
+
+    /// The labels mentioned by the model.
+    pub fn mentioned(&self, out: &mut Vec<Label>) {
+        match self {
+            Content::Name(l) => {
+                if !out.contains(l) {
+                    out.push(*l);
+                }
+            }
+            Content::Seq(a, b) | Content::Choice(a, b) => {
+                a.mentioned(out);
+                b.mentioned(out);
+            }
+            Content::Opt(r) | Content::Star(r) | Content::Plus(r) => r.mentioned(out),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Content::Empty => f.write_str("EMPTY"),
+            Content::PCData => f.write_str("(#PCDATA)"),
+            Content::Any => f.write_str("ANY"),
+            Content::Name(l) => write!(f, "{l}"),
+            Content::Seq(a, b) => write!(f, "({a}, {b})"),
+            Content::Choice(a, b) => write!(f, "({a} | {b})"),
+            Content::Opt(r) => write!(f, "{r}?"),
+            Content::Star(r) => write!(f, "{r}*"),
+            Content::Plus(r) => write!(f, "{r}+"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    fn seq(a: Content, b: Content) -> Content {
+        Content::Seq(Box::new(a), Box::new(b))
+    }
+
+    fn alt(a: Content, b: Content) -> Content {
+        Content::Choice(Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(Content::Empty.nullable());
+        assert!(Content::PCData.nullable());
+        assert!(!Content::Name(l("a")).nullable());
+        assert!(Content::Star(Box::new(Content::Name(l("a")))).nullable());
+        assert!(!Content::Plus(Box::new(Content::Name(l("a")))).nullable());
+        assert!(Content::Opt(Box::new(Content::Name(l("a")))).nullable());
+    }
+
+    #[test]
+    fn sequence_matching() {
+        // (a, b?, c*)
+        let m = seq(
+            Content::Name(l("a")),
+            seq(
+                Content::Opt(Box::new(Content::Name(l("b")))),
+                Content::Star(Box::new(Content::Name(l("c")))),
+            ),
+        );
+        assert!(m.matches(&[l("a")]));
+        assert!(m.matches(&[l("a"), l("b")]));
+        assert!(m.matches(&[l("a"), l("c"), l("c")]));
+        assert!(m.matches(&[l("a"), l("b"), l("c")]));
+        assert!(!m.matches(&[]));
+        assert!(!m.matches(&[l("b")]));
+        assert!(!m.matches(&[l("a"), l("b"), l("b")]));
+        assert!(!m.matches(&[l("a"), l("c"), l("b")]));
+    }
+
+    #[test]
+    fn choice_and_plus() {
+        // (a | b)+
+        let m = Content::Plus(Box::new(alt(Content::Name(l("a")), Content::Name(l("b")))));
+        assert!(m.matches(&[l("a")]));
+        assert!(m.matches(&[l("b"), l("a"), l("b")]));
+        assert!(!m.matches(&[]));
+        assert!(!m.matches(&[l("c")]));
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(Content::Any.matches(&[]));
+        assert!(Content::Any.matches(&[l("x"), l("y")]));
+    }
+
+    #[test]
+    fn empty_and_pcdata_match_only_nothing() {
+        assert!(Content::Empty.matches(&[]));
+        assert!(!Content::Empty.matches(&[l("a")]));
+        assert!(Content::PCData.matches(&[]));
+        assert!(!Content::PCData.matches(&[l("a")]));
+    }
+}

@@ -1,0 +1,452 @@
+//! DTD parsing and validation.
+//!
+//! The parser accepts `<!ELEMENT name spec>` declarations (with `EMPTY`,
+//! `ANY`, mixed `(#PCDATA | …)*` and children content specs), skips
+//! comments and `<!ATTLIST …>` declarations, and treats the first declared
+//! element as the start symbol (overridable). Parameter entities must be
+//! pre-expanded; the bundled fixtures are stored expanded.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ftree::{Label, Tree};
+
+use crate::content::Content;
+
+/// A Document Type Definition: an ordered list of element declarations and
+/// a start symbol.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    elements: Vec<(Label, Content)>,
+    index: HashMap<Label, usize>,
+    start: Label,
+}
+
+/// Error returned by [`Dtd::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDtdError {
+    msg: String,
+    at: usize,
+}
+
+impl ParseDtdError {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        ParseDtdError {
+            msg: msg.into(),
+            at,
+        }
+    }
+
+    /// Byte offset of the error.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParseDtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dtd syntax error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl Error for ParseDtdError {}
+
+impl Dtd {
+    /// Parses a DTD from element declarations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDtdError`] on malformed input, duplicate declarations,
+    /// or an empty DTD.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use treetypes::Dtd;
+    ///
+    /// let dtd = Dtd::parse(r#"
+    ///     <!ELEMENT book (chapter+)>
+    ///     <!ELEMENT chapter (section*)>
+    ///     <!ELEMENT section (#PCDATA)>
+    /// "#).unwrap();
+    /// assert_eq!(dtd.start().as_str(), "book");
+    /// assert_eq!(dtd.elements().len(), 3);
+    /// ```
+    pub fn parse(input: &str) -> Result<Dtd, ParseDtdError> {
+        let mut p = DtdParser { input, pos: 0 };
+        let mut elements: Vec<(Label, Content)> = Vec::new();
+        let mut index = HashMap::new();
+        loop {
+            p.skip_trivia();
+            if p.pos >= input.len() {
+                break;
+            }
+            if p.eat_str("<!ELEMENT") {
+                let name = p.name()?;
+                let spec = p.content_spec()?;
+                p.skip_ws();
+                p.expect('>')?;
+                let label = Label::new(&name);
+                if index.contains_key(&label) {
+                    return Err(p.err(format!("duplicate declaration of {name}")));
+                }
+                index.insert(label, elements.len());
+                elements.push((label, spec));
+            } else if p.eat_str("<!ATTLIST") {
+                p.skip_until('>')?;
+            } else {
+                return Err(p.err("expected a declaration"));
+            }
+        }
+        let Some(&(start, _)) = elements.first() else {
+            return Err(ParseDtdError::new("empty dtd", 0));
+        };
+        Ok(Dtd {
+            elements,
+            index,
+            start,
+        })
+    }
+
+    /// The declared elements, in declaration order.
+    pub fn elements(&self) -> &[(Label, Content)] {
+        &self.elements
+    }
+
+    /// The start symbol (first declaration unless overridden).
+    pub fn start(&self) -> Label {
+        self.start
+    }
+
+    /// Overrides the start symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not declared.
+    pub fn with_start(mut self, start: Label) -> Dtd {
+        assert!(
+            self.index.contains_key(&start),
+            "start symbol {start} is not declared"
+        );
+        self.start = start;
+        self
+    }
+
+    /// The content model of an element, if declared.
+    pub fn content(&self, l: Label) -> Option<&Content> {
+        self.index.get(&l).map(|&i| &self.elements[i].1)
+    }
+
+    /// Number of distinct element symbols (the "Symbols" column of the
+    /// paper's Table 1).
+    pub fn symbol_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether `tree` is valid: its root is the start symbol and every node
+    /// matches its declared content model.
+    pub fn validates(&self, tree: &Tree) -> bool {
+        tree.label() == self.start && self.validates_subtree(tree)
+    }
+
+    /// Whether every node of `tree` matches its content model, regardless of
+    /// the root symbol (partial validity, used when a type constrains a
+    /// subtree).
+    pub fn validates_subtree(&self, tree: &Tree) -> bool {
+        let Some(model) = self.content(tree.label()) else {
+            return false;
+        };
+        let child_labels: Vec<Label> = tree.children().iter().map(Tree::label).collect();
+        let ok = match model {
+            Content::Any => child_labels.iter().all(|l| self.index.contains_key(l)),
+            m => m.matches(&child_labels),
+        };
+        ok && tree.children().iter().all(|c| self.validates_subtree(c))
+    }
+}
+
+struct DtdParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl DtdParser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseDtdError {
+        ParseDtdError::new(msg, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments and processing instructions.
+    fn skip_trivia(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.input[self.pos..].starts_with("<?") {
+                match self.input[self.pos..].find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseDtdError> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn skip_until(&mut self, c: char) -> Result<(), ParseDtdError> {
+        match self.input[self.pos..].find(c) {
+            Some(i) => {
+                self.pos += i + c.len_utf8();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated declaration, missing {c:?}"))),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseDtdError> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, ch)| !(ch.is_alphanumeric() || "-_.:".contains(*ch)))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 || !rest.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+            return Err(self.err("expected a name"));
+        }
+        let s = rest[..end].to_owned();
+        self.pos += end;
+        Ok(s)
+    }
+
+    fn content_spec(&mut self) -> Result<Content, ParseDtdError> {
+        self.skip_ws();
+        if self.eat_str("EMPTY") {
+            return Ok(Content::Empty);
+        }
+        if self.eat_str("ANY") {
+            return Ok(Content::Any);
+        }
+        self.expect('(')?;
+        self.skip_ws();
+        if self.input[self.pos..].starts_with("#PCDATA") {
+            self.pos += "#PCDATA".len();
+            // Mixed content: (#PCDATA) or (#PCDATA | a | b)*.
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                if self.eat_str("|") {
+                    names.push(self.name()?);
+                } else {
+                    break;
+                }
+            }
+            self.expect(')')?;
+            if names.is_empty() {
+                // An optional trailing * is allowed: (#PCDATA)*.
+                self.eat_str("*");
+                return Ok(Content::PCData);
+            }
+            if !self.eat_str("*") {
+                return Err(self.err("mixed content must end with ')*'"));
+            }
+            let mut it = names.into_iter();
+            let first = Content::Name(Label::new(&it.next().expect("nonempty")));
+            let choice = it.fold(first, |acc, n| {
+                Content::Choice(Box::new(acc), Box::new(Content::Name(Label::new(&n))))
+            });
+            return Ok(Content::Star(Box::new(choice)));
+        }
+        // Children content: we are just after '('.
+        let inner = self.group_body()?;
+        Ok(self.repetition(inner))
+    }
+
+    /// Parses the inside of a parenthesized group and consumes the ')'.
+    fn group_body(&mut self) -> Result<Content, ParseDtdError> {
+        let first = self.cp()?;
+        self.skip_ws();
+        if self.eat_str("|") {
+            let mut acc = first;
+            loop {
+                let next = self.cp()?;
+                acc = Content::Choice(Box::new(acc), Box::new(next));
+                self.skip_ws();
+                if !self.eat_str("|") {
+                    break;
+                }
+            }
+            self.expect(')')?;
+            Ok(acc)
+        } else if self.eat_str(",") {
+            let mut acc = first;
+            loop {
+                let next = self.cp()?;
+                acc = Content::Seq(Box::new(acc), Box::new(next));
+                self.skip_ws();
+                if !self.eat_str(",") {
+                    break;
+                }
+            }
+            self.expect(')')?;
+            Ok(acc)
+        } else {
+            self.expect(')')?;
+            Ok(first)
+        }
+    }
+
+    /// One content particle: name or group, with optional repetition.
+    fn cp(&mut self) -> Result<Content, ParseDtdError> {
+        self.skip_ws();
+        let base = if self.eat_str("(") {
+            self.group_body()?
+        } else if self.input[self.pos..].starts_with("#PCDATA") {
+            self.pos += "#PCDATA".len();
+            Content::PCData
+        } else {
+            Content::Name(Label::new(&self.name()?))
+        };
+        Ok(self.repetition(base))
+    }
+
+    fn repetition(&mut self, base: Content) -> Content {
+        if self.eat_str("?") {
+            Content::Opt(Box::new(base))
+        } else if self.eat_str("*") {
+            Content::Star(Box::new(base))
+        } else if self.eat_str("+") {
+            Content::Plus(Box::new(base))
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIKI: &str = r#"
+        <!ELEMENT article (meta, (text | redirect))>
+        <!ELEMENT meta (title, status?, interwiki*, history?)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT interwiki (#PCDATA)>
+        <!ELEMENT status (#PCDATA)>
+        <!ELEMENT history (edit)+>
+        <!ELEMENT edit (status?, interwiki*, (text | redirect)?)>
+        <!ELEMENT redirect EMPTY>
+        <!ELEMENT text (#PCDATA)>
+    "#;
+
+    #[test]
+    fn parses_wikipedia_fragment() {
+        let dtd = Dtd::parse(WIKI).unwrap();
+        assert_eq!(dtd.symbol_count(), 9);
+        assert_eq!(dtd.start().as_str(), "article");
+        let edit = dtd.content(Label::new("edit")).unwrap();
+        assert!(edit.nullable());
+    }
+
+    #[test]
+    fn validates_documents() {
+        let dtd = Dtd::parse(WIKI).unwrap();
+        let ok = Tree::parse_xml("<article><meta><title/></meta><text/></article>").unwrap();
+        assert!(dtd.validates(&ok));
+        let ok2 = Tree::parse_xml(
+            "<article><meta><title/><status/><interwiki/><interwiki/>\
+             <history><edit/><edit><text/></edit></history></meta><redirect/></article>",
+        )
+        .unwrap();
+        assert!(dtd.validates(&ok2));
+        // Wrong order.
+        let bad = Tree::parse_xml("<article><text/><meta><title/></meta></article>").unwrap();
+        assert!(!dtd.validates(&bad));
+        // Missing required title.
+        let bad2 = Tree::parse_xml("<article><meta/><text/></article>").unwrap();
+        assert!(!dtd.validates(&bad2));
+        // Wrong root.
+        let bad3 = Tree::parse_xml("<meta><title/></meta>").unwrap();
+        assert!(!dtd.validates(&bad3));
+        assert!(dtd.validates_subtree(&bad3));
+        // Undeclared element.
+        let bad4 = Tree::parse_xml("<article><meta><title/></meta><bogus/></article>").unwrap();
+        assert!(!dtd.validates(&bad4));
+    }
+
+    #[test]
+    fn attlist_and_comments_are_skipped() {
+        let dtd = Dtd::parse(
+            "<!-- a comment -->\n<!ELEMENT a (b*)>\n<!ATTLIST a x CDATA #IMPLIED>\n<!ELEMENT b EMPTY>",
+        )
+        .unwrap();
+        assert_eq!(dtd.symbol_count(), 2);
+    }
+
+    #[test]
+    fn nested_groups() {
+        let dtd = Dtd::parse("<!ELEMENT a ((b | c)+, (d, e)?)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>").unwrap();
+        let t = Tree::parse_xml("<a><c/><b/><d/><e/></a>").unwrap();
+        assert!(dtd.validates(&t));
+        let t2 = Tree::parse_xml("<a><c/><d/></a>").unwrap();
+        assert!(!dtd.validates(&t2));
+    }
+
+    #[test]
+    fn any_content() {
+        let dtd = Dtd::parse("<!ELEMENT a ANY> <!ELEMENT b EMPTY>").unwrap();
+        assert!(dtd.validates(&Tree::parse_xml("<a><b/><a/><b/></a>").unwrap()));
+        assert!(!dtd.validates(&Tree::parse_xml("<a><zzz/></a>").unwrap()));
+    }
+
+    #[test]
+    fn with_start_override() {
+        let dtd = Dtd::parse(WIKI).unwrap().with_start(Label::new("meta"));
+        assert!(dtd.validates(&Tree::parse_xml("<meta><title/></meta>").unwrap()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Dtd::parse("").is_err());
+        assert!(Dtd::parse("<!ELEMENT a (b>").is_err());
+        assert!(Dtd::parse("<!ELEMENT a (b)> <!ELEMENT a (c)>").is_err());
+        assert!(Dtd::parse("garbage").is_err());
+    }
+}

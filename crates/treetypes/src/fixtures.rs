@@ -1,0 +1,257 @@
+//! DTD fixtures used by the paper's evaluation (§8, Table 1): SMIL 1.0,
+//! XHTML 1.0 Strict, and the Wikipedia fragment of Fig 12.
+//!
+//! The W3C DTDs use parameter entities extensively; they are stored here
+//! with entities expanded (the content models are faithful transcriptions
+//! of the published element declarations). The symbol counts match the
+//! paper's Table 1: 19 for SMIL 1.0 and 77 for XHTML 1.0 Strict.
+
+use crate::dtd::Dtd;
+
+/// The Wikipedia encyclopedia DTD fragment of the paper's Fig 12.
+pub const WIKIPEDIA_DTD: &str = r#"
+<!ELEMENT article (meta, (text | redirect))>
+<!ELEMENT meta (title, status?, interwiki*, history?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT interwiki (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT history (edit)+>
+<!ELEMENT edit (status?, interwiki*, (text | redirect)?)>
+<!ELEMENT redirect EMPTY>
+<!ELEMENT text (#PCDATA)>
+"#;
+
+/// SMIL 1.0 (19 element symbols), parameter entities expanded.
+///
+/// `%media-object;` = `audio|video|text|img|animation|textstream|ref`,
+/// `%container-content;` = schedule | switch | link.
+pub const SMIL_1_0_DTD: &str = r#"
+<!ELEMENT smil (head?, body?)>
+<!ELEMENT head (meta*, ((layout | switch), meta*)?)>
+<!ELEMENT layout ANY>
+<!ELEMENT region EMPTY>
+<!ELEMENT root-layout EMPTY>
+<!ELEMENT meta EMPTY>
+<!ELEMENT body (par | seq | audio | video | text | img | animation | textstream | ref | switch | a)*>
+<!ELEMENT par (par | seq | audio | video | text | img | animation | textstream | ref | switch | a)*>
+<!ELEMENT seq (par | seq | audio | video | text | img | animation | textstream | ref | switch | a)*>
+<!ELEMENT switch (par | seq | audio | video | text | img | animation | textstream | ref | a | switch | layout)*>
+<!ELEMENT audio (anchor)*>
+<!ELEMENT video (anchor)*>
+<!ELEMENT text (anchor)*>
+<!ELEMENT img (anchor)*>
+<!ELEMENT animation (anchor)*>
+<!ELEMENT textstream (anchor)*>
+<!ELEMENT ref (anchor)*>
+<!ELEMENT a (par | seq | audio | video | text | img | animation | textstream | ref | switch)*>
+<!ELEMENT anchor EMPTY>
+"#;
+
+/// XHTML 1.0 Strict (77 element symbols), parameter entities expanded.
+///
+/// Entity expansions used below:
+/// * `%inline;`  = `a | br | span | bdo | map | object | img | tt | i | b |
+///   big | small | em | strong | dfn | code | q | samp | kbd | var | cite |
+///   abbr | acronym | sub | sup | input | select | textarea | label |
+///   button`
+/// * `%Inline;`  = `(#PCDATA | %inline; | ins | del | script)*`
+/// * `%block;`   = `p | h1..h6 | div | ul | ol | dl | pre | hr |
+///   blockquote | address | fieldset | table`
+/// * `%Block;`   = `(%block; | form | noscript | ins | del | script)*`
+/// * `%Flow;`    = `(#PCDATA | %block; | form | %inline; | noscript | ins |
+///   del | script)*`
+pub const XHTML_1_0_STRICT_DTD: &str = r#"
+<!ELEMENT html (head, body)>
+<!ELEMENT head ((script | style | meta | link | object)*, ((title, (script | style | meta | link | object)*, (base, (script | style | meta | link | object)*)?) | (base, (script | style | meta | link | object)*, (title, (script | style | meta | link | object)*))))>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT base EMPTY>
+<!ELEMENT meta EMPTY>
+<!ELEMENT link EMPTY>
+<!ELEMENT style (#PCDATA)>
+<!ELEMENT script (#PCDATA)>
+<!ELEMENT noscript (p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | noscript | ins | del | script)*>
+<!ELEMENT body (p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | noscript | ins | del | script)*>
+<!ELEMENT div (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT p (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT h1 (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT h2 (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT h3 (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT h4 (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT h5 (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT h6 (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT ul (li)+>
+<!ELEMENT ol (li)+>
+<!ELEMENT li (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT dl (dt | dd)+>
+<!ELEMENT dt (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT dd (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT address (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT hr EMPTY>
+<!ELEMENT pre (#PCDATA | a | br | span | bdo | map | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT blockquote (p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | noscript | ins | del | script)*>
+<!ELEMENT ins (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT del (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT a (#PCDATA | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT span (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT bdo (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT br EMPTY>
+<!ELEMENT em (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT strong (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT dfn (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT code (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT samp (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT kbd (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT var (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT cite (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT abbr (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT acronym (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT q (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT sub (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT sup (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT tt (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT i (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT b (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT big (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT small (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT object (#PCDATA | param | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT param EMPTY>
+<!ELEMENT img EMPTY>
+<!ELEMENT map ((p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | noscript | ins | del | script)+ | area+)>
+<!ELEMENT area EMPTY>
+<!ELEMENT form (p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | noscript | ins | del | script)*>
+<!ELEMENT label (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | button | ins | del | script)*>
+<!ELEMENT input EMPTY>
+<!ELEMENT select (optgroup | option)+>
+<!ELEMENT optgroup (option)+>
+<!ELEMENT option (#PCDATA)>
+<!ELEMENT textarea (#PCDATA)>
+<!ELEMENT fieldset (#PCDATA | legend | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT legend (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT button (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | blockquote | address | table | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | noscript | ins | del | script)*>
+<!ELEMENT table (caption?, (col* | colgroup*), thead?, tfoot?, (tbody+ | tr+))>
+<!ELEMENT caption (#PCDATA | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | ins | del | script)*>
+<!ELEMENT thead (tr)+>
+<!ELEMENT tfoot (tr)+>
+<!ELEMENT tbody (tr)+>
+<!ELEMENT colgroup (col)*>
+<!ELEMENT col EMPTY>
+<!ELEMENT tr (th | td)+>
+<!ELEMENT th (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+<!ELEMENT td (#PCDATA | p | h1 | h2 | h3 | h4 | h5 | h6 | div | ul | ol | dl | pre | hr | blockquote | address | fieldset | table | form | a | br | span | bdo | map | object | img | tt | i | b | big | small | em | strong | dfn | code | q | samp | kbd | var | cite | abbr | acronym | sub | sup | input | select | textarea | label | button | noscript | ins | del | script)*>
+"#;
+
+/// Parses the bundled Wikipedia DTD fragment (Fig 12).
+///
+/// # Example
+///
+/// ```
+/// let dtd = treetypes::wikipedia();
+/// assert_eq!(dtd.symbol_count(), 9);
+/// ```
+pub fn wikipedia() -> Dtd {
+    Dtd::parse(WIKIPEDIA_DTD).expect("bundled wikipedia dtd parses")
+}
+
+/// Parses the bundled SMIL 1.0 DTD (19 symbols, Table 1).
+pub fn smil_1_0() -> Dtd {
+    Dtd::parse(SMIL_1_0_DTD).expect("bundled smil dtd parses")
+}
+
+/// Parses the bundled XHTML 1.0 Strict DTD (77 symbols, Table 1).
+pub fn xhtml_1_0_strict() -> Dtd {
+    Dtd::parse(XHTML_1_0_STRICT_DTD).expect("bundled xhtml dtd parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::BinaryType;
+    use ftree::Tree;
+
+    #[test]
+    fn table1_symbol_counts() {
+        assert_eq!(smil_1_0().symbol_count(), 19);
+        assert_eq!(xhtml_1_0_strict().symbol_count(), 77);
+        assert_eq!(wikipedia().symbol_count(), 9);
+    }
+
+    #[test]
+    fn smil_accepts_presentation() {
+        let dtd = smil_1_0();
+        let doc = Tree::parse_xml(
+            "<smil><head><meta/><switch><seq><video/><audio/></seq></switch></head>\
+             <body><par><video/><audio/></par></body></smil>",
+        )
+        .unwrap();
+        assert!(dtd.validates(&doc));
+        // region under body is invalid.
+        let bad = Tree::parse_xml("<smil><body><region/></body></smil>").unwrap();
+        assert!(!dtd.validates(&bad));
+    }
+
+    #[test]
+    fn xhtml_accepts_basic_page() {
+        let dtd = xhtml_1_0_strict();
+        let doc = Tree::parse_xml(
+            "<html><head><title/></head><body><p><a><span/></a></p>\
+             <table><tr><td><p/></td></tr></table></body></html>",
+        )
+        .unwrap();
+        assert!(dtd.validates(&doc));
+        // body may not directly contain text-level a.
+        let bad = Tree::parse_xml("<html><head><title/></head><body><a/></body></html>").unwrap();
+        assert!(!dtd.validates(&bad));
+        // head requires a title.
+        let bad2 = Tree::parse_xml("<html><head/><body/></html>").unwrap();
+        assert!(!dtd.validates(&bad2));
+    }
+
+    #[test]
+    fn xhtml_anchor_nesting_is_possible_indirectly() {
+        // The e8 experiment: anchors cannot nest directly…
+        let dtd = xhtml_1_0_strict();
+        let direct = Tree::parse_xml(
+            "<html><head><title/></head><body><p><a><a/></a></p></body></html>",
+        )
+        .unwrap();
+        assert!(!dtd.validates(&direct));
+        // …but can through an intermediate inline element such as span.
+        let indirect = Tree::parse_xml(
+            "<html><head><title/></head><body><p><a><span><a/></span></a></p></body></html>",
+        )
+        .unwrap();
+        assert!(dtd.validates(&indirect));
+    }
+
+    #[test]
+    fn binary_sizes_are_reported() {
+        let smil = BinaryType::from_dtd(&smil_1_0());
+        let xhtml = BinaryType::from_dtd(&xhtml_1_0_strict());
+        // Paper (Table 1): 11 and 325 with the authors' encoding; ours is a
+        // different but comparable construction.
+        assert!(smil.var_count() >= 11, "{}", smil.var_count());
+        assert!(xhtml.var_count() >= 77, "{}", xhtml.var_count());
+    }
+
+    #[test]
+    fn binary_types_agree_with_validator_on_fixtures() {
+        for dtd in [wikipedia(), smil_1_0()] {
+            let bt = BinaryType::from_dtd(&dtd);
+            let docs = [
+                "<article><meta><title/></meta><text/></article>",
+                "<smil><body><seq><audio/></seq></body></smil>",
+                "<smil><head><meta/></head></smil>",
+                "<article><redirect/></article>",
+                "<smil/>",
+            ];
+            for src in docs {
+                let t = Tree::parse_xml(src).unwrap();
+                assert_eq!(
+                    dtd.validates(&t),
+                    bt.matches_tree(&t),
+                    "disagreement on {src}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Regular tree types for XML: DTD content models, validation, the binary
+//! encoding of §5.2 (Fig 13), and the linear translation into Lµ (Fig 14).
+//!
+//! Regular tree languages subsume the mainstream XML schema formalisms
+//! (DTD, XML Schema, Relax NG); this crate implements the DTD front end the
+//! paper's evaluation uses, with three interchangeable semantics that are
+//! cross-checked in tests:
+//!
+//! 1. [`Dtd::validates`] — direct validation by Brzozowski derivatives of
+//!    the content models (the oracle);
+//! 2. [`BinaryType::matches_tree`] — the first-child/next-sibling binary
+//!    encoding of the type (Fig 13);
+//! 3. [`BinaryType::formula`] / [`Dtd::formula`] — the Lµ translation
+//!    (Fig 14), model-checked on concrete trees.
+//!
+//! The bundled [`smil_1_0`], [`xhtml_1_0_strict`] and [`wikipedia`] fixtures
+//! are the workloads of the paper's Table 1 and Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use treetypes::{Dtd, BinaryType};
+//!
+//! let dtd = Dtd::parse("<!ELEMENT list (item*)> <!ELEMENT item EMPTY>")?;
+//! let t = ftree::Tree::parse_xml("<list><item/><item/></list>")?;
+//! assert!(dtd.validates(&t));
+//! let bt = BinaryType::from_dtd(&dtd);
+//! assert!(bt.matches_tree(&t));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binarize;
+mod compile;
+mod content;
+mod dtd;
+mod fixtures;
+mod parse_binary;
+
+pub use binarize::{BinDef, BinVar, BinaryType, NodeAlt};
+pub use content::Content;
+pub use dtd::{Dtd, ParseDtdError};
+pub use parse_binary::ParseBinaryTypeError;
+pub use fixtures::{
+    smil_1_0, wikipedia, xhtml_1_0_strict, SMIL_1_0_DTD, WIKIPEDIA_DTD, XHTML_1_0_STRICT_DTD,
+};

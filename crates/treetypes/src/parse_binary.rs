@@ -1,0 +1,316 @@
+//! Parser for the binary tree type syntax of the paper's Fig 13:
+//!
+//! ```text
+//! $9 -> EPSILON
+//!     | text($Epsilon, $Epsilon)
+//!     | interwiki($Epsilon, $9)
+//! $article -> article($1, $Epsilon)
+//! Start Symbol is $article
+//! ```
+//!
+//! [`BinaryType::display`] produces this syntax; [`BinaryType::parse`]
+//! reads it back, so binary types can be stored and exchanged directly —
+//! the shape the paper's own tool prints.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ftree::Label;
+
+use crate::binarize::{BinDef, BinVar, BinaryType, NodeAlt};
+
+/// Error returned by [`BinaryType::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBinaryTypeError {
+    msg: String,
+    line: usize,
+}
+
+impl ParseBinaryTypeError {
+    fn new(msg: impl Into<String>, line: usize) -> Self {
+        ParseBinaryTypeError {
+            msg: msg.into(),
+            line,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseBinaryTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary type syntax error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for ParseBinaryTypeError {}
+
+/// One alternative as parsed, before variable resolution.
+enum RawAlt {
+    Epsilon,
+    Node {
+        label: String,
+        content: String,
+        next: String,
+    },
+}
+
+impl BinaryType {
+    /// Parses the Fig 13 textual syntax produced by [`BinaryType::display`].
+    ///
+    /// Variables referenced but never defined on the left-hand side of a
+    /// `->` denote the empty-forest variable iff named `Epsilon`; any other
+    /// undefined variable is an error. The `Start Symbol is $X` line is
+    /// mandatory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBinaryTypeError`] on malformed input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use treetypes::BinaryType;
+    ///
+    /// let bt = BinaryType::parse(r"
+    ///     $C -> EPSILON | item($Epsilon, $C)
+    ///     $list -> list($C, $Epsilon)
+    ///     Start Symbol is $list
+    /// ")?;
+    /// let doc = ftree::Tree::parse_xml("<list><item/><item/></list>")?;
+    /// assert!(bt.matches_tree(&doc));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<BinaryType, ParseBinaryTypeError> {
+        // Join continuation lines: an alternative may start on its own line
+        // with `|`.
+        let mut defs_src: Vec<(String, String, usize)> = Vec::new();
+        let mut start_name: Option<(String, usize)> = None;
+        for (ln, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = ln + 1;
+            if line.is_empty() || line.ends_with("type variables.") || line.ends_with("terminals.")
+            {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("Start Symbol is ") {
+                let name = rest
+                    .trim()
+                    .strip_prefix('$')
+                    .ok_or_else(|| ParseBinaryTypeError::new("expected $name", lineno))?;
+                start_name = Some((name.to_owned(), lineno));
+            } else if let Some(rest) = line.strip_prefix('|') {
+                let Some(last) = defs_src.last_mut() else {
+                    return Err(ParseBinaryTypeError::new(
+                        "continuation '|' before any definition",
+                        lineno,
+                    ));
+                };
+                last.1.push('|');
+                last.1.push_str(rest);
+            } else if let Some((lhs, rhs)) = line.split_once("->") {
+                let name = lhs
+                    .trim()
+                    .strip_prefix('$')
+                    .ok_or_else(|| ParseBinaryTypeError::new("expected $name ->", lineno))?;
+                defs_src.push((name.to_owned(), rhs.to_owned(), lineno));
+            } else {
+                return Err(ParseBinaryTypeError::new(
+                    format!("unrecognized line {line:?}"),
+                    lineno,
+                ));
+            }
+        }
+        let Some((start_name, start_line)) = start_name else {
+            return Err(ParseBinaryTypeError::new("missing 'Start Symbol is $X'", 0));
+        };
+
+        // First pass: allocate variables.
+        let mut ids: HashMap<String, BinVar> = HashMap::new();
+        let mut names: Vec<String> = Vec::new();
+        let alloc = |name: &str, ids: &mut HashMap<String, BinVar>, names: &mut Vec<String>| {
+            if let Some(&v) = ids.get(name) {
+                return v;
+            }
+            let v = BinVar::from_index(names.len());
+            ids.insert(name.to_owned(), v);
+            names.push(name.to_owned());
+            v
+        };
+        // The ε variable is implicit.
+        let eps = alloc("Epsilon", &mut ids, &mut names);
+        for (name, _, _) in &defs_src {
+            alloc(name, &mut ids, &mut names);
+        }
+        // Second pass: parse alternatives.
+        let mut defs: Vec<BinDef> = (0..names.len())
+            .map(|_| BinDef {
+                nullable: false,
+                alts: Vec::new(),
+            })
+            .collect();
+        defs[eps.index()].nullable = true;
+        for (name, rhs, lineno) in &defs_src {
+            let v = ids[name];
+            for alt_src in rhs.split('|') {
+                match parse_alt(alt_src.trim(), *lineno)? {
+                    RawAlt::Epsilon => defs[v.index()].nullable = true,
+                    RawAlt::Node {
+                        label,
+                        content,
+                        next,
+                    } => {
+                        let c = *ids.get(&content).ok_or_else(|| {
+                            ParseBinaryTypeError::new(
+                                format!("undefined variable ${content}"),
+                                *lineno,
+                            )
+                        })?;
+                        let nx = *ids.get(&next).ok_or_else(|| {
+                            ParseBinaryTypeError::new(
+                                format!("undefined variable ${next}"),
+                                *lineno,
+                            )
+                        })?;
+                        defs[v.index()].alts.push(NodeAlt {
+                            label: Label::new(&label),
+                            content: c,
+                            next: nx,
+                        });
+                    }
+                }
+            }
+        }
+        let start = *ids.get(&start_name).ok_or_else(|| {
+            ParseBinaryTypeError::new(format!("undefined start symbol ${start_name}"), start_line)
+        })?;
+        Ok(BinaryType::from_parts(defs, names, start))
+    }
+}
+
+/// Parses `EPSILON` or `label($content, $next)`.
+fn parse_alt(src: &str, lineno: usize) -> Result<RawAlt, ParseBinaryTypeError> {
+    if src == "EPSILON" {
+        return Ok(RawAlt::Epsilon);
+    }
+    let err = |msg: &str| ParseBinaryTypeError::new(msg.to_owned(), lineno);
+    let open = src.find('(').ok_or_else(|| err("expected label(...)"))?;
+    if !src.ends_with(')') {
+        return Err(err("expected closing ')'"));
+    }
+    let label = src[..open].trim();
+    if label.is_empty() {
+        return Err(err("empty label"));
+    }
+    let inner = &src[open + 1..src.len() - 1];
+    let (c, n) = inner.split_once(',').ok_or_else(|| err("expected two arguments"))?;
+    let content = c
+        .trim()
+        .strip_prefix('$')
+        .ok_or_else(|| err("expected $variable as first argument"))?;
+    let next = n
+        .trim()
+        .strip_prefix('$')
+        .ok_or_else(|| err("expected $variable as second argument"))?;
+    Ok(RawAlt::Node {
+        label: label.to_owned(),
+        content: content.to_owned(),
+        next: next.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dtd;
+    use ftree::Tree;
+
+    #[test]
+    fn parse_simple() {
+        let bt = BinaryType::parse(
+            "$C -> EPSILON | item($Epsilon, $C)\n$list -> list($C, $Epsilon)\nStart Symbol is $list",
+        )
+        .unwrap();
+        assert!(bt.matches_tree(&Tree::parse_xml("<list/>").unwrap()));
+        assert!(bt.matches_tree(&Tree::parse_xml("<list><item/><item/></list>").unwrap()));
+        assert!(!bt.matches_tree(&Tree::parse_xml("<item/>").unwrap()));
+        assert!(!bt.matches_tree(&Tree::parse_xml("<list><list/></list>").unwrap()));
+    }
+
+    #[test]
+    fn display_parse_roundtrip_on_fixtures() {
+        for dtd in [crate::wikipedia(), crate::smil_1_0()] {
+            let bt = BinaryType::from_dtd(&dtd);
+            let shown = bt.display();
+            let reparsed = BinaryType::parse(&shown)
+                .unwrap_or_else(|e| panic!("roundtrip parse failed: {e}\n{shown}"));
+            // Same language on sample documents.
+            let docs = [
+                "<article><meta><title/></meta><text/></article>",
+                "<smil><body><seq><audio/></seq></body></smil>",
+                "<smil><head><meta/></head></smil>",
+                "<article><redirect/></article>",
+                "<title/>",
+            ];
+            for d in docs {
+                let t = Tree::parse_xml(d).unwrap();
+                assert_eq!(
+                    bt.matches_tree(&t),
+                    reparsed.matches_tree(&t),
+                    "disagreement on {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_type_compiles_to_logic() {
+        let bt = BinaryType::parse(
+            "$C -> EPSILON | item($Epsilon, $C)\n$list -> list($C, $Epsilon)\nStart Symbol is $list",
+        )
+        .unwrap();
+        let mut lg = mulogic::Logic::new();
+        let f = bt.formula(&mut lg);
+        assert!(mulogic::cycle_free(&lg, f));
+        let t = Tree::parse_xml("<list><item/></list>").unwrap();
+        let mc = mulogic::ModelChecker::new(&t);
+        assert!(mc.holds_at(&lg, f, &mc.foci()[0]));
+    }
+
+    #[test]
+    fn multiline_alternatives() {
+        let bt = BinaryType::parse(
+            "$C -> EPSILON\n    | a($Epsilon, $C)\n    | b($Epsilon, $C)\n$r -> r($C, $Epsilon)\nStart Symbol is $r",
+        )
+        .unwrap();
+        assert!(bt.matches_tree(&Tree::parse_xml("<r><a/><b/><a/></r>").unwrap()));
+    }
+
+    #[test]
+    fn agreement_with_dtd_source() {
+        // A type written by hand equals the DTD-compiled one on samples.
+        let dtd = Dtd::parse("<!ELEMENT r (a*)> <!ELEMENT a EMPTY>").unwrap();
+        let from_dtd = BinaryType::from_dtd(&dtd);
+        let by_hand = BinaryType::parse(
+            "$C -> EPSILON | a($Epsilon, $C)\n$r -> r($C, $Epsilon)\nStart Symbol is $r",
+        )
+        .unwrap();
+        for d in ["<r/>", "<r><a/></r>", "<r><a/><a/></r>", "<a/>", "<r><r/></r>"] {
+            let t = Tree::parse_xml(d).unwrap();
+            assert_eq!(from_dtd.matches_tree(&t), by_hand.matches_tree(&t), "{d}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(BinaryType::parse("").is_err());
+        assert!(BinaryType::parse("$a -> b($Epsilon, $Epsilon)").is_err()); // no start
+        assert!(BinaryType::parse("junk\nStart Symbol is $a").is_err());
+        assert!(BinaryType::parse("$a -> b($Missing, $Epsilon)\nStart Symbol is $a").is_err());
+        assert!(BinaryType::parse("$a -> b($Epsilon)\nStart Symbol is $a").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Abstract syntax of the XPath fragment (Fig 4 of the paper).
+//!
+//! The fragment covers all major navigational features of XPath 1.0 except
+//! counting and data-value comparisons: the twelve axes of Fig 4, name and
+//! wildcard node tests, qualifiers with full boolean structure, path
+//! composition, and union/intersection of expressions. As a convenience
+//! (needed for the paper's own benchmark query `html/(head | body)`),
+//! union is also allowed at path level.
+
+use std::fmt;
+
+use ftree::Label;
+
+/// A tree navigation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child`
+    Child,
+    /// `self`
+    SelfAxis,
+    /// `parent`
+    Parent,
+    /// `descendant`
+    Descendant,
+    /// `descendant-or-self`
+    DescOrSelf,
+    /// `ancestor`
+    Ancestor,
+    /// `ancestor-or-self`
+    AncOrSelf,
+    /// `following-sibling`
+    FollSibling,
+    /// `preceding-sibling`
+    PrecSibling,
+    /// `following`
+    Following,
+    /// `preceding`
+    Preceding,
+}
+
+impl Axis {
+    /// All axes of the fragment.
+    pub const ALL: [Axis; 11] = [
+        Axis::Child,
+        Axis::SelfAxis,
+        Axis::Parent,
+        Axis::Descendant,
+        Axis::DescOrSelf,
+        Axis::Ancestor,
+        Axis::AncOrSelf,
+        Axis::FollSibling,
+        Axis::PrecSibling,
+        Axis::Following,
+        Axis::Preceding,
+    ];
+
+    /// The symmetric axis (`symmetric(child) = parent`, …), used to
+    /// translate qualifiers by navigating backwards (Fig 10).
+    pub fn symmetric(self) -> Axis {
+        match self {
+            Axis::Child => Axis::Parent,
+            Axis::Parent => Axis::Child,
+            Axis::SelfAxis => Axis::SelfAxis,
+            Axis::Descendant => Axis::Ancestor,
+            Axis::Ancestor => Axis::Descendant,
+            Axis::DescOrSelf => Axis::AncOrSelf,
+            Axis::AncOrSelf => Axis::DescOrSelf,
+            Axis::FollSibling => Axis::PrecSibling,
+            Axis::PrecSibling => Axis::FollSibling,
+            Axis::Following => Axis::Preceding,
+            Axis::Preceding => Axis::Following,
+        }
+    }
+
+    /// The canonical (paper) name of the axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::SelfAxis => "self",
+            Axis::Parent => "parent",
+            Axis::Descendant => "descendant",
+            Axis::DescOrSelf => "desc-or-self",
+            Axis::Ancestor => "ancestor",
+            Axis::AncOrSelf => "anc-or-self",
+            Axis::FollSibling => "foll-sibling",
+            Axis::PrecSibling => "prec-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A node test: an element name or the wildcard `*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// `a::σ`
+    Name(Label),
+    /// `a::*`
+    Star,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(l) => write!(f, "{l}"),
+            NodeTest::Star => f.write_str("*"),
+        }
+    }
+}
+
+/// A relative path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// `p1/p2`
+    Seq(Box<Path>, Box<Path>),
+    /// `p[q]`
+    Qualified(Box<Path>, Box<Qualifier>),
+    /// `a::σ` or `a::*`
+    Step(Axis, NodeTest),
+    /// `(p1 | p2)` — path-level union.
+    Union(Box<Path>, Box<Path>),
+}
+
+impl Path {
+    /// A step along `axis` testing for `test`.
+    pub fn step(axis: Axis, test: NodeTest) -> Path {
+        Path::Step(axis, test)
+    }
+
+    /// `self / other`.
+    pub fn then(self, other: Path) -> Path {
+        Path::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// `self[q]`.
+    pub fn filter(self, q: Qualifier) -> Path {
+        Path::Qualified(Box::new(self), Box::new(q))
+    }
+
+    /// Number of AST nodes (for the linear-size translation tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Path::Seq(a, b) | Path::Union(a, b) => 1 + a.size() + b.size(),
+            Path::Qualified(p, q) => 1 + p.size() + q.size(),
+            Path::Step(..) => 1,
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Path::Seq(a, b) => write!(f, "{a}/{b}"),
+            Path::Qualified(p, q) => write!(f, "{p}[{q}]"),
+            Path::Step(a, t) => write!(f, "{a}::{t}"),
+            Path::Union(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+/// A qualifier (XPath predicate restricted to path existence tests and
+/// boolean connectives).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Qualifier {
+    /// `q1 and q2`
+    And(Box<Qualifier>, Box<Qualifier>),
+    /// `q1 or q2`
+    Or(Box<Qualifier>, Box<Qualifier>),
+    /// `not(q)`
+    Not(Box<Qualifier>),
+    /// `p` — the path selects at least one node.
+    Path(Box<Path>),
+}
+
+impl Qualifier {
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Qualifier::And(a, b) | Qualifier::Or(a, b) => 1 + a.size() + b.size(),
+            Qualifier::Not(q) => 1 + q.size(),
+            Qualifier::Path(p) => 1 + p.size(),
+        }
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::And(a, b) => write!(f, "{a} and {b}"),
+            Qualifier::Or(a, b) => write!(f, "({a} or {b})"),
+            Qualifier::Not(q) => write!(f, "not({q})"),
+            Qualifier::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A full XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// `/p` — evaluation starts at the root.
+    Absolute(Path),
+    /// `p` — evaluation starts at the context (marked) node.
+    Relative(Path),
+    /// `e1 ∪ e2`
+    Union(Box<Expr>, Box<Expr>),
+    /// `e1 ∩ e2`
+    Intersect(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Absolute(p) | Expr::Relative(p) => 1 + p.size(),
+            Expr::Union(a, b) | Expr::Intersect(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Absolute(p) => write!(f, "/{p}"),
+            Expr::Relative(p) => write!(f, "{p}"),
+            Expr::Union(a, b) => write!(f, "{a} | {b}"),
+            Expr::Intersect(a, b) => write!(f, "({a}) intersect ({b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_is_involutive() {
+        for a in Axis::ALL {
+            assert_eq!(a.symmetric().symmetric(), a);
+        }
+    }
+
+    #[test]
+    fn display_shapes() {
+        let p = Path::step(Axis::Child, NodeTest::Name(Label::new("a")))
+            .then(Path::step(Axis::Descendant, NodeTest::Star));
+        assert_eq!(p.to_string(), "child::a/descendant::*");
+        let q = Qualifier::Not(Box::new(Qualifier::Path(Box::new(Path::step(
+            Axis::Child,
+            NodeTest::Name(Label::new("b")),
+        )))));
+        let pq = p.filter(q);
+        assert_eq!(pq.to_string(), "child::a/descendant::*[not(child::b)]");
+    }
+
+    #[test]
+    fn sizes() {
+        let p = Path::step(Axis::Child, NodeTest::Star);
+        assert_eq!(p.size(), 1);
+        let e = Expr::Relative(p.clone().then(p));
+        assert_eq!(e.size(), 4);
+    }
+}

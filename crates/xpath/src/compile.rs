@@ -1,0 +1,351 @@
+//! Translation of XPath expressions into Lµ (Figs 7, 8 and 10).
+//!
+//! The translation has two modes:
+//!
+//! * the *navigational* mode `E→⟦e⟧χ` / `P→⟦p⟧χ` / `A→⟦a⟧χ`: the resulting
+//!   formula holds exactly at the nodes **selected** by the expression, where
+//!   `χ` describes the context the navigation started from;
+//! * the *filtering* mode `Q←⟦q⟧χ` / `P←⟦p⟧χ` / `A←⟦a⟧χ`: the formula holds
+//!   at nodes **from which** the qualifier path exists, without moving —
+//!   axes are translated through their symmetric axis.
+//!
+//! A relative expression marks its initial context with the start
+//! proposition `s`; an absolute expression navigates from the root. By
+//! Proposition 5.1 the translation is linear in the size of the expression
+//! and produces cycle-free formulas.
+
+use mulogic::{Formula, Logic, Program};
+
+use crate::ast::{Axis, Expr, NodeTest, Path, Qualifier};
+
+/// `E→⟦e⟧χ` (Fig 8): compiles a full expression against a context formula.
+///
+/// The returned formula is satisfied by exactly the focused trees selected
+/// by `e` when evaluation starts from a node satisfying `χ` (which is
+/// conjoined with the start mark `s` for relative expressions).
+///
+/// # Example
+///
+/// ```
+/// use mulogic::Logic;
+/// use xpath::{parse, compile_expr};
+///
+/// let mut lg = Logic::new();
+/// let e = parse("child::a[child::b]").unwrap();
+/// let t = lg.tt();
+/// let f = compile_expr(&mut lg, &e, t);
+/// assert!(mulogic::cycle_free(&lg, f));
+/// ```
+pub fn compile_expr(lg: &mut Logic, e: &Expr, chi: Formula) -> Formula {
+    match e {
+        Expr::Absolute(p) => {
+            // (µZ.(¬⟨1̄⟩⊤ ∧ ¬⟨2̄⟩⊤) ∨ ⟨2̄⟩Z) ∧ (µY.(χ ∧ s) ∨ ⟨1⟩Y ∨ ⟨2⟩Y)
+            //
+            // The paper (Fig 8) writes the first conjunct as
+            // `µZ.¬⟨1̄⟩⊤ ∨ ⟨2̄⟩Z`, but `⟨1̄⟩` is undefined at *any*
+            // non-leftmost sibling, so that disjunct would hold at every
+            // node with a left sibling. "Root row" additionally requires
+            // `¬⟨2̄⟩⊤` at the leftmost position.
+            let root = {
+                let z = lg.fresh_var("Zroot");
+                let zv = lg.var(z);
+                let no_up = lg.not_diam_true(Program::Up1);
+                let no_left = lg.not_diam_true(Program::Up2);
+                let at_top = lg.and(no_up, no_left);
+                let left = lg.diam(Program::Up2, zv);
+                let body = lg.or(at_top, left);
+                lg.mu1(z, body)
+            };
+            let below = {
+                let y = lg.fresh_var("Ymark");
+                let yv = lg.var(y);
+                let s = lg.start();
+                let cs = lg.and(chi, s);
+                let d1 = lg.diam(Program::Down1, yv);
+                let d2 = lg.diam(Program::Down2, yv);
+                let or1 = lg.or(cs, d1);
+                let body = lg.or(or1, d2);
+                lg.mu1(y, body)
+            };
+            let ctx = lg.and(root, below);
+            compile_path_fwd(lg, p, ctx)
+        }
+        Expr::Relative(p) => {
+            let s = lg.start();
+            let ctx = lg.and(chi, s);
+            compile_path_fwd(lg, p, ctx)
+        }
+        Expr::Union(a, b) => {
+            let fa = compile_expr(lg, a, chi);
+            let fb = compile_expr(lg, b, chi);
+            lg.or(fa, fb)
+        }
+        Expr::Intersect(a, b) => {
+            let fa = compile_expr(lg, a, chi);
+            let fb = compile_expr(lg, b, chi);
+            lg.and(fa, fb)
+        }
+    }
+}
+
+/// `P→⟦p⟧χ` (Fig 8).
+fn compile_path_fwd(lg: &mut Logic, p: &Path, chi: Formula) -> Formula {
+    match p {
+        Path::Seq(p1, p2) => {
+            let mid = compile_path_fwd(lg, p1, chi);
+            compile_path_fwd(lg, p2, mid)
+        }
+        Path::Qualified(p, q) => {
+            let sel = compile_path_fwd(lg, p, chi);
+            let tt = lg.tt();
+            let filt = compile_qualifier_bwd(lg, q, tt);
+            lg.and(sel, filt)
+        }
+        Path::Step(a, t) => {
+            let nav = compile_axis_fwd(lg, *a, chi);
+            match t {
+                NodeTest::Name(l) => {
+                    let prop = lg.prop(*l);
+                    lg.and(prop, nav)
+                }
+                NodeTest::Star => nav,
+            }
+        }
+        Path::Union(p1, p2) => {
+            let f1 = compile_path_fwd(lg, p1, chi);
+            let f2 = compile_path_fwd(lg, p2, chi);
+            lg.or(f1, f2)
+        }
+    }
+}
+
+/// `A→⟦a⟧χ` (Fig 7): holds at every node reachable through axis `a` from a
+/// node satisfying `χ`.
+pub fn compile_axis_fwd(lg: &mut Logic, a: Axis, chi: Formula) -> Formula {
+    match a {
+        Axis::SelfAxis => chi,
+        // µZ.⟨1̄⟩χ ∨ ⟨2̄⟩Z
+        Axis::Child => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let up = lg.diam(Program::Up1, chi);
+            let left = lg.diam(Program::Up2, zv);
+            let body = lg.or(up, left);
+            lg.mu1(z, body)
+        }
+        // µZ.⟨2̄⟩χ ∨ ⟨2̄⟩Z
+        Axis::FollSibling => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let prev = lg.diam(Program::Up2, chi);
+            let rec = lg.diam(Program::Up2, zv);
+            let body = lg.or(prev, rec);
+            lg.mu1(z, body)
+        }
+        // µZ.⟨2⟩χ ∨ ⟨2⟩Z
+        Axis::PrecSibling => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let next = lg.diam(Program::Down2, chi);
+            let rec = lg.diam(Program::Down2, zv);
+            let body = lg.or(next, rec);
+            lg.mu1(z, body)
+        }
+        // ⟨1⟩µZ.χ ∨ ⟨2⟩Z
+        Axis::Parent => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let rec = lg.diam(Program::Down2, zv);
+            let body = lg.or(chi, rec);
+            let m = lg.mu1(z, body);
+            lg.diam(Program::Down1, m)
+        }
+        // µZ.⟨1̄⟩(χ ∨ Z) ∨ ⟨2̄⟩Z
+        Axis::Descendant => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let or1 = lg.or(chi, zv);
+            let up = lg.diam(Program::Up1, or1);
+            let left = lg.diam(Program::Up2, zv);
+            let body = lg.or(up, left);
+            lg.mu1(z, body)
+        }
+        // µZ.χ ∨ µY.⟨1̄⟩(Y ∨ Z) ∨ ⟨2̄⟩Y
+        Axis::DescOrSelf => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let y = lg.fresh_var("Y");
+            let yv = lg.var(y);
+            let or_yz = lg.or(yv, zv);
+            let up = lg.diam(Program::Up1, or_yz);
+            let left = lg.diam(Program::Up2, yv);
+            let inner_body = lg.or(up, left);
+            let inner = lg.mu1(y, inner_body);
+            let body = lg.or(chi, inner);
+            lg.mu1(z, body)
+        }
+        // ⟨1⟩µZ.χ ∨ ⟨1⟩Z ∨ ⟨2⟩Z
+        Axis::Ancestor => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let d1 = lg.diam(Program::Down1, zv);
+            let d2 = lg.diam(Program::Down2, zv);
+            let or1 = lg.or(chi, d1);
+            let body = lg.or(or1, d2);
+            let m = lg.mu1(z, body);
+            lg.diam(Program::Down1, m)
+        }
+        // µZ.χ ∨ ⟨1⟩µY.Z ∨ ⟨2⟩Y
+        Axis::AncOrSelf => {
+            let z = lg.fresh_var("Z");
+            let zv = lg.var(z);
+            let y = lg.fresh_var("Y");
+            let yv = lg.var(y);
+            let d2 = lg.diam(Program::Down2, yv);
+            let inner_body = lg.or(zv, d2);
+            let inner = lg.mu1(y, inner_body);
+            let down = lg.diam(Program::Down1, inner);
+            let body = lg.or(chi, down);
+            lg.mu1(z, body)
+        }
+        // desc-or-self ∘ foll-sibling ∘ anc-or-self
+        Axis::Following => {
+            let anc = compile_axis_fwd(lg, Axis::AncOrSelf, chi);
+            let sib = compile_axis_fwd(lg, Axis::FollSibling, anc);
+            compile_axis_fwd(lg, Axis::DescOrSelf, sib)
+        }
+        // desc-or-self ∘ prec-sibling ∘ anc-or-self
+        Axis::Preceding => {
+            let anc = compile_axis_fwd(lg, Axis::AncOrSelf, chi);
+            let sib = compile_axis_fwd(lg, Axis::PrecSibling, anc);
+            compile_axis_fwd(lg, Axis::DescOrSelf, sib)
+        }
+    }
+}
+
+/// `Q←⟦q⟧χ` (Fig 10): holds at nodes from which the qualifier holds, without
+/// navigating away.
+fn compile_qualifier_bwd(lg: &mut Logic, q: &Qualifier, chi: Formula) -> Formula {
+    match q {
+        Qualifier::And(a, b) => {
+            let fa = compile_qualifier_bwd(lg, a, chi);
+            let fb = compile_qualifier_bwd(lg, b, chi);
+            lg.and(fa, fb)
+        }
+        Qualifier::Or(a, b) => {
+            let fa = compile_qualifier_bwd(lg, a, chi);
+            let fb = compile_qualifier_bwd(lg, b, chi);
+            lg.or(fa, fb)
+        }
+        Qualifier::Not(q) => {
+            let f = compile_qualifier_bwd(lg, q, chi);
+            lg.not(f)
+        }
+        Qualifier::Path(p) => compile_path_bwd(lg, p, chi),
+    }
+}
+
+/// `P←⟦p⟧χ` (Fig 10).
+fn compile_path_bwd(lg: &mut Logic, p: &Path, chi: Formula) -> Formula {
+    match p {
+        Path::Seq(p1, p2) => {
+            let inner = compile_path_bwd(lg, p2, chi);
+            compile_path_bwd(lg, p1, inner)
+        }
+        Path::Qualified(p, q) => {
+            let fq = compile_qualifier_bwd(lg, q, chi);
+            let both = lg.and(chi, fq);
+            compile_path_bwd(lg, p, both)
+        }
+        Path::Step(a, t) => {
+            let target = match t {
+                NodeTest::Name(l) => {
+                    let prop = lg.prop(*l);
+                    lg.and(chi, prop)
+                }
+                NodeTest::Star => chi,
+            };
+            compile_axis_fwd(lg, a.symmetric(), target)
+        }
+        Path::Union(p1, p2) => {
+            let f1 = compile_path_bwd(lg, p1, chi);
+            let f2 = compile_path_bwd(lg, p2, chi);
+            lg.or(f1, f2)
+        }
+    }
+}
+
+/// Compiles `e` with the trivial context `⊤` — the common entry point for
+/// decision problems without type constraints.
+pub fn compile_query(lg: &mut Logic, e: &Expr) -> Formula {
+    let t = lg.tt();
+    compile_expr(lg, e, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use mulogic::cycle_free;
+
+    #[test]
+    fn translations_are_cycle_free() {
+        let mut lg = Logic::new();
+        let queries = [
+            "child::a[child::b]",
+            "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+            "a/b//c/foll-sibling::d/e",
+            "descendant::a[ancestor::a]",
+            "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
+            "preceding::a | following::b",
+            "child::c/prec-sibling::a[child::b]",
+        ];
+        for q in queries {
+            let e = parse(q).unwrap();
+            let f = compile_query(&mut lg, &e);
+            assert!(cycle_free(&lg, f), "not cycle-free: {q}");
+            assert!(lg.is_closed(f), "not closed: {q}");
+        }
+    }
+
+    #[test]
+    fn translation_is_linear_in_query_size() {
+        // Compile chains child::a/child::a/…/child::a of growing length and
+        // check the formula size grows linearly (Proposition 5.1).
+        let mut sizes = Vec::new();
+        for n in [4usize, 8, 16] {
+            let mut lg = Logic::new();
+            let q = vec!["a"; n].join("/");
+            let e = parse(&q).unwrap();
+            let f = compile_query(&mut lg, &e);
+            sizes.push(lg.size(f));
+        }
+        let d1 = sizes[1] - sizes[0];
+        let d2 = sizes[2] - sizes[1];
+        // Doubling the query size should roughly double the increment.
+        assert!(d2 <= 2 * d1 + 8, "superlinear growth: {sizes:?}");
+    }
+
+    #[test]
+    fn fig9_shape() {
+        // child::a[child::b] = a ∧ (µX.⟨1̄⟩(χ∧s) ∨ ⟨2̄⟩X) ∧ ⟨1⟩µY.b ∨ ⟨2⟩Y
+        let mut lg = Logic::new();
+        let e = parse("child::a[child::b]").unwrap();
+        let f = compile_query(&mut lg, &e);
+        let shown = lg.display(f);
+        assert!(shown.contains('a'), "{shown}");
+        assert!(shown.contains("<-1>"), "{shown}");
+        assert!(shown.contains("<1>"), "{shown}");
+        assert!(lg.mentions_start(f));
+    }
+
+    #[test]
+    fn star_steps_have_no_prop() {
+        let mut lg = Logic::new();
+        let e = parse("child::*").unwrap();
+        let f = compile_query(&mut lg, &e);
+        // µZ.⟨1̄⟩(⊤∧s) ∨ ⟨2̄⟩Z — no atomic proposition at all.
+        let shown = lg.display(f);
+        assert!(shown.contains("let_mu"), "{shown}");
+    }
+}

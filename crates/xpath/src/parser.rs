@@ -1,0 +1,476 @@
+//! Parser for the XPath fragment, with the usual abbreviations.
+//!
+//! Supported surface syntax (everything appearing in the paper's Fig 21):
+//!
+//! * full steps `axis::test` with the paper's axis names and the W3C long
+//!   forms (`following-sibling`, `descendant-or-self`, …);
+//! * abbreviations: a bare name is a `child` step, `*` is `child::*`, `.` is
+//!   `self::*`, `..` is `parent::*`, and `//` stands for
+//!   `/desc-or-self::*/`;
+//! * qualifiers `[q]` with `and`, `or`, `not(·)` and nested paths; absolute
+//!   paths in qualifiers (`[//c]`, `[/a/b]`) are desugared to
+//!   `anc-or-self::*[not(parent::*)]/…`, anchoring them at the root;
+//! * expression-level union `|` (also `∪`, `union`) and intersection
+//!   `intersect` (also `∩`);
+//! * path-level union `(p1 | p2)` as used by `html/(head | body)`.
+
+use std::error::Error;
+use std::fmt;
+
+use ftree::Label;
+
+use crate::ast::{Axis, Expr, NodeTest, Path, Qualifier};
+
+/// Error returned by [`Expr::parse`] and [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXPathError {
+    msg: String,
+    at: usize,
+}
+
+impl ParseXPathError {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        ParseXPathError {
+            msg: msg.into(),
+            at,
+        }
+    }
+
+    /// Byte offset of the error in the input.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParseXPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xpath syntax error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl Error for ParseXPathError {}
+
+/// Parses an XPath expression.
+///
+/// # Errors
+///
+/// Returns [`ParseXPathError`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use xpath::parse;
+///
+/// let e = parse("a/b//c/foll-sibling::d/e").unwrap();
+/// assert_eq!(
+///     e.to_string(),
+///     "child::a/child::b/desc-or-self::*/child::c/foll-sibling::d/child::e"
+/// );
+/// ```
+pub fn parse(input: &str) -> Result<Expr, ParseXPathError> {
+    let mut p = Parser { input, pos: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+impl Expr {
+    /// Parses an XPath expression (see [`parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXPathError`] on malformed input.
+    pub fn parse(input: &str) -> Result<Expr, ParseXPathError> {
+        parse(input)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+fn desc_or_self_star() -> Path {
+    Path::Step(Axis::DescOrSelf, NodeTest::Star)
+}
+
+/// `anc-or-self::*[not(parent::*)]` — climbs to the document root; used to
+/// anchor absolute paths appearing inside qualifiers.
+fn to_root() -> Path {
+    Path::Step(Axis::AncOrSelf, NodeTest::Star).filter(Qualifier::Not(Box::new(
+        Qualifier::Path(Box::new(Path::Step(Axis::Parent, NodeTest::Star))),
+    )))
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseXPathError {
+        ParseXPathError::new(msg, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(char::is_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn starts_with(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseXPathError> {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn peek_name(&mut self) -> Option<&str> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || "_.".contains(*c) || *c == '-'))
+            .map_or(rest.len(), |(i, _)| i);
+        // A name must not start with a digit, '.' or '-'.
+        match rest.chars().next() {
+            Some(c) if c.is_alphabetic() || c == '_' => Some(&rest[..end]),
+            _ => None,
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_name() == Some(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseXPathError> {
+        let mut acc = self.path_expr()?;
+        loop {
+            self.skip_ws();
+            if self.eat_str("|") || self.eat_str("∪") {
+                let rhs = self.path_expr()?;
+                acc = Expr::Union(Box::new(acc), Box::new(rhs));
+            } else if self.eat_str("∩") {
+                let rhs = self.path_expr()?;
+                acc = Expr::Intersect(Box::new(acc), Box::new(rhs));
+            } else if self.peek_name() == Some("union") {
+                self.pos += "union".len();
+                let rhs = self.path_expr()?;
+                acc = Expr::Union(Box::new(acc), Box::new(rhs));
+            } else if self.peek_name() == Some("intersect") {
+                self.pos += "intersect".len();
+                let rhs = self.path_expr()?;
+                acc = Expr::Intersect(Box::new(acc), Box::new(rhs));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn path_expr(&mut self) -> Result<Expr, ParseXPathError> {
+        self.skip_ws();
+        if self.eat_str("//") {
+            let p = self.rel_path()?;
+            return Ok(Expr::Absolute(desc_or_self_star().then(p)));
+        }
+        if self.eat_str("/") {
+            let p = self.rel_path()?;
+            return Ok(Expr::Absolute(p));
+        }
+        let p = self.rel_path()?;
+        Ok(Expr::Relative(p))
+    }
+
+    // ----- paths ------------------------------------------------------------
+
+    fn rel_path(&mut self) -> Result<Path, ParseXPathError> {
+        let mut acc = self.step()?;
+        loop {
+            self.skip_ws();
+            if self.eat_str("//") {
+                let s = self.step()?;
+                acc = acc.then(desc_or_self_star()).then(s);
+            } else if self.starts_with("/") && !self.starts_with("//") {
+                self.pos += 1;
+                let s = self.step()?;
+                acc = acc.then(s);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    /// One step (possibly a parenthesized path union), with its qualifiers.
+    fn step(&mut self) -> Result<Path, ParseXPathError> {
+        let mut base = if self.eat_str("(") {
+            let mut acc = self.rel_path()?;
+            loop {
+                self.skip_ws();
+                if self.eat_str("|") || self.eat_str("∪") {
+                    let rhs = self.rel_path()?;
+                    acc = Path::Union(Box::new(acc), Box::new(rhs));
+                } else {
+                    break;
+                }
+            }
+            self.expect(')')?;
+            acc
+        } else {
+            self.simple_step()?
+        };
+        while self.starts_with("[") {
+            self.pos += 1;
+            let q = self.qualifier_expr()?;
+            self.expect(']')?;
+            base = base.filter(q);
+        }
+        Ok(base)
+    }
+
+    fn simple_step(&mut self) -> Result<Path, ParseXPathError> {
+        self.skip_ws();
+        if self.eat_str("..") {
+            return Ok(Path::Step(Axis::Parent, NodeTest::Star));
+        }
+        if self.eat_str(".") {
+            return Ok(Path::Step(Axis::SelfAxis, NodeTest::Star));
+        }
+        if self.eat_str("*") {
+            return Ok(Path::Step(Axis::Child, NodeTest::Star));
+        }
+        let Some(name) = self.peek_name().map(str::to_owned) else {
+            return Err(self.err("expected a step"));
+        };
+        self.pos += name.len();
+        if self.eat_str("::") {
+            let axis = axis_by_name(&name).ok_or_else(|| self.err(format!("unknown axis {name:?}")))?;
+            let test = self.node_test()?;
+            Ok(Path::Step(axis, test))
+        } else {
+            Ok(Path::Step(Axis::Child, NodeTest::Name(Label::new(&name))))
+        }
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseXPathError> {
+        if self.eat_str("*") {
+            return Ok(NodeTest::Star);
+        }
+        match self.peek_name().map(str::to_owned) {
+            Some(n) => {
+                self.pos += n.len();
+                Ok(NodeTest::Name(Label::new(&n)))
+            }
+            None => Err(self.err("expected a node test")),
+        }
+    }
+
+    // ----- qualifiers ---------------------------------------------------------
+
+    fn qualifier_expr(&mut self) -> Result<Qualifier, ParseXPathError> {
+        let mut acc = self.qualifier_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.qualifier_and()?;
+            acc = Qualifier::Or(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn qualifier_and(&mut self) -> Result<Qualifier, ParseXPathError> {
+        let mut acc = self.qualifier_atom()?;
+        while self.eat_keyword("and") {
+            let rhs = self.qualifier_atom()?;
+            acc = Qualifier::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn qualifier_atom(&mut self) -> Result<Qualifier, ParseXPathError> {
+        self.skip_ws();
+        if self.peek_name() == Some("not") {
+            let save = self.pos;
+            self.pos += "not".len();
+            if self.eat_str("(") {
+                let q = self.qualifier_expr()?;
+                self.expect(')')?;
+                return Ok(Qualifier::Not(Box::new(q)));
+            }
+            self.pos = save; // an element named "not"
+        }
+        if self.starts_with("(") {
+            // Try a parenthesized boolean group; fall back to a path.
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(q) = self.qualifier_expr() {
+                if self.eat_str(")") && !self.starts_with("/") && !self.starts_with("[") {
+                    return Ok(q);
+                }
+            }
+            self.pos = save;
+        }
+        // A path qualifier; absolute paths are anchored at the root.
+        if self.eat_str("//") {
+            let p = self.rel_path()?;
+            return Ok(Qualifier::Path(Box::new(
+                to_root().then(desc_or_self_star()).then(p),
+            )));
+        }
+        if self.starts_with("/") {
+            self.pos += 1;
+            let p = self.rel_path()?;
+            return Ok(Qualifier::Path(Box::new(to_root().then(p))));
+        }
+        let p = self.rel_path()?;
+        Ok(Qualifier::Path(Box::new(p)))
+    }
+}
+
+fn axis_by_name(name: &str) -> Option<Axis> {
+    Some(match name {
+        "child" => Axis::Child,
+        "self" => Axis::SelfAxis,
+        "parent" => Axis::Parent,
+        "descendant" => Axis::Descendant,
+        "desc-or-self" | "descendant-or-self" => Axis::DescOrSelf,
+        "ancestor" => Axis::Ancestor,
+        "anc-or-self" | "ancestor-or-self" => Axis::AncOrSelf,
+        "foll-sibling" | "following-sibling" => Axis::FollSibling,
+        "prec-sibling" | "preceding-sibling" => Axis::PrecSibling,
+        "following" => Axis::Following,
+        "preceding" => Axis::Preceding,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(roundtrip("a"), "child::a");
+        assert_eq!(roundtrip("*"), "child::*");
+        assert_eq!(roundtrip("."), "self::*");
+        assert_eq!(roundtrip(".."), "parent::*");
+        assert_eq!(roundtrip("/a"), "/child::a");
+        assert_eq!(roundtrip("a/b"), "child::a/child::b");
+        assert_eq!(roundtrip("a//b"), "child::a/desc-or-self::*/child::b");
+        assert_eq!(roundtrip("//b"), "/desc-or-self::*/child::b");
+    }
+
+    #[test]
+    fn full_axes() {
+        assert_eq!(roundtrip("following-sibling::a"), "foll-sibling::a");
+        assert_eq!(roundtrip("prec-sibling::*"), "prec-sibling::*");
+        assert_eq!(
+            roundtrip("descendant-or-self::x"),
+            "desc-or-self::x"
+        );
+    }
+
+    #[test]
+    fn qualifiers() {
+        assert_eq!(roundtrip("a[b]"), "child::a[child::b]");
+        assert_eq!(
+            roundtrip("a[b and not(c)]"),
+            "child::a[child::b and not(child::c)]"
+        );
+        assert_eq!(
+            roundtrip("a[b or c and d]"),
+            "child::a[(child::b or child::c and child::d)]"
+        );
+    }
+
+    #[test]
+    fn absolute_path_in_qualifier_is_root_anchored() {
+        let shown = roundtrip("a/b[//c]");
+        assert!(
+            shown.contains("anc-or-self::*[not(parent::*)]/desc-or-self::*/child::c"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let e = parse("a | b").unwrap();
+        assert!(matches!(e, Expr::Union(..)));
+        let e = parse("a ∩ b").unwrap();
+        assert!(matches!(e, Expr::Intersect(..)));
+        let e = parse("a intersect b").unwrap();
+        assert!(matches!(e, Expr::Intersect(..)));
+    }
+
+    #[test]
+    fn path_level_union() {
+        let shown = roundtrip("html/(head | body)");
+        assert_eq!(shown, "child::html/(child::head | child::body)");
+    }
+
+    #[test]
+    fn paper_queries_parse() {
+        let queries = [
+            "/a[.//b[c/*//d]/b[c//d]/b[c/d]]",
+            "/a[.//b[c/*//d]/b[c/d]]",
+            "a/b//c/foll-sibling::d/e",
+            "a/b//d[prec-sibling::c]/e",
+            "a/c/following::d/e",
+            "a/b[//c]/following::d/e ∩ a/d[preceding::c]/e",
+            "*//switch[ancestor::head]//seq//audio[prec-sibling::video]",
+            "descendant::a[ancestor::a]",
+            "/descendant::*",
+            "html/(head | body)",
+            "html/head/descendant::*",
+            "html/body/descendant::*",
+        ];
+        for q in queries {
+            let e = parse(q).unwrap_or_else(|err| panic!("{q}: {err}"));
+            // Reparse the canonical form.
+            let canon = e.to_string();
+            let e2 = parse(&canon).unwrap_or_else(|err| panic!("{canon}: {err}"));
+            assert_eq!(e2.to_string(), canon);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a/").is_err());
+        assert!(parse("a[").is_err());
+        assert!(parse("unknown-axis::a").is_err());
+        assert!(parse("a]").is_err());
+        assert!(parse("a b").is_err());
+    }
+}

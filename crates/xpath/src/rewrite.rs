@@ -1,0 +1,263 @@
+//! Semantics-preserving XPath simplification.
+//!
+//! The paper motivates equivalence checking by query *reformulation and
+//! optimization* (its §1 cites logic-based XPath optimizers). This module
+//! implements a small rewriting engine whose rules are classical:
+//!
+//! * trivial-step elimination: `p/self::* → p`, `self::*/p → p`;
+//! * qualifier fusion: `p[q1][q2] → p[q1 and q2]`;
+//! * the `//`-fusion `desc-or-self::*/child::t → descendant::t` (and the
+//!   same for `descendant`);
+//! * parent-of-child introduction: `child::σ/parent::* → self::*[child::σ]`;
+//! * boolean cleanup: `not(not(q)) → q`, duplicate union/intersection
+//!   branches.
+//!
+//! Every rule is proved sound in two independent ways by this crate's
+//! tests: on random trees against the denotational interpreter, and — for
+//! the equivalence judgement itself — by the satisfiability solver in the
+//! `analyzer` crate's integration tests.
+
+use crate::ast::{Axis, Expr, NodeTest, Path, Qualifier};
+
+/// Applies the rewrite rules bottom-up until a fixpoint.
+///
+/// # Example
+///
+/// ```
+/// use xpath::{normalize, parse};
+///
+/// let e = parse("a/self::*//b[c][d]").unwrap();
+/// let n = normalize(&e);
+/// assert_eq!(n.to_string(), "child::a/descendant::b[child::c and child::d]");
+/// ```
+pub fn normalize(e: &Expr) -> Expr {
+    let mut cur = e.clone();
+    loop {
+        let next = rewrite_expr(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn rewrite_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Absolute(p) => Expr::Absolute(rewrite_path(p)),
+        Expr::Relative(p) => Expr::Relative(rewrite_path(p)),
+        Expr::Union(a, b) => {
+            let (ra, rb) = (rewrite_expr(a), rewrite_expr(b));
+            if ra == rb {
+                ra
+            } else {
+                Expr::Union(Box::new(ra), Box::new(rb))
+            }
+        }
+        Expr::Intersect(a, b) => {
+            let (ra, rb) = (rewrite_expr(a), rewrite_expr(b));
+            if ra == rb {
+                ra
+            } else {
+                Expr::Intersect(Box::new(ra), Box::new(rb))
+            }
+        }
+    }
+}
+
+/// A bare `self::*` step (no qualifier).
+fn is_trivial_self(p: &Path) -> bool {
+    matches!(p, Path::Step(Axis::SelfAxis, NodeTest::Star))
+}
+
+/// `child::t ↦ descendant::t` (and through one qualifier layer), the right
+/// factor of the `desc-or-self::*/child::t` fusion.
+fn fuse_descendant(p: &Path) -> Option<Path> {
+    match p {
+        Path::Step(Axis::Child, t) | Path::Step(Axis::Descendant, t) => {
+            Some(Path::Step(Axis::Descendant, *t))
+        }
+        Path::Qualified(inner, q) => {
+            let fused = fuse_descendant(inner)?;
+            Some(Path::Qualified(Box::new(fused), q.clone()))
+        }
+        _ => None,
+    }
+}
+
+fn rewrite_path(p: &Path) -> Path {
+    match p {
+        Path::Seq(a, b) => {
+            let ra = rewrite_path(a);
+            let rb = rewrite_path(b);
+            // p/self::* → p and self::*/p → p.
+            if is_trivial_self(&rb) {
+                return ra;
+            }
+            if is_trivial_self(&ra) {
+                return rb;
+            }
+            // Left-associated variant: (x/desc-or-self::*)/child::t →
+            // x/descendant::t.
+            if let Path::Seq(x, mid) = &ra {
+                if matches!(**mid, Path::Step(Axis::DescOrSelf, NodeTest::Star)) {
+                    if let Some(fused) = fuse_descendant(&rb) {
+                        return Path::Seq(x.clone(), Box::new(fused));
+                    }
+                }
+            }
+            // desc-or-self::*/child::t → descendant::t  (the `//` fusion);
+            // desc-or-self::*/descendant::t → descendant::t.
+            if let Path::Step(Axis::DescOrSelf, NodeTest::Star) = ra {
+                match &rb {
+                    Path::Step(Axis::Child, t) => return Path::Step(Axis::Descendant, *t),
+                    Path::Step(Axis::Descendant, t) => {
+                        return Path::Step(Axis::Descendant, *t)
+                    }
+                    Path::Qualified(inner, q) => {
+                        if let Path::Step(Axis::Child, t) = **inner {
+                            return Path::Qualified(
+                                Box::new(Path::Step(Axis::Descendant, t)),
+                                q.clone(),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // child::σ/parent::* → self::*[child::σ].
+            if let (Path::Step(Axis::Child, t), Path::Step(Axis::Parent, NodeTest::Star)) =
+                (&ra, &rb)
+            {
+                return Path::Qualified(
+                    Box::new(Path::Step(Axis::SelfAxis, NodeTest::Star)),
+                    Box::new(Qualifier::Path(Box::new(Path::Step(Axis::Child, *t)))),
+                );
+            }
+            Path::Seq(Box::new(ra), Box::new(rb))
+        }
+        Path::Qualified(inner, q) => {
+            let ri = rewrite_path(inner);
+            let rq = rewrite_qualifier(q);
+            // p[q1][q2] → p[q1 and q2].
+            if let Path::Qualified(inner2, q1) = ri {
+                return Path::Qualified(
+                    inner2,
+                    Box::new(Qualifier::And(q1, Box::new(rq))),
+                );
+            }
+            Path::Qualified(Box::new(ri), Box::new(rq))
+        }
+        Path::Step(..) => p.clone(),
+        Path::Union(a, b) => {
+            let (ra, rb) = (rewrite_path(a), rewrite_path(b));
+            if ra == rb {
+                ra
+            } else {
+                Path::Union(Box::new(ra), Box::new(rb))
+            }
+        }
+    }
+}
+
+fn rewrite_qualifier(q: &Qualifier) -> Qualifier {
+    match q {
+        Qualifier::And(a, b) => {
+            let (ra, rb) = (rewrite_qualifier(a), rewrite_qualifier(b));
+            if ra == rb {
+                ra
+            } else {
+                Qualifier::And(Box::new(ra), Box::new(rb))
+            }
+        }
+        Qualifier::Or(a, b) => {
+            let (ra, rb) = (rewrite_qualifier(a), rewrite_qualifier(b));
+            if ra == rb {
+                ra
+            } else {
+                Qualifier::Or(Box::new(ra), Box::new(rb))
+            }
+        }
+        Qualifier::Not(inner) => {
+            let ri = rewrite_qualifier(inner);
+            // not(not(q)) → q.
+            if let Qualifier::Not(q2) = ri {
+                *q2
+            } else {
+                Qualifier::Not(Box::new(ri))
+            }
+        }
+        Qualifier::Path(p) => Qualifier::Path(Box::new(rewrite_path(p))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval_on_tree, parse};
+    use ftree::Tree;
+
+    fn norm(src: &str) -> String {
+        normalize(&parse(src).unwrap()).to_string()
+    }
+
+    #[test]
+    fn self_elimination() {
+        assert_eq!(norm("a/self::*"), "child::a");
+        assert_eq!(norm("self::*/a"), "child::a");
+        assert_eq!(norm("a/self::*/b"), "child::a/child::b");
+        // A qualified self step is NOT eliminated.
+        assert_eq!(norm("a/self::*[b]"), "child::a/self::*[child::b]");
+    }
+
+    #[test]
+    fn double_slash_fusion() {
+        assert_eq!(norm("a//b"), "child::a/descendant::b");
+        assert_eq!(norm("//b"), "/descendant::b");
+        assert_eq!(norm("a//b[c]"), "child::a/descendant::b[child::c]");
+    }
+
+    #[test]
+    fn qualifier_fusion_and_double_negation() {
+        assert_eq!(norm("a[b][c]"), "child::a[child::b and child::c]");
+        assert_eq!(norm("a[not(not(b))]"), "child::a[child::b]");
+    }
+
+    #[test]
+    fn child_parent_introduction() {
+        assert_eq!(norm("b/.."), "self::*[child::b]");
+    }
+
+    #[test]
+    fn duplicate_branches() {
+        assert_eq!(norm("a | a"), "child::a");
+        assert_eq!(norm("a ∩ a"), "child::a");
+        assert_eq!(norm("a[b or b]"), "child::a[child::b]");
+    }
+
+    #[test]
+    fn normalization_preserves_semantics_on_samples() {
+        let docs = [
+            "<r s=\"1\"><a><b/><c/></a><a><b><d/></b></a></r>",
+            "<a s=\"1\"><b><c/></b><b/><d/></a>",
+        ];
+        let queries = [
+            "a/self::*//b[c][not(not(d))]",
+            "b/..",
+            "a | a",
+            ".//b",
+            "a//b | a/self::*/descendant::b",
+        ];
+        for d in docs {
+            let t = Tree::parse_xml(d).unwrap();
+            for q in queries {
+                let e = parse(q).unwrap();
+                let n = normalize(&e);
+                assert_eq!(
+                    eval_on_tree(&e, &t),
+                    eval_on_tree(&n, &t),
+                    "{q} vs {n} on {d}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Denotational semantics of XPath over focused-tree sets (Figs 5 and 6).
+//!
+//! Expressions denote functions `2^F → 2^F` where `F` is the set of foci of
+//! a marked tree; the mark records the context node where evaluation of a
+//! relative expression starts. This interpreter is executable and serves as
+//! the oracle against which the Lµ compilation is property-tested.
+
+use std::collections::HashSet;
+
+use ftree::{FocusedTree, Tree};
+
+use crate::ast::{Axis, Expr, NodeTest, Path, Qualifier};
+
+type FSet = HashSet<FocusedTree>;
+
+/// Evaluates `e` over the foci of a marked tree.
+///
+/// The tree must carry exactly one start mark: the context node. The result
+/// is the set of foci selected by the expression.
+///
+/// # Panics
+///
+/// Panics if the tree does not contain exactly one mark.
+///
+/// # Example
+///
+/// ```
+/// use ftree::Tree;
+/// use xpath::{parse, eval_on_tree};
+///
+/// let t = Tree::parse_xml("<a s=\"1\"><b/><c/></a>").unwrap();
+/// let e = parse("child::*").unwrap();
+/// let picked = eval_on_tree(&e, &t);
+/// assert_eq!(picked.len(), 2);
+/// ```
+pub fn eval_on_tree(e: &Expr, tree: &Tree) -> Vec<FocusedTree> {
+    assert_eq!(tree.mark_count(), 1, "tree must carry exactly one mark");
+    let universe: FSet = FocusedTree::all_foci(tree).into_iter().collect();
+    let mut out: Vec<FocusedTree> = eval_expr(e, &universe).into_iter().collect();
+    // Deterministic order for assertions: by document order in the universe.
+    let order = FocusedTree::all_foci(tree);
+    out.sort_by_key(|f| order.iter().position(|g| g == f));
+    out
+}
+
+/// `S_e⟦e⟧F` (Fig 5).
+pub fn eval_expr(e: &Expr, universe: &FSet) -> FSet {
+    match e {
+        Expr::Absolute(p) => {
+            let roots: FSet = universe.iter().map(|f| f.root()).collect();
+            eval_path(p, &roots, universe)
+        }
+        Expr::Relative(p) => {
+            let start: FSet = universe.iter().filter(|f| f.is_marked()).cloned().collect();
+            eval_path(p, &start, universe)
+        }
+        Expr::Union(a, b) => {
+            let sa = eval_expr(a, universe);
+            let sb = eval_expr(b, universe);
+            sa.union(&sb).cloned().collect()
+        }
+        Expr::Intersect(a, b) => {
+            let sa = eval_expr(a, universe);
+            let sb = eval_expr(b, universe);
+            sa.intersection(&sb).cloned().collect()
+        }
+    }
+}
+
+/// `S_p⟦p⟧F` (Fig 5).
+fn eval_path(p: &Path, from: &FSet, universe: &FSet) -> FSet {
+    match p {
+        Path::Seq(p1, p2) => {
+            let mid = eval_path(p1, from, universe);
+            eval_path(p2, &mid, universe)
+        }
+        Path::Qualified(p, q) => eval_path(p, from, universe)
+            .into_iter()
+            .filter(|f| eval_qualifier(q, f, universe))
+            .collect(),
+        Path::Step(a, t) => eval_axis(*a, from)
+            .into_iter()
+            .filter(|f| match t {
+                NodeTest::Name(l) => f.label() == *l,
+                NodeTest::Star => true,
+            })
+            .collect(),
+        Path::Union(p1, p2) => {
+            let s1 = eval_path(p1, from, universe);
+            let s2 = eval_path(p2, from, universe);
+            s1.union(&s2).cloned().collect()
+        }
+    }
+}
+
+/// `S_q⟦q⟧f` (Fig 5).
+fn eval_qualifier(q: &Qualifier, f: &FocusedTree, universe: &FSet) -> bool {
+    match q {
+        Qualifier::And(a, b) => {
+            eval_qualifier(a, f, universe) && eval_qualifier(b, f, universe)
+        }
+        Qualifier::Or(a, b) => eval_qualifier(a, f, universe) || eval_qualifier(b, f, universe),
+        Qualifier::Not(q) => !eval_qualifier(q, f, universe),
+        Qualifier::Path(p) => {
+            let singleton: FSet = std::iter::once(f.clone()).collect();
+            !eval_path(p, &singleton, universe).is_empty()
+        }
+    }
+}
+
+fn image(from: &FSet, step: impl Fn(&FocusedTree) -> Option<FocusedTree>) -> FSet {
+    from.iter().filter_map(|f| step(f)).collect()
+}
+
+/// Transitive closure of a one-step function, excluding the seeds.
+fn plus(from: &FSet, step: impl Fn(&FocusedTree) -> Option<FocusedTree> + Copy) -> FSet {
+    let mut acc = FSet::new();
+    let mut frontier = image(from, step);
+    while !frontier.is_empty() {
+        let mut next = FSet::new();
+        for f in frontier {
+            if acc.insert(f.clone()) {
+                if let Some(g) = step(&f) {
+                    next.insert(g);
+                }
+            }
+        }
+        frontier = next;
+    }
+    acc
+}
+
+/// Closure over an arbitrary set-valued step, excluding the seeds.
+fn plus_set(from: &FSet, step: impl Fn(&FSet) -> FSet) -> FSet {
+    let mut acc = FSet::new();
+    let mut frontier = step(from);
+    loop {
+        let fresh: FSet = frontier.difference(&acc).cloned().collect();
+        if fresh.is_empty() {
+            return acc;
+        }
+        acc.extend(fresh.iter().cloned());
+        frontier = step(&fresh);
+    }
+}
+
+/// `S_a⟦a⟧F` (Fig 5).
+pub fn eval_axis(a: Axis, from: &FSet) -> FSet {
+    match a {
+        Axis::SelfAxis => from.clone(),
+        Axis::Child => {
+            let first = image(from, FocusedTree::down1);
+            let later = plus(&first, |f| f.down2());
+            first.union(&later).cloned().collect()
+        }
+        Axis::FollSibling => plus(from, |f| f.down2()),
+        Axis::PrecSibling => plus(from, |f| f.up2()),
+        Axis::Parent => image(from, |f| f.parent()),
+        Axis::Descendant => plus_set(from, |s| eval_axis(Axis::Child, s)),
+        Axis::DescOrSelf => {
+            let desc = eval_axis(Axis::Descendant, from);
+            from.union(&desc).cloned().collect()
+        }
+        Axis::Ancestor => plus(from, |f| f.parent()),
+        Axis::AncOrSelf => {
+            let anc = eval_axis(Axis::Ancestor, from);
+            from.union(&anc).cloned().collect()
+        }
+        Axis::Following => {
+            let anc = eval_axis(Axis::AncOrSelf, from);
+            let sib = eval_axis(Axis::FollSibling, &anc);
+            eval_axis(Axis::DescOrSelf, &sib)
+        }
+        Axis::Preceding => {
+            let anc = eval_axis(Axis::AncOrSelf, from);
+            let sib = eval_axis(Axis::PrecSibling, &anc);
+            eval_axis(Axis::DescOrSelf, &sib)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn labels(mut v: Vec<FocusedTree>) -> Vec<String> {
+        v.sort_by_key(|f| f.label().as_str());
+        v.iter().map(|f| f.label().to_string()).collect()
+    }
+
+    /// `<a s><b><d/><e/></b><c/></a>` with the mark at the root.
+    fn doc() -> Tree {
+        Tree::parse_xml("<a s=\"1\"><b><d/><e/></b><c/></a>").unwrap()
+    }
+
+    #[test]
+    fn child_axis() {
+        let sel = eval_on_tree(&parse("child::*").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let sel = eval_on_tree(&parse("descendant::*").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        let t = doc().mark_at(&[0, 0]).unwrap(); // mark on d
+        let sel = eval_on_tree(&parse("parent::*").unwrap(), &t);
+        assert_eq!(labels(sel), vec!["b"]);
+        let sel = eval_on_tree(&parse("ancestor::*").unwrap(), &t);
+        assert_eq!(labels(sel), vec!["a", "b"]);
+        let sel = eval_on_tree(&parse("anc-or-self::*").unwrap(), &t);
+        assert_eq!(labels(sel), vec!["a", "b", "d"]);
+    }
+
+    #[test]
+    fn siblings() {
+        let t = doc().mark_at(&[0, 0]).unwrap(); // mark on d
+        let sel = eval_on_tree(&parse("foll-sibling::*").unwrap(), &t);
+        assert_eq!(labels(sel), vec!["e"]);
+        let t2 = doc().mark_at(&[1]).unwrap(); // mark on c
+        let sel = eval_on_tree(&parse("prec-sibling::*").unwrap(), &t2);
+        assert_eq!(labels(sel), vec!["b"]);
+    }
+
+    #[test]
+    fn following_and_preceding() {
+        let t = doc().mark_at(&[0, 1]).unwrap(); // mark on e
+        let sel = eval_on_tree(&parse("following::*").unwrap(), &t);
+        assert_eq!(labels(sel), vec!["c"]);
+        let t2 = doc().mark_at(&[1]).unwrap(); // mark on c
+        let sel = eval_on_tree(&parse("preceding::*").unwrap(), &t2);
+        assert_eq!(labels(sel), vec!["b", "d", "e"]);
+    }
+
+    #[test]
+    fn absolute_vs_relative() {
+        let t = doc().mark_at(&[0]).unwrap(); // mark on b
+        let rel = eval_on_tree(&parse("child::*").unwrap(), &t);
+        assert_eq!(labels(rel), vec!["d", "e"]);
+        let abs = eval_on_tree(&parse("/child::*").unwrap(), &t);
+        // Absolute paths ignore the mark: children of the root <a>.
+        assert_eq!(labels(abs), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn qualifiers_filter() {
+        let sel = eval_on_tree(&parse("child::*[child::d]").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["b"]);
+        let sel = eval_on_tree(&parse("child::*[not(child::d)]").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["c"]);
+        let sel = eval_on_tree(&parse("child::*[child::d and child::e]").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["b"]);
+        let sel = eval_on_tree(&parse("child::*[child::d or self::c]").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn union_intersection() {
+        let sel = eval_on_tree(&parse("child::b | child::c").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["b", "c"]);
+        let sel = eval_on_tree(&parse("child::* ∩ child::c").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["c"]);
+    }
+
+    #[test]
+    fn double_slash() {
+        let sel = eval_on_tree(&parse("//d").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["d"]);
+        let sel = eval_on_tree(&parse(".//e").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["e"]);
+    }
+
+    #[test]
+    fn path_union() {
+        let t = Tree::parse_xml("<html s=\"1\"><head/><body><p/></body></html>").unwrap();
+        let sel = eval_on_tree(&parse("html/(head | body)").unwrap(), &t);
+        // Relative from the marked root: html has no child named html.
+        assert_eq!(labels(sel), Vec::<String>::new());
+        let sel = eval_on_tree(&parse("(head | body)").unwrap(), &t);
+        assert_eq!(labels(sel), vec!["body", "head"]);
+    }
+
+    #[test]
+    fn absolute_in_qualifier() {
+        // [//e] holds anywhere in this document.
+        let sel = eval_on_tree(&parse("child::c[//e]").unwrap(), &doc());
+        assert_eq!(labels(sel), vec!["c"]);
+        // [//zzz] holds nowhere.
+        let sel = eval_on_tree(&parse("child::c[//zzz]").unwrap(), &doc());
+        assert!(sel.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Differential property tests: the denotational XPath interpreter (Fig 5)
+//! and the Lµ translation (Figs 7/8/10) evaluated by the model checker
+//! (Fig 2) must select exactly the same nodes on every tree.
+//!
+//! This is the executable form of Proposition 5.1(1).
+
+use ftree::Tree;
+use mulogic::{cycle_free, Logic, ModelChecker};
+use proptest::prelude::*;
+use xpath::ast::{Axis, Expr, NodeTest, Path, Qualifier};
+use xpath::{compile_query, eval_on_tree};
+
+const LABELS: [&str; 3] = ["a", "b", "c"];
+
+fn arb_label() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(&LABELS[..])
+}
+
+fn arb_tree(max_depth: u32) -> impl Strategy<Value = Tree> {
+    let leaf = arb_label().prop_map(Tree::leaf);
+    leaf.prop_recursive(max_depth, 12, 3, |inner| {
+        (arb_label(), prop::collection::vec(inner, 0..3))
+            .prop_map(|(l, cs)| Tree::node(l, cs))
+    })
+}
+
+/// A tree with exactly one mark, placed uniformly over the nodes.
+fn arb_marked_tree() -> impl Strategy<Value = Tree> {
+    (arb_tree(3), any::<prop::sample::Index>()).prop_map(|(t, ix)| {
+        let paths = t.node_paths();
+        let path = &paths[ix.index(paths.len())];
+        t.mark_at(path).expect("path comes from node_paths")
+    })
+}
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop::sample::select(&Axis::ALL[..])
+}
+
+fn arb_node_test() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        arb_label().prop_map(|l| NodeTest::Name(ftree::Label::new(l))),
+        Just(NodeTest::Star),
+    ]
+}
+
+fn arb_path(depth: u32) -> BoxedStrategy<Path> {
+    let step = (arb_axis(), arb_node_test()).prop_map(|(a, t)| Path::Step(a, t));
+    if depth == 0 {
+        return step.boxed();
+    }
+    prop_oneof![
+        4 => step,
+        2 => (arb_path(depth - 1), arb_path(depth - 1))
+            .prop_map(|(p, q)| p.then(q)),
+        2 => (arb_path(depth - 1), arb_qualifier(depth - 1))
+            .prop_map(|(p, q)| p.filter(q)),
+        1 => (arb_path(depth - 1), arb_path(depth - 1))
+            .prop_map(|(p, q)| Path::Union(Box::new(p), Box::new(q))),
+    ]
+    .boxed()
+}
+
+fn arb_qualifier(depth: u32) -> BoxedStrategy<Qualifier> {
+    let leaf = arb_path(0).prop_map(|p| Qualifier::Path(Box::new(p)));
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        3 => arb_path(depth - 1).prop_map(|p| Qualifier::Path(Box::new(p))),
+        1 => (arb_qualifier(depth - 1), arb_qualifier(depth - 1))
+            .prop_map(|(a, b)| Qualifier::And(Box::new(a), Box::new(b))),
+        1 => (arb_qualifier(depth - 1), arb_qualifier(depth - 1))
+            .prop_map(|(a, b)| Qualifier::Or(Box::new(a), Box::new(b))),
+        1 => arb_qualifier(depth - 1).prop_map(|q| Qualifier::Not(Box::new(q))),
+    ]
+    .boxed()
+}
+
+fn arb_expr() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        4 => arb_path(2).prop_map(Expr::Relative),
+        2 => arb_path(2).prop_map(Expr::Absolute),
+        1 => (arb_path(1), arb_path(1)).prop_map(|(a, b)| Expr::Union(
+            Box::new(Expr::Relative(a)),
+            Box::new(Expr::Relative(b))
+        )),
+        1 => (arb_path(1), arb_path(1)).prop_map(|(a, b)| Expr::Intersect(
+            Box::new(Expr::Relative(a)),
+            Box::new(Expr::Relative(b))
+        )),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interpreter and translation agree node-for-node.
+    #[test]
+    fn translation_matches_interpreter(t in arb_marked_tree(), e in arb_expr()) {
+        let picked = eval_on_tree(&e, &t);
+
+        let mut lg = Logic::new();
+        let f = compile_query(&mut lg, &e);
+        let mc = ModelChecker::new(&t);
+        let logical = mc.sat_foci(&lg, f);
+
+        let mut a: Vec<String> = picked.iter().map(|f| format!("{f:?}")).collect();
+        let mut b: Vec<String> = logical.iter().map(|f| format!("{f:?}")).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b, "query {} on {}", e, t.to_xml());
+    }
+
+    /// Every translation is cycle-free and closed (Proposition 5.1(2)).
+    #[test]
+    fn translation_cycle_free(e in arb_expr()) {
+        let mut lg = Logic::new();
+        let f = compile_query(&mut lg, &e);
+        prop_assert!(lg.is_closed(f));
+        prop_assert!(cycle_free(&lg, f), "not cycle-free: {}", e);
+    }
+
+    /// Normalization is semantics-preserving: the rewritten query selects
+    /// exactly the same nodes on every tree.
+    #[test]
+    fn normalize_preserves_semantics(t in arb_marked_tree(), e in arb_expr()) {
+        let n = xpath::normalize(&e);
+        let mut before: Vec<String> =
+            eval_on_tree(&e, &t).iter().map(|f| format!("{f:?}")).collect();
+        let mut after: Vec<String> =
+            eval_on_tree(&n, &t).iter().map(|f| format!("{f:?}")).collect();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after, "{} vs {} on {}", e, n, t.to_xml());
+    }
+
+    /// Normalization is idempotent (it runs to a fixpoint), and grows a
+    /// query by at most one AST node per rewritten `child::σ/parent::*`
+    /// pattern (that rule trades a navigation step for a qualifier node).
+    #[test]
+    fn normalize_is_idempotent(e in arb_expr()) {
+        let n = xpath::normalize(&e);
+        prop_assert_eq!(xpath::normalize(&n), n.clone(), "{} -> {}", e, n);
+        prop_assert!(n.size() <= 2 * e.size(), "{} -> {}", e, n);
+    }
+
+    /// Parsing the display form is the identity.
+    #[test]
+    fn parse_display_roundtrip(e in arb_expr()) {
+        let shown = e.to_string();
+        let reparsed = xpath::parse(&shown).unwrap();
+        prop_assert_eq!(reparsed.to_string(), shown);
+    }
+}

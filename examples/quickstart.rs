@@ -1,0 +1,54 @@
+//! Quickstart: decide XPath containment, overlap and emptiness, and print
+//! counter-examples.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use xsat::analyzer::Analyzer;
+use xsat::xpath::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut az = Analyzer::new();
+
+    // Containment that holds: filtering commutes with the descendant step.
+    let q1 = parse("a/b//d[prec-sibling::c]/e")?;
+    let q2 = parse("a/b//c/foll-sibling::d/e")?;
+    let v = az.contains(&q1, None, &q2, None);
+    println!("{q1}\n  ⊆ {q2}\n  -> {}", verdict(v.holds));
+    println!(
+        "  lean = {} atoms, {} iterations, {:?}\n",
+        v.stats.lean_size, v.stats.iterations, v.stats.duration
+    );
+
+    // Containment that fails: the solver produces a counter-example tree.
+    let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
+    let e2 = parse("child::c[child::b]")?;
+    let v = az.contains(&e1, None, &e2, None);
+    println!("{e1}\n  ⊆ {e2}\n  -> {}", verdict(v.holds));
+    if let Some(m) = &v.counter_example {
+        println!("  counter-example (s=\"1\" marks the context node):");
+        println!("  {}\n", m.xml());
+    }
+
+    // Emptiness: no node is both an a and a b.
+    let e = parse("child::a ∩ child::b")?;
+    let v = az.is_empty(&e, None);
+    println!("{e}\n  is empty -> {}", verdict(v.holds));
+
+    // Overlap: a witness where both queries select the same node.
+    let o1 = parse("child::*[child::b]")?;
+    let o2 = parse("child::a")?;
+    let v = az.overlaps(&o1, None, &o2, None);
+    println!("\n{o1} overlaps {o2} -> {}", verdict(v.holds));
+    if let Some(m) = &v.counter_example {
+        println!("  witness: {}", m.xml());
+    }
+    Ok(())
+}
+
+fn verdict(b: bool) -> &'static str {
+    if b {
+        "YES"
+    } else {
+        "NO"
+    }
+}

@@ -1,0 +1,68 @@
+//! Schema evolution analysis: when a DTD changes, which guarantees
+//! survive? This is the "XPath equivalence under type constraints" use-case
+//! of the paper's §8 — checking that queries keep selecting the same nodes
+//! when an input type evolves — combined with type-level inclusion checks.
+//!
+//! Run with `cargo run --release --example schema_evolution`.
+
+use xsat::analyzer::Analyzer;
+use xsat::treetypes::Dtd;
+use xsat::xpath::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Version 1: an article has a title then paragraphs.
+    let v1 = Dtd::parse(
+        "<!ELEMENT article (title, para*)>\n\
+         <!ELEMENT title (#PCDATA)>\n\
+         <!ELEMENT para (#PCDATA)>",
+    )?;
+    // Version 2 adds an optional abstract between title and paragraphs.
+    let v2 = Dtd::parse(
+        "<!ELEMENT article (title, abstract?, para*)>\n\
+         <!ELEMENT title (#PCDATA)>\n\
+         <!ELEMENT abstract (para*)>\n\
+         <!ELEMENT para (#PCDATA)>",
+    )?;
+
+    let mut az = Analyzer::new();
+
+    // Backward compatibility: every v1 document is a valid v2 document.
+    let v = az.type_subset(&v1, &v2);
+    println!("v1 ⊆ v2 (backward compatible): {}", v.holds);
+    // …but not conversely.
+    let v = az.type_subset(&v2, &v1);
+    println!("v2 ⊆ v1: {}", v.holds);
+    if let Some(m) = &v.counter_example {
+        println!("  v2-only document: {}", m.tree().clear_marks().to_xml());
+    }
+
+    // Query stability: "the paragraphs of the article" — evaluated from the
+    // context node, the article root (type contexts are root-anchored).
+    // Under v1 the direct children are all of them; under v2 the same query
+    // misses the paragraphs that moved inside <abstract>.
+    let direct = parse("para")?;
+    let all_paras = parse(".//para")?;
+    let (fwd, bwd) = az.equivalent(&direct, Some(&v1), &all_paras, Some(&v1));
+    println!(
+        "under v1, para ≡ .//para: {}",
+        fwd.holds && bwd.holds
+    );
+    let (fwd, bwd) = az.equivalent(&direct, Some(&v2), &all_paras, Some(&v2));
+    println!(
+        "under v2, para ≡ .//para: {}",
+        fwd.holds && bwd.holds
+    );
+    if let Some(m) = bwd.counter_example.or(fwd.counter_example) {
+        println!("  separating document: {}", m.xml());
+    }
+
+    // The migration fix: (para | abstract/para) recovers equivalence with
+    // .//para under v2.
+    let fixed = parse("(para | abstract/para)")?;
+    let (fwd, bwd) = az.equivalent(&fixed, Some(&v2), &all_paras, Some(&v2));
+    println!(
+        "under v2, (para | abstract/para) ≡ .//para: {}",
+        fwd.holds && bwd.holds
+    );
+    Ok(())
+}

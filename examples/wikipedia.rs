@@ -1,0 +1,52 @@
+//! The paper's running type example (Figs 12–14): the Wikipedia DTD
+//! fragment, its binary tree type encoding, its Lµ formula, and a few
+//! queries analyzed under it.
+//!
+//! Run with `cargo run --example wikipedia`.
+
+use xsat::analyzer::Analyzer;
+use xsat::mulogic::Logic;
+use xsat::treetypes::{wikipedia, BinaryType, WIKIPEDIA_DTD};
+use xsat::xpath::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig 12: the DTD fragment ==");
+    println!("{}", WIKIPEDIA_DTD.trim());
+
+    let dtd = wikipedia();
+    let bt = BinaryType::from_dtd(&dtd);
+    println!("\n== Fig 13: binary tree type encoding ==");
+    println!("{}", bt.display());
+
+    println!("\n== Fig 14: the Lµ formula ==");
+    let mut lg = Logic::new();
+    let f = bt.formula(&mut lg);
+    println!("{}", lg.display(f));
+
+    println!("\n== Queries under the Wikipedia type ==");
+    let mut az = Analyzer::new();
+
+    // Every article has a meta child: //article ⊆ //article[meta].
+    let all_articles = parse("//article")?;
+    let with_meta = parse("//article[meta]")?;
+    let v = az.contains(&all_articles, Some(&dtd), &with_meta, Some(&dtd));
+    println!("//article ⊆ //article[meta] under the DTD: {}", v.holds);
+
+    // A redirect inside history/edit is possible…
+    let deep_redirect = parse("//history//redirect")?;
+    let v = az.is_satisfiable(&deep_redirect, Some(&dtd));
+    println!("//history//redirect satisfiable: {}", v.holds);
+    if let Some(m) = &v.counter_example {
+        println!("  witness: {}", m.xml());
+    }
+
+    // …but a history inside a redirect is not.
+    let bad = parse("//redirect//history")?;
+    let v = az.is_satisfiable(&bad, Some(&dtd));
+    println!("//redirect//history satisfiable: {}", v.holds);
+
+    // Without the type constraint the last query *is* satisfiable.
+    let v = az.is_satisfiable(&bad, None);
+    println!("//redirect//history satisfiable without type: {}", v.holds);
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! Regenerates the paper's evaluation (§8): Table 1, Table 2, and the
+//! figure examples (Fig 13/14 type compilation, Fig 18 solver run).
+//!
+//! ```text
+//! cargo run --release --bin experiments            # everything but the slow XHTML rows
+//! cargo run --release --bin experiments -- all     # everything (minutes)
+//! cargo run --release --bin experiments -- table1
+//! cargo run --release --bin experiments -- table2        # rows 1-4
+//! cargo run --release --bin experiments -- table2-xhtml  # rows 5-6 (slow)
+//! cargo run --release --bin experiments -- fig13
+//! cargo run --release --bin experiments -- fig18
+//! ```
+//!
+//! Timings are not expected to match the paper's milliseconds (different
+//! machine, different decade, different BDD engine); the verdicts and their
+//! relative difficulty are.
+
+use std::time::Instant;
+
+use xsat::analyzer::{paper, Analyzer};
+use xsat::mulogic::Logic;
+use xsat::treetypes::{smil_1_0, wikipedia, xhtml_1_0_strict, BinaryType};
+use xsat::xpath::parse;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "fast".to_owned());
+    match arg.as_str() {
+        "table1" => table1(),
+        "table2" => table2_fast(),
+        "table2-xhtml" => table2_xhtml(),
+        "fig13" => fig13(),
+        "fig18" => fig18(),
+        "all" => {
+            table1();
+            fig13();
+            fig18();
+            table2_fast();
+            table2_xhtml();
+        }
+        "fast" => {
+            table1();
+            fig13();
+            fig18();
+            table2_fast();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    println!("== Table 1: types used in experiments ==");
+    println!(
+        "{:<22} {:>8} {:>8} {:>12} {:>14}",
+        "DTD", "symbols", "(paper)", "binary vars", "(paper)"
+    );
+    for (name, dtd, paper_syms, paper_vars) in [
+        ("SMIL 1.0", smil_1_0(), 19, 11),
+        ("XHTML 1.0 Strict", xhtml_1_0_strict(), 77, 325),
+        ("Wikipedia (Fig 12)", wikipedia(), 9, 9),
+    ] {
+        let bt = BinaryType::from_dtd(&dtd);
+        println!(
+            "{:<22} {:>8} {:>8} {:>12} {:>14}",
+            name,
+            dtd.symbol_count(),
+            paper_syms,
+            bt.var_count(),
+            paper_vars
+        );
+    }
+    println!();
+}
+
+struct RowResult {
+    description: &'static str,
+    paper_ms: u64,
+    measured_ms: u128,
+    verdicts: String,
+    lean: usize,
+}
+
+fn print_rows(rows: &[RowResult]) {
+    println!(
+        "{:<28} {:>6} {:>12} {:>12}  {}",
+        "problem", "lean", "paper (ms)", "ours (ms)", "verdicts"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:>6} {:>12} {:>12}  {}",
+            r.description, r.lean, r.paper_ms, r.measured_ms, r.verdicts
+        );
+    }
+    println!();
+}
+
+fn table2_fast() {
+    println!("== Table 2 (rows 1-4): decision problems ==");
+    let mut rows = Vec::new();
+
+    // Row 1: e1 ⊆ e2 and e2 ⊄ e1.
+    rows.push(containment_row("e1 ⊆ e2 and e2 ⊄ e1", 1, 2, 353, false));
+    // Row 2: e4 ⊆ e3 both ways.
+    rows.push(containment_row("e4 ⊆ e3 and e3 ⊆ e4", 4, 3, 45, true));
+    // Row 3: e6 ⊆ e5 and e5 ⊄ e6.
+    rows.push(containment_row("e6 ⊆ e5 and e5 ⊄ e6", 6, 5, 41, false));
+
+    // Row 4: e7 satisfiable under SMIL 1.0.
+    {
+        let dtd = smil_1_0();
+        let e7 = paper::query(7);
+        let mut az = Analyzer::new();
+        let t = Instant::now();
+        let v = az.is_satisfiable(&e7, Some(&dtd));
+        let ms = t.elapsed().as_millis();
+        rows.push(RowResult {
+            description: "e7 is satisfiable (SMIL)",
+            paper_ms: 157,
+            measured_ms: ms,
+            verdicts: format!("satisfiable={}", v.holds),
+            lean: v.stats.lean_size,
+        });
+        if let Some(m) = &v.counter_example {
+            println!("  e7 witness: {}", m.xml());
+        }
+    }
+    print_rows(&rows);
+}
+
+fn containment_row(
+    description: &'static str,
+    lhs: usize,
+    rhs: usize,
+    paper_ms: u64,
+    expect_reverse: bool,
+) -> RowResult {
+    let e_l = paper::query(lhs);
+    let e_r = paper::query(rhs);
+    let mut az = Analyzer::new();
+    let t = Instant::now();
+    let fwd = az.contains(&e_l, None, &e_r, None);
+    let bwd = az.contains(&e_r, None, &e_l, None);
+    let ms = t.elapsed().as_millis();
+    let verdicts = format!(
+        "e{lhs}⊆e{rhs}={} e{rhs}⊆e{lhs}={}{}",
+        fwd.holds,
+        bwd.holds,
+        if bwd.holds == expect_reverse { "" } else { " (!)" }
+    );
+    RowResult {
+        description,
+        paper_ms,
+        measured_ms: ms,
+        verdicts,
+        lean: fwd.stats.lean_size.max(bwd.stats.lean_size),
+    }
+}
+
+fn table2_xhtml() {
+    println!("== Table 2 (rows 5-6): XHTML problems (slow) ==");
+    let mut rows = Vec::new();
+    let dtd = xhtml_1_0_strict();
+
+    // Row 5: e8 satisfiable under XHTML.
+    {
+        let e8 = paper::query(8);
+        let mut az = Analyzer::new();
+        let t = Instant::now();
+        let v = az.is_satisfiable(&e8, Some(&dtd));
+        let ms = t.elapsed().as_millis();
+        rows.push(RowResult {
+            description: "e8 is satisfiable (XHTML)",
+            paper_ms: 2630,
+            measured_ms: ms,
+            verdicts: format!("satisfiable={}", v.holds),
+            lean: v.stats.lean_size,
+        });
+        if let Some(m) = &v.counter_example {
+            println!("  e8 witness (anchors nest!): {}", m.xml());
+        }
+    }
+
+    // Row 6: e9 ⊆ e10 ∪ e11 ∪ e12 under XHTML.
+    {
+        let e9 = paper::query(9);
+        let e10 = paper::query(10);
+        let e11 = paper::query(11);
+        let e12 = paper::query(12);
+        let mut az = Analyzer::new();
+        let t = Instant::now();
+        let v = az.covers(
+            &e9,
+            Some(&dtd),
+            &[(&e10, Some(&dtd)), (&e11, Some(&dtd)), (&e12, Some(&dtd))],
+        );
+        let ms = t.elapsed().as_millis();
+        rows.push(RowResult {
+            description: "e9 ⊆ (e10 ∪ e11 ∪ e12)",
+            paper_ms: 2872,
+            measured_ms: ms,
+            verdicts: format!("covered={}", v.holds),
+            lean: v.stats.lean_size,
+        });
+        if let Some(m) = &v.counter_example {
+            println!("  coverage counter-example: {}", m.xml());
+        }
+    }
+    print_rows(&rows);
+}
+
+fn fig13() {
+    println!("== Fig 13/14: Wikipedia DTD compilation ==");
+    let dtd = wikipedia();
+    let bt = BinaryType::from_dtd(&dtd);
+    println!("{}", bt.display());
+    let mut lg = Logic::new();
+    let f = bt.formula(&mut lg);
+    println!("\nLµ formula:\n{}\n", lg.display(f));
+}
+
+fn fig18() {
+    println!("== Fig 18: example run (containment with counter-example) ==");
+    let e1 = parse("child::c/preceding-sibling::a[child::b]").expect("parses");
+    let e2 = parse("child::c[child::b]").expect("parses");
+    let mut az = Analyzer::new();
+    let t = Instant::now();
+    let v = az.contains(&e1, None, &e2, None);
+    println!(
+        "e1 ⊆ e2: {} ({} lean atoms, {} iterations, {:?})",
+        v.holds,
+        v.stats.lean_size,
+        v.stats.iterations,
+        t.elapsed()
+    );
+    if let Some(m) = &v.counter_example {
+        println!("counter-example: {}\n", m.xml());
+    }
+}

@@ -1,0 +1,47 @@
+//! **xsat** — efficient static analysis of XML paths and types.
+//!
+//! A Rust reproduction of Genevès, Layaïda & Schmitt, *Efficient Static
+//! Analysis of XML Paths and Types* (PLDI 2007; extended version INRIA
+//! RR-6590): a satisfiability solver for a tree logic **Lµ** (an
+//! alternation-free µ-calculus with converse over finite focused trees)
+//! together with linear translations of XPath expressions and regular tree
+//! types into that logic. XPath decision problems — emptiness, containment,
+//! overlap, coverage, equivalence, static type-checking — reduce to
+//! satisfiability with single-exponential complexity in the size of the
+//! lean.
+//!
+//! This crate re-exports the component crates:
+//!
+//! * [`ftree`] — finite focused trees (zipper) and XML I/O;
+//! * [`mulogic`] — the logic: formulas, cycle-freeness, closure/lean,
+//!   model checker;
+//! * [`bdd`] — the from-scratch BDD engine behind the symbolic solver;
+//! * [`xpath`] — parser, set semantics and Lµ compilation of the XPath
+//!   fragment;
+//! * [`treetypes`] — DTDs, binary tree types and their Lµ compilation;
+//! * [`solver`] — the explicit (§6.2) and symbolic (§7) satisfiability
+//!   algorithms with counter-example reconstruction;
+//! * [`analyzer`] — the decision-problem front end.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xsat::analyzer::Analyzer;
+//! use xsat::xpath::parse;
+//!
+//! let mut az = Analyzer::new();
+//! let q1 = parse("a/b//d[prec-sibling::c]/e")?;
+//! let q2 = parse("a/b//c/foll-sibling::d/e")?;
+//! assert!(az.contains(&q1, None, &q2, None).holds);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use analyzer;
+pub use bdd;
+pub use ftree;
+pub use mulogic;
+pub use solver;
+pub use treetypes;
+pub use xpath;

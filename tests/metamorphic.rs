@@ -1,0 +1,70 @@
+//! Metamorphic properties of the decision procedure on random small
+//! queries: algebraic laws that must hold for *any* expressions
+//!
+//! * `e ⊆ e ∪ p` and `e ∩ p ⊆ e` (union/intersection monotonicity),
+//! * `e ⊆ e` (reflexivity),
+//! * overlap symmetry,
+//! * `e` empty ⇒ `e ⊆ p` for every `p` (ex falso).
+//!
+//! Queries are kept shallow so each solver call stays in the millisecond
+//! range.
+
+use proptest::prelude::*;
+use xsat::analyzer::Analyzer;
+use xsat::xpath::ast::{Axis, Expr, NodeTest, Path};
+
+const LABELS: [&str; 2] = ["a", "b"];
+
+fn arb_step() -> impl Strategy<Value = Path> {
+    (
+        prop::sample::select(&Axis::ALL[..]),
+        prop_oneof![
+            prop::sample::select(&LABELS[..])
+                .prop_map(|l| NodeTest::Name(xsat::ftree::Label::new(l))),
+            Just(NodeTest::Star),
+        ],
+    )
+        .prop_map(|(a, t)| Path::Step(a, t))
+}
+
+fn arb_small_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        arb_step().prop_map(Expr::Relative),
+        (arb_step(), arb_step()).prop_map(|(p, q)| Expr::Relative(p.then(q))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn containment_laws(e in arb_small_expr(), p in arb_small_expr()) {
+        let mut az = Analyzer::new();
+        // Reflexivity.
+        prop_assert!(az.contains(&e, None, &e, None).holds, "{e} ⊄ {e}");
+        // Union monotonicity.
+        let union = Expr::Union(Box::new(e.clone()), Box::new(p.clone()));
+        prop_assert!(az.contains(&e, None, &union, None).holds, "{e} ⊄ {union}");
+        // Intersection monotonicity.
+        let inter = Expr::Intersect(Box::new(e.clone()), Box::new(p.clone()));
+        prop_assert!(az.contains(&inter, None, &e, None).holds, "{inter} ⊄ {e}");
+    }
+
+    #[test]
+    fn overlap_is_symmetric(e in arb_small_expr(), p in arb_small_expr()) {
+        let mut az = Analyzer::new();
+        let ab = az.overlaps(&e, None, &p, None).holds;
+        let ba = az.overlaps(&p, None, &e, None).holds;
+        prop_assert_eq!(ab, ba, "{} vs {}", e, p);
+    }
+
+    #[test]
+    fn emptiness_implies_containment_everywhere(e in arb_small_expr(), p in arb_small_expr()) {
+        let mut az = Analyzer::new();
+        let inter = Expr::Intersect(Box::new(e.clone()), Box::new(p.clone()));
+        if az.is_empty(&inter, None).holds {
+            prop_assert!(az.contains(&inter, None, &p, None).holds);
+            prop_assert!(az.contains(&inter, None, &e, None).holds);
+        }
+    }
+}

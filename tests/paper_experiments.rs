@@ -1,0 +1,104 @@
+//! End-to-end reproduction tests for the paper's evaluation (§8, Table 2,
+//! rows without the heavy XHTML instances — those run in the `experiments`
+//! binary and the bench harness).
+//!
+//! Each verdict is cross-checked: counter-examples / witnesses are
+//! re-evaluated with the denotational XPath interpreter and, where a DTD is
+//! involved, with the derivative-based validator.
+
+use xsat::analyzer::{paper, Analyzer};
+use xsat::treetypes::smil_1_0;
+use xsat::xpath::eval_on_tree;
+
+/// Table 2 row 1: `e1 ⊆ e2` holds, `e2 ⊆ e1` does not. This is the pair
+/// from Miklau & Suciu on which the tree-pattern homomorphism technique is
+/// incomplete.
+#[test]
+fn row1_e1_contained_in_e2() {
+    let e1 = paper::query(1);
+    let e2 = paper::query(2);
+    let mut az = Analyzer::new();
+    let fwd = az.contains(&e1, None, &e2, None);
+    assert!(fwd.holds, "paper: e1 ⊆ e2");
+    let bwd = az.contains(&e2, None, &e1, None);
+    assert!(!bwd.holds, "paper: e2 ⊄ e1");
+    // The counter-example tree really separates the queries.
+    let m = bwd.counter_example.expect("separating tree");
+    let tree = m.tree();
+    let s1 = eval_on_tree(&e1, &tree);
+    let s2 = eval_on_tree(&e2, &tree);
+    assert!(s2.iter().any(|f| !s1.contains(f)), "{}", m.xml());
+}
+
+/// Table 2 row 2: e4 and e3 are equivalent.
+#[test]
+fn row2_e4_equivalent_e3() {
+    let e3 = paper::query(3);
+    let e4 = paper::query(4);
+    let mut az = Analyzer::new();
+    let (fwd, bwd) = az.equivalent(&e4, None, &e3, None);
+    assert!(fwd.holds && bwd.holds);
+}
+
+/// Table 2 row 3: the paper reports `e6 ⊆ e5`; under the standard XPath
+/// reading of e5/e6 the containment does *not* hold, and the counter-example
+/// is confirmed by the (independent) denotational interpreter. `e5 ⊄ e6`
+/// agrees with the paper. See EXPERIMENTS.md for the discussion.
+#[test]
+fn row3_e6_e5_divergence_is_real() {
+    let e5 = paper::query(5);
+    let e6 = paper::query(6);
+    let mut az = Analyzer::new();
+    let fwd = az.contains(&e6, None, &e5, None);
+    assert!(!fwd.holds, "we measure e6 ⊄ e5 (paper reports ⊆)");
+    let m = fwd.counter_example.expect("counter-example");
+    let tree = m.tree();
+    let s5 = eval_on_tree(&e5, &tree);
+    let s6 = eval_on_tree(&e6, &tree);
+    assert!(
+        s6.iter().any(|f| !s5.contains(f)),
+        "interpreter must confirm the separation on {}",
+        m.xml()
+    );
+    let bwd = az.contains(&e5, None, &e6, None);
+    assert!(!bwd.holds, "paper: e5 ⊄ e6");
+}
+
+/// Table 2 row 4: e7 is satisfiable under SMIL 1.0 and the witness is a
+/// valid SMIL document on which e7 selects a node.
+#[test]
+fn row4_e7_satisfiable_under_smil() {
+    let dtd = smil_1_0();
+    let e7 = paper::query(7);
+    let mut az = Analyzer::new();
+    let v = az.is_satisfiable(&e7, Some(&dtd));
+    assert!(v.holds);
+    let m = v.counter_example.expect("witness");
+    let tree = m.tree();
+    assert!(
+        dtd.validates(&tree.clear_marks()),
+        "witness must be SMIL-valid: {}",
+        m.xml()
+    );
+    let selected = eval_on_tree(&e7, &tree);
+    assert!(!selected.is_empty(), "e7 must select a node in {}", m.xml());
+}
+
+/// Fig 18: the worked containment example, counter-example shape included.
+#[test]
+fn fig18_counter_example() {
+    let e1 = xsat::xpath::parse("child::c/preceding-sibling::a[child::b]").unwrap();
+    let e2 = xsat::xpath::parse("child::c[child::b]").unwrap();
+    let mut az = Analyzer::new();
+    let v = az.contains(&e1, None, &e2, None);
+    assert!(!v.holds);
+    let m = v.counter_example.unwrap();
+    let tree = m.tree();
+    // Exactly the paper's shape: the context has an a (with b child)
+    // followed by a c.
+    let s1 = eval_on_tree(&e1, &tree);
+    let s2 = eval_on_tree(&e2, &tree);
+    assert!(!s1.is_empty() && s2.is_empty());
+    // Minimal: four nodes (context, a, b, c).
+    assert!(m.size() <= 4, "expected the minimal model, got {}", m.xml());
+}

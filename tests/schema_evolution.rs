@@ -1,0 +1,63 @@
+//! Integration test for the schema-evolution workflow (the
+//! `schema_evolution` example, asserted): type inclusion across DTD
+//! versions and query-equivalence drift under the new type.
+
+use xsat::analyzer::Analyzer;
+use xsat::treetypes::Dtd;
+use xsat::xpath::parse;
+
+fn v1() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT article (title, para*)>\n\
+         <!ELEMENT title (#PCDATA)>\n\
+         <!ELEMENT para (#PCDATA)>",
+    )
+    .unwrap()
+}
+
+fn v2() -> Dtd {
+    Dtd::parse(
+        "<!ELEMENT article (title, abstract?, para*)>\n\
+         <!ELEMENT title (#PCDATA)>\n\
+         <!ELEMENT abstract (para*)>\n\
+         <!ELEMENT para (#PCDATA)>",
+    )
+    .unwrap()
+}
+
+#[test]
+fn evolution_is_backward_compatible_only() {
+    let mut az = Analyzer::new();
+    assert!(az.type_subset(&v1(), &v2()).holds);
+    let back = az.type_subset(&v2(), &v1());
+    assert!(!back.holds);
+    let doc = back.counter_example.unwrap().tree().clear_marks();
+    assert!(v2().validates(&doc) && !v1().validates(&doc), "{}", doc.to_xml());
+}
+
+#[test]
+fn query_equivalence_drifts_with_the_type() {
+    let mut az = Analyzer::new();
+    let direct = parse("para").unwrap();
+    let all = parse(".//para").unwrap();
+    let (f1, b1) = az.equivalent(&direct, Some(&v1()), &all, Some(&v1()));
+    assert!(f1.holds && b1.holds, "equivalent under v1");
+    let (f2, b2) = az.equivalent(&direct, Some(&v2()), &all, Some(&v2()));
+    assert!(!(f2.holds && b2.holds), "no longer equivalent under v2");
+    // The separating document is v2-valid and separates for real.
+    let m = b2.counter_example.or(f2.counter_example).unwrap();
+    let tree = m.tree();
+    assert!(v2().validates(&tree.clear_marks()));
+    let s_direct = xsat::xpath::eval_on_tree(&direct, &tree);
+    let s_all = xsat::xpath::eval_on_tree(&all, &tree);
+    assert_ne!(s_direct, s_all);
+}
+
+#[test]
+fn migration_fix_restores_equivalence() {
+    let mut az = Analyzer::new();
+    let fixed = parse("(para | abstract/para)").unwrap();
+    let all = parse(".//para").unwrap();
+    let (f, b) = az.equivalent(&fixed, Some(&v2()), &all, Some(&v2()));
+    assert!(f.holds && b.holds);
+}
