@@ -60,20 +60,15 @@ pub struct Analysis {
 pub struct Analyzer {
     lg: Logic,
     options: SymbolicOptions,
-    /// Cache of compiled type formulas, keyed by a structural rendering of
-    /// the DTD. Sharing one formula across the queries of a problem keeps
-    /// the lean small: a coverage check against four queries under the same
-    /// type must not carry four isomorphic copies of the type translation.
-    type_cache: std::collections::HashMap<String, Formula>,
-}
-
-fn dtd_key(dtd: &Dtd) -> String {
-    use std::fmt::Write as _;
-    let mut key = format!("start={};", dtd.start());
-    for (l, c) in dtd.elements() {
-        let _ = write!(key, "{l}={c};");
-    }
-    key
+    /// Cache of compiled type formulas, keyed by the DTD's structural
+    /// `Hash`/`Eq` (start symbol plus declarations). Sharing one formula
+    /// across the queries of a problem keeps the lean small: a coverage
+    /// check against four queries under the same type must not carry four
+    /// isomorphic copies of the type translation. Keying on the structure
+    /// itself — rather than a rendered string — means two distinct DTDs can
+    /// never alias (a label containing `;` or `=` used to be able to
+    /// collide with the old `start=…;name=model;…` rendering).
+    type_cache: std::collections::HashMap<Dtd, Formula>,
 }
 
 impl Analyzer {
@@ -93,12 +88,11 @@ impl Analyzer {
 
     /// The (cached) Lµ translation of a DTD.
     pub(crate) fn type_formula(&mut self, dtd: &Dtd) -> Formula {
-        let key = dtd_key(dtd);
-        if let Some(&f) = self.type_cache.get(&key) {
+        if let Some(&f) = self.type_cache.get(dtd) {
             return f;
         }
         let f = dtd.formula(&mut self.lg);
-        self.type_cache.insert(key, f);
+        self.type_cache.insert(dtd.clone(), f);
         f
     }
 
@@ -365,6 +359,22 @@ mod tests {
         let v = az.type_checks(&e, &input, &out_bad);
         assert!(!v.holds);
         assert!(v.counter_example.is_some());
+    }
+
+    #[test]
+    fn type_cache_is_structural() {
+        let mut az = Analyzer::new();
+        let a = Dtd::parse("<!ELEMENT r (x)> <!ELEMENT x EMPTY>").unwrap();
+        let b = Dtd::parse("<!ELEMENT r (x)>  <!ELEMENT x EMPTY>").unwrap();
+        let c = Dtd::parse("<!ELEMENT r (x*)> <!ELEMENT x EMPTY>").unwrap();
+        let fa = az.type_formula(&a);
+        let fb = az.type_formula(&b);
+        let fc = az.type_formula(&c);
+        // Structurally equal DTDs share one compiled formula…
+        assert_eq!(fa, fb);
+        assert_eq!(az.type_cache.len(), 2);
+        // …and structurally distinct ones never alias.
+        assert_ne!(fa, fc);
     }
 
     #[test]

@@ -402,7 +402,11 @@ impl Bdd {
         let mut cur = f;
         while !self.is_terminal(cur) {
             let v = self.var_of(cur) as usize;
-            cur = if assignment[v] { self.hi(cur) } else { self.lo(cur) };
+            cur = if assignment[v] {
+                self.hi(cur)
+            } else {
+                self.lo(cur)
+            };
         }
         cur == TRUE
     }

@@ -1,0 +1,103 @@
+//! Service-level baseline: problems/sec for a 100-problem mixed batch on
+//! the engine, cold (fresh engine, empty caches) vs. warm (same engine,
+//! memo cache and worker arenas populated by a previous run).
+//!
+//! The warm numbers should sit far above the cold ones — a warm repeat is
+//! answered entirely from the verdict memo cache — and future PRs that
+//! touch the engine hot path have this as their reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{Engine, EngineConfig, Request};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DTD: &str = "<!ELEMENT r (a*, b*)> <!ELEMENT a (b?)> <!ELEMENT b EMPTY>";
+
+/// A 100-problem batch mixing every decision op, mostly distinct problems
+/// (the label grid yields a few intra-batch duplicates, as real request
+/// streams do).
+fn batch_requests() -> Vec<Request> {
+    let labels = ["a", "b", "c", "d", "e"];
+    let mut lines = vec![format!(r#"{{"op":"dtd","name":"d","source":"{DTD}"}}"#)];
+    for i in 0..100 {
+        // Decorrelated from the `i % 5` op selector so the 100 problems
+        // are (almost all) structurally distinct.
+        let l = labels[(i / 5) % labels.len()];
+        let m = labels[(i / 25) % labels.len()];
+        let line = match i % 5 {
+            0 => format!(r#"{{"op":"contains","lhs":"{l}/{m}","rhs":"{l}/*"}}"#),
+            1 => format!(r#"{{"op":"overlap","lhs":"child::{l}[child::{m}]","rhs":"child::{m}"}}"#),
+            2 => format!(r#"{{"op":"sat","query":"{l}//{m}","type":"d"}}"#),
+            3 => format!(r#"{{"op":"equiv","lhs":"{l}/{m}","rhs":"{l}/{m}[self::{m}]"}}"#),
+            _ => format!(r#"{{"op":"empty","query":"child::{l} ∩ child::{m}"}}"#),
+        };
+        lines.push(line);
+    }
+    lines
+        .iter()
+        .map(|l| Request::parse(l).expect("bench request parses"))
+        .collect()
+}
+
+fn engine() -> Engine {
+    Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    })
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let requests = batch_requests();
+
+    // One instrumented cold/warm pair outside the timing loops, for the
+    // problems/sec + cache-hit report.
+    let mut probe = engine();
+    let cold_started = Instant::now();
+    let cold = probe.run_batch(&requests);
+    let cold_elapsed = cold_started.elapsed();
+    let warm_started = Instant::now();
+    let warm = probe.run_batch(&requests);
+    let warm_elapsed = warm_started.elapsed();
+    assert_eq!(cold.stats.errors, 0);
+    assert_eq!(
+        warm.stats.cache_hits, warm.stats.problems,
+        "warm run must be fully cached"
+    );
+    println!(
+        "batch-throughput: cold {:>8.1} problems/sec ({} unique of {}, {} cache hits)",
+        cold.stats.problems_per_sec(),
+        cold.stats.unique_problems,
+        cold.stats.problems,
+        cold.stats.cache_hits,
+    );
+    println!(
+        "batch-throughput: warm {:>8.1} problems/sec (all {} from memo cache), speedup {:.1}x",
+        warm.stats.problems_per_sec(),
+        warm.stats.cache_hits,
+        cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9),
+    );
+
+    let mut g = c.benchmark_group("batch-throughput");
+    g.sample_size(10);
+    g.bench_function("cold/100-problems", |b| {
+        b.iter(|| {
+            let mut e = engine();
+            let out = e.run_batch(black_box(&requests));
+            assert_eq!(out.stats.errors, 0);
+            out.stats.problems
+        })
+    });
+    let mut warm_engine = engine();
+    let _ = warm_engine.run_batch(&requests);
+    g.bench_function("warm/100-problems", |b| {
+        b.iter(|| {
+            let out = warm_engine.run_batch(black_box(&requests));
+            assert_eq!(out.stats.cache_hits, out.stats.problems);
+            out.stats.problems
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! The parallel batch executor.
+//!
+//! A batch is an ordered list of requests. Registrations take effect in
+//! request order during a sequential resolution pass (each decision problem
+//! snapshots `Arc` handles to the artifacts it references, so later
+//! rebindings cannot affect earlier problems). The resolved problems are
+//! then deduplicated on their canonical structural key and fanned out over
+//! worker threads: each worker owns a long-lived [`Analyzer`] — its own
+//! formula arena and BDD manager — while all workers share one verdict memo
+//! cache behind a mutex. Duplicate occurrences and problems already solved
+//! in previous batches (or by the sequential front end) are served from the
+//! cache and reported with `"cached":true`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use analyzer::Analyzer;
+
+use crate::json::{obj, Value};
+use crate::problem::{duration_ms, Problem, Verdict};
+use crate::protocol::{
+    error_response, registration_response, verdict_response, Request, RequestKind,
+};
+use crate::workspace::Workspace;
+
+/// Aggregate measurements of one batch run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchStats {
+    /// Requests in the batch (registrations + problems + errors).
+    pub requests: usize,
+    /// Decision problems among them.
+    pub problems: usize,
+    /// Distinct problems after canonical deduplication.
+    pub unique_problems: usize,
+    /// Problems answered from the memo cache (duplicates within the batch
+    /// plus hits from earlier work).
+    pub cache_hits: usize,
+    /// Requests that failed to parse or resolve.
+    pub errors: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall clock for the batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl BatchStats {
+    /// Solved problems per second of batch wall-clock.
+    pub fn problems_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.problems as f64 / (self.wall_ms / 1000.0)
+    }
+
+    /// The stats as a JSON object (the batch summary line).
+    pub fn to_value(&self) -> Value {
+        obj(vec![
+            ("requests", Value::from(self.requests)),
+            ("problems", Value::from(self.problems)),
+            ("unique_problems", Value::from(self.unique_problems)),
+            ("cache_hits", Value::from(self.cache_hits)),
+            ("errors", Value::from(self.errors)),
+            ("threads", Value::from(self.threads)),
+            (
+                "wall_ms",
+                Value::Num((self.wall_ms * 1000.0).round() / 1000.0),
+            ),
+            (
+                "problems_per_sec",
+                Value::Num((self.problems_per_sec() * 10.0).round() / 10.0),
+            ),
+        ])
+    }
+}
+
+/// The responses of a batch, in request order, plus aggregate stats.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One response per request, in the order the requests were given.
+    pub responses: Vec<Value>,
+    /// Aggregate measurements.
+    pub stats: BatchStats,
+}
+
+/// One resolved decision problem awaiting execution.
+struct PendingProblem {
+    /// Index into the batch's response vector.
+    slot: usize,
+    /// Echoed client id.
+    id: Option<Value>,
+    /// Canonical op name for the response.
+    op: &'static str,
+    /// Index into the deduplicated job list.
+    job: usize,
+    /// Whether an earlier request in this batch maps to the same job.
+    duplicate: bool,
+}
+
+pub(crate) fn run_batch(
+    workspace: &mut Workspace,
+    workers: &mut [Analyzer],
+    cache: &Mutex<HashMap<Problem, Verdict>>,
+    requests: &[Request],
+) -> BatchOutcome {
+    let started = Instant::now();
+    let mut stats = BatchStats {
+        requests: requests.len(),
+        threads: workers.len(),
+        ..BatchStats::default()
+    };
+
+    // Pass 1 (sequential): apply registrations in order; resolve decision
+    // problems against the workspace as it stood when they were posed.
+    let mut responses: Vec<Option<Value>> = (0..requests.len()).map(|_| None).collect();
+    let mut pending: Vec<PendingProblem> = Vec::new();
+    let mut jobs: Vec<Problem> = Vec::new();
+    let mut job_of: HashMap<Problem, usize> = HashMap::new();
+    for (slot, req) in requests.iter().enumerate() {
+        match &req.kind {
+            RequestKind::RegisterDtd { name, source } => {
+                responses[slot] = Some(match workspace.register_dtd(name, source) {
+                    Ok(()) => registration_response(req.id.as_ref(), "dtd", name),
+                    Err(e) => {
+                        stats.errors += 1;
+                        error_response(req.id.as_ref(), &e)
+                    }
+                });
+            }
+            RequestKind::RegisterQuery { name, xpath } => {
+                responses[slot] = Some(match workspace.register_query(name, xpath) {
+                    Ok(()) => registration_response(req.id.as_ref(), "query", name),
+                    Err(e) => {
+                        stats.errors += 1;
+                        error_response(req.id.as_ref(), &e)
+                    }
+                });
+            }
+            RequestKind::Problem(spec) => match spec.resolve(workspace) {
+                Ok(problem) => {
+                    stats.problems += 1;
+                    let (job, duplicate) = match job_of.get(&problem) {
+                        Some(&j) => (j, true),
+                        None => {
+                            let j = jobs.len();
+                            job_of.insert(problem.clone(), j);
+                            jobs.push(problem);
+                            (j, false)
+                        }
+                    };
+                    pending.push(PendingProblem {
+                        slot,
+                        id: req.id.clone(),
+                        op: spec.op,
+                        job,
+                        duplicate,
+                    });
+                }
+                Err(e) => {
+                    stats.errors += 1;
+                    responses[slot] = Some(error_response(req.id.as_ref(), &e));
+                }
+            },
+            RequestKind::Stats | RequestKind::Reset => {
+                responses[slot] = Some(error_response(
+                    req.id.as_ref(),
+                    "`stats`/`reset` are service ops; they are not valid inside a batch",
+                ));
+                stats.errors += 1;
+            }
+        }
+    }
+    stats.unique_problems = jobs.len();
+
+    // Pass 2 (parallel): fan the deduplicated jobs out over the workers.
+    // `(verdict, was_cache_hit)` per job.
+    let results: Vec<OnceLock<(Verdict, bool)>> =
+        (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let jobs_ref = &jobs;
+    let results_ref = &results;
+    let cursor_ref = &cursor;
+    std::thread::scope(|scope| {
+        for az in workers.iter_mut() {
+            scope.spawn(move || loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                let Some(problem) = jobs_ref.get(i) else {
+                    break;
+                };
+                let hit = lock(cache).get(problem).cloned();
+                let (verdict, cached) = match hit {
+                    Some(v) => (v, true),
+                    None => {
+                        let v = problem.run(az);
+                        lock(cache).insert(problem.clone(), v.clone());
+                        (v, false)
+                    }
+                };
+                results_ref[i]
+                    .set((verdict, cached))
+                    .expect("job executed twice");
+            });
+        }
+    });
+
+    // Pass 3: fill problem responses in request order.
+    for p in pending {
+        let (verdict, job_was_hit) = results[p.job].get().expect("job not executed");
+        let cached = *job_was_hit || p.duplicate;
+        if cached {
+            stats.cache_hits += 1;
+        }
+        // A cache-served answer costs ~nothing, whether the hit came from a
+        // duplicate in this batch or from earlier work; the stored wall_ms
+        // describes the original solving run.
+        let wall_ms = if cached { 0.0 } else { verdict.wall_ms };
+        responses[p.slot] = Some(verdict_response(
+            p.id.as_ref(),
+            p.op,
+            verdict,
+            cached,
+            wall_ms,
+        ));
+    }
+
+    stats.wall_ms = duration_ms(started.elapsed());
+    BatchOutcome {
+        responses: responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect(),
+        stats,
+    }
+}
+
+/// Locks ignoring poisoning: a panicked worker must not wedge the service,
+/// and cached verdicts are only ever inserted whole.
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

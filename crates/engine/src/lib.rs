@@ -1,0 +1,404 @@
+//! **engine** — a long-lived, concurrent batch-analysis service over the
+//! `analyzer` crate (the paper's decision problems as a workload).
+//!
+//! The paper frames XPath/type analysis as many satisfiability calls over a
+//! shared lean; this crate turns the per-call [`Analyzer`] into a session
+//! service:
+//!
+//! * a **workspace** ([`Workspace`]) of named DTDs and named XPath queries,
+//!   registered once and referenced by many decision problems;
+//! * a **JSON-lines protocol** ([`protocol`]) — requests like
+//!   `{"op":"contains","lhs":"q1","rhs":"q2","type":"dtd1"}` in, structured
+//!   verdicts with counter-example XML, solver statistics and wall-clock
+//!   timings out;
+//! * a **parallel batch executor** ([`Engine::run_batch`]) — independent
+//!   problems fan out across worker threads, each worker holding its own
+//!   formula arena and BDD manager, with a shared **memo cache** of
+//!   verdicts keyed by a canonical structural hash of the problem
+//!   ([`Problem`]);
+//! * a **serve loop** ([`Engine::serve`]) reading JSONL from any reader and
+//!   streaming verdicts to any writer, which is what the `xsat serve`
+//!   daemon mode wraps around stdin/stdout.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{Engine, Request};
+//!
+//! let mut engine = Engine::new();
+//! let batch: Vec<Request> = [
+//!     r#"{"op":"query","name":"q1","xpath":"a/b//d[prec-sibling::c]/e"}"#,
+//!     r#"{"op":"query","name":"q2","xpath":"a/b//c/foll-sibling::d/e"}"#,
+//!     r#"{"op":"contains","lhs":"q1","rhs":"q2"}"#,
+//!     r#"{"op":"contains","lhs":"q1","rhs":"q2"}"#,
+//! ]
+//! .iter()
+//! .map(|line| Request::parse(line))
+//! .collect::<Result<_, _>>()?;
+//! let outcome = engine.run_batch(&batch);
+//! assert_eq!(outcome.responses[2].get("holds").and_then(|v| v.as_bool()), Some(true));
+//! // The repeated problem is served from the memo cache.
+//! assert_eq!(outcome.responses[3].get("cached").and_then(|v| v.as_bool()), Some(true));
+//! assert_eq!(outcome.stats.cache_hits, 1);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod problem;
+pub mod protocol;
+pub mod workspace;
+
+mod executor;
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::Mutex;
+
+use analyzer::Analyzer;
+use solver::SymbolicOptions;
+
+pub use executor::{BatchOutcome, BatchStats};
+pub use json::Value;
+pub use problem::{Problem, Verdict, VerdictStats};
+pub use protocol::{ProblemSpec, Request, RequestKind};
+pub use workspace::Workspace;
+
+use executor::lock;
+use protocol::{error_response, registration_response, verdict_response};
+
+/// Construction-time knobs of an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads for batch execution; `0` picks the machine's
+    /// available parallelism (capped at 16).
+    pub threads: usize,
+    /// Solver options, cloned into every worker.
+    pub options: SymbolicOptions,
+}
+
+/// Cumulative service counters, reported by the `stats` op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Requests handled (sequential and batch).
+    pub requests: u64,
+    /// Decision problems posed.
+    pub problems: u64,
+    /// Problems answered from the memo cache.
+    pub cache_hits: u64,
+    /// Requests rejected with an error.
+    pub errors: u64,
+    /// Batches executed.
+    pub batches: u64,
+}
+
+/// The long-lived analysis service: workspace + worker analyzers + memo
+/// cache.
+///
+/// One engine amortizes state across requests on three levels: the
+/// workspace keeps parsed queries and grammars, each worker's [`Analyzer`]
+/// keeps its formula arena and compiled type formulas across batches, and
+/// the memo cache keeps final verdicts keyed by the canonical structure of
+/// the problem.
+#[derive(Debug)]
+pub struct Engine {
+    workspace: Workspace,
+    /// Serves the sequential front end (`execute`): one more long-lived
+    /// arena, independent of the batch workers.
+    session: Analyzer,
+    /// One analyzer per batch worker thread, kept alive across batches.
+    workers: Vec<Analyzer>,
+    cache: Mutex<HashMap<Problem, Verdict>>,
+    counters: Counters,
+    options: SymbolicOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default options and auto-detected parallelism.
+    pub fn new() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_config(config: EngineConfig) -> Engine {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            config.threads
+        };
+        Engine {
+            workspace: Workspace::new(),
+            session: Analyzer::with_options(config.options.clone()),
+            workers: (0..threads)
+                .map(|_| Analyzer::with_options(config.options.clone()))
+                .collect(),
+            cache: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            options: config.options,
+        }
+    }
+
+    /// Number of batch worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The workspace of named artifacts.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// Cumulative service counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Number of memoized verdicts.
+    pub fn cache_entries(&self) -> usize {
+        lock(&self.cache).len()
+    }
+
+    /// Handles one request on the sequential front end (the `serve` path).
+    /// Decision problems share the memo cache with batch execution.
+    pub fn execute(&mut self, req: &Request) -> Value {
+        self.counters.requests += 1;
+        match &req.kind {
+            RequestKind::RegisterDtd { name, source } => {
+                match self.workspace.register_dtd(name, source) {
+                    Ok(()) => registration_response(req.id.as_ref(), "dtd", name),
+                    Err(e) => self.error(req.id.as_ref(), &e),
+                }
+            }
+            RequestKind::RegisterQuery { name, xpath } => {
+                match self.workspace.register_query(name, xpath) {
+                    Ok(()) => registration_response(req.id.as_ref(), "query", name),
+                    Err(e) => self.error(req.id.as_ref(), &e),
+                }
+            }
+            RequestKind::Problem(spec) => match spec.resolve(&self.workspace) {
+                Ok(problem) => {
+                    self.counters.problems += 1;
+                    let hit = lock(&self.cache).get(&problem).cloned();
+                    let (verdict, cached) = match hit {
+                        Some(v) => {
+                            self.counters.cache_hits += 1;
+                            (v, true)
+                        }
+                        None => {
+                            let v = problem.run(&mut self.session);
+                            lock(&self.cache).insert(problem, v.clone());
+                            (v, false)
+                        }
+                    };
+                    let wall = if cached { 0.0 } else { verdict.wall_ms };
+                    verdict_response(req.id.as_ref(), spec.op, &verdict, cached, wall)
+                }
+                Err(e) => self.error(req.id.as_ref(), &e),
+            },
+            RequestKind::Stats => self.stats_response(req.id.as_ref()),
+            RequestKind::Reset => {
+                self.workspace.clear();
+                lock(&self.cache).clear();
+                // Fresh arenas: a long-running service can shed the formula
+                // and BDD state accumulated by previous workloads.
+                self.session = Analyzer::with_options(self.options.clone());
+                for w in &mut self.workers {
+                    *w = Analyzer::with_options(self.options.clone());
+                }
+                registration_response(req.id.as_ref(), "reset", "engine")
+            }
+        }
+    }
+
+    /// Parses and handles one JSONL request line.
+    pub fn execute_line(&mut self, line: &str) -> Value {
+        match Request::parse(line) {
+            Ok(req) => self.execute(&req),
+            Err(e) => self.error(None, &e),
+        }
+    }
+
+    /// Runs a batch: registrations apply in order, decision problems are
+    /// deduplicated and fanned out across the worker threads, and responses
+    /// come back in request order. See [`BatchOutcome`] for the result
+    /// shape.
+    pub fn run_batch(&mut self, requests: &[Request]) -> BatchOutcome {
+        let outcome = executor::run_batch(
+            &mut self.workspace,
+            &mut self.workers,
+            &self.cache,
+            requests,
+        );
+        self.counters.batches += 1;
+        self.counters.requests += outcome.stats.requests as u64;
+        self.counters.problems += outcome.stats.problems as u64;
+        self.counters.cache_hits += outcome.stats.cache_hits as u64;
+        self.counters.errors += outcome.stats.errors as u64;
+        outcome
+    }
+
+    /// Parses a JSONL document (one request per non-empty, non-`#` line)
+    /// and runs it as a batch. Lines that fail to parse become error
+    /// responses in place.
+    pub fn run_batch_lines(&mut self, input: &str) -> BatchOutcome {
+        let mut requests = Vec::new();
+        let mut parse_errors: Vec<(usize, String)> = Vec::new();
+        for (i, line) in input
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .enumerate()
+        {
+            match Request::parse(line) {
+                Ok(r) => requests.push(r),
+                Err(e) => {
+                    // Hold the slot with a harmless placeholder so response
+                    // positions keep corresponding to input lines, then
+                    // splice the parse error in afterwards.
+                    parse_errors.push((i, e));
+                    requests.push(Request {
+                        id: None,
+                        kind: RequestKind::Stats,
+                    });
+                }
+            }
+        }
+        let mut outcome = self.run_batch(&requests);
+        // The placeholder already counted as an error in the executor, so
+        // only the response text needs replacing.
+        for (i, e) in parse_errors {
+            outcome.responses[i] = error_response(None, &e);
+        }
+        outcome
+    }
+
+    /// The daemon loop: reads one JSONL request per line, writes one JSON
+    /// response per line, flushing after each so the engine is scriptable
+    /// as a co-process. Returns when the reader is exhausted.
+    pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut output: W) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let response = self.execute_line(line);
+            writeln!(output, "{}", response.to_json())?;
+            output.flush()?;
+        }
+        Ok(())
+    }
+
+    fn error(&mut self, id: Option<&Value>, message: &str) -> Value {
+        self.counters.errors += 1;
+        error_response(id, message)
+    }
+
+    fn stats_response(&self, id: Option<&Value>) -> Value {
+        let mut fields = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id", id.clone()));
+        }
+        fields.extend([
+            ("ok", Value::Bool(true)),
+            ("op", Value::from("stats")),
+            ("threads", Value::from(self.threads())),
+            ("dtds", Value::from(self.workspace.dtd_count())),
+            ("queries", Value::from(self.workspace.query_count())),
+            ("cache_entries", Value::from(self.cache_entries())),
+            ("requests", Value::from(self.counters.requests as usize)),
+            ("problems", Value::from(self.counters.problems as usize)),
+            ("cache_hits", Value::from(self.counters.cache_hits as usize)),
+            ("errors", Value::from(self.counters.errors as usize)),
+            ("batches", Value::from(self.counters.batches as usize)),
+        ]);
+        json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(line: &str) -> Request {
+        Request::parse(line).unwrap()
+    }
+
+    #[test]
+    fn sequential_execute_caches() {
+        let mut e = Engine::with_config(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let r = e.execute(&req(r#"{"op":"contains","lhs":"a/b","rhs":"a/*"}"#));
+        assert_eq!(r.get("holds").and_then(Value::as_bool), Some(true));
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+        let r2 = e.execute(&req(r#"{"op":"contains","lhs":"a/b","rhs":"a/*"}"#));
+        assert_eq!(r2.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(e.counters().cache_hits, 1);
+        assert_eq!(e.cache_entries(), 1);
+    }
+
+    #[test]
+    fn batch_then_sequential_share_the_cache() {
+        let mut e = Engine::with_config(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let out = e.run_batch(&[req(r#"{"op":"overlap","lhs":"child::a","rhs":"child::*"}"#)]);
+        assert_eq!(out.stats.cache_hits, 0);
+        let r = e.execute(&req(
+            r#"{"op":"overlap","lhs":"child::a","rhs":"child::*"}"#,
+        ));
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut e = Engine::new();
+        e.execute(&req(r#"{"op":"query","name":"q","xpath":"a"}"#));
+        e.execute(&req(r#"{"op":"sat","query":"q"}"#));
+        assert_eq!(e.cache_entries(), 1);
+        e.execute(&req(r#"{"op":"reset"}"#));
+        assert_eq!(e.cache_entries(), 0);
+        assert_eq!(e.workspace().query_count(), 0);
+        let r = e.execute(&req(r#"{"op":"query","name":"q","xpath":"b"}"#));
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn serve_round_trip() {
+        let mut e = Engine::new();
+        let input = concat!(
+            r#"{"op":"query","name":"q1","xpath":"child::a"}"#,
+            "\n\n# comment line\n",
+            r#"{"id":"r1","op":"sat","query":"q1"}"#,
+            "\n",
+            r#"{"op":"nonsense"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        e.serve(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let v1 = json::parse(lines[0]).unwrap();
+        assert_eq!(v1.get("registered").and_then(Value::as_str), Some("q1"));
+        let v2 = json::parse(lines[1]).unwrap();
+        assert_eq!(v2.get("id").and_then(Value::as_str), Some("r1"));
+        assert_eq!(v2.get("holds").and_then(Value::as_bool), Some(true));
+        let v3 = json::parse(lines[2]).unwrap();
+        assert_eq!(v3.get("ok").and_then(Value::as_bool), Some(false));
+    }
+}

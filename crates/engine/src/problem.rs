@@ -1,0 +1,310 @@
+//! Resolved decision problems, their canonical memo keys, and verdicts.
+//!
+//! A [`Problem`] is fully structural: it holds the parsed query ASTs and
+//! DTDs themselves (behind [`Arc`]), not the names they were registered
+//! under. Its derived `Hash`/`Eq` therefore give a *canonical key* — the
+//! same logical problem posed twice (under different names, or inline vs.
+//! registered) memoizes to one cache entry, and two distinct problems can
+//! never alias the way rendered-string keys could.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use analyzer::{Analysis, Analyzer};
+use treetypes::Dtd;
+use xpath::Expr;
+
+/// A fully resolved decision problem — the unit of work of the executor and
+/// the key of the verdict memo cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Does the query select no node in any tree (of the type)?
+    Empty {
+        /// The query.
+        query: Arc<Expr>,
+        /// Optional type constraint.
+        ty: Option<Arc<Dtd>>,
+    },
+    /// Does the query select a node in some tree (of the type)?
+    Satisfiable {
+        /// The query.
+        query: Arc<Expr>,
+        /// Optional type constraint.
+        ty: Option<Arc<Dtd>>,
+    },
+    /// Is every node selected by `lhs` also selected by `rhs`?
+    Contains {
+        /// The contained query.
+        lhs: Arc<Expr>,
+        /// Type constraint of `lhs`.
+        ltype: Option<Arc<Dtd>>,
+        /// The containing query.
+        rhs: Arc<Expr>,
+        /// Type constraint of `rhs`.
+        rtype: Option<Arc<Dtd>>,
+    },
+    /// Can the two queries select a common node?
+    Overlap {
+        /// First query.
+        lhs: Arc<Expr>,
+        /// Type constraint of `lhs`.
+        ltype: Option<Arc<Dtd>>,
+        /// Second query.
+        rhs: Arc<Expr>,
+        /// Type constraint of `rhs`.
+        rtype: Option<Arc<Dtd>>,
+    },
+    /// Is every node selected by `query` selected by at least one of `by`?
+    Covers {
+        /// The covered query.
+        query: Arc<Expr>,
+        /// Its type constraint, shared by the covering queries.
+        ty: Option<Arc<Dtd>>,
+        /// The covering queries.
+        by: Vec<Arc<Expr>>,
+    },
+    /// Containment in both directions.
+    Equivalent {
+        /// First query.
+        lhs: Arc<Expr>,
+        /// Type constraint of `lhs`.
+        ltype: Option<Arc<Dtd>>,
+        /// Second query.
+        rhs: Arc<Expr>,
+        /// Type constraint of `rhs`.
+        rtype: Option<Arc<Dtd>>,
+    },
+    /// Is every node selected by `query` under the input type a valid root
+    /// of the output type?
+    TypeCheck {
+        /// The annotated query.
+        query: Arc<Expr>,
+        /// Input type.
+        input: Arc<Dtd>,
+        /// Output type.
+        output: Arc<Dtd>,
+    },
+}
+
+impl Problem {
+    /// The protocol name of the operation.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Problem::Empty { .. } => "empty",
+            Problem::Satisfiable { .. } => "sat",
+            Problem::Contains { .. } => "contains",
+            Problem::Overlap { .. } => "overlap",
+            Problem::Covers { .. } => "covers",
+            Problem::Equivalent { .. } => "equiv",
+            Problem::TypeCheck { .. } => "typecheck",
+        }
+    }
+
+    /// Solves the problem on the given analyzer.
+    pub fn run(&self, az: &mut Analyzer) -> Verdict {
+        let started = Instant::now();
+        let verdict = match self {
+            Problem::Empty { query, ty } => {
+                Verdict::from_analysis(az.is_empty(query, ty.as_deref()))
+            }
+            Problem::Satisfiable { query, ty } => {
+                Verdict::from_analysis(az.is_satisfiable(query, ty.as_deref()))
+            }
+            Problem::Contains {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => Verdict::from_analysis(az.contains(lhs, ltype.as_deref(), rhs, rtype.as_deref())),
+            Problem::Overlap {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => Verdict::from_analysis(az.overlaps(lhs, ltype.as_deref(), rhs, rtype.as_deref())),
+            Problem::Covers { query, ty, by } => {
+                let covers: Vec<(&Expr, Option<&Dtd>)> =
+                    by.iter().map(|e| (&**e, ty.as_deref())).collect();
+                Verdict::from_analysis(az.covers(query, ty.as_deref(), &covers))
+            }
+            Problem::Equivalent {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => {
+                let (fwd, bwd) = az.equivalent(lhs, ltype.as_deref(), rhs, rtype.as_deref());
+                Verdict::from_equivalence(fwd, bwd)
+            }
+            Problem::TypeCheck {
+                query,
+                input,
+                output,
+            } => Verdict::from_analysis(az.type_checks(query, input, output)),
+        };
+        Verdict {
+            wall_ms: duration_ms(started.elapsed()),
+            ..verdict
+        }
+    }
+}
+
+/// Solver statistics snapshot carried by every verdict (and preserved on
+/// cache hits, where they describe the original solving run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerdictStats {
+    /// `|Lean(ψ)|` of the goal formula (max over sub-problems).
+    pub lean_size: usize,
+    /// `|cl(ψ)|` (max over sub-problems).
+    pub closure_size: usize,
+    /// Fixpoint iterations (summed over sub-problems).
+    pub iterations: usize,
+    /// Wall-clock of the satisfiability loop(s), in milliseconds.
+    pub solve_ms: f64,
+    /// Total BDD nodes allocated, when the symbolic backend reports it.
+    pub bdd_nodes: Option<usize>,
+}
+
+impl VerdictStats {
+    fn from_solver(stats: &solver::Stats) -> VerdictStats {
+        VerdictStats {
+            lean_size: stats.lean_size,
+            closure_size: stats.closure_size,
+            iterations: stats.iterations,
+            solve_ms: duration_ms(stats.duration),
+            bdd_nodes: stats.bdd_nodes,
+        }
+    }
+
+    fn merge(self, other: VerdictStats) -> VerdictStats {
+        VerdictStats {
+            lean_size: self.lean_size.max(other.lean_size),
+            closure_size: self.closure_size.max(other.closure_size),
+            iterations: self.iterations + other.iterations,
+            solve_ms: self.solve_ms + other.solve_ms,
+            bdd_nodes: match (self.bdd_nodes, other.bdd_nodes) {
+                (Some(a), Some(b)) => Some(a + b),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+}
+
+/// The outcome of one decision problem, in wire-friendly form.
+///
+/// Counter-examples are rendered to XML eagerly: solver models hold
+/// `Rc`-based trees that cannot cross threads, while a `Verdict` must
+/// travel from executor workers back to the caller and live in the shared
+/// memo cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Whether the queried property holds.
+    pub holds: bool,
+    /// Witness XML: against the property for refutable ops (containment,
+    /// emptiness, coverage, type-checking, equivalence), for it on
+    /// satisfiability and overlap.
+    pub counter_example: Option<String>,
+    /// Solver measurements.
+    pub stats: VerdictStats,
+    /// End-to-end time for this problem (translation + solving), in
+    /// milliseconds. Zero-ish on cache hits.
+    pub wall_ms: f64,
+}
+
+impl Verdict {
+    fn from_analysis(a: Analysis) -> Verdict {
+        Verdict {
+            holds: a.holds,
+            counter_example: a.counter_example.map(|m| m.xml()),
+            stats: VerdictStats::from_solver(&a.stats),
+            wall_ms: 0.0,
+        }
+    }
+
+    fn from_equivalence(fwd: Analysis, bwd: Analysis) -> Verdict {
+        let holds = fwd.holds && bwd.holds;
+        // The witness is whichever direction failed first.
+        let counter_example = fwd.counter_example.or(bwd.counter_example).map(|m| m.xml());
+        Verdict {
+            holds,
+            counter_example,
+            stats: VerdictStats::from_solver(&fwd.stats)
+                .merge(VerdictStats::from_solver(&bwd.stats)),
+            wall_ms: 0.0,
+        }
+    }
+}
+
+pub(crate) fn duration_ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Arc<Expr> {
+        Arc::new(xpath::parse(src).unwrap())
+    }
+
+    #[test]
+    fn canonical_keys_ignore_provenance() {
+        use std::collections::HashMap;
+        let a = Problem::Contains {
+            lhs: q("a/b"),
+            ltype: None,
+            rhs: q("a/*"),
+            rtype: None,
+        };
+        let b = Problem::Contains {
+            lhs: q("a/b"),
+            ltype: None,
+            rhs: q("a/*"),
+            rtype: None,
+        };
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a, 1);
+        assert_eq!(m.get(&b), Some(&1));
+        // Swapped sides are a different problem.
+        let c = Problem::Contains {
+            lhs: q("a/*"),
+            ltype: None,
+            rhs: q("a/b"),
+            rtype: None,
+        };
+        assert!(!m.contains_key(&c));
+    }
+
+    #[test]
+    fn run_produces_counter_example() {
+        let mut az = Analyzer::new();
+        let p = Problem::Contains {
+            lhs: q("child::c/preceding-sibling::a[child::b]"),
+            ltype: None,
+            rhs: q("child::c[child::b]"),
+            rtype: None,
+        };
+        let v = p.run(&mut az);
+        assert!(!v.holds);
+        let xml = v.counter_example.expect("witness expected");
+        assert!(xml.contains("<a>"), "{xml}");
+        assert!(v.stats.lean_size > 0);
+        assert!(v.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn equivalence_merges_stats() {
+        let mut az = Analyzer::new();
+        let p = Problem::Equivalent {
+            lhs: q("a/b[c]"),
+            ltype: None,
+            rhs: q("a/b[c]"),
+            rtype: None,
+        };
+        let v = p.run(&mut az);
+        assert!(v.holds);
+        assert!(v.counter_example.is_none());
+        assert!(v.stats.iterations > 0);
+    }
+}

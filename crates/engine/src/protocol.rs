@@ -1,0 +1,356 @@
+//! The JSON-lines wire protocol: requests in, verdicts out.
+//!
+//! Each request is one JSON object per line. Every request may carry an
+//! `"id"` field (any JSON value), echoed verbatim on its response so
+//! pipelined clients can correlate. Decision ops reference queries and
+//! types by registered name, with inline XPath / DTD source accepted as a
+//! fallback (see [`Workspace`](crate::Workspace)).
+//!
+//! ```text
+//! {"op":"dtd","name":"d1","source":"<!ELEMENT a (b*)> <!ELEMENT b EMPTY>"}
+//! {"op":"query","name":"q1","xpath":"a/b"}
+//! {"op":"contains","lhs":"q1","rhs":"a/*","type":"d1"}
+//! {"op":"covers","query":"child::*","by":["child::a","child::*[not(self::a)]"]}
+//! {"op":"typecheck","query":"child::x","input":"din","output":"dout"}
+//! {"op":"stats"}
+//! ```
+
+use std::sync::Arc;
+
+use crate::json::{obj, Value};
+use crate::problem::{Problem, Verdict};
+use crate::workspace::Workspace;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed on the response.
+    pub id: Option<Value>,
+    /// The operation.
+    pub kind: RequestKind,
+}
+
+/// The operation of a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// Register (or rebind) a named DTD.
+    RegisterDtd {
+        /// Workspace name.
+        name: String,
+        /// DTD source text.
+        source: String,
+    },
+    /// Register (or rebind) a named query.
+    RegisterQuery {
+        /// Workspace name.
+        name: String,
+        /// XPath source text.
+        xpath: String,
+    },
+    /// Pose a decision problem.
+    Problem(ProblemSpec),
+    /// Report engine counters.
+    Stats,
+    /// Drop all registrations and cached verdicts.
+    Reset,
+}
+
+/// A decision problem by reference (names or inline sources), before
+/// resolution against a workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemSpec {
+    /// Canonical op name (aliases already folded).
+    pub op: &'static str,
+    /// Query references, in op-specific order.
+    pub queries: Vec<String>,
+    /// Type references, in op-specific order (see [`ProblemSpec::resolve`]).
+    pub types: Vec<Option<String>>,
+}
+
+impl Request {
+    /// Parses one JSON-line request.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = crate::json::parse(line).map_err(|e| e.to_string())?;
+        Request::from_value(&v)
+    }
+
+    /// Interprets a parsed JSON value as a request.
+    pub fn from_value(v: &Value) -> Result<Request, String> {
+        let id = v.get("id").cloned();
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "request needs a string `op` field".to_owned())?;
+        let kind = match op {
+            "dtd" | "register-dtd" => RequestKind::RegisterDtd {
+                name: str_field(v, "name")?,
+                source: str_field(v, "source")?,
+            },
+            "query" | "register-query" => RequestKind::RegisterQuery {
+                name: str_field(v, "name")?,
+                xpath: str_field(v, "xpath")?,
+            },
+            "stats" => RequestKind::Stats,
+            "reset" => RequestKind::Reset,
+            "empty" | "emptiness" => RequestKind::Problem(ProblemSpec {
+                op: "empty",
+                queries: vec![str_field(v, "query")?],
+                types: vec![opt_str_field(v, "type")],
+            }),
+            "sat" | "satisfiable" => RequestKind::Problem(ProblemSpec {
+                op: "sat",
+                queries: vec![str_field(v, "query")?],
+                types: vec![opt_str_field(v, "type")],
+            }),
+            "contains" | "containment" => binary_spec("contains", v)?,
+            "overlap" | "overlaps" => binary_spec("overlap", v)?,
+            "equiv" | "equivalent" => binary_spec("equiv", v)?,
+            "covers" | "coverage" => {
+                let mut queries = vec![str_field(v, "query")?];
+                let by = v
+                    .get("by")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| "`covers` needs a `by` array of query references".to_owned())?;
+                if by.is_empty() {
+                    return Err("`covers` needs at least one covering query".to_owned());
+                }
+                for item in by {
+                    queries.push(
+                        item.as_str()
+                            .ok_or_else(|| "`by` entries must be strings".to_owned())?
+                            .to_owned(),
+                    );
+                }
+                RequestKind::Problem(ProblemSpec {
+                    op: "covers",
+                    queries,
+                    types: vec![opt_str_field(v, "type")],
+                })
+            }
+            "typecheck" | "type-check" => RequestKind::Problem(ProblemSpec {
+                op: "typecheck",
+                queries: vec![str_field(v, "query")?],
+                types: vec![Some(str_field(v, "input")?), Some(str_field(v, "output")?)],
+            }),
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        Ok(Request { id, kind })
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn opt_str_field(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_owned)
+}
+
+/// Shared shape of `contains` / `overlap` / `equiv`: `lhs`, `rhs`, and
+/// either one `type` for both sides or per-side `ltype` / `rtype`.
+fn binary_spec(op: &'static str, v: &Value) -> Result<RequestKind, String> {
+    let both = opt_str_field(v, "type");
+    let ltype = opt_str_field(v, "ltype").or_else(|| both.clone());
+    let rtype = opt_str_field(v, "rtype").or(both);
+    Ok(RequestKind::Problem(ProblemSpec {
+        op,
+        queries: vec![str_field(v, "lhs")?, str_field(v, "rhs")?],
+        types: vec![ltype, rtype],
+    }))
+}
+
+impl ProblemSpec {
+    /// Resolves name references against the workspace into a structural
+    /// [`Problem`].
+    pub fn resolve(&self, ws: &Workspace) -> Result<Problem, String> {
+        let ty = |i: usize| -> Result<Option<Arc<treetypes::Dtd>>, String> {
+            match self.types.get(i).and_then(Option::as_ref) {
+                Some(name) => ws.resolve_dtd(name).map(Some),
+                None => Ok(None),
+            }
+        };
+        match self.op {
+            "empty" => Ok(Problem::Empty {
+                query: ws.resolve_query(&self.queries[0])?,
+                ty: ty(0)?,
+            }),
+            "sat" => Ok(Problem::Satisfiable {
+                query: ws.resolve_query(&self.queries[0])?,
+                ty: ty(0)?,
+            }),
+            "contains" => Ok(Problem::Contains {
+                lhs: ws.resolve_query(&self.queries[0])?,
+                ltype: ty(0)?,
+                rhs: ws.resolve_query(&self.queries[1])?,
+                rtype: ty(1)?,
+            }),
+            "overlap" => Ok(Problem::Overlap {
+                lhs: ws.resolve_query(&self.queries[0])?,
+                ltype: ty(0)?,
+                rhs: ws.resolve_query(&self.queries[1])?,
+                rtype: ty(1)?,
+            }),
+            "equiv" => Ok(Problem::Equivalent {
+                lhs: ws.resolve_query(&self.queries[0])?,
+                ltype: ty(0)?,
+                rhs: ws.resolve_query(&self.queries[1])?,
+                rtype: ty(1)?,
+            }),
+            "covers" => Ok(Problem::Covers {
+                query: ws.resolve_query(&self.queries[0])?,
+                ty: ty(0)?,
+                by: self.queries[1..]
+                    .iter()
+                    .map(|q| ws.resolve_query(q))
+                    .collect::<Result<_, _>>()?,
+            }),
+            "typecheck" => Ok(Problem::TypeCheck {
+                query: ws.resolve_query(&self.queries[0])?,
+                input: ws.resolve_dtd(self.types[0].as_ref().expect("typecheck input"))?,
+                output: ws.resolve_dtd(self.types[1].as_ref().expect("typecheck output"))?,
+            }),
+            other => Err(format!("unresolvable op `{other}`")),
+        }
+    }
+}
+
+/// Builds the response for a successful registration.
+pub fn registration_response(id: Option<&Value>, kind: &str, name: &str) -> Value {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    fields.extend([
+        ("ok", Value::Bool(true)),
+        ("registered", Value::from(name)),
+        ("kind", Value::from(kind)),
+    ]);
+    obj(fields)
+}
+
+/// Builds the response for a solved (or cache-served) decision problem.
+pub fn verdict_response(
+    id: Option<&Value>,
+    op: &str,
+    verdict: &Verdict,
+    cached: bool,
+    wall_ms: f64,
+) -> Value {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    fields.extend([
+        ("ok", Value::Bool(true)),
+        ("op", Value::from(op)),
+        ("holds", Value::Bool(verdict.holds)),
+    ]);
+    match &verdict.counter_example {
+        Some(xml) => fields.push(("counter_example", Value::from(xml.as_str()))),
+        None => fields.push(("counter_example", Value::Null)),
+    }
+    fields.push(("cached", Value::Bool(cached)));
+    fields.push(("wall_ms", Value::Num(round3(wall_ms))));
+    let s = &verdict.stats;
+    let mut stats = vec![
+        ("lean_size", Value::from(s.lean_size)),
+        ("closure_size", Value::from(s.closure_size)),
+        ("iterations", Value::from(s.iterations)),
+        ("solve_ms", Value::Num(round3(s.solve_ms))),
+    ];
+    if let Some(n) = s.bdd_nodes {
+        stats.push(("bdd_nodes", Value::from(n)));
+    }
+    fields.push(("stats", obj(stats)));
+    obj(fields)
+}
+
+/// Builds an error response.
+pub fn error_response(id: Option<&Value>, message: &str) -> Value {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    fields.extend([("ok", Value::Bool(false)), ("error", Value::from(message))]);
+    obj(fields)
+}
+
+fn round3(ms: f64) -> f64 {
+    (ms * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let r = Request::parse(r#"{"op":"contains","lhs":"q1","rhs":"q2","type":"dtd1"}"#).unwrap();
+        match r.kind {
+            RequestKind::Problem(spec) => {
+                assert_eq!(spec.op, "contains");
+                assert_eq!(spec.queries, ["q1", "q2"]);
+                assert_eq!(
+                    spec.types,
+                    vec![Some("dtd1".to_owned()), Some("dtd1".to_owned())]
+                );
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_side_types_override_shared() {
+        let r =
+            Request::parse(r#"{"op":"equiv","lhs":"a","rhs":"b","type":"t","rtype":"u"}"#).unwrap();
+        match r.kind {
+            RequestKind::Problem(spec) => {
+                assert_eq!(spec.types, vec![Some("t".to_owned()), Some("u".to_owned())]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_is_preserved() {
+        let r = Request::parse(r#"{"id":7,"op":"stats"}"#).unwrap();
+        assert_eq!(r.id, Some(Value::Num(7.0)));
+        assert_eq!(r.kind, RequestKind::Stats);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"noop":1}"#).is_err());
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"contains","lhs":"a"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"covers","query":"a","by":[]}"#).is_err());
+    }
+
+    #[test]
+    fn resolve_covers_and_typecheck() {
+        let mut ws = Workspace::new();
+        ws.register_dtd("d", "<!ELEMENT r (x)> <!ELEMENT x EMPTY>")
+            .unwrap();
+        let r =
+            Request::parse(r#"{"op":"covers","query":"child::*","by":["child::x"],"type":"d"}"#)
+                .unwrap();
+        let RequestKind::Problem(spec) = r.kind else {
+            panic!("expected problem")
+        };
+        let p = spec.resolve(&ws).unwrap();
+        assert_eq!(p.op_name(), "covers");
+
+        let r = Request::parse(
+            r#"{"op":"typecheck","query":"child::x","input":"d","output":"<!ELEMENT x EMPTY>"}"#,
+        )
+        .unwrap();
+        let RequestKind::Problem(spec) = r.kind else {
+            panic!("expected problem")
+        };
+        assert_eq!(spec.resolve(&ws).unwrap().op_name(), "typecheck");
+    }
+}

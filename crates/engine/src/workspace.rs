@@ -1,0 +1,120 @@
+//! The session workspace: named DTDs and named XPath queries.
+//!
+//! A workspace lets a client register each grammar and query **once** and
+//! then pose many decision problems against them by name. Registered
+//! artifacts are held behind [`Arc`] so resolving a problem snapshots cheap
+//! handles — batch jobs stay valid even if a later request in the same
+//! batch rebinds a name.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use treetypes::Dtd;
+use xpath::Expr;
+
+/// Named, immutable analysis artifacts shared across requests.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    dtds: HashMap<String, Arc<Dtd>>,
+    queries: HashMap<String, Arc<Expr>>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Registers (or rebinds) a named DTD, parsed from its source text.
+    pub fn register_dtd(&mut self, name: &str, source: &str) -> Result<(), String> {
+        let dtd = Dtd::parse(source).map_err(|e| e.to_string())?;
+        self.dtds.insert(name.to_owned(), Arc::new(dtd));
+        Ok(())
+    }
+
+    /// Registers (or rebinds) a named query, parsed from XPath syntax.
+    pub fn register_query(&mut self, name: &str, xpath: &str) -> Result<(), String> {
+        let expr = xpath::parse(xpath).map_err(|e| e.to_string())?;
+        self.queries.insert(name.to_owned(), Arc::new(expr));
+        Ok(())
+    }
+
+    /// Resolves a query reference: a registered name, or — as a fallback so
+    /// one-shot scripts need no registration round — inline XPath syntax.
+    pub fn resolve_query(&self, reference: &str) -> Result<Arc<Expr>, String> {
+        if let Some(e) = self.queries.get(reference) {
+            return Ok(Arc::clone(e));
+        }
+        match xpath::parse(reference) {
+            Ok(e) => Ok(Arc::new(e)),
+            Err(parse_err) => Err(format!(
+                "`{reference}` is not a registered query and does not parse as XPath ({parse_err})"
+            )),
+        }
+    }
+
+    /// Resolves a type reference: a registered name, or inline DTD source.
+    pub fn resolve_dtd(&self, reference: &str) -> Result<Arc<Dtd>, String> {
+        if let Some(d) = self.dtds.get(reference) {
+            return Ok(Arc::clone(d));
+        }
+        if reference.contains("<!ELEMENT") {
+            return Dtd::parse(reference)
+                .map(Arc::new)
+                .map_err(|e| e.to_string());
+        }
+        Err(format!("`{reference}` is not a registered type"))
+    }
+
+    /// Number of registered DTDs.
+    pub fn dtd_count(&self) -> usize {
+        self.dtds.len()
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Drops all registrations.
+    pub fn clear(&mut self) {
+        self.dtds.clear();
+        self.queries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut ws = Workspace::new();
+        ws.register_query("q1", "a/b").unwrap();
+        ws.register_dtd("d1", "<!ELEMENT a (b*)> <!ELEMENT b EMPTY>")
+            .unwrap();
+        assert!(ws.resolve_query("q1").is_ok());
+        assert!(ws.resolve_dtd("d1").is_ok());
+        assert_eq!(ws.query_count(), 1);
+        assert_eq!(ws.dtd_count(), 1);
+    }
+
+    #[test]
+    fn inline_fallbacks() {
+        let ws = Workspace::new();
+        assert!(ws.resolve_query("child::a[child::b]").is_ok());
+        assert!(ws.resolve_dtd("<!ELEMENT r EMPTY>").is_ok());
+        assert!(ws.resolve_query("///").is_err());
+        assert!(ws.resolve_dtd("nonexistent").is_err());
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut ws = Workspace::new();
+        ws.register_query("q", "a").unwrap();
+        let before = ws.resolve_query("q").unwrap();
+        ws.register_query("q", "b").unwrap();
+        let after = ws.resolve_query("q").unwrap();
+        assert_ne!(before, after);
+    }
+}

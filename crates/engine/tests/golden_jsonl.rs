@@ -1,0 +1,233 @@
+//! Golden JSONL round-trips: a request file goes in, the verdict stream
+//! must match the expected lines, for every protocol op.
+//!
+//! Volatile measurement fields (`wall_ms`, `stats`) are stripped before
+//! comparison; everything else — including counter-example XML, `cached`
+//! flags and error texts — must match byte-for-byte. The same exchange is
+//! also replayed through the sequential `serve` loop, which must produce
+//! the same normalized verdicts as the parallel batch executor.
+
+use engine::{json, Engine, EngineConfig, Request, Value};
+
+/// The golden exchange: one `(request, expected normalized response)` pair
+/// per line, exercising every op of the protocol.
+const GOLDEN: &[(&str, &str)] = &[
+    (
+        r#"{"op":"dtd","name":"d1","source":"<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>"}"#,
+        r#"{"ok":true,"registered":"d1","kind":"dtd"}"#,
+    ),
+    (
+        r#"{"op":"query","name":"q1","xpath":"child::*"}"#,
+        r#"{"ok":true,"registered":"q1","kind":"query"}"#,
+    ),
+    (
+        r#"{"op":"query","name":"q2","xpath":"child::x | child::y"}"#,
+        r#"{"ok":true,"registered":"q2","kind":"query"}"#,
+    ),
+    // Typed containment holds; untyped does not (and carries a witness).
+    (
+        r#"{"id":1,"op":"contains","lhs":"q1","rhs":"q2","type":"d1"}"#,
+        r#"{"id":1,"ok":true,"op":"contains","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    (
+        r#"{"id":2,"op":"contains","lhs":"q1","rhs":"q2"}"#,
+        r#"{"id":2,"ok":true,"op":"contains","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+    ),
+    // The Fig 18 counter-example-carrying containment failure.
+    (
+        r#"{"id":3,"op":"contains","lhs":"child::c/preceding-sibling::a[child::b]","rhs":"child::c[child::b]"}"#,
+        r#"{"id":3,"ok":true,"op":"contains","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","cached":false}"#,
+    ),
+    // Cache-hit repeat of request id 1 (same problem, same names).
+    (
+        r#"{"id":4,"op":"contains","lhs":"q1","rhs":"q2","type":"d1"}"#,
+        r#"{"id":4,"ok":true,"op":"contains","holds":true,"counter_example":null,"cached":true}"#,
+    ),
+    // Cache also hits when the same problem is posed inline, unregistered.
+    (
+        r#"{"id":5,"op":"contains","lhs":"child::*","rhs":"child::x | child::y","type":"<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>"}"#,
+        r#"{"id":5,"ok":true,"op":"contains","holds":true,"counter_example":null,"cached":true}"#,
+    ),
+    (
+        r#"{"id":6,"op":"overlap","lhs":"child::*[child::b]","rhs":"child::a"}"#,
+        r#"{"id":6,"ok":true,"op":"overlap","holds":true,"counter_example":"<_other s=\"1\"><a><b/></a></_other>","cached":false}"#,
+    ),
+    (
+        r#"{"id":7,"op":"covers","query":"child::*","by":["child::a","child::*[not(self::a)]"]}"#,
+        r#"{"id":7,"ok":true,"op":"covers","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    (
+        r#"{"id":8,"op":"covers","query":"child::*","by":["child::a"]}"#,
+        r#"{"id":8,"ok":true,"op":"covers","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+    ),
+    (
+        r#"{"id":9,"op":"equiv","lhs":"a/b[c]","rhs":"a/b[c]"}"#,
+        r#"{"id":9,"ok":true,"op":"equiv","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    (
+        r#"{"id":10,"op":"empty","query":"child::a ∩ child::b"}"#,
+        r#"{"id":10,"ok":true,"op":"empty","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    (
+        r#"{"id":11,"op":"sat","query":"q1","type":"d1"}"#,
+        r#"{"id":11,"ok":true,"op":"sat","holds":true,"counter_example":"<r s=\"1\"><x/><y/></r>","cached":false}"#,
+    ),
+    (
+        r#"{"id":12,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x (y)> <!ELEMENT y EMPTY>"}"#,
+        r#"{"id":12,"ok":true,"op":"typecheck","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    (
+        r#"{"id":13,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x EMPTY>"}"#,
+        r#"{"id":13,"ok":true,"op":"typecheck","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","cached":false}"#,
+    ),
+    // Errors: unresolvable reference and unknown op.
+    (
+        r#"{"id":14,"op":"contains","lhs":"q1","rhs":"q2","type":"no-such-dtd"}"#,
+        r#"{"id":14,"ok":false,"error":"`no-such-dtd` is not a registered type"}"#,
+    ),
+    (
+        r#"{"op":"frobnicate"}"#,
+        r#"{"ok":false,"error":"unknown op `frobnicate`"}"#,
+    ),
+];
+
+/// Drops the volatile measurement fields from a response.
+fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Obj(fields) => Value::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "wall_ms" && k != "stats")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn requests() -> Vec<Request> {
+    GOLDEN
+        .iter()
+        .filter(|(req, _)| !req.is_empty())
+        .map(|(req, _)| {
+            Request::parse(req).unwrap_or(Request {
+                id: None,
+                kind: engine::RequestKind::Stats,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn batch_matches_golden_stream() {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let input: String = GOLDEN.iter().map(|(req, _)| format!("{req}\n")).collect();
+    let outcome = e.run_batch_lines(&input);
+    assert_eq!(outcome.responses.len(), GOLDEN.len());
+    for (i, ((req, expected), got)) in GOLDEN.iter().zip(&outcome.responses).enumerate() {
+        let expected_value = json::parse(expected).unwrap();
+        assert_eq!(
+            normalize(got),
+            expected_value,
+            "line {i}: request {req}\n  got      {}\n  expected {expected}",
+            normalize(got).to_json(),
+        );
+    }
+    // 13 decision problems were posed; ids 4 and 5 repeat id 1's problem.
+    assert_eq!(outcome.stats.problems, 13);
+    assert_eq!(outcome.stats.unique_problems, 11);
+    assert_eq!(outcome.stats.cache_hits, 2);
+    assert_eq!(outcome.stats.errors, 2);
+
+    // Full round-trip: every response line re-parses to the same value.
+    for got in &outcome.responses {
+        assert_eq!(json::parse(&got.to_json()).unwrap(), *got);
+    }
+}
+
+#[test]
+fn serve_matches_golden_stream() {
+    let mut e = Engine::new();
+    let input: String = GOLDEN.iter().map(|(req, _)| format!("{req}\n")).collect();
+    let mut out = Vec::new();
+    e.serve(input.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), GOLDEN.len());
+    for (i, ((req, expected), got)) in GOLDEN.iter().zip(&lines).enumerate() {
+        let got = json::parse(got).unwrap();
+        let expected_value = json::parse(expected).unwrap();
+        assert_eq!(
+            normalize(&got),
+            expected_value,
+            "line {i}: request {req} (serve path)"
+        );
+    }
+}
+
+#[test]
+fn repeated_batch_is_fully_cached() {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let reqs = requests();
+    let cold = e.run_batch(&reqs);
+    let warm = e.run_batch(&reqs);
+    assert_eq!(cold.stats.problems, warm.stats.problems);
+    // Every problem of the repeat batch is served from the memo cache.
+    assert_eq!(warm.stats.cache_hits, warm.stats.problems);
+    // Verdicts are identical across cold and warm runs, and cache-served
+    // answers report ~zero wall clock (the stats keep the original run's
+    // solve time).
+    for (c, w) in cold.responses.iter().zip(&warm.responses) {
+        if c.get("holds").is_some() {
+            assert_eq!(c.get("holds"), w.get("holds"));
+            assert_eq!(c.get("counter_example"), w.get("counter_example"));
+            assert_eq!(w.get("wall_ms").and_then(Value::as_f64), Some(0.0));
+        }
+    }
+}
+
+#[test]
+fn hundred_problem_batch_fans_out() {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let mut lines = vec![
+        r#"{"op":"dtd","name":"d","source":"<!ELEMENT r (a*, b*)> <!ELEMENT a (b?)> <!ELEMENT b EMPTY>"}"#
+            .to_owned(),
+    ];
+    let labels = ["a", "b", "c", "d", "e"];
+    for i in 0..120 {
+        let l = labels[i % labels.len()];
+        let m = labels[(i / labels.len()) % labels.len()];
+        let line = match i % 4 {
+            0 => format!(r#"{{"op":"contains","lhs":"{l}/{m}","rhs":"{l}/*"}}"#),
+            1 => format!(r#"{{"op":"overlap","lhs":"child::{l}","rhs":"child::{m}"}}"#),
+            2 => format!(r#"{{"op":"sat","query":"{l}//{m}","type":"d"}}"#),
+            _ => format!(r#"{{"op":"empty","query":"child::{l} ∩ child::{m}"}}"#),
+        };
+        lines.push(line);
+    }
+    let input = lines.join("\n");
+    let outcome = e.run_batch_lines(&input);
+    assert_eq!(outcome.stats.problems, 120);
+    assert_eq!(outcome.stats.errors, 0);
+    assert_eq!(outcome.stats.threads, 4);
+    for r in &outcome.responses[1..] {
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    // The label grid repeats, so the canonical cache must collapse some
+    // problems even within one cold batch.
+    assert!(outcome.stats.unique_problems < 120);
+    assert!(outcome.stats.cache_hits > 0);
+
+    // A warm rerun answers everything from the cache.
+    let warm = e.run_batch_lines(&input);
+    assert_eq!(warm.stats.cache_hits, 120);
+}

@@ -97,10 +97,17 @@ impl Context {
     /// Number of start marks stored in the context (on enclosing elements or
     /// inside sibling trees).
     pub fn mark_count(&self) -> usize {
-        let own: usize = self.left().iter().chain(self.right()).map(Tree::mark_count).sum();
+        let own: usize = self
+            .left()
+            .iter()
+            .chain(self.right())
+            .map(Tree::mark_count)
+            .sum();
         match &*self.0 {
             CtxNode::Top { .. } => own,
-            CtxNode::Under { marked, parent, .. } => own + usize::from(*marked) + parent.mark_count(),
+            CtxNode::Under { marked, parent, .. } => {
+                own + usize::from(*marked) + parent.mark_count()
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::rc::Rc;
 
-use crate::{Label, xml};
+use crate::{xml, Label};
 
 /// A finite unranked tree (an XML element and its content).
 ///
@@ -87,18 +87,12 @@ impl Tree {
 
     /// Height of the tree (a leaf has height 1).
     pub fn height(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(Tree::height)
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(Tree::height).max().unwrap_or(0)
     }
 
     /// Number of start marks contained anywhere in the tree.
     pub fn mark_count(&self) -> usize {
-        usize::from(self.0.marked)
-            + self.children().iter().map(Tree::mark_count).sum::<usize>()
+        usize::from(self.0.marked) + self.children().iter().map(Tree::mark_count).sum::<usize>()
     }
 
     /// Returns the same tree with the mark placed on the node reached by the
@@ -259,7 +253,10 @@ mod tests {
 
     #[test]
     fn size_and_height() {
-        let t = Tree::node("a", vec![Tree::leaf("b"), Tree::node("c", vec![Tree::leaf("d")])]);
+        let t = Tree::node(
+            "a",
+            vec![Tree::leaf("b"), Tree::node("c", vec![Tree::leaf("d")])],
+        );
         assert_eq!(t.size(), 4);
         assert_eq!(t.height(), 3);
     }
@@ -285,7 +282,10 @@ mod tests {
 
     #[test]
     fn node_paths_in_document_order() {
-        let t = Tree::node("a", vec![Tree::node("b", vec![Tree::leaf("d")]), Tree::leaf("c")]);
+        let t = Tree::node(
+            "a",
+            vec![Tree::node("b", vec![Tree::leaf("d")]), Tree::leaf("c")],
+        );
         let paths = t.node_paths();
         assert_eq!(paths, vec![vec![], vec![0], vec![0, 0], vec![1]]);
     }

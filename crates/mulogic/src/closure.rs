@@ -148,12 +148,10 @@ impl Lean {
         let mut diam_index: HashMap<(Program, Formula), (usize, bool)> = HashMap::new();
         for &f in closure.formulas() {
             match lg.kind(f) {
-                FormulaKind::Prop(l) | FormulaKind::NotProp(l) => {
-                    if !prop_index.contains_key(l) {
-                        prop_index.insert(*l, atoms.len());
-                        atoms.push(LeanAtom::Prop(*l));
-                        props.push(*l);
-                    }
+                FormulaKind::Prop(l) | FormulaKind::NotProp(l) if !prop_index.contains_key(l) => {
+                    prop_index.insert(*l, atoms.len());
+                    atoms.push(LeanAtom::Prop(*l));
+                    props.push(*l);
                 }
                 FormulaKind::Diam(a, p) => {
                     let (a, p) = (*a, *p);

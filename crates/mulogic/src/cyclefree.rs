@@ -68,8 +68,7 @@ impl Checker<'_> {
             | FormulaKind::NotStart
             | FormulaKind::NotDiamTrue(_) => true,
             FormulaKind::Or(a, b) | FormulaKind::And(a, b) => {
-                self.check(gamma, expanded, ignored, a)
-                    && self.check(gamma, expanded, ignored, b)
+                self.check(gamma, expanded, ignored, a) && self.check(gamma, expanded, ignored, b)
             }
             FormulaKind::Diam(a, phi) => {
                 let crossed: HashMap<Var, Dir> =
@@ -95,9 +94,7 @@ impl Checker<'_> {
                     r2.remove(&v);
                     i2.remove(&v);
                 }
-                let defs_ok = binds
-                    .iter()
-                    .all(|&(_, phi)| self.check(&g2, &r2, &i2, phi));
+                let defs_ok = binds.iter().all(|&(_, phi)| self.check(&g2, &r2, &i2, phi));
                 // Body: ∆ ‖ Γ ⊢ with I ∪ X̄ and R \ X̄.
                 let mut ib = ignored.clone();
                 let mut rb = expanded.clone();

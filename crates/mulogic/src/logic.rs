@@ -201,7 +201,12 @@ impl Logic {
         self.fixpoint(bindings, body, /* greatest */ true)
     }
 
-    fn fixpoint(&mut self, bindings: Vec<(Var, Formula)>, body: Formula, greatest: bool) -> Formula {
+    fn fixpoint(
+        &mut self,
+        bindings: Vec<(Var, Formula)>,
+        body: Formula,
+        greatest: bool,
+    ) -> Formula {
         assert!(!bindings.is_empty(), "fixpoint with no bindings");
         let mut seen = std::collections::HashSet::new();
         for (v, _) in &bindings {
@@ -472,10 +477,8 @@ impl Logic {
                 return;
             }
             match lg.kind(f) {
-                FormulaKind::Var(v) => {
-                    if !bound.contains(v) {
-                        out.insert(*v);
-                    }
+                FormulaKind::Var(v) if !bound.contains(v) => {
+                    out.insert(*v);
                 }
                 FormulaKind::Or(a, b) | FormulaKind::And(a, b) => {
                     go(lg, *a, bound, out, seen);

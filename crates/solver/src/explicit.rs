@@ -130,9 +130,7 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
     let mut iterations = 0usize;
 
     let final_ok = |tab: &Tables, ti: usize| {
-        !tab.isparent(ti, Program::Up1)
-            && !tab.isparent(ti, Program::Up2)
-            && tab.psi_status[ti]
+        !tab.isparent(ti, Program::Up1) && !tab.isparent(ti, Program::Up2) && tab.psi_status[ti]
     };
 
     let found = 'outer: loop {
@@ -143,27 +141,25 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
         let prev_un = un.clone();
         let prev_mk = mk.clone();
         // T°: unmarked types, witnesses unmarked.
-        for ti in 0..n {
-            if un[ti] || tab.has(ti, tab.start_idx) {
+        for (ti, u) in un.iter_mut().enumerate() {
+            if *u || tab.has(ti, tab.start_idx) {
                 continue;
             }
             let ok = [Program::Down1, Program::Down2].iter().all(|&a| {
-                !tab.isparent(ti, a)
-                    || (0..n).any(|tj| prev_un[tj] && tab.child_ok(a, ti, tj))
+                !tab.isparent(ti, a) || (0..n).any(|tj| prev_un[tj] && tab.child_ok(a, ti, tj))
             });
             if ok {
-                un[ti] = true;
+                *u = true;
                 changed = true;
             }
         }
         // T•: the three marked cases of Upd.
-        for ti in 0..n {
-            if mk[ti] {
+        for (ti, m) in mk.iter_mut().enumerate() {
+            if *m {
                 continue;
             }
             let w_un = |a: Program| {
-                !tab.isparent(ti, a)
-                    || (0..n).any(|tj| prev_un[tj] && tab.child_ok(a, ti, tj))
+                !tab.isparent(ti, a) || (0..n).any(|tj| prev_un[tj] && tab.child_ok(a, ti, tj))
             };
             let w_mk = |a: Program| {
                 tab.isparent(ti, a) && (0..n).any(|tj| prev_mk[tj] && tab.child_ok(a, ti, tj))
@@ -177,7 +173,7 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
                     || (w_un(Program::Down1) && w_mk(Program::Down2))
             };
             if ok {
-                mk[ti] = true;
+                *m = true;
                 changed = true;
             }
         }

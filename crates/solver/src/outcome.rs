@@ -120,7 +120,12 @@ mod tests {
 
     #[test]
     fn model_hedge() {
-        let a = BinaryTree::new("a", false, None, Some(BinaryTree::new("b", false, None, None)));
+        let a = BinaryTree::new(
+            "a",
+            false,
+            None,
+            Some(BinaryTree::new("b", false, None, None)),
+        );
         let m = Model::from_binary(&a);
         assert_eq!(m.roots().len(), 2);
         assert_eq!(m.tree().label().as_str(), "hedge");

@@ -297,8 +297,8 @@ impl Sym {
             }
             remaining_vars.remove(&best);
         }
-        for i in 0..clauses.len() {
-            if !placed[i] {
+        for (i, &p) in placed.iter().enumerate() {
+            if !p {
                 order.push(i); // clauses with no y-support
             }
         }
@@ -617,7 +617,9 @@ impl Sym {
             (false, false)
         } else {
             let via1 = has1
-                && self.find_child(snapshots, Program::Down1, t, true).is_some()
+                && self
+                    .find_child(snapshots, Program::Down1, t, true)
+                    .is_some()
                 && (!has2
                     || self
                         .find_child(snapshots, Program::Down2, t, false)

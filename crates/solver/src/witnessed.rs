@@ -180,8 +180,13 @@ pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
                     && (!tab.isparent(ti, Program::Down1) || !w1u.is_empty())
                     && (!tab.isparent(ti, Program::Down2) || !w2u.is_empty());
                 if ok_here {
-                    changed |=
-                        try_add(&mut proved, &mut witnesses, (ti, true), w1u.clone(), w2u.clone());
+                    changed |= try_add(
+                        &mut proved,
+                        &mut witnesses,
+                        (ti, true),
+                        w1u.clone(),
+                        w2u.clone(),
+                    );
                 }
                 if !tab.marked_here(ti) {
                     let w1m = witness_set(&tab, Program::Down1, ti, &prev, true);
@@ -220,7 +225,10 @@ pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
                 if std::env::var_os("XSAT_DEBUG").is_some() {
                     eprintln!("[witnessed] root {key:?} path {path:?}");
                     for &(ti, m) in &path {
-                        eprintln!("  key ({ti},{m}): bits {:?} goal={}", tab.types[ti], tab.goal_status[ti]);
+                        eprintln!(
+                            "  key ({ti},{m}): bits {:?} goal={}",
+                            tab.types[ti], tab.goal_status[ti]
+                        );
                     }
                 }
                 break 'outer Some((key, path));
@@ -325,10 +333,22 @@ fn rebuild(
         &[]
     };
     let c1 = pick(&w1, tab.isparent(ti, Program::Down1), route1).map(|k| {
-        rebuild(tab, witnesses, first_proved, k, if route1.is_some() { tail } else { &[] })
+        rebuild(
+            tab,
+            witnesses,
+            first_proved,
+            k,
+            if route1.is_some() { tail } else { &[] },
+        )
     });
     let c2 = pick(&w2, tab.isparent(ti, Program::Down2), route2).map(|k| {
-        rebuild(tab, witnesses, first_proved, k, if route2.is_some() { tail } else { &[] })
+        rebuild(
+            tab,
+            witnesses,
+            first_proved,
+            k,
+            if route2.is_some() { tail } else { &[] },
+        )
     });
     let lbl = label_of(tab, ti);
     BinaryTree::new(lbl, tab.marked_here(ti), c1, c2)

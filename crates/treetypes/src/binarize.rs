@@ -129,7 +129,7 @@ impl Builder<'_> {
             }
             Content::Name(l) => {
                 let v = self.fresh(format!("{l}·"));
-                let content = self.content_var.get(l).copied().unwrap_or_else(|| {
+                let content = self.content_var.get(l).copied().unwrap_or({
                     // Undeclared element: its content is unconstrained ε
                     // (the validator rejects such documents; the type
                     // translation keeps the name but no children).
@@ -480,7 +480,7 @@ impl BinaryType {
             }
             out.push('\n');
         }
-        let _ = write!(out, "Start Symbol is ${}\n", self.names[self.start.index()]);
+        let _ = writeln!(out, "Start Symbol is ${}", self.names[self.start.index()]);
         let _ = write!(out, "{} type variables.", self.var_count());
         out
     }
@@ -544,7 +544,11 @@ mod tests {
         let bt = BinaryType::from_dtd(&wiki());
         // The paper reports 9 variables for its encoding of this DTD; ours
         // may differ slightly but must stay the same order of magnitude.
-        assert!(bt.var_count() >= 9 && bt.var_count() <= 30, "{}", bt.var_count());
+        assert!(
+            bt.var_count() >= 9 && bt.var_count() <= 30,
+            "{}",
+            bt.var_count()
+        );
         let shown = bt.display();
         assert!(shown.contains("Start Symbol"), "{shown}");
         assert!(shown.contains("article($"), "{shown}");

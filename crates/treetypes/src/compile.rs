@@ -39,22 +39,23 @@ impl BinaryType {
                 fp.insert(v, lg.fresh_var(&format!("T_{}", self.name(v))));
             }
         }
-        let succ = |lg: &mut Logic, fp: &HashMap<BinVar, Var>, alpha: Program, x: BinVar, def: &BinDef| {
-            if def.alts.is_empty() {
-                // ε only.
-                lg.not_diam_true(alpha)
-            } else {
-                let xv = fp[&x];
-                let var = lg.var(xv);
-                let step = lg.diam(alpha, var);
-                if def.nullable {
-                    let none = lg.not_diam_true(alpha);
-                    lg.or(none, step)
+        let succ =
+            |lg: &mut Logic, fp: &HashMap<BinVar, Var>, alpha: Program, x: BinVar, def: &BinDef| {
+                if def.alts.is_empty() {
+                    // ε only.
+                    lg.not_diam_true(alpha)
                 } else {
-                    step
+                    let xv = fp[&x];
+                    let var = lg.var(xv);
+                    let step = lg.diam(alpha, var);
+                    if def.nullable {
+                        let none = lg.not_diam_true(alpha);
+                        lg.or(none, step)
+                    } else {
+                        step
+                    }
                 }
-            }
-        };
+            };
         let mut bindings = Vec::new();
         for v in self.vars() {
             let def = self.def(v);

@@ -8,7 +8,7 @@ use ftree::Label;
 ///
 /// `#PCDATA` is treated as the empty sequence — the logic abstracts from
 /// text nodes, exactly as in the paper's data model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Content {
     /// `EMPTY` — no children.
     Empty,
@@ -57,9 +57,7 @@ impl Content {
                 }
             }
             Content::Seq(a, b) => {
-                let left = a
-                    .derive(l)
-                    .map(|da| Content::Seq(Box::new(da), b.clone()));
+                let left = a.derive(l).map(|da| Content::Seq(Box::new(da), b.clone()));
                 let right = if a.nullable() { b.derive(l) } else { None };
                 match (left, right) {
                     (Some(x), Some(y)) => Some(Content::Choice(Box::new(x), Box::new(y))),
@@ -97,10 +95,8 @@ impl Content {
     /// The labels mentioned by the model.
     pub fn mentioned(&self, out: &mut Vec<Label>) {
         match self {
-            Content::Name(l) => {
-                if !out.contains(l) {
-                    out.push(*l);
-                }
+            Content::Name(l) if !out.contains(l) => {
+                out.push(*l);
             }
             Content::Seq(a, b) | Content::Choice(a, b) => {
                 a.mentioned(out);

@@ -23,6 +23,30 @@ pub struct Dtd {
     start: Label,
 }
 
+/// Structural equality: same start symbol and same declarations in the same
+/// order. The `index` map is derived from `elements`, so it is excluded.
+/// Declaration order matters — it drives binarization and the paper's
+/// Table 1 measurements — so two DTDs with permuted declarations are
+/// distinct.
+impl PartialEq for Dtd {
+    fn eq(&self, other: &Dtd) -> bool {
+        self.start == other.start && self.elements == other.elements
+    }
+}
+
+impl Eq for Dtd {}
+
+/// Structural hash, consistent with [`PartialEq`]: hashes the start symbol
+/// and the full content-model structure of every declaration. Unlike a
+/// rendered-string key, two distinct DTDs can never alias (labels are
+/// hashed as interned atoms, not as delimiter-separated text).
+impl std::hash::Hash for Dtd {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.start.hash(state);
+        self.elements.hash(state);
+    }
+}
+
 /// Error returned by [`Dtd::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDtdError {
@@ -248,7 +272,12 @@ impl DtdParser<'_> {
             .char_indices()
             .find(|(_, ch)| !(ch.is_alphanumeric() || "-_.:".contains(*ch)))
             .map_or(rest.len(), |(i, _)| i);
-        if end == 0 || !rest.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+        if end == 0
+            || !rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
             return Err(self.err("expected a name"));
         }
         let s = rest[..end].to_owned();
@@ -448,5 +477,34 @@ mod tests {
         assert!(Dtd::parse("<!ELEMENT a (b>").is_err());
         assert!(Dtd::parse("<!ELEMENT a (b)> <!ELEMENT a (c)>").is_err());
         assert!(Dtd::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn structural_equality_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        fn h(d: &Dtd) -> u64 {
+            let mut s = DefaultHasher::new();
+            d.hash(&mut s);
+            s.finish()
+        }
+
+        let a = Dtd::parse("<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>").unwrap();
+        let b = Dtd::parse("<!ELEMENT r (x , y)><!ELEMENT x EMPTY><!ELEMENT y EMPTY>").unwrap();
+        assert_eq!(a, b, "whitespace does not affect structure");
+        assert_eq!(h(&a), h(&b));
+
+        let c = Dtd::parse("<!ELEMENT r (x | y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>").unwrap();
+        assert_ne!(a, c);
+
+        // Same declarations, different start symbol.
+        let d = a.clone().with_start(Label::new("x"));
+        assert_ne!(a, d);
+
+        // Same declarations in a different order are distinct (order drives
+        // binarization).
+        let e = Dtd::parse("<!ELEMENT r (x, y)> <!ELEMENT y EMPTY> <!ELEMENT x EMPTY>").unwrap();
+        assert_ne!(a, e);
     }
 }

@@ -210,10 +210,9 @@ mod tests {
     fn xhtml_anchor_nesting_is_possible_indirectly() {
         // The e8 experiment: anchors cannot nest directly…
         let dtd = xhtml_1_0_strict();
-        let direct = Tree::parse_xml(
-            "<html><head><title/></head><body><p><a><a/></a></p></body></html>",
-        )
-        .unwrap();
+        let direct =
+            Tree::parse_xml("<html><head><title/></head><body><p><a><a/></a></p></body></html>")
+                .unwrap();
         assert!(!dtd.validates(&direct));
         // …but can through an intermediate inline element such as span.
         let indirect = Tree::parse_xml(

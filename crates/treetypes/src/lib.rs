@@ -42,7 +42,7 @@ mod parse_binary;
 pub use binarize::{BinDef, BinVar, BinaryType, NodeAlt};
 pub use content::Content;
 pub use dtd::{Dtd, ParseDtdError};
-pub use parse_binary::ParseBinaryTypeError;
 pub use fixtures::{
     smil_1_0, wikipedia, xhtml_1_0_strict, SMIL_1_0_DTD, WIKIPEDIA_DTD, XHTML_1_0_STRICT_DTD,
 };
+pub use parse_binary::ParseBinaryTypeError;

@@ -43,7 +43,11 @@ impl ParseBinaryTypeError {
 
 impl fmt::Display for ParseBinaryTypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "binary type syntax error on line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "binary type syntax error on line {}: {}",
+            self.line, self.msg
+        )
     }
 }
 
@@ -207,7 +211,9 @@ fn parse_alt(src: &str, lineno: usize) -> Result<RawAlt, ParseBinaryTypeError> {
         return Err(err("empty label"));
     }
     let inner = &src[open + 1..src.len() - 1];
-    let (c, n) = inner.split_once(',').ok_or_else(|| err("expected two arguments"))?;
+    let (c, n) = inner
+        .split_once(',')
+        .ok_or_else(|| err("expected two arguments"))?;
     let content = c
         .trim()
         .strip_prefix('$')
@@ -299,7 +305,13 @@ mod tests {
             "$C -> EPSILON | a($Epsilon, $C)\n$r -> r($C, $Epsilon)\nStart Symbol is $r",
         )
         .unwrap();
-        for d in ["<r/>", "<r><a/></r>", "<r><a/><a/></r>", "<a/>", "<r><r/></r>"] {
+        for d in [
+            "<r/>",
+            "<r><a/></r>",
+            "<r><a/><a/></r>",
+            "<a/>",
+            "<r><r/></r>",
+        ] {
             let t = Tree::parse_xml(d).unwrap();
             assert_eq!(from_dtd.matches_tree(&t), by_hand.matches_tree(&t), "{d}");
         }

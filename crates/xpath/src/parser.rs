@@ -100,9 +100,9 @@ fn desc_or_self_star() -> Path {
 /// `anc-or-self::*[not(parent::*)]` — climbs to the document root; used to
 /// anchor absolute paths appearing inside qualifiers.
 fn to_root() -> Path {
-    Path::Step(Axis::AncOrSelf, NodeTest::Star).filter(Qualifier::Not(Box::new(
-        Qualifier::Path(Box::new(Path::Step(Axis::Parent, NodeTest::Star))),
-    )))
+    Path::Step(Axis::AncOrSelf, NodeTest::Star).filter(Qualifier::Not(Box::new(Qualifier::Path(
+        Box::new(Path::Step(Axis::Parent, NodeTest::Star)),
+    ))))
 }
 
 impl Parser<'_> {
@@ -273,7 +273,8 @@ impl Parser<'_> {
         };
         self.pos += name.len();
         if self.eat_str("::") {
-            let axis = axis_by_name(&name).ok_or_else(|| self.err(format!("unknown axis {name:?}")))?;
+            let axis =
+                axis_by_name(&name).ok_or_else(|| self.err(format!("unknown axis {name:?}")))?;
             let test = self.node_test()?;
             Ok(Path::Step(axis, test))
         } else {
@@ -395,10 +396,7 @@ mod tests {
     fn full_axes() {
         assert_eq!(roundtrip("following-sibling::a"), "foll-sibling::a");
         assert_eq!(roundtrip("prec-sibling::*"), "prec-sibling::*");
-        assert_eq!(
-            roundtrip("descendant-or-self::x"),
-            "desc-or-self::x"
-        );
+        assert_eq!(roundtrip("descendant-or-self::x"), "desc-or-self::x");
     }
 
     #[test]

@@ -110,9 +110,7 @@ fn rewrite_path(p: &Path) -> Path {
             if let Path::Step(Axis::DescOrSelf, NodeTest::Star) = ra {
                 match &rb {
                     Path::Step(Axis::Child, t) => return Path::Step(Axis::Descendant, *t),
-                    Path::Step(Axis::Descendant, t) => {
-                        return Path::Step(Axis::Descendant, *t)
-                    }
+                    Path::Step(Axis::Descendant, t) => return Path::Step(Axis::Descendant, *t),
                     Path::Qualified(inner, q) => {
                         if let Path::Step(Axis::Child, t) = **inner {
                             return Path::Qualified(
@@ -140,10 +138,7 @@ fn rewrite_path(p: &Path) -> Path {
             let rq = rewrite_qualifier(q);
             // p[q1][q2] → p[q1 and q2].
             if let Path::Qualified(inner2, q1) = ri {
-                return Path::Qualified(
-                    inner2,
-                    Box::new(Qualifier::And(q1, Box::new(rq))),
-                );
+                return Path::Qualified(inner2, Box::new(Qualifier::And(q1, Box::new(rq))));
             }
             Path::Qualified(Box::new(ri), Box::new(rq))
         }

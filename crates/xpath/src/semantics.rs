@@ -96,9 +96,7 @@ fn eval_path(p: &Path, from: &FSet, universe: &FSet) -> FSet {
 /// `S_q⟦q⟧f` (Fig 5).
 fn eval_qualifier(q: &Qualifier, f: &FocusedTree, universe: &FSet) -> bool {
     match q {
-        Qualifier::And(a, b) => {
-            eval_qualifier(a, f, universe) && eval_qualifier(b, f, universe)
-        }
+        Qualifier::And(a, b) => eval_qualifier(a, f, universe) && eval_qualifier(b, f, universe),
         Qualifier::Or(a, b) => eval_qualifier(a, f, universe) || eval_qualifier(b, f, universe),
         Qualifier::Not(q) => !eval_qualifier(q, f, universe),
         Qualifier::Path(p) => {
@@ -109,7 +107,7 @@ fn eval_qualifier(q: &Qualifier, f: &FocusedTree, universe: &FSet) -> bool {
 }
 
 fn image(from: &FSet, step: impl Fn(&FocusedTree) -> Option<FocusedTree>) -> FSet {
-    from.iter().filter_map(|f| step(f)).collect()
+    from.iter().filter_map(step).collect()
 }
 
 /// Transitive closure of a one-step function, excluding the seeds.

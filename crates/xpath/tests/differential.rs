@@ -19,8 +19,7 @@ fn arb_label() -> impl Strategy<Value = &'static str> {
 fn arb_tree(max_depth: u32) -> impl Strategy<Value = Tree> {
     let leaf = arb_label().prop_map(Tree::leaf);
     leaf.prop_recursive(max_depth, 12, 3, |inner| {
-        (arb_label(), prop::collection::vec(inner, 0..3))
-            .prop_map(|(l, cs)| Tree::node(l, cs))
+        (arb_label(), prop::collection::vec(inner, 0..3)).prop_map(|(l, cs)| Tree::node(l, cs))
     })
 }
 

@@ -1,0 +1,40 @@
+//! The engine as a library: register a workspace once, then fan a batch of
+//! decision problems out across worker threads with memoized verdicts.
+//!
+//! ```text
+//! cargo run --release --example batch_service
+//! ```
+
+use xsat::engine::{Engine, EngineConfig, Request};
+
+fn main() -> Result<(), String> {
+    let mut engine = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+
+    let lines = [
+        // Register once…
+        r#"{"op":"dtd","name":"d1","source":"<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>"}"#,
+        r#"{"op":"query","name":"all","xpath":"child::*"}"#,
+        r#"{"op":"query","name":"xy","xpath":"child::x | child::y"}"#,
+        // …then pose many problems against the names.
+        r#"{"id":1,"op":"contains","lhs":"all","rhs":"xy","type":"d1"}"#,
+        r#"{"id":2,"op":"contains","lhs":"all","rhs":"xy"}"#,
+        r#"{"id":3,"op":"overlap","lhs":"child::x","rhs":"all","type":"d1"}"#,
+        r#"{"id":4,"op":"covers","query":"all","by":["child::x","child::*[not(self::x)]"]}"#,
+        // A repeat of id 1: answered from the memo cache.
+        r#"{"id":5,"op":"contains","lhs":"all","rhs":"xy","type":"d1"}"#,
+    ];
+    let requests: Vec<Request> = lines
+        .iter()
+        .map(|l| Request::parse(l))
+        .collect::<Result<_, _>>()?;
+
+    let outcome = engine.run_batch(&requests);
+    for response in &outcome.responses {
+        println!("{}", response.to_json());
+    }
+    eprintln!("summary: {}", outcome.stats.to_value().to_json());
+    Ok(())
+}

@@ -43,15 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct = parse("para")?;
     let all_paras = parse(".//para")?;
     let (fwd, bwd) = az.equivalent(&direct, Some(&v1), &all_paras, Some(&v1));
-    println!(
-        "under v1, para ≡ .//para: {}",
-        fwd.holds && bwd.holds
-    );
+    println!("under v1, para ≡ .//para: {}", fwd.holds && bwd.holds);
     let (fwd, bwd) = az.equivalent(&direct, Some(&v2), &all_paras, Some(&v2));
-    println!(
-        "under v2, para ≡ .//para: {}",
-        fwd.holds && bwd.holds
-    );
+    println!("under v2, para ≡ .//para: {}", fwd.holds && bwd.holds);
     if let Some(m) = bwd.counter_example.or(fwd.counter_example) {
         println!("  separating document: {}", m.xml());
     }

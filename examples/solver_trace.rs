@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let goal = lg.and(f1, nf2);
 
     let prep = Prepared::new(&mut lg, goal);
-    println!("\nLean(ψ): {} atoms over cl(ψ) of {} formulas", prep.lean.len(), prep.closure.len());
+    println!(
+        "\nLean(ψ): {} atoms over cl(ψ) of {} formulas",
+        prep.lean.len(),
+        prep.closure.len()
+    );
 
     let solved = solve_symbolic(&mut lg, goal);
     println!(
@@ -44,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = model.tree();
     let sel1 = eval_on_tree(&e1, &tree);
     let sel2 = eval_on_tree(&e2, &tree);
-    println!("e1 selects {} node(s), e2 selects {} node(s)", sel1.len(), sel2.len());
+    println!(
+        "e1 selects {} node(s), e2 selects {} node(s)",
+        sel1.len(),
+        sel2.len()
+    );
     assert!(!sel1.is_empty() && sel2.is_empty());
 
     // And the model checker agrees the goal holds somewhere.

@@ -84,8 +84,8 @@ struct RowResult {
 
 fn print_rows(rows: &[RowResult]) {
     println!(
-        "{:<28} {:>6} {:>12} {:>12}  {}",
-        "problem", "lean", "paper (ms)", "ours (ms)", "verdicts"
+        "{:<28} {:>6} {:>12} {:>12}  verdicts",
+        "problem", "lean", "paper (ms)", "ours (ms)"
     );
     for r in rows {
         println!(
@@ -147,7 +147,11 @@ fn containment_row(
         "e{lhs}⊆e{rhs}={} e{rhs}⊆e{lhs}={}{}",
         fwd.holds,
         bwd.holds,
-        if bwd.holds == expect_reverse { "" } else { " (!)" }
+        if bwd.holds == expect_reverse {
+            ""
+        } else {
+            " (!)"
+        }
     );
     RowResult {
         description,

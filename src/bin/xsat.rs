@@ -1,0 +1,264 @@
+//! `xsat` — the command-line front end of the batch-analysis engine.
+//!
+//! ```text
+//! xsat check <XPATH> [--dtd FILE] [--empty] [--json]
+//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--op contains|overlap|equiv] [--json]
+//! xsat batch <FILE.jsonl> [--threads N] [--summary-only]
+//! xsat serve [--threads N]
+//! ```
+//!
+//! `check` decides satisfiability (default) or emptiness of one query,
+//! optionally under a DTD. `compare` decides containment (default),
+//! overlap or equivalence of two queries. Both exit 0 when the property
+//! holds and 1 when it does not, so they compose with shell logic.
+//!
+//! `batch` runs a JSON-lines request file through the parallel executor
+//! (one response line per request on stdout, summary on stderr; see the
+//! `engine` crate docs for the protocol) and `serve` runs the same
+//! protocol as a co-process daemon: JSONL requests on stdin, verdicts
+//! streamed to stdout.
+
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+use xsat::engine::{Engine, EngineConfig, Request, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "check" => check(rest),
+        "compare" => compare(rest),
+        "batch" => batch(rest),
+        "serve" => serve(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("xsat: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+xsat — efficient static analysis of XML paths and types
+
+USAGE:
+  xsat check <XPATH> [--dtd FILE] [--empty] [--json]
+      Decide satisfiability (default) or emptiness (--empty) of a query,
+      optionally under the DTD in FILE. Exits 0 when the property holds.
+
+  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--op contains|overlap|equiv] [--json]
+      Decide containment (default), overlap or equivalence of two queries,
+      optionally under the DTD in FILE. Exits 0 when the property holds.
+
+  xsat batch <FILE.jsonl> [--threads N] [--summary-only]
+      Run a JSON-lines request file through the parallel batch executor.
+      One response line per request on stdout; a summary object on stderr.
+
+  xsat serve [--threads N]
+      Speak the JSONL protocol as a co-process: requests on stdin, one
+      verdict per line on stdout (flushed per line).
+
+The JSONL protocol (see the `engine` crate docs):
+  {\"op\":\"dtd\",\"name\":\"d1\",\"source\":\"<!ELEMENT a (b*)> <!ELEMENT b EMPTY>\"}
+  {\"op\":\"query\",\"name\":\"q1\",\"xpath\":\"a/b\"}
+  {\"op\":\"contains\",\"lhs\":\"q1\",\"rhs\":\"a/*\",\"type\":\"d1\"}
+  {\"op\":\"covers\",\"query\":\"child::*\",\"by\":[\"child::a\",\"child::*[not(self::a)]\"]}
+  {\"op\":\"typecheck\",\"query\":\"child::x\",\"input\":\"din\",\"output\":\"dout\"}
+";
+
+/// Option parsing shared by the subcommands: positional args plus
+/// `--flag [value]` options.
+struct Opts {
+    positional: Vec<String>,
+    dtd: Option<String>,
+    op: Option<String>,
+    threads: usize,
+    json: bool,
+    empty: bool,
+    summary_only: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        positional: Vec::new(),
+        dtd: None,
+        op: None,
+        threads: 0,
+        json: false,
+        empty: false,
+        summary_only: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dtd" => {
+                let path = it.next().ok_or("--dtd needs a file argument")?;
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                opts.dtd = Some(source);
+            }
+            "--op" => opts.op = Some(it.next().ok_or("--op needs an argument")?.clone()),
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--json" => opts.json = true,
+            "--empty" => opts.empty = true,
+            "--summary-only" => opts.summary_only = true,
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            _ => opts.positional.push(arg.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn engine_with(threads: usize) -> Engine {
+    Engine::with_config(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    })
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let [query] = opts.positional.as_slice() else {
+        return Err("check needs exactly one XPath argument".into());
+    };
+    let op = if opts.empty { "empty" } else { "sat" };
+    let line = request_value(op, &[("query", query)], opts.dtd.as_deref());
+    run_one(line, &opts)
+}
+
+fn compare(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let [lhs, rhs] = opts.positional.as_slice() else {
+        return Err("compare needs exactly two XPath arguments".into());
+    };
+    let op = match opts.op.as_deref() {
+        None | Some("contains") => "contains",
+        Some("overlap") => "overlap",
+        Some("equiv") => "equiv",
+        Some(other) => return Err(format!("unknown --op `{other}`")),
+    };
+    let line = request_value(op, &[("lhs", lhs), ("rhs", rhs)], opts.dtd.as_deref());
+    run_one(line, &opts)
+}
+
+/// Builds a protocol request object; a DTD source (if any) rides along as
+/// the inline `type` reference.
+fn request_value(op: &str, fields: &[(&str, &str)], dtd: Option<&str>) -> Value {
+    let mut obj = vec![("op".to_owned(), Value::from(op))];
+    for (k, v) in fields {
+        obj.push(((*k).to_owned(), Value::from(*v)));
+    }
+    if let Some(src) = dtd {
+        obj.push(("type".to_owned(), Value::from(src)));
+    }
+    Value::Obj(obj)
+}
+
+fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
+    let req = Request::from_value(&request)?;
+    let mut engine = engine_with(if opts.threads == 0 { 1 } else { opts.threads });
+    let response = engine.execute(&req);
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("request failed")
+            .to_owned());
+    }
+    if opts.json {
+        println!("{}", response.to_json());
+    } else {
+        print_human(&response);
+    }
+    match response.get("holds").and_then(Value::as_bool) {
+        Some(true) => Ok(ExitCode::SUCCESS),
+        _ => Ok(ExitCode::FAILURE),
+    }
+}
+
+fn print_human(response: &Value) {
+    let op = response.get("op").and_then(Value::as_str).unwrap_or("?");
+    let holds = response.get("holds").and_then(Value::as_bool);
+    match holds {
+        Some(h) => println!("{op}: {}", if h { "holds" } else { "does NOT hold" }),
+        None => println!("{}", response.to_json()),
+    }
+    if let Some(xml) = response.get("counter_example").and_then(Value::as_str) {
+        let role = match op {
+            // For these ops the witness *establishes* the property.
+            "sat" | "overlap" => "witness",
+            _ => "counter-example",
+        };
+        println!("{role}: {xml}");
+    }
+    if let Some(stats) = response.get("stats") {
+        let pick = |k: &str| stats.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        println!(
+            "lean: {} atoms, {} iterations, solve {:.3} ms, total {:.3} ms",
+            pick("lean_size"),
+            pick("iterations"),
+            pick("solve_ms"),
+            response
+                .get("wall_ms")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        );
+    }
+}
+
+fn batch(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("batch needs exactly one JSONL file argument".into());
+    };
+    let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut engine = engine_with(opts.threads);
+    let outcome = engine.run_batch_lines(&input);
+    if !opts.summary_only {
+        let stdout = std::io::stdout();
+        let mut out = BufWriter::new(stdout.lock());
+        for response in &outcome.responses {
+            writeln!(out, "{}", response.to_json()).map_err(|e| e.to_string())?;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    eprintln!("{}", outcome.stats.to_value().to_json());
+    if outcome.stats.errors > 0 {
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    if !opts.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let mut engine = engine_with(opts.threads);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    engine
+        .serve(stdin.lock(), stdout.lock())
+        .map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}

@@ -21,7 +21,10 @@
 //! * [`treetypes`] — DTDs, binary tree types and their Lµ compilation;
 //! * [`solver`] — the explicit (§6.2) and symbolic (§7) satisfiability
 //!   algorithms with counter-example reconstruction;
-//! * [`analyzer`] — the decision-problem front end.
+//! * [`analyzer`] — the decision-problem front end;
+//! * [`engine`] — the long-lived batch-analysis service: a workspace of
+//!   named DTDs/queries, a JSON-lines request protocol, and a parallel
+//!   executor with a memoized verdict cache (the `xsat` binary wraps it).
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@
 
 pub use analyzer;
 pub use bdd;
+pub use engine;
 pub use ftree;
 pub use mulogic;
 pub use solver;

@@ -32,7 +32,11 @@ fn evolution_is_backward_compatible_only() {
     let back = az.type_subset(&v2(), &v1());
     assert!(!back.holds);
     let doc = back.counter_example.unwrap().tree().clear_marks();
-    assert!(v2().validates(&doc) && !v1().validates(&doc), "{}", doc.to_xml());
+    assert!(
+        v2().validates(&doc) && !v1().validates(&doc),
+        "{}",
+        doc.to_xml()
+    );
 }
 
 #[test]

@@ -1,0 +1,13 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+/// The `prop::` module path used by the real crate's prelude
+/// (`prop::collection::vec`, `prop::sample::select`, …).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}

@@ -1,0 +1,42 @@
+//! Sampling strategies: `select` from a slice and random `Index`es.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An opaque random index, projected onto a collection with
+/// [`Index::index`]. Obtain one with `any::<prop::sample::Index>()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Projects the index onto a collection of length `len` (`len > 0`).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+/// Uniformly selects one of the given items.
+pub fn select<T: Clone + 'static>(items: &[T]) -> Select<T> {
+    assert!(!items.is_empty(), "select from an empty slice");
+    Select {
+        items: items.to_vec(),
+    }
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

@@ -1,0 +1,264 @@
+//! Strategies: composable deterministic generators.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Unlike the real proptest there is no shrinking: a strategy is just a
+/// pure function from an RNG to a value, and combinators compose those
+/// functions.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value: 'static;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: 'static,
+        F: Fn(Self::Value) -> U + Clone + 'static,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Builds recursive values: `recurse` wraps an inner strategy into one
+    /// producing a value one level deeper, applied up to `depth` times with
+    /// `self` as the leaf case. The `_desired_size` / `_expected_branch`
+    /// hints of the real API are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + Clone + 'static,
+        Self: Sized,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            let leaf = base.clone();
+            current = BoxedStrategy(Rc::new(move |rng| {
+                // Mix in the leaf so generated shapes vary in depth.
+                if rng.ratio(1, 4) {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A type-erased strategy (the `.boxed()` form).
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: 'static,
+    F: Fn(S::Value) -> U + Clone + 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy always producing a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Uniform choice.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Weighted choice.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+                (i64::from(self.start) + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_union() {
+        let mut rng = TestRng::from_name("map_and_union");
+        let s = crate::prop_oneof![
+            2 => (0u32..4).prop_map(|n| n * 10),
+            1 => Just(100u32),
+        ];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 100 || v < 40);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(4, 8, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut rng = TestRng::from_name("recursive_terminates");
+        for _ in 0..200 {
+            assert!(depth(&s.generate(&mut rng)) <= 4);
+        }
+    }
+}

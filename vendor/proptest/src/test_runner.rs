@@ -1,0 +1,105 @@
+//! The deterministic runner: configuration, RNG and case outcomes.
+
+/// Per-test configuration. Only `cases` is implemented.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (the `ProptestConfig::with_cases`
+    /// constructor of the real crate).
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+
+    /// The configured case count, overridable with `PROPTEST_CASES`.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The inputs did not meet a `prop_assume!` precondition; the case is
+    /// discarded and retried with fresh inputs.
+    Reject,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+/// A small deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (stable across runs) xor'd with
+    /// `PROPTEST_SEED` when set, for reproducible-but-variable exploration.
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let extra: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        TestRng { state: h ^ extra }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Modulo bias is irrelevant for test generation purposes.
+        self.next_u64() % n
+    }
+
+    /// True with probability `num/den`.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        self.below(u64::from(den)) < u64::from(num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = TestRng::from_name("range");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}
