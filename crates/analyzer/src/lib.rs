@@ -2,7 +2,9 @@
 //! the decision problems of the paper's §8.
 //!
 //! An [`Analyzer`] owns a formula arena and reduces each decision problem to
-//! Lµ satisfiability, solved by the symbolic BDD engine:
+//! Lµ satisfiability, solved by a selectable backend ([`BackendChoice`]:
+//! the symbolic BDD engine by default, the explicit or witnessed reference
+//! algorithms, or the dual symbolic/explicit cross-check):
 //!
 //! * **emptiness** — does a query ever select a node?
 //! * **containment** — `e1 ⊆ e2`: is every node selected by `e1` also
@@ -25,7 +27,7 @@
 //! let mut az = Analyzer::new();
 //! let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
 //! let e2 = parse("child::c[child::b]")?;
-//! let v = az.contains(&e1, None, &e2, None);
+//! let v = az.contains(&e1, None, &e2, None)?;
 //! assert!(!v.holds); // the Fig 18 example: e1 ⊄ e2
 //! assert!(v.counter_example.is_some());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -38,9 +40,11 @@ pub mod paper;
 pub mod types;
 
 use mulogic::{Formula, Logic};
-use solver::{solve_symbolic_with, Model, Outcome, Stats, SymbolicOptions};
+use solver::{solve_with, Model, Outcome, Stats, SymbolicOptions};
 use treetypes::Dtd;
 use xpath::Expr;
+
+pub use solver::{BackendChoice, CrossCheckError, Telemetry};
 
 /// The result of one decision problem.
 #[derive(Debug)]
@@ -53,13 +57,31 @@ pub struct Analysis {
     pub counter_example: Option<Model>,
     /// Solver statistics.
     pub stats: Stats,
+    /// The backend that produced the verdict.
+    pub backend: BackendChoice,
 }
 
-/// The analysis engine: a formula arena plus the symbolic solver.
+/// The outcome of one decision problem: the analysis, or a solver-level
+/// failure — a dual-mode cross-check disagreement, or a lean beyond the
+/// enumeration bound on the explicit/witnessed/dual backends. The
+/// symbolic backend never fails.
+pub type AnalysisResult = Result<Analysis, CrossCheckError>;
+
+/// Construction-time options of an [`Analyzer`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerOptions {
+    /// Which solver backend answers satisfiability queries.
+    pub backend: BackendChoice,
+    /// Tuning knobs of the symbolic backend (also the symbolic half of
+    /// dual mode).
+    pub symbolic: SymbolicOptions,
+}
+
+/// The analysis engine: a formula arena plus a selectable solver backend.
 #[derive(Debug, Default)]
 pub struct Analyzer {
     lg: Logic,
-    options: SymbolicOptions,
+    options: AnalyzerOptions,
     /// Cache of compiled type formulas, keyed by the DTD's structural
     /// `Hash`/`Eq` (start symbol plus declarations). Sharing one formula
     /// across the queries of a problem keeps the lean small: a coverage
@@ -72,18 +94,31 @@ pub struct Analyzer {
 }
 
 impl Analyzer {
-    /// Creates an analyzer with the paper-faithful solver options.
+    /// Creates an analyzer with the paper-faithful solver options and the
+    /// symbolic backend.
     pub fn new() -> Self {
         Analyzer::default()
     }
 
-    /// Creates an analyzer with custom solver options (ablations).
-    pub fn with_options(options: SymbolicOptions) -> Self {
+    /// Creates an analyzer with custom options (backend choice,
+    /// ablations).
+    pub fn with_options(options: AnalyzerOptions) -> Self {
         Analyzer {
             lg: Logic::new(),
             options,
             type_cache: std::collections::HashMap::new(),
         }
+    }
+
+    /// The backend answering this analyzer's queries.
+    pub fn backend(&self) -> BackendChoice {
+        self.options.backend
+    }
+
+    /// Switches the solver backend; compiled formulas and the type cache
+    /// are kept (they are backend-independent).
+    pub fn set_backend(&mut self, backend: BackendChoice) {
+        self.options.backend = backend;
     }
 
     /// The (cached) Lµ translation of a DTD.
@@ -137,52 +172,62 @@ impl Analyzer {
         xpath::compile_expr(&mut self.lg, e, chi)
     }
 
-    /// Decides satisfiability of an arbitrary Lµ formula.
-    pub fn solve_formula(&mut self, f: Formula) -> solver::Solved {
-        solve_symbolic_with(&mut self.lg, f, &self.options)
+    /// Decides satisfiability of an arbitrary Lµ formula on the configured
+    /// backend.
+    pub fn solve_formula(&mut self, f: Formula) -> Result<solver::Solved, CrossCheckError> {
+        solve_with(
+            &mut self.lg,
+            f,
+            self.options.backend,
+            &self.options.symbolic,
+        )
     }
 
-    pub(crate) fn check_unsat(&mut self, f: Formula) -> Analysis {
-        let solved = self.solve_formula(f);
-        match solved.outcome {
+    pub(crate) fn check_unsat(&mut self, f: Formula) -> AnalysisResult {
+        let solved = self.solve_formula(f)?;
+        Ok(match solved.outcome {
             Outcome::Unsatisfiable => Analysis {
                 holds: true,
                 counter_example: None,
                 stats: solved.stats,
+                backend: self.options.backend,
             },
             Outcome::Satisfiable(m) => Analysis {
                 holds: false,
                 counter_example: Some(m),
                 stats: solved.stats,
+                backend: self.options.backend,
             },
-        }
+        })
     }
 
-    fn check_sat(&mut self, f: Formula) -> Analysis {
-        let solved = self.solve_formula(f);
-        match solved.outcome {
+    fn check_sat(&mut self, f: Formula) -> AnalysisResult {
+        let solved = self.solve_formula(f)?;
+        Ok(match solved.outcome {
             Outcome::Satisfiable(m) => Analysis {
                 holds: true,
                 counter_example: Some(m),
                 stats: solved.stats,
+                backend: self.options.backend,
             },
             Outcome::Unsatisfiable => Analysis {
                 holds: false,
                 counter_example: None,
                 stats: solved.stats,
+                backend: self.options.backend,
             },
-        }
+        })
     }
 
     /// XPath emptiness: `e` selects no node in any tree (of the type).
-    pub fn is_empty(&mut self, e: &Expr, ty: Option<&Dtd>) -> Analysis {
+    pub fn is_empty(&mut self, e: &Expr, ty: Option<&Dtd>) -> AnalysisResult {
         let f = self.query_formula(e, ty);
         self.check_unsat(f)
     }
 
     /// XPath satisfiability: `e` selects a node in some tree of the type
     /// (the `e7`/`e8` rows of Table 2). The witness is a satisfying tree.
-    pub fn is_satisfiable(&mut self, e: &Expr, ty: Option<&Dtd>) -> Analysis {
+    pub fn is_satisfiable(&mut self, e: &Expr, ty: Option<&Dtd>) -> AnalysisResult {
         let f = self.query_formula(e, ty);
         self.check_sat(f)
     }
@@ -195,7 +240,7 @@ impl Analyzer {
         t1: Option<&Dtd>,
         e2: &Expr,
         t2: Option<&Dtd>,
-    ) -> Analysis {
+    ) -> AnalysisResult {
         let f1 = self.query_formula(e1, t1);
         let f2 = self.query_formula(e2, t2);
         let nf2 = self.lg.not(f2);
@@ -210,7 +255,7 @@ impl Analyzer {
         t1: Option<&Dtd>,
         e2: &Expr,
         t2: Option<&Dtd>,
-    ) -> Analysis {
+    ) -> AnalysisResult {
         let f1 = self.query_formula(e1, t1);
         let f2 = self.query_formula(e2, t2);
         let goal = self.lg.and(f1, f2);
@@ -224,7 +269,7 @@ impl Analyzer {
         e: &Expr,
         ty: Option<&Dtd>,
         covers: &[(&Expr, Option<&Dtd>)],
-    ) -> Analysis {
+    ) -> AnalysisResult {
         let mut goal = self.query_formula(e, ty);
         for &(ei, ti) in covers {
             let fi = self.query_formula(ei, ti);
@@ -237,7 +282,7 @@ impl Analyzer {
     /// Static type-checking of an annotated query: every node selected by
     /// `e` under the input type is a valid root of the output type
     /// (`E→⟦e⟧⟦T_in⟧ ∧ ¬⟦T_out⟧` unsatisfiable).
-    pub fn type_checks(&mut self, e: &Expr, input: &Dtd, output: &Dtd) -> Analysis {
+    pub fn type_checks(&mut self, e: &Expr, input: &Dtd, output: &Dtd) -> AnalysisResult {
         let f = self.query_formula(e, Some(input));
         let out = self.type_formula(output);
         let nout = self.lg.not(out);
@@ -253,10 +298,10 @@ impl Analyzer {
         t1: Option<&Dtd>,
         e2: &Expr,
         t2: Option<&Dtd>,
-    ) -> (Analysis, Analysis) {
-        let fwd = self.contains(e1, t1, e2, t2);
-        let bwd = self.contains(e2, t2, e1, t1);
-        (fwd, bwd)
+    ) -> Result<(Analysis, Analysis), CrossCheckError> {
+        let fwd = self.contains(e1, t1, e2, t2)?;
+        let bwd = self.contains(e2, t2, e1, t1)?;
+        Ok((fwd, bwd))
     }
 }
 
@@ -270,7 +315,7 @@ mod tests {
         let mut az = Analyzer::new();
         let e1 = parse("child::c/preceding-sibling::a[child::b]").unwrap();
         let e2 = parse("child::c[child::b]").unwrap();
-        let v = az.contains(&e1, None, &e2, None);
+        let v = az.contains(&e1, None, &e2, None).unwrap();
         assert!(!v.holds);
         let m = v.counter_example.unwrap();
         // The paper's counter-example has an `a` with a `b` child followed
@@ -285,9 +330,9 @@ mod tests {
     fn self_containment_and_equivalence() {
         let mut az = Analyzer::new();
         let e = parse("a/b[c]").unwrap();
-        let v = az.contains(&e, None, &e, None);
+        let v = az.contains(&e, None, &e, None).unwrap();
         assert!(v.holds);
-        let (f, b) = az.equivalent(&e, None, &e, None);
+        let (f, b) = az.equivalent(&e, None, &e, None).unwrap();
         assert!(f.holds && b.holds);
     }
 
@@ -296,10 +341,10 @@ mod tests {
         let mut az = Analyzer::new();
         // a ∩ b at the same node: empty.
         let e = parse("child::a ∩ child::b").unwrap();
-        let v = az.is_empty(&e, None);
+        let v = az.is_empty(&e, None).unwrap();
         assert!(v.holds);
         let e2 = parse("child::a").unwrap();
-        let v2 = az.is_empty(&e2, None);
+        let v2 = az.is_empty(&e2, None).unwrap();
         assert!(!v2.holds);
         assert!(v2.counter_example.is_some());
     }
@@ -309,12 +354,12 @@ mod tests {
         let mut az = Analyzer::new();
         let e1 = parse("child::*[child::b]").unwrap();
         let e2 = parse("child::a").unwrap();
-        let v = az.overlaps(&e1, None, &e2, None);
+        let v = az.overlaps(&e1, None, &e2, None).unwrap();
         assert!(v.holds);
         let w = v.counter_example.unwrap();
         assert!(w.xml().contains("<a"), "{w}");
         let e3 = parse("child::c").unwrap();
-        assert!(!az.overlaps(&e2, None, &e3, None).holds);
+        assert!(!az.overlaps(&e2, None, &e3, None).unwrap().holds);
     }
 
     #[test]
@@ -323,10 +368,10 @@ mod tests {
         let e = parse("child::*").unwrap();
         let ea = parse("child::a").unwrap();
         let estar = parse("child::*[not(self::a)]").unwrap();
-        let v = az.covers(&e, None, &[(&ea, None), (&estar, None)]);
+        let v = az.covers(&e, None, &[(&ea, None), (&estar, None)]).unwrap();
         assert!(v.holds);
         // Dropping one disjunct breaks coverage.
-        let v2 = az.covers(&e, None, &[(&ea, None)]);
+        let v2 = az.covers(&e, None, &[(&ea, None)]).unwrap();
         assert!(!v2.holds);
     }
 
@@ -338,10 +383,10 @@ mod tests {
         let mut az = Analyzer::new();
         let all = parse("child::*").unwrap();
         let xy = parse("child::x | child::y").unwrap();
-        let v = az.contains(&all, Some(&dtd), &xy, Some(&dtd));
+        let v = az.contains(&all, Some(&dtd), &xy, Some(&dtd)).unwrap();
         assert!(v.holds, "{:?}", v.counter_example.map(|m| m.xml()));
         // Without the type it fails.
-        let v2 = az.contains(&all, None, &xy, None);
+        let v2 = az.contains(&all, None, &xy, None).unwrap();
         assert!(!v2.holds);
     }
 
@@ -355,8 +400,8 @@ mod tests {
         let out_bad = Dtd::parse("<!ELEMENT x EMPTY>").unwrap();
         let mut az = Analyzer::new();
         let e = parse("child::x").unwrap();
-        assert!(az.type_checks(&e, &input, &out_ok).holds);
-        let v = az.type_checks(&e, &input, &out_bad);
+        assert!(az.type_checks(&e, &input, &out_ok).unwrap().holds);
+        let v = az.type_checks(&e, &input, &out_bad).unwrap();
         assert!(!v.holds);
         assert!(v.counter_example.is_some());
     }
@@ -385,7 +430,7 @@ mod tests {
         let out = Dtd::parse("<!ELEMENT x (y)> <!ELEMENT y EMPTY>").unwrap();
         let mut az = Analyzer::new();
         let e = parse("child::x").unwrap();
-        let v = az.type_checks(&e, &input, &out);
+        let v = az.type_checks(&e, &input, &out).unwrap();
         assert!(!v.holds);
     }
 }

@@ -15,7 +15,7 @@
 
 use treetypes::Dtd;
 
-use crate::{Analysis, Analyzer};
+use crate::{Analysis, AnalysisResult, Analyzer, CrossCheckError};
 
 impl Analyzer {
     /// Type inclusion: every document valid for `sub` is valid for `sup`.
@@ -32,11 +32,11 @@ impl Analyzer {
     /// let old = Dtd::parse("<!ELEMENT a (b)> <!ELEMENT b EMPTY>")?;
     /// let new = Dtd::parse("<!ELEMENT a (b+)> <!ELEMENT b EMPTY>")?;
     /// let mut az = Analyzer::new();
-    /// assert!(az.type_subset(&old, &new).holds);   // b ⊆ b+
-    /// assert!(!az.type_subset(&new, &old).holds);  // b+ ⊄ b
+    /// assert!(az.type_subset(&old, &new)?.holds);  // b ⊆ b+
+    /// assert!(!az.type_subset(&new, &old)?.holds); // b+ ⊄ b
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn type_subset(&mut self, sub: &Dtd, sup: &Dtd) -> Analysis {
+    pub fn type_subset(&mut self, sub: &Dtd, sup: &Dtd) -> AnalysisResult {
         let f_sub = self.type_formula(sub);
         let f_sup = self.type_formula(sup);
         let lg = self.logic_mut();
@@ -46,13 +46,17 @@ impl Analyzer {
     }
 
     /// Type equivalence: inclusion both ways.
-    pub fn type_equivalent(&mut self, t1: &Dtd, t2: &Dtd) -> (Analysis, Analysis) {
-        (self.type_subset(t1, t2), self.type_subset(t2, t1))
+    pub fn type_equivalent(
+        &mut self,
+        t1: &Dtd,
+        t2: &Dtd,
+    ) -> Result<(Analysis, Analysis), CrossCheckError> {
+        Ok((self.type_subset(t1, t2)?, self.type_subset(t2, t1)?))
     }
 
     /// Type disjointness: no document is valid for both. The witness of a
     /// failed disjointness is a common document.
-    pub fn type_disjoint(&mut self, t1: &Dtd, t2: &Dtd) -> Analysis {
+    pub fn type_disjoint(&mut self, t1: &Dtd, t2: &Dtd) -> AnalysisResult {
         let f1 = self.type_formula(t1);
         let f2 = self.type_formula(t2);
         let goal = self.logic_mut().and(f1, f2);
@@ -61,7 +65,7 @@ impl Analyzer {
 
     /// Type emptiness: the type has no finite document at all (e.g. an
     /// element transitively requiring itself).
-    pub fn type_empty(&mut self, t: &Dtd) -> Analysis {
+    pub fn type_empty(&mut self, t: &Dtd) -> AnalysisResult {
         let f = self.type_formula(t);
         self.check_unsat(f)
     }
@@ -82,14 +86,14 @@ mod tests {
         let opt = dtd("<!ELEMENT a (b?)> <!ELEMENT b EMPTY>");
         let one = dtd("<!ELEMENT a (b)> <!ELEMENT b EMPTY>");
         let mut az = Analyzer::new();
-        assert!(az.type_subset(&plus, &star).holds);
-        assert!(!az.type_subset(&star, &plus).holds);
-        assert!(az.type_subset(&opt, &star).holds);
-        assert!(az.type_subset(&one, &plus).holds);
-        assert!(az.type_subset(&one, &opt).holds);
-        assert!(!az.type_subset(&opt, &one).holds);
+        assert!(az.type_subset(&plus, &star).unwrap().holds);
+        assert!(!az.type_subset(&star, &plus).unwrap().holds);
+        assert!(az.type_subset(&opt, &star).unwrap().holds);
+        assert!(az.type_subset(&one, &plus).unwrap().holds);
+        assert!(az.type_subset(&one, &opt).unwrap().holds);
+        assert!(!az.type_subset(&opt, &one).unwrap().holds);
         // Failed inclusion yields a concrete separating document.
-        let v = az.type_subset(&star, &one);
+        let v = az.type_subset(&star, &one).unwrap();
         let w = v.counter_example.expect("separating document");
         let t = w.tree().clear_marks();
         assert!(star.validates(&t) && !one.validates(&t), "{w}");
@@ -105,7 +109,7 @@ mod tests {
             "<!ELEMENT a (b, (c | d))> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>",
         );
         let mut az = Analyzer::new();
-        let (fwd, bwd) = az.type_equivalent(&t1, &t2);
+        let (fwd, bwd) = az.type_equivalent(&t1, &t2).unwrap();
         assert!(fwd.holds && bwd.holds);
     }
 
@@ -115,8 +119,8 @@ mod tests {
         let t2 = dtd("<!ELEMENT a (c)> <!ELEMENT c EMPTY>");
         let t3 = dtd("<!ELEMENT a (b | c)> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>");
         let mut az = Analyzer::new();
-        assert!(az.type_disjoint(&t1, &t2).holds);
-        let v = az.type_disjoint(&t1, &t3);
+        assert!(az.type_disjoint(&t1, &t2).unwrap().holds);
+        let v = az.type_disjoint(&t1, &t3).unwrap();
         assert!(!v.holds);
         let w = v.counter_example.expect("common document");
         let t = w.tree().clear_marks();
@@ -128,10 +132,10 @@ mod tests {
         // a requires itself forever: no finite document.
         let t = dtd("<!ELEMENT a (a)>");
         let mut az = Analyzer::new();
-        assert!(az.type_empty(&t).holds);
+        assert!(az.type_empty(&t).unwrap().holds);
         // a allows stopping: inhabited.
         let t2 = dtd("<!ELEMENT a (a?)>");
-        let v = az.type_empty(&t2);
+        let v = az.type_empty(&t2).unwrap();
         assert!(!v.holds);
     }
 
@@ -140,7 +144,7 @@ mod tests {
         let wiki = treetypes::wikipedia();
         let smil = treetypes::smil_1_0();
         let mut az = Analyzer::new();
-        assert!(!az.type_subset(&wiki, &smil).holds);
-        assert!(az.type_disjoint(&wiki, &smil).holds);
+        assert!(!az.type_subset(&wiki, &smil).unwrap().holds);
+        assert!(az.type_disjoint(&wiki, &smil).unwrap().holds);
     }
 }

@@ -21,9 +21,12 @@ fn bench_delta_and_order(c: &mut Criterion) {
     for (name, opts) in ablation_configs() {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut az = Analyzer::with_options(opts.clone());
+                let mut az = Analyzer::with_options(analyzer::AnalyzerOptions {
+                    symbolic: opts.clone(),
+                    ..Default::default()
+                });
                 let goal = containment_goal(&mut az, black_box(1), black_box(2), None);
-                let s = az.solve_formula(goal);
+                let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
             })
         });
@@ -35,9 +38,12 @@ fn bench_delta_and_order(c: &mut Criterion) {
     for (name, opts) in ablation_configs() {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut az = Analyzer::with_options(opts.clone());
+                let mut az = Analyzer::with_options(analyzer::AnalyzerOptions {
+                    symbolic: opts.clone(),
+                    ..Default::default()
+                });
                 let goal = containment_goal(&mut az, black_box(4), black_box(3), None);
-                let s = az.solve_formula(goal);
+                let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
             })
         });

@@ -17,17 +17,19 @@ fn bench_chains(c: &mut Criterion) {
         // Print the lean size once per point so the series can be plotted.
         let mut az = Analyzer::new();
         let goal = chain_containment(&mut az, n, true);
-        let s = az.solve_formula(goal);
+        let s = az.solve_formula(goal).unwrap();
         assert!(!s.outcome.is_satisfiable());
         println!(
             "scaling n={n}: lean={} iterations={} bdd-nodes={:?}",
-            s.stats.lean_size, s.stats.iterations, s.stats.bdd_nodes
+            s.stats.lean_size,
+            s.stats.iterations,
+            s.stats.telemetry.bdd_nodes()
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut az = Analyzer::new();
                 let goal = chain_containment(&mut az, black_box(n), true);
-                let s = az.solve_formula(goal);
+                let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
             })
         });
@@ -45,7 +47,7 @@ fn bench_repeated_label_chains(c: &mut Criterion) {
             b.iter(|| {
                 let mut az = Analyzer::new();
                 let goal = chain_containment(&mut az, black_box(n), false);
-                let s = az.solve_formula(goal);
+                let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
             })
         });

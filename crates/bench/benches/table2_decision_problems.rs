@@ -15,7 +15,7 @@ use std::hint::black_box;
 fn solve_containment(lhs: usize, rhs: usize) -> bool {
     let mut az = Analyzer::new();
     let goal = containment_goal(&mut az, lhs, rhs, None);
-    let s = az.solve_formula(goal);
+    let s = az.solve_formula(goal).unwrap();
     !s.outcome.is_satisfiable()
 }
 
@@ -62,7 +62,7 @@ fn bench_smil(c: &mut Criterion) {
         b.iter(|| {
             let mut az = Analyzer::new();
             let goal = satisfiability_goal(&mut az, black_box(7), Some(&dtd));
-            let s = az.solve_formula(goal);
+            let s = az.solve_formula(goal).unwrap();
             assert!(s.outcome.is_satisfiable());
         })
     });

@@ -112,7 +112,7 @@ mod tests {
     fn chain_goal_is_unsat() {
         let mut az = Analyzer::new();
         let g = chain_containment(&mut az, 3, true);
-        let s = az.solve_formula(g);
+        let s = az.solve_formula(g).unwrap();
         assert!(!s.outcome.is_satisfiable());
     }
 }

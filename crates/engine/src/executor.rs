@@ -4,22 +4,24 @@
 //! request order during a sequential resolution pass (each decision problem
 //! snapshots `Arc` handles to the artifacts it references, so later
 //! rebindings cannot affect earlier problems). The resolved problems are
-//! then deduplicated on their canonical structural key and fanned out over
-//! worker threads: each worker owns a long-lived [`Analyzer`] — its own
-//! formula arena and BDD manager — while all workers share one verdict memo
-//! cache behind a mutex. Duplicate occurrences and problems already solved
-//! in previous batches (or by the sequential front end) are served from the
-//! cache and reported with `"cached":true`.
+//! then deduplicated on their canonical structural key — the problem *and*
+//! the backend it runs on — and fanned out over worker threads: each
+//! worker owns a long-lived [`Analyzer`] — its own formula arena and BDD
+//! manager — while all workers share one verdict memo cache behind a
+//! mutex. Duplicate occurrences and problems already solved in previous
+//! batches (or by the sequential front end) are served from the cache and
+//! reported with `"cached":true`. Dual-mode cross-check failures become
+//! per-request error responses and are never cached.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use analyzer::Analyzer;
+use analyzer::{Analyzer, BackendChoice};
 
 use crate::json::{obj, Value};
-use crate::problem::{duration_ms, Problem, Verdict};
+use crate::problem::{duration_ms, Job, Verdict};
 use crate::protocol::{
     error_response, registration_response, verdict_response, Request, RequestKind,
 };
@@ -37,7 +39,8 @@ pub struct BatchStats {
     /// Problems answered from the memo cache (duplicates within the batch
     /// plus hits from earlier work).
     pub cache_hits: usize,
-    /// Requests that failed to parse or resolve.
+    /// Requests that failed: parse or resolution errors, plus solver-level
+    /// failures (dual-mode cross-check disagreements or infeasibility).
     pub errors: usize,
     /// Worker threads used.
     pub threads: usize,
@@ -101,7 +104,8 @@ struct PendingProblem {
 pub(crate) fn run_batch(
     workspace: &mut Workspace,
     workers: &mut [Analyzer],
-    cache: &Mutex<HashMap<Problem, Verdict>>,
+    cache: &Mutex<HashMap<Job, Verdict>>,
+    default_backend: BackendChoice,
     requests: &[Request],
 ) -> BatchOutcome {
     let started = Instant::now();
@@ -115,8 +119,8 @@ pub(crate) fn run_batch(
     // problems against the workspace as it stood when they were posed.
     let mut responses: Vec<Option<Value>> = (0..requests.len()).map(|_| None).collect();
     let mut pending: Vec<PendingProblem> = Vec::new();
-    let mut jobs: Vec<Problem> = Vec::new();
-    let mut job_of: HashMap<Problem, usize> = HashMap::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut job_of: HashMap<Job, usize> = HashMap::new();
     for (slot, req) in requests.iter().enumerate() {
         match &req.kind {
             RequestKind::RegisterDtd { name, source } => {
@@ -140,12 +144,16 @@ pub(crate) fn run_batch(
             RequestKind::Problem(spec) => match spec.resolve(workspace) {
                 Ok(problem) => {
                     stats.problems += 1;
-                    let (job, duplicate) = match job_of.get(&problem) {
+                    let key = Job {
+                        problem,
+                        backend: spec.backend.unwrap_or(default_backend),
+                    };
+                    let (job, duplicate) = match job_of.get(&key) {
                         Some(&j) => (j, true),
                         None => {
                             let j = jobs.len();
-                            job_of.insert(problem.clone(), j);
-                            jobs.push(problem);
+                            job_of.insert(key.clone(), j);
+                            jobs.push(key);
                             (j, false)
                         }
                     };
@@ -174,8 +182,9 @@ pub(crate) fn run_batch(
     stats.unique_problems = jobs.len();
 
     // Pass 2 (parallel): fan the deduplicated jobs out over the workers.
-    // `(verdict, was_cache_hit)` per job.
-    let results: Vec<OnceLock<(Verdict, bool)>> =
+    // `(verdict-or-error, was_cache_hit)` per job; failed cross-checks are
+    // never inserted into the memo cache.
+    let results: Vec<OnceLock<(Result<Verdict, String>, bool)>> =
         (0..jobs.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     let jobs_ref = &jobs;
@@ -185,15 +194,17 @@ pub(crate) fn run_batch(
         for az in workers.iter_mut() {
             scope.spawn(move || loop {
                 let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                let Some(problem) = jobs_ref.get(i) else {
+                let Some(job) = jobs_ref.get(i) else {
                     break;
                 };
-                let hit = lock(cache).get(problem).cloned();
+                let hit = lock(cache).get(job).cloned();
                 let (verdict, cached) = match hit {
-                    Some(v) => (v, true),
+                    Some(v) => (Ok(v), true),
                     None => {
-                        let v = problem.run(az);
-                        lock(cache).insert(problem.clone(), v.clone());
+                        let v = job.problem.run(az, job.backend);
+                        if let Ok(v) = &v {
+                            lock(cache).insert(job.clone(), v.clone());
+                        }
                         (v, false)
                     }
                 };
@@ -206,7 +217,15 @@ pub(crate) fn run_batch(
 
     // Pass 3: fill problem responses in request order.
     for p in pending {
-        let (verdict, job_was_hit) = results[p.job].get().expect("job not executed");
+        let (result, job_was_hit) = results[p.job].get().expect("job not executed");
+        let verdict = match result {
+            Ok(v) => v,
+            Err(e) => {
+                stats.errors += 1;
+                responses[p.slot] = Some(error_response(p.id.as_ref(), e));
+                continue;
+            }
+        };
         let cached = *job_was_hit || p.duplicate;
         if cached {
             stats.cache_hits += 1;

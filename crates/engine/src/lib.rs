@@ -57,13 +57,14 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::sync::Mutex;
 
-use analyzer::Analyzer;
+use analyzer::{Analyzer, AnalyzerOptions};
 use solver::SymbolicOptions;
 
 pub use executor::{BatchOutcome, BatchStats};
 pub use json::Value;
-pub use problem::{Problem, Verdict, VerdictStats};
+pub use problem::{Job, Problem, Verdict, VerdictStats};
 pub use protocol::{ProblemSpec, Request, RequestKind};
+pub use solver::{BackendChoice, Telemetry};
 pub use workspace::Workspace;
 
 use executor::lock;
@@ -75,8 +76,10 @@ pub struct EngineConfig {
     /// Worker threads for batch execution; `0` picks the machine's
     /// available parallelism (capped at 16).
     pub threads: usize,
-    /// Solver options, cloned into every worker.
+    /// Symbolic-solver options, cloned into every worker.
     pub options: SymbolicOptions,
+    /// Default solver backend for requests that do not name one.
+    pub backend: BackendChoice,
 }
 
 /// Cumulative service counters, reported by the `stats` op.
@@ -110,9 +113,13 @@ pub struct Engine {
     session: Analyzer,
     /// One analyzer per batch worker thread, kept alive across batches.
     workers: Vec<Analyzer>,
-    cache: Mutex<HashMap<Problem, Verdict>>,
+    /// Verdict memo cache, keyed by the canonical problem *plus* the
+    /// backend that answered it: a symbolic verdict must never be served
+    /// for an explicit-backend request, and dual-mode verdicts live under
+    /// their own key.
+    cache: Mutex<HashMap<Job, Verdict>>,
     counters: Counters,
-    options: SymbolicOptions,
+    options: AnalyzerOptions,
 }
 
 impl Default for Engine {
@@ -137,21 +144,30 @@ impl Engine {
         } else {
             config.threads
         };
+        let options = AnalyzerOptions {
+            backend: config.backend,
+            symbolic: config.options,
+        };
         Engine {
             workspace: Workspace::new(),
-            session: Analyzer::with_options(config.options.clone()),
+            session: Analyzer::with_options(options.clone()),
             workers: (0..threads)
-                .map(|_| Analyzer::with_options(config.options.clone()))
+                .map(|_| Analyzer::with_options(options.clone()))
                 .collect(),
             cache: Mutex::new(HashMap::new()),
             counters: Counters::default(),
-            options: config.options,
+            options,
         }
     }
 
     /// Number of batch worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The default backend for requests that do not name one.
+    pub fn default_backend(&self) -> BackendChoice {
+        self.options.backend
     }
 
     /// The workspace of named artifacts.
@@ -189,17 +205,23 @@ impl Engine {
             RequestKind::Problem(spec) => match spec.resolve(&self.workspace) {
                 Ok(problem) => {
                     self.counters.problems += 1;
-                    let hit = lock(&self.cache).get(&problem).cloned();
+                    let job = Job {
+                        problem,
+                        backend: spec.backend.unwrap_or(self.options.backend),
+                    };
+                    let hit = lock(&self.cache).get(&job).cloned();
                     let (verdict, cached) = match hit {
                         Some(v) => {
                             self.counters.cache_hits += 1;
                             (v, true)
                         }
-                        None => {
-                            let v = problem.run(&mut self.session);
-                            lock(&self.cache).insert(problem, v.clone());
-                            (v, false)
-                        }
+                        None => match job.problem.run(&mut self.session, job.backend) {
+                            Ok(v) => {
+                                lock(&self.cache).insert(job, v.clone());
+                                (v, false)
+                            }
+                            Err(e) => return self.error(req.id.as_ref(), &e),
+                        },
                     };
                     let wall = if cached { 0.0 } else { verdict.wall_ms };
                     verdict_response(req.id.as_ref(), spec.op, &verdict, cached, wall)
@@ -238,6 +260,7 @@ impl Engine {
             &mut self.workspace,
             &mut self.workers,
             &self.cache,
+            self.options.backend,
             requests,
         );
         self.counters.batches += 1;
@@ -313,6 +336,7 @@ impl Engine {
         fields.extend([
             ("ok", Value::Bool(true)),
             ("op", Value::from("stats")),
+            ("backend", Value::from(self.options.backend.as_str())),
             ("threads", Value::from(self.threads())),
             ("dtds", Value::from(self.workspace.dtd_count())),
             ("queries", Value::from(self.workspace.query_count())),

@@ -5,12 +5,14 @@
 //! under. Its derived `Hash`/`Eq` therefore give a *canonical key* — the
 //! same logical problem posed twice (under different names, or inline vs.
 //! registered) memoizes to one cache entry, and two distinct problems can
-//! never alias the way rendered-string keys could.
+//! never alias the way rendered-string keys could. The memo key proper is
+//! a [`Job`]: the problem *plus* the backend it runs on — a cached
+//! symbolic verdict must never answer an explicit-backend request.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use analyzer::{Analysis, Analyzer};
+use analyzer::{Analysis, Analyzer, BackendChoice, Telemetry};
 use treetypes::Dtd;
 use xpath::Expr;
 
@@ -86,6 +88,16 @@ pub enum Problem {
     },
 }
 
+/// The memo-cache key and unit of executor work: a canonical problem plus
+/// the backend that must answer it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// The structural problem.
+    pub problem: Problem,
+    /// The backend it runs on.
+    pub backend: BackendChoice,
+}
+
 impl Problem {
     /// The protocol name of the operation.
     pub fn op_name(&self) -> &'static str {
@@ -100,9 +112,14 @@ impl Problem {
         }
     }
 
-    /// Solves the problem on the given analyzer.
-    pub fn run(&self, az: &mut Analyzer) -> Verdict {
+    /// Solves the problem on the given analyzer with the given backend.
+    ///
+    /// A dual-mode cross-check failure (verdict disagreement, or a lean
+    /// beyond the explicit enumeration bound) comes back as `Err` with a
+    /// protocol-ready message.
+    pub fn run(&self, az: &mut Analyzer, backend: BackendChoice) -> Result<Verdict, String> {
         let started = Instant::now();
+        az.set_backend(backend);
         let verdict = match self {
             Problem::Empty { query, ty } => {
                 Verdict::from_analysis(az.is_empty(query, ty.as_deref()))
@@ -132,20 +149,20 @@ impl Problem {
                 ltype,
                 rhs,
                 rtype,
-            } => {
-                let (fwd, bwd) = az.equivalent(lhs, ltype.as_deref(), rhs, rtype.as_deref());
-                Verdict::from_equivalence(fwd, bwd)
-            }
+            } => az
+                .equivalent(lhs, ltype.as_deref(), rhs, rtype.as_deref())
+                .map(|(fwd, bwd)| Verdict::from_equivalence(fwd, bwd))
+                .map_err(|e| e.to_string()),
             Problem::TypeCheck {
                 query,
                 input,
                 output,
             } => Verdict::from_analysis(az.type_checks(query, input, output)),
         };
-        Verdict {
+        verdict.map(|v| Verdict {
             wall_ms: duration_ms(started.elapsed()),
-            ..verdict
-        }
+            ..v
+        })
     }
 }
 
@@ -161,8 +178,8 @@ pub struct VerdictStats {
     pub iterations: usize,
     /// Wall-clock of the satisfiability loop(s), in milliseconds.
     pub solve_ms: f64,
-    /// Total BDD nodes allocated, when the symbolic backend reports it.
-    pub bdd_nodes: Option<usize>,
+    /// Typed per-backend counters (summed over sub-problems).
+    pub telemetry: Telemetry,
 }
 
 impl VerdictStats {
@@ -172,7 +189,7 @@ impl VerdictStats {
             closure_size: stats.closure_size,
             iterations: stats.iterations,
             solve_ms: duration_ms(stats.duration),
-            bdd_nodes: stats.bdd_nodes,
+            telemetry: stats.telemetry.clone(),
         }
     }
 
@@ -182,10 +199,7 @@ impl VerdictStats {
             closure_size: self.closure_size.max(other.closure_size),
             iterations: self.iterations + other.iterations,
             solve_ms: self.solve_ms + other.solve_ms,
-            bdd_nodes: match (self.bdd_nodes, other.bdd_nodes) {
-                (Some(a), Some(b)) => Some(a + b),
-                (a, b) => a.or(b),
-            },
+            telemetry: self.telemetry.merge(other.telemetry),
         }
     }
 }
@@ -204,6 +218,8 @@ pub struct Verdict {
     /// emptiness, coverage, type-checking, equivalence), for it on
     /// satisfiability and overlap.
     pub counter_example: Option<String>,
+    /// The backend that produced the verdict, echoed on every response.
+    pub backend: BackendChoice,
     /// Solver measurements.
     pub stats: VerdictStats,
     /// End-to-end time for this problem (translation + solving), in
@@ -212,13 +228,15 @@ pub struct Verdict {
 }
 
 impl Verdict {
-    fn from_analysis(a: Analysis) -> Verdict {
-        Verdict {
+    fn from_analysis(a: Result<Analysis, analyzer::CrossCheckError>) -> Result<Verdict, String> {
+        let a = a.map_err(|e| e.to_string())?;
+        Ok(Verdict {
             holds: a.holds,
             counter_example: a.counter_example.map(|m| m.xml()),
+            backend: a.backend,
             stats: VerdictStats::from_solver(&a.stats),
             wall_ms: 0.0,
-        }
+        })
     }
 
     fn from_equivalence(fwd: Analysis, bwd: Analysis) -> Verdict {
@@ -228,6 +246,7 @@ impl Verdict {
         Verdict {
             holds,
             counter_example,
+            backend: fwd.backend,
             stats: VerdictStats::from_solver(&fwd.stats)
                 .merge(VerdictStats::from_solver(&bwd.stats)),
             wall_ms: 0.0,
@@ -285,12 +304,14 @@ mod tests {
             rhs: q("child::c[child::b]"),
             rtype: None,
         };
-        let v = p.run(&mut az);
+        let v = p.run(&mut az, BackendChoice::Symbolic).unwrap();
         assert!(!v.holds);
         let xml = v.counter_example.expect("witness expected");
         assert!(xml.contains("<a>"), "{xml}");
         assert!(v.stats.lean_size > 0);
         assert!(v.wall_ms >= 0.0);
+        assert_eq!(v.backend, BackendChoice::Symbolic);
+        assert_eq!(v.stats.telemetry.backend_name(), "symbolic");
     }
 
     #[test]
@@ -302,9 +323,58 @@ mod tests {
             rhs: q("a/b[c]"),
             rtype: None,
         };
-        let v = p.run(&mut az);
+        let v = p.run(&mut az, BackendChoice::Symbolic).unwrap();
         assert!(v.holds);
         assert!(v.counter_example.is_none());
         assert!(v.stats.iterations > 0);
+    }
+
+    #[test]
+    fn backends_are_distinct_jobs() {
+        use std::collections::HashMap;
+        let p = Problem::Contains {
+            lhs: q("a/b"),
+            ltype: None,
+            rhs: q("a/*"),
+            rtype: None,
+        };
+        let mut m = HashMap::new();
+        m.insert(
+            Job {
+                problem: p.clone(),
+                backend: BackendChoice::Symbolic,
+            },
+            1,
+        );
+        // The same problem under another backend is a different cache key.
+        assert!(!m.contains_key(&Job {
+            problem: p.clone(),
+            backend: BackendChoice::Explicit,
+        }));
+        assert!(m.contains_key(&Job {
+            problem: p,
+            backend: BackendChoice::Symbolic,
+        }));
+    }
+
+    #[test]
+    fn run_on_reference_backends_and_dual() {
+        let p = Problem::Overlap {
+            lhs: q("child::a"),
+            ltype: None,
+            rhs: q("child::*"),
+            rtype: None,
+        };
+        for backend in [
+            BackendChoice::Explicit,
+            BackendChoice::Witnessed,
+            BackendChoice::Dual,
+        ] {
+            let mut az = Analyzer::new();
+            let v = p.run(&mut az, backend).unwrap();
+            assert!(v.holds, "{backend}");
+            assert_eq!(v.backend, backend);
+            assert_eq!(v.stats.telemetry.backend_name(), backend.as_str());
+        }
     }
 }

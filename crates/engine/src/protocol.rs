@@ -4,18 +4,24 @@
 //! `"id"` field (any JSON value), echoed verbatim on its response so
 //! pipelined clients can correlate. Decision ops reference queries and
 //! types by registered name, with inline XPath / DTD source accepted as a
-//! fallback (see [`Workspace`](crate::Workspace)).
+//! fallback (see [`Workspace`]), and may carry a
+//! `"backend"` field (`symbolic` | `explicit` | `witnessed` | `dual`)
+//! selecting the solver; the backend that answered is echoed on every
+//! verdict, together with its typed telemetry.
 //!
 //! ```text
 //! {"op":"dtd","name":"d1","source":"<!ELEMENT a (b*)> <!ELEMENT b EMPTY>"}
 //! {"op":"query","name":"q1","xpath":"a/b"}
 //! {"op":"contains","lhs":"q1","rhs":"a/*","type":"d1"}
+//! {"op":"contains","lhs":"q1","rhs":"a/*","backend":"dual"}
 //! {"op":"covers","query":"child::*","by":["child::a","child::*[not(self::a)]"]}
 //! {"op":"typecheck","query":"child::x","input":"din","output":"dout"}
 //! {"op":"stats"}
 //! ```
 
 use std::sync::Arc;
+
+use analyzer::{BackendChoice, Telemetry};
 
 use crate::json::{obj, Value};
 use crate::problem::{Problem, Verdict};
@@ -65,6 +71,8 @@ pub struct ProblemSpec {
     pub queries: Vec<String>,
     /// Type references, in op-specific order (see [`ProblemSpec::resolve`]).
     pub types: Vec<Option<String>>,
+    /// Requested solver backend; `None` falls back to the engine default.
+    pub backend: Option<BackendChoice>,
 }
 
 impl Request {
@@ -81,6 +89,7 @@ impl Request {
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| "request needs a string `op` field".to_owned())?;
+        let backend = backend_field(v)?;
         let kind = match op {
             "dtd" | "register-dtd" => RequestKind::RegisterDtd {
                 name: str_field(v, "name")?,
@@ -96,15 +105,17 @@ impl Request {
                 op: "empty",
                 queries: vec![str_field(v, "query")?],
                 types: vec![opt_str_field(v, "type")],
+                backend,
             }),
             "sat" | "satisfiable" => RequestKind::Problem(ProblemSpec {
                 op: "sat",
                 queries: vec![str_field(v, "query")?],
                 types: vec![opt_str_field(v, "type")],
+                backend,
             }),
-            "contains" | "containment" => binary_spec("contains", v)?,
-            "overlap" | "overlaps" => binary_spec("overlap", v)?,
-            "equiv" | "equivalent" => binary_spec("equiv", v)?,
+            "contains" | "containment" => binary_spec("contains", v, backend)?,
+            "overlap" | "overlaps" => binary_spec("overlap", v, backend)?,
+            "equiv" | "equivalent" => binary_spec("equiv", v, backend)?,
             "covers" | "coverage" => {
                 let mut queries = vec![str_field(v, "query")?];
                 let by = v
@@ -125,16 +136,31 @@ impl Request {
                     op: "covers",
                     queries,
                     types: vec![opt_str_field(v, "type")],
+                    backend,
                 })
             }
             "typecheck" | "type-check" => RequestKind::Problem(ProblemSpec {
                 op: "typecheck",
                 queries: vec![str_field(v, "query")?],
                 types: vec![Some(str_field(v, "input")?), Some(str_field(v, "output")?)],
+                backend,
             }),
             other => return Err(format!("unknown op `{other}`")),
         };
         Ok(Request { id, kind })
+    }
+}
+
+/// Parses the optional `backend` field of a request.
+fn backend_field(v: &Value) -> Result<Option<BackendChoice>, String> {
+    match v.get("backend") {
+        None => Ok(None),
+        Some(b) => {
+            let name = b
+                .as_str()
+                .ok_or_else(|| "`backend` must be a string".to_owned())?;
+            name.parse().map(Some)
+        }
     }
 }
 
@@ -151,7 +177,11 @@ fn opt_str_field(v: &Value, key: &str) -> Option<String> {
 
 /// Shared shape of `contains` / `overlap` / `equiv`: `lhs`, `rhs`, and
 /// either one `type` for both sides or per-side `ltype` / `rtype`.
-fn binary_spec(op: &'static str, v: &Value) -> Result<RequestKind, String> {
+fn binary_spec(
+    op: &'static str,
+    v: &Value,
+    backend: Option<BackendChoice>,
+) -> Result<RequestKind, String> {
     let both = opt_str_field(v, "type");
     let ltype = opt_str_field(v, "ltype").or_else(|| both.clone());
     let rtype = opt_str_field(v, "rtype").or(both);
@@ -159,6 +189,7 @@ fn binary_spec(op: &'static str, v: &Value) -> Result<RequestKind, String> {
         op,
         queries: vec![str_field(v, "lhs")?, str_field(v, "rhs")?],
         types: vec![ltype, rtype],
+        backend,
     }))
 }
 
@@ -246,6 +277,7 @@ pub fn verdict_response(
     fields.extend([
         ("ok", Value::Bool(true)),
         ("op", Value::from(op)),
+        ("backend", Value::from(verdict.backend.as_str())),
         ("holds", Value::Bool(verdict.holds)),
     ]);
     match &verdict.counter_example {
@@ -255,16 +287,36 @@ pub fn verdict_response(
     fields.push(("cached", Value::Bool(cached)));
     fields.push(("wall_ms", Value::Num(round3(wall_ms))));
     let s = &verdict.stats;
-    let mut stats = vec![
+    let stats = vec![
         ("lean_size", Value::from(s.lean_size)),
         ("closure_size", Value::from(s.closure_size)),
         ("iterations", Value::from(s.iterations)),
         ("solve_ms", Value::Num(round3(s.solve_ms))),
+        ("telemetry", telemetry_value(&s.telemetry)),
     ];
-    if let Some(n) = s.bdd_nodes {
-        stats.push(("bdd_nodes", Value::from(n)));
-    }
     fields.push(("stats", obj(stats)));
+    obj(fields)
+}
+
+/// Serializes per-backend telemetry as a tagged JSON object.
+pub fn telemetry_value(t: &Telemetry) -> Value {
+    let mut fields = vec![("backend", Value::from(t.backend_name()))];
+    match t {
+        Telemetry::Symbolic { bdd_nodes } => {
+            fields.push(("bdd_nodes", Value::from(*bdd_nodes)));
+        }
+        Telemetry::Explicit { types } => {
+            fields.push(("types", Value::from(*types)));
+        }
+        Telemetry::Witnessed { types, proved } => {
+            fields.push(("types", Value::from(*types)));
+            fields.push(("proved", Value::from(*proved)));
+        }
+        Telemetry::Dual { symbolic, explicit } => {
+            fields.push(("symbolic", telemetry_value(symbolic)));
+            fields.push(("explicit", telemetry_value(explicit)));
+        }
+    }
     obj(fields)
 }
 
@@ -319,6 +371,40 @@ mod tests {
         let r = Request::parse(r#"{"id":7,"op":"stats"}"#).unwrap();
         assert_eq!(r.id, Some(Value::Num(7.0)));
         assert_eq!(r.kind, RequestKind::Stats);
+    }
+
+    #[test]
+    fn backend_field_parses_and_rejects() {
+        let r = Request::parse(r#"{"op":"sat","query":"a","backend":"explicit"}"#).unwrap();
+        match r.kind {
+            RequestKind::Problem(spec) => {
+                assert_eq!(spec.backend, Some(BackendChoice::Explicit));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let r = Request::parse(r#"{"op":"sat","query":"a"}"#).unwrap();
+        match r.kind {
+            RequestKind::Problem(spec) => assert_eq!(spec.backend, None),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let e = Request::parse(r#"{"op":"sat","query":"a","backend":"frobnicate"}"#).unwrap_err();
+        assert!(e.contains("unknown backend `frobnicate`"), "{e}");
+        let e = Request::parse(r#"{"op":"sat","query":"a","backend":7}"#).unwrap_err();
+        assert!(e.contains("`backend` must be a string"), "{e}");
+    }
+
+    #[test]
+    fn telemetry_serializes_tagged() {
+        let t = Telemetry::Dual {
+            symbolic: Box::new(Telemetry::Symbolic { bdd_nodes: 3 }),
+            explicit: Box::new(Telemetry::Explicit { types: 9 }),
+        };
+        let v = telemetry_value(&t);
+        assert_eq!(v.get("backend").and_then(Value::as_str), Some("dual"));
+        let sym = v.get("symbolic").unwrap();
+        assert_eq!(sym.get("bdd_nodes").and_then(Value::as_f64), Some(3.0));
+        let exp = v.get("explicit").unwrap();
+        assert_eq!(exp.get("types").and_then(Value::as_f64), Some(9.0));
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Golden JSONL round-trips: a request file goes in, the verdict stream
-//! must match the expected lines, for every protocol op.
+//! must match the expected lines, for every protocol op and for the
+//! `backend` request field (every verdict echoes the backend that answered
+//! it, and the memo cache is keyed per backend).
 //!
 //! Volatile measurement fields (`wall_ms`, `stats`) are stripped before
 //! comparison; everything else — including counter-example XML, `cached`
-//! flags and error texts — must match byte-for-byte. The same exchange is
-//! also replayed through the sequential `serve` loop, which must produce
-//! the same normalized verdicts as the parallel batch executor.
+//! flags, `backend` echoes and error texts — must match byte-for-byte. The
+//! same exchange is also replayed through the sequential `serve` loop,
+//! which must produce the same normalized verdicts as the parallel batch
+//! executor.
 
-use engine::{json, Engine, EngineConfig, Request, Value};
+use engine::{json, BackendChoice, Engine, EngineConfig, Request, Telemetry, Value};
 
 /// The golden exchange: one `(request, expected normalized response)` pair
 /// per line, exercising every op of the protocol.
@@ -27,58 +30,58 @@ const GOLDEN: &[(&str, &str)] = &[
     // Typed containment holds; untyped does not (and carries a witness).
     (
         r#"{"id":1,"op":"contains","lhs":"q1","rhs":"q2","type":"d1"}"#,
-        r#"{"id":1,"ok":true,"op":"contains","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":1,"ok":true,"op":"contains","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":2,"op":"contains","lhs":"q1","rhs":"q2"}"#,
-        r#"{"id":2,"ok":true,"op":"contains","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+        r#"{"id":2,"ok":true,"op":"contains","backend":"symbolic","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
     ),
     // The Fig 18 counter-example-carrying containment failure.
     (
         r#"{"id":3,"op":"contains","lhs":"child::c/preceding-sibling::a[child::b]","rhs":"child::c[child::b]"}"#,
-        r#"{"id":3,"ok":true,"op":"contains","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","cached":false}"#,
+        r#"{"id":3,"ok":true,"op":"contains","backend":"symbolic","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","cached":false}"#,
     ),
     // Cache-hit repeat of request id 1 (same problem, same names).
     (
         r#"{"id":4,"op":"contains","lhs":"q1","rhs":"q2","type":"d1"}"#,
-        r#"{"id":4,"ok":true,"op":"contains","holds":true,"counter_example":null,"cached":true}"#,
+        r#"{"id":4,"ok":true,"op":"contains","backend":"symbolic","holds":true,"counter_example":null,"cached":true}"#,
     ),
     // Cache also hits when the same problem is posed inline, unregistered.
     (
         r#"{"id":5,"op":"contains","lhs":"child::*","rhs":"child::x | child::y","type":"<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>"}"#,
-        r#"{"id":5,"ok":true,"op":"contains","holds":true,"counter_example":null,"cached":true}"#,
+        r#"{"id":5,"ok":true,"op":"contains","backend":"symbolic","holds":true,"counter_example":null,"cached":true}"#,
     ),
     (
         r#"{"id":6,"op":"overlap","lhs":"child::*[child::b]","rhs":"child::a"}"#,
-        r#"{"id":6,"ok":true,"op":"overlap","holds":true,"counter_example":"<_other s=\"1\"><a><b/></a></_other>","cached":false}"#,
+        r#"{"id":6,"ok":true,"op":"overlap","backend":"symbolic","holds":true,"counter_example":"<_other s=\"1\"><a><b/></a></_other>","cached":false}"#,
     ),
     (
         r#"{"id":7,"op":"covers","query":"child::*","by":["child::a","child::*[not(self::a)]"]}"#,
-        r#"{"id":7,"ok":true,"op":"covers","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":7,"ok":true,"op":"covers","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":8,"op":"covers","query":"child::*","by":["child::a"]}"#,
-        r#"{"id":8,"ok":true,"op":"covers","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+        r#"{"id":8,"ok":true,"op":"covers","backend":"symbolic","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
     ),
     (
         r#"{"id":9,"op":"equiv","lhs":"a/b[c]","rhs":"a/b[c]"}"#,
-        r#"{"id":9,"ok":true,"op":"equiv","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":9,"ok":true,"op":"equiv","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":10,"op":"empty","query":"child::a ∩ child::b"}"#,
-        r#"{"id":10,"ok":true,"op":"empty","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":10,"ok":true,"op":"empty","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":11,"op":"sat","query":"q1","type":"d1"}"#,
-        r#"{"id":11,"ok":true,"op":"sat","holds":true,"counter_example":"<r s=\"1\"><x/><y/></r>","cached":false}"#,
+        r#"{"id":11,"ok":true,"op":"sat","backend":"symbolic","holds":true,"counter_example":"<r s=\"1\"><x/><y/></r>","cached":false}"#,
     ),
     (
         r#"{"id":12,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x (y)> <!ELEMENT y EMPTY>"}"#,
-        r#"{"id":12,"ok":true,"op":"typecheck","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":12,"ok":true,"op":"typecheck","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":13,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x EMPTY>"}"#,
-        r#"{"id":13,"ok":true,"op":"typecheck","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","cached":false}"#,
+        r#"{"id":13,"ok":true,"op":"typecheck","backend":"symbolic","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","cached":false}"#,
     ),
     // Errors: unresolvable reference and unknown op.
     (
@@ -88,6 +91,44 @@ const GOLDEN: &[(&str, &str)] = &[
     (
         r#"{"op":"frobnicate"}"#,
         r#"{"ok":false,"error":"unknown op `frobnicate`"}"#,
+    ),
+    // Backend selection: the explicit reference backend answers and is
+    // cached under its own key…
+    (
+        r#"{"id":15,"op":"sat","query":"child::a","backend":"explicit"}"#,
+        r#"{"id":15,"ok":true,"op":"sat","backend":"explicit","holds":true,"counter_example":"<a s=\"1\"><a/></a>","cached":false}"#,
+    ),
+    // …so the same problem on the default symbolic backend re-solves
+    // (different key, different minimal witness) instead of hitting the
+    // explicit verdict…
+    (
+        r#"{"id":16,"op":"sat","query":"child::a"}"#,
+        r#"{"id":16,"ok":true,"op":"sat","backend":"symbolic","holds":true,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+    ),
+    // …while a repeat on the explicit backend is a cache hit.
+    (
+        r#"{"id":17,"op":"sat","query":"child::a","backend":"explicit"}"#,
+        r#"{"id":17,"ok":true,"op":"sat","backend":"explicit","holds":true,"counter_example":"<a s=\"1\"><a/></a>","cached":true}"#,
+    ),
+    // The dual cross-check and witnessed backends, echoed per verdict.
+    (
+        r#"{"id":18,"op":"overlap","lhs":"child::a","rhs":"child::*","backend":"dual"}"#,
+        r#"{"id":18,"ok":true,"op":"overlap","backend":"dual","holds":true,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+    ),
+    (
+        r#"{"id":19,"op":"empty","query":"child::a ∩ child::b","backend":"witnessed"}"#,
+        r#"{"id":19,"ok":true,"op":"empty","backend":"witnessed","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    // Unknown backend: rejected at parse time.
+    (
+        r#"{"id":20,"op":"sat","query":"child::a","backend":"quantum"}"#,
+        r#"{"ok":false,"error":"unknown backend `quantum` (expected symbolic, explicit, witnessed or dual)"}"#,
+    ),
+    // Dual cross-check of a failing containment: both backends agree and
+    // the symbolic witness is reported.
+    (
+        r#"{"id":21,"op":"contains","lhs":"child::a","rhs":"child::a[child::b]","backend":"dual"}"#,
+        r#"{"id":21,"ok":true,"op":"contains","backend":"dual","holds":false,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
     ),
 ];
 
@@ -136,11 +177,13 @@ fn batch_matches_golden_stream() {
             normalize(got).to_json(),
         );
     }
-    // 13 decision problems were posed; ids 4 and 5 repeat id 1's problem.
-    assert_eq!(outcome.stats.problems, 13);
-    assert_eq!(outcome.stats.unique_problems, 11);
-    assert_eq!(outcome.stats.cache_hits, 2);
-    assert_eq!(outcome.stats.errors, 2);
+    // 19 decision problems were posed; ids 4 and 5 repeat id 1's problem
+    // and id 17 repeats id 15's (problem, backend) job. Ids 16 and 21
+    // repeat *problems* under different backends, which are distinct jobs.
+    assert_eq!(outcome.stats.problems, 19);
+    assert_eq!(outcome.stats.unique_problems, 16);
+    assert_eq!(outcome.stats.cache_hits, 3);
+    assert_eq!(outcome.stats.errors, 3);
 
     // Full round-trip: every response line re-parses to the same value.
     for got in &outcome.responses {
@@ -190,6 +233,147 @@ fn repeated_batch_is_fully_cached() {
             assert_eq!(w.get("wall_ms").and_then(Value::as_f64), Some(0.0));
         }
     }
+}
+
+#[test]
+fn telemetry_payload_is_typed_per_backend() {
+    let mut e = Engine::new();
+    let cases = [
+        ("symbolic", vec!["bdd_nodes"]),
+        ("explicit", vec!["types"]),
+        ("witnessed", vec!["types", "proved"]),
+        ("dual", vec!["symbolic", "explicit"]),
+    ];
+    for (backend, keys) in cases {
+        let r = e.execute_line(&format!(
+            r#"{{"op":"sat","query":"child::a","backend":"{backend}"}}"#
+        ));
+        assert_eq!(
+            r.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{backend}"
+        );
+        assert_eq!(r.get("backend").and_then(Value::as_str), Some(backend));
+        let telemetry = r
+            .get("stats")
+            .and_then(|s| s.get("telemetry"))
+            .unwrap_or_else(|| panic!("{backend}: no telemetry in {}", r.to_json()));
+        assert_eq!(
+            telemetry.get("backend").and_then(Value::as_str),
+            Some(backend)
+        );
+        for key in keys {
+            assert!(
+                telemetry.get(key).is_some(),
+                "{backend}: missing `{key}` in {}",
+                telemetry.to_json()
+            );
+        }
+    }
+    // The dual payload nests full per-side telemetry.
+    let r =
+        e.execute_line(r#"{"op":"overlap","lhs":"child::a","rhs":"child::b","backend":"dual"}"#);
+    let telemetry = r.get("stats").and_then(|s| s.get("telemetry")).unwrap();
+    let sym = telemetry.get("symbolic").expect("symbolic side");
+    let exp = telemetry.get("explicit").expect("explicit side");
+    assert!(sym.get("bdd_nodes").and_then(Value::as_f64).unwrap() > 0.0);
+    assert!(exp.get("types").and_then(Value::as_f64).unwrap() > 0.0);
+}
+
+#[test]
+fn dual_infeasible_is_an_error_and_never_cached() {
+    // This containment's lean is far beyond the explicit enumeration
+    // bound, so every enumerating backend must refuse with a protocol
+    // error (not a process-killing panic) — and keep refusing (failures
+    // are not memoized), while the same problem on the symbolic backend
+    // solves fine.
+    let mut e = Engine::new();
+    let dual = r#"{"op":"contains","lhs":"a/b//d[prec-sibling::c]/e","rhs":"a/b//c/foll-sibling::d/e","backend":"dual"}"#;
+    for backend in ["dual", "explicit", "witnessed"] {
+        let line = dual.replace(
+            "\"backend\":\"dual\"",
+            &format!("\"backend\":\"{backend}\""),
+        );
+        for _ in 0..2 {
+            let r = e.execute_line(&line);
+            assert_eq!(
+                r.get("ok").and_then(Value::as_bool),
+                Some(false),
+                "{backend}"
+            );
+            let msg = r.get("error").and_then(Value::as_str).unwrap();
+            assert!(msg.contains("explicit enumeration infeasible"), "{msg}");
+        }
+    }
+    assert_eq!(e.cache_entries(), 0);
+    let r = e.execute_line(
+        r#"{"op":"contains","lhs":"a/b//d[prec-sibling::c]/e","rhs":"a/b//c/foll-sibling::d/e"}"#,
+    );
+    assert_eq!(r.get("holds").and_then(Value::as_bool), Some(true));
+    assert_eq!(e.cache_entries(), 1);
+    // The dual failure also surfaces as a per-request error on the batch
+    // path without derailing the rest of the batch.
+    let out = e.run_batch(&[
+        Request::parse(dual).unwrap(),
+        Request::parse(r#"{"op":"sat","query":"child::a","backend":"dual"}"#).unwrap(),
+    ]);
+    assert_eq!(out.stats.problems, 2);
+    assert_eq!(out.stats.errors, 1);
+    assert_eq!(
+        out.responses[0].get("ok").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        out.responses[1].get("holds").and_then(Value::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn cache_is_keyed_by_backend() {
+    let mut e = Engine::new();
+    let sym = e.execute_line(r#"{"op":"sat","query":"child::a"}"#);
+    assert_eq!(sym.get("cached").and_then(Value::as_bool), Some(false));
+    // Same problem, different backend: must re-solve, not hit the cache.
+    let exp = e.execute_line(r#"{"op":"sat","query":"child::a","backend":"explicit"}"#);
+    assert_eq!(exp.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 2);
+    // Dual results land under their own key too.
+    let dual = e.execute_line(r#"{"op":"sat","query":"child::a","backend":"dual"}"#);
+    assert_eq!(dual.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 3);
+    // And each backend now hits its own entry.
+    for (line, backend) in [
+        (r#"{"op":"sat","query":"child::a"}"#, "symbolic"),
+        (
+            r#"{"op":"sat","query":"child::a","backend":"explicit"}"#,
+            "explicit",
+        ),
+        (
+            r#"{"op":"sat","query":"child::a","backend":"dual"}"#,
+            "dual",
+        ),
+    ] {
+        let r = e.execute_line(line);
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(r.get("backend").and_then(Value::as_str), Some(backend));
+    }
+}
+
+#[test]
+fn engine_default_backend_applies_to_unmarked_requests() {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 2,
+        backend: BackendChoice::Witnessed,
+        ..EngineConfig::default()
+    });
+    assert_eq!(e.default_backend(), BackendChoice::Witnessed);
+    let r = e.execute_line(r#"{"op":"sat","query":"child::a"}"#);
+    assert_eq!(r.get("backend").and_then(Value::as_str), Some("witnessed"));
+    // An explicit per-request backend still overrides the default.
+    let r = e.execute_line(r#"{"op":"sat","query":"child::a","backend":"symbolic"}"#);
+    assert_eq!(r.get("backend").and_then(Value::as_str), Some("symbolic"));
+    let _ = Telemetry::default(); // re-exported type is usable downstream
 }
 
 #[test]

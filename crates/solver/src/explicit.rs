@@ -9,16 +9,20 @@
 //!
 //! This backend is exponential in the number of lean diamonds and exists to
 //! cross-validate the symbolic solver on small formulas; production use goes
-//! through [`solve`](crate::solve).
+//! through the symbolic backend.
+//!
+//! The fixpoint loop itself lives in the shared kernel
+//! ([`run_fixpoint`](crate::kernel::run_fixpoint)); this module supplies
+//! the enumerated-set [`Backend`] implementation.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use ftree::BinaryTree;
 use mulogic::{status, BitsAlg, Formula, Logic, Program};
 
 use crate::bits::{TypeBits, TypeEnumerator};
-use crate::outcome::{Model, Outcome, Solved, Stats};
+use crate::kernel::{run_fixpoint, Backend};
+use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
 
 struct Tables {
@@ -111,37 +115,43 @@ impl Tables {
 /// Per-iteration cumulative snapshots of `(T°, T•)` as sorted index sets.
 type Snapshot = (Vec<usize>, Vec<usize>);
 
-/// Decides satisfiability with the explicit backend.
-///
-/// # Panics
-///
-/// Panics if the lean has too many diamonds for explicit enumeration (see
-/// [`MAX_EXPLICIT_DIAMONDS`](crate::MAX_EXPLICIT_DIAMONDS)) or if `goal` is
-/// open.
-pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
-    let t0 = Instant::now();
-    let prep = Prepared::new(lg, goal);
-    let tab = Tables::build(lg, &prep);
-    let n = tab.types.len();
+/// The enumerated-set backend state driven by the kernel's fixpoint loop.
+struct Explicit {
+    prep: Prepared,
+    tab: Tables,
+    un: Vec<bool>,
+    mk: Vec<bool>,
+    snapshots: Vec<Snapshot>,
+}
 
-    let mut un: Vec<bool> = vec![false; n];
-    let mut mk: Vec<bool> = vec![false; n];
-    let mut snapshots: Vec<Snapshot> = Vec::new();
-    let mut iterations = 0usize;
+impl Explicit {
+    fn new(lg: &mut Logic, prep: Prepared) -> Explicit {
+        let tab = Tables::build(lg, &prep);
+        let n = tab.types.len();
+        Explicit {
+            prep,
+            tab,
+            un: vec![false; n],
+            mk: vec![false; n],
+            snapshots: Vec::new(),
+        }
+    }
+}
 
-    let final_ok = |tab: &Tables, ti: usize| {
-        !tab.isparent(ti, Program::Up1) && !tab.isparent(ti, Program::Up2) && tab.psi_status[ti]
-    };
+impl Backend for Explicit {
+    /// Index of the root type that passed the final check.
+    type Hit = usize;
 
-    let found = 'outer: loop {
-        iterations += 1;
+    fn step(&mut self) -> bool {
+        let tab = &self.tab;
+        let n = tab.types.len();
         let mut changed = false;
         // Witnesses come from the previous iteration's sets (Upd(X') in
         // Fig 16), so the iteration count reflects model depth.
-        let prev_un = un.clone();
-        let prev_mk = mk.clone();
+        let prev_un = self.un.clone();
+        let prev_mk = self.mk.clone();
         // T°: unmarked types, witnesses unmarked.
-        for (ti, u) in un.iter_mut().enumerate() {
+        for (ti, u) in self.un.iter_mut().enumerate() {
             if *u || tab.has(ti, tab.start_idx) {
                 continue;
             }
@@ -154,7 +164,7 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
             }
         }
         // T•: the three marked cases of Upd.
-        for (ti, m) in mk.iter_mut().enumerate() {
+        for (ti, m) in self.mk.iter_mut().enumerate() {
             if *m {
                 continue;
             }
@@ -177,50 +187,65 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
                 changed = true;
             }
         }
-        snapshots.push((
-            (0..n).filter(|&i| un[i]).collect(),
-            (0..n).filter(|&i| mk[i]).collect(),
+        self.snapshots.push((
+            (0..n).filter(|&i| self.un[i]).collect(),
+            (0..n).filter(|&i| self.mk[i]).collect(),
         ));
-        // Final check on the fresh sets.
-        for ti in 0..n {
-            let in_target = if prep.uses_mark { mk[ti] } else { un[ti] };
-            if in_target && final_ok(&tab, ti) {
-                break 'outer Some(ti);
-            }
-        }
-        if !changed {
-            break None;
-        }
-    };
+        changed
+    }
 
-    let stats = Stats {
-        lean_size: prep.lean.len(),
-        closure_size: prep.closure.len(),
-        iterations,
-        duration: t0.elapsed(),
-        bdd_nodes: None,
-        explicit_types: Some(n),
-    };
-    match found {
-        None => Solved {
-            outcome: Outcome::Unsatisfiable,
-            stats,
-        },
-        Some(root) => {
-            let model = reconstruct(&prep, &tab, &snapshots, root);
-            Solved {
-                outcome: Outcome::Satisfiable(model),
-                stats,
-            }
+    fn check(&mut self) -> Option<usize> {
+        let tab = &self.tab;
+        (0..tab.types.len()).find(|&ti| {
+            let in_target = if self.prep.uses_mark {
+                self.mk[ti]
+            } else {
+                self.un[ti]
+            };
+            in_target
+                && !tab.isparent(ti, Program::Up1)
+                && !tab.isparent(ti, Program::Up2)
+                && tab.psi_status[ti]
+        })
+    }
+
+    fn reconstruct(&mut self, root: usize) -> Model {
+        // Top-down minimal-model reconstruction (§7.2): successors are
+        // searched in the earliest snapshot first, minimizing depth.
+        let bt = build(
+            &self.prep,
+            &self.tab,
+            &self.snapshots,
+            root,
+            self.prep.uses_mark,
+        );
+        Model::from_binary(&bt)
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        Telemetry::Explicit {
+            types: self.tab.types.len(),
         }
     }
 }
 
-/// Top-down minimal-model reconstruction (§7.2): successors are searched in
-/// the earliest snapshot first, minimizing depth.
-fn reconstruct(prep: &Prepared, tab: &Tables, snapshots: &[Snapshot], root: usize) -> Model {
-    let bt = build(prep, tab, snapshots, root, prep.uses_mark);
-    Model::from_binary(&bt)
+/// Decides satisfiability with the explicit backend.
+///
+/// # Panics
+///
+/// Panics if the lean has too many diamonds for explicit enumeration (see
+/// [`MAX_EXPLICIT_DIAMONDS`](crate::MAX_EXPLICIT_DIAMONDS)) or if `goal` is
+/// open.
+pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
+    let prep = Prepared::new(lg, goal);
+    solve_prepared(lg, prep)
+}
+
+/// Runs the explicit backend on an already-preprocessed goal (the dual
+/// cross-check prepares once to bound-check the lean first).
+pub(crate) fn solve_prepared(lg: &mut Logic, prep: Prepared) -> Solved {
+    let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
+    run_fixpoint(Explicit::new(lg, prep), lean_size, closure_size)
 }
 
 fn find_child(
@@ -391,7 +416,8 @@ mod tests {
         let s = solve("a & <1>b");
         assert!(s.stats.lean_size >= 7);
         assert!(s.stats.iterations >= 2);
-        assert!(s.stats.explicit_types.is_some());
+        assert!(s.stats.telemetry.explicit_types().unwrap() > 0);
+        assert_eq!(s.stats.telemetry.backend_name(), "explicit");
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The shared solver kernel: one fixpoint driver, pluggable backends.
+//!
+//! The paper presents the explicit (§6.2) and symbolic (§7) satisfiability
+//! algorithms as two implementations of *one* bottom-up fixpoint over
+//! ψ-types. This module captures that shape as the [`Backend`] trait — the
+//! type-set representation, one `Upd` step, the root check, and the
+//! per-iteration snapshots driving minimal-model reconstruction — and the
+//! generic [`run_fixpoint`] driver that owns the iteration loop, the
+//! termination test, and the statistics. `solve_explicit`,
+//! `solve_symbolic` and `solve_witnessed` are thin wrappers that build a
+//! backend and hand it to the driver; future backends (relevance-filtered,
+//! sharded, …) plug into the same seam.
+//!
+//! [`BackendChoice`] is the end-to-end selection type threaded from the
+//! `xsat --backend` flag through the engine protocol and the analyzer down
+//! to [`solve_with`], including the [`BackendChoice::Dual`] cross-check
+//! mode that runs the symbolic and explicit backends concurrently and
+//! reports any verdict disagreement as an error.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+use mulogic::{Formula, Logic};
+
+use crate::bits::MAX_EXPLICIT_DIAMONDS;
+use crate::outcome::{Model, Outcome, Solved, Stats, Telemetry};
+use crate::prepare::Prepared;
+use crate::symbolic::SymbolicOptions;
+
+/// One backend of the satisfiability fixpoint.
+///
+/// A backend owns its representation of the proved type sets (bit-vector
+/// enumerations, BDDs, witness maps, …) plus whatever per-iteration
+/// snapshots its model reconstruction needs. The generic [`run_fixpoint`]
+/// driver supplies the loop: step, check, repeat until a root hit or a
+/// fixed point.
+pub trait Backend {
+    /// Evidence of a root hit, carrying whatever the backend needs to
+    /// reconstruct a model (a type index, a satisfying set BDD, a witness
+    /// path, …).
+    type Hit;
+
+    /// Performs one `Upd` iteration (Fig 16), recording a snapshot for the
+    /// later reconstruction. Returns whether the proved sets grew.
+    fn step(&mut self) -> bool;
+
+    /// The root check on the current sets: for the plunging backends the
+    /// `ψ`-filter on types with no pending backward modality (§7.1); for
+    /// the witnessed backend the literal `FinalCheck`/`dsat` search.
+    fn check(&mut self) -> Option<Self::Hit>;
+
+    /// Rebuilds a minimal satisfying model from the recorded snapshots
+    /// (§7.2).
+    fn reconstruct(&mut self, hit: Self::Hit) -> Model;
+
+    /// Backend-specific measurements (BDD node counts, enumerated types,
+    /// …), snapshotted when the run finishes.
+    fn telemetry(&self) -> Telemetry;
+}
+
+/// Runs a backend to its fixpoint and packages the verdict.
+///
+/// The loop is the paper's: iterate `Upd` from the empty sets, checking
+/// after every step whether a root type (marked when the goal mentions the
+/// start proposition) passes the final check; stop on the first hit or as
+/// soon as an iteration adds nothing. `lean_size` and `closure_size` are
+/// carried into [`Stats`] verbatim.
+pub fn run_fixpoint<B: Backend>(mut backend: B, lean_size: usize, closure_size: usize) -> Solved {
+    let t0 = Instant::now();
+    let mut iterations = 0usize;
+    let hit = loop {
+        iterations += 1;
+        let changed = backend.step();
+        if let Some(hit) = backend.check() {
+            break Some(hit);
+        }
+        if !changed {
+            break None;
+        }
+    };
+    let outcome = match hit {
+        None => Outcome::Unsatisfiable,
+        Some(hit) => Outcome::Satisfiable(backend.reconstruct(hit)),
+    };
+    Solved {
+        outcome,
+        stats: Stats {
+            lean_size,
+            closure_size,
+            iterations,
+            duration: t0.elapsed(),
+            telemetry: backend.telemetry(),
+        },
+    }
+}
+
+/// End-to-end backend selection: which solver answers a satisfiability
+/// query. Threaded from the `xsat --backend` flag through the engine's
+/// JSONL protocol and the analyzer options down to [`solve_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// The BDD-based production algorithm of §7 (the default).
+    #[default]
+    Symbolic,
+    /// The enumerated reference algorithm of §6.2.
+    Explicit,
+    /// The literal Fig 16 algorithm with explicit witness sets.
+    Witnessed,
+    /// Cross-check: run [`Symbolic`](BackendChoice::Symbolic) and
+    /// [`Explicit`](BackendChoice::Explicit) concurrently and fail loudly
+    /// on any verdict disagreement. The recommended CI configuration.
+    Dual,
+}
+
+impl BackendChoice {
+    /// Every choice, in protocol order.
+    pub const ALL: [BackendChoice; 4] = [
+        BackendChoice::Symbolic,
+        BackendChoice::Explicit,
+        BackendChoice::Witnessed,
+        BackendChoice::Dual,
+    ];
+
+    /// The protocol/CLI name of the choice.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendChoice::Symbolic => "symbolic",
+            BackendChoice::Explicit => "explicit",
+            BackendChoice::Witnessed => "witnessed",
+            BackendChoice::Dual => "dual",
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BackendChoice, String> {
+        BackendChoice::ALL
+            .into_iter()
+            .find(|b| b.as_str() == s)
+            .ok_or_else(|| {
+                format!("unknown backend `{s}` (expected symbolic, explicit, witnessed or dual)")
+            })
+    }
+}
+
+/// Why a backend run could not produce a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossCheckError {
+    /// The two cross-checked backends returned different verdicts — a
+    /// solver bug, worth a loud failure.
+    Disagreement {
+        /// The symbolic backend's satisfiability verdict.
+        symbolic_sat: bool,
+        /// The explicit backend's satisfiability verdict.
+        explicit_sat: bool,
+        /// Display form of the goal formula.
+        formula: String,
+    },
+    /// The lean has too many diamonds for the explicit enumeration — the
+    /// explicit and witnessed backends cannot run, and dual mode has
+    /// nothing to cross-check against.
+    ExplicitInfeasible {
+        /// `⟨a⟩ϕ` entries in the lean.
+        diamonds: usize,
+        /// The enumeration bound ([`MAX_EXPLICIT_DIAMONDS`]).
+        max: usize,
+    },
+}
+
+impl fmt::Display for CrossCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossCheckError::Disagreement {
+                symbolic_sat,
+                explicit_sat,
+                formula,
+            } => write!(
+                f,
+                "backend disagreement on `{formula}`: symbolic says {}, explicit says {}",
+                verdict_name(*symbolic_sat),
+                verdict_name(*explicit_sat)
+            ),
+            CrossCheckError::ExplicitInfeasible { diamonds, max } => write!(
+                f,
+                "explicit enumeration infeasible: lean has {diamonds} diamonds, \
+                 the bound is {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrossCheckError {}
+
+fn verdict_name(sat: bool) -> &'static str {
+    if sat {
+        "satisfiable"
+    } else {
+        "unsatisfiable"
+    }
+}
+
+/// Decides satisfiability on the chosen backend.
+///
+/// The symbolic backend cannot fail. The enumerating backends (explicit,
+/// witnessed) return [`CrossCheckError::ExplicitInfeasible`] — instead of
+/// panicking like their direct `solve_*` wrappers — when the lean exceeds
+/// the enumeration bound, so a service front end can turn an oversized
+/// request into a protocol error. [`BackendChoice::Dual`] runs the
+/// symbolic solver on this thread and the explicit solver concurrently on
+/// a clone of the arena, errors when the two verdicts differ, and
+/// otherwise returns the symbolic model with combined telemetry.
+pub fn solve_with(
+    lg: &mut Logic,
+    goal: Formula,
+    backend: BackendChoice,
+    opts: &SymbolicOptions,
+) -> Result<Solved, CrossCheckError> {
+    match backend {
+        BackendChoice::Symbolic => Ok(crate::solve_symbolic_with(lg, goal, opts)),
+        BackendChoice::Explicit => {
+            let prep = Prepared::new(lg, goal);
+            enumeration_feasible(prep.lean.diam_entries().count())?;
+            Ok(crate::explicit::solve_prepared(lg, prep))
+        }
+        BackendChoice::Witnessed => {
+            enumeration_feasible(crate::witnessed::lean_diamonds(lg, goal))?;
+            Ok(crate::solve_witnessed(lg, goal))
+        }
+        BackendChoice::Dual => solve_dual(lg, goal, opts),
+    }
+}
+
+/// Errs when a lean is too large for the explicit type enumeration.
+fn enumeration_feasible(diamonds: usize) -> Result<(), CrossCheckError> {
+    if diamonds > MAX_EXPLICIT_DIAMONDS {
+        return Err(CrossCheckError::ExplicitInfeasible {
+            diamonds,
+            max: MAX_EXPLICIT_DIAMONDS,
+        });
+    }
+    Ok(())
+}
+
+/// The dual cross-check: symbolic and explicit side by side.
+fn solve_dual(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+) -> Result<Solved, CrossCheckError> {
+    let t0 = Instant::now();
+    // The explicit run gets its own arena so the two backends can run on
+    // separate threads; formula ids stay valid across the clone.
+    let mut explicit_lg = lg.clone();
+    let prep = Prepared::new(&mut explicit_lg, goal);
+    enumeration_feasible(prep.lean.diam_entries().count())?;
+    let (symbolic, (explicit_sat, explicit)) = std::thread::scope(|scope| {
+        // Models hold `Rc` trees and cannot cross threads, so the explicit
+        // side ships only its verdict and stats back; its model is
+        // redundant with the symbolic one anyway.
+        let handle = scope.spawn(move || {
+            let solved = crate::explicit::solve_prepared(&mut explicit_lg, prep);
+            (solved.outcome.is_satisfiable(), solved.stats)
+        });
+        let symbolic = crate::solve_symbolic_with(lg, goal, opts);
+        (symbolic, handle.join().expect("explicit backend panicked"))
+    });
+    if symbolic.outcome.is_satisfiable() != explicit_sat {
+        return Err(CrossCheckError::Disagreement {
+            symbolic_sat: symbolic.outcome.is_satisfiable(),
+            explicit_sat,
+            formula: lg.display(goal).to_string(),
+        });
+    }
+    Ok(Solved {
+        outcome: symbolic.outcome,
+        stats: Stats {
+            lean_size: symbolic.stats.lean_size,
+            closure_size: symbolic.stats.closure_size,
+            iterations: symbolic.stats.iterations + explicit.iterations,
+            duration: t0.elapsed(),
+            telemetry: Telemetry::Dual {
+                symbolic: Box::new(symbolic.stats.telemetry),
+                explicit: Box::new(explicit.telemetry),
+            },
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_round_trips_through_names() {
+        for b in BackendChoice::ALL {
+            assert_eq!(b.as_str().parse::<BackendChoice>().unwrap(), b);
+        }
+        let err = "frobnicate".parse::<BackendChoice>().unwrap_err();
+        assert!(err.contains("unknown backend `frobnicate`"), "{err}");
+        assert_eq!(BackendChoice::default(), BackendChoice::Symbolic);
+    }
+
+    #[test]
+    fn solve_with_dispatches_every_backend() {
+        for b in BackendChoice::ALL {
+            let mut lg = Logic::new();
+            let sat = lg.parse("a & <1>b").unwrap();
+            let s = solve_with(&mut lg, sat, b, &SymbolicOptions::default()).unwrap();
+            assert!(s.outcome.is_satisfiable(), "{b}");
+            let mut lg = Logic::new();
+            let unsat = lg.parse("a & ~a").unwrap();
+            let s = solve_with(&mut lg, unsat, b, &SymbolicOptions::default()).unwrap();
+            assert!(!s.outcome.is_satisfiable(), "{b}");
+        }
+    }
+
+    #[test]
+    fn dual_reports_combined_telemetry() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>(b & <2>c)").unwrap();
+        let s = solve_with(
+            &mut lg,
+            goal,
+            BackendChoice::Dual,
+            &SymbolicOptions::default(),
+        )
+        .unwrap();
+        match &s.stats.telemetry {
+            Telemetry::Dual { symbolic, explicit } => {
+                assert!(symbolic.bdd_nodes().unwrap() > 0);
+                assert!(explicit.explicit_types().unwrap() > 0);
+            }
+            other => panic!("expected dual telemetry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enumerating_backends_reject_oversized_leans() {
+        // A disjunction of many distinct diamonds blows past the explicit
+        // enumeration bound; every enumerating choice must return the
+        // infeasibility error — not panic (which would kill a serving
+        // engine) and not hang.
+        for backend in [
+            BackendChoice::Explicit,
+            BackendChoice::Witnessed,
+            BackendChoice::Dual,
+        ] {
+            let mut lg = Logic::new();
+            let src: Vec<String> = (0..18).map(|i| format!("<1><2>l{i}")).collect();
+            let goal = lg.parse(&src.join(" | ")).unwrap();
+            let err = solve_with(&mut lg, goal, backend, &SymbolicOptions::default()).unwrap_err();
+            match err {
+                CrossCheckError::ExplicitInfeasible { diamonds, max } => {
+                    assert!(diamonds > max, "{backend}: {diamonds} vs {max}");
+                }
+                other => panic!("{backend}: expected infeasibility, got {other}"),
+            }
+        }
+    }
+}

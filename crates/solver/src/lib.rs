@@ -5,7 +5,9 @@
 //! the solvers decide whether some finite focused tree satisfies it, and if
 //! so reconstruct a minimal satisfying tree (§7.2).
 //!
-//! Two backends implement the same bottom-up fixpoint over ψ-types:
+//! Three backends implement the same bottom-up fixpoint over ψ-types,
+//! expressed as impls of the [`Backend`] trait and driven by the shared
+//! [`run_fixpoint`] kernel loop:
 //!
 //! * [`solve_explicit`] — the literal algorithm of §6.2 over enumerated
 //!   bit-vector types; exponential in the number of lean modalities, used
@@ -14,12 +16,19 @@
 //!   ψ-types as boolean functions, compatibility relations `∆_a` as
 //!   conjunctively-partitioned clause lists folded with early
 //!   quantification (§7.3), breadth-first variable order (§7.4), and a
-//!   marked/unmarked set pair enforcing start-mark uniqueness (Fig 16).
+//!   marked/unmarked set pair enforcing start-mark uniqueness (Fig 16);
+//! * [`solve_witnessed`] — the literal Fig 16 triples with explicit
+//!   witness sets and the recursive `dsat` final check.
 //!
-//! Both check satisfiability through the plunging formula
+//! The first two check satisfiability through the plunging formula
 //! `µX.ϕ ∨ ⟨1⟩X ∨ ⟨2⟩X` at root types (§7.1), so only *sets* of types are
 //! tracked; per-iteration snapshots then drive minimal-depth counter-example
 //! reconstruction.
+//!
+//! Backend selection is a first-class concept: [`BackendChoice`] names the
+//! three backends plus the [`BackendChoice::Dual`] cross-check mode, and
+//! [`solve_with`] dispatches on it. Each run reports typed per-backend
+//! [`Telemetry`] in its [`Stats`].
 //!
 //! # Example
 //!
@@ -41,6 +50,7 @@
 
 mod bits;
 mod explicit;
+pub mod kernel;
 mod outcome;
 mod prepare;
 mod symbolic;
@@ -48,7 +58,8 @@ mod witnessed;
 
 pub use bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
 pub use explicit::solve_explicit;
-pub use outcome::{Model, Outcome, Solved, Stats};
+pub use kernel::{run_fixpoint, solve_with, Backend, BackendChoice, CrossCheckError};
+pub use outcome::{Model, Outcome, Solved, Stats, Telemetry};
 pub use prepare::Prepared;
 pub use symbolic::{solve_symbolic, solve_symbolic_with, SymbolicOptions, VarOrder};
 pub use witnessed::solve_witnessed;

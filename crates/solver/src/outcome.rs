@@ -78,6 +78,120 @@ impl Outcome {
     }
 }
 
+/// Backend-specific measurements of one solver run.
+///
+/// Each backend reports the counters that are meaningful for its
+/// representation; the [`BackendChoice::Dual`](crate::BackendChoice::Dual)
+/// cross-check carries both sides. This replaces the old pair of
+/// `Option` fields on [`Stats`] whose populated/empty combinations
+/// encoded the backend implicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Telemetry {
+    /// The symbolic BDD backend (§7).
+    Symbolic {
+        /// Total BDD nodes live in the store when the run finished.
+        bdd_nodes: usize,
+    },
+    /// The explicit enumeration backend (§6.2).
+    Explicit {
+        /// ψ-types enumerated.
+        types: usize,
+    },
+    /// The witnessed Fig 16 backend.
+    Witnessed {
+        /// ψ-types enumerated.
+        types: usize,
+        /// Triples proved when the run finished.
+        proved: usize,
+    },
+    /// A dual cross-check run: both sub-runs' telemetry.
+    Dual {
+        /// The symbolic sub-run.
+        symbolic: Box<Telemetry>,
+        /// The explicit sub-run.
+        explicit: Box<Telemetry>,
+    },
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::Symbolic { bdd_nodes: 0 }
+    }
+}
+
+impl Telemetry {
+    /// The backend that produced this telemetry, by protocol name.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            Telemetry::Symbolic { .. } => "symbolic",
+            Telemetry::Explicit { .. } => "explicit",
+            Telemetry::Witnessed { .. } => "witnessed",
+            Telemetry::Dual { .. } => "dual",
+        }
+    }
+
+    /// BDD nodes, when a symbolic run is involved (for dual runs, the
+    /// symbolic side's count).
+    pub fn bdd_nodes(&self) -> Option<usize> {
+        match self {
+            Telemetry::Symbolic { bdd_nodes } => Some(*bdd_nodes),
+            Telemetry::Dual { symbolic, .. } => symbolic.bdd_nodes(),
+            _ => None,
+        }
+    }
+
+    /// Enumerated ψ-types, when an enumerating run is involved (for dual
+    /// runs, the explicit side's count).
+    pub fn explicit_types(&self) -> Option<usize> {
+        match self {
+            Telemetry::Explicit { types } | Telemetry::Witnessed { types, .. } => Some(*types),
+            Telemetry::Dual { explicit, .. } => explicit.explicit_types(),
+            _ => None,
+        }
+    }
+
+    /// Combines the telemetry of two sub-problems solved on the same
+    /// backend (e.g. the two directions of an equivalence) by summing the
+    /// counters; mismatched shapes keep the left side.
+    pub fn merge(self, other: Telemetry) -> Telemetry {
+        match (self, other) {
+            (Telemetry::Symbolic { bdd_nodes: a }, Telemetry::Symbolic { bdd_nodes: b }) => {
+                Telemetry::Symbolic { bdd_nodes: a + b }
+            }
+            (Telemetry::Explicit { types: a }, Telemetry::Explicit { types: b }) => {
+                Telemetry::Explicit { types: a + b }
+            }
+            (
+                Telemetry::Witnessed {
+                    types: a,
+                    proved: pa,
+                },
+                Telemetry::Witnessed {
+                    types: b,
+                    proved: pb,
+                },
+            ) => Telemetry::Witnessed {
+                types: a + b,
+                proved: pa + pb,
+            },
+            (
+                Telemetry::Dual {
+                    symbolic: sa,
+                    explicit: ea,
+                },
+                Telemetry::Dual {
+                    symbolic: sb,
+                    explicit: eb,
+                },
+            ) => Telemetry::Dual {
+                symbolic: Box::new(sa.merge(*sb)),
+                explicit: Box::new(ea.merge(*eb)),
+            },
+            (a, _) => a,
+        }
+    }
+}
+
 /// Measurements of one solver run.
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
@@ -89,10 +203,8 @@ pub struct Stats {
     pub iterations: usize,
     /// Wall-clock time of the satisfiability loop.
     pub duration: Duration,
-    /// Total BDD nodes allocated (symbolic backend only).
-    pub bdd_nodes: Option<usize>,
-    /// Number of ψ-types enumerated (explicit backend only).
-    pub explicit_types: Option<usize>,
+    /// Backend-specific counters.
+    pub telemetry: Telemetry,
 }
 
 /// A verdict together with its statistics.
@@ -136,5 +248,34 @@ mod tests {
         let o = Outcome::Unsatisfiable;
         assert!(!o.is_satisfiable());
         assert!(o.model().is_none());
+    }
+
+    #[test]
+    fn telemetry_accessors_and_merge() {
+        let s = Telemetry::Symbolic { bdd_nodes: 10 };
+        let e = Telemetry::Explicit { types: 4 };
+        assert_eq!(s.bdd_nodes(), Some(10));
+        assert_eq!(s.explicit_types(), None);
+        assert_eq!(e.explicit_types(), Some(4));
+        let d = Telemetry::Dual {
+            symbolic: Box::new(s.clone()),
+            explicit: Box::new(e.clone()),
+        };
+        assert_eq!(d.backend_name(), "dual");
+        assert_eq!(d.bdd_nodes(), Some(10));
+        assert_eq!(d.explicit_types(), Some(4));
+        let merged = s.merge(Telemetry::Symbolic { bdd_nodes: 5 });
+        assert_eq!(merged, Telemetry::Symbolic { bdd_nodes: 15 });
+        let w = Telemetry::Witnessed {
+            types: 2,
+            proved: 3,
+        };
+        assert_eq!(
+            w.clone().merge(w),
+            Telemetry::Witnessed {
+                types: 4,
+                proved: 6
+            }
+        );
     }
 }

@@ -23,13 +23,13 @@
 //! `T°` and marked `T•` — with the four update cases of the paper.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use bdd::{Bdd, NodeId, QuantSet};
 use ftree::BinaryTree;
 use mulogic::{status, BoolAlg, Formula, Logic, Program};
 
-use crate::outcome::{Model, Outcome, Solved, Stats};
+use crate::kernel::{run_fixpoint, Backend};
+use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
 
 /// Variable-order choice for the lean → BDD variable mapping (§7.4).
@@ -110,6 +110,8 @@ struct FixpointState {
     snapshots: Vec<(NodeId, NodeId)>,
     gc_limit: usize,
     gc_floor: usize,
+    /// Steps taken so far (the `XSAT_DEBUG` trace labels lines with it).
+    round: usize,
 }
 
 /// Collect when the store first exceeds this many nodes.
@@ -209,6 +211,7 @@ impl Sym {
             snapshots: Vec::new(),
             gc_limit: gc_floor,
             gc_floor,
+            round: 0,
         };
         Sym {
             prep,
@@ -407,133 +410,6 @@ impl Sym {
         }
     }
 
-    fn run(mut self) -> Solved {
-        let t0 = Instant::now();
-        let s_idx = self.prep.lean.start_index();
-        let uses_mark = self.prep.uses_mark;
-        let mut iterations = 0usize;
-
-        let found = loop {
-            iterations += 1;
-            self.maybe_gc(&mut []);
-            // Refresh the cumulative images with the new frontier. These
-            // calls may garbage-collect, so every handle used below is
-            // created afterwards.
-            if self.state.un != self.state.done_un {
-                let mut frontier = self.bdd.diff(self.state.un, self.state.done_un);
-                for (ai, a) in [Program::Down1, Program::Down2].into_iter().enumerate() {
-                    let img = self.image(a, &mut frontier);
-                    self.state.im_un[ai] = self.bdd.or(self.state.im_un[ai], img);
-                }
-                self.state.done_un = self.state.un;
-            }
-            if uses_mark && self.state.mk != self.state.done_mk {
-                let mut frontier = self.bdd.diff(self.state.mk, self.state.done_mk);
-                for (ai, a) in [Program::Down1, Program::Down2].into_iter().enumerate() {
-                    let img = self.image(a, &mut frontier);
-                    self.state.im_mk[ai] = self.bdd.or(self.state.im_mk[ai], img);
-                }
-                self.state.done_mk = self.state.mk;
-            }
-            let s_x = self.xv(s_idx);
-            let not_s = self.bdd.not(s_x);
-            let final_filter = {
-                let u1 = self.xv(self.dt(Program::Up1));
-                let u2 = self.xv(self.dt(Program::Up2));
-                let nu1 = self.bdd.not(u1);
-                let nu2 = self.bdd.not(u2);
-                let root_cond = self.bdd.and(nu1, nu2);
-                self.bdd.and(root_cond, self.psi_status)
-            };
-            let p1 = self.xv(self.dt(Program::Down1));
-            let p2 = self.xv(self.dt(Program::Down2));
-            let w1 = self.bdd.implies(p1, self.state.im_un[0]);
-            let w2 = self.bdd.implies(p2, self.state.im_un[1]);
-            // T° update.
-            let mut fresh = self.bdd.and(self.types, not_s);
-            fresh = self.bdd.and(fresh, w1);
-            fresh = self.bdd.and(fresh, w2);
-            let un_next = self.bdd.or(self.state.un, fresh);
-            // T• update (three cases), only when the mark matters.
-            let mk_next = if uses_mark {
-                let case_a = {
-                    let mut c = self.bdd.and(self.types, s_x);
-                    c = self.bdd.and(c, w1);
-                    c = self.bdd.and(c, w2);
-                    c
-                };
-                let m1 = self.bdd.and(p1, self.state.im_mk[0]);
-                let m2 = self.bdd.and(p2, self.state.im_mk[1]);
-                let case_b = {
-                    let mut c = self.bdd.and(self.types, not_s);
-                    c = self.bdd.and(c, m1);
-                    c = self.bdd.and(c, w2);
-                    c
-                };
-                let case_c = {
-                    let mut c = self.bdd.and(self.types, not_s);
-                    c = self.bdd.and(c, w1);
-                    c = self.bdd.and(c, m2);
-                    c
-                };
-                let bc = self.bdd.or(case_b, case_c);
-                let abc = self.bdd.or(case_a, bc);
-                self.bdd.or(self.state.mk, abc)
-            } else {
-                self.state.mk
-            };
-            self.state.snapshots.push((un_next, mk_next));
-            if std::env::var_os("XSAT_DEBUG").is_some() {
-                eprintln!(
-                    "[xsat] iter {iterations}: nodes={} set_size={} marked_size={}",
-                    self.bdd.node_count(),
-                    self.bdd.size(un_next),
-                    self.bdd.size(mk_next),
-                );
-            }
-            // Final check.
-            let target = if uses_mark { mk_next } else { un_next };
-            let hit = self.bdd.and(target, final_filter);
-            if hit != self.bdd.zero() {
-                self.state.un = un_next;
-                self.state.mk = mk_next;
-                break Some(hit);
-            }
-            if un_next == self.state.un && mk_next == self.state.mk {
-                break None;
-            }
-            self.state.un = un_next;
-            self.state.mk = mk_next;
-        };
-
-        let stats = Stats {
-            lean_size: self.prep.lean.len(),
-            closure_size: self.prep.closure.len(),
-            iterations,
-            duration: t0.elapsed(),
-            bdd_nodes: Some(self.bdd.node_count()),
-            explicit_types: None,
-        };
-        match found {
-            None => Solved {
-                outcome: Outcome::Unsatisfiable,
-                stats,
-            },
-            Some(hit) => {
-                let root = self.pick_type(hit).expect("hit is satisfiable");
-                let snapshots = std::mem::take(&mut self.state.snapshots);
-                let tree = self.rebuild(&snapshots, &root, uses_mark);
-                let mut stats = stats;
-                stats.duration = t0.elapsed();
-                stats.bdd_nodes = Some(self.bdd.node_count());
-                Solved {
-                    outcome: Outcome::Satisfiable(Model::from_binary(&tree)),
-                    stats,
-                }
-            }
-        }
-    }
-
     /// Extracts one concrete type (bits per lean atom) from a set BDD.
     fn pick_type(&mut self, set: NodeId) -> Option<Vec<bool>> {
         let path = self.bdd.sat_one(set)?;
@@ -650,6 +526,125 @@ impl Sym {
     }
 }
 
+impl Backend for Sym {
+    /// The satisfying root set: `target ∧ final_filter`, nonempty.
+    type Hit = NodeId;
+
+    fn step(&mut self) -> bool {
+        let uses_mark = self.prep.uses_mark;
+        let s_idx = self.prep.lean.start_index();
+        self.state.round += 1;
+        self.maybe_gc(&mut []);
+        // Refresh the cumulative images with the new frontier. These calls
+        // may garbage-collect, so every handle used below is created
+        // afterwards.
+        if self.state.un != self.state.done_un {
+            let mut frontier = self.bdd.diff(self.state.un, self.state.done_un);
+            for (ai, a) in [Program::Down1, Program::Down2].into_iter().enumerate() {
+                let img = self.image(a, &mut frontier);
+                self.state.im_un[ai] = self.bdd.or(self.state.im_un[ai], img);
+            }
+            self.state.done_un = self.state.un;
+        }
+        if uses_mark && self.state.mk != self.state.done_mk {
+            let mut frontier = self.bdd.diff(self.state.mk, self.state.done_mk);
+            for (ai, a) in [Program::Down1, Program::Down2].into_iter().enumerate() {
+                let img = self.image(a, &mut frontier);
+                self.state.im_mk[ai] = self.bdd.or(self.state.im_mk[ai], img);
+            }
+            self.state.done_mk = self.state.mk;
+        }
+        let s_x = self.xv(s_idx);
+        let not_s = self.bdd.not(s_x);
+        let p1 = self.xv(self.dt(Program::Down1));
+        let p2 = self.xv(self.dt(Program::Down2));
+        let w1 = self.bdd.implies(p1, self.state.im_un[0]);
+        let w2 = self.bdd.implies(p2, self.state.im_un[1]);
+        // T° update.
+        let mut fresh = self.bdd.and(self.types, not_s);
+        fresh = self.bdd.and(fresh, w1);
+        fresh = self.bdd.and(fresh, w2);
+        let un_next = self.bdd.or(self.state.un, fresh);
+        // T• update (three cases), only when the mark matters.
+        let mk_next = if uses_mark {
+            let case_a = {
+                let mut c = self.bdd.and(self.types, s_x);
+                c = self.bdd.and(c, w1);
+                c = self.bdd.and(c, w2);
+                c
+            };
+            let m1 = self.bdd.and(p1, self.state.im_mk[0]);
+            let m2 = self.bdd.and(p2, self.state.im_mk[1]);
+            let case_b = {
+                let mut c = self.bdd.and(self.types, not_s);
+                c = self.bdd.and(c, m1);
+                c = self.bdd.and(c, w2);
+                c
+            };
+            let case_c = {
+                let mut c = self.bdd.and(self.types, not_s);
+                c = self.bdd.and(c, w1);
+                c = self.bdd.and(c, m2);
+                c
+            };
+            let bc = self.bdd.or(case_b, case_c);
+            let abc = self.bdd.or(case_a, bc);
+            self.bdd.or(self.state.mk, abc)
+        } else {
+            self.state.mk
+        };
+        self.state.snapshots.push((un_next, mk_next));
+        if std::env::var_os("XSAT_DEBUG").is_some() {
+            eprintln!(
+                "[xsat] iter {}: nodes={} set_size={} marked_size={}",
+                self.state.round,
+                self.bdd.node_count(),
+                self.bdd.size(un_next),
+                self.bdd.size(mk_next),
+            );
+        }
+        let changed = un_next != self.state.un || mk_next != self.state.mk;
+        self.state.un = un_next;
+        self.state.mk = mk_next;
+        changed
+    }
+
+    fn check(&mut self) -> Option<NodeId> {
+        // The plunging-formula root filter: no pending backward modality
+        // and ψ ∈̇ t (§7.1). Built from persistent handles only, so it is
+        // safe against the collections triggered inside `step`.
+        let final_filter = {
+            let u1 = self.xv(self.dt(Program::Up1));
+            let u2 = self.xv(self.dt(Program::Up2));
+            let nu1 = self.bdd.not(u1);
+            let nu2 = self.bdd.not(u2);
+            let root_cond = self.bdd.and(nu1, nu2);
+            self.bdd.and(root_cond, self.psi_status)
+        };
+        let target = if self.prep.uses_mark {
+            self.state.mk
+        } else {
+            self.state.un
+        };
+        let hit = self.bdd.and(target, final_filter);
+        (hit != self.bdd.zero()).then_some(hit)
+    }
+
+    fn reconstruct(&mut self, hit: NodeId) -> Model {
+        let uses_mark = self.prep.uses_mark;
+        let root = self.pick_type(hit).expect("hit is satisfiable");
+        let snapshots = std::mem::take(&mut self.state.snapshots);
+        let tree = self.rebuild(&snapshots, &root, uses_mark);
+        Model::from_binary(&tree)
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        Telemetry::Symbolic {
+            bdd_nodes: self.bdd.node_count(),
+        }
+    }
+}
+
 /// Decides satisfiability of `goal` with the symbolic backend and default
 /// options.
 ///
@@ -671,7 +666,8 @@ pub fn solve_symbolic(lg: &mut Logic, goal: Formula) -> Solved {
 /// Decides satisfiability with explicit options (ablation hooks).
 pub fn solve_symbolic_with(lg: &mut Logic, goal: Formula, opts: &SymbolicOptions) -> Solved {
     let prep = Prepared::new(lg, goal);
-    Sym::new(lg, prep, opts).run()
+    let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
+    run_fixpoint(Sym::new(lg, prep, opts), lean_size, closure_size)
 }
 
 #[cfg(test)]
@@ -784,7 +780,8 @@ mod tests {
     #[test]
     fn stats_report_bdd_nodes() {
         let s = solve("a & <1>b");
-        assert!(s.stats.bdd_nodes.unwrap() > 10);
+        assert!(s.stats.telemetry.bdd_nodes().unwrap() > 10);
+        assert_eq!(s.stats.telemetry.backend_name(), "symbolic");
         assert!(s.stats.lean_size > 0);
     }
 }

@@ -11,15 +11,20 @@
 //! State is kept as a map `(type, mark) → (w₁, w₂)` rather than a set of
 //! triples: witness sets only grow, so the newest triple for a type
 //! subsumes the older ones.
+//!
+//! The iteration loop lives in the shared kernel
+//! ([`run_fixpoint`](crate::kernel::run_fixpoint)); this module supplies
+//! the witness-forest [`Backend`] implementation, whose `check` is the
+//! recursive `dsat` search instead of the plunge filter.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 use ftree::BinaryTree;
 use mulogic::{status, BitsAlg, Closure, Formula, Lean, Logic, Program};
 
 use crate::bits::TypeEnumerator;
-use crate::outcome::{Model, Outcome, Solved, Stats};
+use crate::kernel::{run_fixpoint, Backend};
+use crate::outcome::{Model, Solved, Telemetry};
 
 /// A node of the proof forest: a type index plus whether its proved subtree
 /// contains the start mark.
@@ -118,40 +123,48 @@ fn witness_set(tab: &Tables, a: Program, ti: usize, pool: &HashSet<Key>, marked:
         .collect()
 }
 
-/// Decides satisfiability with the witnessed Fig 16 algorithm.
+/// The witness-forest backend state driven by the kernel's fixpoint loop.
 ///
-/// Exponential like [`solve_explicit`](crate::solve_explicit); meant for
-/// small formulas and cross-validation.
-///
-/// # Panics
-///
-/// Panics on open goals or leans too large for explicit enumeration.
-pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
-    let t0 = Instant::now();
-    let goal = lg.collapse_nu(goal);
-    assert!(lg.is_closed(goal), "satisfiability goal must be closed");
-    let closure = Closure::compute(lg, goal);
-    let lean = Lean::compute(lg, &closure);
-    let uses_mark = lg.mentions_start(goal);
-    let tab = Tables::build(lg, &lean, goal);
-    let n = tab.types.len();
+/// `X` is the set of proved keys plus their latest witness sets. The
+/// witness computation is monotone in `X`, so overwriting always stores a
+/// superset; `first_proved` remembers the round a key entered `X`, which
+/// well-founds the reconstruction.
+struct Witnessed {
+    tab: Tables,
+    uses_mark: bool,
+    proved: HashSet<Key>,
+    witnesses: HashMap<Key, (Vec<Key>, Vec<Key>)>,
+    first_proved: HashMap<Key, usize>,
+    round: usize,
+}
 
-    // X as the set of proved keys plus their latest witness sets. The
-    // witness computation is monotone in X, so overwriting always stores a
-    // superset; `first_proved` remembers the iteration a key entered X,
-    // which well-founds the reconstruction.
-    let mut proved: HashSet<Key> = HashSet::new();
-    let mut witnesses: HashMap<Key, (Vec<Key>, Vec<Key>)> = HashMap::new();
-    let mut first_proved: HashMap<Key, usize> = HashMap::new();
-    let mut iterations = 0usize;
+impl Witnessed {
+    fn new(lg: &mut Logic, lean: &Lean, goal: Formula, uses_mark: bool) -> Witnessed {
+        Witnessed {
+            tab: Tables::build(lg, lean, goal),
+            uses_mark,
+            proved: HashSet::new(),
+            witnesses: HashMap::new(),
+            first_proved: HashMap::new(),
+            round: 0,
+        }
+    }
+}
 
-    let outcome = 'outer: loop {
-        iterations += 1;
-        let prev = proved.clone();
+impl Backend for Witnessed {
+    /// A root triple plus the `dsat` witness path to a ψ-satisfying type.
+    type Hit = (Key, Vec<Key>);
+
+    fn step(&mut self) -> bool {
+        self.round += 1;
+        let tab = &self.tab;
+        let n = tab.types.len();
+        let prev = self.proved.clone();
         let mut changed = false;
         for ti in 0..n {
             // Unmarked triples: no mark here, unmarked witnesses.
-            let it = iterations;
+            let it = self.round;
+            let first_proved = &mut self.first_proved;
             let mut try_add = |proved: &mut HashSet<Key>,
                                witnesses: &mut HashMap<Key, (Vec<Key>, Vec<Key>)>,
                                key: Key,
@@ -164,41 +177,41 @@ pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
                 fresh
             };
             if !tab.marked_here(ti) {
-                let w1 = witness_set(&tab, Program::Down1, ti, &prev, false);
-                let w2 = witness_set(&tab, Program::Down2, ti, &prev, false);
+                let w1 = witness_set(tab, Program::Down1, ti, &prev, false);
+                let w2 = witness_set(tab, Program::Down2, ti, &prev, false);
                 if (!tab.isparent(ti, Program::Down1) || !w1.is_empty())
                     && (!tab.isparent(ti, Program::Down2) || !w2.is_empty())
                 {
-                    changed |= try_add(&mut proved, &mut witnesses, (ti, false), w1, w2);
+                    changed |= try_add(&mut self.proved, &mut self.witnesses, (ti, false), w1, w2);
                 }
             }
-            if uses_mark {
+            if self.uses_mark {
                 // Marked triples: the three cases of Fig 16.
-                let w1u = witness_set(&tab, Program::Down1, ti, &prev, false);
-                let w2u = witness_set(&tab, Program::Down2, ti, &prev, false);
+                let w1u = witness_set(tab, Program::Down1, ti, &prev, false);
+                let w2u = witness_set(tab, Program::Down2, ti, &prev, false);
                 let ok_here = tab.marked_here(ti)
                     && (!tab.isparent(ti, Program::Down1) || !w1u.is_empty())
                     && (!tab.isparent(ti, Program::Down2) || !w2u.is_empty());
                 if ok_here {
                     changed |= try_add(
-                        &mut proved,
-                        &mut witnesses,
+                        &mut self.proved,
+                        &mut self.witnesses,
                         (ti, true),
                         w1u.clone(),
                         w2u.clone(),
                     );
                 }
                 if !tab.marked_here(ti) {
-                    let w1m = witness_set(&tab, Program::Down1, ti, &prev, true);
-                    let w2m = witness_set(&tab, Program::Down2, ti, &prev, true);
+                    let w1m = witness_set(tab, Program::Down1, ti, &prev, true);
+                    let w2m = witness_set(tab, Program::Down2, ti, &prev, true);
                     // Mark below on the 1 side.
                     if tab.isparent(ti, Program::Down1)
                         && !w1m.is_empty()
                         && (!tab.isparent(ti, Program::Down2) || !w2u.is_empty())
                     {
                         changed |= try_add(
-                            &mut proved,
-                            &mut witnesses,
+                            &mut self.proved,
+                            &mut self.witnesses,
                             (ti, true),
                             w1m.clone(),
                             w2u.clone(),
@@ -207,21 +220,27 @@ pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
                         && !w2m.is_empty()
                         && (!tab.isparent(ti, Program::Down1) || !w1u.is_empty())
                     {
-                        changed |= try_add(&mut proved, &mut witnesses, (ti, true), w1u, w2m);
+                        changed |=
+                            try_add(&mut self.proved, &mut self.witnesses, (ti, true), w1u, w2m);
                     }
                 }
             }
         }
+        changed
+    }
+
+    fn check(&mut self) -> Option<(Key, Vec<Key>)> {
         // FinalCheck: a root triple whose witness forest satisfies ψ (dsat).
-        for &key in &proved {
+        let tab = &self.tab;
+        for &key in &self.proved {
             let (ti, marked) = key;
-            if marked != uses_mark
+            if marked != self.uses_mark
                 || tab.isparent(ti, Program::Up1)
                 || tab.isparent(ti, Program::Up2)
             {
                 continue;
             }
-            if let Some(path) = dsat_path(&tab, &witnesses, key, &mut HashSet::new()) {
+            if let Some(path) = dsat_path(tab, &self.witnesses, key, &mut HashSet::new()) {
                 if std::env::var_os("XSAT_DEBUG").is_some() {
                     eprintln!("[witnessed] root {key:?} path {path:?}");
                     for &(ti, m) in &path {
@@ -231,35 +250,52 @@ pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
                         );
                     }
                 }
-                break 'outer Some((key, path));
+                return Some((key, path));
             }
         }
-        if !changed {
-            break None;
-        }
-    };
+        None
+    }
 
-    let stats = Stats {
-        lean_size: lean.len(),
-        closure_size: closure.len(),
-        iterations,
-        duration: t0.elapsed(),
-        bdd_nodes: None,
-        explicit_types: Some(n),
-    };
-    match outcome {
-        None => Solved {
-            outcome: Outcome::Unsatisfiable,
-            stats,
-        },
-        Some((root, path)) => {
-            let tree = rebuild(&tab, &witnesses, &first_proved, root, &path);
-            Solved {
-                outcome: Outcome::Satisfiable(Model::from_binary(&tree)),
-                stats,
-            }
+    fn reconstruct(&mut self, (root, path): (Key, Vec<Key>)) -> Model {
+        let tree = rebuild(&self.tab, &self.witnesses, &self.first_proved, root, &path);
+        Model::from_binary(&tree)
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        Telemetry::Witnessed {
+            types: self.tab.types.len(),
+            proved: self.proved.len(),
         }
     }
+}
+
+/// Diamond count of the witnessed backend's (unplunged) lean for `goal` —
+/// the enumeration-feasibility measure checked by
+/// [`solve_with`](crate::solve_with). The arena's hash-consing makes the
+/// recomputation inside [`solve_witnessed`] free of duplicate nodes.
+pub(crate) fn lean_diamonds(lg: &mut Logic, goal: Formula) -> usize {
+    let goal = lg.collapse_nu(goal);
+    let closure = Closure::compute(lg, goal);
+    let lean = Lean::compute(lg, &closure);
+    lean.diam_entries().count()
+}
+
+/// Decides satisfiability with the witnessed Fig 16 algorithm.
+///
+/// Exponential like [`solve_explicit`](crate::solve_explicit); meant for
+/// small formulas and cross-validation.
+///
+/// # Panics
+///
+/// Panics on open goals or leans too large for explicit enumeration.
+pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
+    let goal = lg.collapse_nu(goal);
+    assert!(lg.is_closed(goal), "satisfiability goal must be closed");
+    let closure = Closure::compute(lg, goal);
+    let lean = Lean::compute(lg, &closure);
+    let uses_mark = lg.mentions_start(goal);
+    let backend = Witnessed::new(lg, &lean, goal, uses_mark);
+    run_fixpoint(backend, lean.len(), closure.len())
 }
 
 /// `dsat(x, ψ)`: ψ holds at the triple's type or somewhere down its
@@ -413,7 +449,8 @@ mod tests {
     #[test]
     fn stats() {
         let s = solve("a & <1>b");
-        assert!(s.stats.explicit_types.is_some());
+        assert!(s.stats.telemetry.explicit_types().unwrap() > 0);
+        assert_eq!(s.stats.telemetry.backend_name(), "witnessed");
         assert!(s.stats.iterations >= 2);
     }
 }

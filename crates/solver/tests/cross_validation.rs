@@ -1,15 +1,21 @@
-//! Cross-validation of the two solver backends.
+//! Cross-validation of the solver backends behind the shared kernel.
 //!
 //! The explicit solver enumerates ψ-types directly from the paper's §6.2
-//! algorithm; the symbolic solver is the BDD implementation of §7. On every
-//! random cycle-free formula they must agree, and any satisfiable verdict
-//! must come with a model accepted by the independent model checker of
-//! Fig 2.
+//! algorithm; the symbolic solver is the BDD implementation of §7; the
+//! witnessed solver is the literal Fig 16 triples. All three are
+//! [`solver::Backend`] impls driven by the same `run_fixpoint` loop. On
+//! every random cycle-free formula they must agree — whether called
+//! through their direct wrappers or dispatched via
+//! [`solver::solve_with`], including the dual cross-check mode — and any
+//! satisfiable verdict must come with a model accepted by the independent
+//! model checker of Fig 2.
 
 use ftree::Label;
 use mulogic::{cycle_free, Formula, Logic, ModelChecker, Program};
 use proptest::prelude::*;
-use solver::{solve_explicit, solve_symbolic, solve_witnessed};
+use solver::{
+    solve_explicit, solve_symbolic, solve_with, solve_witnessed, BackendChoice, SymbolicOptions,
+};
 
 /// A recipe for building random cycle-free formulas without reference to a
 /// particular `Logic` arena.
@@ -135,6 +141,44 @@ proptest! {
                 prop_assert!(
                     !mc.eval(&lg, goal).is_empty(),
                     "model {} fails check for {}",
+                    m,
+                    lg.display(goal)
+                );
+            }
+        }
+    }
+
+    /// Dispatch through `solve_with` agrees across every `BackendChoice`
+    /// (so the dual cross-check never reports a disagreement on feasible
+    /// formulas), models pass the model checker, and each run's telemetry
+    /// names the backend that produced it.
+    #[test]
+    fn backend_dispatch_agrees(shape in arb_shape(2)) {
+        let mut lg = Logic::new();
+        let goal = build(&mut lg, &shape);
+        prop_assume!(cycle_free(&lg, goal));
+        // Keep the explicit enumerations tractable (dual runs one too).
+        let prep = solver::Prepared::new(&mut lg, goal);
+        prop_assume!(prep.lean.diam_entries().count() <= 10);
+
+        let reference = solve_symbolic(&mut lg, goal).outcome.is_satisfiable();
+        for choice in BackendChoice::ALL {
+            let solved = solve_with(&mut lg, goal, choice, &SymbolicOptions::default())
+                .unwrap_or_else(|e| panic!("{choice} failed on {}: {e}", lg.display(goal)));
+            prop_assert_eq!(
+                solved.outcome.is_satisfiable(),
+                reference,
+                "{} disagrees with symbolic on {}",
+                choice,
+                lg.display(goal)
+            );
+            prop_assert_eq!(solved.stats.telemetry.backend_name(), choice.as_str());
+            if let Some(m) = solved.outcome.model() {
+                let mc = ModelChecker::new_row(m.roots());
+                prop_assert!(
+                    !mc.eval(&lg, goal).is_empty(),
+                    "{}: model {} fails check for {}",
+                    choice,
                     m,
                     lg.display(goal)
                 );

@@ -12,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Containment that holds: filtering commutes with the descendant step.
     let q1 = parse("a/b//d[prec-sibling::c]/e")?;
     let q2 = parse("a/b//c/foll-sibling::d/e")?;
-    let v = az.contains(&q1, None, &q2, None);
+    let v = az.contains(&q1, None, &q2, None).unwrap();
     println!("{q1}\n  ⊆ {q2}\n  -> {}", verdict(v.holds));
     println!(
         "  lean = {} atoms, {} iterations, {:?}\n",
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Containment that fails: the solver produces a counter-example tree.
     let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
     let e2 = parse("child::c[child::b]")?;
-    let v = az.contains(&e1, None, &e2, None);
+    let v = az.contains(&e1, None, &e2, None).unwrap();
     println!("{e1}\n  ⊆ {e2}\n  -> {}", verdict(v.holds));
     if let Some(m) = &v.counter_example {
         println!("  counter-example (s=\"1\" marks the context node):");
@@ -31,13 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Emptiness: no node is both an a and a b.
     let e = parse("child::a ∩ child::b")?;
-    let v = az.is_empty(&e, None);
+    let v = az.is_empty(&e, None).unwrap();
     println!("{e}\n  is empty -> {}", verdict(v.holds));
 
     // Overlap: a witness where both queries select the same node.
     let o1 = parse("child::*[child::b]")?;
     let o2 = parse("child::a")?;
-    let v = az.overlaps(&o1, None, &o2, None);
+    let v = az.overlaps(&o1, None, &o2, None).unwrap();
     println!("\n{o1} overlaps {o2} -> {}", verdict(v.holds));
     if let Some(m) = &v.counter_example {
         println!("  witness: {}", m.xml());

@@ -27,10 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut az = Analyzer::new();
 
     // Backward compatibility: every v1 document is a valid v2 document.
-    let v = az.type_subset(&v1, &v2);
+    let v = az.type_subset(&v1, &v2).unwrap();
     println!("v1 ⊆ v2 (backward compatible): {}", v.holds);
     // …but not conversely.
-    let v = az.type_subset(&v2, &v1);
+    let v = az.type_subset(&v2, &v1).unwrap();
     println!("v2 ⊆ v1: {}", v.holds);
     if let Some(m) = &v.counter_example {
         println!("  v2-only document: {}", m.tree().clear_marks().to_xml());
@@ -42,9 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // misses the paragraphs that moved inside <abstract>.
     let direct = parse("para")?;
     let all_paras = parse(".//para")?;
-    let (fwd, bwd) = az.equivalent(&direct, Some(&v1), &all_paras, Some(&v1));
+    let (fwd, bwd) = az
+        .equivalent(&direct, Some(&v1), &all_paras, Some(&v1))
+        .unwrap();
     println!("under v1, para ≡ .//para: {}", fwd.holds && bwd.holds);
-    let (fwd, bwd) = az.equivalent(&direct, Some(&v2), &all_paras, Some(&v2));
+    let (fwd, bwd) = az
+        .equivalent(&direct, Some(&v2), &all_paras, Some(&v2))
+        .unwrap();
     println!("under v2, para ≡ .//para: {}", fwd.holds && bwd.holds);
     if let Some(m) = bwd.counter_example.or(fwd.counter_example) {
         println!("  separating document: {}", m.xml());
@@ -53,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The migration fix: (para | abstract/para) recovers equivalence with
     // .//para under v2.
     let fixed = parse("(para | abstract/para)")?;
-    let (fwd, bwd) = az.equivalent(&fixed, Some(&v2), &all_paras, Some(&v2));
+    let (fwd, bwd) = az
+        .equivalent(&fixed, Some(&v2), &all_paras, Some(&v2))
+        .unwrap();
     println!(
         "under v2, (para | abstract/para) ≡ .//para: {}",
         fwd.holds && bwd.holds

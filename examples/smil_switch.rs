@@ -19,7 +19,7 @@ fn main() {
     println!("e7 = {e7}");
 
     let mut az = Analyzer::new();
-    let v = az.is_satisfiable(&e7, Some(&dtd));
+    let v = az.is_satisfiable(&e7, Some(&dtd)).unwrap();
     println!(
         "satisfiable under SMIL 1.0: {} (paper: yes, 157 ms on 2007 hardware)",
         v.holds

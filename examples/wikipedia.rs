@@ -29,12 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every article has a meta child: //article ⊆ //article[meta].
     let all_articles = parse("//article")?;
     let with_meta = parse("//article[meta]")?;
-    let v = az.contains(&all_articles, Some(&dtd), &with_meta, Some(&dtd));
+    let v = az
+        .contains(&all_articles, Some(&dtd), &with_meta, Some(&dtd))
+        .unwrap();
     println!("//article ⊆ //article[meta] under the DTD: {}", v.holds);
 
     // A redirect inside history/edit is possible…
     let deep_redirect = parse("//history//redirect")?;
-    let v = az.is_satisfiable(&deep_redirect, Some(&dtd));
+    let v = az.is_satisfiable(&deep_redirect, Some(&dtd)).unwrap();
     println!("//history//redirect satisfiable: {}", v.holds);
     if let Some(m) = &v.counter_example {
         println!("  witness: {}", m.xml());
@@ -42,11 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // …but a history inside a redirect is not.
     let bad = parse("//redirect//history")?;
-    let v = az.is_satisfiable(&bad, Some(&dtd));
+    let v = az.is_satisfiable(&bad, Some(&dtd)).unwrap();
     println!("//redirect//history satisfiable: {}", v.holds);
 
     // Without the type constraint the last query *is* satisfiable.
-    let v = az.is_satisfiable(&bad, None);
+    let v = az.is_satisfiable(&bad, None).unwrap();
     println!("//redirect//history satisfiable without type: {}", v.holds);
     Ok(())
 }

@@ -22,7 +22,7 @@ fn main() {
     println!("e8 = {e8}");
 
     let mut az = Analyzer::new();
-    let v = az.is_satisfiable(&e8, Some(&dtd));
+    let v = az.is_satisfiable(&e8, Some(&dtd)).unwrap();
     println!("satisfiable under XHTML 1.0 Strict: {}", v.holds);
     println!(
         "lean = {} atoms, {} iterations, {:?}",

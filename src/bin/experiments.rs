@@ -113,7 +113,7 @@ fn table2_fast() {
         let e7 = paper::query(7);
         let mut az = Analyzer::new();
         let t = Instant::now();
-        let v = az.is_satisfiable(&e7, Some(&dtd));
+        let v = az.is_satisfiable(&e7, Some(&dtd)).unwrap();
         let ms = t.elapsed().as_millis();
         rows.push(RowResult {
             description: "e7 is satisfiable (SMIL)",
@@ -140,8 +140,8 @@ fn containment_row(
     let e_r = paper::query(rhs);
     let mut az = Analyzer::new();
     let t = Instant::now();
-    let fwd = az.contains(&e_l, None, &e_r, None);
-    let bwd = az.contains(&e_r, None, &e_l, None);
+    let fwd = az.contains(&e_l, None, &e_r, None).unwrap();
+    let bwd = az.contains(&e_r, None, &e_l, None).unwrap();
     let ms = t.elapsed().as_millis();
     let verdicts = format!(
         "e{lhs}⊆e{rhs}={} e{rhs}⊆e{lhs}={}{}",
@@ -172,7 +172,7 @@ fn table2_xhtml() {
         let e8 = paper::query(8);
         let mut az = Analyzer::new();
         let t = Instant::now();
-        let v = az.is_satisfiable(&e8, Some(&dtd));
+        let v = az.is_satisfiable(&e8, Some(&dtd)).unwrap();
         let ms = t.elapsed().as_millis();
         rows.push(RowResult {
             description: "e8 is satisfiable (XHTML)",
@@ -194,11 +194,13 @@ fn table2_xhtml() {
         let e12 = paper::query(12);
         let mut az = Analyzer::new();
         let t = Instant::now();
-        let v = az.covers(
-            &e9,
-            Some(&dtd),
-            &[(&e10, Some(&dtd)), (&e11, Some(&dtd)), (&e12, Some(&dtd))],
-        );
+        let v = az
+            .covers(
+                &e9,
+                Some(&dtd),
+                &[(&e10, Some(&dtd)), (&e11, Some(&dtd)), (&e12, Some(&dtd))],
+            )
+            .unwrap();
         let ms = t.elapsed().as_millis();
         rows.push(RowResult {
             description: "e9 ⊆ (e10 ∪ e11 ∪ e12)",
@@ -230,7 +232,7 @@ fn fig18() {
     let e2 = parse("child::c[child::b]").expect("parses");
     let mut az = Analyzer::new();
     let t = Instant::now();
-    let v = az.contains(&e1, None, &e2, None);
+    let v = az.contains(&e1, None, &e2, None).unwrap();
     println!(
         "e1 ⊆ e2: {} ({} lean atoms, {} iterations, {:?})",
         v.holds,

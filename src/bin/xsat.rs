@@ -1,16 +1,24 @@
 //! `xsat` — the command-line front end of the batch-analysis engine.
 //!
 //! ```text
-//! xsat check <XPATH> [--dtd FILE] [--empty] [--json]
-//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--op contains|overlap|equiv] [--json]
-//! xsat batch <FILE.jsonl> [--threads N] [--summary-only]
-//! xsat serve [--threads N]
+//! xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json]
+//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json]
+//! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only]
+//! xsat serve [--threads N] [--backend B]
 //! ```
 //!
 //! `check` decides satisfiability (default) or emptiness of one query,
 //! optionally under a DTD. `compare` decides containment (default),
 //! overlap or equivalence of two queries. Both exit 0 when the property
 //! holds and 1 when it does not, so they compose with shell logic.
+//!
+//! `--backend {symbolic,explicit,witnessed,dual}` selects the solver
+//! backend (default `symbolic`); `dual` runs the symbolic and explicit
+//! backends concurrently and fails loudly if their verdicts ever
+//! disagree — the recommended CI configuration. For `batch`/`serve` the
+//! flag sets the default backend of the engine, which individual requests
+//! override with a `"backend"` field; every verdict echoes the backend
+//! that produced it.
 //!
 //! `batch` runs a JSON-lines request file through the parallel executor
 //! (one response line per request on stdout, summary on stderr; see the
@@ -21,7 +29,7 @@
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-use xsat::engine::{Engine, EngineConfig, Request, Value};
+use xsat::engine::{BackendChoice, Engine, EngineConfig, Request, Value};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,21 +64,29 @@ const USAGE: &str = "\
 xsat — efficient static analysis of XML paths and types
 
 USAGE:
-  xsat check <XPATH> [--dtd FILE] [--empty] [--json]
+  xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json]
       Decide satisfiability (default) or emptiness (--empty) of a query,
       optionally under the DTD in FILE. Exits 0 when the property holds.
 
-  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--op contains|overlap|equiv] [--json]
+  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json]
       Decide containment (default), overlap or equivalence of two queries,
       optionally under the DTD in FILE. Exits 0 when the property holds.
 
-  xsat batch <FILE.jsonl> [--threads N] [--summary-only]
+  xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only]
       Run a JSON-lines request file through the parallel batch executor.
       One response line per request on stdout; a summary object on stderr.
 
-  xsat serve [--threads N]
+  xsat serve [--threads N] [--backend B]
       Speak the JSONL protocol as a co-process: requests on stdin, one
       verdict per line on stdout (flushed per line).
+
+Backends (--backend, default symbolic):
+  symbolic    the BDD-based production algorithm (paper §7)
+  explicit    the enumerated reference algorithm (paper §6.2)
+  witnessed   the literal Fig 16 algorithm with explicit witness sets
+  dual        run symbolic + explicit concurrently and fail loudly on any
+              verdict disagreement (recommended for CI); requests outside
+              the explicit enumeration bound are rejected with an error
 
 The JSONL protocol (see the `engine` crate docs):
   {\"op\":\"dtd\",\"name\":\"d1\",\"source\":\"<!ELEMENT a (b*)> <!ELEMENT b EMPTY>\"}
@@ -86,6 +102,7 @@ struct Opts {
     positional: Vec<String>,
     dtd: Option<String>,
     op: Option<String>,
+    backend: Option<BackendChoice>,
     threads: usize,
     json: bool,
     empty: bool,
@@ -97,6 +114,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         positional: Vec::new(),
         dtd: None,
         op: None,
+        backend: None,
         threads: 0,
         json: false,
         empty: false,
@@ -112,6 +130,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.dtd = Some(source);
             }
             "--op" => opts.op = Some(it.next().ok_or("--op needs an argument")?.clone()),
+            "--backend" => {
+                let name = it.next().ok_or("--backend needs an argument")?;
+                opts.backend = Some(name.parse()?);
+            }
             "--threads" => {
                 opts.threads = it
                     .next()
@@ -129,9 +151,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn engine_with(threads: usize) -> Engine {
+fn engine_with(threads: usize, backend: Option<BackendChoice>) -> Engine {
     Engine::with_config(EngineConfig {
         threads,
+        backend: backend.unwrap_or_default(),
         ..EngineConfig::default()
     })
 }
@@ -142,7 +165,7 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         return Err("check needs exactly one XPath argument".into());
     };
     let op = if opts.empty { "empty" } else { "sat" };
-    let line = request_value(op, &[("query", query)], opts.dtd.as_deref());
+    let line = request_value(op, &[("query", query)], opts.dtd.as_deref(), opts.backend);
     run_one(line, &opts)
 }
 
@@ -157,13 +180,24 @@ fn compare(args: &[String]) -> Result<ExitCode, String> {
         Some("equiv") => "equiv",
         Some(other) => return Err(format!("unknown --op `{other}`")),
     };
-    let line = request_value(op, &[("lhs", lhs), ("rhs", rhs)], opts.dtd.as_deref());
+    let line = request_value(
+        op,
+        &[("lhs", lhs), ("rhs", rhs)],
+        opts.dtd.as_deref(),
+        opts.backend,
+    );
     run_one(line, &opts)
 }
 
 /// Builds a protocol request object; a DTD source (if any) rides along as
-/// the inline `type` reference.
-fn request_value(op: &str, fields: &[(&str, &str)], dtd: Option<&str>) -> Value {
+/// the inline `type` reference and a backend choice as the `backend`
+/// field.
+fn request_value(
+    op: &str,
+    fields: &[(&str, &str)],
+    dtd: Option<&str>,
+    backend: Option<BackendChoice>,
+) -> Value {
     let mut obj = vec![("op".to_owned(), Value::from(op))];
     for (k, v) in fields {
         obj.push(((*k).to_owned(), Value::from(*v)));
@@ -171,12 +205,18 @@ fn request_value(op: &str, fields: &[(&str, &str)], dtd: Option<&str>) -> Value 
     if let Some(src) = dtd {
         obj.push(("type".to_owned(), Value::from(src)));
     }
+    if let Some(b) = backend {
+        obj.push(("backend".to_owned(), Value::from(b.as_str())));
+    }
     Value::Obj(obj)
 }
 
 fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
     let req = Request::from_value(&request)?;
-    let mut engine = engine_with(if opts.threads == 0 { 1 } else { opts.threads });
+    let mut engine = engine_with(
+        if opts.threads == 0 { 1 } else { opts.threads },
+        opts.backend,
+    );
     let response = engine.execute(&req);
     if response.get("ok").and_then(Value::as_bool) != Some(true) {
         return Err(response
@@ -198,9 +238,16 @@ fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
 
 fn print_human(response: &Value) {
     let op = response.get("op").and_then(Value::as_str).unwrap_or("?");
+    let backend = response
+        .get("backend")
+        .and_then(Value::as_str)
+        .unwrap_or("?");
     let holds = response.get("holds").and_then(Value::as_bool);
     match holds {
-        Some(h) => println!("{op}: {}", if h { "holds" } else { "does NOT hold" }),
+        Some(h) => println!(
+            "{op} [{backend}]: {}",
+            if h { "holds" } else { "does NOT hold" }
+        ),
         None => println!("{}", response.to_json()),
     }
     if let Some(xml) = response.get("counter_example").and_then(Value::as_str) {
@@ -232,7 +279,7 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         return Err("batch needs exactly one JSONL file argument".into());
     };
     let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut engine = engine_with(opts.threads);
+    let mut engine = engine_with(opts.threads, opts.backend);
     let outcome = engine.run_batch_lines(&input);
     if !opts.summary_only {
         let stdout = std::io::stdout();
@@ -254,7 +301,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     if !opts.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
-    let mut engine = engine_with(opts.threads);
+    let mut engine = engine_with(opts.threads, opts.backend);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     engine

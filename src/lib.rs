@@ -35,7 +35,7 @@
 //! let mut az = Analyzer::new();
 //! let q1 = parse("a/b//d[prec-sibling::c]/e")?;
 //! let q2 = parse("a/b//c/foll-sibling::d/e")?;
-//! assert!(az.contains(&q1, None, &q2, None).holds);
+//! assert!(az.contains(&q1, None, &q2, None)?.holds);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

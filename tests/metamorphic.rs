@@ -41,20 +41,20 @@ proptest! {
     fn containment_laws(e in arb_small_expr(), p in arb_small_expr()) {
         let mut az = Analyzer::new();
         // Reflexivity.
-        prop_assert!(az.contains(&e, None, &e, None).holds, "{e} ⊄ {e}");
+        prop_assert!(az.contains(&e, None, &e, None).unwrap().holds, "{e} ⊄ {e}");
         // Union monotonicity.
         let union = Expr::Union(Box::new(e.clone()), Box::new(p.clone()));
-        prop_assert!(az.contains(&e, None, &union, None).holds, "{e} ⊄ {union}");
+        prop_assert!(az.contains(&e, None, &union, None).unwrap().holds, "{e} ⊄ {union}");
         // Intersection monotonicity.
         let inter = Expr::Intersect(Box::new(e.clone()), Box::new(p.clone()));
-        prop_assert!(az.contains(&inter, None, &e, None).holds, "{inter} ⊄ {e}");
+        prop_assert!(az.contains(&inter, None, &e, None).unwrap().holds, "{inter} ⊄ {e}");
     }
 
     #[test]
     fn overlap_is_symmetric(e in arb_small_expr(), p in arb_small_expr()) {
         let mut az = Analyzer::new();
-        let ab = az.overlaps(&e, None, &p, None).holds;
-        let ba = az.overlaps(&p, None, &e, None).holds;
+        let ab = az.overlaps(&e, None, &p, None).unwrap().holds;
+        let ba = az.overlaps(&p, None, &e, None).unwrap().holds;
         prop_assert_eq!(ab, ba, "{} vs {}", e, p);
     }
 
@@ -62,9 +62,9 @@ proptest! {
     fn emptiness_implies_containment_everywhere(e in arb_small_expr(), p in arb_small_expr()) {
         let mut az = Analyzer::new();
         let inter = Expr::Intersect(Box::new(e.clone()), Box::new(p.clone()));
-        if az.is_empty(&inter, None).holds {
-            prop_assert!(az.contains(&inter, None, &p, None).holds);
-            prop_assert!(az.contains(&inter, None, &e, None).holds);
+        if az.is_empty(&inter, None).unwrap().holds {
+            prop_assert!(az.contains(&inter, None, &p, None).unwrap().holds);
+            prop_assert!(az.contains(&inter, None, &e, None).unwrap().holds);
         }
     }
 }

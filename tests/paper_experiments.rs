@@ -18,9 +18,9 @@ fn row1_e1_contained_in_e2() {
     let e1 = paper::query(1);
     let e2 = paper::query(2);
     let mut az = Analyzer::new();
-    let fwd = az.contains(&e1, None, &e2, None);
+    let fwd = az.contains(&e1, None, &e2, None).unwrap();
     assert!(fwd.holds, "paper: e1 ⊆ e2");
-    let bwd = az.contains(&e2, None, &e1, None);
+    let bwd = az.contains(&e2, None, &e1, None).unwrap();
     assert!(!bwd.holds, "paper: e2 ⊄ e1");
     // The counter-example tree really separates the queries.
     let m = bwd.counter_example.expect("separating tree");
@@ -36,7 +36,7 @@ fn row2_e4_equivalent_e3() {
     let e3 = paper::query(3);
     let e4 = paper::query(4);
     let mut az = Analyzer::new();
-    let (fwd, bwd) = az.equivalent(&e4, None, &e3, None);
+    let (fwd, bwd) = az.equivalent(&e4, None, &e3, None).unwrap();
     assert!(fwd.holds && bwd.holds);
 }
 
@@ -49,7 +49,7 @@ fn row3_e6_e5_divergence_is_real() {
     let e5 = paper::query(5);
     let e6 = paper::query(6);
     let mut az = Analyzer::new();
-    let fwd = az.contains(&e6, None, &e5, None);
+    let fwd = az.contains(&e6, None, &e5, None).unwrap();
     assert!(!fwd.holds, "we measure e6 ⊄ e5 (paper reports ⊆)");
     let m = fwd.counter_example.expect("counter-example");
     let tree = m.tree();
@@ -60,7 +60,7 @@ fn row3_e6_e5_divergence_is_real() {
         "interpreter must confirm the separation on {}",
         m.xml()
     );
-    let bwd = az.contains(&e5, None, &e6, None);
+    let bwd = az.contains(&e5, None, &e6, None).unwrap();
     assert!(!bwd.holds, "paper: e5 ⊄ e6");
 }
 
@@ -71,7 +71,7 @@ fn row4_e7_satisfiable_under_smil() {
     let dtd = smil_1_0();
     let e7 = paper::query(7);
     let mut az = Analyzer::new();
-    let v = az.is_satisfiable(&e7, Some(&dtd));
+    let v = az.is_satisfiable(&e7, Some(&dtd)).unwrap();
     assert!(v.holds);
     let m = v.counter_example.expect("witness");
     let tree = m.tree();
@@ -90,7 +90,7 @@ fn fig18_counter_example() {
     let e1 = xsat::xpath::parse("child::c/preceding-sibling::a[child::b]").unwrap();
     let e2 = xsat::xpath::parse("child::c[child::b]").unwrap();
     let mut az = Analyzer::new();
-    let v = az.contains(&e1, None, &e2, None);
+    let v = az.contains(&e1, None, &e2, None).unwrap();
     assert!(!v.holds);
     let m = v.counter_example.unwrap();
     let tree = m.tree();

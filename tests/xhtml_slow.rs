@@ -14,7 +14,7 @@ fn row5_e8_satisfiable_under_xhtml() {
     let dtd = xhtml_1_0_strict();
     let e8 = paper::query(8);
     let mut az = Analyzer::new();
-    let v = az.is_satisfiable(&e8, Some(&dtd));
+    let v = az.is_satisfiable(&e8, Some(&dtd)).unwrap();
     assert!(v.holds, "paper: satisfiable");
     let m = v.counter_example.expect("witness");
     let tree = m.tree();
@@ -41,11 +41,13 @@ fn row6_coverage_counter_example_is_real() {
     let e11 = paper::query(11);
     let e12 = paper::query(12);
     let mut az = Analyzer::new();
-    let v = az.covers(
-        &e9,
-        Some(&dtd),
-        &[(&e10, Some(&dtd)), (&e11, Some(&dtd)), (&e12, Some(&dtd))],
-    );
+    let v = az
+        .covers(
+            &e9,
+            Some(&dtd),
+            &[(&e10, Some(&dtd)), (&e11, Some(&dtd)), (&e12, Some(&dtd))],
+        )
+        .unwrap();
     assert!(!v.holds);
     let m = v.counter_example.expect("counter-example");
     let tree = m.tree();
