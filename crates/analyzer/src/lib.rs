@@ -40,11 +40,11 @@ pub mod paper;
 pub mod types;
 
 use mulogic::{Formula, Logic};
-use solver::{solve_with, Model, Outcome, Stats, SymbolicOptions};
+use solver::{solve_with_in, Model, Outcome, Stats, SymbolicOptions};
 use treetypes::Dtd;
 use xpath::Expr;
 
-pub use solver::{BackendChoice, CrossCheckError, Telemetry};
+pub use solver::{BackendChoice, BddCounters, CrossCheckError, Telemetry};
 
 /// The result of one decision problem.
 #[derive(Debug)]
@@ -82,6 +82,11 @@ pub struct AnalyzerOptions {
 pub struct Analyzer {
     lg: Logic,
     options: AnalyzerOptions,
+    /// The long-lived BDD manager behind every symbolic (and dual) solve
+    /// this analyzer performs. It is generationally reset per problem —
+    /// never reallocated — so a worker that answers thousands of requests
+    /// keeps one warm arena, unique table and operation cache.
+    bdd: bdd::Bdd,
     /// Cache of compiled type formulas, keyed by the DTD's structural
     /// `Hash`/`Eq` (start symbol plus declarations). Sharing one formula
     /// across the queries of a problem keeps the lean small: a coverage
@@ -106,6 +111,7 @@ impl Analyzer {
         Analyzer {
             lg: Logic::new(),
             options,
+            bdd: bdd::Bdd::new(),
             type_cache: std::collections::HashMap::new(),
         }
     }
@@ -173,13 +179,14 @@ impl Analyzer {
     }
 
     /// Decides satisfiability of an arbitrary Lµ formula on the configured
-    /// backend.
+    /// backend, reusing this analyzer's long-lived BDD manager.
     pub fn solve_formula(&mut self, f: Formula) -> Result<solver::Solved, CrossCheckError> {
-        solve_with(
+        solve_with_in(
             &mut self.lg,
             f,
             self.options.backend,
             &self.options.symbolic,
+            &mut self.bdd,
         )
     }
 

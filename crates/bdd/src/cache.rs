@@ -1,0 +1,196 @@
+//! The unified operation cache: one direct-mapped, generational table for
+//! every memoized BDD operation.
+//!
+//! The pre-overhaul manager kept five separate `HashMap` caches (`ite`,
+//! `not`, `shift`, `exists`, `and_exists`). Complement edges deleted the
+//! `not` cache outright (negation is a tag flip); the remaining four share
+//! this single table, keyed by an operation tag plus up to three operand
+//! words. Two properties matter on the hot path:
+//!
+//! * **lossy direct mapping** — a lookup is one hash, one slot probe; an
+//!   insert may evict an unrelated entry. BDD operation caches tolerate
+//!   loss (a miss just recomputes), so there is no bucket chain and no
+//!   rehash pause;
+//! * **generational invalidation** — the whole cache is dropped by bumping
+//!   a generation counter in O(1), never by touching the entries. That is
+//!   what makes one long-lived manager reusable across problems: `reset`
+//!   and garbage collection invalidate millions of stale entries for free.
+//!
+//! Hit/lookup counters feed the `cache_hit_rate` telemetry surfaced
+//! through `solver::Telemetry` and the engine protocol.
+
+/// Operation tags (the first word of every cache key).
+pub(crate) const OP_ITE: u32 = 1;
+pub(crate) const OP_SHIFT: u32 = 2;
+pub(crate) const OP_EXISTS: u32 = 3;
+pub(crate) const OP_AND_EXISTS: u32 = 4;
+
+use crate::hash::SEED;
+
+/// Initial table size (entries); grows with the node store.
+const MIN_ENTRIES: usize = 1 << 12;
+/// Upper bound on the table size (4M entries ≈ 96 MB).
+const MAX_ENTRIES: usize = 1 << 22;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    op: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    result: u32,
+    /// Generation that wrote the entry; stale generations read as empty.
+    generation: u32,
+}
+
+const EMPTY: Entry = Entry {
+    op: 0,
+    a: 0,
+    b: 0,
+    c: 0,
+    result: 0,
+    generation: 0,
+};
+
+/// The unified operation cache. See the module docs.
+#[derive(Debug)]
+pub(crate) struct OpCache {
+    entries: Vec<Entry>,
+    generation: u32,
+    hits: u64,
+    lookups: u64,
+}
+
+#[inline]
+fn mix(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+#[inline]
+fn slot(op: u32, a: u32, b: u32, c: u32, mask: usize) -> usize {
+    let mut h = mix(u64::from(op), u64::from(a));
+    h = mix(h, (u64::from(b) << 32) | u64::from(c));
+    (h >> 32) as usize & mask
+}
+
+impl OpCache {
+    pub(crate) fn new() -> OpCache {
+        OpCache {
+            entries: vec![EMPTY; MIN_ENTRIES],
+            generation: 1,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Looks up `(op, a, b, c)`, counting the lookup and any hit.
+    #[inline]
+    pub(crate) fn get(&mut self, op: u32, a: u32, b: u32, c: u32) -> Option<u32> {
+        self.lookups += 1;
+        let e = &self.entries[slot(op, a, b, c, self.entries.len() - 1)];
+        if e.generation == self.generation && e.op == op && e.a == a && e.b == b && e.c == c {
+            self.hits += 1;
+            Some(e.result)
+        } else {
+            None
+        }
+    }
+
+    /// Stores `(op, a, b, c) → result`, evicting whatever held the slot.
+    #[inline]
+    pub(crate) fn put(&mut self, op: u32, a: u32, b: u32, c: u32, result: u32) {
+        let i = slot(op, a, b, c, self.entries.len() - 1);
+        self.entries[i] = Entry {
+            op,
+            a,
+            b,
+            c,
+            result,
+            generation: self.generation,
+        };
+    }
+
+    /// Whole-cache invalidation in O(1): every live entry's generation
+    /// stamp goes stale. Counters survive (they describe the run, not the
+    /// generation).
+    pub(crate) fn invalidate(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // One O(n) sweep every 2³² invalidations keeps stamps sound.
+            self.entries.fill(EMPTY);
+            self.generation = 1;
+        }
+    }
+
+    /// Grows the table toward ~1 entry per live node (power of two,
+    /// bounded). Growth drops the current contents — callers only grow on
+    /// node-store growth, where the working set is changing anyway.
+    pub(crate) fn maybe_grow(&mut self, live_nodes: usize) {
+        let len = self.entries.len();
+        if len >= MAX_ENTRIES || live_nodes <= len {
+            return;
+        }
+        let target = live_nodes
+            .next_power_of_two()
+            .clamp(MIN_ENTRIES, MAX_ENTRIES);
+        if target > len {
+            self.entries = vec![EMPTY; target];
+            self.generation = 1;
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    pub(crate) fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.lookups = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_round_trip() {
+        let mut c = OpCache::new();
+        assert_eq!(c.get(OP_ITE, 1, 2, 3), None);
+        c.put(OP_ITE, 1, 2, 3, 42);
+        assert_eq!(c.get(OP_ITE, 1, 2, 3), Some(42));
+        // Same operands under another op tag are a distinct key.
+        assert_eq!(c.get(OP_SHIFT, 1, 2, 3), None);
+        assert_eq!(c.lookups(), 3);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn invalidate_is_total() {
+        let mut c = OpCache::new();
+        c.put(OP_EXISTS, 7, 8, 0, 9);
+        assert_eq!(c.get(OP_EXISTS, 7, 8, 0), Some(9));
+        c.invalidate();
+        assert_eq!(c.get(OP_EXISTS, 7, 8, 0), None);
+    }
+
+    #[test]
+    fn grows_monotonically() {
+        let mut c = OpCache::new();
+        let n0 = c.len();
+        c.maybe_grow(n0 * 4);
+        assert!(c.len() >= n0 * 4);
+        let big = c.len();
+        c.maybe_grow(1); // never shrinks
+        assert_eq!(c.len(), big);
+    }
+}

@@ -13,7 +13,9 @@ pub struct FastHasher {
     state: u64,
 }
 
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// The multiply-rotate mixing constant, shared by the hasher, the unique
+/// table's probe hash and the operation cache's slot hash.
+pub(crate) const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 impl FastHasher {
     #[inline]

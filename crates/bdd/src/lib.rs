@@ -5,19 +5,26 @@
 //! compatibility relations `∆_a` as functions over two interleaved copies of
 //! those variables. This crate provides the BDD machinery it needs:
 //!
-//! * hash-consed nodes with a shared unique table ([`Bdd`]);
-//! * the classic `ite` (if-then-else) operation with memoization, from which
-//!   conjunction, disjunction, negation, implication and equivalence derive;
+//! * hash-consed nodes with **complement edges** in a single unique-table
+//!   arena ([`Bdd`]): negation is a constant-time tag flip, `f` and `¬f`
+//!   share every node, and the unique table is an open-addressed slot
+//!   array co-located with the node arena rather than a tuple-keyed hash
+//!   map;
+//! * the classic `ite` (if-then-else) operation, from which conjunction,
+//!   disjunction, implication and equivalence derive, memoized — together
+//!   with shifting and quantification — in **one generational operation
+//!   cache** whose whole contents invalidate in O(1) ([`Bdd::reset`]), so
+//!   a long-lived manager is reusable across problems;
 //! * existential quantification over interned variable sets, and the fused
 //!   relational product [`Bdd::and_exists`] — the `∃ȳ (h(ȳ) ∧ ∆(x̄,ȳ))`
 //!   step that conjunctive partitioning with early quantification (§7.3)
 //!   relies on;
 //! * monotone variable shifting ([`Bdd::shift`]) to move a set function
 //!   between the `x̄` (even) and `ȳ` (odd) variable rails;
-//! * model extraction ([`Bdd::sat_one`]) and satisfying-assignment counting.
-//!
-//! Nodes are never garbage collected: the managers used by the solver are
-//! short-lived and bounded by the fixpoint computation they serve.
+//! * model extraction ([`Bdd::sat_one`]), satisfying-assignment counting,
+//!   mark-compact garbage collection ([`Bdd::gc`]) and run telemetry
+//!   ([`Bdd::stats`] → [`BddStats`]: peak live nodes, unique-table load
+//!   factor, operation-cache hit rate).
 //!
 //! # Example
 //!
@@ -32,14 +39,18 @@
 //! assert!(m.implies_check(f, g));
 //! let cube = m.quant_set([1]);
 //! assert_eq!(m.exists(f, cube), x); // ∃y. x∧y = x
+//! // Negation is a tag flip: no nodes allocated, involution by construction.
+//! let nf = m.not(f);
+//! assert_eq!(m.not(nf), f);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod hash;
 mod manager;
 mod quant;
 
-pub use manager::{Bdd, NodeId};
+pub use manager::{Bdd, BddStats, NodeId};
 pub use quant::QuantSet;

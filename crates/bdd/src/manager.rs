@@ -1,41 +1,151 @@
-//! The BDD manager: node store, unique table and core operations.
+//! The BDD manager: complement-edged nodes in a unique-table arena.
+//!
+//! Three engineering decisions define this manager (all standard in
+//! industrial BDD packages, cf. Brace–Rudell–Bryant):
+//!
+//! * **complement edges** — a [`NodeId`] is a node index plus a complement
+//!   bit, so negation is a tag flip: no traversal, no `not` cache, and `f`
+//!   and `¬f` share every node. Canonicity is kept by never storing a
+//!   complemented *then*-edge: `mk` rewrites `(v, l, ¬h)` to
+//!   `¬(v, ¬l, h)`. There is a single terminal node (⊤); ⊥ is its
+//!   complement.
+//! * **a unified unique-table arena** — node data lives in one insertion
+//!   ordered arena (`nodes`), and the unique table is an open-addressed
+//!   slot array over it (`table`), probed linearly. No per-node `HashMap`
+//!   entries, no tuple keys: a lookup hashes `(var, lo, hi)` and compares
+//!   against arena rows in place.
+//! * **one generational operation cache** — `ite`, `shift`, `exists` and
+//!   `and_exists` share a single direct-mapped cache
+//!   ([`crate::cache::OpCache`]) whose whole contents are dropped in O(1)
+//!   by bumping a generation. [`Bdd::reset`] relies on it to make one
+//!   long-lived manager reusable across unrelated problems without
+//!   reallocating the arena.
 
-use crate::hash::FastMap;
+use crate::cache::{OpCache, OP_ITE, OP_SHIFT};
+use crate::hash::{FastMap, SEED};
 
 /// Handle to a BDD node (a boolean function) within one [`Bdd`] manager.
 ///
-/// The constants [`Bdd::zero`] and [`Bdd::one`] are the terminals.
+/// The low bit is the complement mark, the remaining bits the arena index;
+/// [`Bdd::one`] is the uncomplemented terminal and [`Bdd::zero`] its
+/// complement. Two `NodeId`s of one manager are equal iff they denote the
+/// same boolean function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
-const FALSE: NodeId = NodeId(0);
-const TRUE: NodeId = NodeId(1);
-/// Sentinel level for terminals: larger than any real variable.
+/// The ⊤ terminal: arena index 0, uncomplemented.
+const ONE: NodeId = NodeId(0);
+/// The ⊥ terminal: the complement edge onto the same node.
+const ZERO: NodeId = NodeId(1);
+/// Sentinel level for the terminal: larger than any real variable.
 const TERMINAL_VAR: u32 = u32::MAX;
 
-#[derive(Debug, Clone, Copy)]
+impl NodeId {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    #[inline]
+    fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complement edge — negation as a tag flip.
+    #[inline]
+    fn neg(self) -> NodeId {
+        NodeId(self.0 ^ 1)
+    }
+
+    /// Applies another edge's complement bit to this one.
+    #[inline]
+    fn xor_complement(self, other: NodeId) -> NodeId {
+        NodeId(self.0 ^ (other.0 & 1))
+    }
+
+    #[inline]
+    fn regular(self) -> NodeId {
+        NodeId(self.0 & !1)
+    }
+}
+
+/// One arena row. `hi` is always a regular (uncomplemented) edge — that is
+/// the canonical-form invariant complement edges require; `lo` may carry a
+/// complement bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Node {
     var: u32,
     lo: NodeId,
     hi: NodeId,
 }
 
-/// A BDD manager: owns the nodes and all operation caches.
+#[inline]
+fn unique_hash(var: u32, lo: NodeId, hi: NodeId) -> u64 {
+    let mut h = (u64::from(var).rotate_left(5) ^ u64::from(lo.0)).wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ u64::from(hi.0)).wrapping_mul(SEED);
+    h
+}
+
+/// Counters describing one manager's run since construction or the last
+/// [`Bdd::reset`] — the raw material of the symbolic solver's telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddStats {
+    /// Nodes live in the arena right now (terminal included).
+    pub live_nodes: usize,
+    /// High-water mark of live nodes over the run.
+    pub peak_nodes: usize,
+    /// Nodes allocated over the run (monotone; survives garbage
+    /// collection, unlike `live_nodes`).
+    pub created_nodes: usize,
+    /// Open-addressed unique-table slots (capacity, not occupancy).
+    pub table_capacity: usize,
+    /// Operation-cache lookups that found their result.
+    pub cache_hits: u64,
+    /// Operation-cache lookups in total.
+    pub cache_lookups: u64,
+}
+
+impl BddStats {
+    /// Unique-table load factor at the run's high-water mark:
+    /// `peak_nodes / table_capacity`. Bounded by the table's 3/4 growth
+    /// invariant (capacity only grows, and grows before the bound is
+    /// crossed), and — unlike a live-node ratio — still meaningful after
+    /// garbage collection and when runs are merged.
+    pub fn load_factor(&self) -> f64 {
+        if self.table_capacity == 0 {
+            return 0.0;
+        }
+        self.peak_nodes as f64 / self.table_capacity as f64
+    }
+
+    /// Operation-cache hit rate over the run (0 when nothing was looked
+    /// up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.cache_lookups as f64
+    }
+}
+
+/// A BDD manager: the node arena, its unique table and the operation
+/// cache.
 ///
 /// Variables are `u32` levels; the variable order is the numeric order.
-/// Reduction invariants (no redundant node, shared structure) are maintained
-/// by construction, so two [`NodeId`]s are equal iff they denote the same
-/// boolean function.
+/// Reduction invariants (no redundant node, shared structure, canonical
+/// complement placement) are maintained by construction, so two
+/// [`NodeId`]s are equal iff they denote the same boolean function.
 #[derive(Debug)]
 pub struct Bdd {
+    /// The arena: nodes in creation order (children precede parents).
     nodes: Vec<Node>,
-    unique: FastMap<(u32, NodeId, NodeId), NodeId>,
-    ite_cache: FastMap<(NodeId, NodeId, NodeId), NodeId>,
-    not_cache: FastMap<NodeId, NodeId>,
-    shift_cache: FastMap<(NodeId, i32), NodeId>,
+    /// Open-addressed unique table over the arena: a slot holds
+    /// `arena index + 1`, `0` meaning empty. Power-of-two sized.
+    table: Vec<u32>,
+    pub(crate) cache: OpCache,
     pub(crate) quant_sets: Vec<Vec<u32>>,
-    pub(crate) exists_cache: FastMap<(u32, NodeId), NodeId>,
-    pub(crate) and_exists_cache: FastMap<(u32, NodeId, NodeId), NodeId>,
+    created: usize,
+    peak: usize,
 }
 
 impl Default for Bdd {
@@ -44,114 +154,251 @@ impl Default for Bdd {
     }
 }
 
+const MIN_TABLE: usize = 1 << 10;
+
 impl Bdd {
-    /// Creates a manager containing only the two terminals.
+    /// Creates a manager containing only the terminal.
     pub fn new() -> Self {
         Bdd {
-            nodes: vec![
-                Node {
-                    var: TERMINAL_VAR,
-                    lo: FALSE,
-                    hi: FALSE,
-                },
-                Node {
-                    var: TERMINAL_VAR,
-                    lo: TRUE,
-                    hi: TRUE,
-                },
-            ],
-            unique: FastMap::default(),
-            ite_cache: FastMap::default(),
-            not_cache: FastMap::default(),
-            shift_cache: FastMap::default(),
+            nodes: vec![Node {
+                var: TERMINAL_VAR,
+                lo: ONE,
+                hi: ONE,
+            }],
+            table: vec![0; MIN_TABLE],
+            cache: OpCache::new(),
             quant_sets: Vec::new(),
-            exists_cache: FastMap::default(),
-            and_exists_cache: FastMap::default(),
+            created: 0,
+            peak: 1,
         }
+    }
+
+    /// Clears the manager back to the empty state *without* releasing its
+    /// memory: the arena, unique table and operation cache keep their
+    /// capacity, the cache is invalidated generationally in O(1), and the
+    /// run counters restart. This is what lets a long-lived worker reuse
+    /// one manager across unrelated problems instead of reallocating.
+    pub fn reset(&mut self) {
+        self.nodes.truncate(1);
+        self.table.fill(0);
+        self.cache.invalidate();
+        self.cache.reset_counters();
+        self.quant_sets.clear();
+        self.created = 0;
+        self.peak = 1;
     }
 
     /// The constant false function.
     pub fn zero(&self) -> NodeId {
-        FALSE
+        ZERO
     }
 
     /// The constant true function.
     pub fn one(&self) -> NodeId {
-        TRUE
+        ONE
     }
 
-    /// Number of live nodes (terminals included).
+    /// Number of live nodes (the terminal included).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Counters of this run: live/peak/created nodes, unique-table
+    /// capacity, operation-cache hit statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            live_nodes: self.nodes.len(),
+            peak_nodes: self.peak,
+            created_nodes: self.created,
+            table_capacity: self.table.len(),
+            cache_hits: self.cache.hits(),
+            cache_lookups: self.cache.lookups(),
+        }
+    }
+
     pub(crate) fn var_of(&self, f: NodeId) -> u32 {
-        self.nodes[f.0 as usize].var
+        self.nodes[f.index()].var
     }
 
-    pub(crate) fn lo(&self, f: NodeId) -> NodeId {
-        self.nodes[f.0 as usize].lo
+    /// The children of `f` with `f`'s complement bit pushed onto them —
+    /// the edges one actually follows when traversing a complemented
+    /// function.
+    #[inline]
+    pub(crate) fn children(&self, f: NodeId) -> (NodeId, NodeId) {
+        let n = self.nodes[f.index()];
+        (n.lo.xor_complement(f), n.hi.xor_complement(f))
     }
 
-    pub(crate) fn hi(&self, f: NodeId) -> NodeId {
-        self.nodes[f.0 as usize].hi
-    }
-
-    /// Whether `f` is one of the two terminal nodes.
+    /// Whether `f` is one of the two constant functions.
     pub fn is_terminal(&self, f: NodeId) -> bool {
-        f == FALSE || f == TRUE
+        f.index() == 0
     }
 
-    /// Creates (or reuses) the node `(var, lo, hi)`.
+    /// Open-addressed lookup-or-insert of the (canonical) row
+    /// `(var, lo, hi)`; `hi` must be regular.
+    fn mk_raw(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        debug_assert!(!hi.is_complement());
+        let mask = self.table.len() - 1;
+        let mut slot = (unique_hash(var, lo, hi) >> 32) as usize & mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == 0 {
+                break;
+            }
+            let idx = (entry - 1) as usize;
+            let n = &self.nodes[idx];
+            if n.var == var && n.lo == lo && n.hi == hi {
+                return NodeId((idx as u32) << 1);
+            }
+            slot = (slot + 1) & mask;
+        }
+        let idx = self.nodes.len();
+        assert!(idx < (1 << 31), "bdd node overflow");
+        self.nodes.push(Node { var, lo, hi });
+        self.table[slot] = idx as u32 + 1;
+        self.created += 1;
+        self.peak = self.peak.max(self.nodes.len());
+        // Keep the load factor under 3/4; growth rehashes every arena row.
+        if (self.nodes.len() + 1) * 4 > self.table.len() * 3 {
+            self.grow_table();
+        }
+        self.cache.maybe_grow(self.nodes.len());
+        NodeId((idx as u32) << 1)
+    }
+
+    fn grow_table(&mut self) {
+        self.table = vec![0; self.table.len() * 2];
+        self.rehash();
+    }
+
+    /// Reinserts every arena row into the (zeroed) unique table — the one
+    /// probe-insert loop shared by table growth and GC compaction.
+    fn rehash(&mut self) {
+        let mask = self.table.len() - 1;
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            let mut slot = (unique_hash(n.var, n.lo, n.hi) >> 32) as usize & mask;
+            while self.table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = idx as u32 + 1;
+        }
+    }
+
+    /// Creates (or reuses) the node `(var, lo, hi)`, normalizing the
+    /// complement placement: a complemented then-edge moves the mark to
+    /// the result.
     pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
         if lo == hi {
             return lo;
         }
         debug_assert!(var < self.var_of(lo) && var < self.var_of(hi));
-        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
-            return id;
+        if hi.is_complement() {
+            self.mk_raw(var, lo.neg(), hi.neg()).neg()
+        } else {
+            self.mk_raw(var, lo, hi)
         }
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("bdd node overflow"));
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), id);
-        id
     }
 
     /// The single-variable function `v`.
     pub fn var(&mut self, v: u32) -> NodeId {
-        self.mk(v, FALSE, TRUE)
+        self.mk(v, ZERO, ONE)
     }
 
     /// The negated single-variable function `¬v`.
     pub fn nvar(&mut self, v: u32) -> NodeId {
-        self.mk(v, TRUE, FALSE)
+        self.var(v).neg()
     }
 
+    #[inline]
     fn cofactor(&self, f: NodeId, v: u32) -> (NodeId, NodeId) {
         if self.var_of(f) == v {
-            (self.lo(f), self.hi(f))
+            self.children(f)
         } else {
             (f, f)
         }
     }
 
     /// If-then-else: `f ? g : h`.
+    ///
+    /// This is the one recursive operation; conjunction, disjunction,
+    /// implication, equivalence and exclusive-or are single `ite` calls.
+    /// The triple is canonicalized before the cache lookup (constant and
+    /// equal-argument collapses, commutative-argument ordering, and the
+    /// two complement rules `ite(¬f,g,h) = ite(f,h,g)` and
+    /// `ite(f,¬g,¬h) = ¬ite(f,g,h)`), so equivalent calls share one cache
+    /// line and the stored result is always complement-canonical.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bdd::Bdd;
+    ///
+    /// let mut m = Bdd::new();
+    /// let (x, y, z) = (m.var(0), m.var(1), m.var(2));
+    /// let f = m.ite(x, y, z);
+    /// // f is y where x holds and z where it does not.
+    /// assert!(m.eval(f, &[true, true, false]));
+    /// assert!(!m.eval(f, &[false, true, false]));
+    /// assert!(m.eval(f, &[false, true, true]));
+    /// ```
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
-        // Terminal shortcuts.
-        if f == TRUE {
+        let (mut f, mut g, mut h) = (f, g, h);
+        // Constant and equal-argument collapses.
+        if f == ONE {
             return g;
         }
-        if f == FALSE {
+        if f == ZERO {
             return h;
         }
         if g == h {
             return g;
         }
-        if g == TRUE && h == FALSE {
+        if f == g {
+            g = ONE;
+        } else if f == g.neg() {
+            g = ZERO;
+        }
+        if f == h {
+            h = ZERO;
+        } else if f == h.neg() {
+            h = ONE;
+        }
+        if g == ONE && h == ZERO {
             return f;
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-            return r;
+        if g == ZERO && h == ONE {
+            return f.neg();
+        }
+        if g == h {
+            return g;
+        }
+        // Commutative-argument ordering: pick the lower-index function
+        // first so e.g. f∧g and g∧f share one cache key.
+        if g == ONE && h.index() < f.index() {
+            std::mem::swap(&mut f, &mut h); // ite(f,1,h) = ite(h,1,f)
+        } else if h == ZERO && g.index() < f.index() {
+            std::mem::swap(&mut f, &mut g); // ite(f,g,0) = ite(g,f,0)
+        } else if g == ZERO && h.index() < f.index() {
+            let (nf, nh) = (f.neg(), h.neg()); // ite(f,0,h) = ite(¬h,0,¬f)
+            f = nh;
+            h = nf;
+        } else if h == ONE && g.index() < f.index() {
+            let (nf, ng) = (f.neg(), g.neg()); // ite(f,g,1) = ite(¬g,¬f,1)
+            f = ng;
+            g = nf;
+        }
+        // Complement canonicalization: regular f, regular g.
+        if f.is_complement() {
+            f = f.neg();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let flip = g.is_complement();
+        if flip {
+            g = g.neg();
+            h = h.neg();
+        }
+        if let Some(r) = self.cache.get(OP_ITE, f.0, g.0, h.0) {
+            return NodeId(r).xor_complement(NodeId(flip as u32));
         }
         let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactor(f, v);
@@ -160,75 +407,87 @@ impl Bdd {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert((f, g, h), r);
-        r
+        self.cache.put(OP_ITE, f.0, g.0, h.0, r.0);
+        if flip {
+            r.neg()
+        } else {
+            r
+        }
     }
 
     /// Conjunction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bdd::Bdd;
+    ///
+    /// let mut m = Bdd::new();
+    /// let (x, y) = (m.var(0), m.var(1));
+    /// let f = m.and(x, y);
+    /// assert_eq!(m.and(y, x), f); // canonical: same function, same id
+    /// let nx = m.not(x);
+    /// assert_eq!(m.and(f, nx), m.zero());
+    /// ```
     pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let (f, g) = if f <= g { (f, g) } else { (g, f) };
-        self.ite(f, g, FALSE)
+        self.ite(f, g, ZERO)
     }
 
     /// Disjunction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bdd::Bdd;
+    ///
+    /// let mut m = Bdd::new();
+    /// let (x, y) = (m.var(0), m.var(1));
+    /// let f = m.or(x, y);
+    /// // De Morgan, node-for-node: ¬(x ∨ y) = ¬x ∧ ¬y.
+    /// let (nx, ny) = (m.not(x), m.not(y));
+    /// let g = m.and(nx, ny);
+    /// assert_eq!(m.not(f), g);
+    /// ```
     pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let (f, g) = if f <= g { (f, g) } else { (g, f) };
-        self.ite(f, TRUE, g)
+        self.ite(f, ONE, g)
     }
 
-    /// Complement.
+    /// Complement — with complement edges this is a constant-time tag
+    /// flip: no traversal, no new nodes, no cache.
     pub fn not(&mut self, f: NodeId) -> NodeId {
-        if f == TRUE {
-            return FALSE;
-        }
-        if f == FALSE {
-            return TRUE;
-        }
-        if let Some(&r) = self.not_cache.get(&f) {
-            return r;
-        }
-        let (lo, hi) = (self.lo(f), self.hi(f));
-        let nlo = self.not(lo);
-        let nhi = self.not(hi);
-        let r = self.mk(self.var_of(f), nlo, nhi);
-        self.not_cache.insert(f, r);
-        self.not_cache.insert(r, f);
-        r
+        f.neg()
     }
 
     /// Implication `f → g`.
     pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        self.ite(f, g, TRUE)
+        self.ite(f, g, ONE)
     }
 
     /// Equivalence `f ↔ g`.
     pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.neg())
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.neg(), g)
     }
 
     /// Difference `f ∧ ¬g`.
     pub fn diff(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.and(f, ng)
+        self.ite(f, g.neg(), ZERO)
     }
 
     /// Checks `f → g` as a decision (no new nodes beyond the cache).
     pub fn implies_check(&mut self, f: NodeId, g: NodeId) -> bool {
-        self.implies(f, g) == TRUE
+        self.implies(f, g) == ONE
     }
 
     /// Renames every variable `v` of `f` to `v + delta`.
     ///
-    /// The map is monotone, so the result is a well-ordered BDD built in one
-    /// traversal. Used to move set functions between the interleaved `x̄`
-    /// (even) and `ȳ` (odd) rails.
+    /// The map is monotone, so the result is a well-ordered BDD built in
+    /// one traversal. Used to move set functions between the interleaved
+    /// `x̄` (even) and `ȳ` (odd) rails.
     ///
     /// # Panics
     ///
@@ -237,71 +496,83 @@ impl Bdd {
         if self.is_terminal(f) || delta == 0 {
             return f;
         }
-        if let Some(&r) = self.shift_cache.get(&(f, delta)) {
-            return r;
-        }
-        let v = self.var_of(f);
-        let nv = u32::try_from(i64::from(v) + i64::from(delta)).expect("negative variable");
-        let (lo, hi) = (self.lo(f), self.hi(f));
-        let nlo = self.shift(lo, delta);
-        let nhi = self.shift(hi, delta);
-        let r = self.mk(nv, nlo, nhi);
-        self.shift_cache.insert((f, delta), r);
-        r
+        // Shift commutes with complement: memoize on the regular part.
+        let reg = f.regular();
+        let shifted = if let Some(r) = self.cache.get(OP_SHIFT, reg.0, delta as u32, 0) {
+            NodeId(r)
+        } else {
+            let v = self.var_of(reg);
+            let nv = u32::try_from(i64::from(v) + i64::from(delta)).expect("negative variable");
+            let (lo, hi) = self.children(reg);
+            let nlo = self.shift(lo, delta);
+            let nhi = self.shift(hi, delta);
+            let r = self.mk(nv, nlo, nhi);
+            self.cache.put(OP_SHIFT, reg.0, delta as u32, 0, r.0);
+            r
+        };
+        shifted.xor_complement(f)
     }
 
     /// The set of variables on which `f` depends.
     pub fn support(&self, f: NodeId) -> Vec<u32> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f];
-        while let Some(n) = stack.pop() {
-            if self.is_terminal(n) || !seen.insert(n) {
+        let mut stack = vec![f.index()];
+        while let Some(i) = stack.pop() {
+            if i == 0 || !seen.insert(i) {
                 continue;
             }
-            vars.insert(self.var_of(n));
-            stack.push(self.lo(n));
-            stack.push(self.hi(n));
+            let n = &self.nodes[i];
+            vars.insert(n.var);
+            stack.push(n.lo.index());
+            stack.push(n.hi.index());
         }
         vars.into_iter().collect()
     }
 
-    /// Number of nodes reachable from `f` (its size as a diagram).
+    /// Number of arena nodes reachable from `f` (its size as a diagram,
+    /// the shared terminal included). `f` and `¬f` have the same size.
     pub fn size(&self, f: NodeId) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.index()];
         let mut n = 0;
-        while let Some(x) = stack.pop() {
-            if !seen.insert(x) {
+        while let Some(i) = stack.pop() {
+            if !seen.insert(i) {
                 continue;
             }
             n += 1;
-            if !self.is_terminal(x) {
-                stack.push(self.lo(x));
-                stack.push(self.hi(x));
+            if i != 0 {
+                let node = &self.nodes[i];
+                stack.push(node.lo.index());
+                stack.push(node.hi.index());
             }
         }
         n
     }
 
-    /// One satisfying assignment of `f` as `(variable, value)` pairs for the
-    /// variables along the chosen path, or `None` if `f` is unsatisfiable.
+    /// One satisfying assignment of `f` as `(variable, value)` pairs for
+    /// the variables along the chosen path, or `None` if `f` is
+    /// unsatisfiable.
     ///
     /// Variables absent from the result are don't-cares.
     pub fn sat_one(&self, f: NodeId) -> Option<Vec<(u32, bool)>> {
-        if f == FALSE {
+        if f == ZERO {
             return None;
         }
         let mut out = Vec::new();
         let mut cur = f;
-        while cur != TRUE {
+        while cur != ONE {
             let v = self.var_of(cur);
-            if self.lo(cur) != FALSE {
+            let (lo, hi) = self.children(cur);
+            // A canonical node is non-redundant, so at most one branch can
+            // be the constant ⊥.
+            if lo != ZERO {
                 out.push((v, false));
-                cur = self.lo(cur);
+                cur = lo;
             } else {
+                debug_assert_ne!(hi, ZERO);
                 out.push((v, true));
-                cur = self.hi(cur);
+                cur = hi;
             }
         }
         Some(out)
@@ -309,106 +580,92 @@ impl Bdd {
 
     /// Number of satisfying assignments of `f` over variables `0..nvars`.
     ///
-    /// Returns `f64` because counts are astronomically large for wide leans;
-    /// used for statistics only.
+    /// Returns `f64` because counts are astronomically large for wide
+    /// leans; used for statistics only.
     pub fn sat_count(&self, f: NodeId, nvars: u32) -> f64 {
-        fn go(bdd: &Bdd, f: NodeId, memo: &mut FastMap<NodeId, f64>, nvars: u32) -> f64 {
-            if f == FALSE {
-                return 0.0;
+        // Satisfaction probability under uniform assignments: complement
+        // edges make this the natural recursion (p(¬f) = 1 − p(f)), and it
+        // is insensitive to skipped levels.
+        fn p(bdd: &Bdd, f: NodeId, memo: &mut FastMap<u32, f64>) -> f64 {
+            if f.index() == 0 {
+                return if f.is_complement() { 0.0 } else { 1.0 };
             }
-            if f == TRUE {
-                return 1.0;
+            let reg = f.regular();
+            let pr = if let Some(&c) = memo.get(&reg.0) {
+                c
+            } else {
+                let (lo, hi) = bdd.children(reg);
+                let c = (p(bdd, lo, memo) + p(bdd, hi, memo)) / 2.0;
+                memo.insert(reg.0, c);
+                c
+            };
+            if f.is_complement() {
+                1.0 - pr
+            } else {
+                pr
             }
-            if let Some(&c) = memo.get(&f) {
-                return c;
-            }
-            let v = bdd.var_of(f);
-            let lo = go(bdd, bdd.lo(f), memo, nvars);
-            let hi = go(bdd, bdd.hi(f), memo, nvars);
-            // Scale each branch by the variables skipped below this node.
-            let lv = bdd.var_of(bdd.lo(f)).min(nvars);
-            let hv = bdd.var_of(bdd.hi(f)).min(nvars);
-            let c = lo * 2f64.powi((lv - v - 1) as i32) + hi * 2f64.powi((hv - v - 1) as i32);
-            memo.insert(f, c);
-            c
-        }
-        if f == FALSE {
-            return 0.0;
         }
         let mut memo = FastMap::default();
-        let top = self.var_of(f).min(nvars);
-        go(self, f, &mut memo, nvars) * 2f64.powi(top as i32)
+        p(self, f, &mut memo) * 2f64.powi(nvars as i32)
     }
 
     /// Mark-compact garbage collection.
     ///
-    /// Keeps exactly the nodes reachable from `roots` (and the terminals),
-    /// compacts the node store, rewrites every root in place, and drops all
-    /// operation caches. Handles *not* passed as roots are invalidated —
-    /// callers own the root inventory.
+    /// Keeps exactly the nodes reachable from `roots` (and the terminal),
+    /// compacts the arena, rebuilds the unique table, rewrites every root
+    /// in place — complement bits preserved — and invalidates the
+    /// operation cache (one generation bump). Handles *not* passed as
+    /// roots are invalidated; callers own the root inventory.
     pub fn gc(&mut self, roots: &mut [&mut NodeId]) {
         let n = self.nodes.len();
         let mut live = vec![false; n];
         live[0] = true;
-        live[1] = true;
-        let mut stack: Vec<NodeId> = roots.iter().map(|r| **r).collect();
-        while let Some(f) = stack.pop() {
-            let i = f.0 as usize;
+        let mut stack: Vec<usize> = roots.iter().map(|r| r.index()).collect();
+        while let Some(i) = stack.pop() {
             if live[i] {
                 continue;
             }
             live[i] = true;
-            stack.push(self.nodes[i].lo);
-            stack.push(self.nodes[i].hi);
+            stack.push(self.nodes[i].lo.index());
+            stack.push(self.nodes[i].hi.index());
         }
-        // Children precede parents in the store (nodes are created bottom
+        // Children precede parents in the arena (nodes are created bottom
         // up), so a single forward pass can remap in place.
-        let mut remap: Vec<NodeId> = vec![FALSE; n];
-        remap[0] = FALSE;
-        remap[1] = TRUE;
-        let mut new_nodes: Vec<Node> = Vec::with_capacity(2 + live.iter().filter(|&&b| b).count());
+        let mut remap: Vec<u32> = vec![0; n];
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(live.iter().filter(|&&b| b).count());
         new_nodes.push(self.nodes[0]);
-        new_nodes.push(self.nodes[1]);
-        let mut unique = FastMap::default();
-        for i in 2..n {
+        for i in 1..n {
             if !live[i] {
                 continue;
             }
             let old = self.nodes[i];
-            let node = Node {
+            let idx = new_nodes.len() as u32;
+            new_nodes.push(Node {
                 var: old.var,
-                lo: remap[old.lo.0 as usize],
-                hi: remap[old.hi.0 as usize],
-            };
-            let id = NodeId(new_nodes.len() as u32);
-            unique.insert((node.var, node.lo, node.hi), id);
-            new_nodes.push(node);
-            remap[i] = id;
+                lo: NodeId(remap[old.lo.index()] << 1).xor_complement(old.lo),
+                hi: NodeId(remap[old.hi.index()] << 1),
+            });
+            remap[i] = idx;
         }
         for r in roots.iter_mut() {
-            **r = remap[r.0 as usize];
+            **r = NodeId(remap[r.index()] << 1).xor_complement(**r);
         }
         self.nodes = new_nodes;
-        self.unique = unique;
-        self.ite_cache = FastMap::default();
-        self.not_cache = FastMap::default();
-        self.shift_cache = FastMap::default();
-        self.exists_cache = FastMap::default();
-        self.and_exists_cache = FastMap::default();
+        self.table.fill(0);
+        self.rehash();
+        self.cache.invalidate();
     }
 
-    /// Evaluates `f` under a total assignment (`assignment[v]` for var `v`).
+    /// Evaluates `f` under a total assignment (`assignment[v]` for var
+    /// `v`).
     pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
         let mut cur = f;
         while !self.is_terminal(cur) {
             let v = self.var_of(cur) as usize;
-            cur = if assignment[v] {
-                self.hi(cur)
-            } else {
-                self.lo(cur)
-            };
+            let (lo, hi) = self.children(cur);
+            cur = if assignment[v] { hi } else { lo };
         }
-        cur == TRUE
+        cur == ONE
     }
 }
 
@@ -421,6 +678,8 @@ mod tests {
         let m = Bdd::new();
         assert_ne!(m.zero(), m.one());
         assert!(m.is_terminal(m.zero()));
+        assert!(m.is_terminal(m.one()));
+        assert_eq!(m.node_count(), 1); // one shared terminal node
     }
 
     #[test]
@@ -443,6 +702,22 @@ mod tests {
     }
 
     #[test]
+    fn complement_is_free() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        let before = m.node_count();
+        let nf = m.not(f);
+        // Negation allocates nothing and is undone by a second flip.
+        assert_eq!(m.node_count(), before);
+        assert_eq!(m.not(nf), f);
+        assert_ne!(nf, f);
+        // f and ¬f share every arena node.
+        assert_eq!(m.size(f), m.size(nf));
+    }
+
+    #[test]
     fn iff_xor() {
         let mut m = Bdd::new();
         let x = m.var(0);
@@ -455,6 +730,18 @@ mod tests {
     }
 
     #[test]
+    fn ite_commutative_normalization_shares_cache_lines() {
+        let mut m = Bdd::new();
+        let x = m.var(3);
+        let y = m.var(5);
+        let a = m.and(x, y);
+        let hits_before = m.stats().cache_hits;
+        let b = m.and(y, x); // same canonical triple → cache hit
+        assert_eq!(a, b);
+        assert!(m.stats().cache_hits > hits_before);
+    }
+
+    #[test]
     fn shift_is_monotone_rename() {
         let mut m = Bdd::new();
         let x0 = m.var(0);
@@ -464,6 +751,10 @@ mod tests {
         assert_eq!(m.support(g), vec![1, 3]);
         let back = m.shift(g, -1);
         assert_eq!(back, f);
+        // Shift commutes with complement.
+        let nf = m.not(f);
+        let ng = m.shift(nf, 1);
+        assert_eq!(ng, m.not(g));
     }
 
     #[test]
@@ -480,6 +771,14 @@ mod tests {
         }
         assert!(m.eval(f, &assignment));
         assert!(m.sat_one(m.zero()).is_none());
+        // A complemented root still yields a valid witness.
+        let nf = m.not(f);
+        let sat = m.sat_one(nf).unwrap();
+        let mut assignment = vec![false; 2];
+        for (v, b) in sat {
+            assignment[v as usize] = b;
+        }
+        assert!(m.eval(nf, &assignment));
     }
 
     #[test]
@@ -492,6 +791,8 @@ mod tests {
         assert_eq!(m.sat_count(m.one(), 3), 8.0);
         assert_eq!(m.sat_count(m.zero(), 3), 0.0);
         assert_eq!(m.sat_count(x, 2), 2.0);
+        let nf = m.not(f);
+        assert_eq!(m.sat_count(nf, 2), 1.0);
     }
 
     #[test]
@@ -501,7 +802,68 @@ mod tests {
         let y = m.var(7);
         let f = m.xor(x, y);
         assert_eq!(m.support(f), vec![3, 7]);
-        assert_eq!(m.size(f), 5); // 2 terminals + x-node + two y-nodes
+        // Complement edges: one terminal, one shared y-node, one x-node.
+        assert_eq!(m.size(f), 3);
+    }
+
+    #[test]
+    fn stats_track_the_run() {
+        let mut m = Bdd::new();
+        let s0 = m.stats();
+        assert_eq!(s0.live_nodes, 1);
+        assert_eq!(s0.created_nodes, 0);
+        let x = m.var(0);
+        let y = m.var(1);
+        let _ = m.and(x, y);
+        let s = m.stats();
+        assert!(s.created_nodes >= 3);
+        assert_eq!(s.peak_nodes, s.live_nodes);
+        assert!(s.load_factor() > 0.0 && s.load_factor() < 0.75);
+        assert!(s.cache_lookups > 0);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_state() {
+        let mut m = Bdd::new();
+        for v in 0..64 {
+            let a = m.var(v);
+            let b = m.var(v + 64);
+            let _ = m.xor(a, b);
+        }
+        let cap = m.stats().table_capacity;
+        assert!(m.node_count() > 100);
+        m.reset();
+        assert_eq!(m.node_count(), 1);
+        assert_eq!(m.stats().created_nodes, 0);
+        assert_eq!(m.stats().table_capacity, cap);
+        // The manager is fully usable after reset, with canonicity intact.
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let g = m.and(y, x);
+        assert_eq!(f, g);
+        assert!(m.eval(f, &[true, true]));
+        assert!(!m.eval(f, &[true, false]));
+    }
+
+    #[test]
+    fn unique_table_grows_past_initial_capacity() {
+        let mut m = Bdd::new();
+        // Force > MIN_TABLE nodes: a chain of distinct conjunctions.
+        let mut acc = m.one();
+        for v in 0..2048 {
+            let x = m.var(v);
+            acc = m.and(acc, x);
+        }
+        assert!(m.node_count() > MIN_TABLE / 2);
+        assert!(m.stats().table_capacity > MIN_TABLE);
+        // Canonicity survives growth rehashes.
+        let mut acc2 = m.one();
+        for v in 0..2048 {
+            let x = m.var(v);
+            acc2 = m.and(acc2, x);
+        }
+        assert_eq!(acc, acc2);
     }
 }
 
@@ -535,13 +897,31 @@ mod gc_tests {
     }
 
     #[test]
-    fn gc_with_no_roots_keeps_terminals() {
+    fn gc_preserves_complemented_roots() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let mut nf = m.not(f);
+        let _dead = m.xor(x, y);
+        m.gc(&mut [&mut nf]);
+        // nf is still ¬(x∧y).
+        assert!(m.eval(nf, &[true, false]));
+        assert!(!m.eval(nf, &[true, true]));
+        let x2 = m.var(0);
+        let y2 = m.var(1);
+        let f2 = m.and(x2, y2);
+        assert_eq!(m.not(f2), nf);
+    }
+
+    #[test]
+    fn gc_with_no_roots_keeps_terminal() {
         let mut m = Bdd::new();
         let x = m.var(5);
         let _ = m.not(x);
         m.gc(&mut []);
-        assert_eq!(m.node_count(), 2);
-        assert_eq!(m.zero(), NodeId(0));
-        assert_eq!(m.one(), NodeId(1));
+        assert_eq!(m.node_count(), 1);
+        assert_eq!(m.zero(), NodeId(1));
+        assert_eq!(m.one(), NodeId(0));
     }
 }

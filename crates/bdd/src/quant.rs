@@ -1,5 +1,12 @@
 //! Existential quantification and the fused relational product.
+//!
+//! Both operations memoize through the manager's unified generational
+//! operation cache (see [`crate::cache`]), keyed by the interned
+//! quantification set and the full (complement-bit-carrying) operand
+//! edges — quantification does not commute with complement, so the
+//! complement bit is part of the key.
 
+use crate::cache::{OP_AND_EXISTS, OP_EXISTS};
 use crate::manager::{Bdd, NodeId};
 
 /// An interned set of variables to quantify over.
@@ -32,6 +39,20 @@ impl Bdd {
     }
 
     /// Existential quantification `∃ vars. f`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bdd::Bdd;
+    ///
+    /// let mut m = Bdd::new();
+    /// let (x, y) = (m.var(0), m.var(1));
+    /// let f = m.and(x, y);
+    /// let qy = m.quant_set([1]);
+    /// assert_eq!(m.exists(f, qy), x); // ∃y. x∧y  =  x
+    /// let g = m.xor(x, y);
+    /// assert_eq!(m.exists(g, qy), m.one()); // ∃y. x⊕y  =  ⊤
+    /// ```
     pub fn exists(&mut self, f: NodeId, set: QuantSet) -> NodeId {
         let Some(max) = self.quant_max(set) else {
             return f;
@@ -43,12 +64,11 @@ impl Bdd {
         if self.is_terminal(f) || self.var_of(f) > max {
             return f;
         }
-        if let Some(&r) = self.exists_cache.get(&(set.0, f)) {
-            return r;
+        if let Some(r) = self.cache.get(OP_EXISTS, set.0, f.0, 0) {
+            return NodeId(r);
         }
         let v = self.var_of(f);
-        let lo = self.lo(f);
-        let hi = self.hi(f);
+        let (lo, hi) = self.children(f);
         let rlo = self.exists_rec(lo, set, max);
         let rhi = self.exists_rec(hi, set, max);
         let r = if self.quant_contains(set, v) {
@@ -56,40 +76,41 @@ impl Bdd {
         } else {
             self.mk(v, rlo, rhi)
         };
-        self.exists_cache.insert((set.0, f), r);
+        self.cache.put(OP_EXISTS, set.0, f.0, 0, r.0);
         r
     }
 
     /// Fused relational product `∃ vars. (f ∧ g)`.
     ///
-    /// Computes the conjunction and the quantification in a single recursion
-    /// without materializing `f ∧ g` — the core primitive of conjunctive
-    /// partitioning with early quantification (paper §7.3).
+    /// Computes the conjunction and the quantification in a single
+    /// recursion without materializing `f ∧ g` — the core primitive of
+    /// conjunctive partitioning with early quantification (paper §7.3).
+    /// Complement edges add two free short-circuits: `f = g` collapses to
+    /// `∃ vars. f` and `f = ¬g` to ⊥, both by id comparison alone.
     pub fn and_exists(&mut self, f: NodeId, g: NodeId, set: QuantSet) -> NodeId {
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
-        if f == self.zero() {
+        if f == self.zero() || g == self.zero() {
             return self.zero();
         }
         if f == self.one() {
             return self.exists(g, set);
         }
-        // Neither is terminal now (g >= f > one).
-        if let Some(&r) = self.and_exists_cache.get(&(set.0, f, g)) {
-            return r;
+        if f == g {
+            return self.exists(f, set);
+        }
+        if f == self.not(g) {
+            return self.zero();
+        }
+        // Neither is terminal now (a terminal would be ⊤ or ⊥, both
+        // handled above; g ≥ f by id).
+        if let Some(r) = self.cache.get(OP_AND_EXISTS, set.0, f.0, g.0) {
+            return NodeId(r);
         }
         let vf = self.var_of(f);
         let vg = self.var_of(g);
         let v = vf.min(vg);
-        let (f0, f1) = if vf == v {
-            (self.lo(f), self.hi(f))
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if vg == v {
-            (self.lo(g), self.hi(g))
-        } else {
-            (g, g)
-        };
+        let (f0, f1) = if vf == v { self.children(f) } else { (f, f) };
+        let (g0, g1) = if vg == v { self.children(g) } else { (g, g) };
         let r = if self.quant_contains(set, v) {
             let r0 = self.and_exists(f0, g0, set);
             // Short-circuit: x ∨ ⊤ = ⊤.
@@ -104,7 +125,7 @@ impl Bdd {
             let r1 = self.and_exists(f1, g1, set);
             self.mk(v, r0, r1)
         };
-        self.and_exists_cache.insert((set.0, f, g), r);
+        self.cache.put(OP_AND_EXISTS, set.0, f.0, g.0, r.0);
         r
     }
 }
@@ -136,6 +157,23 @@ mod tests {
         let f = m.or(x, ny); // ∃y: always satisfiable
         let s = m.quant_set([1]);
         assert_eq!(m.exists(f, s), m.one());
+    }
+
+    #[test]
+    fn exists_does_not_commute_with_complement() {
+        // ∃y.¬(x∧y) = ⊤ while ¬∃y.(x∧y) = ¬x: the cache must key on the
+        // complement bit.
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let nf = m.not(f);
+        let s = m.quant_set([1]);
+        let a = m.exists(f, s);
+        let b = m.exists(nf, s);
+        assert_eq!(a, x);
+        assert_eq!(b, m.one());
+        assert_ne!(m.not(a), b);
     }
 
     #[test]
@@ -172,8 +210,12 @@ mod tests {
         let one = m.one();
         assert_eq!(m.and_exists(zero, x, s), m.zero());
         assert_eq!(m.and_exists(one, x, s), m.one());
-        let empty = m.quant_set(std::iter::empty());
+        let empty = m.quant_set(std::iter::empty::<u32>());
         assert_eq!(m.and_exists(one, x, empty), x);
+        // The complement-edge short-circuits.
+        let nx = m.not(x);
+        assert_eq!(m.and_exists(x, nx, empty), m.zero());
+        assert_eq!(m.and_exists(x, x, empty), x);
     }
 
     #[test]

@@ -153,6 +153,53 @@ proptest! {
         }
     }
 
+    /// Complement-edge canonical form is sound: negation is an involution
+    /// node-for-node, `¬f` evaluates to the negated reference semantics on
+    /// every assignment (the truth table is the pre-overhaul reference),
+    /// and `f`/`¬f` share their entire diagram.
+    #[test]
+    fn complement_canonical_form_sound(e in arb_expr(4)) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        let before = m.node_count();
+        let nf = m.not(f);
+        // A tag flip: no allocation, involutive, distinct unless constant…
+        prop_assert_eq!(m.node_count(), before);
+        prop_assert_eq!(m.not(nf), f);
+        prop_assert!(nf != f);
+        // …and the complement denotes exactly the negated function.
+        for env in assignments() {
+            prop_assert_eq!(m.eval(nf, &env), !truth(&e, &env));
+        }
+        prop_assert_eq!(m.size(f), m.size(nf));
+        // Building the syntactic negation lands on the same id.
+        let built = build(&mut m, &Expr::Not(Box::new(e)));
+        prop_assert_eq!(built, nf);
+    }
+
+    /// A reset manager reused for an unrelated formula behaves exactly
+    /// like a fresh one: same evaluations, and canonicity (equal ids for
+    /// equal functions) holds within the new generation.
+    #[test]
+    fn reused_manager_matches_fresh(e1 in arb_expr(3), e2 in arb_expr(3)) {
+        let mut shared = Bdd::new();
+        let f1 = build(&mut shared, &e1);
+        for env in assignments() {
+            prop_assert_eq!(shared.eval(f1, &env), truth(&e1, &env));
+        }
+        shared.reset();
+        let f2 = build(&mut shared, &e2);
+        let mut fresh = Bdd::new();
+        let f2_fresh = build(&mut fresh, &e2);
+        for env in assignments() {
+            prop_assert_eq!(shared.eval(f2, &env), truth(&e2, &env));
+            prop_assert_eq!(shared.eval(f2, &env), fresh.eval(f2_fresh, &env));
+        }
+        // Reset cleared the arena back to the fresh shape: same node
+        // count for the same construction order.
+        prop_assert_eq!(shared.node_count(), fresh.node_count());
+    }
+
     /// GC preserves the function of every root.
     #[test]
     fn gc_preserves_functions(e1 in arb_expr(3), e2 in arb_expr(3)) {

@@ -77,17 +77,21 @@ fn diamonds(lhs: &str, rhs: &str) -> usize {
     prep.lean.diam_entries().count()
 }
 
-/// One record of the matrix: min/mean solve time over `samples` runs.
+/// One record of the matrix: min/mean solve time over `samples` runs,
+/// plus — for runs with a symbolic side — the BDD kernel telemetry
+/// (live/created nodes and operation-cache hit rate).
 struct Cell {
     backend: BackendChoice,
     min_ms: f64,
     mean_ms: f64,
     iterations: usize,
+    bdd: Option<(usize, usize, f64)>,
 }
 
 fn measure(lhs: &str, rhs: &str, backend: BackendChoice, expect_holds: bool, n: usize) -> Cell {
     let mut times = Vec::with_capacity(n);
     let mut iterations = 0;
+    let mut bdd = None;
     for _ in 0..n {
         let (mut az, g) = goal(lhs, rhs, backend);
         let t = Instant::now();
@@ -96,6 +100,10 @@ fn measure(lhs: &str, rhs: &str, backend: BackendChoice, expect_holds: bool, n: 
         // Containment holds iff the goal is unsatisfiable.
         assert_eq!(!solved.outcome.is_satisfiable(), expect_holds);
         iterations = solved.stats.iterations;
+        let telemetry = &solved.stats.telemetry;
+        if let (Some(nodes), Some(counters)) = (telemetry.bdd_nodes(), telemetry.bdd_counters()) {
+            bdd = Some((nodes, counters.created_nodes, counters.cache_hit_rate()));
+        }
     }
     let min = times.iter().copied().fold(f64::INFINITY, f64::min);
     let mean = times.iter().sum::<f64>() / times.len() as f64;
@@ -104,6 +112,7 @@ fn measure(lhs: &str, rhs: &str, backend: BackendChoice, expect_holds: bool, n: 
         min_ms: min,
         mean_ms: mean,
         iterations,
+        bdd,
     }
 }
 
@@ -137,9 +146,16 @@ fn bench_backend_matrix(_c: &mut Criterion) {
                 "bench backend-matrix/{name}/{backend}: min {:.3} ms, mean {:.3} ms ({} iterations, {n} samples)",
                 cell.min_ms, cell.mean_ms, cell.iterations
             );
+            let bdd_fields = match cell.bdd {
+                Some((nodes, created, hit_rate)) => format!(
+                    r#","bdd_nodes":{nodes},"created_nodes":{created},"cache_hit_rate":{}"#,
+                    round3(hit_rate)
+                ),
+                None => String::new(),
+            };
             let _ = write!(
                 cells,
-                r#"{}{{"backend":"{}","min_ms":{},"mean_ms":{},"iterations":{}}}"#,
+                r#"{}{{"backend":"{}","min_ms":{},"mean_ms":{},"iterations":{}{bdd_fields}}}"#,
                 if cells.is_empty() { "" } else { "," },
                 cell.backend,
                 round3(cell.min_ms),

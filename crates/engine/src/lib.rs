@@ -64,7 +64,7 @@ pub use executor::{BatchOutcome, BatchStats};
 pub use json::Value;
 pub use problem::{Job, Problem, Verdict, VerdictStats};
 pub use protocol::{ProblemSpec, Request, RequestKind};
-pub use solver::{BackendChoice, Telemetry};
+pub use solver::{BackendChoice, BddCounters, Telemetry};
 pub use workspace::Workspace;
 
 use executor::lock;

@@ -299,11 +299,32 @@ pub fn verdict_response(
 }
 
 /// Serializes per-backend telemetry as a tagged JSON object.
+///
+/// The symbolic payload carries the BDD kernel counters (live/peak/created
+/// nodes, unique-table capacity, operation-cache traffic) plus the two
+/// derived ratios — `load_factor` and `cache_hit_rate` — rounded to three
+/// decimals. See `docs/PROTOCOL.md` for the normative schema.
 pub fn telemetry_value(t: &Telemetry) -> Value {
     let mut fields = vec![("backend", Value::from(t.backend_name()))];
     match t {
-        Telemetry::Symbolic { bdd_nodes } => {
+        Telemetry::Symbolic {
+            bdd_nodes,
+            counters,
+        } => {
             fields.push(("bdd_nodes", Value::from(*bdd_nodes)));
+            fields.push(("peak_nodes", Value::from(counters.peak_nodes)));
+            fields.push(("created_nodes", Value::from(counters.created_nodes)));
+            fields.push(("table_capacity", Value::from(counters.table_capacity)));
+            fields.push(("load_factor", Value::Num(round3(counters.load_factor()))));
+            fields.push(("cache_hits", Value::from(counters.cache_hits as usize)));
+            fields.push((
+                "cache_lookups",
+                Value::from(counters.cache_lookups as usize),
+            ));
+            fields.push((
+                "cache_hit_rate",
+                Value::Num(round3(counters.cache_hit_rate())),
+            ));
         }
         Telemetry::Explicit { types } => {
             fields.push(("types", Value::from(*types)));
@@ -396,13 +417,33 @@ mod tests {
     #[test]
     fn telemetry_serializes_tagged() {
         let t = Telemetry::Dual {
-            symbolic: Box::new(Telemetry::Symbolic { bdd_nodes: 3 }),
+            symbolic: Box::new(Telemetry::Symbolic {
+                bdd_nodes: 3,
+                counters: analyzer::BddCounters {
+                    peak_nodes: 5,
+                    created_nodes: 6,
+                    table_capacity: 1024,
+                    cache_hits: 3,
+                    cache_lookups: 4,
+                },
+            }),
             explicit: Box::new(Telemetry::Explicit { types: 9 }),
         };
         let v = telemetry_value(&t);
         assert_eq!(v.get("backend").and_then(Value::as_str), Some("dual"));
         let sym = v.get("symbolic").unwrap();
         assert_eq!(sym.get("bdd_nodes").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(sym.get("peak_nodes").and_then(Value::as_f64), Some(5.0));
+        assert_eq!(sym.get("created_nodes").and_then(Value::as_f64), Some(6.0));
+        assert_eq!(
+            sym.get("table_capacity").and_then(Value::as_f64),
+            Some(1024.0)
+        );
+        assert_eq!(sym.get("load_factor").and_then(Value::as_f64), Some(0.005));
+        assert_eq!(
+            sym.get("cache_hit_rate").and_then(Value::as_f64),
+            Some(0.75)
+        );
         let exp = v.get("explicit").unwrap();
         assert_eq!(exp.get("types").and_then(Value::as_f64), Some(9.0));
     }

@@ -235,11 +235,24 @@ fn repeated_batch_is_fully_cached() {
     }
 }
 
+/// Every key of the extended symbolic telemetry schema (the BDD kernel
+/// counters of `docs/PROTOCOL.md`).
+const SYMBOLIC_TELEMETRY_KEYS: [&str; 8] = [
+    "bdd_nodes",
+    "peak_nodes",
+    "created_nodes",
+    "table_capacity",
+    "load_factor",
+    "cache_hits",
+    "cache_lookups",
+    "cache_hit_rate",
+];
+
 #[test]
 fn telemetry_payload_is_typed_per_backend() {
     let mut e = Engine::new();
     let cases = [
-        ("symbolic", vec!["bdd_nodes"]),
+        ("symbolic", SYMBOLIC_TELEMETRY_KEYS.to_vec()),
         ("explicit", vec!["types"]),
         ("witnessed", vec!["types", "proved"]),
         ("dual", vec!["symbolic", "explicit"]),
@@ -270,13 +283,60 @@ fn telemetry_payload_is_typed_per_backend() {
             );
         }
     }
-    // The dual payload nests full per-side telemetry.
+    // The dual payload nests full per-side telemetry, the symbolic side
+    // carrying the complete extended BDD schema.
     let r =
         e.execute_line(r#"{"op":"overlap","lhs":"child::a","rhs":"child::b","backend":"dual"}"#);
     let telemetry = r.get("stats").and_then(|s| s.get("telemetry")).unwrap();
     let sym = telemetry.get("symbolic").expect("symbolic side");
     let exp = telemetry.get("explicit").expect("explicit side");
     assert!(sym.get("bdd_nodes").and_then(Value::as_f64).unwrap() > 0.0);
+    for key in SYMBOLIC_TELEMETRY_KEYS {
+        assert!(
+            sym.get(key).is_some(),
+            "dual symbolic side: missing `{key}` in {}",
+            sym.to_json()
+        );
+    }
+    assert!(exp.get("types").and_then(Value::as_f64).unwrap() > 0.0);
+}
+
+#[test]
+fn dual_telemetry_golden_extended_schema() {
+    // Golden dual-mode exchange under the extended telemetry schema: an
+    // `equiv` solves two containments, so the verdict's telemetry is the
+    // *merge* of two dual runs — the case `Telemetry::merge` must be
+    // total over, with the new BDD counter fields summed/maxed and both
+    // nested sides intact.
+    let mut e = Engine::new();
+    let r = e.execute_line(
+        r#"{"id":"dual-eq","op":"equiv","lhs":"a/b[c]","rhs":"a/b[c]","backend":"dual"}"#,
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("backend").and_then(Value::as_str), Some("dual"));
+    assert_eq!(r.get("holds").and_then(Value::as_bool), Some(true));
+    let t = r.get("stats").and_then(|s| s.get("telemetry")).unwrap();
+    assert_eq!(t.get("backend").and_then(Value::as_str), Some("dual"));
+    let sym = t.get("symbolic").expect("nested symbolic telemetry");
+    assert_eq!(sym.get("backend").and_then(Value::as_str), Some("symbolic"));
+    for key in SYMBOLIC_TELEMETRY_KEYS {
+        assert!(
+            sym.get(key).is_some(),
+            "missing `{key}` in {}",
+            sym.to_json()
+        );
+    }
+    // Merged counters stay consistent: hits ≤ lookups, live ≤ peak ≤
+    // created (+1 for the terminal), and the derived ratios in [0, 1].
+    let pick = |k: &str| sym.get(k).and_then(Value::as_f64).unwrap();
+    assert!(pick("cache_hits") <= pick("cache_lookups"));
+    assert!(pick("bdd_nodes") <= 2.0 * pick("peak_nodes"));
+    assert!(pick("peak_nodes") <= pick("created_nodes") + 2.0);
+    let rate = pick("cache_hit_rate");
+    assert!((0.0..=1.0).contains(&rate), "{rate}");
+    let exp = t.get("explicit").expect("nested explicit telemetry");
+    assert_eq!(exp.get("backend").and_then(Value::as_str), Some("explicit"));
+    assert!(pick("cache_lookups") > 0.0);
     assert!(exp.get("types").and_then(Value::as_f64).unwrap() > 0.0);
 }
 

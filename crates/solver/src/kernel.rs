@@ -66,6 +66,42 @@ pub trait Backend {
 /// start proposition) passes the final check; stop on the first hit or as
 /// soon as an iteration adds nothing. `lean_size` and `closure_size` are
 /// carried into [`Stats`] verbatim.
+///
+/// # Example
+///
+/// A miniature backend: "is `n` reachable by doubling from 1?", with the
+/// proved set standing in for the paper's ψ-type sets.
+///
+/// ```
+/// use solver::{run_fixpoint, Backend, Model, Telemetry};
+///
+/// struct Doubling { proved: Vec<u64>, target: u64 }
+///
+/// impl Backend for Doubling {
+///     type Hit = u64;
+///     fn step(&mut self) -> bool {
+///         let next = self.proved.last().copied().unwrap_or(1).wrapping_mul(2);
+///         if self.proved.contains(&next) || next > self.target {
+///             return false; // fixpoint reached
+///         }
+///         self.proved.push(next);
+///         true
+///     }
+///     fn check(&mut self) -> Option<u64> {
+///         self.proved.contains(&self.target).then_some(self.target)
+///     }
+///     fn reconstruct(&mut self, _hit: u64) -> Model {
+///         unreachable!("example never reconstructs")
+///     }
+///     fn telemetry(&self) -> Telemetry {
+///         Telemetry::Explicit { types: self.proved.len() }
+///     }
+/// }
+///
+/// let solved = run_fixpoint(Doubling { proved: vec![1], target: 9 }, 0, 0);
+/// assert!(!solved.outcome.is_satisfiable()); // 9 is not a power of two
+/// assert!(solved.stats.iterations >= 3);
+/// ```
 pub fn run_fixpoint<B: Backend>(mut backend: B, lean_size: usize, closure_size: usize) -> Solved {
     let t0 = Instant::now();
     let mut iterations = 0usize;
@@ -224,8 +260,26 @@ pub fn solve_with(
     backend: BackendChoice,
     opts: &SymbolicOptions,
 ) -> Result<Solved, CrossCheckError> {
+    let mut bdd = bdd::Bdd::new();
+    solve_with_in(lg, goal, backend, opts, &mut bdd)
+}
+
+/// [`solve_with`] inside a caller-owned BDD manager.
+///
+/// The symbolic backend (and the symbolic half of dual mode) runs in
+/// `mgr`, which is reset — not reallocated — per problem (see
+/// [`solve_symbolic_in`](crate::solve_symbolic_in)); the enumerating
+/// backends ignore it. Long-lived workers hold one manager and thread it
+/// through every call.
+pub fn solve_with_in(
+    lg: &mut Logic,
+    goal: Formula,
+    backend: BackendChoice,
+    opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
+) -> Result<Solved, CrossCheckError> {
     match backend {
-        BackendChoice::Symbolic => Ok(crate::solve_symbolic_with(lg, goal, opts)),
+        BackendChoice::Symbolic => Ok(crate::solve_symbolic_in(lg, goal, opts, mgr)),
         BackendChoice::Explicit => {
             let prep = Prepared::new(lg, goal);
             enumeration_feasible(prep.lean.diam_entries().count())?;
@@ -235,7 +289,7 @@ pub fn solve_with(
             enumeration_feasible(crate::witnessed::lean_diamonds(lg, goal))?;
             Ok(crate::solve_witnessed(lg, goal))
         }
-        BackendChoice::Dual => solve_dual(lg, goal, opts),
+        BackendChoice::Dual => solve_dual(lg, goal, opts, mgr),
     }
 }
 
@@ -255,6 +309,7 @@ fn solve_dual(
     lg: &mut Logic,
     goal: Formula,
     opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
 ) -> Result<Solved, CrossCheckError> {
     let t0 = Instant::now();
     // The explicit run gets its own arena so the two backends can run on
@@ -270,7 +325,7 @@ fn solve_dual(
             let solved = crate::explicit::solve_prepared(&mut explicit_lg, prep);
             (solved.outcome.is_satisfiable(), solved.stats)
         });
-        let symbolic = crate::solve_symbolic_with(lg, goal, opts);
+        let symbolic = crate::solve_symbolic_in(lg, goal, opts, mgr);
         (symbolic, handle.join().expect("explicit backend panicked"))
     });
     if symbolic.outcome.is_satisfiable() != explicit_sat {

@@ -58,8 +58,12 @@ mod witnessed;
 
 pub use bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
 pub use explicit::solve_explicit;
-pub use kernel::{run_fixpoint, solve_with, Backend, BackendChoice, CrossCheckError};
-pub use outcome::{Model, Outcome, Solved, Stats, Telemetry};
+pub use kernel::{
+    run_fixpoint, solve_with, solve_with_in, Backend, BackendChoice, CrossCheckError,
+};
+pub use outcome::{BddCounters, Model, Outcome, Solved, Stats, Telemetry};
 pub use prepare::Prepared;
-pub use symbolic::{solve_symbolic, solve_symbolic_with, SymbolicOptions, VarOrder};
+pub use symbolic::{
+    solve_symbolic, solve_symbolic_in, solve_symbolic_with, SymbolicOptions, VarOrder,
+};
 pub use witnessed::solve_witnessed;

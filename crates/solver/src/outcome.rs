@@ -78,6 +78,80 @@ impl Outcome {
     }
 }
 
+/// Counters of the BDD kernel underlying one symbolic run — the
+/// engineering telemetry of the unique-table arena and the unified
+/// operation cache.
+///
+/// All fields are integers so [`Telemetry`] stays `Eq`/hashable; the
+/// derived ratios are exposed as methods ([`BddCounters::load_factor`],
+/// [`BddCounters::cache_hit_rate`]) and serialized alongside the raw
+/// counters by the engine protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddCounters {
+    /// High-water mark of live BDD nodes over the run.
+    pub peak_nodes: usize,
+    /// Nodes allocated over the run (monotone: unlike the live count it
+    /// survives garbage collection, so it measures allocation pressure).
+    pub created_nodes: usize,
+    /// Open-addressed unique-table slots at the end of the run.
+    pub table_capacity: usize,
+    /// Operation-cache lookups that found their result.
+    pub cache_hits: u64,
+    /// Operation-cache lookups in total.
+    pub cache_lookups: u64,
+}
+
+impl BddCounters {
+    /// Unique-table load factor at the high-water mark:
+    /// `peak_nodes / table_capacity`. Peak and capacity are both maxima
+    /// of one monotone-capacity manager, so the ratio stays meaningful —
+    /// and bounded by the table's 3/4 growth invariant — under
+    /// [`Telemetry::merge`], where live node counts sum.
+    pub fn load_factor(&self) -> f64 {
+        if self.table_capacity == 0 {
+            return 0.0;
+        }
+        self.peak_nodes as f64 / self.table_capacity as f64
+    }
+
+    /// Operation-cache hit rate over the run (0 when nothing was looked
+    /// up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.cache_lookups as f64
+    }
+
+    /// Combines the counters of two runs: peaks and capacities take the
+    /// maximum (they describe high-water marks of a store), allocation and
+    /// cache traffic sum.
+    pub fn merge(self, other: BddCounters) -> BddCounters {
+        BddCounters {
+            peak_nodes: self.peak_nodes.max(other.peak_nodes),
+            created_nodes: self.created_nodes + other.created_nodes,
+            table_capacity: self.table_capacity.max(other.table_capacity),
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_lookups: self.cache_lookups + other.cache_lookups,
+        }
+    }
+}
+
+/// The kernel's raw run counters map one-to-one onto the telemetry type
+/// (which stays a separate struct so the wire shape is decoupled from the
+/// kernel); this is the single conversion point.
+impl From<bdd::BddStats> for BddCounters {
+    fn from(s: bdd::BddStats) -> BddCounters {
+        BddCounters {
+            peak_nodes: s.peak_nodes,
+            created_nodes: s.created_nodes,
+            table_capacity: s.table_capacity,
+            cache_hits: s.cache_hits,
+            cache_lookups: s.cache_lookups,
+        }
+    }
+}
+
 /// Backend-specific measurements of one solver run.
 ///
 /// Each backend reports the counters that are meaningful for its
@@ -91,6 +165,9 @@ pub enum Telemetry {
     Symbolic {
         /// Total BDD nodes live in the store when the run finished.
         bdd_nodes: usize,
+        /// Kernel counters: peak/created nodes, unique-table capacity,
+        /// operation-cache traffic.
+        counters: BddCounters,
     },
     /// The explicit enumeration backend (§6.2).
     Explicit {
@@ -115,7 +192,10 @@ pub enum Telemetry {
 
 impl Default for Telemetry {
     fn default() -> Telemetry {
-        Telemetry::Symbolic { bdd_nodes: 0 }
+        Telemetry::Symbolic {
+            bdd_nodes: 0,
+            counters: BddCounters::default(),
+        }
     }
 }
 
@@ -134,10 +214,30 @@ impl Telemetry {
     /// symbolic side's count).
     pub fn bdd_nodes(&self) -> Option<usize> {
         match self {
-            Telemetry::Symbolic { bdd_nodes } => Some(*bdd_nodes),
+            Telemetry::Symbolic { bdd_nodes, .. } => Some(*bdd_nodes),
             Telemetry::Dual { symbolic, .. } => symbolic.bdd_nodes(),
             _ => None,
         }
+    }
+
+    /// BDD kernel counters, when a symbolic run is involved (for dual
+    /// runs, the symbolic side's).
+    pub fn bdd_counters(&self) -> Option<&BddCounters> {
+        match self {
+            Telemetry::Symbolic { counters, .. } => Some(counters),
+            Telemetry::Dual { symbolic, .. } => symbolic.bdd_counters(),
+            _ => None,
+        }
+    }
+
+    /// Unique-table load factor of the symbolic side, when one exists.
+    pub fn load_factor(&self) -> Option<f64> {
+        self.bdd_counters().map(BddCounters::load_factor)
+    }
+
+    /// Operation-cache hit rate of the symbolic side, when one exists.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.bdd_counters().map(BddCounters::cache_hit_rate)
     }
 
     /// Enumerated ψ-types, when an enumerating run is involved (for dual
@@ -150,44 +250,100 @@ impl Telemetry {
         }
     }
 
-    /// Combines the telemetry of two sub-problems solved on the same
-    /// backend (e.g. the two directions of an equivalence) by summing the
-    /// counters; mismatched shapes keep the left side.
+    /// Combines the telemetry of two sub-problems (e.g. the two directions
+    /// of an equivalence) by summing the counters.
+    ///
+    /// The merge is *total*: matching variants combine field-wise
+    /// (allocation and cache counters sum, high-water marks take the
+    /// maximum), and mismatched variants — which arise in dual mode when a
+    /// sub-problem short-circuits one side, or when a multi-part problem
+    /// mixes backends — are folded without losing either side: a dual
+    /// absorbs a single-backend run into its matching half, and a symbolic
+    /// run paired with an enumerating run becomes a dual. The enumerating
+    /// variants (explicit, witnessed) fold by summing their shared `types`
+    /// counter into the left shape.
     pub fn merge(self, other: Telemetry) -> Telemetry {
+        use Telemetry::{Dual, Explicit, Symbolic, Witnessed};
         match (self, other) {
-            (Telemetry::Symbolic { bdd_nodes: a }, Telemetry::Symbolic { bdd_nodes: b }) => {
-                Telemetry::Symbolic { bdd_nodes: a + b }
-            }
-            (Telemetry::Explicit { types: a }, Telemetry::Explicit { types: b }) => {
-                Telemetry::Explicit { types: a + b }
-            }
             (
-                Telemetry::Witnessed {
+                Symbolic {
+                    bdd_nodes: a,
+                    counters: ca,
+                },
+                Symbolic {
+                    bdd_nodes: b,
+                    counters: cb,
+                },
+            ) => Symbolic {
+                bdd_nodes: a + b,
+                counters: ca.merge(cb),
+            },
+            (Explicit { types: a }, Explicit { types: b }) => Explicit { types: a + b },
+            (
+                Witnessed {
                     types: a,
                     proved: pa,
                 },
-                Telemetry::Witnessed {
+                Witnessed {
                     types: b,
                     proved: pb,
                 },
-            ) => Telemetry::Witnessed {
+            ) => Witnessed {
                 types: a + b,
                 proved: pa + pb,
             },
             (
-                Telemetry::Dual {
+                Dual {
                     symbolic: sa,
                     explicit: ea,
                 },
-                Telemetry::Dual {
+                Dual {
                     symbolic: sb,
                     explicit: eb,
                 },
-            ) => Telemetry::Dual {
+            ) => Dual {
                 symbolic: Box::new(sa.merge(*sb)),
                 explicit: Box::new(ea.merge(*eb)),
             },
-            (a, _) => a,
+            // A dual absorbs a single-backend run into its matching half.
+            (Dual { symbolic, explicit }, s @ Symbolic { .. }) => Dual {
+                symbolic: Box::new(symbolic.merge(s)),
+                explicit,
+            },
+            (s @ Symbolic { .. }, Dual { symbolic, explicit }) => Dual {
+                symbolic: Box::new(s.merge(*symbolic)),
+                explicit,
+            },
+            (Dual { symbolic, explicit }, e) => Dual {
+                symbolic,
+                explicit: Box::new(explicit.merge(e)),
+            },
+            (e, Dual { symbolic, explicit }) => Dual {
+                symbolic,
+                explicit: Box::new(e.merge(*explicit)),
+            },
+            // Symbolic + enumerating: the pair is exactly a dual's shape.
+            (s @ Symbolic { .. }, e) => Dual {
+                symbolic: Box::new(s),
+                explicit: Box::new(e),
+            },
+            (e, s @ Symbolic { .. }) => Dual {
+                symbolic: Box::new(s),
+                explicit: Box::new(e),
+            },
+            // Explicit vs witnessed: both enumerate ψ-types; keep the left
+            // shape and sum the shared counter.
+            (Explicit { types: a }, Witnessed { types: b, .. }) => Explicit { types: a + b },
+            (
+                Witnessed {
+                    types: a,
+                    proved: pa,
+                },
+                Explicit { types: b },
+            ) => Witnessed {
+                types: a + b,
+                proved: pa,
+            },
         }
     }
 }
@@ -250,13 +406,29 @@ mod tests {
         assert!(o.model().is_none());
     }
 
+    fn sym(bdd_nodes: usize, counters: BddCounters) -> Telemetry {
+        Telemetry::Symbolic {
+            bdd_nodes,
+            counters,
+        }
+    }
+
     #[test]
     fn telemetry_accessors_and_merge() {
-        let s = Telemetry::Symbolic { bdd_nodes: 10 };
+        let c10 = BddCounters {
+            peak_nodes: 12,
+            created_nodes: 20,
+            table_capacity: 1024,
+            cache_hits: 30,
+            cache_lookups: 40,
+        };
+        let s = sym(10, c10);
         let e = Telemetry::Explicit { types: 4 };
         assert_eq!(s.bdd_nodes(), Some(10));
         assert_eq!(s.explicit_types(), None);
         assert_eq!(e.explicit_types(), Some(4));
+        assert_eq!(s.cache_hit_rate(), Some(0.75));
+        assert_eq!(s.load_factor(), Some(12.0 / 1024.0));
         let d = Telemetry::Dual {
             symbolic: Box::new(s.clone()),
             explicit: Box::new(e.clone()),
@@ -264,8 +436,28 @@ mod tests {
         assert_eq!(d.backend_name(), "dual");
         assert_eq!(d.bdd_nodes(), Some(10));
         assert_eq!(d.explicit_types(), Some(4));
-        let merged = s.merge(Telemetry::Symbolic { bdd_nodes: 5 });
-        assert_eq!(merged, Telemetry::Symbolic { bdd_nodes: 15 });
+        assert_eq!(d.cache_hit_rate(), Some(0.75));
+        let c5 = BddCounters {
+            peak_nodes: 50,
+            created_nodes: 7,
+            table_capacity: 512,
+            cache_hits: 1,
+            cache_lookups: 2,
+        };
+        let merged = s.merge(sym(5, c5));
+        assert_eq!(
+            merged,
+            sym(
+                15,
+                BddCounters {
+                    peak_nodes: 50,
+                    created_nodes: 27,
+                    table_capacity: 1024,
+                    cache_hits: 31,
+                    cache_lookups: 42,
+                }
+            )
+        );
         let w = Telemetry::Witnessed {
             types: 2,
             proved: 3,
@@ -277,5 +469,39 @@ mod tests {
                 proved: 6
             }
         );
+    }
+
+    #[test]
+    fn merge_is_total_over_mismatched_variants() {
+        let s = sym(10, BddCounters::default());
+        let e = Telemetry::Explicit { types: 4 };
+        let w = Telemetry::Witnessed {
+            types: 2,
+            proved: 3,
+        };
+        let d = Telemetry::Dual {
+            symbolic: Box::new(s.clone()),
+            explicit: Box::new(e.clone()),
+        };
+        // A dual absorbs a symbolic run into its symbolic half…
+        let m = d.clone().merge(s.clone());
+        assert_eq!(m.bdd_nodes(), Some(20));
+        assert_eq!(m.explicit_types(), Some(4));
+        // …and an enumerating run into its explicit half, in either order.
+        let m = w.clone().merge(d.clone());
+        assert_eq!(m.backend_name(), "dual");
+        assert_eq!(m.explicit_types(), Some(6));
+        let m = d.clone().merge(e.clone());
+        assert_eq!(m.explicit_types(), Some(8));
+        // Symbolic + enumerating forms a dual without dropping a side.
+        let m = s.clone().merge(w.clone());
+        assert_eq!(m.backend_name(), "dual");
+        assert_eq!(m.bdd_nodes(), Some(10));
+        assert_eq!(m.explicit_types(), Some(2));
+        let m = e.clone().merge(s);
+        assert_eq!(m.backend_name(), "dual");
+        assert_eq!(m.explicit_types(), Some(4));
+        // Explicit vs witnessed sums the shared types counter.
+        assert_eq!(e.merge(w).explicit_types(), Some(6));
     }
 }

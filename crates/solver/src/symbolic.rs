@@ -117,9 +117,12 @@ struct FixpointState {
 /// Collect when the store first exceeds this many nodes.
 const GC_FLOOR: usize = 2_000_000;
 
-struct Sym {
+struct Sym<'m> {
     prep: Prepared,
-    bdd: Bdd,
+    /// The caller-owned manager: reset (not reallocated) per run, so a
+    /// long-lived worker reuses its arena, unique table and operation
+    /// cache across problems.
+    bdd: &'m mut Bdd,
     /// Lean index → x-rail BDD variable.
     xvar: Vec<u32>,
     /// Status BDDs (x̄ rail) of each lean diamond argument, by lean index.
@@ -132,15 +135,17 @@ struct Sym {
     state: FixpointState,
 }
 
-impl Sym {
-    fn new(lg: &mut Logic, prep: Prepared, opts: &SymbolicOptions) -> Self {
+impl<'m> Sym<'m> {
+    fn new(lg: &mut Logic, prep: Prepared, opts: &SymbolicOptions, bdd: &'m mut Bdd) -> Self {
         let n = prep.lean.len();
         let perm: Vec<usize> = match opts.var_order {
             VarOrder::Bfs => (0..n).collect(),
             VarOrder::Reversed => (0..n).rev().collect(),
         };
         let xvar: Vec<u32> = perm.iter().map(|&p| 2 * p as u32).collect();
-        let mut bdd = Bdd::new();
+        // Generational reset: the previous problem's nodes and cache
+        // entries vanish in O(1) while the allocations stay warm.
+        bdd.reset();
 
         // Status BDDs for every diamond argument and for ψ, sharing a memo.
         let mut memo: HashMap<Formula, NodeId> = HashMap::new();
@@ -148,7 +153,7 @@ impl Sym {
         let mut arg_status = HashMap::new();
         {
             let mut alg = XRail {
-                bdd: &mut bdd,
+                bdd: &mut *bdd,
                 xvar: &xvar,
             };
             for &(i, _, phi) in &entries {
@@ -158,7 +163,7 @@ impl Sym {
         }
         let psi_status = {
             let mut alg = XRail {
-                bdd: &mut bdd,
+                bdd: &mut *bdd,
                 xvar: &xvar,
             };
             status(lg, &prep.lean, prep.psi, &mut alg, &mut memo)
@@ -196,8 +201,8 @@ impl Sym {
 
         let diams: Vec<(usize, Program)> = entries.iter().map(|&(i, p, _)| (i, p)).collect();
         let delta = [
-            Self::build_delta(&mut bdd, &xvar, &arg_status, &entries, Program::Down1, opts),
-            Self::build_delta(&mut bdd, &xvar, &arg_status, &entries, Program::Down2, opts),
+            Self::build_delta(bdd, &xvar, &arg_status, &entries, Program::Down1, opts),
+            Self::build_delta(bdd, &xvar, &arg_status, &entries, Program::Down2, opts),
         ];
 
         let gc_floor = opts.gc_threshold.unwrap_or(GC_FLOOR);
@@ -526,7 +531,7 @@ impl Sym {
     }
 }
 
-impl Backend for Sym {
+impl Backend for Sym<'_> {
     /// The satisfying root set: `target ∧ final_filter`, nonempty.
     type Hit = NodeId;
 
@@ -639,8 +644,10 @@ impl Backend for Sym {
     }
 
     fn telemetry(&self) -> Telemetry {
+        let s = self.bdd.stats();
         Telemetry::Symbolic {
-            bdd_nodes: self.bdd.node_count(),
+            bdd_nodes: s.live_nodes,
+            counters: s.into(),
         }
     }
 }
@@ -665,9 +672,27 @@ pub fn solve_symbolic(lg: &mut Logic, goal: Formula) -> Solved {
 
 /// Decides satisfiability with explicit options (ablation hooks).
 pub fn solve_symbolic_with(lg: &mut Logic, goal: Formula, opts: &SymbolicOptions) -> Solved {
+    let mut bdd = Bdd::new();
+    solve_symbolic_in(lg, goal, opts, &mut bdd)
+}
+
+/// Decides satisfiability inside a caller-owned BDD manager.
+///
+/// The manager is [`reset`](Bdd::reset) — not reallocated — before the
+/// run: its arena, unique table and operation cache keep their capacity,
+/// and the previous problem's state is invalidated generationally in
+/// O(1). This is the entry point long-lived workers (the engine's batch
+/// executor, `xsat serve`) use to amortize allocation across problems;
+/// verdicts are identical to a fresh-manager run.
+pub fn solve_symbolic_in(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+    bdd: &mut Bdd,
+) -> Solved {
     let prep = Prepared::new(lg, goal);
     let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
-    run_fixpoint(Sym::new(lg, prep, opts), lean_size, closure_size)
+    run_fixpoint(Sym::new(lg, prep, opts, bdd), lean_size, closure_size)
 }
 
 #[cfg(test)]

@@ -209,4 +209,42 @@ proptest! {
             lg.display(goal)
         );
     }
+
+    /// One long-lived BDD manager reused (via generational reset) across
+    /// two unrelated problems yields verdicts — and models — identical to
+    /// fresh-manager runs, with per-run telemetry counters that restart
+    /// at each reset.
+    #[test]
+    fn reused_manager_matches_fresh_runs(s1 in arb_shape(2), s2 in arb_shape(2)) {
+        let mut shared = bdd::Bdd::new();
+        let opts = SymbolicOptions::default();
+        let mut verdicts_shared = Vec::new();
+        let mut verdicts_fresh = Vec::new();
+        for shape in [&s1, &s2] {
+            let mut lg = Logic::new();
+            let goal = build(&mut lg, shape);
+            prop_assume!(cycle_free(&lg, goal));
+            let reused = solver::solve_symbolic_in(&mut lg, goal, &opts, &mut shared);
+            if let Some(m) = reused.outcome.model() {
+                let mc = ModelChecker::new_row(m.roots());
+                prop_assert!(
+                    !mc.eval(&lg, goal).is_empty(),
+                    "reused-manager model {} fails check for {}",
+                    m,
+                    lg.display(goal)
+                );
+            }
+            // Per-run counters restart at reset: the live count never
+            // exceeds this run's own peak.
+            let counters = reused.stats.telemetry.bdd_counters().expect("symbolic");
+            prop_assert!(reused.stats.telemetry.bdd_nodes().unwrap() <= counters.peak_nodes);
+            verdicts_shared.push(reused.outcome.is_satisfiable());
+
+            let mut lg = Logic::new();
+            let goal = build(&mut lg, shape);
+            let fresh = solve_symbolic(&mut lg, goal);
+            verdicts_fresh.push(fresh.outcome.is_satisfiable());
+        }
+        prop_assert_eq!(verdicts_shared, verdicts_fresh);
+    }
 }

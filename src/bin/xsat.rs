@@ -270,6 +270,23 @@ fn print_human(response: &Value) {
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
         );
+        // BDD kernel telemetry, when a symbolic side was involved (for
+        // dual verdicts the nested symbolic payload).
+        let telemetry = stats.get("telemetry");
+        let symbolic = telemetry
+            .filter(|t| t.get("bdd_nodes").is_some())
+            .or_else(|| telemetry.and_then(|t| t.get("symbolic")));
+        if let Some(sym) = symbolic {
+            let p = |k: &str| sym.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            println!(
+                "bdd: {} live nodes (peak {}, created {}), table load {:.3}, cache hit rate {:.3}",
+                p("bdd_nodes"),
+                p("peak_nodes"),
+                p("created_nodes"),
+                p("load_factor"),
+                p("cache_hit_rate"),
+            );
+        }
     }
 }
 
