@@ -1,10 +1,12 @@
 //! High-level static analysis of XPath queries under regular tree types —
-//! the decision problems of the paper's §8.
+//! the decision problems of the paper's §8, as a first-class typed API.
 //!
-//! An [`Analyzer`] owns a formula arena and reduces each decision problem to
-//! Lµ satisfiability, solved by a selectable backend ([`BackendChoice`]:
-//! the symbolic BDD engine by default, the explicit or witnessed reference
-//! algorithms, or the dual symbolic/explicit cross-check):
+//! An [`Analyzer`] owns a formula arena and reduces each decision problem
+//! to Lµ satisfiability, solved by a selectable backend
+//! ([`BackendChoice`]: the symbolic BDD engine by default, the explicit or
+//! witnessed reference algorithms, or the dual symbolic/explicit
+//! cross-check). The problems themselves are values: a [`Problem`] names
+//! one question of the §8 menu —
 //!
 //! * **emptiness** — does a query ever select a node?
 //! * **containment** — `e1 ⊆ e2`: is every node selected by `e1` also
@@ -13,7 +15,16 @@
 //! * **coverage** — is `e` always within the union of other queries?
 //! * **static type-checking** — are all nodes selected by `e` under an
 //!   input type valid roots of an output type?
-//! * **equivalence** — containment both ways.
+//! * **equivalence** — containment both ways —
+//!
+//! and [`Analyzer::solve`] is the single dispatch point that decides one,
+//! governed by a [`Limits`] budget (wall-clock deadline, BDD node budget,
+//! fixpoint iteration cap, lean-diamond cap for the enumerating backends).
+//! A budget hit is the typed third verdict
+//! [`SolveError::ResourceExhausted`] — never a panic, never an unbounded
+//! run. The per-operation methods ([`Analyzer::contains`],
+//! [`Analyzer::is_empty`], …) are thin wrappers that build the
+//! corresponding [`Problem`] and solve it under [`Limits::default`].
 //!
 //! Each verdict carries solver statistics and, when the property fails, an
 //! XML counter-example tree annotated with the start mark.
@@ -21,15 +32,36 @@
 //! # Example
 //!
 //! ```
-//! use analyzer::Analyzer;
+//! use analyzer::{Analyzer, Limits, Problem};
 //! use xpath::parse;
 //!
 //! let mut az = Analyzer::new();
-//! let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
-//! let e2 = parse("child::c[child::b]")?;
-//! let v = az.contains(&e1, None, &e2, None)?;
+//! let p = Problem::contains(
+//!     parse("child::c/preceding-sibling::a[child::b]")?,
+//!     None,
+//!     parse("child::c[child::b]")?,
+//!     None,
+//! );
+//! let v = az.solve(&p, &Limits::default())?;
 //! assert!(!v.holds); // the Fig 18 example: e1 ⊄ e2
 //! assert!(v.counter_example.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Bounding a solve and catching the third verdict:
+//!
+//! ```
+//! use analyzer::{Analyzer, Limits, Problem, SolveError};
+//!
+//! let mut az = Analyzer::new();
+//! let p = Problem::sat(xpath::parse("a/b")?, None);
+//! let starved = Limits { max_bdd_nodes: Some(2), ..Limits::default() };
+//! match az.solve(&p, &starved) {
+//!     Err(SolveError::ResourceExhausted { resource, .. }) => {
+//!         assert_eq!(resource.as_str(), "bdd_nodes");
+//!     }
+//!     other => panic!("expected exhaustion, got {other:?}"),
+//! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -37,14 +69,21 @@
 #![warn(missing_docs)]
 
 pub mod paper;
+pub mod problem;
 pub mod types;
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use mulogic::{Formula, Logic};
 use solver::{solve_with_in, Model, Outcome, Stats, SymbolicOptions};
 use treetypes::Dtd;
 use xpath::Expr;
 
-pub use solver::{BackendChoice, BddCounters, CrossCheckError, Telemetry};
+pub use problem::Problem;
+pub use solver::{
+    BackendChoice, BddCounters, CrossCheckError, Exhausted, Limits, Resource, SolveError, Telemetry,
+};
 
 /// The result of one decision problem.
 #[derive(Debug)]
@@ -61,11 +100,13 @@ pub struct Analysis {
     pub backend: BackendChoice,
 }
 
-/// The outcome of one decision problem: the analysis, or a solver-level
-/// failure — a dual-mode cross-check disagreement, or a lean beyond the
-/// enumeration bound on the explicit/witnessed/dual backends. The
-/// symbolic backend never fails.
-pub type AnalysisResult = Result<Analysis, CrossCheckError>;
+/// The outcome of one decision problem: the analysis, or a
+/// [`SolveError`] — a typed resource exhaustion (deadline, BDD node
+/// budget, iteration cap, or a lean beyond the enumeration cap of the
+/// explicit/witnessed/dual backends), or a dual-mode cross-check
+/// disagreement. Under [`Limits::default`] the symbolic backend never
+/// fails.
+pub type AnalysisResult = Result<Analysis, SolveError>;
 
 /// Construction-time options of an [`Analyzer`].
 #[derive(Debug, Clone, Default)]
@@ -179,19 +220,130 @@ impl Analyzer {
     }
 
     /// Decides satisfiability of an arbitrary Lµ formula on the configured
-    /// backend, reusing this analyzer's long-lived BDD manager.
-    pub fn solve_formula(&mut self, f: Formula) -> Result<solver::Solved, CrossCheckError> {
+    /// backend, reusing this analyzer's long-lived BDD manager, under
+    /// [`Limits::default`].
+    pub fn solve_formula(&mut self, f: Formula) -> Result<solver::Solved, SolveError> {
+        self.solve_formula_bounded(f, &Limits::default())
+    }
+
+    /// [`Analyzer::solve_formula`] under the caller's [`Limits`].
+    pub fn solve_formula_bounded(
+        &mut self,
+        f: Formula,
+        limits: &Limits,
+    ) -> Result<solver::Solved, SolveError> {
         solve_with_in(
             &mut self.lg,
             f,
             self.options.backend,
             &self.options.symbolic,
             &mut self.bdd,
+            limits,
         )
     }
 
-    pub(crate) fn check_unsat(&mut self, f: Formula) -> AnalysisResult {
-        let solved = self.solve_formula(f)?;
+    /// Solves one typed decision [`Problem`] under the given [`Limits`] —
+    /// the single dispatch point every decision method of this analyzer
+    /// (and the engine's protocol layer) funnels through.
+    ///
+    /// The limits govern the whole problem: a multi-goal problem (an
+    /// equivalence solves two containments) charges each sub-solve against
+    /// the one wall-clock deadline, while per-solve budgets (BDD nodes)
+    /// apply to each sub-solve, whose manager is reset in between. A
+    /// budget hit returns [`SolveError::ResourceExhausted`] naming the
+    /// resource — the property is then neither proved nor refuted, and the
+    /// caller may retry with a larger budget.
+    pub fn solve(&mut self, problem: &Problem, limits: &Limits) -> AnalysisResult {
+        match problem {
+            Problem::Empty { query, ty } => {
+                let f = self.query_formula(query, ty.as_deref());
+                self.check_unsat(f, limits)
+            }
+            Problem::Sat { query, ty } => {
+                let f = self.query_formula(query, ty.as_deref());
+                self.check_sat(f, limits)
+            }
+            Problem::Contains {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => {
+                let goal = self.containment_goal(lhs, ltype.as_deref(), rhs, rtype.as_deref());
+                self.check_unsat(goal, limits)
+            }
+            Problem::Overlap {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => {
+                let f1 = self.query_formula(lhs, ltype.as_deref());
+                let f2 = self.query_formula(rhs, rtype.as_deref());
+                let goal = self.lg.and(f1, f2);
+                self.check_sat(goal, limits)
+            }
+            Problem::Covers { query, ty, by } => {
+                let mut goal = self.query_formula(query, ty.as_deref());
+                for (ei, ti) in by {
+                    let fi = self.query_formula(ei, ti.as_deref());
+                    let nfi = self.lg.not(fi);
+                    goal = self.lg.and(goal, nfi);
+                }
+                self.check_unsat(goal, limits)
+            }
+            Problem::TypeCheck {
+                query,
+                input,
+                output,
+            } => {
+                let f = self.query_formula(query, Some(input));
+                let out = self.type_formula(output);
+                let nout = self.lg.not(out);
+                let goal = self.lg.and(f, nout);
+                self.check_unsat(goal, limits)
+            }
+            Problem::Equiv {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => {
+                // Both containments are charged against one deadline; the
+                // second direction runs on whatever wall clock remains.
+                let started = Instant::now();
+                let fwd_goal = self.containment_goal(lhs, ltype.as_deref(), rhs, rtype.as_deref());
+                let fwd = self.check_unsat(fwd_goal, limits)?;
+                let remaining = limits.after(started.elapsed())?;
+                let bwd_goal = self.containment_goal(rhs, rtype.as_deref(), lhs, ltype.as_deref());
+                let bwd = self.check_unsat(bwd_goal, &remaining)?;
+                Ok(Analysis {
+                    holds: fwd.holds && bwd.holds,
+                    // The witness is whichever direction failed first.
+                    counter_example: fwd.counter_example.or(bwd.counter_example),
+                    stats: fwd.stats.merge(bwd.stats),
+                    backend: self.options.backend,
+                })
+            }
+        }
+    }
+
+    /// `E→⟦e1⟧⟦T1⟧ ∧ ¬E→⟦e2⟧⟦T2⟧` — unsatisfiable iff `e1 ⊆ e2`.
+    fn containment_goal(
+        &mut self,
+        e1: &Expr,
+        t1: Option<&Dtd>,
+        e2: &Expr,
+        t2: Option<&Dtd>,
+    ) -> Formula {
+        let f1 = self.query_formula(e1, t1);
+        let f2 = self.query_formula(e2, t2);
+        let nf2 = self.lg.not(f2);
+        self.lg.and(f1, nf2)
+    }
+
+    pub(crate) fn check_unsat(&mut self, f: Formula, limits: &Limits) -> AnalysisResult {
+        let solved = self.solve_formula_bounded(f, limits)?;
         Ok(match solved.outcome {
             Outcome::Unsatisfiable => Analysis {
                 holds: true,
@@ -208,8 +360,8 @@ impl Analyzer {
         })
     }
 
-    fn check_sat(&mut self, f: Formula) -> AnalysisResult {
-        let solved = self.solve_formula(f)?;
+    fn check_sat(&mut self, f: Formula, limits: &Limits) -> AnalysisResult {
+        let solved = self.solve_formula_bounded(f, limits)?;
         Ok(match solved.outcome {
             Outcome::Satisfiable(m) => Analysis {
                 holds: true,
@@ -227,20 +379,23 @@ impl Analyzer {
     }
 
     /// XPath emptiness: `e` selects no node in any tree (of the type).
+    /// Delegates to [`Analyzer::solve`] under [`Limits::default`].
     pub fn is_empty(&mut self, e: &Expr, ty: Option<&Dtd>) -> AnalysisResult {
-        let f = self.query_formula(e, ty);
-        self.check_unsat(f)
+        let p = Problem::empty(e.clone(), arc_dtd(ty));
+        self.solve(&p, &Limits::default())
     }
 
     /// XPath satisfiability: `e` selects a node in some tree of the type
     /// (the `e7`/`e8` rows of Table 2). The witness is a satisfying tree.
+    /// Delegates to [`Analyzer::solve`] under [`Limits::default`].
     pub fn is_satisfiable(&mut self, e: &Expr, ty: Option<&Dtd>) -> AnalysisResult {
-        let f = self.query_formula(e, ty);
-        self.check_sat(f)
+        let p = Problem::sat(e.clone(), arc_dtd(ty));
+        self.solve(&p, &Limits::default())
     }
 
     /// XPath containment `e1 ⊆ e2` under per-side type constraints:
-    /// `E→⟦e1⟧⟦T1⟧ ∧ ¬E→⟦e2⟧⟦T2⟧` must be unsatisfiable.
+    /// `E→⟦e1⟧⟦T1⟧ ∧ ¬E→⟦e2⟧⟦T2⟧` must be unsatisfiable. Delegates to
+    /// [`Analyzer::solve`] under [`Limits::default`].
     pub fn contains(
         &mut self,
         e1: &Expr,
@@ -248,14 +403,12 @@ impl Analyzer {
         e2: &Expr,
         t2: Option<&Dtd>,
     ) -> AnalysisResult {
-        let f1 = self.query_formula(e1, t1);
-        let f2 = self.query_formula(e2, t2);
-        let nf2 = self.lg.not(f2);
-        let goal = self.lg.and(f1, nf2);
-        self.check_unsat(goal)
+        let p = Problem::contains(e1.clone(), arc_dtd(t1), e2.clone(), arc_dtd(t2));
+        self.solve(&p, &Limits::default())
     }
 
-    /// XPath overlap: some node is selected by both queries.
+    /// XPath overlap: some node is selected by both queries. Delegates to
+    /// [`Analyzer::solve`] under [`Limits::default`].
     pub fn overlaps(
         &mut self,
         e1: &Expr,
@@ -263,53 +416,60 @@ impl Analyzer {
         e2: &Expr,
         t2: Option<&Dtd>,
     ) -> AnalysisResult {
-        let f1 = self.query_formula(e1, t1);
-        let f2 = self.query_formula(e2, t2);
-        let goal = self.lg.and(f1, f2);
-        self.check_sat(goal)
+        let p = Problem::overlap(e1.clone(), arc_dtd(t1), e2.clone(), arc_dtd(t2));
+        self.solve(&p, &Limits::default())
     }
 
     /// XPath coverage: every node selected by `e` is selected by at least
-    /// one of `covers`.
+    /// one of `covers` (each under its own optional type constraint).
+    /// Delegates to [`Analyzer::solve`] under [`Limits::default`].
     pub fn covers(
         &mut self,
         e: &Expr,
         ty: Option<&Dtd>,
         covers: &[(&Expr, Option<&Dtd>)],
     ) -> AnalysisResult {
-        let mut goal = self.query_formula(e, ty);
-        for &(ei, ti) in covers {
-            let fi = self.query_formula(ei, ti);
-            let nfi = self.lg.not(fi);
-            goal = self.lg.and(goal, nfi);
-        }
-        self.check_unsat(goal)
+        let p = Problem::Covers {
+            query: Arc::new(e.clone()),
+            ty: arc_dtd(ty),
+            by: covers
+                .iter()
+                .map(|&(ei, ti)| (Arc::new(ei.clone()), arc_dtd(ti)))
+                .collect(),
+        };
+        self.solve(&p, &Limits::default())
     }
 
     /// Static type-checking of an annotated query: every node selected by
     /// `e` under the input type is a valid root of the output type
-    /// (`E→⟦e⟧⟦T_in⟧ ∧ ¬⟦T_out⟧` unsatisfiable).
+    /// (`E→⟦e⟧⟦T_in⟧ ∧ ¬⟦T_out⟧` unsatisfiable). Delegates to
+    /// [`Analyzer::solve`] under [`Limits::default`].
     pub fn type_checks(&mut self, e: &Expr, input: &Dtd, output: &Dtd) -> AnalysisResult {
-        let f = self.query_formula(e, Some(input));
-        let out = self.type_formula(output);
-        let nout = self.lg.not(out);
-        let goal = self.lg.and(f, nout);
-        self.check_unsat(goal)
+        let p = Problem::type_check(e.clone(), input.clone(), output.clone());
+        self.solve(&p, &Limits::default())
     }
 
     /// XPath equivalence under type constraints: containment both ways.
-    /// Returns the two directions (`e1 ⊆ e2`, `e2 ⊆ e1`).
+    /// Returns the two directions (`e1 ⊆ e2`, `e2 ⊆ e1`); for the single
+    /// merged verdict, solve a [`Problem::Equiv`] through
+    /// [`Analyzer::solve`].
     pub fn equivalent(
         &mut self,
         e1: &Expr,
         t1: Option<&Dtd>,
         e2: &Expr,
         t2: Option<&Dtd>,
-    ) -> Result<(Analysis, Analysis), CrossCheckError> {
+    ) -> Result<(Analysis, Analysis), SolveError> {
         let fwd = self.contains(e1, t1, e2, t2)?;
         let bwd = self.contains(e2, t2, e1, t1)?;
         Ok((fwd, bwd))
     }
+}
+
+/// Clones an optional borrowed DTD into the `Arc` ownership a [`Problem`]
+/// carries.
+fn arc_dtd(ty: Option<&Dtd>) -> Option<Arc<Dtd>> {
+    ty.map(|d| Arc::new(d.clone()))
 }
 
 #[cfg(test)]
@@ -409,6 +569,70 @@ mod tests {
         let e = parse("child::x").unwrap();
         assert!(az.type_checks(&e, &input, &out_ok).unwrap().holds);
         let v = az.type_checks(&e, &input, &out_bad).unwrap();
+        assert!(!v.holds);
+        assert!(v.counter_example.is_some());
+    }
+
+    #[test]
+    fn solve_is_the_single_dispatch_point() {
+        // Every per-op wrapper and the corresponding Problem variant must
+        // produce the same verdict.
+        let mut az = Analyzer::new();
+        let e1 = parse("child::c/preceding-sibling::a[child::b]").unwrap();
+        let e2 = parse("child::c[child::b]").unwrap();
+        let wrapped = az.contains(&e1, None, &e2, None).unwrap();
+        let p = Problem::contains(e1.clone(), None, e2.clone(), None);
+        let solved = az.solve(&p, &Limits::default()).unwrap();
+        assert_eq!(wrapped.holds, solved.holds);
+        assert_eq!(
+            wrapped.counter_example.as_ref().map(Model::xml),
+            solved.counter_example.as_ref().map(Model::xml)
+        );
+        // Equiv through solve merges the two directions into one verdict.
+        let eq = Problem::equiv(e1, None, e2, None);
+        let v = az.solve(&eq, &Limits::default()).unwrap();
+        assert!(!v.holds);
+        assert!(v.counter_example.is_some());
+        assert!(v.stats.iterations > 0);
+    }
+
+    #[test]
+    fn exhausted_solves_name_the_resource() {
+        let mut az = Analyzer::new();
+        let p = Problem::sat(parse("a/b[c]").unwrap(), None);
+        // A starved node budget: the typed third verdict, not a panic.
+        let starved = Limits {
+            max_bdd_nodes: Some(4),
+            ..Limits::default()
+        };
+        match az.solve(&p, &starved) {
+            Err(SolveError::ResourceExhausted {
+                resource: solver::Resource::BddNodes,
+                spent,
+                limit,
+            }) => {
+                assert!(spent > limit);
+            }
+            other => panic!("expected node exhaustion, got {other:?}"),
+        }
+        // A zero deadline exhausts the wall clock on an equivalence too
+        // (the two containments share one deadline).
+        let eq = Problem::equiv(parse("a/b").unwrap(), None, parse("a/*").unwrap(), None);
+        let instant = Limits {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Limits::default()
+        };
+        match az.solve(&eq, &instant) {
+            Err(SolveError::ResourceExhausted {
+                resource: solver::Resource::WallClock,
+                ..
+            }) => {}
+            other => panic!("expected wall-clock exhaustion, got {other:?}"),
+        }
+        // The same problems decide fine once the budgets are lifted
+        // (a/b ≡ a/* fails in the a/* ⊆ a/b direction, with a witness).
+        assert!(az.solve(&p, &Limits::default()).unwrap().holds);
+        let v = az.solve(&eq, &Limits::default()).unwrap();
         assert!(!v.holds);
         assert!(v.counter_example.is_some());
     }

@@ -1,0 +1,266 @@
+//! The first-class decision problem: one typed value for the paper's §8
+//! menu.
+//!
+//! A [`Problem`] is the canonical, self-contained statement of one
+//! decision question — it *owns* its parsed query ASTs and DTDs (behind
+//! [`Arc`], so handing one around is cheap), not names or source strings.
+//! Its derived `Hash`/`Eq` are structural: the same logical problem built
+//! twice — from registered names, inline sources, or by hand — compares
+//! equal, which is what makes it the memo-cache key of the engine, while
+//! two distinct problems can never alias the way rendered-string keys
+//! could.
+//!
+//! [`Analyzer::solve`](crate::Analyzer::solve) is the single entry point
+//! that decides a `Problem` under a [`Limits`](crate::Limits) budget; the
+//! per-operation convenience methods on [`Analyzer`](crate::Analyzer) are
+//! thin wrappers that build the corresponding variant.
+
+use std::sync::Arc;
+
+use treetypes::Dtd;
+use xpath::Expr;
+
+/// One decision problem of §8, owning its queries and type constraints.
+///
+/// # Example
+///
+/// ```
+/// use analyzer::{Analyzer, Limits, Problem};
+///
+/// let p = Problem::contains(
+///     xpath::parse("child::c/preceding-sibling::a[child::b]")?,
+///     None,
+///     xpath::parse("child::c[child::b]")?,
+///     None,
+/// );
+/// let mut az = Analyzer::new();
+/// let v = az.solve(&p, &Limits::default())?;
+/// assert!(!v.holds); // the Fig 18 example: e1 ⊄ e2
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Does the query select no node in any tree (of the type)?
+    Empty {
+        /// The query.
+        query: Arc<Expr>,
+        /// Optional type constraint.
+        ty: Option<Arc<Dtd>>,
+    },
+    /// Does the query select a node in some tree (of the type)?
+    Sat {
+        /// The query.
+        query: Arc<Expr>,
+        /// Optional type constraint.
+        ty: Option<Arc<Dtd>>,
+    },
+    /// Is every node selected by `lhs` also selected by `rhs`?
+    Contains {
+        /// The contained query.
+        lhs: Arc<Expr>,
+        /// Type constraint of `lhs`.
+        ltype: Option<Arc<Dtd>>,
+        /// The containing query.
+        rhs: Arc<Expr>,
+        /// Type constraint of `rhs`.
+        rtype: Option<Arc<Dtd>>,
+    },
+    /// Can the two queries select a common node?
+    Overlap {
+        /// First query.
+        lhs: Arc<Expr>,
+        /// Type constraint of `lhs`.
+        ltype: Option<Arc<Dtd>>,
+        /// Second query.
+        rhs: Arc<Expr>,
+        /// Type constraint of `rhs`.
+        rtype: Option<Arc<Dtd>>,
+    },
+    /// Is every node selected by `query` selected by at least one of the
+    /// covering queries?
+    Covers {
+        /// The covered query.
+        query: Arc<Expr>,
+        /// Its type constraint.
+        ty: Option<Arc<Dtd>>,
+        /// The covering queries with their per-query type constraints.
+        by: Vec<(Arc<Expr>, Option<Arc<Dtd>>)>,
+    },
+    /// Containment in both directions.
+    Equiv {
+        /// First query.
+        lhs: Arc<Expr>,
+        /// Type constraint of `lhs`.
+        ltype: Option<Arc<Dtd>>,
+        /// Second query.
+        rhs: Arc<Expr>,
+        /// Type constraint of `rhs`.
+        rtype: Option<Arc<Dtd>>,
+    },
+    /// Is every node selected by `query` under the input type a valid root
+    /// of the output type?
+    TypeCheck {
+        /// The annotated query.
+        query: Arc<Expr>,
+        /// Input type.
+        input: Arc<Dtd>,
+        /// Output type.
+        output: Arc<Dtd>,
+    },
+}
+
+impl Problem {
+    /// The canonical operation name (the engine protocol's `op` echo).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Problem::Empty { .. } => "empty",
+            Problem::Sat { .. } => "sat",
+            Problem::Contains { .. } => "contains",
+            Problem::Overlap { .. } => "overlap",
+            Problem::Covers { .. } => "covers",
+            Problem::Equiv { .. } => "equiv",
+            Problem::TypeCheck { .. } => "typecheck",
+        }
+    }
+
+    /// An emptiness problem from owned parts.
+    pub fn empty(query: impl Into<Arc<Expr>>, ty: Option<Arc<Dtd>>) -> Problem {
+        Problem::Empty {
+            query: query.into(),
+            ty,
+        }
+    }
+
+    /// A satisfiability problem from owned parts.
+    pub fn sat(query: impl Into<Arc<Expr>>, ty: Option<Arc<Dtd>>) -> Problem {
+        Problem::Sat {
+            query: query.into(),
+            ty,
+        }
+    }
+
+    /// A containment problem `lhs ⊆ rhs` from owned parts.
+    pub fn contains(
+        lhs: impl Into<Arc<Expr>>,
+        ltype: Option<Arc<Dtd>>,
+        rhs: impl Into<Arc<Expr>>,
+        rtype: Option<Arc<Dtd>>,
+    ) -> Problem {
+        Problem::Contains {
+            lhs: lhs.into(),
+            ltype,
+            rhs: rhs.into(),
+            rtype,
+        }
+    }
+
+    /// An overlap problem from owned parts.
+    pub fn overlap(
+        lhs: impl Into<Arc<Expr>>,
+        ltype: Option<Arc<Dtd>>,
+        rhs: impl Into<Arc<Expr>>,
+        rtype: Option<Arc<Dtd>>,
+    ) -> Problem {
+        Problem::Overlap {
+            lhs: lhs.into(),
+            ltype,
+            rhs: rhs.into(),
+            rtype,
+        }
+    }
+
+    /// An equivalence problem from owned parts.
+    pub fn equiv(
+        lhs: impl Into<Arc<Expr>>,
+        ltype: Option<Arc<Dtd>>,
+        rhs: impl Into<Arc<Expr>>,
+        rtype: Option<Arc<Dtd>>,
+    ) -> Problem {
+        Problem::Equiv {
+            lhs: lhs.into(),
+            ltype,
+            rhs: rhs.into(),
+            rtype,
+        }
+    }
+
+    /// A coverage problem where one type (or none) constrains every query.
+    pub fn covers(
+        query: impl Into<Arc<Expr>>,
+        ty: Option<Arc<Dtd>>,
+        by: impl IntoIterator<Item = Arc<Expr>>,
+    ) -> Problem {
+        Problem::Covers {
+            query: query.into(),
+            ty: ty.clone(),
+            by: by.into_iter().map(|e| (e, ty.clone())).collect(),
+        }
+    }
+
+    /// A static type-checking problem from owned parts.
+    pub fn type_check(
+        query: impl Into<Arc<Expr>>,
+        input: impl Into<Arc<Dtd>>,
+        output: impl Into<Arc<Dtd>>,
+    ) -> Problem {
+        Problem::TypeCheck {
+            query: query.into(),
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn q(src: &str) -> Arc<Expr> {
+        Arc::new(xpath::parse(src).unwrap())
+    }
+
+    #[test]
+    fn canonical_keys_ignore_provenance() {
+        let a = Problem::contains(q("a/b"), None, q("a/*"), None);
+        let b = Problem::contains(q("a/b"), None, q("a/*"), None);
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a, 1);
+        assert_eq!(m.get(&b), Some(&1));
+        // Swapped sides are a different problem.
+        let c = Problem::contains(q("a/*"), None, q("a/b"), None);
+        assert!(!m.contains_key(&c));
+    }
+
+    #[test]
+    fn op_names_are_canonical() {
+        let dtd = Arc::new(Dtd::parse("<!ELEMENT r EMPTY>").unwrap());
+        let cases: Vec<(Problem, &str)> = vec![
+            (Problem::empty(q("a"), None), "empty"),
+            (Problem::sat(q("a"), None), "sat"),
+            (Problem::contains(q("a"), None, q("b"), None), "contains"),
+            (Problem::overlap(q("a"), None, q("b"), None), "overlap"),
+            (Problem::covers(q("a"), None, vec![q("b")]), "covers"),
+            (Problem::equiv(q("a"), None, q("b"), None), "equiv"),
+            (
+                Problem::type_check(q("a"), Arc::clone(&dtd), dtd),
+                "typecheck",
+            ),
+        ];
+        for (p, name) in cases {
+            assert_eq!(p.op_name(), name);
+        }
+    }
+
+    #[test]
+    fn covers_shares_the_type_across_covering_queries() {
+        let dtd = Arc::new(Dtd::parse("<!ELEMENT r EMPTY>").unwrap());
+        let p = Problem::covers(q("child::*"), Some(Arc::clone(&dtd)), vec![q("a"), q("b")]);
+        let Problem::Covers { by, ty, .. } = &p else {
+            panic!("expected covers");
+        };
+        assert_eq!(ty.as_ref(), Some(&dtd));
+        assert!(by.iter().all(|(_, t)| t.as_ref() == Some(&dtd)));
+    }
+}

@@ -15,7 +15,7 @@
 
 use treetypes::Dtd;
 
-use crate::{Analysis, AnalysisResult, Analyzer, CrossCheckError};
+use crate::{Analysis, AnalysisResult, Analyzer, Limits, SolveError};
 
 impl Analyzer {
     /// Type inclusion: every document valid for `sub` is valid for `sup`.
@@ -42,7 +42,7 @@ impl Analyzer {
         let lg = self.logic_mut();
         let n_sup = lg.not(f_sup);
         let goal = lg.and(f_sub, n_sup);
-        self.check_unsat(goal)
+        self.check_unsat(goal, &Limits::default())
     }
 
     /// Type equivalence: inclusion both ways.
@@ -50,7 +50,7 @@ impl Analyzer {
         &mut self,
         t1: &Dtd,
         t2: &Dtd,
-    ) -> Result<(Analysis, Analysis), CrossCheckError> {
+    ) -> Result<(Analysis, Analysis), SolveError> {
         Ok((self.type_subset(t1, t2)?, self.type_subset(t2, t1)?))
     }
 
@@ -60,14 +60,14 @@ impl Analyzer {
         let f1 = self.type_formula(t1);
         let f2 = self.type_formula(t2);
         let goal = self.logic_mut().and(f1, f2);
-        self.check_unsat(goal)
+        self.check_unsat(goal, &Limits::default())
     }
 
     /// Type emptiness: the type has no finite document at all (e.g. an
     /// element transitively requiring itself).
     pub fn type_empty(&mut self, t: &Dtd) -> AnalysisResult {
         let f = self.type_formula(t);
-        self.check_unsat(f)
+        self.check_unsat(f, &Limits::default())
     }
 }
 

@@ -146,6 +146,13 @@ pub struct Bdd {
     pub(crate) quant_sets: Vec<Vec<u32>>,
     created: usize,
     peak: usize,
+    /// Budget on live arena nodes, checked at allocation (`mk_raw`).
+    node_budget: Option<usize>,
+    /// Sticky: an allocation pushed the arena past `node_budget`. The
+    /// solver polls this between operations; it stays set (even across a
+    /// node-count-reducing GC) until the budget is re-armed or the manager
+    /// reset, so a run that crossed its budget reliably reports it.
+    budget_hit: bool,
 }
 
 impl Default for Bdd {
@@ -170,6 +177,8 @@ impl Bdd {
             quant_sets: Vec::new(),
             created: 0,
             peak: 1,
+            node_budget: None,
+            budget_hit: false,
         }
     }
 
@@ -186,6 +195,30 @@ impl Bdd {
         self.quant_sets.clear();
         self.created = 0;
         self.peak = 1;
+        self.node_budget = None;
+        self.budget_hit = false;
+    }
+
+    /// Arms (or disarms, with `None`) the live-node budget. Allocation
+    /// checks it: once the arena grows past the budget,
+    /// [`Bdd::budget_exceeded`] reports the overrun until the budget is
+    /// re-armed or the manager [`reset`](Bdd::reset). Arming against an
+    /// already-over-budget arena trips immediately.
+    pub fn set_node_budget(&mut self, budget: Option<usize>) {
+        self.node_budget = budget;
+        self.budget_hit = matches!(budget, Some(b) if self.nodes.len() > b);
+    }
+
+    /// `Some((live_nodes, budget))` once an allocation has pushed the
+    /// arena past the armed budget — the solver's poll point for turning a
+    /// memory overrun into a typed `unknown` verdict instead of an
+    /// unbounded run.
+    pub fn budget_exceeded(&self) -> Option<(usize, usize)> {
+        if self.budget_hit {
+            Some((self.nodes.len(), self.node_budget.unwrap_or(0)))
+        } else {
+            None
+        }
     }
 
     /// The constant false function.
@@ -258,6 +291,11 @@ impl Bdd {
         self.table[slot] = idx as u32 + 1;
         self.created += 1;
         self.peak = self.peak.max(self.nodes.len());
+        if let Some(budget) = self.node_budget {
+            if self.nodes.len() > budget {
+                self.budget_hit = true;
+            }
+        }
         // Keep the load factor under 3/4; growth rehashes every arena row.
         if (self.nodes.len() + 1) * 4 > self.table.len() * 3 {
             self.grow_table();
@@ -844,6 +882,41 @@ mod tests {
         assert_eq!(f, g);
         assert!(m.eval(f, &[true, true]));
         assert!(!m.eval(f, &[true, false]));
+    }
+
+    #[test]
+    fn node_budget_is_checked_at_allocation_and_sticky() {
+        let mut m = Bdd::new();
+        m.set_node_budget(Some(4));
+        assert!(m.budget_exceeded().is_none());
+        let mut acc = m.one();
+        for v in 0..16 {
+            let x = m.var(v);
+            acc = m.and(acc, x);
+        }
+        let (live, budget) = m.budget_exceeded().expect("budget crossed");
+        assert!(live > budget);
+        assert_eq!(budget, 4);
+        // Sticky across a GC that shrinks the arena back under budget…
+        let mut keep = m.one();
+        m.gc(&mut [&mut keep]);
+        assert!(m.node_count() <= 4);
+        assert!(m.budget_exceeded().is_some());
+        // …cleared by re-arming or reset.
+        m.set_node_budget(Some(1024));
+        assert!(m.budget_exceeded().is_none());
+        m.set_node_budget(Some(4));
+        // Arming against an already-oversized arena trips immediately.
+        let mut m2 = Bdd::new();
+        for v in 0..16 {
+            let a = m2.var(v);
+            let b = m2.var(v + 16);
+            let _ = m2.xor(a, b);
+        }
+        m2.set_node_budget(Some(2));
+        assert!(m2.budget_exceeded().is_some());
+        m2.reset();
+        assert!(m2.budget_exceeded().is_none());
     }
 
     #[test]

@@ -4,26 +4,30 @@
 //! request order during a sequential resolution pass (each decision problem
 //! snapshots `Arc` handles to the artifacts it references, so later
 //! rebindings cannot affect earlier problems). The resolved problems are
-//! then deduplicated on their canonical structural key — the problem *and*
-//! the backend it runs on — and fanned out over worker threads: each
-//! worker owns a long-lived [`Analyzer`] — its own formula arena and BDD
-//! manager — while all workers share one verdict memo cache behind a
-//! mutex. Duplicate occurrences and problems already solved in previous
+//! then deduplicated on their canonical structural key — the problem, the
+//! backend it runs on, *and* its effective limits — and fanned out over
+//! worker threads: each worker owns a long-lived [`Analyzer`] — its own
+//! formula arena and BDD manager — while all workers share one verdict
+//! memo cache behind a mutex. The memo cache is keyed by `(problem,
+//! backend)` alone: a definite verdict is valid whatever budget produced
+//! it. Duplicate occurrences and problems already solved in previous
 //! batches (or by the sequential front end) are served from the cache and
-//! reported with `"cached":true`. Dual-mode cross-check failures become
-//! per-request error responses and are never cached.
+//! reported with `"cached":true`. `unknown` verdicts (exhausted budgets)
+//! and dual-mode cross-check failures become per-request responses and are
+//! **never** cached — a retry with bigger limits must re-solve.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use analyzer::{Analyzer, BackendChoice};
+use analyzer::{Analyzer, BackendChoice, Limits};
 
 use crate::json::{obj, Value};
-use crate::problem::{duration_ms, Job, Verdict};
+use crate::problem::{duration_ms, run_job, Job, RunOutcome, Verdict};
 use crate::protocol::{
-    error_response, registration_response, verdict_response, Request, RequestKind,
+    error_response, registration_response, unknown_response, verdict_response, Op, Request,
+    RequestKind,
 };
 use crate::workspace::Workspace;
 
@@ -39,8 +43,11 @@ pub struct BatchStats {
     /// Problems answered from the memo cache (duplicates within the batch
     /// plus hits from earlier work).
     pub cache_hits: usize,
+    /// Problems that came back `"status":"unknown"`: a resource budget ran
+    /// out before the solve could decide. Never cached.
+    pub unknown: usize,
     /// Requests that failed: parse or resolution errors, plus solver-level
-    /// failures (dual-mode cross-check disagreements or infeasibility).
+    /// failures (dual-mode cross-check disagreements).
     pub errors: usize,
     /// Worker threads used.
     pub threads: usize,
@@ -64,6 +71,7 @@ impl BatchStats {
             ("problems", Value::from(self.problems)),
             ("unique_problems", Value::from(self.unique_problems)),
             ("cache_hits", Value::from(self.cache_hits)),
+            ("unknown", Value::from(self.unknown)),
             ("errors", Value::from(self.errors)),
             ("threads", Value::from(self.threads)),
             (
@@ -93,12 +101,24 @@ struct PendingProblem {
     slot: usize,
     /// Echoed client id.
     id: Option<Value>,
-    /// Canonical op name for the response.
-    op: &'static str,
-    /// Index into the deduplicated job list.
-    job: usize,
-    /// Whether an earlier request in this batch maps to the same job.
+    /// The operation, echoed canonically on the response.
+    op: Op,
+    /// Index into the deduplicated work list.
+    work: usize,
+    /// Whether an earlier request in this batch maps to the same work
+    /// item.
     duplicate: bool,
+}
+
+/// One deduplicated unit of parallel work: the memo key plus the limits
+/// that govern the solve if the cache misses. The in-batch dedup key
+/// includes the limits — two requests for the same problem under
+/// different budgets must not share one (possibly `unknown`) run — while
+/// the shared memo cache is keyed by the [`Job`] alone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WorkItem {
+    job: Job,
+    limits: Limits,
 }
 
 pub(crate) fn run_batch(
@@ -106,6 +126,7 @@ pub(crate) fn run_batch(
     workers: &mut [Analyzer],
     cache: &Mutex<HashMap<Job, Verdict>>,
     default_backend: BackendChoice,
+    default_limits: &Limits,
     requests: &[Request],
 ) -> BatchOutcome {
     let started = Instant::now();
@@ -119,8 +140,8 @@ pub(crate) fn run_batch(
     // problems against the workspace as it stood when they were posed.
     let mut responses: Vec<Option<Value>> = (0..requests.len()).map(|_| None).collect();
     let mut pending: Vec<PendingProblem> = Vec::new();
-    let mut jobs: Vec<Job> = Vec::new();
-    let mut job_of: HashMap<Job, usize> = HashMap::new();
+    let mut work: Vec<WorkItem> = Vec::new();
+    let mut work_of: HashMap<WorkItem, usize> = HashMap::new();
     for (slot, req) in requests.iter().enumerate() {
         match &req.kind {
             RequestKind::RegisterDtd { name, source } => {
@@ -141,27 +162,37 @@ pub(crate) fn run_batch(
                     }
                 });
             }
-            RequestKind::Problem(spec) => match spec.resolve(workspace) {
+            RequestKind::Problem {
+                spec,
+                backend,
+                limits,
+            } => match spec.resolve(workspace) {
                 Ok(problem) => {
                     stats.problems += 1;
-                    let key = Job {
-                        problem,
-                        backend: spec.backend.unwrap_or(default_backend),
+                    let key = WorkItem {
+                        job: Job {
+                            problem,
+                            backend: backend.unwrap_or(default_backend),
+                        },
+                        limits: limits
+                            .as_ref()
+                            .map(|l| l.apply(default_limits))
+                            .unwrap_or_else(|| default_limits.clone()),
                     };
-                    let (job, duplicate) = match job_of.get(&key) {
+                    let (item, duplicate) = match work_of.get(&key) {
                         Some(&j) => (j, true),
                         None => {
-                            let j = jobs.len();
-                            job_of.insert(key.clone(), j);
-                            jobs.push(key);
+                            let j = work.len();
+                            work_of.insert(key.clone(), j);
+                            work.push(key);
                             (j, false)
                         }
                     };
                     pending.push(PendingProblem {
                         slot,
                         id: req.id.clone(),
-                        op: spec.op,
-                        job,
+                        op: spec.op(),
+                        work: item,
                         duplicate,
                     });
                 }
@@ -179,68 +210,73 @@ pub(crate) fn run_batch(
             }
         }
     }
-    stats.unique_problems = jobs.len();
+    stats.unique_problems = work.len();
 
-    // Pass 2 (parallel): fan the deduplicated jobs out over the workers.
-    // `(verdict-or-error, was_cache_hit)` per job; failed cross-checks are
-    // never inserted into the memo cache.
-    let results: Vec<OnceLock<(Result<Verdict, String>, bool)>> =
-        (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    // Pass 2 (parallel): fan the deduplicated work out over the workers.
+    // `(outcome, was_cache_hit)` per item; only definite verdicts are
+    // inserted into the memo cache — unknowns and failed cross-checks are
+    // not.
+    let results: Vec<OnceLock<(RunOutcome, bool)>> =
+        (0..work.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
-    let jobs_ref = &jobs;
+    let work_ref = &work;
     let results_ref = &results;
     let cursor_ref = &cursor;
     std::thread::scope(|scope| {
         for az in workers.iter_mut() {
             scope.spawn(move || loop {
                 let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs_ref.get(i) else {
+                let Some(item) = work_ref.get(i) else {
                     break;
                 };
-                let hit = lock(cache).get(job).cloned();
-                let (verdict, cached) = match hit {
-                    Some(v) => (Ok(v), true),
+                let hit = lock(cache).get(&item.job).cloned();
+                let (outcome, cached) = match hit {
+                    Some(v) => (RunOutcome::Verdict(v), true),
                     None => {
-                        let v = job.problem.run(az, job.backend);
-                        if let Ok(v) = &v {
-                            lock(cache).insert(job.clone(), v.clone());
+                        let outcome = run_job(az, &item.job, &item.limits);
+                        if let RunOutcome::Verdict(v) = &outcome {
+                            lock(cache).insert(item.job.clone(), v.clone());
                         }
-                        (v, false)
+                        (outcome, false)
                     }
                 };
                 results_ref[i]
-                    .set((verdict, cached))
-                    .expect("job executed twice");
+                    .set((outcome, cached))
+                    .expect("work item executed twice");
             });
         }
     });
 
     // Pass 3: fill problem responses in request order.
     for p in pending {
-        let (result, job_was_hit) = results[p.job].get().expect("job not executed");
-        let verdict = match result {
-            Ok(v) => v,
-            Err(e) => {
+        let (outcome, item_was_hit) = results[p.work].get().expect("work item not executed");
+        match outcome {
+            RunOutcome::Error(e) => {
                 stats.errors += 1;
                 responses[p.slot] = Some(error_response(p.id.as_ref(), e));
-                continue;
             }
-        };
-        let cached = *job_was_hit || p.duplicate;
-        if cached {
-            stats.cache_hits += 1;
+            RunOutcome::Unknown(u) => {
+                stats.unknown += 1;
+                responses[p.slot] = Some(unknown_response(p.id.as_ref(), p.op, u));
+            }
+            RunOutcome::Verdict(verdict) => {
+                let cached = *item_was_hit || p.duplicate;
+                if cached {
+                    stats.cache_hits += 1;
+                }
+                // A cache-served answer costs ~nothing, whether the hit
+                // came from a duplicate in this batch or from earlier
+                // work; the stored wall_ms describes the original run.
+                let wall_ms = if cached { 0.0 } else { verdict.wall_ms };
+                responses[p.slot] = Some(verdict_response(
+                    p.id.as_ref(),
+                    p.op,
+                    verdict,
+                    cached,
+                    wall_ms,
+                ));
+            }
         }
-        // A cache-served answer costs ~nothing, whether the hit came from a
-        // duplicate in this batch or from earlier work; the stored wall_ms
-        // describes the original solving run.
-        let wall_ms = if cached { 0.0 } else { verdict.wall_ms };
-        responses[p.slot] = Some(verdict_response(
-            p.id.as_ref(),
-            p.op,
-            verdict,
-            cached,
-            wall_ms,
-        ));
     }
 
     stats.wall_ms = duration_ms(started.elapsed());

@@ -62,13 +62,14 @@ use solver::SymbolicOptions;
 
 pub use executor::{BatchOutcome, BatchStats};
 pub use json::Value;
-pub use problem::{Job, Problem, Verdict, VerdictStats};
-pub use protocol::{ProblemSpec, Request, RequestKind};
-pub use solver::{BackendChoice, BddCounters, Telemetry};
+pub use problem::{Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats};
+pub use protocol::{LimitsSpec, Op, ProblemSpec, Request, RequestKind, Status, PROTOCOL_VERSION};
+pub use solver::{BackendChoice, BddCounters, Limits, Resource, SolveError, Telemetry};
 pub use workspace::Workspace;
 
 use executor::lock;
-use protocol::{error_response, registration_response, verdict_response};
+use problem::run_job;
+use protocol::{error_response, registration_response, unknown_response, verdict_response};
 
 /// Construction-time knobs of an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -80,6 +81,9 @@ pub struct EngineConfig {
     pub options: SymbolicOptions,
     /// Default solver backend for requests that do not name one.
     pub backend: BackendChoice,
+    /// Default resource limits for requests that do not carry a
+    /// `"limits"` object; per-request limits override field-wise.
+    pub limits: Limits,
 }
 
 /// Cumulative service counters, reported by the `stats` op.
@@ -91,6 +95,9 @@ pub struct Counters {
     pub problems: u64,
     /// Problems answered from the memo cache.
     pub cache_hits: u64,
+    /// Problems answered `"status":"unknown"` (a budget ran out); never
+    /// cached.
+    pub unknown: u64,
     /// Requests rejected with an error.
     pub errors: u64,
     /// Batches executed.
@@ -120,6 +127,9 @@ pub struct Engine {
     cache: Mutex<HashMap<Job, Verdict>>,
     counters: Counters,
     options: AnalyzerOptions,
+    /// Engine-default resource limits; per-request `"limits"` objects
+    /// override them field-wise.
+    limits: Limits,
 }
 
 impl Default for Engine {
@@ -157,6 +167,7 @@ impl Engine {
             cache: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             options,
+            limits: config.limits,
         }
     }
 
@@ -168,6 +179,12 @@ impl Engine {
     /// The default backend for requests that do not name one.
     pub fn default_backend(&self) -> BackendChoice {
         self.options.backend
+    }
+
+    /// The default resource limits for requests that do not carry a
+    /// `"limits"` object.
+    pub fn default_limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// The workspace of named artifacts.
@@ -202,29 +219,43 @@ impl Engine {
                     Err(e) => self.error(req.id.as_ref(), &e),
                 }
             }
-            RequestKind::Problem(spec) => match spec.resolve(&self.workspace) {
+            RequestKind::Problem {
+                spec,
+                backend,
+                limits,
+            } => match spec.resolve(&self.workspace) {
                 Ok(problem) => {
                     self.counters.problems += 1;
                     let job = Job {
                         problem,
-                        backend: spec.backend.unwrap_or(self.options.backend),
+                        backend: backend.unwrap_or(self.options.backend),
                     };
+                    let effective = limits
+                        .as_ref()
+                        .map(|l| l.apply(&self.limits))
+                        .unwrap_or_else(|| self.limits.clone());
                     let hit = lock(&self.cache).get(&job).cloned();
                     let (verdict, cached) = match hit {
                         Some(v) => {
                             self.counters.cache_hits += 1;
                             (v, true)
                         }
-                        None => match job.problem.run(&mut self.session, job.backend) {
-                            Ok(v) => {
+                        None => match run_job(&mut self.session, &job, &effective) {
+                            RunOutcome::Verdict(v) => {
                                 lock(&self.cache).insert(job, v.clone());
                                 (v, false)
                             }
-                            Err(e) => return self.error(req.id.as_ref(), &e),
+                            RunOutcome::Unknown(u) => {
+                                // An exhausted budget is never cached: a
+                                // retry with bigger limits must re-solve.
+                                self.counters.unknown += 1;
+                                return unknown_response(req.id.as_ref(), spec.op(), &u);
+                            }
+                            RunOutcome::Error(e) => return self.error(req.id.as_ref(), &e),
                         },
                     };
                     let wall = if cached { 0.0 } else { verdict.wall_ms };
-                    verdict_response(req.id.as_ref(), spec.op, &verdict, cached, wall)
+                    verdict_response(req.id.as_ref(), spec.op(), &verdict, cached, wall)
                 }
                 Err(e) => self.error(req.id.as_ref(), &e),
             },
@@ -261,12 +292,14 @@ impl Engine {
             &mut self.workers,
             &self.cache,
             self.options.backend,
+            &self.limits,
             requests,
         );
         self.counters.batches += 1;
         self.counters.requests += outcome.stats.requests as u64;
         self.counters.problems += outcome.stats.problems as u64;
         self.counters.cache_hits += outcome.stats.cache_hits as u64;
+        self.counters.unknown += outcome.stats.unknown as u64;
         self.counters.errors += outcome.stats.errors as u64;
         outcome
     }
@@ -336,6 +369,7 @@ impl Engine {
         fields.extend([
             ("ok", Value::Bool(true)),
             ("op", Value::from("stats")),
+            ("protocol", Value::from(protocol::PROTOCOL_VERSION as usize)),
             ("backend", Value::from(self.options.backend.as_str())),
             ("threads", Value::from(self.threads())),
             ("dtds", Value::from(self.workspace.dtd_count())),
@@ -344,6 +378,7 @@ impl Engine {
             ("requests", Value::from(self.counters.requests as usize)),
             ("problems", Value::from(self.counters.problems as usize)),
             ("cache_hits", Value::from(self.counters.cache_hits as usize)),
+            ("unknown", Value::from(self.counters.unknown as usize)),
             ("errors", Value::from(self.counters.errors as usize)),
             ("batches", Value::from(self.counters.batches as usize)),
         ]);

@@ -1,92 +1,25 @@
-//! Resolved decision problems, their canonical memo keys, and verdicts.
+//! Executor jobs, their canonical memo keys, and wire-friendly verdicts.
 //!
-//! A [`Problem`] is fully structural: it holds the parsed query ASTs and
-//! DTDs themselves (behind [`Arc`]), not the names they were registered
-//! under. Its derived `Hash`/`Eq` therefore give a *canonical key* — the
-//! same logical problem posed twice (under different names, or inline vs.
-//! registered) memoizes to one cache entry, and two distinct problems can
-//! never alias the way rendered-string keys could. The memo key proper is
-//! a [`Job`]: the problem *plus* the backend it runs on — a cached
-//! symbolic verdict must never answer an explicit-backend request.
+//! The typed decision problem itself is [`analyzer::Problem`] — fully
+//! structural, holding parsed query ASTs and DTDs behind [`Arc`](std::sync::Arc),
+//! so its derived `Hash`/`Eq` give a *canonical key*: the same logical
+//! problem posed twice (under different names, or inline vs. registered)
+//! memoizes to one cache entry, and two distinct problems can never alias
+//! the way rendered-string keys could. The memo key proper is a [`Job`]:
+//! the problem *plus* the backend it runs on — a cached symbolic verdict
+//! must never answer an explicit-backend request.
+//!
+//! Running a job yields a [`RunOutcome`] with three shapes, mirroring the
+//! protocol's `status` field: a definite [`Verdict`] (`holds` / `fails`),
+//! an [`UnknownVerdict`] when a resource budget ran out (never cached — a
+//! retry with bigger limits must re-solve), or an error string (dual-mode
+//! disagreement; never cached either).
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use analyzer::{Analysis, Analyzer, BackendChoice, Telemetry};
-use treetypes::Dtd;
-use xpath::Expr;
+use analyzer::{Analysis, Analyzer, BackendChoice, Limits, SolveError, Telemetry};
 
-/// A fully resolved decision problem — the unit of work of the executor and
-/// the key of the verdict memo cache.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Problem {
-    /// Does the query select no node in any tree (of the type)?
-    Empty {
-        /// The query.
-        query: Arc<Expr>,
-        /// Optional type constraint.
-        ty: Option<Arc<Dtd>>,
-    },
-    /// Does the query select a node in some tree (of the type)?
-    Satisfiable {
-        /// The query.
-        query: Arc<Expr>,
-        /// Optional type constraint.
-        ty: Option<Arc<Dtd>>,
-    },
-    /// Is every node selected by `lhs` also selected by `rhs`?
-    Contains {
-        /// The contained query.
-        lhs: Arc<Expr>,
-        /// Type constraint of `lhs`.
-        ltype: Option<Arc<Dtd>>,
-        /// The containing query.
-        rhs: Arc<Expr>,
-        /// Type constraint of `rhs`.
-        rtype: Option<Arc<Dtd>>,
-    },
-    /// Can the two queries select a common node?
-    Overlap {
-        /// First query.
-        lhs: Arc<Expr>,
-        /// Type constraint of `lhs`.
-        ltype: Option<Arc<Dtd>>,
-        /// Second query.
-        rhs: Arc<Expr>,
-        /// Type constraint of `rhs`.
-        rtype: Option<Arc<Dtd>>,
-    },
-    /// Is every node selected by `query` selected by at least one of `by`?
-    Covers {
-        /// The covered query.
-        query: Arc<Expr>,
-        /// Its type constraint, shared by the covering queries.
-        ty: Option<Arc<Dtd>>,
-        /// The covering queries.
-        by: Vec<Arc<Expr>>,
-    },
-    /// Containment in both directions.
-    Equivalent {
-        /// First query.
-        lhs: Arc<Expr>,
-        /// Type constraint of `lhs`.
-        ltype: Option<Arc<Dtd>>,
-        /// Second query.
-        rhs: Arc<Expr>,
-        /// Type constraint of `rhs`.
-        rtype: Option<Arc<Dtd>>,
-    },
-    /// Is every node selected by `query` under the input type a valid root
-    /// of the output type?
-    TypeCheck {
-        /// The annotated query.
-        query: Arc<Expr>,
-        /// Input type.
-        input: Arc<Dtd>,
-        /// Output type.
-        output: Arc<Dtd>,
-    },
-}
+pub use analyzer::Problem;
 
 /// The memo-cache key and unit of executor work: a canonical problem plus
 /// the backend that must answer it.
@@ -96,74 +29,6 @@ pub struct Job {
     pub problem: Problem,
     /// The backend it runs on.
     pub backend: BackendChoice,
-}
-
-impl Problem {
-    /// The protocol name of the operation.
-    pub fn op_name(&self) -> &'static str {
-        match self {
-            Problem::Empty { .. } => "empty",
-            Problem::Satisfiable { .. } => "sat",
-            Problem::Contains { .. } => "contains",
-            Problem::Overlap { .. } => "overlap",
-            Problem::Covers { .. } => "covers",
-            Problem::Equivalent { .. } => "equiv",
-            Problem::TypeCheck { .. } => "typecheck",
-        }
-    }
-
-    /// Solves the problem on the given analyzer with the given backend.
-    ///
-    /// A dual-mode cross-check failure (verdict disagreement, or a lean
-    /// beyond the explicit enumeration bound) comes back as `Err` with a
-    /// protocol-ready message.
-    pub fn run(&self, az: &mut Analyzer, backend: BackendChoice) -> Result<Verdict, String> {
-        let started = Instant::now();
-        az.set_backend(backend);
-        let verdict = match self {
-            Problem::Empty { query, ty } => {
-                Verdict::from_analysis(az.is_empty(query, ty.as_deref()))
-            }
-            Problem::Satisfiable { query, ty } => {
-                Verdict::from_analysis(az.is_satisfiable(query, ty.as_deref()))
-            }
-            Problem::Contains {
-                lhs,
-                ltype,
-                rhs,
-                rtype,
-            } => Verdict::from_analysis(az.contains(lhs, ltype.as_deref(), rhs, rtype.as_deref())),
-            Problem::Overlap {
-                lhs,
-                ltype,
-                rhs,
-                rtype,
-            } => Verdict::from_analysis(az.overlaps(lhs, ltype.as_deref(), rhs, rtype.as_deref())),
-            Problem::Covers { query, ty, by } => {
-                let covers: Vec<(&Expr, Option<&Dtd>)> =
-                    by.iter().map(|e| (&**e, ty.as_deref())).collect();
-                Verdict::from_analysis(az.covers(query, ty.as_deref(), &covers))
-            }
-            Problem::Equivalent {
-                lhs,
-                ltype,
-                rhs,
-                rtype,
-            } => az
-                .equivalent(lhs, ltype.as_deref(), rhs, rtype.as_deref())
-                .map(|(fwd, bwd)| Verdict::from_equivalence(fwd, bwd))
-                .map_err(|e| e.to_string()),
-            Problem::TypeCheck {
-                query,
-                input,
-                output,
-            } => Verdict::from_analysis(az.type_checks(query, input, output)),
-        };
-        verdict.map(|v| Verdict {
-            wall_ms: duration_ms(started.elapsed()),
-            ..v
-        })
-    }
 }
 
 /// Solver statistics snapshot carried by every verdict (and preserved on
@@ -192,16 +57,6 @@ impl VerdictStats {
             telemetry: stats.telemetry.clone(),
         }
     }
-
-    fn merge(self, other: VerdictStats) -> VerdictStats {
-        VerdictStats {
-            lean_size: self.lean_size.max(other.lean_size),
-            closure_size: self.closure_size.max(other.closure_size),
-            iterations: self.iterations + other.iterations,
-            solve_ms: self.solve_ms + other.solve_ms,
-            telemetry: self.telemetry.merge(other.telemetry),
-        }
-    }
 }
 
 /// The outcome of one decision problem, in wire-friendly form.
@@ -228,29 +83,83 @@ pub struct Verdict {
 }
 
 impl Verdict {
-    fn from_analysis(a: Result<Analysis, analyzer::CrossCheckError>) -> Result<Verdict, String> {
-        let a = a.map_err(|e| e.to_string())?;
-        Ok(Verdict {
+    fn from_analysis(a: Analysis, wall_ms: f64) -> Verdict {
+        Verdict {
             holds: a.holds,
             counter_example: a.counter_example.map(|m| m.xml()),
             backend: a.backend,
             stats: VerdictStats::from_solver(&a.stats),
-            wall_ms: 0.0,
-        })
-    }
-
-    fn from_equivalence(fwd: Analysis, bwd: Analysis) -> Verdict {
-        let holds = fwd.holds && bwd.holds;
-        // The witness is whichever direction failed first.
-        let counter_example = fwd.counter_example.or(bwd.counter_example).map(|m| m.xml());
-        Verdict {
-            holds,
-            counter_example,
-            backend: fwd.backend,
-            stats: VerdictStats::from_solver(&fwd.stats)
-                .merge(VerdictStats::from_solver(&bwd.stats)),
-            wall_ms: 0.0,
+            wall_ms,
         }
+    }
+}
+
+/// The third verdict: a resource budget ran out before the solve could
+/// decide. Reaches JSONL clients as `"status":"unknown"` with the
+/// exhausted resource named, and is never memo-cached — a retry with
+/// bigger limits re-solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnknownVerdict {
+    /// Protocol name of the exhausted resource (`wall_clock_ms`,
+    /// `bdd_nodes`, `iterations`, `lean_diamonds`).
+    pub resource: &'static str,
+    /// How much was spent when the budget check fired.
+    pub spent: u64,
+    /// The configured budget.
+    pub limit: u64,
+    /// Human-readable exhaustion report.
+    pub reason: String,
+    /// The backend that ran out.
+    pub backend: BackendChoice,
+    /// End-to-end time until the budget fired, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// What one executed job produced — the three protocol statuses beyond a
+/// plain `holds`/`fails` split.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// A definite verdict (cacheable).
+    Verdict(Verdict),
+    /// A budget ran out: `"status":"unknown"`, never cached.
+    Unknown(UnknownVerdict),
+    /// A solver-level failure (dual-mode disagreement): an error response,
+    /// never cached.
+    Error(String),
+}
+
+impl RunOutcome {
+    /// The definite verdict, when there is one.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        match self {
+            RunOutcome::Verdict(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Solves a job on the given analyzer under the given limits, folding the
+/// typed [`SolveError`] into the protocol's three-way outcome.
+pub fn run_job(az: &mut Analyzer, job: &Job, limits: &Limits) -> RunOutcome {
+    let started = Instant::now();
+    az.set_backend(job.backend);
+    match az.solve(&job.problem, limits) {
+        Ok(analysis) => RunOutcome::Verdict(Verdict::from_analysis(
+            analysis,
+            duration_ms(started.elapsed()),
+        )),
+        Err(e @ SolveError::ResourceExhausted { .. }) => {
+            let x = e.exhausted().expect("exhausted variant");
+            RunOutcome::Unknown(UnknownVerdict {
+                resource: x.resource.as_str(),
+                spent: x.spent,
+                limit: x.limit,
+                reason: e.to_string(),
+                backend: job.backend,
+                wall_ms: duration_ms(started.elapsed()),
+            })
+        }
+        Err(e @ SolveError::Disagreement { .. }) => RunOutcome::Error(e.to_string()),
     }
 }
 
@@ -261,52 +170,34 @@ pub(crate) fn duration_ms(d: std::time::Duration) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use xpath::Expr;
 
     fn q(src: &str) -> Arc<Expr> {
         Arc::new(xpath::parse(src).unwrap())
     }
 
-    #[test]
-    fn canonical_keys_ignore_provenance() {
-        use std::collections::HashMap;
-        let a = Problem::Contains {
-            lhs: q("a/b"),
-            ltype: None,
-            rhs: q("a/*"),
-            rtype: None,
-        };
-        let b = Problem::Contains {
-            lhs: q("a/b"),
-            ltype: None,
-            rhs: q("a/*"),
-            rtype: None,
-        };
-        assert_eq!(a, b);
-        let mut m = HashMap::new();
-        m.insert(a, 1);
-        assert_eq!(m.get(&b), Some(&1));
-        // Swapped sides are a different problem.
-        let c = Problem::Contains {
-            lhs: q("a/*"),
-            ltype: None,
-            rhs: q("a/b"),
-            rtype: None,
-        };
-        assert!(!m.contains_key(&c));
+    fn job(problem: Problem, backend: BackendChoice) -> Job {
+        Job { problem, backend }
     }
 
     #[test]
     fn run_produces_counter_example() {
         let mut az = Analyzer::new();
-        let p = Problem::Contains {
-            lhs: q("child::c/preceding-sibling::a[child::b]"),
-            ltype: None,
-            rhs: q("child::c[child::b]"),
-            rtype: None,
-        };
-        let v = p.run(&mut az, BackendChoice::Symbolic).unwrap();
+        let p = Problem::contains(
+            q("child::c/preceding-sibling::a[child::b]"),
+            None,
+            q("child::c[child::b]"),
+            None,
+        );
+        let out = run_job(
+            &mut az,
+            &job(p, BackendChoice::Symbolic),
+            &Limits::default(),
+        );
+        let v = out.verdict().expect("definite verdict");
         assert!(!v.holds);
-        let xml = v.counter_example.expect("witness expected");
+        let xml = v.counter_example.as_ref().expect("witness expected");
         assert!(xml.contains("<a>"), "{xml}");
         assert!(v.stats.lean_size > 0);
         assert!(v.wall_ms >= 0.0);
@@ -317,13 +208,13 @@ mod tests {
     #[test]
     fn equivalence_merges_stats() {
         let mut az = Analyzer::new();
-        let p = Problem::Equivalent {
-            lhs: q("a/b[c]"),
-            ltype: None,
-            rhs: q("a/b[c]"),
-            rtype: None,
-        };
-        let v = p.run(&mut az, BackendChoice::Symbolic).unwrap();
+        let p = Problem::equiv(q("a/b[c]"), None, q("a/b[c]"), None);
+        let out = run_job(
+            &mut az,
+            &job(p, BackendChoice::Symbolic),
+            &Limits::default(),
+        );
+        let v = out.verdict().expect("definite verdict");
         assert!(v.holds);
         assert!(v.counter_example.is_none());
         assert!(v.stats.iterations > 0);
@@ -332,49 +223,48 @@ mod tests {
     #[test]
     fn backends_are_distinct_jobs() {
         use std::collections::HashMap;
-        let p = Problem::Contains {
-            lhs: q("a/b"),
-            ltype: None,
-            rhs: q("a/*"),
-            rtype: None,
-        };
+        let p = Problem::contains(q("a/b"), None, q("a/*"), None);
         let mut m = HashMap::new();
-        m.insert(
-            Job {
-                problem: p.clone(),
-                backend: BackendChoice::Symbolic,
-            },
-            1,
-        );
+        m.insert(job(p.clone(), BackendChoice::Symbolic), 1);
         // The same problem under another backend is a different cache key.
-        assert!(!m.contains_key(&Job {
-            problem: p.clone(),
-            backend: BackendChoice::Explicit,
-        }));
-        assert!(m.contains_key(&Job {
-            problem: p,
-            backend: BackendChoice::Symbolic,
-        }));
+        assert!(!m.contains_key(&job(p.clone(), BackendChoice::Explicit)));
+        assert!(m.contains_key(&job(p, BackendChoice::Symbolic)));
     }
 
     #[test]
     fn run_on_reference_backends_and_dual() {
-        let p = Problem::Overlap {
-            lhs: q("child::a"),
-            ltype: None,
-            rhs: q("child::*"),
-            rtype: None,
-        };
+        let p = Problem::overlap(q("child::a"), None, q("child::*"), None);
         for backend in [
             BackendChoice::Explicit,
             BackendChoice::Witnessed,
             BackendChoice::Dual,
         ] {
             let mut az = Analyzer::new();
-            let v = p.run(&mut az, backend).unwrap();
+            let out = run_job(&mut az, &job(p.clone(), backend), &Limits::default());
+            let v = out.verdict().unwrap_or_else(|| panic!("{backend}"));
             assert!(v.holds, "{backend}");
             assert_eq!(v.backend, backend);
             assert_eq!(v.stats.telemetry.backend_name(), backend.as_str());
+        }
+    }
+
+    #[test]
+    fn exhausted_jobs_come_back_unknown() {
+        let mut az = Analyzer::new();
+        let p = Problem::sat(q("a/b[c]"), None);
+        let starved = Limits {
+            max_iterations: Some(1),
+            ..Limits::default()
+        };
+        let out = run_job(&mut az, &job(p, BackendChoice::Symbolic), &starved);
+        match out {
+            RunOutcome::Unknown(u) => {
+                assert_eq!(u.resource, "iterations");
+                assert_eq!((u.spent, u.limit), (1, 1));
+                assert!(u.reason.contains("resource exhausted"), "{}", u.reason);
+                assert_eq!(u.backend, BackendChoice::Symbolic);
+            }
+            other => panic!("expected unknown, got {other:?}"),
         }
     }
 }

@@ -1,19 +1,26 @@
-//! The JSON-lines wire protocol: requests in, verdicts out.
+//! The JSON-lines wire protocol, version 2: requests in, verdicts out.
 //!
 //! Each request is one JSON object per line. Every request may carry an
 //! `"id"` field (any JSON value), echoed verbatim on its response so
 //! pipelined clients can correlate. Decision ops reference queries and
 //! types by registered name, with inline XPath / DTD source accepted as a
-//! fallback (see [`Workspace`]), and may carry a
-//! `"backend"` field (`symbolic` | `explicit` | `witnessed` | `dual`)
-//! selecting the solver; the backend that answered is echoed on every
-//! verdict, together with its typed telemetry.
+//! fallback (see [`Workspace`]), and may carry a `"backend"` field
+//! (`symbolic` | `explicit` | `witnessed` | `dual`) selecting the solver
+//! and a `"limits"` object overriding the engine's resource budgets
+//! per request (see [`LimitsSpec`]).
+//!
+//! Protocol v2 gives every verdict a `"status"` field — `holds`, `fails`,
+//! `unknown` (a resource budget ran out; the exhausted resource is named)
+//! or `error` — and echoes the protocol version on `stats`. Operation
+//! aliases are folded through one canonical table ([`Op::TABLE`]), shared
+//! by the parser, the verdict echo, and `docs/PROTOCOL.md`.
 //!
 //! ```text
 //! {"op":"dtd","name":"d1","source":"<!ELEMENT a (b*)> <!ELEMENT b EMPTY>"}
 //! {"op":"query","name":"q1","xpath":"a/b"}
 //! {"op":"contains","lhs":"q1","rhs":"a/*","type":"d1"}
 //! {"op":"contains","lhs":"q1","rhs":"a/*","backend":"dual"}
+//! {"op":"sat","query":"q1","limits":{"timeout_ms":250,"max_bdd_nodes":200000}}
 //! {"op":"covers","query":"child::*","by":["child::a","child::*[not(self::a)]"]}
 //! {"op":"typecheck","query":"child::x","input":"din","output":"dout"}
 //! {"op":"stats"}
@@ -21,11 +28,16 @@
 
 use std::sync::Arc;
 
-use analyzer::{BackendChoice, Telemetry};
+use analyzer::{BackendChoice, Limits, Telemetry};
 
 use crate::json::{obj, Value};
-use crate::problem::{Problem, Verdict};
+use crate::problem::{Problem, UnknownVerdict, Verdict};
 use crate::workspace::Workspace;
+
+/// The protocol version spoken by this engine, echoed on `stats`
+/// responses. Version 2 added `status` on every verdict, per-request
+/// `limits`, and `unknown` verdicts for exhausted budgets.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,25 +66,300 @@ pub enum RequestKind {
         xpath: String,
     },
     /// Pose a decision problem.
-    Problem(ProblemSpec),
+    Problem {
+        /// The problem, by reference (names or inline sources).
+        spec: ProblemSpec,
+        /// Requested solver backend; `None` falls back to the engine
+        /// default.
+        backend: Option<BackendChoice>,
+        /// Per-request limit overrides; fields not given fall back to the
+        /// engine's default limits.
+        limits: Option<LimitsSpec>,
+    },
     /// Report engine counters.
     Stats,
     /// Drop all registrations and cached verdicts.
     Reset,
 }
 
+/// The decision operations, with one canonical wire-alias table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// XPath emptiness.
+    Empty,
+    /// XPath satisfiability.
+    Sat,
+    /// XPath containment.
+    Contains,
+    /// XPath overlap.
+    Overlap,
+    /// XPath coverage.
+    Covers,
+    /// XPath equivalence.
+    Equiv,
+    /// Static type-checking.
+    TypeCheck,
+}
+
+impl Op {
+    /// The canonical wire-alias table: for each op, its accepted request
+    /// names, canonical name first. This is the *single* alias authority —
+    /// the request parser resolves against it, the verdict `op` echo is
+    /// its first column, and `docs/PROTOCOL.md` documents it verbatim.
+    pub const TABLE: &'static [(Op, &'static [&'static str])] = &[
+        (Op::Empty, &["empty", "emptiness"]),
+        (Op::Sat, &["sat", "satisfiable"]),
+        (Op::Contains, &["contains", "containment"]),
+        (Op::Overlap, &["overlap", "overlaps"]),
+        (Op::Covers, &["covers", "coverage"]),
+        (Op::Equiv, &["equiv", "equivalent"]),
+        (Op::TypeCheck, &["typecheck", "type-check"]),
+    ];
+
+    /// The canonical name (the verdict echo; aliases folded).
+    pub fn canonical(self) -> &'static str {
+        Op::TABLE
+            .iter()
+            .find(|(op, _)| *op == self)
+            .map(|(_, names)| names[0])
+            .expect("every op is in the table")
+    }
+
+    /// Resolves a wire name (canonical or alias) to its op.
+    pub fn from_wire(name: &str) -> Option<Op> {
+        Op::TABLE
+            .iter()
+            .find(|(_, names)| names.contains(&name))
+            .map(|(op, _)| *op)
+    }
+}
+
+/// Wire verdict status (protocol v2): the answer class of a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The decided property holds.
+    Holds,
+    /// The decided property does not hold.
+    Fails,
+    /// A resource budget ran out before the solve could decide.
+    Unknown,
+    /// The request failed (parse, resolution, or solver-level error).
+    Error,
+}
+
+impl Status {
+    /// The wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Holds => "holds",
+            Status::Fails => "fails",
+            Status::Unknown => "unknown",
+            Status::Error => "error",
+        }
+    }
+
+    /// The status of a definite verdict.
+    pub fn of(holds: bool) -> Status {
+        if holds {
+            Status::Holds
+        } else {
+            Status::Fails
+        }
+    }
+}
+
 /// A decision problem by reference (names or inline sources), before
-/// resolution against a workspace.
+/// resolution against a workspace — the typed mirror of
+/// [`Problem`], one variant per [`Op`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct ProblemSpec {
-    /// Canonical op name (aliases already folded).
-    pub op: &'static str,
-    /// Query references, in op-specific order.
-    pub queries: Vec<String>,
-    /// Type references, in op-specific order (see [`ProblemSpec::resolve`]).
-    pub types: Vec<Option<String>>,
-    /// Requested solver backend; `None` falls back to the engine default.
-    pub backend: Option<BackendChoice>,
+pub enum ProblemSpec {
+    /// `empty`: does the query select nothing?
+    Empty {
+        /// Query reference.
+        query: String,
+        /// Optional type reference.
+        ty: Option<String>,
+    },
+    /// `sat`: does the query select something?
+    Sat {
+        /// Query reference.
+        query: String,
+        /// Optional type reference.
+        ty: Option<String>,
+    },
+    /// `contains`: `lhs ⊆ rhs`.
+    Contains {
+        /// Left query reference.
+        lhs: String,
+        /// Type reference of `lhs`.
+        ltype: Option<String>,
+        /// Right query reference.
+        rhs: String,
+        /// Type reference of `rhs`.
+        rtype: Option<String>,
+    },
+    /// `overlap`: some node selected by both.
+    Overlap {
+        /// Left query reference.
+        lhs: String,
+        /// Type reference of `lhs`.
+        ltype: Option<String>,
+        /// Right query reference.
+        rhs: String,
+        /// Type reference of `rhs`.
+        rtype: Option<String>,
+    },
+    /// `covers`: the query within the union of the covering queries.
+    Covers {
+        /// Covered query reference.
+        query: String,
+        /// Optional type reference, shared by every query.
+        ty: Option<String>,
+        /// Covering query references (non-empty).
+        by: Vec<String>,
+    },
+    /// `equiv`: containment both ways.
+    Equiv {
+        /// Left query reference.
+        lhs: String,
+        /// Type reference of `lhs`.
+        ltype: Option<String>,
+        /// Right query reference.
+        rhs: String,
+        /// Type reference of `rhs`.
+        rtype: Option<String>,
+    },
+    /// `typecheck`: selected nodes valid against the output type.
+    TypeCheck {
+        /// Query reference.
+        query: String,
+        /// Input type reference.
+        input: String,
+        /// Output type reference.
+        output: String,
+    },
+}
+
+impl ProblemSpec {
+    /// The operation of the spec.
+    pub fn op(&self) -> Op {
+        match self {
+            ProblemSpec::Empty { .. } => Op::Empty,
+            ProblemSpec::Sat { .. } => Op::Sat,
+            ProblemSpec::Contains { .. } => Op::Contains,
+            ProblemSpec::Overlap { .. } => Op::Overlap,
+            ProblemSpec::Covers { .. } => Op::Covers,
+            ProblemSpec::Equiv { .. } => Op::Equiv,
+            ProblemSpec::TypeCheck { .. } => Op::TypeCheck,
+        }
+    }
+
+    /// Resolves name references against the workspace into a structural
+    /// [`Problem`].
+    pub fn resolve(&self, ws: &Workspace) -> Result<Problem, String> {
+        let ty = |name: &Option<String>| -> Result<Option<Arc<treetypes::Dtd>>, String> {
+            match name {
+                Some(name) => ws.resolve_dtd(name).map(Some),
+                None => Ok(None),
+            }
+        };
+        match self {
+            ProblemSpec::Empty { query, ty: t } => Ok(Problem::Empty {
+                query: ws.resolve_query(query)?,
+                ty: ty(t)?,
+            }),
+            ProblemSpec::Sat { query, ty: t } => Ok(Problem::Sat {
+                query: ws.resolve_query(query)?,
+                ty: ty(t)?,
+            }),
+            ProblemSpec::Contains {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => Ok(Problem::Contains {
+                lhs: ws.resolve_query(lhs)?,
+                ltype: ty(ltype)?,
+                rhs: ws.resolve_query(rhs)?,
+                rtype: ty(rtype)?,
+            }),
+            ProblemSpec::Overlap {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => Ok(Problem::Overlap {
+                lhs: ws.resolve_query(lhs)?,
+                ltype: ty(ltype)?,
+                rhs: ws.resolve_query(rhs)?,
+                rtype: ty(rtype)?,
+            }),
+            ProblemSpec::Equiv {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => Ok(Problem::Equiv {
+                lhs: ws.resolve_query(lhs)?,
+                ltype: ty(ltype)?,
+                rhs: ws.resolve_query(rhs)?,
+                rtype: ty(rtype)?,
+            }),
+            ProblemSpec::Covers { query, ty: t, by } => {
+                let shared = ty(t)?;
+                Ok(Problem::Covers {
+                    query: ws.resolve_query(query)?,
+                    ty: shared.clone(),
+                    by: by
+                        .iter()
+                        .map(|q| Ok((ws.resolve_query(q)?, shared.clone())))
+                        .collect::<Result<_, String>>()?,
+                })
+            }
+            ProblemSpec::TypeCheck {
+                query,
+                input,
+                output,
+            } => Ok(Problem::TypeCheck {
+                query: ws.resolve_query(query)?,
+                input: ws.resolve_dtd(input)?,
+                output: ws.resolve_dtd(output)?,
+            }),
+        }
+    }
+}
+
+/// Per-request limit overrides, parsed from the `"limits"` object.
+///
+/// Each field overrides the corresponding engine default when present;
+/// absent fields inherit it. Wire keys: `timeout_ms`, `max_bdd_nodes`,
+/// `max_iterations`, `max_lean`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct LimitsSpec {
+    /// Wall-clock budget override, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// BDD node budget override.
+    pub max_bdd_nodes: Option<usize>,
+    /// Fixpoint iteration cap override.
+    pub max_iterations: Option<usize>,
+    /// Lean-diamond cap override for the enumerating backends.
+    pub max_lean: Option<usize>,
+}
+
+impl LimitsSpec {
+    /// The effective limits: the engine defaults with this spec's
+    /// overrides applied.
+    pub fn apply(&self, base: &Limits) -> Limits {
+        Limits {
+            deadline: self
+                .timeout_ms
+                .map(std::time::Duration::from_millis)
+                .or(base.deadline),
+            max_bdd_nodes: self.max_bdd_nodes.or(base.max_bdd_nodes),
+            max_iterations: self.max_iterations.or(base.max_iterations),
+            max_lean_diamonds: self.max_lean.unwrap_or(base.max_lean_diamonds),
+        }
+    }
 }
 
 impl Request {
@@ -89,7 +376,6 @@ impl Request {
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| "request needs a string `op` field".to_owned())?;
-        let backend = backend_field(v)?;
         let kind = match op {
             "dtd" | "register-dtd" => RequestKind::RegisterDtd {
                 name: str_field(v, "name")?,
@@ -101,54 +387,93 @@ impl Request {
             },
             "stats" => RequestKind::Stats,
             "reset" => RequestKind::Reset,
-            "empty" | "emptiness" => RequestKind::Problem(ProblemSpec {
-                op: "empty",
-                queries: vec![str_field(v, "query")?],
-                types: vec![opt_str_field(v, "type")],
-                backend,
-            }),
-            "sat" | "satisfiable" => RequestKind::Problem(ProblemSpec {
-                op: "sat",
-                queries: vec![str_field(v, "query")?],
-                types: vec![opt_str_field(v, "type")],
-                backend,
-            }),
-            "contains" | "containment" => binary_spec("contains", v, backend)?,
-            "overlap" | "overlaps" => binary_spec("overlap", v, backend)?,
-            "equiv" | "equivalent" => binary_spec("equiv", v, backend)?,
-            "covers" | "coverage" => {
-                let mut queries = vec![str_field(v, "query")?];
-                let by = v
-                    .get("by")
-                    .and_then(Value::as_arr)
-                    .ok_or_else(|| "`covers` needs a `by` array of query references".to_owned())?;
-                if by.is_empty() {
-                    return Err("`covers` needs at least one covering query".to_owned());
-                }
-                for item in by {
-                    queries.push(
-                        item.as_str()
-                            .ok_or_else(|| "`by` entries must be strings".to_owned())?
-                            .to_owned(),
-                    );
-                }
-                RequestKind::Problem(ProblemSpec {
-                    op: "covers",
-                    queries,
-                    types: vec![opt_str_field(v, "type")],
-                    backend,
-                })
-            }
-            "typecheck" | "type-check" => RequestKind::Problem(ProblemSpec {
-                op: "typecheck",
-                queries: vec![str_field(v, "query")?],
-                types: vec![Some(str_field(v, "input")?), Some(str_field(v, "output")?)],
-                backend,
-            }),
-            other => return Err(format!("unknown op `{other}`")),
+            other => match Op::from_wire(other) {
+                Some(op) => RequestKind::Problem {
+                    spec: problem_spec(op, v)?,
+                    backend: backend_field(v)?,
+                    limits: limits_field(v)?,
+                },
+                None => return Err(format!("unknown op `{other}`")),
+            },
         };
         Ok(Request { id, kind })
     }
+}
+
+/// Parses the op-specific fields of a decision request.
+fn problem_spec(op: Op, v: &Value) -> Result<ProblemSpec, String> {
+    // Shared shape of the binary ops: `lhs`, `rhs`, and either one `type`
+    // for both sides or per-side `ltype` / `rtype`.
+    let binary = |v: &Value| -> Result<(String, Option<String>, String, Option<String>), String> {
+        let both = opt_str_field(v, "type");
+        let ltype = opt_str_field(v, "ltype").or_else(|| both.clone());
+        let rtype = opt_str_field(v, "rtype").or(both);
+        Ok((str_field(v, "lhs")?, ltype, str_field(v, "rhs")?, rtype))
+    };
+    Ok(match op {
+        Op::Empty => ProblemSpec::Empty {
+            query: str_field(v, "query")?,
+            ty: opt_str_field(v, "type"),
+        },
+        Op::Sat => ProblemSpec::Sat {
+            query: str_field(v, "query")?,
+            ty: opt_str_field(v, "type"),
+        },
+        Op::Contains => {
+            let (lhs, ltype, rhs, rtype) = binary(v)?;
+            ProblemSpec::Contains {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            }
+        }
+        Op::Overlap => {
+            let (lhs, ltype, rhs, rtype) = binary(v)?;
+            ProblemSpec::Overlap {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            }
+        }
+        Op::Equiv => {
+            let (lhs, ltype, rhs, rtype) = binary(v)?;
+            ProblemSpec::Equiv {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            }
+        }
+        Op::Covers => {
+            let by_items = v
+                .get("by")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| "`covers` needs a `by` array of query references".to_owned())?;
+            if by_items.is_empty() {
+                return Err("`covers` needs at least one covering query".to_owned());
+            }
+            let by = by_items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "`by` entries must be strings".to_owned())
+                })
+                .collect::<Result<_, _>>()?;
+            ProblemSpec::Covers {
+                query: str_field(v, "query")?,
+                ty: opt_str_field(v, "type"),
+                by,
+            }
+        }
+        Op::TypeCheck => ProblemSpec::TypeCheck {
+            query: str_field(v, "query")?,
+            input: str_field(v, "input")?,
+            output: str_field(v, "output")?,
+        },
+    })
 }
 
 /// Parses the optional `backend` field of a request.
@@ -164,6 +489,43 @@ fn backend_field(v: &Value) -> Result<Option<BackendChoice>, String> {
     }
 }
 
+/// Parses the optional `limits` object of a request.
+fn limits_field(v: &Value) -> Result<Option<LimitsSpec>, String> {
+    let Some(l) = v.get("limits") else {
+        return Ok(None);
+    };
+    if !matches!(l, Value::Obj(_)) {
+        return Err("`limits` must be an object".to_owned());
+    }
+    let field = |key: &str| -> Result<Option<u64>, String> {
+        match l.get(key) {
+            None => Ok(None),
+            Some(n) => {
+                let x = n
+                    .as_f64()
+                    .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64)
+                    .ok_or_else(|| format!("`limits.{key}` must be a non-negative integer"))?;
+                Ok(Some(x as u64))
+            }
+        }
+    };
+    if let Value::Obj(fields) = l {
+        const KNOWN: [&str; 4] = ["timeout_ms", "max_bdd_nodes", "max_iterations", "max_lean"];
+        if let Some((k, _)) = fields.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+            return Err(format!(
+                "unknown `limits` field `{k}` (expected timeout_ms, max_bdd_nodes, \
+                 max_iterations or max_lean)"
+            ));
+        }
+    }
+    Ok(Some(LimitsSpec {
+        timeout_ms: field("timeout_ms")?,
+        max_bdd_nodes: field("max_bdd_nodes")?.map(|x| x as usize),
+        max_iterations: field("max_iterations")?.map(|x| x as usize),
+        max_lean: field("max_lean")?.map(|x| x as usize),
+    }))
+}
+
 fn str_field(v: &Value, key: &str) -> Result<String, String> {
     v.get(key)
         .and_then(Value::as_str)
@@ -173,79 +535,6 @@ fn str_field(v: &Value, key: &str) -> Result<String, String> {
 
 fn opt_str_field(v: &Value, key: &str) -> Option<String> {
     v.get(key).and_then(Value::as_str).map(str::to_owned)
-}
-
-/// Shared shape of `contains` / `overlap` / `equiv`: `lhs`, `rhs`, and
-/// either one `type` for both sides or per-side `ltype` / `rtype`.
-fn binary_spec(
-    op: &'static str,
-    v: &Value,
-    backend: Option<BackendChoice>,
-) -> Result<RequestKind, String> {
-    let both = opt_str_field(v, "type");
-    let ltype = opt_str_field(v, "ltype").or_else(|| both.clone());
-    let rtype = opt_str_field(v, "rtype").or(both);
-    Ok(RequestKind::Problem(ProblemSpec {
-        op,
-        queries: vec![str_field(v, "lhs")?, str_field(v, "rhs")?],
-        types: vec![ltype, rtype],
-        backend,
-    }))
-}
-
-impl ProblemSpec {
-    /// Resolves name references against the workspace into a structural
-    /// [`Problem`].
-    pub fn resolve(&self, ws: &Workspace) -> Result<Problem, String> {
-        let ty = |i: usize| -> Result<Option<Arc<treetypes::Dtd>>, String> {
-            match self.types.get(i).and_then(Option::as_ref) {
-                Some(name) => ws.resolve_dtd(name).map(Some),
-                None => Ok(None),
-            }
-        };
-        match self.op {
-            "empty" => Ok(Problem::Empty {
-                query: ws.resolve_query(&self.queries[0])?,
-                ty: ty(0)?,
-            }),
-            "sat" => Ok(Problem::Satisfiable {
-                query: ws.resolve_query(&self.queries[0])?,
-                ty: ty(0)?,
-            }),
-            "contains" => Ok(Problem::Contains {
-                lhs: ws.resolve_query(&self.queries[0])?,
-                ltype: ty(0)?,
-                rhs: ws.resolve_query(&self.queries[1])?,
-                rtype: ty(1)?,
-            }),
-            "overlap" => Ok(Problem::Overlap {
-                lhs: ws.resolve_query(&self.queries[0])?,
-                ltype: ty(0)?,
-                rhs: ws.resolve_query(&self.queries[1])?,
-                rtype: ty(1)?,
-            }),
-            "equiv" => Ok(Problem::Equivalent {
-                lhs: ws.resolve_query(&self.queries[0])?,
-                ltype: ty(0)?,
-                rhs: ws.resolve_query(&self.queries[1])?,
-                rtype: ty(1)?,
-            }),
-            "covers" => Ok(Problem::Covers {
-                query: ws.resolve_query(&self.queries[0])?,
-                ty: ty(0)?,
-                by: self.queries[1..]
-                    .iter()
-                    .map(|q| ws.resolve_query(q))
-                    .collect::<Result<_, _>>()?,
-            }),
-            "typecheck" => Ok(Problem::TypeCheck {
-                query: ws.resolve_query(&self.queries[0])?,
-                input: ws.resolve_dtd(self.types[0].as_ref().expect("typecheck input"))?,
-                output: ws.resolve_dtd(self.types[1].as_ref().expect("typecheck output"))?,
-            }),
-            other => Err(format!("unresolvable op `{other}`")),
-        }
-    }
 }
 
 /// Builds the response for a successful registration.
@@ -265,7 +554,7 @@ pub fn registration_response(id: Option<&Value>, kind: &str, name: &str) -> Valu
 /// Builds the response for a solved (or cache-served) decision problem.
 pub fn verdict_response(
     id: Option<&Value>,
-    op: &str,
+    op: Op,
     verdict: &Verdict,
     cached: bool,
     wall_ms: f64,
@@ -276,8 +565,9 @@ pub fn verdict_response(
     }
     fields.extend([
         ("ok", Value::Bool(true)),
-        ("op", Value::from(op)),
+        ("op", Value::from(op.canonical())),
         ("backend", Value::from(verdict.backend.as_str())),
+        ("status", Value::from(Status::of(verdict.holds).as_str())),
         ("holds", Value::Bool(verdict.holds)),
     ]);
     match &verdict.counter_example {
@@ -295,6 +585,31 @@ pub fn verdict_response(
         ("telemetry", telemetry_value(&s.telemetry)),
     ];
     fields.push(("stats", obj(stats)));
+    obj(fields)
+}
+
+/// Builds the `"status":"unknown"` response for a budget-exhausted solve:
+/// `ok` stays true (the protocol worked; the solve was inconclusive),
+/// `holds` is `null`, and the exhausted resource is named with what was
+/// spent against what budget. Unknown verdicts are never cached.
+pub fn unknown_response(id: Option<&Value>, op: Op, unknown: &UnknownVerdict) -> Value {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    fields.extend([
+        ("ok", Value::Bool(true)),
+        ("op", Value::from(op.canonical())),
+        ("backend", Value::from(unknown.backend.as_str())),
+        ("status", Value::from(Status::Unknown.as_str())),
+        ("holds", Value::Null),
+        ("resource", Value::from(unknown.resource)),
+        ("spent", Value::Num(unknown.spent as f64)),
+        ("limit", Value::Num(unknown.limit as f64)),
+        ("reason", Value::from(unknown.reason.as_str())),
+        ("cached", Value::Bool(false)),
+        ("wall_ms", Value::Num(round3(unknown.wall_ms))),
+    ]);
     obj(fields)
 }
 
@@ -341,13 +656,17 @@ pub fn telemetry_value(t: &Telemetry) -> Value {
     obj(fields)
 }
 
-/// Builds an error response.
+/// Builds an error response (`"status":"error"`).
 pub fn error_response(id: Option<&Value>, message: &str) -> Value {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id", id.clone()));
     }
-    fields.extend([("ok", Value::Bool(false)), ("error", Value::from(message))]);
+    fields.extend([
+        ("ok", Value::Bool(false)),
+        ("status", Value::from(Status::Error.as_str())),
+        ("error", Value::from(message)),
+    ]);
     obj(fields)
 }
 
@@ -359,19 +678,34 @@ fn round3(ms: f64) -> f64 {
 mod tests {
     use super::*;
 
+    fn spec_of(r: Request) -> (ProblemSpec, Option<BackendChoice>, Option<LimitsSpec>) {
+        match r.kind {
+            RequestKind::Problem {
+                spec,
+                backend,
+                limits,
+            } => (spec, backend, limits),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
     #[test]
     fn parses_the_issue_example() {
         let r = Request::parse(r#"{"op":"contains","lhs":"q1","rhs":"q2","type":"dtd1"}"#).unwrap();
-        match r.kind {
-            RequestKind::Problem(spec) => {
-                assert_eq!(spec.op, "contains");
-                assert_eq!(spec.queries, ["q1", "q2"]);
-                assert_eq!(
-                    spec.types,
-                    vec![Some("dtd1".to_owned()), Some("dtd1".to_owned())]
-                );
+        let (spec, _, _) = spec_of(r);
+        assert_eq!(spec.op(), Op::Contains);
+        match spec {
+            ProblemSpec::Contains {
+                lhs,
+                ltype,
+                rhs,
+                rtype,
+            } => {
+                assert_eq!((lhs.as_str(), rhs.as_str()), ("q1", "q2"));
+                assert_eq!(ltype.as_deref(), Some("dtd1"));
+                assert_eq!(rtype.as_deref(), Some("dtd1"));
             }
-            other => panic!("unexpected kind {other:?}"),
+            other => panic!("unexpected spec {other:?}"),
         }
     }
 
@@ -379,11 +713,13 @@ mod tests {
     fn per_side_types_override_shared() {
         let r =
             Request::parse(r#"{"op":"equiv","lhs":"a","rhs":"b","type":"t","rtype":"u"}"#).unwrap();
-        match r.kind {
-            RequestKind::Problem(spec) => {
-                assert_eq!(spec.types, vec![Some("t".to_owned()), Some("u".to_owned())]);
+        let (spec, _, _) = spec_of(r);
+        match spec {
+            ProblemSpec::Equiv { ltype, rtype, .. } => {
+                assert_eq!(ltype.as_deref(), Some("t"));
+                assert_eq!(rtype.as_deref(), Some("u"));
             }
-            other => panic!("unexpected kind {other:?}"),
+            other => panic!("unexpected spec {other:?}"),
         }
     }
 
@@ -395,23 +731,77 @@ mod tests {
     }
 
     #[test]
+    fn every_alias_folds_to_its_canonical_op() {
+        for &(op, names) in Op::TABLE {
+            assert_eq!(names[0], op.canonical());
+            for name in names {
+                assert_eq!(Op::from_wire(name), Some(op), "{name}");
+            }
+        }
+        assert_eq!(Op::from_wire("frobnicate"), None);
+        // A request through an alias echoes the canonical name: the parse
+        // itself resolves through the table.
+        let r = Request::parse(r#"{"op":"containment","lhs":"a","rhs":"b"}"#).unwrap();
+        let (spec, _, _) = spec_of(r);
+        assert_eq!(spec.op().canonical(), "contains");
+        let r = Request::parse(r#"{"op":"coverage","query":"a","by":["b"]}"#).unwrap();
+        let (spec, _, _) = spec_of(r);
+        assert_eq!(spec.op().canonical(), "covers");
+    }
+
+    #[test]
     fn backend_field_parses_and_rejects() {
         let r = Request::parse(r#"{"op":"sat","query":"a","backend":"explicit"}"#).unwrap();
-        match r.kind {
-            RequestKind::Problem(spec) => {
-                assert_eq!(spec.backend, Some(BackendChoice::Explicit));
-            }
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let (_, backend, _) = spec_of(r);
+        assert_eq!(backend, Some(BackendChoice::Explicit));
         let r = Request::parse(r#"{"op":"sat","query":"a"}"#).unwrap();
-        match r.kind {
-            RequestKind::Problem(spec) => assert_eq!(spec.backend, None),
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let (_, backend, limits) = spec_of(r);
+        assert_eq!(backend, None);
+        assert_eq!(limits, None);
         let e = Request::parse(r#"{"op":"sat","query":"a","backend":"frobnicate"}"#).unwrap_err();
         assert!(e.contains("unknown backend `frobnicate`"), "{e}");
         let e = Request::parse(r#"{"op":"sat","query":"a","backend":7}"#).unwrap_err();
         assert!(e.contains("`backend` must be a string"), "{e}");
+    }
+
+    #[test]
+    fn limits_object_parses_and_rejects() {
+        let r = Request::parse(
+            r#"{"op":"sat","query":"a","limits":{"timeout_ms":250,"max_bdd_nodes":1000,"max_iterations":50,"max_lean":12}}"#,
+        )
+        .unwrap();
+        let (_, _, limits) = spec_of(r);
+        let spec = limits.expect("limits parsed");
+        assert_eq!(spec.timeout_ms, Some(250));
+        assert_eq!(spec.max_bdd_nodes, Some(1000));
+        assert_eq!(spec.max_iterations, Some(50));
+        assert_eq!(spec.max_lean, Some(12));
+        // Overrides merge over a base: absent fields inherit.
+        let base = Limits::default();
+        let eff = spec.apply(&base);
+        assert_eq!(eff.deadline, Some(std::time::Duration::from_millis(250)));
+        assert_eq!(eff.max_bdd_nodes, Some(1000));
+        assert_eq!(eff.max_iterations, Some(50));
+        assert_eq!(eff.max_lean_diamonds, 12);
+        let partial = LimitsSpec {
+            timeout_ms: Some(9),
+            ..LimitsSpec::default()
+        };
+        let eff = partial.apply(&base);
+        assert_eq!(eff.deadline, Some(std::time::Duration::from_millis(9)));
+        assert_eq!(eff.max_lean_diamonds, base.max_lean_diamonds);
+
+        let e = Request::parse(r#"{"op":"sat","query":"a","limits":7}"#).unwrap_err();
+        assert!(e.contains("`limits` must be an object"), "{e}");
+        let e =
+            Request::parse(r#"{"op":"sat","query":"a","limits":{"timeout_ms":-1}}"#).unwrap_err();
+        assert!(
+            e.contains("`limits.timeout_ms` must be a non-negative integer"),
+            "{e}"
+        );
+        let e =
+            Request::parse(r#"{"op":"sat","query":"a","limits":{"frobnicate":1}}"#).unwrap_err();
+        assert!(e.contains("unknown `limits` field `frobnicate`"), "{e}");
     }
 
     #[test]
@@ -465,9 +855,7 @@ mod tests {
         let r =
             Request::parse(r#"{"op":"covers","query":"child::*","by":["child::x"],"type":"d"}"#)
                 .unwrap();
-        let RequestKind::Problem(spec) = r.kind else {
-            panic!("expected problem")
-        };
+        let (spec, _, _) = spec_of(r);
         let p = spec.resolve(&ws).unwrap();
         assert_eq!(p.op_name(), "covers");
 
@@ -475,9 +863,7 @@ mod tests {
             r#"{"op":"typecheck","query":"child::x","input":"d","output":"<!ELEMENT x EMPTY>"}"#,
         )
         .unwrap();
-        let RequestKind::Problem(spec) = r.kind else {
-            panic!("expected problem")
-        };
+        let (spec, _, _) = spec_of(r);
         assert_eq!(spec.resolve(&ws).unwrap().op_name(), "typecheck");
     }
 }

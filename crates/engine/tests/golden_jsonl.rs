@@ -30,105 +30,122 @@ const GOLDEN: &[(&str, &str)] = &[
     // Typed containment holds; untyped does not (and carries a witness).
     (
         r#"{"id":1,"op":"contains","lhs":"q1","rhs":"q2","type":"d1"}"#,
-        r#"{"id":1,"ok":true,"op":"contains","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":1,"ok":true,"op":"contains","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":2,"op":"contains","lhs":"q1","rhs":"q2"}"#,
-        r#"{"id":2,"ok":true,"op":"contains","backend":"symbolic","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+        r#"{"id":2,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
     ),
     // The Fig 18 counter-example-carrying containment failure.
     (
         r#"{"id":3,"op":"contains","lhs":"child::c/preceding-sibling::a[child::b]","rhs":"child::c[child::b]"}"#,
-        r#"{"id":3,"ok":true,"op":"contains","backend":"symbolic","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","cached":false}"#,
+        r#"{"id":3,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","cached":false}"#,
     ),
     // Cache-hit repeat of request id 1 (same problem, same names).
     (
         r#"{"id":4,"op":"contains","lhs":"q1","rhs":"q2","type":"d1"}"#,
-        r#"{"id":4,"ok":true,"op":"contains","backend":"symbolic","holds":true,"counter_example":null,"cached":true}"#,
+        r#"{"id":4,"ok":true,"op":"contains","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":true}"#,
     ),
     // Cache also hits when the same problem is posed inline, unregistered.
     (
         r#"{"id":5,"op":"contains","lhs":"child::*","rhs":"child::x | child::y","type":"<!ELEMENT r (x, y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>"}"#,
-        r#"{"id":5,"ok":true,"op":"contains","backend":"symbolic","holds":true,"counter_example":null,"cached":true}"#,
+        r#"{"id":5,"ok":true,"op":"contains","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":true}"#,
     ),
     (
         r#"{"id":6,"op":"overlap","lhs":"child::*[child::b]","rhs":"child::a"}"#,
-        r#"{"id":6,"ok":true,"op":"overlap","backend":"symbolic","holds":true,"counter_example":"<_other s=\"1\"><a><b/></a></_other>","cached":false}"#,
+        r#"{"id":6,"ok":true,"op":"overlap","backend":"symbolic","status":"holds","holds":true,"counter_example":"<_other s=\"1\"><a><b/></a></_other>","cached":false}"#,
     ),
     (
         r#"{"id":7,"op":"covers","query":"child::*","by":["child::a","child::*[not(self::a)]"]}"#,
-        r#"{"id":7,"ok":true,"op":"covers","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":7,"ok":true,"op":"covers","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":8,"op":"covers","query":"child::*","by":["child::a"]}"#,
-        r#"{"id":8,"ok":true,"op":"covers","backend":"symbolic","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+        r#"{"id":8,"ok":true,"op":"covers","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
     ),
     (
         r#"{"id":9,"op":"equiv","lhs":"a/b[c]","rhs":"a/b[c]"}"#,
-        r#"{"id":9,"ok":true,"op":"equiv","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":9,"ok":true,"op":"equiv","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":10,"op":"empty","query":"child::a ∩ child::b"}"#,
-        r#"{"id":10,"ok":true,"op":"empty","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":10,"ok":true,"op":"empty","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":11,"op":"sat","query":"q1","type":"d1"}"#,
-        r#"{"id":11,"ok":true,"op":"sat","backend":"symbolic","holds":true,"counter_example":"<r s=\"1\"><x/><y/></r>","cached":false}"#,
+        r#"{"id":11,"ok":true,"op":"sat","backend":"symbolic","status":"holds","holds":true,"counter_example":"<r s=\"1\"><x/><y/></r>","cached":false}"#,
     ),
     (
         r#"{"id":12,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x (y)> <!ELEMENT y EMPTY>"}"#,
-        r#"{"id":12,"ok":true,"op":"typecheck","backend":"symbolic","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":12,"ok":true,"op":"typecheck","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
     (
         r#"{"id":13,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x EMPTY>"}"#,
-        r#"{"id":13,"ok":true,"op":"typecheck","backend":"symbolic","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","cached":false}"#,
+        r#"{"id":13,"ok":true,"op":"typecheck","backend":"symbolic","status":"fails","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","cached":false}"#,
     ),
     // Errors: unresolvable reference and unknown op.
     (
         r#"{"id":14,"op":"contains","lhs":"q1","rhs":"q2","type":"no-such-dtd"}"#,
-        r#"{"id":14,"ok":false,"error":"`no-such-dtd` is not a registered type"}"#,
+        r#"{"id":14,"ok":false,"status":"error","error":"`no-such-dtd` is not a registered type"}"#,
     ),
     (
         r#"{"op":"frobnicate"}"#,
-        r#"{"ok":false,"error":"unknown op `frobnicate`"}"#,
+        r#"{"ok":false,"status":"error","error":"unknown op `frobnicate`"}"#,
     ),
     // Backend selection: the explicit reference backend answers and is
     // cached under its own key…
     (
         r#"{"id":15,"op":"sat","query":"child::a","backend":"explicit"}"#,
-        r#"{"id":15,"ok":true,"op":"sat","backend":"explicit","holds":true,"counter_example":"<a s=\"1\"><a/></a>","cached":false}"#,
+        r#"{"id":15,"ok":true,"op":"sat","backend":"explicit","status":"holds","holds":true,"counter_example":"<a s=\"1\"><a/></a>","cached":false}"#,
     ),
     // …so the same problem on the default symbolic backend re-solves
     // (different key, different minimal witness) instead of hitting the
     // explicit verdict…
     (
         r#"{"id":16,"op":"sat","query":"child::a"}"#,
-        r#"{"id":16,"ok":true,"op":"sat","backend":"symbolic","holds":true,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+        r#"{"id":16,"ok":true,"op":"sat","backend":"symbolic","status":"holds","holds":true,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
     ),
     // …while a repeat on the explicit backend is a cache hit.
     (
         r#"{"id":17,"op":"sat","query":"child::a","backend":"explicit"}"#,
-        r#"{"id":17,"ok":true,"op":"sat","backend":"explicit","holds":true,"counter_example":"<a s=\"1\"><a/></a>","cached":true}"#,
+        r#"{"id":17,"ok":true,"op":"sat","backend":"explicit","status":"holds","holds":true,"counter_example":"<a s=\"1\"><a/></a>","cached":true}"#,
     ),
     // The dual cross-check and witnessed backends, echoed per verdict.
     (
         r#"{"id":18,"op":"overlap","lhs":"child::a","rhs":"child::*","backend":"dual"}"#,
-        r#"{"id":18,"ok":true,"op":"overlap","backend":"dual","holds":true,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+        r#"{"id":18,"ok":true,"op":"overlap","backend":"dual","status":"holds","holds":true,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
     ),
     (
         r#"{"id":19,"op":"empty","query":"child::a ∩ child::b","backend":"witnessed"}"#,
-        r#"{"id":19,"ok":true,"op":"empty","backend":"witnessed","holds":true,"counter_example":null,"cached":false}"#,
+        r#"{"id":19,"ok":true,"op":"empty","backend":"witnessed","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
     // Unknown backend: rejected at parse time.
     (
         r#"{"id":20,"op":"sat","query":"child::a","backend":"quantum"}"#,
-        r#"{"ok":false,"error":"unknown backend `quantum` (expected symbolic, explicit, witnessed or dual)"}"#,
+        r#"{"ok":false,"status":"error","error":"unknown backend `quantum` (expected symbolic, explicit, witnessed or dual)"}"#,
     ),
     // Dual cross-check of a failing containment: both backends agree and
     // the symbolic witness is reported.
     (
         r#"{"id":21,"op":"contains","lhs":"child::a","rhs":"child::a[child::b]","backend":"dual"}"#,
-        r#"{"id":21,"ok":true,"op":"contains","backend":"dual","holds":false,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+        r#"{"id":21,"ok":true,"op":"contains","backend":"dual","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+    ),
+    // Protocol v2 limits round-trip: a generous `limits` object changes
+    // nothing about the verdict.
+    (
+        r#"{"id":22,"op":"sat","query":"child::roundtrip","limits":{"timeout_ms":60000,"max_bdd_nodes":1000000,"max_iterations":1000,"max_lean":16}}"#,
+        r#"{"id":22,"ok":true,"op":"sat","backend":"symbolic","status":"holds","holds":true,"counter_example":"<_other s=\"1\"><roundtrip/></_other>","cached":false}"#,
+    ),
+    // A starved iteration cap yields the third verdict: status `unknown`,
+    // `holds` null, the exhausted resource named with spent vs. limit.
+    (
+        r#"{"id":23,"op":"sat","query":"u/v[w]","limits":{"max_iterations":1}}"#,
+        r#"{"id":23,"ok":true,"op":"sat","backend":"symbolic","status":"unknown","holds":null,"resource":"iterations","spent":1,"limit":1,"reason":"resource exhausted: 1 fixpoint iterations, the cap is 1","cached":false}"#,
+    ),
+    // An op alias folds to its canonical echo through the one table.
+    (
+        r#"{"id":24,"op":"containment","lhs":"q1","rhs":"q2","type":"d1"}"#,
+        r#"{"id":24,"ok":true,"op":"contains","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":true}"#,
     ),
 ];
 
@@ -177,12 +194,15 @@ fn batch_matches_golden_stream() {
             normalize(got).to_json(),
         );
     }
-    // 19 decision problems were posed; ids 4 and 5 repeat id 1's problem
-    // and id 17 repeats id 15's (problem, backend) job. Ids 16 and 21
-    // repeat *problems* under different backends, which are distinct jobs.
-    assert_eq!(outcome.stats.problems, 19);
-    assert_eq!(outcome.stats.unique_problems, 16);
-    assert_eq!(outcome.stats.cache_hits, 3);
+    // 22 decision problems were posed; ids 4, 5 and 24 repeat id 1's
+    // problem and id 17 repeats id 15's (problem, backend) job. Ids 16
+    // and 21 repeat *problems* under different backends, which are
+    // distinct jobs; id 23 exhausts its iteration cap and is counted as
+    // `unknown`, not an error.
+    assert_eq!(outcome.stats.problems, 22);
+    assert_eq!(outcome.stats.unique_problems, 18);
+    assert_eq!(outcome.stats.cache_hits, 4);
+    assert_eq!(outcome.stats.unknown, 1);
     assert_eq!(outcome.stats.errors, 3);
 
     // Full round-trip: every response line re-parses to the same value.
@@ -221,13 +241,17 @@ fn repeated_batch_is_fully_cached() {
     let cold = e.run_batch(&reqs);
     let warm = e.run_batch(&reqs);
     assert_eq!(cold.stats.problems, warm.stats.problems);
-    // Every problem of the repeat batch is served from the memo cache.
-    assert_eq!(warm.stats.cache_hits, warm.stats.problems);
+    // Every *decided* problem of the repeat batch is served from the memo
+    // cache; the one budget-exhausted problem (id 23) is never cached and
+    // re-solves to `unknown` again.
+    assert_eq!(warm.stats.cache_hits, warm.stats.problems - 1);
+    assert_eq!(warm.stats.unknown, 1);
     // Verdicts are identical across cold and warm runs, and cache-served
     // answers report ~zero wall clock (the stats keep the original run's
     // solve time).
     for (c, w) in cold.responses.iter().zip(&warm.responses) {
-        if c.get("holds").is_some() {
+        let status = c.get("status").and_then(Value::as_str);
+        if matches!(status, Some("holds") | Some("fails")) {
             assert_eq!(c.get("holds"), w.get("holds"));
             assert_eq!(c.get("counter_example"), w.get("counter_example"));
             assert_eq!(w.get("wall_ms").and_then(Value::as_f64), Some(0.0));
@@ -341,12 +365,13 @@ fn dual_telemetry_golden_extended_schema() {
 }
 
 #[test]
-fn dual_infeasible_is_an_error_and_never_cached() {
-    // This containment's lean is far beyond the explicit enumeration
-    // bound, so every enumerating backend must refuse with a protocol
-    // error (not a process-killing panic) — and keep refusing (failures
-    // are not memoized), while the same problem on the symbolic backend
-    // solves fine.
+fn oversized_lean_is_unknown_and_never_cached() {
+    // This containment's lean is far beyond the default lean-diamond cap,
+    // so every enumerating backend must answer `"status":"unknown"`
+    // naming the exhausted resource (not a process-killing panic, not a
+    // protocol error) — and keep re-answering (unknowns are not
+    // memoized), while the same problem on the symbolic backend solves
+    // fine.
     let mut e = Engine::new();
     let dual = r#"{"op":"contains","lhs":"a/b//d[prec-sibling::c]/e","rhs":"a/b//c/foll-sibling::d/e","backend":"dual"}"#;
     for backend in ["dual", "explicit", "witnessed"] {
@@ -358,35 +383,93 @@ fn dual_infeasible_is_an_error_and_never_cached() {
             let r = e.execute_line(&line);
             assert_eq!(
                 r.get("ok").and_then(Value::as_bool),
-                Some(false),
+                Some(true),
                 "{backend}"
             );
-            let msg = r.get("error").and_then(Value::as_str).unwrap();
-            assert!(msg.contains("explicit enumeration infeasible"), "{msg}");
+            assert_eq!(
+                r.get("status").and_then(Value::as_str),
+                Some("unknown"),
+                "{backend}"
+            );
+            assert_eq!(r.get("holds"), Some(&Value::Null), "{backend}");
+            assert_eq!(
+                r.get("resource").and_then(Value::as_str),
+                Some("lean_diamonds"),
+                "{backend}"
+            );
+            assert_eq!(r.get("limit").and_then(Value::as_f64), Some(16.0));
+            let msg = r.get("reason").and_then(Value::as_str).unwrap();
+            assert!(msg.contains("resource exhausted"), "{msg}");
+            assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
         }
     }
     assert_eq!(e.cache_entries(), 0);
+    assert_eq!(e.counters().unknown, 6);
     let r = e.execute_line(
         r#"{"op":"contains","lhs":"a/b//d[prec-sibling::c]/e","rhs":"a/b//c/foll-sibling::d/e"}"#,
     );
     assert_eq!(r.get("holds").and_then(Value::as_bool), Some(true));
     assert_eq!(e.cache_entries(), 1);
-    // The dual failure also surfaces as a per-request error on the batch
-    // path without derailing the rest of the batch.
+    // The unknown also surfaces per-request on the batch path without
+    // derailing the rest of the batch, counted separately from errors.
     let out = e.run_batch(&[
         Request::parse(dual).unwrap(),
         Request::parse(r#"{"op":"sat","query":"child::a","backend":"dual"}"#).unwrap(),
     ]);
     assert_eq!(out.stats.problems, 2);
-    assert_eq!(out.stats.errors, 1);
+    assert_eq!(out.stats.errors, 0);
+    assert_eq!(out.stats.unknown, 1);
     assert_eq!(
-        out.responses[0].get("ok").and_then(Value::as_bool),
-        Some(false)
+        out.responses[0].get("status").and_then(Value::as_str),
+        Some("unknown")
     );
     assert_eq!(
         out.responses[1].get("holds").and_then(Value::as_bool),
         Some(true)
     );
+}
+
+#[test]
+fn unknown_bypasses_the_cache_until_a_retry_decides() {
+    let mut e = Engine::new();
+    let starved = r#"{"op":"sat","query":"a/b[c]","limits":{"max_iterations":1}}"#;
+    // A starved solve is unknown and leaves no cache entry…
+    let r = e.execute_line(starved);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("unknown"));
+    assert_eq!(
+        r.get("resource").and_then(Value::as_str),
+        Some("iterations")
+    );
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 0);
+    // …so the repeat re-solves (and exhausts again) instead of replaying
+    // a stale unknown.
+    let r = e.execute_line(starved);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("unknown"));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 0);
+    assert_eq!(e.counters().unknown, 2);
+    // A retry under the default (roomy) limits decides and memoizes…
+    let r = e.execute_line(r#"{"op":"sat","query":"a/b[c]"}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("holds"));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 1);
+    // …after which even the starved request is served from the cache: a
+    // definite verdict answers any budget without solving.
+    let r = e.execute_line(starved);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("holds"));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn stats_echo_the_protocol_version() {
+    let mut e = Engine::new();
+    let r = e.execute_line(r#"{"op":"stats"}"#);
+    assert_eq!(
+        r.get("protocol").and_then(Value::as_f64),
+        Some(engine::PROTOCOL_VERSION as f64)
+    );
+    assert_eq!(r.get("unknown").and_then(Value::as_f64), Some(0.0));
 }
 
 #[test]

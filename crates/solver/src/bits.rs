@@ -80,32 +80,45 @@ impl fmt::Debug for TypeBits {
 /// * the start proposition is free.
 ///
 /// The number of types is exponential in the number of `⟨a⟩ϕ` entries; the
-/// explicit solver is a reference implementation for small formulas and
-/// refuses leans with more than [`MAX_EXPLICIT_DIAMONDS`] diamonds.
+/// explicit solver is a reference implementation for small formulas. The
+/// governed entry points ([`solve_with`](crate::solve_with)) refuse leans
+/// beyond [`Limits::max_lean_diamonds`](crate::Limits::max_lean_diamonds)
+/// — default [`MAX_EXPLICIT_DIAMONDS`] — before this enumerator runs; the
+/// enumerator itself only guards the representation limit.
 pub struct TypeEnumerator<'l> {
     lean: &'l Lean,
     diam_positions: Vec<(usize, Program)>,
     prop_positions: Vec<usize>,
 }
 
-/// Upper bound on `⟨a⟩ϕ` lean entries accepted by the explicit enumeration.
+/// Default cap on `⟨a⟩ϕ` lean entries accepted by the explicit enumeration
+/// (the value of `Limits::max_lean_diamonds` under `Limits::default()`).
 pub const MAX_EXPLICIT_DIAMONDS: usize = 16;
+
+/// Absolute representation limit of the enumeration's `u32` masks. The
+/// governed dispatch path clamps `Limits::max_lean_diamonds` to this, so
+/// a wire request can never push an oversized lean past the feasibility
+/// check into the enumerator's assert; raising the cap past
+/// [`MAX_EXPLICIT_DIAMONDS`] at all is already a deliberate act of
+/// spending exponential time.
+pub(crate) const ENUMERATION_HARD_CAP: usize = 26;
 
 impl<'l> TypeEnumerator<'l> {
     /// Prepares enumeration over the given lean.
     ///
     /// # Panics
     ///
-    /// Panics if the lean has more than [`MAX_EXPLICIT_DIAMONDS`] diamond
-    /// entries.
+    /// Panics if the lean has more than 26 diamond entries (the `u32`
+    /// enumeration-mask limit). Budget-governed callers should bound the
+    /// lean with `Limits::max_lean_diamonds` long before this fires.
     pub fn new(lean: &'l Lean) -> Self {
         let diam_positions: Vec<(usize, Program)> =
             lean.diam_entries().map(|(i, p, _)| (i, p)).collect();
         assert!(
-            diam_positions.len() <= MAX_EXPLICIT_DIAMONDS,
-            "lean too large for the explicit solver: {} diamonds (max {})",
+            diam_positions.len() <= ENUMERATION_HARD_CAP,
+            "lean too large for the explicit solver: {} diamonds (hard cap {})",
             diam_positions.len(),
-            MAX_EXPLICIT_DIAMONDS
+            ENUMERATION_HARD_CAP
         );
         let prop_positions = lean.prop_entries().map(|(i, _)| i).collect();
         TypeEnumerator {

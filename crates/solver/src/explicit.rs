@@ -20,8 +20,9 @@ use std::collections::HashMap;
 use ftree::BinaryTree;
 use mulogic::{status, BitsAlg, Formula, Logic, Program};
 
-use crate::bits::{TypeBits, TypeEnumerator};
-use crate::kernel::{run_fixpoint, Backend};
+use crate::bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
+use crate::kernel::{run_fixpoint, Backend, SolveError};
+use crate::limits::{Exhausted, Limits};
 use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
 
@@ -142,7 +143,7 @@ impl Backend for Explicit {
     /// Index of the root type that passed the final check.
     type Hit = usize;
 
-    fn step(&mut self) -> bool {
+    fn step(&mut self) -> Result<bool, Exhausted> {
         let tab = &self.tab;
         let n = tab.types.len();
         let mut changed = false;
@@ -191,7 +192,7 @@ impl Backend for Explicit {
             (0..n).filter(|&i| self.un[i]).collect(),
             (0..n).filter(|&i| self.mk[i]).collect(),
         ));
-        changed
+        Ok(changed)
     }
 
     fn check(&mut self) -> Option<usize> {
@@ -229,23 +230,38 @@ impl Backend for Explicit {
     }
 }
 
-/// Decides satisfiability with the explicit backend.
+/// Decides satisfiability with the explicit backend, unbounded.
 ///
 /// # Panics
 ///
-/// Panics if the lean has too many diamonds for explicit enumeration (see
-/// [`MAX_EXPLICIT_DIAMONDS`](crate::MAX_EXPLICIT_DIAMONDS)) or if `goal` is
-/// open.
+/// Panics if the lean has more than
+/// [`MAX_EXPLICIT_DIAMONDS`](crate::MAX_EXPLICIT_DIAMONDS) diamonds or if
+/// `goal` is open. The budget-governed path ([`crate::solve_with`])
+/// reports oversized leans as a typed resource exhaustion instead.
 pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
     let prep = Prepared::new(lg, goal);
-    solve_prepared(lg, prep)
+    let diamonds = prep.lean.diam_entries().count();
+    assert!(
+        diamonds <= MAX_EXPLICIT_DIAMONDS,
+        "lean too large for the explicit solver: {diamonds} diamonds (max {MAX_EXPLICIT_DIAMONDS})"
+    );
+    solve_prepared(lg, prep, &Limits::none()).expect("an unbounded explicit run cannot exhaust")
 }
 
-/// Runs the explicit backend on an already-preprocessed goal (the dual
-/// cross-check prepares once to bound-check the lean first).
-pub(crate) fn solve_prepared(lg: &mut Logic, prep: Prepared) -> Solved {
+/// Runs the explicit backend on an already-preprocessed goal under the
+/// caller's limits (the dual cross-check prepares once to bound-check the
+/// lean first). The type enumeration is charged against the wall-clock
+/// deadline: the driver only gets what construction left over.
+pub(crate) fn solve_prepared(
+    lg: &mut Logic,
+    prep: Prepared,
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
+    let started = std::time::Instant::now();
     let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
-    run_fixpoint(Explicit::new(lg, prep), lean_size, closure_size)
+    let backend = Explicit::new(lg, prep);
+    let remaining = limits.after(started.elapsed())?;
+    run_fixpoint(backend, lean_size, closure_size, &remaining)
 }
 
 fn find_child(

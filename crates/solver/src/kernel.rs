@@ -1,4 +1,5 @@
-//! The shared solver kernel: one fixpoint driver, pluggable backends.
+//! The shared solver kernel: one fixpoint driver, pluggable backends,
+//! resource-governed runs.
 //!
 //! The paper presents the explicit (§6.2) and symbolic (§7) satisfiability
 //! algorithms as two implementations of *one* bottom-up fixpoint over
@@ -6,10 +7,13 @@
 //! type-set representation, one `Upd` step, the root check, and the
 //! per-iteration snapshots driving minimal-model reconstruction — and the
 //! generic [`run_fixpoint`] driver that owns the iteration loop, the
-//! termination test, and the statistics. `solve_explicit`,
-//! `solve_symbolic` and `solve_witnessed` are thin wrappers that build a
-//! backend and hand it to the driver; future backends (relevance-filtered,
-//! sharded, …) plug into the same seam.
+//! termination test, the statistics, and the budget checks: every `Upd`
+//! step is gated on the caller's [`Limits`] (wall-clock deadline, fixpoint
+//! iteration cap), and a backend can abort a step from the inside (the
+//! symbolic backend polls its BDD node budget between relational-product
+//! clauses). `solve_explicit`, `solve_symbolic` and `solve_witnessed` are
+//! thin wrappers that build a backend and hand it to the driver; future
+//! backends (relevance-filtered, sharded, …) plug into the same seam.
 //!
 //! [`BackendChoice`] is the end-to-end selection type threaded from the
 //! `xsat --backend` flag through the engine protocol and the analyzer down
@@ -23,7 +27,7 @@ use std::time::Instant;
 
 use mulogic::{Formula, Logic};
 
-use crate::bits::MAX_EXPLICIT_DIAMONDS;
+use crate::limits::{Exhausted, Limits, Resource};
 use crate::outcome::{Model, Outcome, Solved, Stats, Telemetry};
 use crate::prepare::Prepared;
 use crate::symbolic::SymbolicOptions;
@@ -34,7 +38,7 @@ use crate::symbolic::SymbolicOptions;
 /// enumerations, BDDs, witness maps, …) plus whatever per-iteration
 /// snapshots its model reconstruction needs. The generic [`run_fixpoint`]
 /// driver supplies the loop: step, check, repeat until a root hit or a
-/// fixed point.
+/// fixed point — aborting when a budget runs out.
 pub trait Backend {
     /// Evidence of a root hit, carrying whatever the backend needs to
     /// reconstruct a model (a type index, a satisfying set BDD, a witness
@@ -42,8 +46,12 @@ pub trait Backend {
     type Hit;
 
     /// Performs one `Upd` iteration (Fig 16), recording a snapshot for the
-    /// later reconstruction. Returns whether the proved sets grew.
-    fn step(&mut self) -> bool;
+    /// later reconstruction. Returns whether the proved sets grew, or the
+    /// budget hit that aborted the step (backends with mid-step poll
+    /// points — the symbolic relational-product fold — report node-budget
+    /// and deadline exhaustion from here; the driver's own per-step checks
+    /// cover backends that never err).
+    fn step(&mut self) -> Result<bool, Exhausted>;
 
     /// The root check on the current sets: for the plunging backends the
     /// `ψ`-filter on types with no pending backward modality (§7.1); for
@@ -64,8 +72,11 @@ pub trait Backend {
 /// The loop is the paper's: iterate `Upd` from the empty sets, checking
 /// after every step whether a root type (marked when the goal mentions the
 /// start proposition) passes the final check; stop on the first hit or as
-/// soon as an iteration adds nothing. `lean_size` and `closure_size` are
-/// carried into [`Stats`] verbatim.
+/// soon as an iteration adds nothing. Before every step the driver checks
+/// the caller's [`Limits`] — the wall-clock deadline and the iteration
+/// cap — and a budget hit aborts the run with
+/// [`SolveError::ResourceExhausted`] instead of a verdict. `lean_size` and
+/// `closure_size` are carried into [`Stats`] verbatim.
 ///
 /// # Example
 ///
@@ -73,19 +84,19 @@ pub trait Backend {
 /// proved set standing in for the paper's ψ-type sets.
 ///
 /// ```
-/// use solver::{run_fixpoint, Backend, Model, Telemetry};
+/// use solver::{run_fixpoint, Backend, Exhausted, Limits, Model, Telemetry};
 ///
 /// struct Doubling { proved: Vec<u64>, target: u64 }
 ///
 /// impl Backend for Doubling {
 ///     type Hit = u64;
-///     fn step(&mut self) -> bool {
+///     fn step(&mut self) -> Result<bool, Exhausted> {
 ///         let next = self.proved.last().copied().unwrap_or(1).wrapping_mul(2);
 ///         if self.proved.contains(&next) || next > self.target {
-///             return false; // fixpoint reached
+///             return Ok(false); // fixpoint reached
 ///         }
 ///         self.proved.push(next);
-///         true
+///         Ok(true)
 ///     }
 ///     fn check(&mut self) -> Option<u64> {
 ///         self.proved.contains(&self.target).then_some(self.target)
@@ -98,16 +109,42 @@ pub trait Backend {
 ///     }
 /// }
 ///
-/// let solved = run_fixpoint(Doubling { proved: vec![1], target: 9 }, 0, 0);
+/// let backend = Doubling { proved: vec![1], target: 9 };
+/// let solved = run_fixpoint(backend, 0, 0, &Limits::none()).unwrap();
 /// assert!(!solved.outcome.is_satisfiable()); // 9 is not a power of two
 /// assert!(solved.stats.iterations >= 3);
+///
+/// // The same run under a one-iteration cap exhausts instead.
+/// let backend = Doubling { proved: vec![1], target: 9 };
+/// let capped = Limits { max_iterations: Some(1), ..Limits::none() };
+/// assert!(run_fixpoint(backend, 0, 0, &capped).is_err());
 /// ```
-pub fn run_fixpoint<B: Backend>(mut backend: B, lean_size: usize, closure_size: usize) -> Solved {
+pub fn run_fixpoint<B: Backend>(
+    mut backend: B,
+    lean_size: usize,
+    closure_size: usize,
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
     let t0 = Instant::now();
     let mut iterations = 0usize;
     let hit = loop {
+        if let Some(cap) = limits.max_iterations {
+            if iterations >= cap {
+                return Err(SolveError::ResourceExhausted {
+                    resource: Resource::Iterations,
+                    spent: iterations as u64,
+                    limit: cap as u64,
+                });
+            }
+        }
+        if let Some(deadline) = limits.deadline {
+            let elapsed = t0.elapsed();
+            if elapsed >= deadline {
+                return Err(Exhausted::wall_clock(elapsed, deadline).into());
+            }
+        }
         iterations += 1;
-        let changed = backend.step();
+        let changed = backend.step()?;
         if let Some(hit) = backend.check() {
             break Some(hit);
         }
@@ -119,7 +156,7 @@ pub fn run_fixpoint<B: Backend>(mut backend: B, lean_size: usize, closure_size: 
         None => Outcome::Unsatisfiable,
         Some(hit) => Outcome::Satisfiable(backend.reconstruct(hit)),
     };
-    Solved {
+    Ok(Solved {
         outcome,
         stats: Stats {
             lean_size,
@@ -128,7 +165,7 @@ pub fn run_fixpoint<B: Backend>(mut backend: B, lean_size: usize, closure_size: 
             duration: t0.elapsed(),
             telemetry: backend.telemetry(),
         },
-    }
+    })
 }
 
 /// End-to-end backend selection: which solver answers a satisfiability
@@ -188,9 +225,21 @@ impl FromStr for BackendChoice {
     }
 }
 
-/// Why a backend run could not produce a verdict.
+/// Why a solve could not produce a verdict.
+///
+/// Two very different situations share this type, and callers are expected
+/// to treat them differently:
+///
+/// * [`Disagreement`](SolveError::Disagreement) is a solver bug — the dual
+///   cross-check caught the backends contradicting each other. Fail
+///   loudly.
+/// * [`ResourceExhausted`](SolveError::ResourceExhausted) is the *third
+///   verdict*: a budget of the caller's [`Limits`] ran out before the
+///   fixpoint finished. The property is neither proved nor refuted; the
+///   engine protocol reports it as `"status":"unknown"` and never caches
+///   it, so a retry with bigger limits re-solves.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CrossCheckError {
+pub enum SolveError {
     /// The two cross-checked backends returned different verdicts — a
     /// solver bug, worth a loud failure.
     Disagreement {
@@ -201,21 +250,57 @@ pub enum CrossCheckError {
         /// Display form of the goal formula.
         formula: String,
     },
-    /// The lean has too many diamonds for the explicit enumeration — the
-    /// explicit and witnessed backends cannot run, and dual mode has
-    /// nothing to cross-check against.
-    ExplicitInfeasible {
-        /// `⟨a⟩ϕ` entries in the lean.
-        diamonds: usize,
-        /// The enumeration bound ([`MAX_EXPLICIT_DIAMONDS`]).
-        max: usize,
+    /// A resource budget ran out before the run could decide. Subsumes the
+    /// old bespoke "explicit enumeration infeasible" error: a lean beyond
+    /// [`Limits::max_lean_diamonds`] is reported as an exhaustion of
+    /// [`Resource::LeanDiamonds`].
+    ResourceExhausted {
+        /// The resource that ran out.
+        resource: Resource,
+        /// How much was spent when the check fired (the resource's natural
+        /// unit: milliseconds for wall clock, counts otherwise).
+        spent: u64,
+        /// The configured budget.
+        limit: u64,
     },
 }
 
-impl fmt::Display for CrossCheckError {
+/// The pre-resource-governance name of [`SolveError`], kept for downstream
+/// code written against the v1 API.
+pub type CrossCheckError = SolveError;
+
+impl SolveError {
+    /// The exhaustion report, when this is a budget hit.
+    pub fn exhausted(&self) -> Option<Exhausted> {
+        match *self {
+            SolveError::ResourceExhausted {
+                resource,
+                spent,
+                limit,
+            } => Some(Exhausted {
+                resource,
+                spent,
+                limit,
+            }),
+            SolveError::Disagreement { .. } => None,
+        }
+    }
+}
+
+impl From<Exhausted> for SolveError {
+    fn from(e: Exhausted) -> SolveError {
+        SolveError::ResourceExhausted {
+            resource: e.resource,
+            spent: e.spent,
+            limit: e.limit,
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CrossCheckError::Disagreement {
+            SolveError::Disagreement {
                 symbolic_sat,
                 explicit_sat,
                 formula,
@@ -225,16 +310,14 @@ impl fmt::Display for CrossCheckError {
                 verdict_name(*symbolic_sat),
                 verdict_name(*explicit_sat)
             ),
-            CrossCheckError::ExplicitInfeasible { diamonds, max } => write!(
-                f,
-                "explicit enumeration infeasible: lean has {diamonds} diamonds, \
-                 the bound is {max}"
-            ),
+            SolveError::ResourceExhausted { .. } => {
+                write!(f, "{}", self.exhausted().expect("exhausted variant"))
+            }
         }
     }
 }
 
-impl std::error::Error for CrossCheckError {}
+impl std::error::Error for SolveError {}
 
 fn verdict_name(sat: bool) -> &'static str {
     if sat {
@@ -244,24 +327,27 @@ fn verdict_name(sat: bool) -> &'static str {
     }
 }
 
-/// Decides satisfiability on the chosen backend.
+/// Decides satisfiability on the chosen backend under the given limits.
 ///
-/// The symbolic backend cannot fail. The enumerating backends (explicit,
-/// witnessed) return [`CrossCheckError::ExplicitInfeasible`] — instead of
-/// panicking like their direct `solve_*` wrappers — when the lean exceeds
-/// the enumeration bound, so a service front end can turn an oversized
-/// request into a protocol error. [`BackendChoice::Dual`] runs the
-/// symbolic solver on this thread and the explicit solver concurrently on
-/// a clone of the arena, errors when the two verdicts differ, and
-/// otherwise returns the symbolic model with combined telemetry.
+/// The symbolic backend exhausts only when a deadline, node budget or
+/// iteration cap is set. The enumerating backends (explicit, witnessed)
+/// additionally return a [`Resource::LeanDiamonds`] exhaustion — instead
+/// of panicking like their direct `solve_*` wrappers — when the lean
+/// exceeds [`Limits::max_lean_diamonds`], so a service front end can turn
+/// an oversized request into an `unknown` verdict.
+/// [`BackendChoice::Dual`] runs the symbolic solver on this thread and the
+/// explicit solver concurrently on a clone of the arena (both governed by
+/// the same limits), errors when the two verdicts differ, and otherwise
+/// returns the symbolic model with combined telemetry.
 pub fn solve_with(
     lg: &mut Logic,
     goal: Formula,
     backend: BackendChoice,
     opts: &SymbolicOptions,
-) -> Result<Solved, CrossCheckError> {
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
     let mut bdd = bdd::Bdd::new();
-    solve_with_in(lg, goal, backend, opts, &mut bdd)
+    solve_with_in(lg, goal, backend, opts, &mut bdd, limits)
 }
 
 /// [`solve_with`] inside a caller-owned BDD manager.
@@ -277,59 +363,72 @@ pub fn solve_with_in(
     backend: BackendChoice,
     opts: &SymbolicOptions,
     mgr: &mut bdd::Bdd,
-) -> Result<Solved, CrossCheckError> {
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
     match backend {
-        BackendChoice::Symbolic => Ok(crate::solve_symbolic_in(lg, goal, opts, mgr)),
+        BackendChoice::Symbolic => crate::solve_symbolic_in(lg, goal, opts, mgr, limits),
         BackendChoice::Explicit => {
             let prep = Prepared::new(lg, goal);
-            enumeration_feasible(prep.lean.diam_entries().count())?;
-            Ok(crate::explicit::solve_prepared(lg, prep))
+            enumeration_feasible(prep.lean.diam_entries().count(), limits)?;
+            crate::explicit::solve_prepared(lg, prep, limits)
         }
         BackendChoice::Witnessed => {
-            enumeration_feasible(crate::witnessed::lean_diamonds(lg, goal))?;
-            Ok(crate::solve_witnessed(lg, goal))
+            enumeration_feasible(crate::witnessed::lean_diamonds(lg, goal), limits)?;
+            crate::witnessed::solve_witnessed_bounded(lg, goal, limits)
         }
-        BackendChoice::Dual => solve_dual(lg, goal, opts, mgr),
+        BackendChoice::Dual => solve_dual(lg, goal, opts, mgr, limits),
     }
 }
 
-/// Errs when a lean is too large for the explicit type enumeration.
-fn enumeration_feasible(diamonds: usize) -> Result<(), CrossCheckError> {
-    if diamonds > MAX_EXPLICIT_DIAMONDS {
-        return Err(CrossCheckError::ExplicitInfeasible {
-            diamonds,
-            max: MAX_EXPLICIT_DIAMONDS,
+/// Errs when a lean is too large for the caller's enumeration cap. The
+/// cap is clamped to the enumerator's representation limit, so a wire
+/// request raising `max_lean` arbitrarily high can never push an
+/// oversized lean into the enumerator's panic path.
+fn enumeration_feasible(diamonds: usize, limits: &Limits) -> Result<(), SolveError> {
+    let cap = limits
+        .max_lean_diamonds
+        .min(crate::bits::ENUMERATION_HARD_CAP);
+    if diamonds > cap {
+        return Err(SolveError::ResourceExhausted {
+            resource: Resource::LeanDiamonds,
+            spent: diamonds as u64,
+            limit: cap as u64,
         });
     }
     Ok(())
 }
 
-/// The dual cross-check: symbolic and explicit side by side.
+/// The dual cross-check: symbolic and explicit side by side, both governed
+/// by the same limits.
 fn solve_dual(
     lg: &mut Logic,
     goal: Formula,
     opts: &SymbolicOptions,
     mgr: &mut bdd::Bdd,
-) -> Result<Solved, CrossCheckError> {
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
     let t0 = Instant::now();
     // The explicit run gets its own arena so the two backends can run on
     // separate threads; formula ids stay valid across the clone.
     let mut explicit_lg = lg.clone();
     let prep = Prepared::new(&mut explicit_lg, goal);
-    enumeration_feasible(prep.lean.diam_entries().count())?;
-    let (symbolic, (explicit_sat, explicit)) = std::thread::scope(|scope| {
+    enumeration_feasible(prep.lean.diam_entries().count(), limits)?;
+    let explicit_limits = limits.clone();
+    let (symbolic, explicit_result) = std::thread::scope(|scope| {
         // Models hold `Rc` trees and cannot cross threads, so the explicit
         // side ships only its verdict and stats back; its model is
         // redundant with the symbolic one anyway.
         let handle = scope.spawn(move || {
-            let solved = crate::explicit::solve_prepared(&mut explicit_lg, prep);
-            (solved.outcome.is_satisfiable(), solved.stats)
+            crate::explicit::solve_prepared(&mut explicit_lg, prep, &explicit_limits)
+                .map(|solved| (solved.outcome.is_satisfiable(), solved.stats))
         });
-        let symbolic = crate::solve_symbolic_in(lg, goal, opts, mgr);
+        let symbolic = crate::solve_symbolic_in(lg, goal, opts, mgr, limits);
         (symbolic, handle.join().expect("explicit backend panicked"))
     });
+    let symbolic = symbolic?;
+    let (explicit_sat, explicit) = explicit_result?;
     if symbolic.outcome.is_satisfiable() != explicit_sat {
-        return Err(CrossCheckError::Disagreement {
+        return Err(SolveError::Disagreement {
             symbolic_sat: symbolic.outcome.is_satisfiable(),
             explicit_sat,
             formula: lg.display(goal).to_string(),
@@ -353,6 +452,7 @@ fn solve_dual(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn choice_round_trips_through_names() {
@@ -369,11 +469,25 @@ mod tests {
         for b in BackendChoice::ALL {
             let mut lg = Logic::new();
             let sat = lg.parse("a & <1>b").unwrap();
-            let s = solve_with(&mut lg, sat, b, &SymbolicOptions::default()).unwrap();
+            let s = solve_with(
+                &mut lg,
+                sat,
+                b,
+                &SymbolicOptions::default(),
+                &Limits::default(),
+            )
+            .unwrap();
             assert!(s.outcome.is_satisfiable(), "{b}");
             let mut lg = Logic::new();
             let unsat = lg.parse("a & ~a").unwrap();
-            let s = solve_with(&mut lg, unsat, b, &SymbolicOptions::default()).unwrap();
+            let s = solve_with(
+                &mut lg,
+                unsat,
+                b,
+                &SymbolicOptions::default(),
+                &Limits::default(),
+            )
+            .unwrap();
             assert!(!s.outcome.is_satisfiable(), "{b}");
         }
     }
@@ -387,6 +501,7 @@ mod tests {
             goal,
             BackendChoice::Dual,
             &SymbolicOptions::default(),
+            &Limits::default(),
         )
         .unwrap();
         match &s.stats.telemetry {
@@ -400,9 +515,9 @@ mod tests {
 
     #[test]
     fn enumerating_backends_reject_oversized_leans() {
-        // A disjunction of many distinct diamonds blows past the explicit
-        // enumeration bound; every enumerating choice must return the
-        // infeasibility error — not panic (which would kill a serving
+        // A disjunction of many distinct diamonds blows past the default
+        // lean-diamond cap; every enumerating choice must report the
+        // budget as exhausted — not panic (which would kill a serving
         // engine) and not hang.
         for backend in [
             BackendChoice::Explicit,
@@ -412,12 +527,162 @@ mod tests {
             let mut lg = Logic::new();
             let src: Vec<String> = (0..18).map(|i| format!("<1><2>l{i}")).collect();
             let goal = lg.parse(&src.join(" | ")).unwrap();
-            let err = solve_with(&mut lg, goal, backend, &SymbolicOptions::default()).unwrap_err();
+            let err = solve_with(
+                &mut lg,
+                goal,
+                backend,
+                &SymbolicOptions::default(),
+                &Limits::default(),
+            )
+            .unwrap_err();
             match err {
-                CrossCheckError::ExplicitInfeasible { diamonds, max } => {
-                    assert!(diamonds > max, "{backend}: {diamonds} vs {max}");
+                SolveError::ResourceExhausted {
+                    resource: Resource::LeanDiamonds,
+                    spent,
+                    limit,
+                } => {
+                    assert!(spent > limit, "{backend}: {spent} vs {limit}");
                 }
-                other => panic!("{backend}: expected infeasibility, got {other}"),
+                other => panic!("{backend}: expected lean exhaustion, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn raised_lean_cap_is_clamped_to_the_representation_limit() {
+        // A wire request may set max_lean far past the enumerator's u32
+        // mask limit; the feasibility check must clamp — returning a
+        // typed exhaustion against the clamped cap — instead of letting
+        // the oversized lean reach the enumerator's panic path.
+        for backend in [
+            BackendChoice::Explicit,
+            BackendChoice::Witnessed,
+            BackendChoice::Dual,
+        ] {
+            let mut lg = Logic::new();
+            let src: Vec<String> = (0..18).map(|i| format!("<1><2>l{i}")).collect();
+            let goal = lg.parse(&src.join(" | ")).unwrap();
+            let limits = Limits {
+                max_lean_diamonds: 1_000_000,
+                ..Limits::default()
+            };
+            let err = solve_with(&mut lg, goal, backend, &SymbolicOptions::default(), &limits)
+                .unwrap_err();
+            match err {
+                SolveError::ResourceExhausted {
+                    resource: Resource::LeanDiamonds,
+                    spent,
+                    limit,
+                } => {
+                    assert_eq!(limit, 26, "{backend}");
+                    assert!(spent > limit, "{backend}: {spent} vs {limit}");
+                }
+                other => panic!("{backend}: expected lean exhaustion, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_cap_reports_exhaustion_on_every_backend() {
+        // A deep chain needs several Upd iterations; a one-iteration cap
+        // must surface as a typed exhaustion, never a wrong verdict.
+        for backend in BackendChoice::ALL {
+            let mut lg = Logic::new();
+            let goal = lg.parse("a & <1>(b & <1>(c & <1>d))").unwrap();
+            let limits = Limits {
+                max_iterations: Some(1),
+                ..Limits::default()
+            };
+            let err = solve_with(&mut lg, goal, backend, &SymbolicOptions::default(), &limits)
+                .unwrap_err();
+            match err {
+                SolveError::ResourceExhausted {
+                    resource: Resource::Iterations,
+                    spent,
+                    limit,
+                } => {
+                    assert_eq!((spent, limit), (1, 1), "{backend}");
+                }
+                other => panic!("{backend}: expected iteration exhaustion, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deadline_exhausts_immediately() {
+        for backend in BackendChoice::ALL {
+            let mut lg = Logic::new();
+            let goal = lg.parse("a & <1>b").unwrap();
+            let limits = Limits {
+                deadline: Some(Duration::ZERO),
+                ..Limits::default()
+            };
+            let err = solve_with(&mut lg, goal, backend, &SymbolicOptions::default(), &limits)
+                .unwrap_err();
+            assert_eq!(
+                err.exhausted().map(|e| e.resource),
+                Some(Resource::WallClock),
+                "{backend}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_budget_exhausts_the_symbolic_backend() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>(b & <2>(c & <1>d))").unwrap();
+        let limits = Limits {
+            max_bdd_nodes: Some(8),
+            ..Limits::default()
+        };
+        for backend in [BackendChoice::Symbolic, BackendChoice::Dual] {
+            let err = solve_with(&mut lg, goal, backend, &SymbolicOptions::default(), &limits)
+                .unwrap_err();
+            match err {
+                SolveError::ResourceExhausted {
+                    resource: Resource::BddNodes,
+                    spent,
+                    limit,
+                } => {
+                    assert!(spent > limit, "{backend}: {spent} vs {limit}");
+                    assert_eq!(limit, 8, "{backend}");
+                }
+                other => panic!("{backend}: expected node exhaustion, got {other}"),
+            }
+        }
+        // The budget does not bother the enumerating backends.
+        let s = solve_with(
+            &mut lg,
+            goal,
+            BackendChoice::Explicit,
+            &SymbolicOptions::default(),
+            &limits,
+        )
+        .unwrap();
+        assert!(s.outcome.is_satisfiable());
+    }
+
+    #[test]
+    fn generous_limits_do_not_change_verdicts() {
+        let generous = Limits {
+            deadline: Some(Duration::from_secs(120)),
+            max_bdd_nodes: Some(100_000_000),
+            max_iterations: Some(1_000_000),
+            max_lean_diamonds: 16,
+        };
+        for (src, expect) in [("a & <1>b", true), ("a & ~a", false)] {
+            for backend in BackendChoice::ALL {
+                let mut lg = Logic::new();
+                let goal = lg.parse(src).unwrap();
+                let s = solve_with(
+                    &mut lg,
+                    goal,
+                    backend,
+                    &SymbolicOptions::default(),
+                    &generous,
+                )
+                .unwrap();
+                assert_eq!(s.outcome.is_satisfiable(), expect, "{backend}: {src}");
             }
         }
     }

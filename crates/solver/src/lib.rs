@@ -30,6 +30,14 @@
 //! [`solve_with`] dispatches on it. Each run reports typed per-backend
 //! [`Telemetry`] in its [`Stats`].
 //!
+//! Runs are *resource-governed*: [`solve_with`] (and the kernel's
+//! [`run_fixpoint`]) take a [`Limits`] value — wall-clock deadline, BDD
+//! node budget, fixpoint iteration cap, and the lean-diamond cap of the
+//! enumerating backends — and report a budget hit as the typed
+//! [`SolveError::ResourceExhausted`], the "unknown" third verdict a
+//! service turns into admission control. The direct `solve_*` wrappers run
+//! unbounded ([`Limits::none`]).
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +59,7 @@
 mod bits;
 mod explicit;
 pub mod kernel;
+mod limits;
 mod outcome;
 mod prepare;
 mod symbolic;
@@ -59,8 +68,9 @@ mod witnessed;
 pub use bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
 pub use explicit::solve_explicit;
 pub use kernel::{
-    run_fixpoint, solve_with, solve_with_in, Backend, BackendChoice, CrossCheckError,
+    run_fixpoint, solve_with, solve_with_in, Backend, BackendChoice, CrossCheckError, SolveError,
 };
+pub use limits::{Exhausted, Limits, Resource};
 pub use outcome::{BddCounters, Model, Outcome, Solved, Stats, Telemetry};
 pub use prepare::Prepared;
 pub use symbolic::{

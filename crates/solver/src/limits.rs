@@ -1,0 +1,236 @@
+//! Resource governance of a solve: budgets, the resources they meter, and
+//! the typed exhaustion report.
+//!
+//! The paper's decision procedures are EXPTIME in the lean, so a service
+//! answering untrusted requests must bound every run: a hostile (or merely
+//! huge) lean can otherwise pin a worker for an unbounded time or grow the
+//! BDD store without limit. [`Limits`] is that admission-control contract,
+//! threaded from the engine protocol (`"limits"` request objects, `xsat
+//! --timeout-ms/--max-bdd-nodes/--max-lean`) through
+//! [`Analyzer::solve`](../analyzer) down to
+//! [`run_fixpoint`](crate::run_fixpoint) and the BDD manager's allocation
+//! path. Hitting a budget is *not* an error in the solver-bug sense: it is
+//! the third verdict — the caller learns which [`Resource`] ran out and can
+//! retry with a larger budget.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::bits::MAX_EXPLICIT_DIAMONDS;
+
+/// Resource budgets of one solve.
+///
+/// Every field is a per-solve budget (the two directions of an equivalence
+/// share the wall-clock deadline but each get a fresh node budget — the
+/// manager is reset between sub-solves). `Limits::default()` is the
+/// service posture: no time or node budget, but the explicit enumeration
+/// capped at [`MAX_EXPLICIT_DIAMONDS`] lean diamonds; [`Limits::none`]
+/// lifts every cap (the posture of the direct `solve_*` wrappers).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Limits {
+    /// Wall-clock budget of the whole solve. Checked before every `Upd`
+    /// iteration by [`run_fixpoint`](crate::run_fixpoint) and, on the
+    /// symbolic backend, between the clauses of each relational-product
+    /// fold.
+    pub deadline: Option<Duration>,
+    /// Budget on live BDD nodes, enforced by the manager at allocation
+    /// (the check is sticky: once an allocation pushes the arena past the
+    /// budget the run reports exhaustion at its next poll point).
+    pub max_bdd_nodes: Option<usize>,
+    /// Cap on `Upd` fixpoint iterations.
+    pub max_iterations: Option<usize>,
+    /// Cap on `⟨a⟩ϕ` lean entries accepted by the enumerating backends
+    /// (explicit, witnessed, and the explicit half of dual mode). The
+    /// enumeration is exponential in this count; the default is the
+    /// paper-scale [`MAX_EXPLICIT_DIAMONDS`]. Values above the
+    /// enumeration's representation limit (26) are clamped to it by the
+    /// governed dispatch path, so an arbitrarily large cap still yields a
+    /// typed exhaustion — never a panic.
+    pub max_lean_diamonds: usize,
+}
+
+impl Limits {
+    /// No budgets at all: the posture of the direct `solve_*` wrappers,
+    /// under which a fixpoint run cannot exhaust.
+    pub const fn none() -> Limits {
+        Limits {
+            deadline: None,
+            max_bdd_nodes: None,
+            max_iterations: None,
+            max_lean_diamonds: usize::MAX,
+        }
+    }
+
+    /// Whether any budget is set (the fast path skips deadline reads when
+    /// none is).
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_bdd_nodes.is_none()
+            && self.max_iterations.is_none()
+            && self.max_lean_diamonds == usize::MAX
+    }
+
+    /// The limits that remain after `elapsed` of the wall-clock budget has
+    /// been spent — what a multi-part problem (an equivalence solves two
+    /// containments) hands to its next sub-solve. Errs with a
+    /// [`Resource::WallClock`] exhaustion when nothing remains.
+    pub fn after(&self, elapsed: Duration) -> Result<Limits, Exhausted> {
+        match self.deadline {
+            None => Ok(self.clone()),
+            Some(total) => {
+                let left = total.saturating_sub(elapsed);
+                if left.is_zero() {
+                    return Err(Exhausted::wall_clock(elapsed, total));
+                }
+                Ok(Limits {
+                    deadline: Some(left),
+                    ..self.clone()
+                })
+            }
+        }
+    }
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_lean_diamonds: MAX_EXPLICIT_DIAMONDS,
+            ..Limits::none()
+        }
+    }
+}
+
+/// The meterable resources of a solve — the `resource` tag of a
+/// [`ResourceExhausted`](crate::SolveError::ResourceExhausted) report and
+/// of the protocol's `"status":"unknown"` verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Wall-clock time, metered in milliseconds.
+    WallClock,
+    /// Live BDD nodes in the symbolic backend's manager.
+    BddNodes,
+    /// `Upd` fixpoint iterations.
+    Iterations,
+    /// `⟨a⟩ϕ` lean entries presented to an enumerating backend.
+    LeanDiamonds,
+}
+
+impl Resource {
+    /// The protocol name of the resource.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Resource::WallClock => "wall_clock_ms",
+            Resource::BddNodes => "bdd_nodes",
+            Resource::Iterations => "iterations",
+            Resource::LeanDiamonds => "lean_diamonds",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A budget hit, reported by a backend or the fixpoint driver: which
+/// resource ran out, how much was spent, and what the budget was.
+///
+/// `spent` and `limit` are in the resource's natural unit (milliseconds
+/// for wall clock, counts otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    /// The resource that ran out.
+    pub resource: Resource,
+    /// How much was spent when the budget check fired.
+    pub spent: u64,
+    /// The configured budget.
+    pub limit: u64,
+}
+
+impl Exhausted {
+    /// A wall-clock exhaustion from the elapsed time and the deadline.
+    pub fn wall_clock(elapsed: Duration, deadline: Duration) -> Exhausted {
+        Exhausted {
+            resource: Resource::WallClock,
+            spent: elapsed.as_millis() as u64,
+            limit: deadline.as_millis() as u64,
+        }
+    }
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::WallClock => write!(
+                f,
+                "resource exhausted: wall clock at {} ms, the deadline is {} ms",
+                self.spent, self.limit
+            ),
+            Resource::BddNodes => write!(
+                f,
+                "resource exhausted: {} live BDD nodes, the budget is {}",
+                self.spent, self.limit
+            ),
+            Resource::Iterations => write!(
+                f,
+                "resource exhausted: {} fixpoint iterations, the cap is {}",
+                self.spent, self.limit
+            ),
+            Resource::LeanDiamonds => write!(
+                f,
+                "resource exhausted: lean has {} diamonds, the cap is {}",
+                self.spent, self.limit
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_caps_only_the_enumeration() {
+        let d = Limits::default();
+        assert_eq!(d.deadline, None);
+        assert_eq!(d.max_bdd_nodes, None);
+        assert_eq!(d.max_iterations, None);
+        assert_eq!(d.max_lean_diamonds, MAX_EXPLICIT_DIAMONDS);
+        assert!(!d.is_unbounded());
+        assert!(Limits::none().is_unbounded());
+    }
+
+    #[test]
+    fn after_subtracts_the_deadline() {
+        let l = Limits {
+            deadline: Some(Duration::from_millis(100)),
+            ..Limits::default()
+        };
+        let rest = l.after(Duration::from_millis(40)).unwrap();
+        assert_eq!(rest.deadline, Some(Duration::from_millis(60)));
+        let gone = l.after(Duration::from_millis(100)).unwrap_err();
+        assert_eq!(gone.resource, Resource::WallClock);
+        assert_eq!(gone.limit, 100);
+        // Without a deadline `after` is the identity.
+        assert_eq!(
+            Limits::default().after(Duration::from_secs(9)).unwrap(),
+            Limits::default()
+        );
+    }
+
+    #[test]
+    fn exhaustion_messages_name_the_resource() {
+        let e = Exhausted {
+            resource: Resource::Iterations,
+            spent: 7,
+            limit: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "resource exhausted: 7 fixpoint iterations, the cap is 7"
+        );
+        assert_eq!(Resource::BddNodes.as_str(), "bdd_nodes");
+        assert_eq!(Resource::WallClock.to_string(), "wall_clock_ms");
+    }
+}

@@ -363,6 +363,22 @@ pub struct Stats {
     pub telemetry: Telemetry,
 }
 
+impl Stats {
+    /// Combines the measurements of two sub-solves of one logical problem
+    /// (e.g. the two directions of an equivalence): sizes take the
+    /// maximum, iterations and wall clock sum, telemetry merges
+    /// field-wise (see [`Telemetry::merge`]).
+    pub fn merge(self, other: Stats) -> Stats {
+        Stats {
+            lean_size: self.lean_size.max(other.lean_size),
+            closure_size: self.closure_size.max(other.closure_size),
+            iterations: self.iterations + other.iterations,
+            duration: self.duration + other.duration,
+            telemetry: self.telemetry.merge(other.telemetry),
+        }
+    }
+}
+
 /// A verdict together with its statistics.
 #[derive(Debug)]
 pub struct Solved {

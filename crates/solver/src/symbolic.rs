@@ -23,12 +23,14 @@
 //! `T°` and marked `T•` — with the four update cases of the paper.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use bdd::{Bdd, NodeId, QuantSet};
 use ftree::BinaryTree;
 use mulogic::{status, BoolAlg, Formula, Logic, Program};
 
-use crate::kernel::{run_fixpoint, Backend};
+use crate::kernel::{run_fixpoint, Backend, SolveError};
+use crate::limits::{Exhausted, Limits, Resource};
 use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
 
@@ -133,10 +135,25 @@ struct Sym<'m> {
     /// Lean entries `(lean index, program)` of the diamonds.
     diams: Vec<(usize, Program)>,
     state: FixpointState,
+    /// When the run started (for deadline polls inside a step).
+    started: Instant,
+    /// Wall-clock budget of the run, when one is set.
+    deadline: Option<Duration>,
 }
 
 impl<'m> Sym<'m> {
-    fn new(lg: &mut Logic, prep: Prepared, opts: &SymbolicOptions, bdd: &'m mut Bdd) -> Self {
+    /// Builds the backend. `started` is when the *solve* began — before
+    /// preparation and this constructor's status-BDD work — so the
+    /// deadline polls charge construction time too, and the node budget
+    /// armed here already meters the constructor's own allocations.
+    fn new(
+        lg: &mut Logic,
+        prep: Prepared,
+        opts: &SymbolicOptions,
+        bdd: &'m mut Bdd,
+        limits: &Limits,
+        started: Instant,
+    ) -> Self {
         let n = prep.lean.len();
         let perm: Vec<usize> = match opts.var_order {
             VarOrder::Bfs => (0..n).collect(),
@@ -144,8 +161,10 @@ impl<'m> Sym<'m> {
         };
         let xvar: Vec<u32> = perm.iter().map(|&p| 2 * p as u32).collect();
         // Generational reset: the previous problem's nodes and cache
-        // entries vanish in O(1) while the allocations stay warm.
+        // entries vanish in O(1) while the allocations stay warm. The node
+        // budget is re-armed per run (reset disarms it).
         bdd.reset();
+        bdd.set_node_budget(limits.max_bdd_nodes);
 
         // Status BDDs for every diamond argument and for ψ, sharing a memo.
         let mut memo: HashMap<Formula, NodeId> = HashMap::new();
@@ -228,7 +247,31 @@ impl<'m> Sym<'m> {
             delta,
             diams,
             state,
+            started,
+            deadline: limits.deadline,
         }
+    }
+
+    /// The mid-step budget poll: fires on a node-budget overrun recorded
+    /// by the manager at allocation, or a blown deadline. Called at the
+    /// top of every `Upd` step and between the clauses of each
+    /// relational-product fold, so even a single expensive step cannot run
+    /// far past its budget.
+    fn check_budget(&self) -> Result<(), Exhausted> {
+        if let Some((live, budget)) = self.bdd.budget_exceeded() {
+            return Err(Exhausted {
+                resource: Resource::BddNodes,
+                spent: live as u64,
+                limit: budget as u64,
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed >= deadline {
+                return Err(Exhausted::wall_clock(elapsed, deadline));
+            }
+        }
+        Ok(())
     }
 
     /// Builds the clause list and quantification schedule for `∆_a`.
@@ -352,8 +395,9 @@ impl<'m> Sym<'m> {
     /// `∃ȳ (set(ȳ) ∧ ischild_a(ȳ) ∧ ∆_a(x̄,ȳ))`.
     ///
     /// Takes the set by `&mut` so the caller's handle stays valid across
-    /// the mid-fold garbage collections.
-    fn image(&mut self, a: Program, set_x: &mut NodeId) -> NodeId {
+    /// the mid-fold garbage collections. Aborts with the budget hit when
+    /// the node budget or deadline runs out mid-fold.
+    fn image(&mut self, a: Program, set_x: &mut NodeId) -> Result<NodeId, Exhausted> {
         let ai = if a == Program::Down1 { 0 } else { 1 };
         let set_y = self.bdd.shift(*set_x, 1);
         let ischild = self.bdd.var(self.xvar[self.dt(a.converse())] + 1);
@@ -366,8 +410,9 @@ impl<'m> Sym<'m> {
             let quant = self.delta[ai].quants[k];
             h = self.bdd.and_exists(h, clause, quant);
             self.maybe_gc(&mut [&mut h, set_x]);
+            self.check_budget()?;
         }
-        h
+        Ok(h)
     }
 
     /// Mark-compact the BDD store when it exceeds the adaptive threshold,
@@ -535,18 +580,19 @@ impl Backend for Sym<'_> {
     /// The satisfying root set: `target ∧ final_filter`, nonempty.
     type Hit = NodeId;
 
-    fn step(&mut self) -> bool {
+    fn step(&mut self) -> Result<bool, Exhausted> {
         let uses_mark = self.prep.uses_mark;
         let s_idx = self.prep.lean.start_index();
         self.state.round += 1;
         self.maybe_gc(&mut []);
+        self.check_budget()?;
         // Refresh the cumulative images with the new frontier. These calls
         // may garbage-collect, so every handle used below is created
         // afterwards.
         if self.state.un != self.state.done_un {
             let mut frontier = self.bdd.diff(self.state.un, self.state.done_un);
             for (ai, a) in [Program::Down1, Program::Down2].into_iter().enumerate() {
-                let img = self.image(a, &mut frontier);
+                let img = self.image(a, &mut frontier)?;
                 self.state.im_un[ai] = self.bdd.or(self.state.im_un[ai], img);
             }
             self.state.done_un = self.state.un;
@@ -554,7 +600,7 @@ impl Backend for Sym<'_> {
         if uses_mark && self.state.mk != self.state.done_mk {
             let mut frontier = self.bdd.diff(self.state.mk, self.state.done_mk);
             for (ai, a) in [Program::Down1, Program::Down2].into_iter().enumerate() {
-                let img = self.image(a, &mut frontier);
+                let img = self.image(a, &mut frontier)?;
                 self.state.im_mk[ai] = self.bdd.or(self.state.im_mk[ai], img);
             }
             self.state.done_mk = self.state.mk;
@@ -611,7 +657,7 @@ impl Backend for Sym<'_> {
         let changed = un_next != self.state.un || mk_next != self.state.mk;
         self.state.un = un_next;
         self.state.mk = mk_next;
-        changed
+        Ok(changed)
     }
 
     fn check(&mut self) -> Option<NodeId> {
@@ -673,26 +719,39 @@ pub fn solve_symbolic(lg: &mut Logic, goal: Formula) -> Solved {
 /// Decides satisfiability with explicit options (ablation hooks).
 pub fn solve_symbolic_with(lg: &mut Logic, goal: Formula, opts: &SymbolicOptions) -> Solved {
     let mut bdd = Bdd::new();
-    solve_symbolic_in(lg, goal, opts, &mut bdd)
+    solve_symbolic_in(lg, goal, opts, &mut bdd, &Limits::none())
+        .expect("an unbounded symbolic run cannot exhaust")
 }
 
-/// Decides satisfiability inside a caller-owned BDD manager.
+/// Decides satisfiability inside a caller-owned BDD manager, governed by
+/// the caller's [`Limits`].
 ///
 /// The manager is [`reset`](Bdd::reset) — not reallocated — before the
 /// run: its arena, unique table and operation cache keep their capacity,
-/// and the previous problem's state is invalidated generationally in
-/// O(1). This is the entry point long-lived workers (the engine's batch
-/// executor, `xsat serve`) use to amortize allocation across problems;
-/// verdicts are identical to a fresh-manager run.
+/// the previous problem's state is invalidated generationally in O(1),
+/// and the node budget (if any) is re-armed for this run. This is the
+/// entry point long-lived workers (the engine's batch executor, `xsat
+/// serve`) use to amortize allocation across problems; verdicts are
+/// identical to a fresh-manager run. Under [`Limits::none`] the run
+/// cannot fail; with budgets set, a deadline or node-budget hit comes
+/// back as [`SolveError::ResourceExhausted`].
 pub fn solve_symbolic_in(
     lg: &mut Logic,
     goal: Formula,
     opts: &SymbolicOptions,
     bdd: &mut Bdd,
-) -> Solved {
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
+    // The deadline covers the whole solve: preparation and the backend's
+    // status-BDD construction are charged against it (the backend's
+    // internal polls measure from `started`, and the driver gets only
+    // what construction left over).
+    let started = Instant::now();
     let prep = Prepared::new(lg, goal);
     let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
-    run_fixpoint(Sym::new(lg, prep, opts, bdd), lean_size, closure_size)
+    let backend = Sym::new(lg, prep, opts, bdd, limits, started);
+    let remaining = limits.after(started.elapsed())?;
+    run_fixpoint(backend, lean_size, closure_size, &remaining)
 }
 
 #[cfg(test)]

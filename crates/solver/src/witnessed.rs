@@ -22,8 +22,9 @@ use std::collections::{HashMap, HashSet};
 use ftree::BinaryTree;
 use mulogic::{status, BitsAlg, Closure, Formula, Lean, Logic, Program};
 
-use crate::bits::TypeEnumerator;
-use crate::kernel::{run_fixpoint, Backend};
+use crate::bits::{TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
+use crate::kernel::{run_fixpoint, Backend, SolveError};
+use crate::limits::{Exhausted, Limits};
 use crate::outcome::{Model, Solved, Telemetry};
 
 /// A node of the proof forest: a type index plus whether its proved subtree
@@ -155,7 +156,7 @@ impl Backend for Witnessed {
     /// A root triple plus the `dsat` witness path to a ψ-satisfying type.
     type Hit = (Key, Vec<Key>);
 
-    fn step(&mut self) -> bool {
+    fn step(&mut self) -> Result<bool, Exhausted> {
         self.round += 1;
         let tab = &self.tab;
         let n = tab.types.len();
@@ -226,7 +227,7 @@ impl Backend for Witnessed {
                 }
             }
         }
-        changed
+        Ok(changed)
     }
 
     fn check(&mut self) -> Option<(Key, Vec<Key>)> {
@@ -280,22 +281,45 @@ pub(crate) fn lean_diamonds(lg: &mut Logic, goal: Formula) -> usize {
     lean.diam_entries().count()
 }
 
-/// Decides satisfiability with the witnessed Fig 16 algorithm.
+/// Decides satisfiability with the witnessed Fig 16 algorithm, unbounded.
 ///
 /// Exponential like [`solve_explicit`](crate::solve_explicit); meant for
 /// small formulas and cross-validation.
 ///
 /// # Panics
 ///
-/// Panics on open goals or leans too large for explicit enumeration.
+/// Panics on open goals or leans with more than
+/// [`MAX_EXPLICIT_DIAMONDS`](crate::MAX_EXPLICIT_DIAMONDS) diamonds. The
+/// budget-governed path ([`crate::solve_with`]) reports oversized leans as
+/// a typed resource exhaustion instead.
 pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
+    let diamonds = lean_diamonds(lg, goal);
+    assert!(
+        diamonds <= MAX_EXPLICIT_DIAMONDS,
+        "lean too large for the witnessed solver: {diamonds} diamonds (max {MAX_EXPLICIT_DIAMONDS})"
+    );
+    solve_witnessed_bounded(lg, goal, &Limits::none())
+        .expect("an unbounded witnessed run cannot exhaust")
+}
+
+/// [`solve_witnessed`] under the caller's limits (the kernel's governed
+/// dispatch path; the lean bound has already been checked there). The
+/// closure/lean computation and type enumeration are charged against the
+/// wall-clock deadline: the driver only gets what construction left over.
+pub(crate) fn solve_witnessed_bounded(
+    lg: &mut Logic,
+    goal: Formula,
+    limits: &Limits,
+) -> Result<Solved, SolveError> {
+    let started = std::time::Instant::now();
     let goal = lg.collapse_nu(goal);
     assert!(lg.is_closed(goal), "satisfiability goal must be closed");
     let closure = Closure::compute(lg, goal);
     let lean = Lean::compute(lg, &closure);
     let uses_mark = lg.mentions_start(goal);
     let backend = Witnessed::new(lg, &lean, goal, uses_mark);
-    run_fixpoint(backend, lean.len(), closure.len())
+    let remaining = limits.after(started.elapsed())?;
+    run_fixpoint(backend, lean.len(), closure.len(), &remaining)
 }
 
 /// `dsat(x, ψ)`: ψ holds at the triple's type or somewhere down its

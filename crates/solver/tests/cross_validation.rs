@@ -10,11 +10,14 @@
 //! satisfiable verdict must come with a model accepted by the independent
 //! model checker of Fig 2.
 
+use std::time::Duration;
+
 use ftree::Label;
 use mulogic::{cycle_free, Formula, Logic, ModelChecker, Program};
 use proptest::prelude::*;
 use solver::{
-    solve_explicit, solve_symbolic, solve_with, solve_witnessed, BackendChoice, SymbolicOptions,
+    solve_explicit, solve_symbolic, solve_with, solve_witnessed, BackendChoice, Limits,
+    SymbolicOptions,
 };
 
 /// A recipe for building random cycle-free formulas without reference to a
@@ -163,8 +166,14 @@ proptest! {
 
         let reference = solve_symbolic(&mut lg, goal).outcome.is_satisfiable();
         for choice in BackendChoice::ALL {
-            let solved = solve_with(&mut lg, goal, choice, &SymbolicOptions::default())
-                .unwrap_or_else(|e| panic!("{choice} failed on {}: {e}", lg.display(goal)));
+            let solved = solve_with(
+                &mut lg,
+                goal,
+                choice,
+                &SymbolicOptions::default(),
+                &Limits::default(),
+            )
+            .unwrap_or_else(|e| panic!("{choice} failed on {}: {e}", lg.display(goal)));
             prop_assert_eq!(
                 solved.outcome.is_satisfiable(),
                 reference,
@@ -224,7 +233,8 @@ proptest! {
             let mut lg = Logic::new();
             let goal = build(&mut lg, shape);
             prop_assume!(cycle_free(&lg, goal));
-            let reused = solver::solve_symbolic_in(&mut lg, goal, &opts, &mut shared);
+            let reused = solver::solve_symbolic_in(&mut lg, goal, &opts, &mut shared, &Limits::none())
+                .expect("unbounded run cannot exhaust");
             if let Some(m) = reused.outcome.model() {
                 let mc = ModelChecker::new_row(m.roots());
                 prop_assert!(
@@ -246,5 +256,53 @@ proptest! {
             verdicts_fresh.push(fresh.outcome.is_satisfiable());
         }
         prop_assert_eq!(verdicts_shared, verdicts_fresh);
+    }
+
+    /// Resource governance must be invisible when the budgets are
+    /// generous: a solve under roomy limits agrees verdict-for-verdict
+    /// with the unlimited solve, on every backend.
+    #[test]
+    fn generous_limits_agree_with_unlimited(shape in arb_shape(2)) {
+        let mut lg = Logic::new();
+        let goal = build(&mut lg, &shape);
+        prop_assume!(cycle_free(&lg, goal));
+        // Keep the explicit enumerations tractable (dual runs one too).
+        let prep = solver::Prepared::new(&mut lg, goal);
+        prop_assume!(prep.lean.diam_entries().count() <= 10);
+
+        let unlimited = solve_symbolic(&mut lg, goal).outcome.is_satisfiable();
+        let generous = Limits {
+            deadline: Some(Duration::from_secs(300)),
+            max_bdd_nodes: Some(100_000_000),
+            max_iterations: Some(1_000_000),
+            max_lean_diamonds: 16,
+        };
+        for choice in BackendChoice::ALL {
+            let bounded = solve_with(
+                &mut lg,
+                goal,
+                choice,
+                &SymbolicOptions::default(),
+                &generous,
+            )
+            .unwrap_or_else(|e| panic!("{choice} exhausted generous limits on {}: {e}", lg.display(goal)));
+            prop_assert_eq!(
+                bounded.outcome.is_satisfiable(),
+                unlimited,
+                "{} under generous limits disagrees with unlimited on {}",
+                choice,
+                lg.display(goal)
+            );
+            if let Some(m) = bounded.outcome.model() {
+                let mc = ModelChecker::new_row(m.roots());
+                prop_assert!(
+                    !mc.eval(&lg, goal).is_empty(),
+                    "{}: bounded model {} fails check for {}",
+                    choice,
+                    m,
+                    lg.display(goal)
+                );
+            }
+        }
     }
 }

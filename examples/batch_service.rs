@@ -1,15 +1,20 @@
 //! The engine as a library: register a workspace once, then fan a batch of
-//! decision problems out across worker threads with memoized verdicts.
+//! decision problems out across worker threads with memoized verdicts —
+//! including protocol-v2 resource limits and an `unknown` verdict from a
+//! deliberately starved budget.
 //!
 //! ```text
 //! cargo run --release --example batch_service
 //! ```
 
-use xsat::engine::{Engine, EngineConfig, Request};
+use xsat::engine::{Engine, EngineConfig, Limits, Request, Value};
 
 fn main() -> Result<(), String> {
     let mut engine = Engine::with_config(EngineConfig {
         threads: 4,
+        // Engine-wide defaults; individual requests override them with a
+        // "limits" object.
+        limits: Limits::default(),
         ..EngineConfig::default()
     });
 
@@ -36,5 +41,28 @@ fn main() -> Result<(), String> {
         println!("{}", response.to_json());
     }
     eprintln!("summary: {}", outcome.stats.to_value().to_json());
+
+    // A deliberately starved iteration budget: the engine answers
+    // "status":"unknown" naming the exhausted resource, and never caches
+    // it — a retry with bigger limits re-solves.
+    let unknown = engine
+        .execute_line(r#"{"id":6,"op":"sat","query":"a/b[c]","limits":{"max_iterations":1}}"#);
+    println!("{}", unknown.to_json());
+    assert_eq!(
+        unknown.get("status").and_then(Value::as_str),
+        Some("unknown")
+    );
+    assert_eq!(
+        unknown.get("resource").and_then(Value::as_str),
+        Some("iterations")
+    );
+
+    // The same problem under the default limits decides normally (and the
+    // unknown above left no cache entry behind).
+    let decided = engine.execute_line(r#"{"id":7,"op":"sat","query":"a/b[c]"}"#);
+    println!("{}", decided.to_json());
+    assert_eq!(decided.get("status").and_then(Value::as_str), Some("holds"));
+    assert_eq!(decided.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(engine.counters().unknown, 1);
     Ok(())
 }

@@ -1,47 +1,84 @@
-//! Quickstart: decide XPath containment, overlap and emptiness, and print
-//! counter-examples.
+//! Quickstart: the typed `Problem`/`Limits` API — decide XPath
+//! containment, overlap and emptiness, print counter-examples, and bound
+//! a solve so it returns the `unknown` third verdict instead of running
+//! away.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use xsat::analyzer::Analyzer;
+use xsat::analyzer::{Analyzer, Limits, Problem, SolveError};
 use xsat::xpath::parse;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut az = Analyzer::new();
 
     // Containment that holds: filtering commutes with the descendant step.
-    let q1 = parse("a/b//d[prec-sibling::c]/e")?;
-    let q2 = parse("a/b//c/foll-sibling::d/e")?;
-    let v = az.contains(&q1, None, &q2, None).unwrap();
-    println!("{q1}\n  ⊆ {q2}\n  -> {}", verdict(v.holds));
+    let p = Problem::contains(
+        parse("a/b//d[prec-sibling::c]/e")?,
+        None,
+        parse("a/b//c/foll-sibling::d/e")?,
+        None,
+    );
+    let v = az.solve(&p, &Limits::default())?;
+    println!("{} -> {}", p.op_name(), verdict(v.holds));
     println!(
         "  lean = {} atoms, {} iterations, {:?}\n",
         v.stats.lean_size, v.stats.iterations, v.stats.duration
     );
 
     // Containment that fails: the solver produces a counter-example tree.
-    let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
-    let e2 = parse("child::c[child::b]")?;
-    let v = az.contains(&e1, None, &e2, None).unwrap();
-    println!("{e1}\n  ⊆ {e2}\n  -> {}", verdict(v.holds));
+    let p = Problem::contains(
+        parse("child::c/preceding-sibling::a[child::b]")?,
+        None,
+        parse("child::c[child::b]")?,
+        None,
+    );
+    let v = az.solve(&p, &Limits::default())?;
+    println!("{} (Fig 18) -> {}", p.op_name(), verdict(v.holds));
     if let Some(m) = &v.counter_example {
         println!("  counter-example (s=\"1\" marks the context node):");
         println!("  {}\n", m.xml());
     }
 
     // Emptiness: no node is both an a and a b.
-    let e = parse("child::a ∩ child::b")?;
-    let v = az.is_empty(&e, None).unwrap();
-    println!("{e}\n  is empty -> {}", verdict(v.holds));
+    let p = Problem::empty(parse("child::a ∩ child::b")?, None);
+    let v = az.solve(&p, &Limits::default())?;
+    println!("child::a ∩ child::b is empty -> {}", verdict(v.holds));
 
     // Overlap: a witness where both queries select the same node.
-    let o1 = parse("child::*[child::b]")?;
-    let o2 = parse("child::a")?;
-    let v = az.overlaps(&o1, None, &o2, None).unwrap();
-    println!("\n{o1} overlaps {o2} -> {}", verdict(v.holds));
+    let p = Problem::overlap(parse("child::*[child::b]")?, None, parse("child::a")?, None);
+    let v = az.solve(&p, &Limits::default())?;
+    println!("\noverlap -> {}", verdict(v.holds));
     if let Some(m) = &v.counter_example {
-        println!("  witness: {}", m.xml());
+        println!("  witness: {}\n", m.xml());
     }
+
+    // Resource governance: the same containment under a deliberately
+    // starved BDD node budget neither proves nor refutes — the typed
+    // `ResourceExhausted` error is the `unknown` third verdict, and the
+    // caller decides whether to retry with a bigger budget.
+    let p = Problem::contains(
+        parse("a/b//d[prec-sibling::c]/e")?,
+        None,
+        parse("a/b//c/foll-sibling::d/e")?,
+        None,
+    );
+    let starved = Limits {
+        max_bdd_nodes: Some(64),
+        ..Limits::default()
+    };
+    match az.solve(&p, &starved) {
+        Err(SolveError::ResourceExhausted {
+            resource,
+            spent,
+            limit,
+        }) => {
+            println!("starved solve -> UNKNOWN ({resource}: spent {spent}, budget {limit})");
+        }
+        other => panic!("expected an exhausted budget, got {other:?}"),
+    }
+    // Retrying with the budget lifted decides the same problem.
+    let v = az.solve(&p, &Limits::default())?;
+    println!("retried with no budget -> {}", verdict(v.holds));
     Ok(())
 }
 

@@ -1,16 +1,19 @@
 //! `xsat` — the command-line front end of the batch-analysis engine.
 //!
 //! ```text
-//! xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json]
-//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json]
-//! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only]
-//! xsat serve [--threads N] [--backend B]
+//! xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json] [LIMITS]
+//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [LIMITS]
+//! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [LIMITS]
+//! xsat serve [--threads N] [--backend B] [LIMITS]
+//! LIMITS: [--timeout-ms N] [--max-bdd-nodes N] [--max-lean N]
 //! ```
 //!
 //! `check` decides satisfiability (default) or emptiness of one query,
 //! optionally under a DTD. `compare` decides containment (default),
 //! overlap or equivalence of two queries. Both exit 0 when the property
-//! holds and 1 when it does not, so they compose with shell logic.
+//! holds, 1 when it does not, and 3 when a resource budget ran out before
+//! the solve could decide (the `unknown` verdict), so they compose with
+//! shell logic.
 //!
 //! `--backend {symbolic,explicit,witnessed,dual}` selects the solver
 //! backend (default `symbolic`); `dual` runs the symbolic and explicit
@@ -19,6 +22,14 @@
 //! flag sets the default backend of the engine, which individual requests
 //! override with a `"backend"` field; every verdict echoes the backend
 //! that produced it.
+//!
+//! `--timeout-ms`, `--max-bdd-nodes` and `--max-lean` set the engine's
+//! default resource limits — wall-clock deadline, BDD node budget, and
+//! the lean-diamond cap of the enumerating backends — on every
+//! subcommand; individual `batch`/`serve` requests override them with a
+//! `"limits"` object. A budget hit reaches clients as
+//! `"status":"unknown"` with the exhausted resource named, and such
+//! verdicts are never memo-cached.
 //!
 //! `batch` runs a JSON-lines request file through the parallel executor
 //! (one response line per request on stdout, summary on stderr; see the
@@ -29,7 +40,7 @@
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-use xsat::engine::{BackendChoice, Engine, EngineConfig, Request, Value};
+use xsat::engine::{BackendChoice, Engine, EngineConfig, Limits, Request, Value};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,19 +75,20 @@ const USAGE: &str = "\
 xsat — efficient static analysis of XML paths and types
 
 USAGE:
-  xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json]
+  xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json] [LIMITS]
       Decide satisfiability (default) or emptiness (--empty) of a query,
-      optionally under the DTD in FILE. Exits 0 when the property holds.
+      optionally under the DTD in FILE. Exits 0 when the property holds,
+      1 when it does not, 3 when a resource budget ran out (unknown).
 
-  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json]
+  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [LIMITS]
       Decide containment (default), overlap or equivalence of two queries,
-      optionally under the DTD in FILE. Exits 0 when the property holds.
+      optionally under the DTD in FILE. Exit codes as for check.
 
-  xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only]
+  xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [LIMITS]
       Run a JSON-lines request file through the parallel batch executor.
       One response line per request on stdout; a summary object on stderr.
 
-  xsat serve [--threads N] [--backend B]
+  xsat serve [--threads N] [--backend B] [LIMITS]
       Speak the JSONL protocol as a co-process: requests on stdin, one
       verdict per line on stdout (flushed per line).
 
@@ -85,13 +97,22 @@ Backends (--backend, default symbolic):
   explicit    the enumerated reference algorithm (paper §6.2)
   witnessed   the literal Fig 16 algorithm with explicit witness sets
   dual        run symbolic + explicit concurrently and fail loudly on any
-              verdict disagreement (recommended for CI); requests outside
-              the explicit enumeration bound are rejected with an error
+              verdict disagreement (recommended for CI)
 
-The JSONL protocol (see the `engine` crate docs):
+Resource limits (LIMITS, on every subcommand — the engine defaults, which
+individual batch/serve requests override with a \"limits\" object):
+  --timeout-ms N     wall-clock deadline per solve, in milliseconds
+  --max-bdd-nodes N  budget on live BDD nodes of the symbolic backend
+  --max-lean N       lean-diamond cap of the enumerating backends
+                     (default 16); oversized leans come back unknown
+A budget hit is reported as \"status\":\"unknown\" with the exhausted
+resource named; unknown verdicts are never memo-cached.
+
+The JSONL protocol (see the `engine` crate docs and docs/PROTOCOL.md):
   {\"op\":\"dtd\",\"name\":\"d1\",\"source\":\"<!ELEMENT a (b*)> <!ELEMENT b EMPTY>\"}
   {\"op\":\"query\",\"name\":\"q1\",\"xpath\":\"a/b\"}
   {\"op\":\"contains\",\"lhs\":\"q1\",\"rhs\":\"a/*\",\"type\":\"d1\"}
+  {\"op\":\"sat\",\"query\":\"q1\",\"limits\":{\"timeout_ms\":250,\"max_bdd_nodes\":200000}}
   {\"op\":\"covers\",\"query\":\"child::*\",\"by\":[\"child::a\",\"child::*[not(self::a)]\"]}
   {\"op\":\"typecheck\",\"query\":\"child::x\",\"input\":\"din\",\"output\":\"dout\"}
 ";
@@ -103,6 +124,7 @@ struct Opts {
     dtd: Option<String>,
     op: Option<String>,
     backend: Option<BackendChoice>,
+    limits: Limits,
     threads: usize,
     json: bool,
     empty: bool,
@@ -115,6 +137,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         dtd: None,
         op: None,
         backend: None,
+        limits: Limits::default(),
         threads: 0,
         json: false,
         empty: false,
@@ -141,6 +164,30 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--timeout-ms needs a number of milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?;
+                opts.limits.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-bdd-nodes" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-bdd-nodes needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--max-bdd-nodes: {e}"))?;
+                opts.limits.max_bdd_nodes = Some(n);
+            }
+            "--max-lean" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-lean needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--max-lean: {e}"))?;
+                opts.limits.max_lean_diamonds = n;
+            }
             "--json" => opts.json = true,
             "--empty" => opts.empty = true,
             "--summary-only" => opts.summary_only = true,
@@ -151,10 +198,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn engine_with(threads: usize, backend: Option<BackendChoice>) -> Engine {
+fn engine_with(threads: usize, backend: Option<BackendChoice>, limits: &Limits) -> Engine {
     Engine::with_config(EngineConfig {
         threads,
         backend: backend.unwrap_or_default(),
+        limits: limits.clone(),
         ..EngineConfig::default()
     })
 }
@@ -216,6 +264,7 @@ fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
     let mut engine = engine_with(
         if opts.threads == 0 { 1 } else { opts.threads },
         opts.backend,
+        &opts.limits,
     );
     let response = engine.execute(&req);
     if response.get("ok").and_then(Value::as_bool) != Some(true) {
@@ -230,8 +279,10 @@ fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
     } else {
         print_human(&response);
     }
-    match response.get("holds").and_then(Value::as_bool) {
-        Some(true) => Ok(ExitCode::SUCCESS),
+    match response.get("status").and_then(Value::as_str) {
+        Some("holds") => Ok(ExitCode::SUCCESS),
+        // A budget ran out: neither proved nor refuted.
+        Some("unknown") => Ok(ExitCode::from(3)),
         _ => Ok(ExitCode::FAILURE),
     }
 }
@@ -242,13 +293,20 @@ fn print_human(response: &Value) {
         .get("backend")
         .and_then(Value::as_str)
         .unwrap_or("?");
-    let holds = response.get("holds").and_then(Value::as_bool);
-    match holds {
-        Some(h) => println!(
-            "{op} [{backend}]: {}",
-            if h { "holds" } else { "does NOT hold" }
-        ),
-        None => println!("{}", response.to_json()),
+    let status = response.get("status").and_then(Value::as_str);
+    match status {
+        Some("holds") => println!("{op} [{backend}]: holds"),
+        Some("fails") => println!("{op} [{backend}]: does NOT hold"),
+        Some("unknown") => {
+            let reason = response
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("resource exhausted");
+            println!("{op} [{backend}]: UNKNOWN — {reason}");
+            println!("hint: retry with a larger --timeout-ms / --max-bdd-nodes / --max-lean");
+            return;
+        }
+        _ => println!("{}", response.to_json()),
     }
     if let Some(xml) = response.get("counter_example").and_then(Value::as_str) {
         let role = match op {
@@ -296,7 +354,7 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         return Err("batch needs exactly one JSONL file argument".into());
     };
     let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut engine = engine_with(opts.threads, opts.backend);
+    let mut engine = engine_with(opts.threads, opts.backend, &opts.limits);
     let outcome = engine.run_batch_lines(&input);
     if !opts.summary_only {
         let stdout = std::io::stdout();
@@ -318,7 +376,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     if !opts.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
-    let mut engine = engine_with(opts.threads, opts.backend);
+    let mut engine = engine_with(opts.threads, opts.backend, &opts.limits);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     engine

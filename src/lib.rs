@@ -28,14 +28,23 @@
 //!
 //! # Quickstart
 //!
+//! Decision problems are first-class typed values solved under a
+//! resource budget — `Analyzer::solve(&Problem, &Limits)` is the single
+//! dispatch point, and a budget hit is the typed `unknown` third verdict
+//! rather than an unbounded run:
+//!
 //! ```
-//! use xsat::analyzer::Analyzer;
+//! use xsat::analyzer::{Analyzer, Limits, Problem};
 //! use xsat::xpath::parse;
 //!
 //! let mut az = Analyzer::new();
-//! let q1 = parse("a/b//d[prec-sibling::c]/e")?;
-//! let q2 = parse("a/b//c/foll-sibling::d/e")?;
-//! assert!(az.contains(&q1, None, &q2, None)?.holds);
+//! let p = Problem::contains(
+//!     parse("a/b//d[prec-sibling::c]/e")?,
+//!     None,
+//!     parse("a/b//c/foll-sibling::d/e")?,
+//!     None,
+//! );
+//! assert!(az.solve(&p, &Limits::default())?.holds);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
