@@ -76,7 +76,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mulogic::{Formula, Logic};
-use solver::{solve_with_in, Model, Outcome, Stats, SymbolicOptions};
+use obs::{FieldValue, Recorder};
+use solver::{solve_with_traced, Model, Outcome, Stats, SymbolicOptions};
 use treetypes::Dtd;
 use xpath::Expr;
 
@@ -232,13 +233,27 @@ impl Analyzer {
         f: Formula,
         limits: &Limits,
     ) -> Result<solver::Solved, SolveError> {
-        solve_with_in(
+        self.solve_formula_traced(f, limits, &Recorder::noop())
+    }
+
+    /// [`Analyzer::solve_formula_bounded`] with phase events recorded on
+    /// `rec` (lean construction, BDD build, per-iteration fixpoint steps,
+    /// budget hits). A noop recorder makes this identical to the untraced
+    /// path.
+    pub fn solve_formula_traced(
+        &mut self,
+        f: Formula,
+        limits: &Limits,
+        rec: &Recorder,
+    ) -> Result<solver::Solved, SolveError> {
+        solve_with_traced(
             &mut self.lg,
             f,
             self.options.backend,
             &self.options.symbolic,
             &mut self.bdd,
             limits,
+            rec,
         )
     }
 
@@ -254,14 +269,70 @@ impl Analyzer {
     /// resource — the property is then neither proved nor refuted, and the
     /// caller may retry with a larger budget.
     pub fn solve(&mut self, problem: &Problem, limits: &Limits) -> AnalysisResult {
+        self.solve_traced(problem, limits, &Recorder::noop())
+    }
+
+    /// [`Analyzer::solve`] with the solve's phases recorded on `rec`: a
+    /// `solve_begin`/`solve_end` event pair bracketing the whole problem
+    /// (operation name, backend, final status, wall time), a `compile`
+    /// phase per goal construction, and whatever the backend emits
+    /// (lean/build/enumerate phases, per-iteration `step` events, `limit`
+    /// events on budget hits). A noop recorder makes this identical to
+    /// [`Analyzer::solve`].
+    pub fn solve_traced(
+        &mut self,
+        problem: &Problem,
+        limits: &Limits,
+        rec: &Recorder,
+    ) -> AnalysisResult {
+        let started = rec.enabled().then(Instant::now);
+        rec.event(
+            "solve_begin",
+            &[
+                ("op", FieldValue::Str(problem.op_name())),
+                ("backend", FieldValue::Str(self.options.backend.as_str())),
+            ],
+        );
+        let result = self.solve_inner(problem, limits, rec);
+        if let Some(started) = started {
+            let status = match &result {
+                Ok(a) if a.holds => "holds",
+                Ok(_) => "fails",
+                Err(SolveError::ResourceExhausted { .. }) => "unknown",
+                Err(_) => "error",
+            };
+            rec.event(
+                "solve_end",
+                &[
+                    ("status", FieldValue::Str(status)),
+                    (
+                        "wall_us",
+                        FieldValue::U64(started.elapsed().as_micros() as u64),
+                    ),
+                ],
+            );
+        }
+        result
+    }
+
+    fn solve_inner(
+        &mut self,
+        problem: &Problem,
+        limits: &Limits,
+        rec: &Recorder,
+    ) -> AnalysisResult {
         match problem {
             Problem::Empty { query, ty } => {
+                let span = rec.span("compile");
                 let f = self.query_formula(query, ty.as_deref());
-                self.check_unsat(f, limits)
+                drop(span);
+                self.check_unsat_traced(f, limits, rec)
             }
             Problem::Sat { query, ty } => {
+                let span = rec.span("compile");
                 let f = self.query_formula(query, ty.as_deref());
-                self.check_sat(f, limits)
+                drop(span);
+                self.check_sat(f, limits, rec)
             }
             Problem::Contains {
                 lhs,
@@ -269,8 +340,10 @@ impl Analyzer {
                 rhs,
                 rtype,
             } => {
+                let span = rec.span("compile");
                 let goal = self.containment_goal(lhs, ltype.as_deref(), rhs, rtype.as_deref());
-                self.check_unsat(goal, limits)
+                drop(span);
+                self.check_unsat_traced(goal, limits, rec)
             }
             Problem::Overlap {
                 lhs,
@@ -278,30 +351,36 @@ impl Analyzer {
                 rhs,
                 rtype,
             } => {
+                let span = rec.span("compile");
                 let f1 = self.query_formula(lhs, ltype.as_deref());
                 let f2 = self.query_formula(rhs, rtype.as_deref());
                 let goal = self.lg.and(f1, f2);
-                self.check_sat(goal, limits)
+                drop(span);
+                self.check_sat(goal, limits, rec)
             }
             Problem::Covers { query, ty, by } => {
+                let span = rec.span("compile");
                 let mut goal = self.query_formula(query, ty.as_deref());
                 for (ei, ti) in by {
                     let fi = self.query_formula(ei, ti.as_deref());
                     let nfi = self.lg.not(fi);
                     goal = self.lg.and(goal, nfi);
                 }
-                self.check_unsat(goal, limits)
+                drop(span);
+                self.check_unsat_traced(goal, limits, rec)
             }
             Problem::TypeCheck {
                 query,
                 input,
                 output,
             } => {
+                let span = rec.span("compile");
                 let f = self.query_formula(query, Some(input));
                 let out = self.type_formula(output);
                 let nout = self.lg.not(out);
                 let goal = self.lg.and(f, nout);
-                self.check_unsat(goal, limits)
+                drop(span);
+                self.check_unsat_traced(goal, limits, rec)
             }
             Problem::Equiv {
                 lhs,
@@ -312,11 +391,15 @@ impl Analyzer {
                 // Both containments are charged against one deadline; the
                 // second direction runs on whatever wall clock remains.
                 let started = Instant::now();
+                let span = rec.span("compile");
                 let fwd_goal = self.containment_goal(lhs, ltype.as_deref(), rhs, rtype.as_deref());
-                let fwd = self.check_unsat(fwd_goal, limits)?;
+                drop(span);
+                let fwd = self.check_unsat_traced(fwd_goal, limits, rec)?;
                 let remaining = limits.after(started.elapsed())?;
+                let span = rec.span("compile");
                 let bwd_goal = self.containment_goal(rhs, rtype.as_deref(), lhs, ltype.as_deref());
-                let bwd = self.check_unsat(bwd_goal, &remaining)?;
+                drop(span);
+                let bwd = self.check_unsat_traced(bwd_goal, &remaining, rec)?;
                 Ok(Analysis {
                     holds: fwd.holds && bwd.holds,
                     // The witness is whichever direction failed first.
@@ -343,7 +426,16 @@ impl Analyzer {
     }
 
     pub(crate) fn check_unsat(&mut self, f: Formula, limits: &Limits) -> AnalysisResult {
-        let solved = self.solve_formula_bounded(f, limits)?;
+        self.check_unsat_traced(f, limits, &Recorder::noop())
+    }
+
+    fn check_unsat_traced(
+        &mut self,
+        f: Formula,
+        limits: &Limits,
+        rec: &Recorder,
+    ) -> AnalysisResult {
+        let solved = self.solve_formula_traced(f, limits, rec)?;
         Ok(match solved.outcome {
             Outcome::Unsatisfiable => Analysis {
                 holds: true,
@@ -360,8 +452,8 @@ impl Analyzer {
         })
     }
 
-    fn check_sat(&mut self, f: Formula, limits: &Limits) -> AnalysisResult {
-        let solved = self.solve_formula_bounded(f, limits)?;
+    fn check_sat(&mut self, f: Formula, limits: &Limits, rec: &Recorder) -> AnalysisResult {
+        let solved = self.solve_formula_traced(f, limits, rec)?;
         Ok(match solved.outcome {
             Outcome::Satisfiable(m) => Analysis {
                 holds: true,
@@ -635,6 +727,78 @@ mod tests {
         let v = az.solve(&eq, &Limits::default()).unwrap();
         assert!(!v.holds);
         assert!(v.counter_example.is_some());
+    }
+
+    #[test]
+    fn traced_solves_bracket_the_problem() {
+        use obs::MemorySink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        let mut az = Analyzer::new();
+        let p = Problem::contains(
+            parse("child::c/preceding-sibling::a[child::b]").unwrap(),
+            None,
+            parse("child::c[child::b]").unwrap(),
+            None,
+        );
+        let v = az.solve_traced(&p, &Limits::default(), &rec).unwrap();
+        assert!(!v.holds);
+        let events = sink.drain();
+        // The stream opens with solve_begin naming the op and backend…
+        let begin = &events[0];
+        assert_eq!(begin.kind, "solve_begin");
+        assert!(begin
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "op" && *v == FieldValue::Str("contains")));
+        assert!(begin
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "backend" && *v == FieldValue::Str("symbolic")));
+        // …closes with solve_end carrying the verdict status…
+        let end = events.last().unwrap();
+        assert_eq!(end.kind, "solve_end");
+        assert!(end
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "status" && *v == FieldValue::Str("fails")));
+        assert!(end
+            .fields
+            .iter()
+            .any(|(k, v)| matches!((*k, v), ("wall_us", FieldValue::U64(_)))));
+        // …and records the compile and fixpoint phases in between.
+        let phases: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == "phase")
+            .filter_map(|e| {
+                e.fields.iter().find_map(|(k, v)| match (k, v) {
+                    (&"phase", FieldValue::Str(s)) => Some(*s),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert!(phases.contains(&"compile"), "{phases:?}");
+        assert!(phases.contains(&"fixpoint"), "{phases:?}");
+        // An untraced solve agrees and emits nothing.
+        let quiet = az.solve(&p, &Limits::default()).unwrap();
+        assert_eq!(quiet.holds, v.holds);
+        assert!(sink.drain().is_empty());
+        // Exhaustion maps to the "unknown" status.
+        let starved = Limits {
+            max_bdd_nodes: Some(2),
+            ..Limits::default()
+        };
+        az.solve_traced(&p, &starved, &rec).unwrap_err();
+        let events = sink.drain();
+        let end = events.last().unwrap();
+        assert_eq!(end.kind, "solve_end");
+        assert!(end
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "status" && *v == FieldValue::Str("unknown")));
+        assert!(events.iter().any(|e| e.kind == "limit"));
     }
 
     #[test]

@@ -5,10 +5,21 @@
 //! The warm numbers should sit far above the cold ones — a warm repeat is
 //! answered entirely from the verdict memo cache — and future PRs that
 //! touch the engine hot path have this as their reference.
+//!
+//! The run also measures the observability layer: the same cold batch
+//! with noop recorders (the production default) against a fully
+//! instrumented engine (an engine-level trace sink receiving every
+//! event, plus `slow_solve_ms: 0` so every solve's trace is captured and
+//! ring-buffered). The comparison lands in `BENCH_obs.json` at the
+//! workspace root; the noop path's budget against the
+//! pre-instrumentation seed is <5%, and its cold problems/sec remains
+//! directly comparable with this bench's history from before the obs
+//! layer existed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use engine::{Engine, EngineConfig, Request};
+use engine::{Engine, EngineConfig, MemorySink, Request};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 const DTD: &str = "<!ELEMENT r (a*, b*)> <!ELEMENT a (b?)> <!ELEMENT b EMPTY>";
@@ -97,6 +108,73 @@ fn bench_batch_throughput(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    obs_overhead(&requests);
+}
+
+/// One timed cold batch under the given config; returns elapsed ms.
+fn timed_cold_batch(requests: &[Request], instrumented: bool) -> f64 {
+    let mut e = if instrumented {
+        Engine::with_config(EngineConfig {
+            threads: 4,
+            trace_sink: Some(Arc::new(MemorySink::new())),
+            slow_solve_ms: Some(0),
+            ..EngineConfig::default()
+        })
+    } else {
+        engine()
+    };
+    let started = Instant::now();
+    let out = e.run_batch(black_box(requests));
+    assert_eq!(out.stats.errors, 0);
+    started.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Instrumented-vs-noop-recorder comparison on the cold batch, written to
+/// `BENCH_obs.json`. "Noop" is the default engine (every solve runs with
+/// `Recorder::noop()`); "instrumented" tees every event of every solve
+/// into an engine-level memory sink *and* captures each solve's full
+/// trace for the slow-solve ring (`slow_solve_ms: 0`) — the worst
+/// realistic observability cost.
+fn obs_overhead(requests: &[Request]) {
+    let samples: usize = std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let min_of = |instrumented: bool| {
+        (0..samples)
+            .map(|_| timed_cold_batch(requests, instrumented))
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Interleave-free but warmed: one throwaway run each before timing.
+    let _ = timed_cold_batch(requests, false);
+    let noop_ms = min_of(false);
+    let _ = timed_cold_batch(requests, true);
+    let instrumented_ms = min_of(true);
+    let overhead_pct = (instrumented_ms - noop_ms) / noop_ms * 100.0;
+    let problems = 100.0;
+    let round3 = |v: f64| (v * 1000.0).round() / 1000.0;
+    println!(
+        "obs-overhead: noop {:.1} ms, instrumented {:.1} ms ({:+.2}% with full trace + slow capture, {samples} samples)",
+        noop_ms, instrumented_ms, overhead_pct
+    );
+    let json = format!(
+        concat!(
+            r#"{{"bench":"obs_overhead","samples":{},"problems":100,"noop_budget_pct":5,"#,
+            r#""noop":{{"min_ms":{},"problems_per_sec":{}}},"#,
+            r#""instrumented":{{"min_ms":{},"problems_per_sec":{}}},"#,
+            r#""instrumented_overhead_pct":{}}}"#,
+        ),
+        samples,
+        round3(noop_ms),
+        round3(problems / noop_ms * 1000.0),
+        round3(instrumented_ms),
+        round3(problems / instrumented_ms * 1000.0),
+        round3(overhead_pct),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_obs.json");
+    println!("obs-overhead: wrote {path}");
 }
 
 criterion_group!(benches, bench_batch_throughput);

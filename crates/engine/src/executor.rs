@@ -18,18 +18,94 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use analyzer::{Analyzer, BackendChoice, Limits};
+use obs::{FieldValue, MemorySink, Recorder, Sink, SlowEntry, SlowLog};
 
 use crate::json::{obj, Value};
-use crate::problem::{duration_ms, run_job, Job, RunOutcome, Verdict};
+use crate::problem::{duration_ms, outcome_status, run_job, Job, RunOutcome, Verdict};
 use crate::protocol::{
-    error_response, registration_response, unknown_response, verdict_response, Op, Request,
-    RequestKind,
+    error_response, registration_response, trace_value, unknown_response, verdict_response, Op,
+    Request, RequestKind,
 };
 use crate::workspace::Workspace;
+
+/// Observability context shared by the sequential front end and the batch
+/// workers: the optional process-wide JSONL trace sink, the slow-solve
+/// threshold, and the ring buffer capturing slow solves.
+pub(crate) struct ObsCtx<'a> {
+    /// Every solve's events also stream here when set (`--trace-file`).
+    pub trace_sink: Option<&'a Arc<dyn Sink>>,
+    /// Solves slower than this capture their full trace into `slow_log`.
+    pub slow_ms: Option<u64>,
+    /// The slow-solve ring buffer.
+    pub slow_log: &'a SlowLog,
+}
+
+impl ObsCtx<'_> {
+    /// Builds the per-solve recorder: the process-wide trace sink (when
+    /// configured) plus a memory sink when the caller needs the events
+    /// back — for a `"trace": true` response or slow-solve capture. With
+    /// neither, the recorder is a noop and the solve runs untraced.
+    pub(crate) fn recorder(&self, trace: bool) -> (Recorder, Option<Arc<MemorySink>>) {
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        if let Some(f) = self.trace_sink {
+            sinks.push(f.clone());
+        }
+        let capture = (trace || self.slow_ms.is_some()).then(|| Arc::new(MemorySink::new()));
+        if let Some(mem) = &capture {
+            sinks.push(mem.clone() as Arc<dyn Sink>);
+        }
+        (Recorder::with_sinks(sinks), capture)
+    }
+
+    /// Captures the solve into the slow log when it exceeded the
+    /// threshold. `events` is the solve's drained trace.
+    pub(crate) fn note_slow(
+        &self,
+        job: &Job,
+        status: &'static str,
+        wall_ms: f64,
+        events: &[obs::Event],
+    ) {
+        let Some(threshold) = self.slow_ms else {
+            return;
+        };
+        if wall_ms <= threshold as f64 {
+            return;
+        }
+        self.slow_log.push(SlowEntry {
+            op: job.problem.op_name(),
+            backend: job.backend.as_str(),
+            status,
+            wall_ms,
+            threshold_ms: threshold,
+            cached: false,
+            events: events.to_vec(),
+        });
+    }
+}
+
+/// One memo-cache lookup: the `memo` trace event plus the process-wide
+/// hit/miss counters.
+pub(crate) fn note_memo_lookup(rec: &Recorder, job: &Job, hit: bool) {
+    rec.event(
+        "memo",
+        &[
+            ("hit", FieldValue::Bool(hit)),
+            ("op", FieldValue::Str(job.problem.op_name())),
+            ("backend", FieldValue::Str(job.backend.as_str())),
+        ],
+    );
+    let name = if hit {
+        "xsat_memo_hits_total"
+    } else {
+        "xsat_memo_misses_total"
+    };
+    obs::metrics().counter(name, &[]).inc();
+}
 
 /// Aggregate measurements of one batch run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -43,6 +119,10 @@ pub struct BatchStats {
     /// Problems answered from the memo cache (duplicates within the batch
     /// plus hits from earlier work).
     pub cache_hits: usize,
+    /// Problems that actually ran a solve (including runs that came back
+    /// `unknown` or failed a cross-check): the complement of `cache_hits`
+    /// over the decision problems that reached the executor.
+    pub cache_misses: usize,
     /// Problems that came back `"status":"unknown"`: a resource budget ran
     /// out before the solve could decide. Never cached.
     pub unknown: usize,
@@ -71,6 +151,17 @@ impl BatchStats {
             ("problems", Value::from(self.problems)),
             ("unique_problems", Value::from(self.unique_problems)),
             ("cache_hits", Value::from(self.cache_hits)),
+            ("cache_misses", Value::from(self.cache_misses)),
+            (
+                "metrics",
+                obj(vec![(
+                    "memo",
+                    obj(vec![
+                        ("hits", Value::from(self.cache_hits)),
+                        ("misses", Value::from(self.cache_misses)),
+                    ]),
+                )]),
+            ),
             ("unknown", Value::from(self.unknown)),
             ("errors", Value::from(self.errors)),
             ("threads", Value::from(self.threads)),
@@ -119,6 +210,10 @@ struct PendingProblem {
 struct WorkItem {
     job: Job,
     limits: Limits,
+    /// Whether some request wants this item's event trace back. Part of
+    /// the dedup key: a traced request must not be served an untraced
+    /// run (it would have no events to return).
+    trace: bool,
 }
 
 pub(crate) fn run_batch(
@@ -127,6 +222,7 @@ pub(crate) fn run_batch(
     cache: &Mutex<HashMap<Job, Verdict>>,
     default_backend: BackendChoice,
     default_limits: &Limits,
+    obs_ctx: &ObsCtx<'_>,
     requests: &[Request],
 ) -> BatchOutcome {
     let started = Instant::now();
@@ -166,6 +262,7 @@ pub(crate) fn run_batch(
                 spec,
                 backend,
                 limits,
+                trace,
             } => match spec.resolve(workspace) {
                 Ok(problem) => {
                     stats.problems += 1;
@@ -178,6 +275,7 @@ pub(crate) fn run_batch(
                             .as_ref()
                             .map(|l| l.apply(default_limits))
                             .unwrap_or_else(|| default_limits.clone()),
+                        trace: *trace,
                     };
                     let (item, duplicate) = match work_of.get(&key) {
                         Some(&j) => (j, true),
@@ -201,10 +299,14 @@ pub(crate) fn run_batch(
                     responses[slot] = Some(error_response(req.id.as_ref(), &e));
                 }
             },
-            RequestKind::Stats | RequestKind::Reset => {
+            RequestKind::Stats
+            | RequestKind::Metrics
+            | RequestKind::SlowLog
+            | RequestKind::Reset => {
                 responses[slot] = Some(error_response(
                     req.id.as_ref(),
-                    "`stats`/`reset` are service ops; they are not valid inside a batch",
+                    "`stats`/`metrics`/`slowlog`/`reset` are service ops; \
+                     they are not valid inside a batch",
                 ));
                 stats.errors += 1;
             }
@@ -213,15 +315,18 @@ pub(crate) fn run_batch(
     stats.unique_problems = work.len();
 
     // Pass 2 (parallel): fan the deduplicated work out over the workers.
-    // `(outcome, was_cache_hit)` per item; only definite verdicts are
-    // inserted into the memo cache — unknowns and failed cross-checks are
-    // not.
-    let results: Vec<OnceLock<(RunOutcome, bool)>> =
+    // `(outcome, was_cache_hit, trace)` per item; only definite verdicts
+    // are inserted into the memo cache — unknowns and failed cross-checks
+    // are not. The queue-depth gauge tracks the unclaimed work remaining.
+    let results: Vec<OnceLock<(RunOutcome, bool, Option<Value>)>> =
         (0..work.len()).map(|_| OnceLock::new()).collect();
+    let queue_depth = obs::metrics().gauge("xsat_executor_queue_depth", &[]);
+    queue_depth.set(work.len() as u64);
     let cursor = AtomicUsize::new(0);
     let work_ref = &work;
     let results_ref = &results;
     let cursor_ref = &cursor;
+    let queue_ref = &queue_depth;
     std::thread::scope(|scope| {
         for az in workers.iter_mut() {
             scope.spawn(move || loop {
@@ -229,19 +334,33 @@ pub(crate) fn run_batch(
                 let Some(item) = work_ref.get(i) else {
                     break;
                 };
+                queue_ref.sub(1);
+                let (rec, capture) = obs_ctx.recorder(item.trace);
                 let hit = lock(cache).get(&item.job).cloned();
+                note_memo_lookup(&rec, &item.job, hit.is_some());
                 let (outcome, cached) = match hit {
                     Some(v) => (RunOutcome::Verdict(v), true),
                     None => {
-                        let outcome = run_job(az, &item.job, &item.limits);
+                        let outcome = run_job(az, &item.job, &item.limits, &rec);
                         if let RunOutcome::Verdict(v) = &outcome {
                             lock(cache).insert(item.job.clone(), v.clone());
                         }
                         (outcome, false)
                     }
                 };
+                let trace = capture.map(|mem| mem.drain()).map(|events| {
+                    if !cached {
+                        let wall_ms = match &outcome {
+                            RunOutcome::Verdict(v) => v.wall_ms,
+                            RunOutcome::Unknown(u) => u.wall_ms,
+                            RunOutcome::Error(_) => 0.0,
+                        };
+                        obs_ctx.note_slow(&item.job, outcome_status(&outcome), wall_ms, &events);
+                    }
+                    trace_value(&events)
+                });
                 results_ref[i]
-                    .set((outcome, cached))
+                    .set((outcome, cached, item.trace.then_some(trace).flatten()))
                     .expect("work item executed twice");
             });
         }
@@ -249,20 +368,24 @@ pub(crate) fn run_batch(
 
     // Pass 3: fill problem responses in request order.
     for p in pending {
-        let (outcome, item_was_hit) = results[p.work].get().expect("work item not executed");
+        let (outcome, item_was_hit, trace) = results[p.work].get().expect("work item not executed");
         match outcome {
             RunOutcome::Error(e) => {
                 stats.errors += 1;
+                stats.cache_misses += 1;
                 responses[p.slot] = Some(error_response(p.id.as_ref(), e));
             }
             RunOutcome::Unknown(u) => {
                 stats.unknown += 1;
-                responses[p.slot] = Some(unknown_response(p.id.as_ref(), p.op, u));
+                stats.cache_misses += 1;
+                responses[p.slot] = Some(unknown_response(p.id.as_ref(), p.op, u, trace.clone()));
             }
             RunOutcome::Verdict(verdict) => {
                 let cached = *item_was_hit || p.duplicate;
                 if cached {
                     stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
                 }
                 // A cache-served answer costs ~nothing, whether the hit
                 // came from a duplicate in this batch or from earlier
@@ -274,6 +397,7 @@ pub(crate) fn run_batch(
                     verdict,
                     cached,
                     wall_ms,
+                    trace.clone(),
                 ));
             }
         }

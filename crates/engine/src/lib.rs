@@ -55,20 +55,23 @@ mod executor;
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use analyzer::{Analyzer, AnalyzerOptions};
 use solver::SymbolicOptions;
 
 pub use executor::{BatchOutcome, BatchStats};
 pub use json::Value;
-pub use problem::{Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats};
-pub use protocol::{LimitsSpec, Op, ProblemSpec, Request, RequestKind, Status, PROTOCOL_VERSION};
+pub use obs::{JsonlSink, MemorySink, Recorder, Sink, SlowEntry, SlowLog};
+pub use problem::{run_job, Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats};
+pub use protocol::{
+    event_value, metrics_response, slowlog_response, trace_value, LimitsSpec, Op, ProblemSpec,
+    Request, RequestKind, Status, PROTOCOL_VERSION,
+};
 pub use solver::{BackendChoice, BddCounters, Limits, Resource, SolveError, Telemetry};
 pub use workspace::Workspace;
 
-use executor::lock;
-use problem::run_job;
+use executor::{lock, note_memo_lookup, ObsCtx};
 use protocol::{error_response, registration_response, unknown_response, verdict_response};
 
 /// Construction-time knobs of an [`Engine`].
@@ -84,6 +87,14 @@ pub struct EngineConfig {
     /// Default resource limits for requests that do not carry a
     /// `"limits"` object; per-request limits override field-wise.
     pub limits: Limits,
+    /// Every solve's trace events also stream to this sink when set —
+    /// typically a [`JsonlSink`] behind `xsat --trace-file`. Per-request
+    /// `"trace": true` works with or without it.
+    pub trace_sink: Option<Arc<dyn Sink>>,
+    /// Slow-solve threshold in milliseconds: any solve slower than this
+    /// captures its full event trace into the engine's ring-buffered slow
+    /// log (dumped by the `slowlog` op). `None` disables capture.
+    pub slow_solve_ms: Option<u64>,
 }
 
 /// Cumulative service counters, reported by the `stats` op.
@@ -95,6 +106,8 @@ pub struct Counters {
     pub problems: u64,
     /// Problems answered from the memo cache.
     pub cache_hits: u64,
+    /// Problems that went to a solver (the complement of `cache_hits`).
+    pub cache_misses: u64,
     /// Problems answered `"status":"unknown"` (a budget ran out); never
     /// cached.
     pub unknown: u64,
@@ -130,6 +143,14 @@ pub struct Engine {
     /// Engine-default resource limits; per-request `"limits"` objects
     /// override them field-wise.
     limits: Limits,
+    /// Optional process-wide trace sink (`--trace-file`), cloned into
+    /// every per-solve recorder.
+    trace_sink: Option<Arc<dyn Sink>>,
+    /// Slow-solve capture threshold; `None` disables the slow log.
+    slow_solve_ms: Option<u64>,
+    /// Ring buffer of captured slow solves, shared by the sequential
+    /// front end and the batch workers.
+    slow_log: SlowLog,
 }
 
 impl Default for Engine {
@@ -168,7 +189,21 @@ impl Engine {
             counters: Counters::default(),
             options,
             limits: config.limits,
+            trace_sink: config.trace_sink,
+            slow_solve_ms: config.slow_solve_ms,
+            slow_log: SlowLog::default(),
         }
+    }
+
+    /// The ring buffer of captured slow solves (empty unless
+    /// [`EngineConfig::slow_solve_ms`] is set).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// The configured slow-solve threshold, in milliseconds.
+    pub fn slow_solve_ms(&self) -> Option<u64> {
+        self.slow_solve_ms
     }
 
     /// Number of batch worker threads.
@@ -223,6 +258,7 @@ impl Engine {
                 spec,
                 backend,
                 limits,
+                trace,
             } => match spec.resolve(&self.workspace) {
                 Ok(problem) => {
                     self.counters.problems += 1;
@@ -234,35 +270,63 @@ impl Engine {
                         .as_ref()
                         .map(|l| l.apply(&self.limits))
                         .unwrap_or_else(|| self.limits.clone());
+                    let obs_ctx = ObsCtx {
+                        trace_sink: self.trace_sink.as_ref(),
+                        slow_ms: self.slow_solve_ms,
+                        slow_log: &self.slow_log,
+                    };
+                    let (rec, capture) = obs_ctx.recorder(*trace);
                     let hit = lock(&self.cache).get(&job).cloned();
+                    note_memo_lookup(&rec, &job, hit.is_some());
                     let (verdict, cached) = match hit {
                         Some(v) => {
                             self.counters.cache_hits += 1;
                             (v, true)
                         }
-                        None => match run_job(&mut self.session, &job, &effective) {
-                            RunOutcome::Verdict(v) => {
-                                lock(&self.cache).insert(job, v.clone());
-                                (v, false)
+                        None => {
+                            self.counters.cache_misses += 1;
+                            match run_job(&mut self.session, &job, &effective, &rec) {
+                                RunOutcome::Verdict(v) => {
+                                    lock(&self.cache).insert(job.clone(), v.clone());
+                                    (v, false)
+                                }
+                                RunOutcome::Unknown(u) => {
+                                    // An exhausted budget is never cached: a
+                                    // retry with bigger limits must re-solve.
+                                    self.counters.unknown += 1;
+                                    let events = capture.map(|m| m.drain()).unwrap_or_default();
+                                    obs_ctx.note_slow(&job, "unknown", u.wall_ms, &events);
+                                    let tr = trace.then(|| protocol::trace_value(&events));
+                                    return unknown_response(req.id.as_ref(), spec.op(), &u, tr);
+                                }
+                                RunOutcome::Error(e) => return self.error(req.id.as_ref(), &e),
                             }
-                            RunOutcome::Unknown(u) => {
-                                // An exhausted budget is never cached: a
-                                // retry with bigger limits must re-solve.
-                                self.counters.unknown += 1;
-                                return unknown_response(req.id.as_ref(), spec.op(), &u);
-                            }
-                            RunOutcome::Error(e) => return self.error(req.id.as_ref(), &e),
-                        },
+                        }
                     };
+                    let events = capture.map(|m| m.drain()).unwrap_or_default();
+                    if !cached {
+                        let status = if verdict.holds { "holds" } else { "fails" };
+                        obs_ctx.note_slow(&job, status, verdict.wall_ms, &events);
+                    }
+                    let tr = trace.then(|| protocol::trace_value(&events));
                     let wall = if cached { 0.0 } else { verdict.wall_ms };
-                    verdict_response(req.id.as_ref(), spec.op(), &verdict, cached, wall)
+                    verdict_response(req.id.as_ref(), spec.op(), &verdict, cached, wall, tr)
                 }
                 Err(e) => self.error(req.id.as_ref(), &e),
             },
             RequestKind::Stats => self.stats_response(req.id.as_ref()),
+            RequestKind::Metrics => {
+                protocol::metrics_response(req.id.as_ref(), &obs::metrics().snapshot())
+            }
+            RequestKind::SlowLog => protocol::slowlog_response(
+                req.id.as_ref(),
+                self.slow_solve_ms,
+                &self.slow_log.entries(),
+            ),
             RequestKind::Reset => {
                 self.workspace.clear();
                 lock(&self.cache).clear();
+                self.slow_log.clear();
                 // Fresh arenas: a long-running service can shed the formula
                 // and BDD state accumulated by previous workloads.
                 self.session = Analyzer::with_options(self.options.clone());
@@ -287,18 +351,25 @@ impl Engine {
     /// come back in request order. See [`BatchOutcome`] for the result
     /// shape.
     pub fn run_batch(&mut self, requests: &[Request]) -> BatchOutcome {
+        let obs_ctx = ObsCtx {
+            trace_sink: self.trace_sink.as_ref(),
+            slow_ms: self.slow_solve_ms,
+            slow_log: &self.slow_log,
+        };
         let outcome = executor::run_batch(
             &mut self.workspace,
             &mut self.workers,
             &self.cache,
             self.options.backend,
             &self.limits,
+            &obs_ctx,
             requests,
         );
         self.counters.batches += 1;
         self.counters.requests += outcome.stats.requests as u64;
         self.counters.problems += outcome.stats.problems as u64;
         self.counters.cache_hits += outcome.stats.cache_hits as u64;
+        self.counters.cache_misses += outcome.stats.cache_misses as u64;
         self.counters.unknown += outcome.stats.unknown as u64;
         self.counters.errors += outcome.stats.errors as u64;
         outcome
@@ -378,6 +449,10 @@ impl Engine {
             ("requests", Value::from(self.counters.requests as usize)),
             ("problems", Value::from(self.counters.problems as usize)),
             ("cache_hits", Value::from(self.counters.cache_hits as usize)),
+            (
+                "cache_misses",
+                Value::from(self.counters.cache_misses as usize),
+            ),
             ("unknown", Value::from(self.counters.unknown as usize)),
             ("errors", Value::from(self.counters.errors as usize)),
             ("batches", Value::from(self.counters.batches as usize)),

@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use analyzer::{Analysis, Analyzer, BackendChoice, Limits, SolveError, Telemetry};
+use obs::Recorder;
 
 pub use analyzer::Problem;
 
@@ -140,10 +141,17 @@ impl RunOutcome {
 
 /// Solves a job on the given analyzer under the given limits, folding the
 /// typed [`SolveError`] into the protocol's three-way outcome.
-pub fn run_job(az: &mut Analyzer, job: &Job, limits: &Limits) -> RunOutcome {
+///
+/// Phase and step events of the solve are recorded on `rec` (pass
+/// [`Recorder::noop`] to run silently), and every run updates the
+/// process-wide [`obs::metrics`] registry: `xsat_solves_total` and the
+/// `xsat_solve_latency_ms` histogram by operation × backend × status,
+/// `xsat_unknown_total` by exhausted resource, and the
+/// `xsat_bdd_peak_nodes` high-water gauge.
+pub fn run_job(az: &mut Analyzer, job: &Job, limits: &Limits, rec: &Recorder) -> RunOutcome {
     let started = Instant::now();
     az.set_backend(job.backend);
-    match az.solve(&job.problem, limits) {
+    let outcome = match az.solve_traced(&job.problem, limits, rec) {
         Ok(analysis) => RunOutcome::Verdict(Verdict::from_analysis(
             analysis,
             duration_ms(started.elapsed()),
@@ -160,6 +168,51 @@ pub fn run_job(az: &mut Analyzer, job: &Job, limits: &Limits) -> RunOutcome {
             })
         }
         Err(e @ SolveError::Disagreement { .. }) => RunOutcome::Error(e.to_string()),
+    };
+    record_metrics(job, &outcome, duration_ms(started.elapsed()));
+    outcome
+}
+
+/// The protocol status of an outcome, as the wire string.
+pub(crate) fn outcome_status(outcome: &RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Verdict(v) if v.holds => "holds",
+        RunOutcome::Verdict(_) => "fails",
+        RunOutcome::Unknown(_) => "unknown",
+        RunOutcome::Error(_) => "error",
+    }
+}
+
+fn record_metrics(job: &Job, outcome: &RunOutcome, wall_ms: f64) {
+    let m = obs::metrics();
+    let labels = [
+        ("op", job.problem.op_name()),
+        ("backend", job.backend.as_str()),
+        ("status", outcome_status(outcome)),
+    ];
+    m.counter("xsat_solves_total", &labels).inc();
+    m.histogram("xsat_solve_latency_ms", &labels)
+        .observe_ms(wall_ms);
+    match outcome {
+        RunOutcome::Unknown(u) => {
+            m.counter("xsat_unknown_total", &[("resource", u.resource)])
+                .inc();
+        }
+        RunOutcome::Verdict(v) => {
+            if let Some(peak) = peak_nodes(&v.stats.telemetry) {
+                m.gauge("xsat_bdd_peak_nodes", &[]).record_max(peak);
+            }
+        }
+        RunOutcome::Error(_) => {}
+    }
+}
+
+/// The BDD peak-node count of a solve, when a symbolic half ran.
+fn peak_nodes(t: &Telemetry) -> Option<u64> {
+    match t {
+        Telemetry::Symbolic { counters, .. } => Some(counters.peak_nodes as u64),
+        Telemetry::Dual { symbolic, .. } => peak_nodes(symbolic),
+        Telemetry::Explicit { .. } | Telemetry::Witnessed { .. } => None,
     }
 }
 
@@ -194,6 +247,7 @@ mod tests {
             &mut az,
             &job(p, BackendChoice::Symbolic),
             &Limits::default(),
+            &Recorder::noop(),
         );
         let v = out.verdict().expect("definite verdict");
         assert!(!v.holds);
@@ -213,6 +267,7 @@ mod tests {
             &mut az,
             &job(p, BackendChoice::Symbolic),
             &Limits::default(),
+            &Recorder::noop(),
         );
         let v = out.verdict().expect("definite verdict");
         assert!(v.holds);
@@ -240,7 +295,12 @@ mod tests {
             BackendChoice::Dual,
         ] {
             let mut az = Analyzer::new();
-            let out = run_job(&mut az, &job(p.clone(), backend), &Limits::default());
+            let out = run_job(
+                &mut az,
+                &job(p.clone(), backend),
+                &Limits::default(),
+                &Recorder::noop(),
+            );
             let v = out.verdict().unwrap_or_else(|| panic!("{backend}"));
             assert!(v.holds, "{backend}");
             assert_eq!(v.backend, backend);
@@ -256,7 +316,12 @@ mod tests {
             max_iterations: Some(1),
             ..Limits::default()
         };
-        let out = run_job(&mut az, &job(p, BackendChoice::Symbolic), &starved);
+        let out = run_job(
+            &mut az,
+            &job(p, BackendChoice::Symbolic),
+            &starved,
+            &Recorder::noop(),
+        );
         match out {
             RunOutcome::Unknown(u) => {
                 assert_eq!(u.resource, "iterations");

@@ -75,9 +75,16 @@ pub enum RequestKind {
         /// Per-request limit overrides; fields not given fall back to the
         /// engine's default limits.
         limits: Option<LimitsSpec>,
+        /// Whether to return the solve's phase-event trace on the
+        /// response (`"trace": true`).
+        trace: bool,
     },
     /// Report engine counters.
     Stats,
+    /// Snapshot the process-wide metrics registry.
+    Metrics,
+    /// Dump the ring buffer of captured slow solves.
+    SlowLog,
     /// Drop all registrations and cached verdicts.
     Reset,
 }
@@ -386,12 +393,15 @@ impl Request {
                 xpath: str_field(v, "xpath")?,
             },
             "stats" => RequestKind::Stats,
+            "metrics" => RequestKind::Metrics,
+            "slowlog" | "slow-log" => RequestKind::SlowLog,
             "reset" => RequestKind::Reset,
             other => match Op::from_wire(other) {
                 Some(op) => RequestKind::Problem {
                     spec: problem_spec(op, v)?,
                     backend: backend_field(v)?,
                     limits: limits_field(v)?,
+                    trace: trace_field(v)?,
                 },
                 None => return Err(format!("unknown op `{other}`")),
             },
@@ -476,6 +486,15 @@ fn problem_spec(op: Op, v: &Value) -> Result<ProblemSpec, String> {
     })
 }
 
+/// Parses the optional `trace` flag of a decision request.
+fn trace_field(v: &Value) -> Result<bool, String> {
+    match v.get("trace") {
+        None => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err("`trace` must be a boolean".to_owned()),
+    }
+}
+
 /// Parses the optional `backend` field of a request.
 fn backend_field(v: &Value) -> Result<Option<BackendChoice>, String> {
     match v.get("backend") {
@@ -552,12 +571,15 @@ pub fn registration_response(id: Option<&Value>, kind: &str, name: &str) -> Valu
 }
 
 /// Builds the response for a solved (or cache-served) decision problem.
+/// `trace` is the serialized event array for requests that set
+/// `"trace": true` (see [`trace_value`]); `None` omits the field.
 pub fn verdict_response(
     id: Option<&Value>,
     op: Op,
     verdict: &Verdict,
     cached: bool,
     wall_ms: f64,
+    trace: Option<Value>,
 ) -> Value {
     let mut fields = Vec::new();
     if let Some(id) = id {
@@ -585,6 +607,9 @@ pub fn verdict_response(
         ("telemetry", telemetry_value(&s.telemetry)),
     ];
     fields.push(("stats", obj(stats)));
+    if let Some(trace) = trace {
+        fields.push(("trace", trace));
+    }
     obj(fields)
 }
 
@@ -592,7 +617,12 @@ pub fn verdict_response(
 /// `ok` stays true (the protocol worked; the solve was inconclusive),
 /// `holds` is `null`, and the exhausted resource is named with what was
 /// spent against what budget. Unknown verdicts are never cached.
-pub fn unknown_response(id: Option<&Value>, op: Op, unknown: &UnknownVerdict) -> Value {
+pub fn unknown_response(
+    id: Option<&Value>,
+    op: Op,
+    unknown: &UnknownVerdict,
+    trace: Option<Value>,
+) -> Value {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id", id.clone()));
@@ -610,6 +640,9 @@ pub fn unknown_response(id: Option<&Value>, op: Op, unknown: &UnknownVerdict) ->
         ("cached", Value::Bool(false)),
         ("wall_ms", Value::Num(round3(unknown.wall_ms))),
     ]);
+    if let Some(trace) = trace {
+        fields.push(("trace", trace));
+    }
     obj(fields)
 }
 
@@ -656,6 +689,142 @@ pub fn telemetry_value(t: &Telemetry) -> Value {
     obj(fields)
 }
 
+/// Serializes one trace event as a flat JSON object — the same shape as a
+/// [`obs::Event::to_jsonl`] line: the `solve`/`seq`/`t_us`/`kind`
+/// envelope followed by the kind-specific fields.
+pub fn event_value(e: &obs::Event) -> Value {
+    let mut fields = vec![
+        ("solve", Value::Num(e.solve as f64)),
+        ("seq", Value::Num(e.seq as f64)),
+        ("t_us", Value::Num(e.t_us as f64)),
+        ("kind", Value::from(e.kind)),
+    ];
+    for (name, value) in &e.fields {
+        fields.push((
+            *name,
+            match value {
+                obs::FieldValue::U64(v) => Value::Num(*v as f64),
+                obs::FieldValue::I64(v) => Value::Num(*v as f64),
+                obs::FieldValue::F64(v) => Value::Num(if v.is_finite() { *v } else { 0.0 }),
+                obs::FieldValue::Bool(v) => Value::Bool(*v),
+                obs::FieldValue::Str(v) => Value::from(*v),
+            },
+        ));
+    }
+    obj(fields)
+}
+
+/// Serializes a solve's event trace as a JSON array (the `"trace"` field
+/// of traced verdict responses).
+pub fn trace_value(events: &[obs::Event]) -> Value {
+    Value::Arr(events.iter().map(event_value).collect())
+}
+
+/// Builds the `metrics` response: a deterministic snapshot of the
+/// process-wide registry. Counters and gauges carry a `value`; histograms
+/// carry `count`, `sum_ms` and cumulative `buckets` keyed by upper bound
+/// in milliseconds (the final `+Inf` bucket serialized as the string
+/// `"+Inf"`).
+pub fn metrics_response(id: Option<&Value>, snapshot: &[obs::Snapshot]) -> Value {
+    let rows = snapshot
+        .iter()
+        .map(|s| {
+            let labels = obj(s.labels.iter().map(|&(k, v)| (k, Value::from(v))).collect());
+            let mut fields = vec![("name", Value::from(s.name)), ("labels", labels)];
+            match &s.value {
+                obs::MetricValue::Counter(v) => {
+                    fields.push(("kind", Value::from("counter")));
+                    fields.push(("value", Value::Num(*v as f64)));
+                }
+                obs::MetricValue::Gauge(v) => {
+                    fields.push(("kind", Value::from("gauge")));
+                    fields.push(("value", Value::Num(*v as f64)));
+                }
+                obs::MetricValue::Histogram {
+                    count,
+                    sum_ms,
+                    buckets,
+                } => {
+                    fields.push(("kind", Value::from("histogram")));
+                    fields.push(("count", Value::Num(*count as f64)));
+                    fields.push(("sum_ms", Value::Num(round3(*sum_ms))));
+                    fields.push((
+                        "buckets",
+                        Value::Arr(
+                            buckets
+                                .iter()
+                                .map(|&(bound, cumulative)| {
+                                    let le = if bound.is_finite() {
+                                        Value::Num(bound)
+                                    } else {
+                                        Value::from("+Inf")
+                                    };
+                                    obj(vec![("le", le), ("count", Value::Num(cumulative as f64))])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+            }
+            obj(fields)
+        })
+        .collect();
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    fields.extend([
+        ("ok", Value::Bool(true)),
+        ("op", Value::from("metrics")),
+        ("protocol", Value::from(PROTOCOL_VERSION as usize)),
+        ("metrics", Value::Arr(rows)),
+    ]);
+    obj(fields)
+}
+
+/// Builds the `slowlog` response: the configured threshold (`null` when
+/// slow-solve capture is off) and the captured entries, oldest first,
+/// each with its full event trace.
+pub fn slowlog_response(
+    id: Option<&Value>,
+    threshold_ms: Option<u64>,
+    entries: &[obs::SlowEntry],
+) -> Value {
+    let rows = entries
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("op", Value::from(e.op)),
+                ("backend", Value::from(e.backend)),
+                ("status", Value::from(e.status)),
+                ("wall_ms", Value::Num(round3(e.wall_ms))),
+                ("threshold_ms", Value::Num(e.threshold_ms as f64)),
+                ("cached", Value::Bool(e.cached)),
+                ("trace", trace_value(&e.events)),
+            ])
+        })
+        .collect();
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    fields.extend([
+        ("ok", Value::Bool(true)),
+        ("op", Value::from("slowlog")),
+        ("protocol", Value::from(PROTOCOL_VERSION as usize)),
+        (
+            "threshold_ms",
+            match threshold_ms {
+                Some(t) => Value::Num(t as f64),
+                None => Value::Null,
+            },
+        ),
+        ("count", Value::from(entries.len())),
+        ("entries", Value::Arr(rows)),
+    ]);
+    obj(fields)
+}
+
 /// Builds an error response (`"status":"error"`).
 pub fn error_response(id: Option<&Value>, message: &str) -> Value {
     let mut fields = Vec::new();
@@ -684,9 +853,25 @@ mod tests {
                 spec,
                 backend,
                 limits,
+                ..
             } => (spec, backend, limits),
             other => panic!("unexpected kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rejects() {
+        let r = Request::parse(r#"{"op":"sat","query":"a","trace":true}"#).unwrap();
+        assert!(matches!(r.kind, RequestKind::Problem { trace: true, .. }));
+        let r = Request::parse(r#"{"op":"sat","query":"a"}"#).unwrap();
+        assert!(matches!(r.kind, RequestKind::Problem { trace: false, .. }));
+        let e = Request::parse(r#"{"op":"sat","query":"a","trace":1}"#).unwrap_err();
+        assert!(e.contains("`trace` must be a boolean"), "{e}");
+        // The introspection service ops parse too.
+        let r = Request::parse(r#"{"op":"metrics"}"#).unwrap();
+        assert_eq!(r.kind, RequestKind::Metrics);
+        let r = Request::parse(r#"{"op":"slowlog"}"#).unwrap();
+        assert_eq!(r.kind, RequestKind::SlowLog);
     }
 
     #[test]

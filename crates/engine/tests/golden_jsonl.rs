@@ -558,3 +558,253 @@ fn hundred_problem_batch_fans_out() {
     let warm = e.run_batch_lines(&input);
     assert_eq!(warm.stats.cache_hits, 120);
 }
+
+#[test]
+fn traced_requests_round_trip_their_event_stream() {
+    let mut e = Engine::new();
+    // An untraced request carries no `trace` field.
+    let quiet = e.execute_line(r#"{"op":"sat","query":"a/b[c]"}"#);
+    assert!(quiet.get("trace").is_none());
+    // A traced repeat of the same problem is a cache hit: its trace is
+    // just the memo lookup.
+    let hit = e.execute_line(r#"{"op":"sat","query":"a/b[c]","trace":true}"#);
+    assert_eq!(hit.get("cached").and_then(Value::as_bool), Some(true));
+    let trace = hit.get("trace").and_then(Value::as_arr).expect("trace");
+    assert_eq!(trace.len(), 1);
+    assert_eq!(trace[0].get("kind").and_then(Value::as_str), Some("memo"));
+    assert_eq!(trace[0].get("hit").and_then(Value::as_bool), Some(true));
+    // A traced cold solve carries the full phase stream.
+    let cold = e.execute_line(r#"{"op":"contains","lhs":"a/b","rhs":"a/*","trace":true}"#);
+    assert_eq!(cold.get("status").and_then(Value::as_str), Some("holds"));
+    let trace = cold.get("trace").and_then(Value::as_arr).expect("trace");
+    let kinds: Vec<&str> = trace
+        .iter()
+        .map(|ev| ev.get("kind").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(kinds[0], "memo");
+    assert_eq!(kinds[1], "solve_begin");
+    assert_eq!(*kinds.last().unwrap(), "solve_end");
+    assert!(kinds.contains(&"phase"), "{kinds:?}");
+    assert!(kinds.contains(&"step"), "{kinds:?}");
+    let phases: Vec<&str> = trace
+        .iter()
+        .filter(|ev| ev.get("kind").and_then(Value::as_str) == Some("phase"))
+        .map(|ev| ev.get("phase").and_then(Value::as_str).unwrap())
+        .collect();
+    assert!(phases.contains(&"compile"), "{phases:?}");
+    assert!(phases.contains(&"fixpoint"), "{phases:?}");
+    // Envelope fields are present on every event, seq strictly increases,
+    // and the whole response survives a JSON round-trip.
+    let mut prev_seq = -1.0;
+    for ev in trace {
+        for key in ["solve", "seq", "t_us", "kind"] {
+            assert!(ev.get(key).is_some(), "missing {key} in {}", ev.to_json());
+        }
+        let seq = ev.get("seq").and_then(Value::as_f64).unwrap();
+        assert!(seq > prev_seq);
+        prev_seq = seq;
+    }
+    assert_eq!(json::parse(&cold.to_json()).unwrap(), cold);
+    // The batch executor honors the flag too, and keeps traced and
+    // untraced requests for one problem distinct.
+    let out = e.run_batch(&[
+        Request::parse(
+            r#"{"id":"t","op":"overlap","lhs":"child::a","rhs":"child::*","trace":true}"#,
+        )
+        .unwrap(),
+        Request::parse(r#"{"id":"u","op":"overlap","lhs":"child::a","rhs":"child::*"}"#).unwrap(),
+    ]);
+    assert!(out.responses[0].get("trace").is_some());
+    assert!(out.responses[1].get("trace").is_none());
+}
+
+#[test]
+fn metrics_request_snapshots_the_registry() {
+    let mut e = Engine::new();
+    e.execute_line(r#"{"op":"sat","query":"child::metricsprobe"}"#);
+    let r = e.execute_line(r#"{"id":"m","op":"metrics"}"#);
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("op").and_then(Value::as_str), Some("metrics"));
+    assert_eq!(r.get("id").and_then(Value::as_str), Some("m"));
+    let rows = r.get("metrics").and_then(Value::as_arr).expect("metrics");
+    assert!(!rows.is_empty());
+    // The solve counter row for this op/backend/status exists…
+    let solves = rows
+        .iter()
+        .find(|row| {
+            row.get("name").and_then(Value::as_str) == Some("xsat_solves_total")
+                && row
+                    .get("labels")
+                    .map(|l| {
+                        l.get("op").and_then(Value::as_str) == Some("sat")
+                            && l.get("backend").and_then(Value::as_str) == Some("symbolic")
+                            && l.get("status").and_then(Value::as_str) == Some("holds")
+                    })
+                    .unwrap_or(false)
+        })
+        .unwrap_or_else(|| panic!("no solves row in {}", r.to_json()));
+    assert_eq!(solves.get("kind").and_then(Value::as_str), Some("counter"));
+    assert!(solves.get("value").and_then(Value::as_f64).unwrap() >= 1.0);
+    // …and the latency histogram carries count, sum and cumulative
+    // buckets ending at +Inf.
+    let hist = rows
+        .iter()
+        .find(|row| row.get("name").and_then(Value::as_str) == Some("xsat_solve_latency_ms"))
+        .expect("latency histogram");
+    assert_eq!(hist.get("kind").and_then(Value::as_str), Some("histogram"));
+    assert!(hist.get("count").and_then(Value::as_f64).unwrap() >= 1.0);
+    assert!(hist.get("sum_ms").and_then(Value::as_f64).is_some());
+    let buckets = hist.get("buckets").and_then(Value::as_arr).unwrap();
+    assert_eq!(
+        buckets.last().unwrap().get("le").and_then(Value::as_str),
+        Some("+Inf")
+    );
+    let mut prev = 0.0;
+    for b in buckets {
+        let c = b.get("count").and_then(Value::as_f64).unwrap();
+        assert!(c >= prev, "cumulative buckets must be non-decreasing");
+        prev = c;
+    }
+    // Memo-cache traffic reaches the registry (hits may be 0 here, but
+    // the miss of the probe solve is recorded).
+    assert!(rows
+        .iter()
+        .any(|row| row.get("name").and_then(Value::as_str) == Some("xsat_memo_misses_total")));
+    // Service ops stay sequential-only: a metrics request inside a batch
+    // is rejected like stats/reset.
+    let out = e.run_batch(&[Request::parse(r#"{"op":"metrics"}"#).unwrap()]);
+    assert_eq!(
+        out.responses[0].get("ok").and_then(Value::as_bool),
+        Some(false)
+    );
+}
+
+#[test]
+fn batch_stats_expose_memo_hit_and_miss_counters() {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 2,
+        ..EngineConfig::default()
+    });
+    let reqs = [
+        Request::parse(r#"{"op":"sat","query":"child::memostats"}"#).unwrap(),
+        Request::parse(r#"{"op":"sat","query":"child::memostats"}"#).unwrap(),
+        Request::parse(r#"{"op":"empty","query":"child::memostats"}"#).unwrap(),
+    ];
+    let out = e.run_batch(&reqs);
+    assert_eq!(out.stats.cache_hits, 1);
+    assert_eq!(out.stats.cache_misses, 2);
+    let v = out.stats.to_value();
+    assert_eq!(v.get("cache_hits").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(v.get("cache_misses").and_then(Value::as_f64), Some(2.0));
+    let memo = v
+        .get("metrics")
+        .and_then(|m| m.get("memo"))
+        .expect("memo block");
+    assert_eq!(memo.get("hits").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(memo.get("misses").and_then(Value::as_f64), Some(2.0));
+    // The cumulative service counters mirror the split, and the `stats`
+    // op reports it on the wire.
+    assert_eq!(e.counters().cache_hits, 1);
+    assert_eq!(e.counters().cache_misses, 2);
+    let r = e.execute_line(r#"{"op":"stats"}"#);
+    assert_eq!(r.get("cache_misses").and_then(Value::as_f64), Some(2.0));
+}
+
+/// The event-kind sequence of a slow-log entry's trace.
+fn entry_kinds(entry: &Value) -> Vec<String> {
+    entry
+        .get("trace")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|ev| ev.get("kind").and_then(Value::as_str).unwrap().to_owned())
+        .collect()
+}
+
+#[test]
+fn slow_solve_capture_is_deterministic_under_an_iteration_cap() {
+    // Threshold 0: every real solve is "slow". The iteration cap pins the
+    // fixpoint to one step, so the captured trace has a deterministic
+    // event-kind sequence — two fresh engines must capture identical
+    // shapes.
+    let capture = || {
+        let mut e = Engine::with_config(EngineConfig {
+            slow_solve_ms: Some(0),
+            ..EngineConfig::default()
+        });
+        let r = e.execute_line(r#"{"op":"sat","query":"a/b[c]","limits":{"max_iterations":1}}"#);
+        assert_eq!(r.get("status").and_then(Value::as_str), Some("unknown"));
+        assert_eq!(e.slow_log().len(), 1);
+        let dump = e.execute_line(r#"{"op":"slowlog"}"#);
+        assert_eq!(dump.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(dump.get("op").and_then(Value::as_str), Some("slowlog"));
+        assert_eq!(dump.get("threshold_ms").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(dump.get("count").and_then(Value::as_f64), Some(1.0));
+        let entries = dump.get("entries").and_then(Value::as_arr).unwrap();
+        let entry = &entries[0];
+        assert_eq!(entry.get("op").and_then(Value::as_str), Some("sat"));
+        assert_eq!(
+            entry.get("backend").and_then(Value::as_str),
+            Some("symbolic")
+        );
+        assert_eq!(entry.get("status").and_then(Value::as_str), Some("unknown"));
+        assert_eq!(entry.get("cached").and_then(Value::as_bool), Some(false));
+        let kinds = entry_kinds(entry);
+        assert!(kinds.contains(&"limit".to_owned()), "{kinds:?}");
+        (e, kinds)
+    };
+    let (mut e1, kinds1) = capture();
+    let (_e2, kinds2) = capture();
+    assert_eq!(kinds1, kinds2, "slow-solve traces must be deterministic");
+    // Cache hits are never logged as slow, and `reset` drops the ring.
+    let r = e1.execute_line(r#"{"op":"sat","query":"a/b[c]"}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("holds"));
+    let len_after_solve = e1.slow_log().len();
+    e1.execute_line(r#"{"op":"sat","query":"a/b[c]"}"#);
+    assert_eq!(e1.slow_log().len(), len_after_solve);
+    e1.execute_line(r#"{"op":"reset"}"#);
+    assert!(e1.slow_log().is_empty());
+    // Without a threshold the dump reports a null threshold and no
+    // entries.
+    let mut quiet = Engine::new();
+    quiet.execute_line(r#"{"op":"sat","query":"a/b[c]"}"#);
+    let dump = quiet.execute_line(r#"{"op":"slowlog"}"#);
+    assert_eq!(dump.get("threshold_ms"), Some(&Value::Null));
+    assert_eq!(dump.get("count").and_then(Value::as_f64), Some(0.0));
+}
+
+#[test]
+fn trace_file_sink_streams_jsonl_for_every_solve() {
+    // The engine-level `trace_sink` (the `--trace-file` plumbing) sees
+    // every solve's events even when no request asks for a trace.
+    let sink = std::sync::Arc::new(engine::MemorySink::new());
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 2,
+        trace_sink: Some(sink.clone()),
+        ..EngineConfig::default()
+    });
+    e.execute_line(r#"{"op":"sat","query":"child::tracefile"}"#);
+    let sequential = sink.drain();
+    assert!(sequential.iter().any(|ev| ev.kind == "solve_begin"));
+    assert!(sequential.iter().any(|ev| ev.kind == "solve_end"));
+    let out = e.run_batch(&[
+        Request::parse(r#"{"op":"overlap","lhs":"child::t1","rhs":"child::*"}"#).unwrap(),
+        Request::parse(r#"{"op":"overlap","lhs":"child::t2","rhs":"child::*"}"#).unwrap(),
+    ]);
+    assert_eq!(out.stats.cache_misses, 2);
+    let batch = sink.drain();
+    // Two distinct solves, distinguishable by their solve ids.
+    let ids: std::collections::HashSet<u64> = batch
+        .iter()
+        .filter(|ev| ev.kind == "solve_begin")
+        .map(|ev| ev.solve)
+        .collect();
+    assert_eq!(ids.len(), 2);
+    // Each solve's JSONL line is valid JSON with the envelope fields.
+    for ev in &batch {
+        let line = ev.to_jsonl();
+        let v = json::parse(&line).unwrap();
+        assert!(v.get("kind").is_some(), "{line}");
+        assert!(v.get("t_us").is_some(), "{line}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Observability substrate for the xsat stack.
+//!
+//! Three independent pieces, all dependency-free and cheap enough to stay
+//! compiled into release builds:
+//!
+//! * [`Recorder`] — phase-scoped tracing. A recorder is either *disabled*
+//!   (the [`Recorder::noop`] default: one `Option` check per call site, no
+//!   allocation, no atomics) or wired to an [`Sink`] that receives
+//!   structured [`Event`]s: solve begin/end, phase spans, per-iteration
+//!   fixpoint steps, limit checks and memo-cache lookups. Field values are
+//!   scalars and `&'static str` only, so recording an event allocates a
+//!   single small `Vec` and nothing else.
+//! * [`Registry`] — a process-wide metrics registry of atomic counters,
+//!   gauges and fixed-bucket latency histograms, rendered either as a
+//!   snapshot (for the JSONL protocol) or as Prometheus text exposition
+//!   format (for `xsat metrics`). The shared instance lives behind
+//!   [`metrics()`].
+//! * [`SlowLog`] — a bounded ring buffer of fully-traced slow solves,
+//!   fed by the engine when a solve exceeds its configured threshold.
+//!
+//! The event schema and metric names are documented in
+//! `docs/OBSERVABILITY.md` at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod slow;
+mod trace;
+
+pub use metrics::{metrics, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use slow::{SlowEntry, SlowLog};
+pub use trace::{Event, FieldValue, JsonlSink, MemorySink, Recorder, Sink, Span, TeeSink};

@@ -1,0 +1,440 @@
+//! Process-wide metrics: atomic counters, gauges and latency histograms.
+//!
+//! Metric handles are `Arc`-backed and lock-free to update; the registry
+//! mutex is touched only on first registration of a (name, labels) pair
+//! and when taking a snapshot. Names and label values are `&'static str`,
+//! which keeps registration allocation-light and rules out cardinality
+//! explosions from user-controlled strings.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bounds (milliseconds) of the fixed histogram buckets; a final
+/// `+Inf` bucket is implicit. Chosen to straddle the paper's reported
+/// solve times (tens of milliseconds) with headroom for pathological runs.
+pub const BUCKET_BOUNDS_MS: [f64; 14] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0,
+];
+
+/// Monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Settable gauge (also usable as a high-water mark via [`Gauge::record_max`]).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increase by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Raise the value to `v` if it is larger than the current one.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramInner {
+    /// One slot per bound in [`BUCKET_BOUNDS_MS`] plus the `+Inf` slot.
+    buckets: [AtomicU64; BUCKET_BOUNDS_MS.len() + 1],
+    /// Sum of observations in microseconds (kept integral for atomicity).
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram, observed in milliseconds.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation of `ms` milliseconds.
+    pub fn observe_ms(&self, ms: f64) {
+        let ms = if ms.is_finite() && ms >= 0.0 { ms } else { 0.0 };
+        let idx = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(BUCKET_BOUNDS_MS.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0
+            .sum_us
+            .fetch_add((ms * 1000.0).round() as u64, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, in milliseconds.
+    pub fn sum_ms(&self) -> f64 {
+        self.0.sum_us.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Non-cumulative per-bucket counts, `+Inf` last.
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type Labels = Vec<(&'static str, &'static str)>;
+
+/// The value part of a [`Snapshot`] row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram totals plus per-bucket cumulative counts keyed by the
+    /// bucket's upper bound in milliseconds (`f64::INFINITY` last).
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations in milliseconds.
+        sum_ms: f64,
+        /// `(upper_bound_ms, cumulative_count)` pairs.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// One (metric, labels) row of a registry snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Metric name, e.g. `xsat_solves_total`.
+    pub name: &'static str,
+    /// Label pairs in registration order.
+    pub labels: Labels,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// A collection of named metrics. Most code uses the process-wide
+/// instance behind [`metrics()`]; tests may build private registries.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<(&'static str, Labels), Slot>>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn slot(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+        make: Slot,
+    ) -> Slot {
+        let key = (name, labels.to_vec());
+        let mut map = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        let slot = map.entry(key).or_insert(make);
+        slot.clone()
+    }
+
+    /// Get or register the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// If the same (name, labels) pair was registered with another kind.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &'static str)]) -> Counter {
+        match self.slot(name, labels, Slot::Counter(Counter::default())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// If the same (name, labels) pair was registered with another kind.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &'static str)]) -> Gauge {
+        match self.slot(name, labels, Slot::Gauge(Gauge::default())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// If the same (name, labels) pair was registered with another kind.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &'static str)],
+    ) -> Histogram {
+        match self.slot(name, labels, Slot::Histogram(Histogram::default())) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Point-in-time view of every registered metric, sorted by
+    /// (name, labels) for deterministic output.
+    pub fn snapshot(&self) -> Vec<Snapshot> {
+        let map = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        map.iter()
+            .map(|((name, labels), slot)| Snapshot {
+                name,
+                labels: labels.clone(),
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0;
+                        let mut buckets = Vec::with_capacity(counts.len());
+                        for (i, c) in counts.iter().enumerate() {
+                            cumulative += c;
+                            let bound = BUCKET_BOUNDS_MS.get(i).copied().unwrap_or(f64::INFINITY);
+                            buckets.push((bound, cumulative));
+                        }
+                        MetricValue::Histogram {
+                            count: h.count(),
+                            sum_ms: h.sum_ms(),
+                            buckets,
+                        }
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let rows = self.snapshot();
+        let mut out = String::new();
+        let mut last_name = "";
+        for row in &rows {
+            if row.name != last_name {
+                let kind = match row.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram { .. } => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", row.name, kind));
+                last_name = row.name;
+            }
+            match &row.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(row.name);
+                    out.push_str(&label_set(&row.labels, None));
+                    out.push_str(&format!(" {v}\n"));
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum_ms,
+                    buckets,
+                } => {
+                    for (bound, cumulative) in buckets {
+                        let le = if bound.is_finite() {
+                            format!("{bound}")
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            row.name,
+                            label_set(&row.labels, Some(&le)),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        row.name,
+                        label_set(&row.labels, None),
+                        sum_ms
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        row.name,
+                        label_set(&row.labels, None),
+                        count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn label_set(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry shared by the solver engine, executor and CLI.
+pub fn metrics() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("xsat_test_total", &[("op", "contains")]);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Same key returns the same underlying atomic.
+        assert_eq!(
+            reg.counter("xsat_test_total", &[("op", "contains")]).get(),
+            3
+        );
+        // Different labels are a different series.
+        assert_eq!(
+            reg.counter("xsat_test_total", &[("op", "overlap")]).get(),
+            0
+        );
+
+        let g = reg.gauge("xsat_test_depth", &[]);
+        g.set(5);
+        g.add(2);
+        g.sub(3);
+        assert_eq!(g.get(), 4);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates");
+        g.record_max(7);
+        g.record_max(2);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_snapshot() {
+        let reg = Registry::new();
+        let h = reg.histogram("xsat_test_ms", &[("backend", "symbolic")]);
+        h.observe_ms(0.04); // first bucket (<= 0.05)
+        h.observe_ms(0.6); // <= 1.0
+        h.observe_ms(1e9); // +Inf
+        assert_eq!(h.count(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        let MetricValue::Histogram { count, buckets, .. } = &snap[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 3);
+        assert_eq!(buckets.last().unwrap().1, 3, "+Inf bucket counts all");
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "cumulative");
+        assert_eq!(buckets[0].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        let _ = reg.counter("xsat_conflict", &[]);
+        let _ = reg.gauge("xsat_conflict", &[]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("xsat_b_total", &[("op", "sat")]).add(2);
+        reg.counter("xsat_b_total", &[("op", "empty")]).inc();
+        reg.gauge("xsat_a_depth", &[]).set(4);
+        reg.histogram("xsat_c_ms", &[]).observe_ms(0.2);
+        let text = reg.render_prometheus();
+        let a = text.find("# TYPE xsat_a_depth gauge").unwrap();
+        let b = text.find("# TYPE xsat_b_total counter").unwrap();
+        let c = text.find("# TYPE xsat_c_ms histogram").unwrap();
+        assert!(a < b && b < c, "sorted by metric name");
+        assert!(text.contains("xsat_a_depth 4"));
+        assert!(text.contains("xsat_b_total{op=\"empty\"} 1"));
+        assert!(text.contains("xsat_b_total{op=\"sat\"} 2"));
+        assert!(text.contains("xsat_c_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("xsat_c_ms_sum 0.2"));
+        assert!(text.contains("xsat_c_ms_count 1"));
+        assert_eq!(
+            text.matches("# TYPE xsat_b_total").count(),
+            1,
+            "one TYPE line per metric family"
+        );
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        metrics().counter("xsat_global_probe_total", &[]).inc();
+        let snap = metrics().snapshot();
+        assert!(snap.iter().any(|s| s.name == "xsat_global_probe_total"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Ring-buffered log of fully-traced slow solves.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::trace::Event;
+
+/// One captured slow solve: identifying metadata plus its full trace.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Decision-problem operation name (`contains`, `sat`, …).
+    pub op: &'static str,
+    /// Backend that ran the solve.
+    pub backend: &'static str,
+    /// Final status (`holds`, `fails`, `unknown`, `error`).
+    pub status: &'static str,
+    /// Measured wall time of the solve in milliseconds.
+    pub wall_ms: f64,
+    /// The threshold (milliseconds) that was exceeded.
+    pub threshold_ms: u64,
+    /// Whether the verdict came from the memo cache.
+    pub cached: bool,
+    /// The solve's complete event trace.
+    pub events: Vec<Event>,
+}
+
+/// Bounded ring buffer of [`SlowEntry`] values; pushing beyond capacity
+/// evicts the oldest entry.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// Default ring capacity used by the engine.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// A ring holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append an entry, evicting the oldest if the ring is full.
+    pub fn push(&self, entry: SlowEntry) {
+        let mut g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        if g.len() == self.capacity {
+            g.pop_front();
+        }
+        g.push_back(entry);
+    }
+
+    /// Snapshot of the current entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        match self.inner.lock() {
+            Ok(g) => g.iter().cloned().collect(),
+            Err(poison) => poison.into_inner().iter().cloned().collect(),
+        }
+    }
+
+    /// Number of captured entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map(|g| g.len()).unwrap_or(0)
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all captured entries.
+    pub fn clear(&self) {
+        if let Ok(mut g) = self.inner.lock() {
+            g.clear();
+        }
+    }
+}
+
+impl Default for SlowLog {
+    fn default() -> SlowLog {
+        SlowLog::new(SlowLog::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: &'static str, wall_ms: f64) -> SlowEntry {
+        SlowEntry {
+            op,
+            backend: "symbolic",
+            status: "holds",
+            wall_ms,
+            threshold_ms: 1,
+            cached: false,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowLog::new(2);
+        assert!(log.is_empty());
+        log.push(entry("sat", 1.0));
+        log.push(entry("empty", 2.0));
+        log.push(entry("contains", 3.0));
+        let entries = log.entries();
+        assert_eq!(log.len(), 2);
+        assert_eq!(entries[0].op, "empty");
+        assert_eq!(entries[1].op, "contains");
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let log = SlowLog::new(0);
+        log.push(entry("sat", 1.0));
+        log.push(entry("empty", 2.0));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries()[0].op, "empty");
+    }
+}

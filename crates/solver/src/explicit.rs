@@ -20,8 +20,10 @@ use std::collections::HashMap;
 use ftree::BinaryTree;
 use mulogic::{status, BitsAlg, Formula, Logic, Program};
 
+use obs::Recorder;
+
 use crate::bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
-use crate::kernel::{run_fixpoint, Backend, SolveError};
+use crate::kernel::{limit_event, run_fixpoint_traced, Backend, SolveError, StepObservation};
 use crate::limits::{Exhausted, Limits};
 use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
@@ -228,6 +230,15 @@ impl Backend for Explicit {
             types: self.tab.types.len(),
         }
     }
+
+    fn observe(&self) -> StepObservation {
+        let count = |set: &[bool]| set.iter().filter(|&&b| b).count() as u64;
+        StepObservation {
+            store_nodes: self.tab.types.len() as u64,
+            proved: count(&self.un) + count(&self.mk),
+            ..StepObservation::default()
+        }
+    }
 }
 
 /// Decides satisfiability with the explicit backend, unbounded.
@@ -245,7 +256,8 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
         diamonds <= MAX_EXPLICIT_DIAMONDS,
         "lean too large for the explicit solver: {diamonds} diamonds (max {MAX_EXPLICIT_DIAMONDS})"
     );
-    solve_prepared(lg, prep, &Limits::none()).expect("an unbounded explicit run cannot exhaust")
+    solve_prepared(lg, prep, &Limits::none(), &Recorder::noop())
+        .expect("an unbounded explicit run cannot exhaust")
 }
 
 /// Runs the explicit backend on an already-preprocessed goal under the
@@ -256,12 +268,18 @@ pub(crate) fn solve_prepared(
     lg: &mut Logic,
     prep: Prepared,
     limits: &Limits,
+    rec: &Recorder,
 ) -> Result<Solved, SolveError> {
     let started = std::time::Instant::now();
     let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
-    let backend = Explicit::new(lg, prep);
-    let remaining = limits.after(started.elapsed())?;
-    run_fixpoint(backend, lean_size, closure_size, &remaining)
+    let backend = {
+        let _span = rec.span("enumerate");
+        Explicit::new(lg, prep)
+    };
+    let remaining = limits.after(started.elapsed()).inspect_err(|e| {
+        limit_event(rec, e);
+    })?;
+    run_fixpoint_traced(backend, lean_size, closure_size, &remaining, rec)
 }
 
 fn find_child(

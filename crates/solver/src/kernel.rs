@@ -26,6 +26,7 @@ use std::str::FromStr;
 use std::time::Instant;
 
 use mulogic::{Formula, Logic};
+use obs::{FieldValue, Recorder};
 
 use crate::limits::{Exhausted, Limits, Resource};
 use crate::outcome::{Model, Outcome, Solved, Stats, Telemetry};
@@ -65,6 +66,47 @@ pub trait Backend {
     /// Backend-specific measurements (BDD node counts, enumerated types,
     /// …), snapshotted when the run finishes.
     fn telemetry(&self) -> Telemetry;
+
+    /// A cheap point-in-time measurement of the backend's state, taken by
+    /// the traced driver after every `step` to build the per-iteration
+    /// `step` trace events. Only called when a trace [`Recorder`] is
+    /// enabled, so backends may do modest work (a set-size walk) here.
+    /// The default reports nothing — a backend without instrumentation
+    /// still works under tracing.
+    fn observe(&self) -> StepObservation {
+        StepObservation::default()
+    }
+}
+
+/// What one fixpoint iteration looked like from the outside — the raw
+/// material of the `step` trace events. The driver turns consecutive
+/// observations into deltas (node growth, frontier size, incremental cache
+/// hit rate).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepObservation {
+    /// Live size of the backend's representation: arena nodes for the
+    /// symbolic backend, enumerated type count for the explicit ones.
+    pub store_nodes: u64,
+    /// Cumulative size of the proved sets (`T° ∪ T•` cardinality / proved
+    /// triples). Monotone over a run; the driver derives the per-iteration
+    /// frontier from its deltas.
+    pub proved: u64,
+    /// Operation-cache hits so far (symbolic backend only).
+    pub cache_hits: u64,
+    /// Operation-cache lookups so far (symbolic backend only).
+    pub cache_lookups: u64,
+}
+
+/// Emits a `limit` trace event for a budget hit.
+pub(crate) fn limit_event(rec: &Recorder, e: &Exhausted) {
+    rec.event(
+        "limit",
+        &[
+            ("resource", FieldValue::Str(e.resource.as_str())),
+            ("spent", FieldValue::U64(e.spent)),
+            ("limit", FieldValue::U64(e.limit)),
+        ],
+    );
 }
 
 /// Runs a backend to its fixpoint and packages the verdict.
@@ -120,31 +162,93 @@ pub trait Backend {
 /// assert!(run_fixpoint(backend, 0, 0, &capped).is_err());
 /// ```
 pub fn run_fixpoint<B: Backend>(
-    mut backend: B,
+    backend: B,
     lean_size: usize,
     closure_size: usize,
     limits: &Limits,
 ) -> Result<Solved, SolveError> {
+    run_fixpoint_traced(backend, lean_size, closure_size, limits, &Recorder::noop())
+}
+
+/// [`run_fixpoint`] with trace recording: when `rec` is enabled, every
+/// iteration emits a `step` event (iteration number, representation growth,
+/// frontier size, operation-cache hit rate from [`Backend::observe`]) and
+/// every budget hit emits a `limit` event before the error propagates. The
+/// whole loop runs under a `fixpoint` phase span. With the noop recorder
+/// this is exactly `run_fixpoint` — the observation calls are skipped.
+pub fn run_fixpoint_traced<B: Backend>(
+    mut backend: B,
+    lean_size: usize,
+    closure_size: usize,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
     let t0 = Instant::now();
+    let span = rec.span("fixpoint");
     let mut iterations = 0usize;
+    let mut prev = StepObservation::default();
     let hit = loop {
         if let Some(cap) = limits.max_iterations {
             if iterations >= cap {
-                return Err(SolveError::ResourceExhausted {
+                let e = Exhausted {
                     resource: Resource::Iterations,
                     spent: iterations as u64,
                     limit: cap as u64,
-                });
+                };
+                limit_event(rec, &e);
+                return Err(e.into());
             }
         }
         if let Some(deadline) = limits.deadline {
             let elapsed = t0.elapsed();
             if elapsed >= deadline {
-                return Err(Exhausted::wall_clock(elapsed, deadline).into());
+                let e = Exhausted::wall_clock(elapsed, deadline);
+                limit_event(rec, &e);
+                return Err(e.into());
             }
         }
         iterations += 1;
-        let changed = backend.step()?;
+        let step_started = rec.enabled().then(Instant::now);
+        let changed = match backend.step() {
+            Ok(changed) => changed,
+            Err(e) => {
+                limit_event(rec, &e);
+                return Err(e.into());
+            }
+        };
+        if let Some(started) = step_started {
+            let o = backend.observe();
+            let hits = o.cache_hits.saturating_sub(prev.cache_hits);
+            let lookups = o.cache_lookups.saturating_sub(prev.cache_lookups);
+            let rate = if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            rec.event(
+                "step",
+                &[
+                    ("iter", FieldValue::U64(iterations as u64)),
+                    ("changed", FieldValue::Bool(changed)),
+                    ("nodes", FieldValue::U64(o.store_nodes)),
+                    (
+                        "nodes_delta",
+                        FieldValue::I64(o.store_nodes as i64 - prev.store_nodes as i64),
+                    ),
+                    ("proved", FieldValue::U64(o.proved)),
+                    (
+                        "frontier",
+                        FieldValue::U64(o.proved.saturating_sub(prev.proved)),
+                    ),
+                    ("cache_hit_rate", FieldValue::F64(rate)),
+                    (
+                        "dt_us",
+                        FieldValue::U64(started.elapsed().as_micros() as u64),
+                    ),
+                ],
+            );
+            prev = o;
+        }
         if let Some(hit) = backend.check() {
             break Some(hit);
         }
@@ -152,6 +256,7 @@ pub fn run_fixpoint<B: Backend>(
             break None;
         }
     };
+    drop(span);
     let outcome = match hit {
         None => Outcome::Unsatisfiable,
         Some(hit) => Outcome::Satisfiable(backend.reconstruct(hit)),
@@ -365,19 +470,47 @@ pub fn solve_with_in(
     mgr: &mut bdd::Bdd,
     limits: &Limits,
 ) -> Result<Solved, SolveError> {
+    solve_with_traced(lg, goal, backend, opts, mgr, limits, &Recorder::noop())
+}
+
+/// [`solve_with_in`] with trace recording: phase spans (lean construction,
+/// backend build, fixpoint), per-iteration `step` events and `limit`
+/// events flow into `rec`. The noop recorder makes this identical to
+/// `solve_with_in`.
+pub fn solve_with_traced(
+    lg: &mut Logic,
+    goal: Formula,
+    backend: BackendChoice,
+    opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
     match backend {
-        BackendChoice::Symbolic => crate::solve_symbolic_in(lg, goal, opts, mgr, limits),
+        BackendChoice::Symbolic => crate::solve_symbolic_traced(lg, goal, opts, mgr, limits, rec),
         BackendChoice::Explicit => {
-            let prep = Prepared::new(lg, goal);
-            enumeration_feasible(prep.lean.diam_entries().count(), limits)?;
-            crate::explicit::solve_prepared(lg, prep, limits)
+            let prep = {
+                let _span = rec.span("lean");
+                Prepared::new(lg, goal)
+            };
+            feasible_traced(prep.lean.diam_entries().count(), limits, rec)?;
+            crate::explicit::solve_prepared(lg, prep, limits, rec)
         }
         BackendChoice::Witnessed => {
-            enumeration_feasible(crate::witnessed::lean_diamonds(lg, goal), limits)?;
-            crate::witnessed::solve_witnessed_bounded(lg, goal, limits)
+            feasible_traced(crate::witnessed::lean_diamonds(lg, goal), limits, rec)?;
+            crate::witnessed::solve_witnessed_bounded(lg, goal, limits, rec)
         }
-        BackendChoice::Dual => solve_dual(lg, goal, opts, mgr, limits),
+        BackendChoice::Dual => solve_dual(lg, goal, opts, mgr, limits, rec),
     }
+}
+
+/// [`enumeration_feasible`] plus a `limit` trace event on rejection.
+fn feasible_traced(diamonds: usize, limits: &Limits, rec: &Recorder) -> Result<(), SolveError> {
+    enumeration_feasible(diamonds, limits).inspect_err(|e| {
+        if let Some(ex) = e.exhausted() {
+            limit_event(rec, &ex);
+        }
+    })
 }
 
 /// Errs when a lean is too large for the caller's enumeration cap. The
@@ -406,23 +539,27 @@ fn solve_dual(
     opts: &SymbolicOptions,
     mgr: &mut bdd::Bdd,
     limits: &Limits,
+    rec: &Recorder,
 ) -> Result<Solved, SolveError> {
     let t0 = Instant::now();
     // The explicit run gets its own arena so the two backends can run on
     // separate threads; formula ids stay valid across the clone.
     let mut explicit_lg = lg.clone();
     let prep = Prepared::new(&mut explicit_lg, goal);
-    enumeration_feasible(prep.lean.diam_entries().count(), limits)?;
+    feasible_traced(prep.lean.diam_entries().count(), limits, rec)?;
     let explicit_limits = limits.clone();
+    // Both halves share the recorder (same solve id and clock); their
+    // events interleave in sink order.
+    let explicit_rec = rec.clone();
     let (symbolic, explicit_result) = std::thread::scope(|scope| {
         // Models hold `Rc` trees and cannot cross threads, so the explicit
         // side ships only its verdict and stats back; its model is
         // redundant with the symbolic one anyway.
         let handle = scope.spawn(move || {
-            crate::explicit::solve_prepared(&mut explicit_lg, prep, &explicit_limits)
+            crate::explicit::solve_prepared(&mut explicit_lg, prep, &explicit_limits, &explicit_rec)
                 .map(|solved| (solved.outcome.is_satisfiable(), solved.stats))
         });
-        let symbolic = crate::solve_symbolic_in(lg, goal, opts, mgr, limits);
+        let symbolic = crate::solve_symbolic_traced(lg, goal, opts, mgr, limits, rec);
         (symbolic, handle.join().expect("explicit backend panicked"))
     });
     let symbolic = symbolic?;
@@ -660,6 +797,113 @@ mod tests {
         )
         .unwrap();
         assert!(s.outcome.is_satisfiable());
+    }
+
+    #[test]
+    fn traced_solves_emit_phase_and_step_events() {
+        use std::sync::Arc;
+        for backend in BackendChoice::ALL {
+            let mem = Arc::new(obs::MemorySink::new());
+            let rec = Recorder::new(mem.clone());
+            let mut lg = Logic::new();
+            let goal = lg.parse("a & <1>(b & <2>c)").unwrap();
+            let mut mgr = bdd::Bdd::new();
+            let s = solve_with_traced(
+                &mut lg,
+                goal,
+                backend,
+                &SymbolicOptions::default(),
+                &mut mgr,
+                &Limits::default(),
+                &rec,
+            )
+            .unwrap();
+            assert!(s.outcome.is_satisfiable(), "{backend}");
+            let events = mem.drain();
+            let steps: Vec<_> = events.iter().filter(|e| e.kind == "step").collect();
+            let phases: Vec<&'static str> = events
+                .iter()
+                .filter(|e| e.kind == "phase")
+                .filter_map(|e| {
+                    e.fields.iter().find_map(|(n, v)| match v {
+                        FieldValue::Str(s) if *n == "phase" => Some(*s),
+                        _ => None,
+                    })
+                })
+                .collect();
+            assert!(phases.contains(&"fixpoint"), "{backend}: phases {phases:?}");
+            // One step event per driver iteration (dual runs two drivers).
+            let min_steps = s.stats.iterations;
+            assert!(
+                steps.len() >= min_steps.min(2),
+                "{backend}: {} steps for {} iterations",
+                steps.len(),
+                min_steps
+            );
+            // Every step carries the envelope the schema documents.
+            for e in &steps {
+                for field in ["iter", "nodes", "proved", "frontier", "dt_us"] {
+                    assert!(
+                        e.fields.iter().any(|(n, _)| *n == field),
+                        "{backend}: step missing {field}"
+                    );
+                }
+            }
+            // The proved measure grows monotonically within one solve for
+            // the non-dual backends (dual interleaves two event streams).
+            if backend != BackendChoice::Dual {
+                let proved: Vec<u64> = steps
+                    .iter()
+                    .filter_map(|e| {
+                        e.fields.iter().find_map(|(n, v)| match v {
+                            FieldValue::U64(u) if *n == "proved" => Some(*u),
+                            _ => None,
+                        })
+                    })
+                    .collect();
+                assert!(
+                    proved.windows(2).all(|w| w[0] <= w[1]),
+                    "{backend}: proved not monotone: {proved:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_budget_hits_emit_limit_events() {
+        use std::sync::Arc;
+        let mem = Arc::new(obs::MemorySink::new());
+        let rec = Recorder::new(mem.clone());
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>(b & <1>(c & <1>d))").unwrap();
+        let mut mgr = bdd::Bdd::new();
+        let limits = Limits {
+            max_iterations: Some(1),
+            ..Limits::default()
+        };
+        let err = solve_with_traced(
+            &mut lg,
+            goal,
+            BackendChoice::Symbolic,
+            &SymbolicOptions::default(),
+            &mut mgr,
+            &limits,
+            &rec,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveError::ResourceExhausted { .. }));
+        let events = mem.drain();
+        let limit = events
+            .iter()
+            .find(|e| e.kind == "limit")
+            .expect("limit event recorded");
+        assert!(
+            limit
+                .fields
+                .iter()
+                .any(|(n, v)| *n == "resource"
+                    && *v == FieldValue::Str(Resource::Iterations.as_str()))
+        );
     }
 
     #[test]

@@ -68,12 +68,14 @@ mod witnessed;
 pub use bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
 pub use explicit::solve_explicit;
 pub use kernel::{
-    run_fixpoint, solve_with, solve_with_in, Backend, BackendChoice, CrossCheckError, SolveError,
+    run_fixpoint, run_fixpoint_traced, solve_with, solve_with_in, solve_with_traced, Backend,
+    BackendChoice, CrossCheckError, SolveError, StepObservation,
 };
 pub use limits::{Exhausted, Limits, Resource};
 pub use outcome::{BddCounters, Model, Outcome, Solved, Stats, Telemetry};
 pub use prepare::Prepared;
 pub use symbolic::{
-    solve_symbolic, solve_symbolic_in, solve_symbolic_with, SymbolicOptions, VarOrder,
+    solve_symbolic, solve_symbolic_in, solve_symbolic_traced, solve_symbolic_with, SymbolicOptions,
+    VarOrder,
 };
 pub use witnessed::solve_witnessed;

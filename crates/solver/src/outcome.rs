@@ -260,8 +260,13 @@ impl Telemetry {
     /// mixes backends — are folded without losing either side: a dual
     /// absorbs a single-backend run into its matching half, and a symbolic
     /// run paired with an enumerating run becomes a dual. The enumerating
-    /// variants (explicit, witnessed) fold by summing their shared `types`
-    /// counter into the left shape.
+    /// variants (explicit, witnessed) fold into the witnessed shape —
+    /// summing their shared `types` counter and keeping the witnessed
+    /// side's `proved` count — regardless of order.
+    ///
+    /// The merge is also *commutative*: `a.merge(b)` and `b.merge(a)`
+    /// report the same counters for every variant pair, so dual-mode
+    /// aggregation never depends on which sub-solve finished first.
     pub fn merge(self, other: Telemetry) -> Telemetry {
         use Telemetry::{Dual, Explicit, Symbolic, Witnessed};
         match (self, other) {
@@ -331,9 +336,21 @@ impl Telemetry {
                 symbolic: Box::new(s),
                 explicit: Box::new(e),
             },
-            // Explicit vs witnessed: both enumerate ψ-types; keep the left
-            // shape and sum the shared counter.
-            (Explicit { types: a }, Witnessed { types: b, .. }) => Explicit { types: a + b },
+            // Explicit vs witnessed: both enumerate ψ-types. Fold to the
+            // witnessed shape in either order, summing the shared `types`
+            // counter and keeping the proved count — the pre-fix left-shape
+            // rule silently dropped `proved` when the explicit run came
+            // first.
+            (
+                Explicit { types: a },
+                Witnessed {
+                    types: b,
+                    proved: pb,
+                },
+            ) => Witnessed {
+                types: a + b,
+                proved: pb,
+            },
             (
                 Witnessed {
                     types: a,
@@ -519,5 +536,70 @@ mod tests {
         assert_eq!(m.explicit_types(), Some(4));
         // Explicit vs witnessed sums the shared types counter.
         assert_eq!(e.merge(w).explicit_types(), Some(6));
+    }
+
+    #[test]
+    fn merge_is_commutative_over_every_variant_pair() {
+        let variants = [
+            sym(
+                10,
+                BddCounters {
+                    peak_nodes: 12,
+                    created_nodes: 20,
+                    table_capacity: 1024,
+                    cache_hits: 30,
+                    cache_lookups: 40,
+                },
+            ),
+            Telemetry::Explicit { types: 4 },
+            Telemetry::Witnessed {
+                types: 2,
+                proved: 3,
+            },
+            Telemetry::Dual {
+                symbolic: Box::new(sym(
+                    5,
+                    BddCounters {
+                        peak_nodes: 50,
+                        created_nodes: 7,
+                        table_capacity: 512,
+                        cache_hits: 1,
+                        cache_lookups: 2,
+                    },
+                )),
+                explicit: Box::new(Telemetry::Witnessed {
+                    types: 6,
+                    proved: 5,
+                }),
+            },
+        ];
+        for a in &variants {
+            for b in &variants {
+                assert_eq!(
+                    a.clone().merge(b.clone()),
+                    b.clone().merge(a.clone()),
+                    "merge must not depend on argument order: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_witnessed_merge_never_drops_proved() {
+        // Regression: Explicit.merge(Witnessed) used to keep the Explicit
+        // shape, silently discarding the witnessed side's proved counter —
+        // observable in dual mode when a Dual carrying an Explicit half
+        // absorbed a Witnessed run.
+        let e = Telemetry::Explicit { types: 4 };
+        let w = Telemetry::Witnessed {
+            types: 2,
+            proved: 3,
+        };
+        let expect = Telemetry::Witnessed {
+            types: 6,
+            proved: 3,
+        };
+        assert_eq!(e.clone().merge(w.clone()), expect);
+        assert_eq!(w.merge(e), expect);
     }
 }

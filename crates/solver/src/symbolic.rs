@@ -29,7 +29,9 @@ use bdd::{Bdd, NodeId, QuantSet};
 use ftree::BinaryTree;
 use mulogic::{status, BoolAlg, Formula, Logic, Program};
 
-use crate::kernel::{run_fixpoint, Backend, SolveError};
+use obs::Recorder;
+
+use crate::kernel::{limit_event, run_fixpoint_traced, Backend, SolveError, StepObservation};
 use crate::limits::{Exhausted, Limits, Resource};
 use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
@@ -696,6 +698,22 @@ impl Backend for Sym<'_> {
             counters: s.into(),
         }
     }
+
+    fn observe(&self) -> StepObservation {
+        let s = self.bdd.stats();
+        // The type sets live on the x̄ rail (even variables); counting
+        // satisfying assignments over both rails and dividing out the 2ⁿ
+        // unconstrained ȳ variables yields the proved-type cardinality.
+        let n = self.xvar.len() as u32;
+        let free = 2f64.powi(n as i32);
+        let card = |set: NodeId| (self.bdd.sat_count(set, 2 * n) / free).round() as u64;
+        StepObservation {
+            store_nodes: s.live_nodes as u64,
+            proved: card(self.state.un) + card(self.state.mk),
+            cache_hits: s.cache_hits,
+            cache_lookups: s.cache_lookups,
+        }
+    }
 }
 
 /// Decides satisfiability of `goal` with the symbolic backend and default
@@ -742,16 +760,38 @@ pub fn solve_symbolic_in(
     bdd: &mut Bdd,
     limits: &Limits,
 ) -> Result<Solved, SolveError> {
+    solve_symbolic_traced(lg, goal, opts, bdd, limits, &Recorder::noop())
+}
+
+/// [`solve_symbolic_in`] with trace recording: the lean construction and
+/// the backend build (binarization, status BDDs, ∆ clauses) each get a
+/// phase span, and the fixpoint loop emits per-iteration `step` events.
+pub fn solve_symbolic_traced(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+    bdd: &mut Bdd,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
     // The deadline covers the whole solve: preparation and the backend's
     // status-BDD construction are charged against it (the backend's
     // internal polls measure from `started`, and the driver gets only
     // what construction left over).
     let started = Instant::now();
-    let prep = Prepared::new(lg, goal);
+    let prep = {
+        let _span = rec.span("lean");
+        Prepared::new(lg, goal)
+    };
     let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
-    let backend = Sym::new(lg, prep, opts, bdd, limits, started);
-    let remaining = limits.after(started.elapsed())?;
-    run_fixpoint(backend, lean_size, closure_size, &remaining)
+    let backend = {
+        let _span = rec.span("build");
+        Sym::new(lg, prep, opts, bdd, limits, started)
+    };
+    let remaining = limits.after(started.elapsed()).inspect_err(|e| {
+        limit_event(rec, e);
+    })?;
+    run_fixpoint_traced(backend, lean_size, closure_size, &remaining, rec)
 }
 
 #[cfg(test)]

@@ -22,8 +22,10 @@ use std::collections::{HashMap, HashSet};
 use ftree::BinaryTree;
 use mulogic::{status, BitsAlg, Closure, Formula, Lean, Logic, Program};
 
+use obs::Recorder;
+
 use crate::bits::{TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
-use crate::kernel::{run_fixpoint, Backend, SolveError};
+use crate::kernel::{limit_event, run_fixpoint_traced, Backend, SolveError, StepObservation};
 use crate::limits::{Exhausted, Limits};
 use crate::outcome::{Model, Solved, Telemetry};
 
@@ -268,6 +270,14 @@ impl Backend for Witnessed {
             proved: self.proved.len(),
         }
     }
+
+    fn observe(&self) -> StepObservation {
+        StepObservation {
+            store_nodes: self.tab.types.len() as u64,
+            proved: self.proved.len() as u64,
+            ..StepObservation::default()
+        }
+    }
 }
 
 /// Diamond count of the witnessed backend's (unplunged) lean for `goal` —
@@ -298,7 +308,7 @@ pub fn solve_witnessed(lg: &mut Logic, goal: Formula) -> Solved {
         diamonds <= MAX_EXPLICIT_DIAMONDS,
         "lean too large for the witnessed solver: {diamonds} diamonds (max {MAX_EXPLICIT_DIAMONDS})"
     );
-    solve_witnessed_bounded(lg, goal, &Limits::none())
+    solve_witnessed_bounded(lg, goal, &Limits::none(), &Recorder::noop())
         .expect("an unbounded witnessed run cannot exhaust")
 }
 
@@ -310,16 +320,26 @@ pub(crate) fn solve_witnessed_bounded(
     lg: &mut Logic,
     goal: Formula,
     limits: &Limits,
+    rec: &Recorder,
 ) -> Result<Solved, SolveError> {
     let started = std::time::Instant::now();
-    let goal = lg.collapse_nu(goal);
-    assert!(lg.is_closed(goal), "satisfiability goal must be closed");
-    let closure = Closure::compute(lg, goal);
-    let lean = Lean::compute(lg, &closure);
-    let uses_mark = lg.mentions_start(goal);
-    let backend = Witnessed::new(lg, &lean, goal, uses_mark);
-    let remaining = limits.after(started.elapsed())?;
-    run_fixpoint(backend, lean.len(), closure.len(), &remaining)
+    let (lean, closure, uses_mark, goal) = {
+        let _span = rec.span("lean");
+        let goal = lg.collapse_nu(goal);
+        assert!(lg.is_closed(goal), "satisfiability goal must be closed");
+        let closure = Closure::compute(lg, goal);
+        let lean = Lean::compute(lg, &closure);
+        let uses_mark = lg.mentions_start(goal);
+        (lean, closure, uses_mark, goal)
+    };
+    let backend = {
+        let _span = rec.span("enumerate");
+        Witnessed::new(lg, &lean, goal, uses_mark)
+    };
+    let remaining = limits.after(started.elapsed()).inspect_err(|e| {
+        limit_event(rec, e);
+    })?;
+    run_fixpoint_traced(backend, lean.len(), closure.len(), &remaining, rec)
 }
 
 /// `dsat(x, ψ)`: ψ holds at the triple's type or somewhere down its

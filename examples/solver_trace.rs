@@ -6,13 +6,30 @@
 //! and the solver reconstructs the paper's depth-3 counter-example — a
 //! context node with an `a[b]` child followed by a `c` child.
 //!
-//! Run with `cargo run --example solver_trace`.
+//! Run with `cargo run --example solver_trace`. Pass
+//! `--trace-file FILE` to stream the solve's structured trace — compile,
+//! lean and build phases, one `step` event per fixpoint iteration with
+//! BDD node and cache-rate deltas — to FILE as JSON lines (the same
+//! format `xsat --trace-file` emits; schema in docs/OBSERVABILITY.md).
 
+use std::sync::Arc;
+
+use xsat::bdd::Bdd;
 use xsat::mulogic::{cycle_free, Logic, ModelChecker};
-use xsat::solver::{solve_symbolic, Prepared};
+use xsat::obs::{JsonlSink, Recorder};
+use xsat::solver::{solve_symbolic_traced, Limits, Prepared, SymbolicOptions};
 use xsat::xpath::{compile_query, eval_on_tree, parse};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let recorder = match args.as_slice() {
+        [] => Recorder::noop(),
+        [flag, path] if flag == "--trace-file" => {
+            println!("tracing to {path}");
+            Recorder::new(Arc::new(JsonlSink::create(path)?))
+        }
+        _ => return Err("usage: solver_trace [--trace-file FILE]".into()),
+    };
     let e1 = parse("child::c/preceding-sibling::a[child::b]")?;
     let e2 = parse("child::c[child::b]")?;
     println!("e1 = {e1}");
@@ -36,7 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prep.closure.len()
     );
 
-    let solved = solve_symbolic(&mut lg, goal);
+    let solved = solve_symbolic_traced(
+        &mut lg,
+        goal,
+        &SymbolicOptions::default(),
+        &mut Bdd::new(),
+        &Limits::none(),
+        &recorder,
+    )?;
     println!(
         "fixpoint reached satisfiability after {} iterations ({:?})",
         solved.stats.iterations, solved.stats.duration

@@ -1,10 +1,12 @@
 //! `xsat` — the command-line front end of the batch-analysis engine.
 //!
 //! ```text
-//! xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json] [LIMITS]
-//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [LIMITS]
-//! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [LIMITS]
-//! xsat serve [--threads N] [--backend B] [LIMITS]
+//! xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json] [OBS] [LIMITS]
+//! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [OBS] [LIMITS]
+//! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [OBS] [LIMITS]
+//! xsat serve [--threads N] [--backend B] [OBS] [LIMITS]
+//! xsat metrics [FILE.jsonl] [--threads N] [--backend B] [OBS] [LIMITS]
+//! OBS:    [--trace-file FILE] [--slow-ms N]
 //! LIMITS: [--timeout-ms N] [--max-bdd-nodes N] [--max-lean N]
 //! ```
 //!
@@ -36,11 +38,21 @@
 //! `engine` crate docs for the protocol) and `serve` runs the same
 //! protocol as a co-process daemon: JSONL requests on stdin, verdicts
 //! streamed to stdout.
+//!
+//! Observability (see docs/OBSERVABILITY.md): `--trace-file FILE` streams
+//! one JSON event per line — solve begin/end, compile and fixpoint
+//! phases, per-iteration steps, limit hits, memo lookups — for every
+//! solve of the run; `--slow-ms N` arms the engine's slow-solve ring
+//! buffer, capturing the full trace of any solve exceeding N ms
+//! (dumpable via the `slowlog` protocol request). `metrics` runs an
+//! optional request file and renders the process-wide metrics registry in
+//! Prometheus text exposition format on stdout.
 
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use xsat::engine::{BackendChoice, Engine, EngineConfig, Limits, Request, Value};
+use xsat::engine::{BackendChoice, Engine, EngineConfig, JsonlSink, Limits, Request, Value};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +68,7 @@ fn main() -> ExitCode {
         "compare" => compare(rest),
         "batch" => batch(rest),
         "serve" => serve(rest),
+        "metrics" => metrics(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -91,6 +104,20 @@ USAGE:
   xsat serve [--threads N] [--backend B] [LIMITS]
       Speak the JSONL protocol as a co-process: requests on stdin, one
       verdict per line on stdout (flushed per line).
+
+  xsat metrics [FILE.jsonl] [--threads N] [--backend B] [LIMITS]
+      Run the (optional) JSON-lines request file, then render the
+      process-wide metrics registry — solve counts and latency histograms
+      by op x backend x status, memo-cache traffic, unknowns by exhausted
+      resource, BDD peak nodes — in Prometheus text format on stdout.
+
+Observability (on every subcommand; see docs/OBSERVABILITY.md):
+  --trace-file FILE  stream per-solve trace events (solve begin/end,
+                     phases, fixpoint steps, limit hits, memo lookups) to
+                     FILE as JSON lines, flushed per event
+  --slow-ms N        capture the full trace of any solve slower than N ms
+                     in the engine's slow-solve ring buffer; dump it with
+                     the `slowlog` protocol request
 
 Backends (--backend, default symbolic):
   symbolic    the BDD-based production algorithm (paper §7)
@@ -129,6 +156,8 @@ struct Opts {
     json: bool,
     empty: bool,
     summary_only: bool,
+    trace_file: Option<String>,
+    slow_ms: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -142,6 +171,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         json: false,
         empty: false,
         summary_only: false,
+        trace_file: None,
+        slow_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -188,6 +219,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--max-lean: {e}"))?;
                 opts.limits.max_lean_diamonds = n;
             }
+            "--trace-file" => {
+                opts.trace_file = Some(
+                    it.next()
+                        .ok_or("--trace-file needs a file argument")?
+                        .clone(),
+                );
+            }
+            "--slow-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--slow-ms needs a number of milliseconds")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?;
+                opts.slow_ms = Some(ms);
+            }
             "--json" => opts.json = true,
             "--empty" => opts.empty = true,
             "--summary-only" => opts.summary_only = true,
@@ -198,13 +244,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn engine_with(threads: usize, backend: Option<BackendChoice>, limits: &Limits) -> Engine {
-    Engine::with_config(EngineConfig {
+fn engine_with(threads: usize, opts: &Opts) -> Result<Engine, String> {
+    let trace_sink = match &opts.trace_file {
+        Some(path) => Some(Arc::new(
+            JsonlSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        ) as Arc<dyn xsat::engine::Sink>),
+        None => None,
+    };
+    Ok(Engine::with_config(EngineConfig {
         threads,
-        backend: backend.unwrap_or_default(),
-        limits: limits.clone(),
+        backend: opts.backend.unwrap_or_default(),
+        limits: opts.limits.clone(),
+        trace_sink,
+        slow_solve_ms: opts.slow_ms,
         ..EngineConfig::default()
-    })
+    }))
 }
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
@@ -261,11 +315,7 @@ fn request_value(
 
 fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
     let req = Request::from_value(&request)?;
-    let mut engine = engine_with(
-        if opts.threads == 0 { 1 } else { opts.threads },
-        opts.backend,
-        &opts.limits,
-    );
+    let mut engine = engine_with(if opts.threads == 0 { 1 } else { opts.threads }, opts)?;
     let response = engine.execute(&req);
     if response.get("ok").and_then(Value::as_bool) != Some(true) {
         return Err(response
@@ -354,7 +404,7 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         return Err("batch needs exactly one JSONL file argument".into());
     };
     let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut engine = engine_with(opts.threads, opts.backend, &opts.limits);
+    let mut engine = engine_with(opts.threads, &opts)?;
     let outcome = engine.run_batch_lines(&input);
     if !opts.summary_only {
         let stdout = std::io::stdout();
@@ -376,11 +426,28 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     if !opts.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
-    let mut engine = engine_with(opts.threads, opts.backend, &opts.limits);
+    let mut engine = engine_with(opts.threads, &opts)?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     engine
         .serve(stdin.lock(), stdout.lock())
         .map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn metrics(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    match opts.positional.as_slice() {
+        [] => {}
+        [path] => {
+            let input =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut engine = engine_with(opts.threads, &opts)?;
+            let outcome = engine.run_batch_lines(&input);
+            eprintln!("{}", outcome.stats.to_value().to_json());
+        }
+        _ => return Err("metrics takes at most one JSONL file argument".into()),
+    }
+    print!("{}", xsat::obs::metrics().render_prometheus());
     Ok(ExitCode::SUCCESS)
 }

@@ -19,6 +19,8 @@
 //! * [`xpath`] — parser, set semantics and Lµ compilation of the XPath
 //!   fragment;
 //! * [`treetypes`] — DTDs, binary tree types and their Lµ compilation;
+//! * [`obs`] — the observability substrate: phase-scoped trace recording,
+//!   the process-wide metrics registry, and the slow-solve log;
 //! * [`solver`] — the explicit (§6.2) and symbolic (§7) satisfiability
 //!   algorithms with counter-example reconstruction;
 //! * [`analyzer`] — the decision-problem front end;
@@ -55,6 +57,7 @@ pub use bdd;
 pub use engine;
 pub use ftree;
 pub use mulogic;
+pub use obs;
 pub use solver;
 pub use treetypes;
 pub use xpath;
