@@ -4,8 +4,10 @@
 //! An [`Analyzer`] owns a formula arena and reduces each decision problem
 //! to Lµ satisfiability, solved by a selectable backend
 //! ([`BackendChoice`]: the symbolic BDD engine by default, the explicit or
-//! witnessed reference algorithms, or the dual symbolic/explicit
-//! cross-check). The problems themselves are values: a [`Problem`] names
+//! witnessed reference algorithms, the dual symbolic/explicit
+//! cross-check, or the portfolio mode racing every feasible backend and
+//! returning the first verdict). The problems themselves are values: a
+//! [`Problem`] names
 //! one question of the §8 menu —
 //!
 //! * **emptiness** — does a query ever select a node?
@@ -115,7 +117,7 @@ pub struct AnalyzerOptions {
     /// Which solver backend answers satisfiability queries.
     pub backend: BackendChoice,
     /// Tuning knobs of the symbolic backend (also the symbolic half of
-    /// dual mode).
+    /// dual mode and the symbolic racer of the portfolio).
     pub symbolic: SymbolicOptions,
 }
 

@@ -1,13 +1,15 @@
-//! Backend matrix: the three solver backends (plus the dual cross-check)
-//! on the paper's Fig 18 containment family, from a trivial member up to
-//! the figure's own `e1 ⊆ e2` pair.
+//! Backend matrix: the three solver backends (plus the dual cross-check
+//! and the portfolio race) on the paper's Fig 18 containment family, from
+//! a trivial member up to the figure's own `e1 ⊆ e2` pair.
 //!
 //! The enumerating backends are exponential in the lean's diamond count,
 //! so members beyond `XSAT_MATRIX_MAX_DIAMONDS` (default 12) are recorded
 //! as skipped for those backends rather than stalling the bench — the
 //! point of the matrix is the crossover: where the symbolic backend pulls
-//! away from the references. Results land in `BENCH_backends.json` at the
-//! workspace root so PRs touching the kernel can diff them.
+//! away from the references. The portfolio is never skipped: it gates its
+//! enumerating racers itself and degrades to symbolic-only on oversized
+//! leans. Results land in `BENCH_backends.json` at the workspace root so
+//! PRs touching the kernel can diff them.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,11 +34,12 @@ const FAMILY: &[(&str, &str, &str, bool)] = &[
     ),
 ];
 
-const BACKENDS: [BackendChoice; 4] = [
+const BACKENDS: [BackendChoice; 5] = [
     BackendChoice::Symbolic,
     BackendChoice::Explicit,
     BackendChoice::Witnessed,
     BackendChoice::Dual,
+    BackendChoice::Portfolio,
 ];
 
 fn max_diamonds() -> usize {
@@ -86,12 +89,15 @@ struct Cell {
     mean_ms: f64,
     iterations: usize,
     bdd: Option<(usize, usize, f64)>,
+    /// Which racer won, on portfolio runs (the last sample's winner).
+    winner: Option<&'static str>,
 }
 
 fn measure(lhs: &str, rhs: &str, backend: BackendChoice, expect_holds: bool, n: usize) -> Cell {
     let mut times = Vec::with_capacity(n);
     let mut iterations = 0;
     let mut bdd = None;
+    let mut winner = None;
     for _ in 0..n {
         let (mut az, g) = goal(lhs, rhs, backend);
         let t = Instant::now();
@@ -104,6 +110,9 @@ fn measure(lhs: &str, rhs: &str, backend: BackendChoice, expect_holds: bool, n: 
         if let (Some(nodes), Some(counters)) = (telemetry.bdd_nodes(), telemetry.bdd_counters()) {
             bdd = Some((nodes, counters.created_nodes, counters.cache_hit_rate()));
         }
+        if let analyzer::Telemetry::Portfolio { winner: w, .. } = telemetry {
+            winner = Some(*w);
+        }
     }
     let min = times.iter().copied().fold(f64::INFINITY, f64::min);
     let mean = times.iter().sum::<f64>() / times.len() as f64;
@@ -113,6 +122,7 @@ fn measure(lhs: &str, rhs: &str, backend: BackendChoice, expect_holds: bool, n: 
         mean_ms: mean,
         iterations,
         bdd,
+        winner,
     }
 }
 
@@ -128,7 +138,7 @@ fn bench_backend_matrix(_c: &mut Criterion) {
         let d = diamonds(lhs, rhs);
         let mut cells = String::new();
         for backend in BACKENDS {
-            let enumerates = backend != BackendChoice::Symbolic;
+            let enumerates = !matches!(backend, BackendChoice::Symbolic | BackendChoice::Portfolio);
             if enumerates && d > cap {
                 println!("backend-matrix {name}/{backend}: skipped ({d} diamonds > cap {cap})");
                 let _ = write!(
@@ -146,13 +156,16 @@ fn bench_backend_matrix(_c: &mut Criterion) {
                 "bench backend-matrix/{name}/{backend}: min {:.3} ms, mean {:.3} ms ({} iterations, {n} samples)",
                 cell.min_ms, cell.mean_ms, cell.iterations
             );
-            let bdd_fields = match cell.bdd {
+            let mut bdd_fields = match cell.bdd {
                 Some((nodes, created, hit_rate)) => format!(
                     r#","bdd_nodes":{nodes},"created_nodes":{created},"cache_hit_rate":{}"#,
                     round3(hit_rate)
                 ),
                 None => String::new(),
             };
+            if let Some(winner) = cell.winner {
+                let _ = write!(bdd_fields, r#","winner":"{winner}""#);
+            }
             let _ = write!(
                 cells,
                 r#"{}{{"backend":"{}","min_ms":{},"mean_ms":{},"iterations":{}{bdd_fields}}}"#,

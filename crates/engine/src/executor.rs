@@ -237,6 +237,10 @@ pub(crate) fn run_batch(
     let mut responses: Vec<Option<Value>> = (0..requests.len()).map(|_| None).collect();
     let mut pending: Vec<PendingProblem> = Vec::new();
     let mut work: Vec<WorkItem> = Vec::new();
+    // `WorkItem` embeds `Limits`, whose `CancelToken` has interior
+    // mutability — but the token's `Eq`/`Hash` deliberately ignore it
+    // (all tokens compare equal), so the key is stable in this map.
+    #[allow(clippy::mutable_key_type)]
     let mut work_of: HashMap<WorkItem, usize> = HashMap::new();
     for (slot, req) in requests.iter().enumerate() {
         match &req.kind {

@@ -212,6 +212,7 @@ fn peak_nodes(t: &Telemetry) -> Option<u64> {
     match t {
         Telemetry::Symbolic { counters, .. } => Some(counters.peak_nodes as u64),
         Telemetry::Dual { symbolic, .. } => peak_nodes(symbolic),
+        Telemetry::Portfolio { inner, .. } => peak_nodes(inner),
         Telemetry::Explicit { .. } | Telemetry::Witnessed { .. } => None,
     }
 }

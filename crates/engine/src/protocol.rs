@@ -5,7 +5,8 @@
 //! pipelined clients can correlate. Decision ops reference queries and
 //! types by registered name, with inline XPath / DTD source accepted as a
 //! fallback (see [`Workspace`]), and may carry a `"backend"` field
-//! (`symbolic` | `explicit` | `witnessed` | `dual`) selecting the solver
+//! (`symbolic` | `explicit` | `witnessed` | `dual` | `portfolio`)
+//! selecting the solver
 //! and a `"limits"` object overriding the engine's resource budgets
 //! per request (see [`LimitsSpec`]).
 //!
@@ -365,6 +366,7 @@ impl LimitsSpec {
             max_bdd_nodes: self.max_bdd_nodes.or(base.max_bdd_nodes),
             max_iterations: self.max_iterations.or(base.max_iterations),
             max_lean_diamonds: self.max_lean.unwrap_or(base.max_lean_diamonds),
+            cancel: base.cancel.clone(),
         }
     }
 }
@@ -681,9 +683,28 @@ pub fn telemetry_value(t: &Telemetry) -> Value {
             fields.push(("types", Value::from(*types)));
             fields.push(("proved", Value::from(*proved)));
         }
-        Telemetry::Dual { symbolic, explicit } => {
+        Telemetry::Dual {
+            symbolic,
+            explicit,
+            symbolic_iterations,
+            explicit_iterations,
+        } => {
+            fields.push(("symbolic_iterations", Value::from(*symbolic_iterations)));
+            fields.push(("explicit_iterations", Value::from(*explicit_iterations)));
             fields.push(("symbolic", telemetry_value(symbolic)));
             fields.push(("explicit", telemetry_value(explicit)));
+        }
+        Telemetry::Portfolio {
+            winner,
+            raced,
+            inner,
+        } => {
+            fields.push(("winner", Value::from(*winner)));
+            fields.push((
+                "raced",
+                Value::Arr(raced.iter().map(|b| Value::from(*b)).collect()),
+            ));
+            fields.push(("inner", telemetry_value(inner)));
         }
     }
     obj(fields)
@@ -1003,9 +1024,19 @@ mod tests {
                 },
             }),
             explicit: Box::new(Telemetry::Explicit { types: 9 }),
+            symbolic_iterations: 4,
+            explicit_iterations: 7,
         };
         let v = telemetry_value(&t);
         assert_eq!(v.get("backend").and_then(Value::as_str), Some("dual"));
+        assert_eq!(
+            v.get("symbolic_iterations").and_then(Value::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            v.get("explicit_iterations").and_then(Value::as_f64),
+            Some(7.0)
+        );
         let sym = v.get("symbolic").unwrap();
         assert_eq!(sym.get("bdd_nodes").and_then(Value::as_f64), Some(3.0));
         assert_eq!(sym.get("peak_nodes").and_then(Value::as_f64), Some(5.0));
@@ -1021,6 +1052,29 @@ mod tests {
         );
         let exp = v.get("explicit").unwrap();
         assert_eq!(exp.get("types").and_then(Value::as_f64), Some(9.0));
+
+        let p = Telemetry::Portfolio {
+            winner: "symbolic",
+            raced: vec!["symbolic", "explicit"],
+            inner: Box::new(Telemetry::Explicit { types: 9 }),
+        };
+        let v = telemetry_value(&p);
+        assert_eq!(v.get("backend").and_then(Value::as_str), Some("portfolio"));
+        assert_eq!(v.get("winner").and_then(Value::as_str), Some("symbolic"));
+        let raced = match v.get("raced").unwrap() {
+            Value::Arr(xs) => xs
+                .iter()
+                .map(|x| x.as_str().unwrap().to_owned())
+                .collect::<Vec<_>>(),
+            other => panic!("raced serialized as {other:?}"),
+        };
+        assert_eq!(raced, ["symbolic", "explicit"]);
+        let inner = v.get("inner").unwrap();
+        assert_eq!(
+            inner.get("backend").and_then(Value::as_str),
+            Some("explicit")
+        );
+        assert_eq!(inner.get("types").and_then(Value::as_f64), Some(9.0));
     }
 
     #[test]

@@ -122,7 +122,7 @@ const GOLDEN: &[(&str, &str)] = &[
     // Unknown backend: rejected at parse time.
     (
         r#"{"id":20,"op":"sat","query":"child::a","backend":"quantum"}"#,
-        r#"{"ok":false,"status":"error","error":"unknown backend `quantum` (expected symbolic, explicit, witnessed or dual)"}"#,
+        r#"{"ok":false,"status":"error","error":"unknown backend `quantum` (expected symbolic, explicit, witnessed, dual or portfolio)"}"#,
     ),
     // Dual cross-check of a failing containment: both backends agree and
     // the symbolic witness is reported.
@@ -146,6 +146,14 @@ const GOLDEN: &[(&str, &str)] = &[
     (
         r#"{"id":24,"op":"containment","lhs":"q1","rhs":"q2","type":"d1"}"#,
         r#"{"id":24,"ok":true,"op":"contains","backend":"symbolic","status":"holds","holds":true,"counter_example":null,"cached":true}"#,
+    ),
+    // The portfolio race answers deterministically on a verdict with no
+    // counter-example (whichever racer wins, `holds` and the null witness
+    // agree), and is cached under its own backend key (id 19 solved the
+    // same problem on the witnessed backend — a distinct job).
+    (
+        r#"{"id":25,"op":"empty","query":"child::a ∩ child::b","backend":"portfolio"}"#,
+        r#"{"id":25,"ok":true,"op":"empty","backend":"portfolio","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
     ),
 ];
 
@@ -194,13 +202,13 @@ fn batch_matches_golden_stream() {
             normalize(got).to_json(),
         );
     }
-    // 22 decision problems were posed; ids 4, 5 and 24 repeat id 1's
-    // problem and id 17 repeats id 15's (problem, backend) job. Ids 16
-    // and 21 repeat *problems* under different backends, which are
+    // 23 decision problems were posed; ids 4, 5 and 24 repeat id 1's
+    // problem and id 17 repeats id 15's (problem, backend) job. Ids 16,
+    // 21 and 25 repeat *problems* under different backends, which are
     // distinct jobs; id 23 exhausts its iteration cap and is counted as
     // `unknown`, not an error.
-    assert_eq!(outcome.stats.problems, 22);
-    assert_eq!(outcome.stats.unique_problems, 18);
+    assert_eq!(outcome.stats.problems, 23);
+    assert_eq!(outcome.stats.unique_problems, 19);
     assert_eq!(outcome.stats.cache_hits, 4);
     assert_eq!(outcome.stats.unknown, 1);
     assert_eq!(outcome.stats.errors, 3);
@@ -279,7 +287,16 @@ fn telemetry_payload_is_typed_per_backend() {
         ("symbolic", SYMBOLIC_TELEMETRY_KEYS.to_vec()),
         ("explicit", vec!["types"]),
         ("witnessed", vec!["types", "proved"]),
-        ("dual", vec!["symbolic", "explicit"]),
+        (
+            "dual",
+            vec![
+                "symbolic",
+                "explicit",
+                "symbolic_iterations",
+                "explicit_iterations",
+            ],
+        ),
+        ("portfolio", vec!["winner", "raced", "inner"]),
     ];
     for (backend, keys) in cases {
         let r = e.execute_line(&format!(
@@ -323,6 +340,61 @@ fn telemetry_payload_is_typed_per_backend() {
         );
     }
     assert!(exp.get("types").and_then(Value::as_f64).unwrap() > 0.0);
+    // The portfolio payload names a winner that actually raced and nests
+    // the winner's own telemetry.
+    let r = e.execute_line(
+        r#"{"op":"overlap","lhs":"child::a","rhs":"child::c","backend":"portfolio"}"#,
+    );
+    let telemetry = r.get("stats").and_then(|s| s.get("telemetry")).unwrap();
+    let winner = telemetry.get("winner").and_then(Value::as_str).unwrap();
+    let raced: Vec<&str> = telemetry
+        .get("raced")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|b| b.as_str().unwrap())
+        .collect();
+    assert!(raced.contains(&winner), "{winner} not in {raced:?}");
+    assert!(raced.contains(&"symbolic"), "symbolic always races");
+    let inner = telemetry.get("inner").expect("winner telemetry");
+    assert_eq!(inner.get("backend").and_then(Value::as_str), Some(winner));
+}
+
+#[test]
+fn racing_verdicts_cache_only_when_a_backend_completes() {
+    let mut e = Engine::new();
+    // A starved race: every racer exhausts the shared iteration cap, so
+    // the portfolio reports `unknown` — which must never be memoized (a
+    // cancelled or exhausted race is not a verdict).
+    let starved =
+        r#"{"op":"sat","query":"a/b[c]","backend":"portfolio","limits":{"max_iterations":1}}"#;
+    for _ in 0..2 {
+        let r = e.execute_line(starved);
+        assert_eq!(r.get("status").and_then(Value::as_str), Some("unknown"));
+        assert_eq!(
+            r.get("resource").and_then(Value::as_str),
+            Some("iterations")
+        );
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+        assert_eq!(e.cache_entries(), 0);
+    }
+    // A completed race is a definite verdict and memoizes under the
+    // portfolio cache key…
+    let r = e.execute_line(r#"{"op":"sat","query":"a/b[c]","backend":"portfolio"}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("holds"));
+    assert_eq!(r.get("backend").and_then(Value::as_str), Some("portfolio"));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 1);
+    // …after which even the starved request is served from the cache: a
+    // definite verdict answers any budget without racing again.
+    let r = e.execute_line(starved);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("holds"));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+    // The portfolio key is its own: the same problem on the default
+    // symbolic backend re-solves instead of hitting the race's entry.
+    let r = e.execute_line(r#"{"op":"sat","query":"a/b[c]"}"#);
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(e.cache_entries(), 2);
 }
 
 #[test]

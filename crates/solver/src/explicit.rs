@@ -7,6 +7,17 @@
 //! formula at root types (§7.1), so witness bookkeeping reduces to the
 //! per-iteration snapshots used for model reconstruction.
 //!
+//! The implementation is word-parallel and frontier-driven:
+//!
+//! * table construction evaluates `status` 64 types per formula walk
+//!   ([`status_columns`]) instead of once per type;
+//! * a lean-aware prune removes types carrying a diamond atom no type can
+//!   ever witness, shrinking the universe before the fixpoint starts;
+//! * the `∆_a` compatibility check is precomputed into packed signature
+//!   keys, so finding a witness is one hash lookup instead of an `O(n·d)`
+//!   scan — and `Upd` steps are frontier-only: only types added in the
+//!   previous iteration update the witness index.
+//!
 //! This backend is exponential in the number of lean diamonds and exists to
 //! cross-validate the symbolic solver on small formulas; production use goes
 //! through the symbolic backend.
@@ -16,128 +27,231 @@
 //! the enumerated-set [`Backend`] implementation.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ftree::BinaryTree;
-use mulogic::{status, BitsAlg, Formula, Logic, Program};
+use mulogic::{Formula, Logic, Program};
 
 use obs::Recorder;
 
-use crate::bits::{TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
+use crate::bits::{status_columns, TypeBits, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
 use crate::kernel::{limit_event, run_fixpoint_traced, Backend, SolveError, StepObservation};
 use crate::limits::{Exhausted, Limits};
 use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
 
+/// The forward programs, indexed by the `ai` convention used throughout
+/// this module (`ai = 0` → `⟨1⟩`, `ai = 1` → `⟨2⟩`).
+const FWD: [Program; 2] = [Program::Down1, Program::Down2];
+
+/// Precomputed per-type data over the (pruned, compacted) type universe.
+///
+/// The `∆_a(t, t')` relation of Def 6.2 is an equality of two bit strings
+/// drawn from the `a`-relevant lean atoms: the parent contributes its
+/// `⟨a⟩ϕ` memberships and the `status` of its `⟨ā⟩ϕ` arguments; the child
+/// contributes the `status` of the `⟨a⟩ϕ` arguments and its `⟨ā⟩ϕ`
+/// memberships. Packing both strings into one `u64` key (`want` on the
+/// parent side, `give` on the child side) turns the witness search into a
+/// hash-bucket lookup: `∆_a(t, t') ∧ ⟨ā⟩⊤ ∈ t'  ⇔  give[a][t'] = Some(want[a][t])`.
 struct Tables {
-    /// All well-formed types.
+    /// The surviving well-formed types.
     types: Vec<TypeBits>,
-    /// Per type, per lean diamond entry: `status_ϕ(t)` of its argument.
-    arg_status: Vec<Vec<bool>>,
-    /// Per type: `status_ψ(t)` of the plunged formula.
-    psi_status: Vec<bool>,
-    /// Lean positions of the diamond entries with their programs.
-    diams: Vec<(usize, Program)>,
-    dt: [usize; 4],
-    start_idx: usize,
+    /// Root candidates: `status_ψ(t)` and no pending backward modality.
+    root_ok: TypeBits,
+    /// Types carrying the start mark.
+    start_bits: TypeBits,
+    /// Per forward program, types with `⟨a⟩⊤` (needing an `a`-child).
+    down: [TypeBits; 2],
+    /// Per forward program, per type: the signature key its `a`-child must
+    /// present.
+    want: [Vec<u64>; 2],
+    /// Per forward program, per type: the signature key the type presents
+    /// as an `a`-child (`None` without `⟨ā⟩⊤`).
+    give: [Vec<Option<u64>>; 2],
 }
 
 impl Tables {
-    fn build(lg: &mut Logic, prep: &Prepared) -> Tables {
+    fn build(
+        lg: &mut Logic,
+        prep: &Prepared,
+        limits: &Limits,
+        started: Instant,
+    ) -> Result<Tables, Exhausted> {
         let en = TypeEnumerator::new(&prep.lean);
-        let types = en.all();
+        // Goals that never mention the start proposition only need the
+        // unmarked half of the universe: `check` then reads `T°`, whose
+        // witnesses are themselves unmarked.
+        let types = en.enumerate(prep.uses_mark, limits, started)?;
+        let n = types.len();
         let entries: Vec<(usize, Program, Formula)> = prep.lean.diam_entries().collect();
-        let mut arg_status = Vec::with_capacity(types.len());
-        let mut psi_status = Vec::with_capacity(types.len());
-        for t in &types {
-            let bools = t.to_bools();
-            let mut alg = BitsAlg::new(&bools);
-            let mut memo = HashMap::new();
-            let row: Vec<bool> = entries
-                .iter()
-                .map(|&(_, _, phi)| status(lg, &prep.lean, phi, &mut alg, &mut memo))
-                .collect();
-            psi_status.push(status(lg, &prep.lean, prep.psi, &mut alg, &mut memo));
-            arg_status.push(row);
-        }
-        let dt = [
-            prep.lean.diam_true_index(Program::Down1),
-            prep.lean.diam_true_index(Program::Down2),
-            prep.lean.diam_true_index(Program::Up1),
-            prep.lean.diam_true_index(Program::Up2),
-        ];
-        Tables {
-            types,
-            arg_status,
-            psi_status,
-            diams: entries.iter().map(|&(i, p, _)| (i, p)).collect(),
-            dt,
-            start_idx: prep.lean.start_index(),
-        }
-    }
+        let formulas: Vec<Formula> = entries
+            .iter()
+            .map(|&(_, _, phi)| phi)
+            .chain([prep.psi])
+            .collect();
+        let mut cols = status_columns(lg, &prep.lean, &types, &formulas, limits, started)?;
+        let psi_col = cols.pop().expect("ψ column");
+        let arg_cols = cols;
 
-    /// The compatibility relation `∆_a(t, t')` for `a ∈ {1, 2}` (Def 6.2).
-    fn delta(&self, a: Program, ti: usize, tj: usize) -> bool {
-        debug_assert!(a.is_forward());
-        let conv = a.converse();
-        for (k, &(pos, p)) in self.diams.iter().enumerate() {
-            if p == a {
-                // ⟨a⟩ϕ ∈ t ⇔ ϕ ∈̇ t'
-                if self.types[ti].get(pos) != self.arg_status[tj][k] {
-                    return false;
-                }
-            } else if p == conv {
-                // ⟨ā⟩ϕ ∈ t' ⇔ ϕ ∈̇ t
-                if self.types[tj].get(pos) != self.arg_status[ti][k] {
-                    return false;
+        // Per-atom membership columns and the four ⟨a⟩⊤ columns.
+        let dt_pos: Vec<usize> = Program::ALL
+            .iter()
+            .map(|&p| prep.lean.diam_true_index(p))
+            .collect();
+        let start_idx = prep.lean.start_index();
+        let mut atom_col: Vec<TypeBits> = entries.iter().map(|_| TypeBits::empty(n)).collect();
+        let mut dt_col: [TypeBits; 4] = std::array::from_fn(|_| TypeBits::empty(n));
+        let mut start_col = TypeBits::empty(n);
+        for (ti, t) in types.iter().enumerate() {
+            for (k, &(pos, _, _)) in entries.iter().enumerate() {
+                if t.get(pos) {
+                    atom_col[k].set(ti, true);
                 }
             }
+            for (pi, &pos) in dt_pos.iter().enumerate() {
+                if t.get(pos) {
+                    dt_col[pi].set(ti, true);
+                }
+            }
+            if t.get(start_idx) {
+                start_col.set(ti, true);
+            }
         }
-        true
-    }
 
-    fn has(&self, ti: usize, bit: usize) -> bool {
-        self.types[ti].get(bit)
-    }
+        // Lean-aware dead-type prune. A diamond atom ⟨p⟩ϕ in a type needs a
+        // ∆-partner `u` with `status_ϕ(u)` and `⟨p̄⟩⊤ ∈ u` — the child that
+        // proves it when `p` is forward, the parent it attaches under when
+        // `p` is backward. When no live type can supply one, every type
+        // carrying the atom is dead: it can never enter `T°`/`T•` (forward
+        // case) or serve as anyone's witness or as a root (backward case).
+        // Each removal can starve further atoms, so iterate to a fixpoint.
+        let mut alive = TypeBits::full(n);
+        loop {
+            limits.poll(started)?;
+            let mut changed = false;
+            for (k, &(_, p, _)) in entries.iter().enumerate() {
+                let conv = Program::ALL
+                    .iter()
+                    .position(|&q| q == p.converse())
+                    .expect("program");
+                let mut supply = arg_cols[k].clone();
+                supply.intersect_with(&dt_col[conv]);
+                supply.intersect_with(&alive);
+                if !supply.any() {
+                    let mut dead = atom_col[k].clone();
+                    dead.intersect_with(&alive);
+                    if dead.any() {
+                        alive.difference_with(&atom_col[k]);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
 
-    fn isparent(&self, ti: usize, a: Program) -> bool {
-        let idx = match a {
-            Program::Down1 => self.dt[0],
-            Program::Down2 => self.dt[1],
-            Program::Up1 => self.dt[2],
-            Program::Up2 => self.dt[3],
+        // Compact the survivors and precompute the signature keys. The
+        // lean has at most 26 diamonds, so each direction's string fits a
+        // 32-bit half: down-part in the low word, up-part in the high one.
+        let keep: Vec<usize> = alive.iter_ones().collect();
+        let m = keep.len();
+        let mut tab = Tables {
+            types: Vec::with_capacity(m),
+            root_ok: TypeBits::empty(m),
+            start_bits: TypeBits::empty(m),
+            down: [TypeBits::empty(m), TypeBits::empty(m)],
+            want: [Vec::with_capacity(m), Vec::with_capacity(m)],
+            give: [Vec::with_capacity(m), Vec::with_capacity(m)],
         };
-        self.has(ti, idx)
-    }
-
-    /// Whether `tj` can serve as the `a`-child of `ti` (`a` forward).
-    fn child_ok(&self, a: Program, ti: usize, tj: usize) -> bool {
-        self.isparent(tj, a.converse()) && self.delta(a, ti, tj)
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            let t = &types[old_i];
+            if start_col.get(old_i) {
+                tab.start_bits.set(new_i, true);
+            }
+            if psi_col.get(old_i) && !dt_col[2].get(old_i) && !dt_col[3].get(old_i) {
+                tab.root_ok.set(new_i, true);
+            }
+            for (ai, &a) in FWD.iter().enumerate() {
+                if dt_col[ai].get(old_i) {
+                    tab.down[ai].set(new_i, true);
+                }
+                let conv = a.converse();
+                let (mut want, mut give) = (0u64, 0u64);
+                let (mut db, mut ub) = (0, 0);
+                for (k, &(pos, p, _)) in entries.iter().enumerate() {
+                    if p == a {
+                        // ⟨a⟩ϕ ∈ t ⇔ ϕ ∈̇ t'
+                        want |= u64::from(t.get(pos)) << db;
+                        give |= u64::from(arg_cols[k].get(old_i)) << db;
+                        db += 1;
+                    } else if p == conv {
+                        // ⟨ā⟩ϕ ∈ t' ⇔ ϕ ∈̇ t
+                        want |= u64::from(arg_cols[k].get(old_i)) << (32 + ub);
+                        give |= u64::from(t.get(pos)) << (32 + ub);
+                        ub += 1;
+                    }
+                }
+                tab.want[ai].push(want);
+                tab.give[ai].push(dt_col[ai + 2].get(old_i).then_some(give));
+            }
+            tab.types.push(t.clone());
+        }
+        Ok(tab)
     }
 }
 
-/// Per-iteration cumulative snapshots of `(T°, T•)` as sorted index sets.
-type Snapshot = (Vec<usize>, Vec<usize>);
+/// Per-iteration cumulative snapshots of `(T°, T•)`.
+type Snapshot = (TypeBits, TypeBits);
 
 /// The enumerated-set backend state driven by the kernel's fixpoint loop.
 struct Explicit {
     prep: Prepared,
     tab: Tables,
-    un: Vec<bool>,
-    mk: Vec<bool>,
+    un: TypeBits,
+    mk: TypeBits,
+    /// Candidate types not yet in `un` / `mk`.
+    todo_un: TypeBits,
+    todo_mk: TypeBits,
+    /// Types added by the previous step, not yet in the witness buckets.
+    front_un: Vec<usize>,
+    front_mk: Vec<usize>,
+    /// Per forward program: signature key → `[T° count, T• count]` of
+    /// already-proved types presenting that key as an `a`-child.
+    buckets: [HashMap<u64, [u32; 2]>; 2],
     snapshots: Vec<Snapshot>,
 }
 
 impl Explicit {
-    fn new(lg: &mut Logic, prep: Prepared) -> Explicit {
-        let tab = Tables::build(lg, &prep);
+    fn new(
+        lg: &mut Logic,
+        prep: Prepared,
+        limits: &Limits,
+        started: Instant,
+    ) -> Result<Explicit, Exhausted> {
+        let tab = Tables::build(lg, &prep, limits, started)?;
         let n = tab.types.len();
-        Explicit {
+        // Start-marked types never enter T°; without marks in play the
+        // marked loop is vacuous and skipped entirely.
+        let mut todo_un = TypeBits::full(n);
+        todo_un.difference_with(&tab.start_bits);
+        let todo_mk = if prep.uses_mark {
+            TypeBits::full(n)
+        } else {
+            TypeBits::empty(n)
+        };
+        Ok(Explicit {
             prep,
-            tab,
-            un: vec![false; n],
-            mk: vec![false; n],
+            un: TypeBits::empty(n),
+            mk: TypeBits::empty(n),
+            todo_un,
+            todo_mk,
+            front_un: Vec::new(),
+            front_mk: Vec::new(),
+            buckets: [HashMap::new(), HashMap::new()],
             snapshots: Vec::new(),
-        }
+            tab,
+        })
     }
 }
 
@@ -146,70 +260,73 @@ impl Backend for Explicit {
     type Hit = usize;
 
     fn step(&mut self) -> Result<bool, Exhausted> {
-        let tab = &self.tab;
-        let n = tab.types.len();
-        let mut changed = false;
-        // Witnesses come from the previous iteration's sets (Upd(X') in
-        // Fig 16), so the iteration count reflects model depth.
-        let prev_un = self.un.clone();
-        let prev_mk = self.mk.clone();
-        // T°: unmarked types, witnesses unmarked.
-        for (ti, u) in self.un.iter_mut().enumerate() {
-            if *u || tab.has(ti, tab.start_idx) {
-                continue;
+        // Flush the previous iteration's additions into the witness index:
+        // `Upd(X')` draws witnesses from the previous sets, and only newly
+        // proved types can change a bucket — the frontier-only update.
+        for (ai, bucket) in self.buckets.iter_mut().enumerate() {
+            for &ti in &self.front_un {
+                if let Some(key) = self.tab.give[ai][ti] {
+                    bucket.entry(key).or_default()[0] += 1;
+                }
             }
-            let ok = [Program::Down1, Program::Down2].iter().all(|&a| {
-                !tab.isparent(ti, a) || (0..n).any(|tj| prev_un[tj] && tab.child_ok(a, ti, tj))
-            });
-            if ok {
-                *u = true;
-                changed = true;
+            for &ti in &self.front_mk {
+                if let Some(key) = self.tab.give[ai][ti] {
+                    bucket.entry(key).or_default()[1] += 1;
+                }
+            }
+        }
+        self.front_un.clear();
+        self.front_mk.clear();
+        let tab = &self.tab;
+        let buckets = &self.buckets;
+        let seen = |ai: usize, ti: usize, cls: usize| {
+            buckets[ai]
+                .get(&tab.want[ai][ti])
+                .is_some_and(|c| c[cls] > 0)
+        };
+        let w_un = |ai: usize, ti: usize| !tab.down[ai].get(ti) || seen(ai, ti, 0);
+        let w_mk = |ai: usize, ti: usize| tab.down[ai].get(ti) && seen(ai, ti, 1);
+        // T°: unmarked types, witnesses unmarked.
+        for ti in self.todo_un.iter_ones() {
+            if w_un(0, ti) && w_un(1, ti) {
+                self.front_un.push(ti);
             }
         }
         // T•: the three marked cases of Upd.
-        for (ti, m) in self.mk.iter_mut().enumerate() {
-            if *m {
-                continue;
-            }
-            let w_un = |a: Program| {
-                !tab.isparent(ti, a) || (0..n).any(|tj| prev_un[tj] && tab.child_ok(a, ti, tj))
-            };
-            let w_mk = |a: Program| {
-                tab.isparent(ti, a) && (0..n).any(|tj| prev_mk[tj] && tab.child_ok(a, ti, tj))
-            };
-            let ok = if tab.has(ti, tab.start_idx) {
+        for ti in self.todo_mk.iter_ones() {
+            let ok = if tab.start_bits.get(ti) {
                 // Mark at this node; both subtrees unmarked.
-                w_un(Program::Down1) && w_un(Program::Down2)
+                w_un(0, ti) && w_un(1, ti)
             } else {
                 // Mark strictly below, on exactly one side.
-                (w_mk(Program::Down1) && w_un(Program::Down2))
-                    || (w_un(Program::Down1) && w_mk(Program::Down2))
+                (w_mk(0, ti) && w_un(1, ti)) || (w_un(0, ti) && w_mk(1, ti))
             };
             if ok {
-                *m = true;
-                changed = true;
+                self.front_mk.push(ti);
             }
         }
-        self.snapshots.push((
-            (0..n).filter(|&i| self.un[i]).collect(),
-            (0..n).filter(|&i| self.mk[i]).collect(),
-        ));
+        let changed = !(self.front_un.is_empty() && self.front_mk.is_empty());
+        for &ti in &self.front_un {
+            self.un.set(ti, true);
+            self.todo_un.set(ti, false);
+        }
+        for &ti in &self.front_mk {
+            self.mk.set(ti, true);
+            self.todo_mk.set(ti, false);
+        }
+        self.snapshots.push((self.un.clone(), self.mk.clone()));
         Ok(changed)
     }
 
     fn check(&mut self) -> Option<usize> {
-        let tab = &self.tab;
-        (0..tab.types.len()).find(|&ti| {
-            let in_target = if self.prep.uses_mark {
-                self.mk[ti]
-            } else {
-                self.un[ti]
-            };
-            in_target
-                && !tab.isparent(ti, Program::Up1)
-                && !tab.isparent(ti, Program::Up2)
-                && tab.psi_status[ti]
-        })
+        let target = if self.prep.uses_mark {
+            &self.mk
+        } else {
+            &self.un
+        };
+        let mut hits = target.clone();
+        hits.intersect_with(&self.tab.root_ok);
+        hits.first_one()
     }
 
     fn reconstruct(&mut self, root: usize) -> Model {
@@ -232,10 +349,9 @@ impl Backend for Explicit {
     }
 
     fn observe(&self) -> StepObservation {
-        let count = |set: &[bool]| set.iter().filter(|&&b| b).count() as u64;
         StepObservation {
             store_nodes: self.tab.types.len() as u64,
-            proved: count(&self.un) + count(&self.mk),
+            proved: (self.un.count_ones() + self.mk.count_ones()) as u64,
             ..StepObservation::default()
         }
     }
@@ -263,7 +379,9 @@ pub fn solve_explicit(lg: &mut Logic, goal: Formula) -> Solved {
 /// Runs the explicit backend on an already-preprocessed goal under the
 /// caller's limits (the dual cross-check prepares once to bound-check the
 /// lean first). The type enumeration is charged against the wall-clock
-/// deadline: the driver only gets what construction left over.
+/// deadline — the driver only gets what construction left over — and the
+/// construction itself polls the limits, so a cancelled portfolio racer
+/// aborts instead of finishing a build nobody will read.
 pub(crate) fn solve_prepared(
     lg: &mut Logic,
     prep: Prepared,
@@ -274,8 +392,12 @@ pub(crate) fn solve_prepared(
     let (lean_size, closure_size) = (prep.lean.len(), prep.closure.len());
     let backend = {
         let _span = rec.span("enumerate");
-        Explicit::new(lg, prep)
-    };
+        Explicit::new(lg, prep, limits, started)
+    }
+    .map_err(|e| {
+        limit_event(rec, &e);
+        SolveError::from(e)
+    })?;
     let remaining = limits.after(started.elapsed()).inspect_err(|e| {
         limit_event(rec, e);
     })?;
@@ -286,16 +408,14 @@ fn find_child(
     tab: &Tables,
     snapshots: &[Snapshot],
     ti: usize,
-    a: Program,
+    ai: usize,
     marked: bool,
 ) -> Option<usize> {
-    for (unset, mkset) in snapshots {
+    let key = tab.want[ai][ti];
+    snapshots.iter().find_map(|(unset, mkset)| {
         let set = if marked { mkset } else { unset };
-        if let Some(&tj) = set.iter().find(|&&tj| tab.child_ok(a, ti, tj)) {
-            return Some(tj);
-        }
-    }
-    None
+        set.iter_ones().find(|&tj| tab.give[ai][tj] == Some(key))
+    })
 }
 
 fn build(
@@ -312,12 +432,12 @@ fn build(
         .find(|&(i, _)| t.get(i))
         .map(|(_, l)| l)
         .expect("every type has exactly one proposition");
-    let here_marked = t.get(tab.start_idx);
+    let here_marked = tab.start_bits.get(ti);
     debug_assert!(!here_marked || need_mark);
     let below = need_mark && !here_marked;
 
-    let has1 = tab.isparent(ti, Program::Down1);
-    let has2 = tab.isparent(ti, Program::Down2);
+    let has1 = tab.down[0].get(ti);
+    let has2 = tab.down[1].get(ti);
     // Decide which side carries the mark when it is strictly below. The
     // chosen split must be *jointly* realizable: a marked child on one side
     // and, if the other side exists, an unmarked child there (a marked
@@ -327,8 +447,8 @@ fn build(
         (false, false)
     } else {
         let via1 = has1
-            && find_child(tab, snapshots, ti, Program::Down1, true).is_some()
-            && (!has2 || find_child(tab, snapshots, ti, Program::Down2, false).is_some());
+            && find_child(tab, snapshots, ti, 0, true).is_some()
+            && (!has2 || find_child(tab, snapshots, ti, 1, false).is_some());
         if via1 {
             (true, false)
         } else {
@@ -336,13 +456,11 @@ fn build(
         }
     };
     let child1 = has1.then(|| {
-        let tj = find_child(tab, snapshots, ti, Program::Down1, m1)
-            .expect("witness exists by construction");
+        let tj = find_child(tab, snapshots, ti, 0, m1).expect("witness exists by construction");
         build(prep, tab, snapshots, tj, m1)
     });
     let child2 = has2.then(|| {
-        let tj = find_child(tab, snapshots, ti, Program::Down2, m2)
-            .expect("witness exists by construction");
+        let tj = find_child(tab, snapshots, ti, 1, m2).expect("witness exists by construction");
         build(prep, tab, snapshots, tj, m2)
     });
     BinaryTree::new(label, here_marked, child1, child2)
@@ -452,6 +570,18 @@ mod tests {
         assert!(s.stats.iterations >= 2);
         assert!(s.stats.telemetry.explicit_types().unwrap() > 0);
         assert_eq!(s.stats.telemetry.backend_name(), "explicit");
+    }
+
+    #[test]
+    fn dead_atom_pruning_still_sound() {
+        // ⟨1⟩(b ∧ c) can never be witnessed — a node carries exactly one
+        // proposition — so the prune removes every type carrying the atom
+        // and the verdict must still come out unsat.
+        let s = solve("a & <1>(b & c)");
+        assert!(!s.outcome.is_satisfiable());
+        // A satisfiable goal with the same shape survives the prune.
+        let s = solve("a & <1>(b | c)");
+        assert!(s.outcome.is_satisfiable());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! `xsat --backend` flag through the engine protocol and the analyzer down
 //! to [`solve_with`], including the [`BackendChoice::Dual`] cross-check
 //! mode that runs the symbolic and explicit backends concurrently and
-//! reports any verdict disagreement as an error.
+//! reports any verdict disagreement as an error, and the
+//! [`BackendChoice::Portfolio`] mode that races every feasible backend
+//! under one shared deadline with cooperative cancellation and returns
+//! the first verdict (see the `portfolio` module).
 
 use std::fmt;
 use std::str::FromStr;
@@ -207,6 +210,14 @@ pub fn run_fixpoint_traced<B: Backend>(
                 return Err(e.into());
             }
         }
+        // Cooperative cancellation, polled alongside the deadline: when a
+        // portfolio sibling already won the race, abort before the next
+        // `Upd` step instead of computing sets nobody will read.
+        if limits.cancel.is_cancelled() {
+            let e = Exhausted::cancelled(t0.elapsed());
+            limit_event(rec, &e);
+            return Err(e.into());
+        }
         iterations += 1;
         let step_started = rec.enabled().then(Instant::now);
         let changed = match backend.step() {
@@ -289,15 +300,21 @@ pub enum BackendChoice {
     /// [`Explicit`](BackendChoice::Explicit) concurrently and fail loudly
     /// on any verdict disagreement. The recommended CI configuration.
     Dual,
+    /// Race every feasible backend on worker threads under one shared
+    /// deadline with cooperative cancellation; the first verdict wins and
+    /// cancels the rest. Latency tracks the fastest backend instead of a
+    /// fixed choice.
+    Portfolio,
 }
 
 impl BackendChoice {
     /// Every choice, in protocol order.
-    pub const ALL: [BackendChoice; 4] = [
+    pub const ALL: [BackendChoice; 5] = [
         BackendChoice::Symbolic,
         BackendChoice::Explicit,
         BackendChoice::Witnessed,
         BackendChoice::Dual,
+        BackendChoice::Portfolio,
     ];
 
     /// The protocol/CLI name of the choice.
@@ -307,6 +324,7 @@ impl BackendChoice {
             BackendChoice::Explicit => "explicit",
             BackendChoice::Witnessed => "witnessed",
             BackendChoice::Dual => "dual",
+            BackendChoice::Portfolio => "portfolio",
         }
     }
 }
@@ -325,7 +343,9 @@ impl FromStr for BackendChoice {
             .into_iter()
             .find(|b| b.as_str() == s)
             .ok_or_else(|| {
-                format!("unknown backend `{s}` (expected symbolic, explicit, witnessed or dual)")
+                format!(
+                    "unknown backend `{s}` (expected symbolic, explicit, witnessed, dual or portfolio)"
+                )
             })
     }
 }
@@ -500,12 +520,19 @@ pub fn solve_with_traced(
             feasible_traced(crate::witnessed::lean_diamonds(lg, goal), limits, rec)?;
             crate::witnessed::solve_witnessed_bounded(lg, goal, limits, rec)
         }
-        BackendChoice::Dual => solve_dual(lg, goal, opts, mgr, limits, rec),
+        BackendChoice::Dual => crate::portfolio::solve_dual(lg, goal, opts, mgr, limits, rec),
+        BackendChoice::Portfolio => {
+            crate::portfolio::solve_portfolio(lg, goal, opts, mgr, limits, rec)
+        }
     }
 }
 
 /// [`enumeration_feasible`] plus a `limit` trace event on rejection.
-fn feasible_traced(diamonds: usize, limits: &Limits, rec: &Recorder) -> Result<(), SolveError> {
+pub(crate) fn feasible_traced(
+    diamonds: usize,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<(), SolveError> {
     enumeration_feasible(diamonds, limits).inspect_err(|e| {
         if let Some(ex) = e.exhausted() {
             limit_event(rec, &ex);
@@ -517,7 +544,7 @@ fn feasible_traced(diamonds: usize, limits: &Limits, rec: &Recorder) -> Result<(
 /// cap is clamped to the enumerator's representation limit, so a wire
 /// request raising `max_lean` arbitrarily high can never push an
 /// oversized lean into the enumerator's panic path.
-fn enumeration_feasible(diamonds: usize, limits: &Limits) -> Result<(), SolveError> {
+pub(crate) fn enumeration_feasible(diamonds: usize, limits: &Limits) -> Result<(), SolveError> {
     let cap = limits
         .max_lean_diamonds
         .min(crate::bits::ENUMERATION_HARD_CAP);
@@ -529,61 +556,6 @@ fn enumeration_feasible(diamonds: usize, limits: &Limits) -> Result<(), SolveErr
         });
     }
     Ok(())
-}
-
-/// The dual cross-check: symbolic and explicit side by side, both governed
-/// by the same limits.
-fn solve_dual(
-    lg: &mut Logic,
-    goal: Formula,
-    opts: &SymbolicOptions,
-    mgr: &mut bdd::Bdd,
-    limits: &Limits,
-    rec: &Recorder,
-) -> Result<Solved, SolveError> {
-    let t0 = Instant::now();
-    // The explicit run gets its own arena so the two backends can run on
-    // separate threads; formula ids stay valid across the clone.
-    let mut explicit_lg = lg.clone();
-    let prep = Prepared::new(&mut explicit_lg, goal);
-    feasible_traced(prep.lean.diam_entries().count(), limits, rec)?;
-    let explicit_limits = limits.clone();
-    // Both halves share the recorder (same solve id and clock); their
-    // events interleave in sink order.
-    let explicit_rec = rec.clone();
-    let (symbolic, explicit_result) = std::thread::scope(|scope| {
-        // Models hold `Rc` trees and cannot cross threads, so the explicit
-        // side ships only its verdict and stats back; its model is
-        // redundant with the symbolic one anyway.
-        let handle = scope.spawn(move || {
-            crate::explicit::solve_prepared(&mut explicit_lg, prep, &explicit_limits, &explicit_rec)
-                .map(|solved| (solved.outcome.is_satisfiable(), solved.stats))
-        });
-        let symbolic = crate::solve_symbolic_traced(lg, goal, opts, mgr, limits, rec);
-        (symbolic, handle.join().expect("explicit backend panicked"))
-    });
-    let symbolic = symbolic?;
-    let (explicit_sat, explicit) = explicit_result?;
-    if symbolic.outcome.is_satisfiable() != explicit_sat {
-        return Err(SolveError::Disagreement {
-            symbolic_sat: symbolic.outcome.is_satisfiable(),
-            explicit_sat,
-            formula: lg.display(goal).to_string(),
-        });
-    }
-    Ok(Solved {
-        outcome: symbolic.outcome,
-        stats: Stats {
-            lean_size: symbolic.stats.lean_size,
-            closure_size: symbolic.stats.closure_size,
-            iterations: symbolic.stats.iterations + explicit.iterations,
-            duration: t0.elapsed(),
-            telemetry: Telemetry::Dual {
-                symbolic: Box::new(symbolic.stats.telemetry),
-                explicit: Box::new(explicit.telemetry),
-            },
-        },
-    })
 }
 
 #[cfg(test)]
@@ -642,11 +614,74 @@ mod tests {
         )
         .unwrap();
         match &s.stats.telemetry {
-            Telemetry::Dual { symbolic, explicit } => {
+            Telemetry::Dual {
+                symbolic,
+                explicit,
+                symbolic_iterations,
+                explicit_iterations,
+            } => {
                 assert!(symbolic.bdd_nodes().unwrap() > 0);
                 assert!(explicit.explicit_types().unwrap() > 0);
+                // The drivers' counts are reported distinctly, and the
+                // top-level stat is the symbolic driver's alone — not the
+                // sum that used to double-count.
+                assert_eq!(s.stats.iterations, *symbolic_iterations);
+                assert!(*explicit_iterations > 0);
             }
             other => panic!("expected dual telemetry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_reports_winner_telemetry() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>(b & <2>c)").unwrap();
+        let s = solve_with(
+            &mut lg,
+            goal,
+            BackendChoice::Portfolio,
+            &SymbolicOptions::default(),
+            &Limits::default(),
+        )
+        .unwrap();
+        assert!(s.outcome.is_satisfiable());
+        match &s.stats.telemetry {
+            Telemetry::Portfolio {
+                winner,
+                raced,
+                inner,
+            } => {
+                assert!(raced.contains(winner), "{winner} not in {raced:?}");
+                assert!(raced.contains(&"symbolic"));
+                assert_eq!(inner.backend_name(), *winner);
+            }
+            other => panic!("expected portfolio telemetry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_degrades_to_symbolic_on_oversized_leans() {
+        // When the lean is too large for the enumerating racers, the
+        // portfolio must still answer — racing only the symbolic backend —
+        // instead of reporting the enumeration as exhausted.
+        let mut lg = Logic::new();
+        let src: Vec<String> = (0..18).map(|i| format!("<1><2>l{i}")).collect();
+        let goal = lg.parse(&src.join(" | ")).unwrap();
+        let s = solve_with(
+            &mut lg,
+            goal,
+            BackendChoice::Portfolio,
+            &SymbolicOptions::default(),
+            &Limits::default(),
+        )
+        .unwrap();
+        assert!(s.outcome.is_satisfiable());
+        match &s.stats.telemetry {
+            Telemetry::Portfolio { winner, raced, .. } => {
+                assert_eq!(*winner, "symbolic");
+                assert_eq!(raced, &vec!["symbolic"]);
+            }
+            other => panic!("expected portfolio telemetry, got {other:?}"),
         }
     }
 
@@ -850,8 +885,9 @@ mod tests {
                 }
             }
             // The proved measure grows monotonically within one solve for
-            // the non-dual backends (dual interleaves two event streams).
-            if backend != BackendChoice::Dual {
+            // the single-driver backends (dual and portfolio interleave
+            // several drivers' event streams).
+            if !matches!(backend, BackendChoice::Dual | BackendChoice::Portfolio) {
                 let proved: Vec<u64> = steps
                     .iter()
                     .filter_map(|e| {
@@ -913,6 +949,7 @@ mod tests {
             max_bdd_nodes: Some(100_000_000),
             max_iterations: Some(1_000_000),
             max_lean_diamonds: 16,
+            ..Limits::none()
         };
         for (src, expect) in [("a & <1>b", true), ("a & ~a", false)] {
             for backend in BackendChoice::ALL {

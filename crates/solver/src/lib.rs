@@ -26,7 +26,10 @@
 //! reconstruction.
 //!
 //! Backend selection is a first-class concept: [`BackendChoice`] names the
-//! three backends plus the [`BackendChoice::Dual`] cross-check mode, and
+//! three backends plus the [`BackendChoice::Dual`] cross-check mode and
+//! the [`BackendChoice::Portfolio`] racing mode (every feasible backend on
+//! worker threads under one shared deadline, first verdict wins, the rest
+//! are cooperatively cancelled through [`Limits::cancel`]), and
 //! [`solve_with`] dispatches on it. Each run reports typed per-backend
 //! [`Telemetry`] in its [`Stats`].
 //!
@@ -61,6 +64,7 @@ mod explicit;
 pub mod kernel;
 mod limits;
 mod outcome;
+pub(crate) mod portfolio;
 mod prepare;
 mod symbolic;
 mod witnessed;
@@ -71,7 +75,7 @@ pub use kernel::{
     run_fixpoint, run_fixpoint_traced, solve_with, solve_with_in, solve_with_traced, Backend,
     BackendChoice, CrossCheckError, SolveError, StepObservation,
 };
-pub use limits::{Exhausted, Limits, Resource};
+pub use limits::{CancelToken, Exhausted, Limits, Resource};
 pub use outcome::{BddCounters, Model, Outcome, Solved, Stats, Telemetry};
 pub use prepare::Prepared;
 pub use symbolic::{

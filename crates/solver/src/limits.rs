@@ -14,9 +14,70 @@
 //! retry with a larger budget.
 
 use std::fmt;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::bits::MAX_EXPLICIT_DIAMONDS;
+
+/// Cooperative cancellation of an in-flight solve.
+///
+/// The portfolio mode clones one armed token into every racer; the first
+/// racer to finish flips the shared flag and the others abort at their
+/// next poll point — the per-`Upd`-step check in
+/// [`run_fixpoint`](crate::run_fixpoint), the symbolic backend's budget
+/// poll between relational-product clauses, and the enumeration and
+/// table-construction loops of the enumerating backends — with a
+/// [`Resource::Cancelled`] exhaustion. The default token is inert: it is
+/// never cancelled and polling it is a single `Option` check.
+///
+/// The token deliberately does not participate in equality or hashing:
+/// two [`Limits`] that differ only in their cancellation wiring describe
+/// the same budget contract (the engine's memo cache keys on `Limits`).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Option<Arc<AtomicBool>>);
+
+impl CancelToken {
+    /// The inert token: never cancelled, costs one `Option` check to poll.
+    pub const fn inert() -> CancelToken {
+        CancelToken(None)
+    }
+
+    /// A fresh shared flag, initially not cancelled. Clones observe each
+    /// other's [`cancel`](CancelToken::cancel).
+    pub fn armed() -> CancelToken {
+        CancelToken(Some(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Whether this token can ever report cancellation.
+    pub fn is_armed(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Requests cancellation. A no-op on the inert token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.0 {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, _: &CancelToken) -> bool {
+        true
+    }
+}
+
+impl Eq for CancelToken {}
+
+impl std::hash::Hash for CancelToken {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
 
 /// Resource budgets of one solve.
 ///
@@ -47,6 +108,10 @@ pub struct Limits {
     /// governed dispatch path, so an arbitrarily large cap still yields a
     /// typed exhaustion — never a panic.
     pub max_lean_diamonds: usize,
+    /// Cooperative cancellation, polled alongside the deadline at every
+    /// budget check. Inert by default; the portfolio mode arms one token
+    /// shared by its racers. Ignored by equality and hashing.
+    pub cancel: CancelToken,
 }
 
 impl Limits {
@@ -58,16 +123,36 @@ impl Limits {
             max_bdd_nodes: None,
             max_iterations: None,
             max_lean_diamonds: usize::MAX,
+            cancel: CancelToken::inert(),
         }
     }
 
     /// Whether any budget is set (the fast path skips deadline reads when
-    /// none is).
+    /// none is). An armed cancel token counts as a bound: the run must
+    /// keep polling.
     pub fn is_unbounded(&self) -> bool {
         self.deadline.is_none()
             && self.max_bdd_nodes.is_none()
             && self.max_iterations.is_none()
             && self.max_lean_diamonds == usize::MAX
+            && !self.cancel.is_armed()
+    }
+
+    /// One cooperative budget poll: the cancel token first, then the
+    /// wall-clock deadline against `started`. Used by the long
+    /// construction loops (type enumeration, status tables) that run
+    /// before the fixpoint driver's own per-step checks.
+    pub fn poll(&self, started: Instant) -> Result<(), Exhausted> {
+        if self.cancel.is_cancelled() {
+            return Err(Exhausted::cancelled(started.elapsed()));
+        }
+        if let Some(deadline) = self.deadline {
+            let elapsed = started.elapsed();
+            if elapsed >= deadline {
+                return Err(Exhausted::wall_clock(elapsed, deadline));
+            }
+        }
+        Ok(())
     }
 
     /// The limits that remain after `elapsed` of the wall-clock budget has
@@ -113,6 +198,10 @@ pub enum Resource {
     Iterations,
     /// `⟨a⟩ϕ` lean entries presented to an enumerating backend.
     LeanDiamonds,
+    /// Cooperative cancellation: another racer of a portfolio solve
+    /// finished first. Never surfaces in protocol responses — the
+    /// portfolio coordinator discards the losers' reports.
+    Cancelled,
 }
 
 impl Resource {
@@ -123,6 +212,7 @@ impl Resource {
             Resource::BddNodes => "bdd_nodes",
             Resource::Iterations => "iterations",
             Resource::LeanDiamonds => "lean_diamonds",
+            Resource::Cancelled => "cancelled",
         }
     }
 }
@@ -157,6 +247,16 @@ impl Exhausted {
             limit: deadline.as_millis() as u64,
         }
     }
+
+    /// A cancellation report: a concurrent racer finished first after
+    /// `elapsed` of this run. There is no meaningful budget; `limit` is 0.
+    pub fn cancelled(elapsed: Duration) -> Exhausted {
+        Exhausted {
+            resource: Resource::Cancelled,
+            spent: elapsed.as_millis() as u64,
+            limit: 0,
+        }
+    }
 }
 
 impl fmt::Display for Exhausted {
@@ -181,6 +281,11 @@ impl fmt::Display for Exhausted {
                 f,
                 "resource exhausted: lean has {} diamonds, the cap is {}",
                 self.spent, self.limit
+            ),
+            Resource::Cancelled => write!(
+                f,
+                "resource exhausted: cancelled by a concurrent racer after {} ms",
+                self.spent
             ),
         }
     }
@@ -217,6 +322,38 @@ mod tests {
             Limits::default().after(Duration::from_secs(9)).unwrap(),
             Limits::default()
         );
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_invisible_to_equality() {
+        let token = CancelToken::armed();
+        let racer = Limits {
+            cancel: token.clone(),
+            ..Limits::default()
+        };
+        // Armed-but-uncancelled polls pass; the token still counts as a
+        // bound so pollers are not skipped.
+        assert!(racer.poll(Instant::now()).is_ok());
+        assert!(!Limits {
+            cancel: token.clone(),
+            ..Limits::none()
+        }
+        .is_unbounded());
+        token.cancel();
+        let e = racer.poll(Instant::now()).unwrap_err();
+        assert_eq!(e.resource, Resource::Cancelled);
+        assert_eq!(Resource::Cancelled.as_str(), "cancelled");
+        // The token never participates in the budget contract's identity:
+        // the memo cache must key identically-budgeted solves together.
+        assert_eq!(racer, Limits::default());
+        // `after` carries the token along.
+        let timed = Limits {
+            deadline: Some(Duration::from_millis(100)),
+            cancel: token.clone(),
+            ..Limits::default()
+        };
+        let rest = timed.after(Duration::from_millis(10)).unwrap();
+        assert!(rest.cancel.is_cancelled());
     }
 
     #[test]

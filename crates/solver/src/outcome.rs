@@ -22,6 +22,13 @@ impl Model {
         }
     }
 
+    /// Reassembles a model from an already-decoded root row. The portfolio
+    /// coordinator ships models across threads as `Send` binary trees (one
+    /// per root) and rebuilds the `Rc`-based row on the calling thread.
+    pub(crate) fn from_roots(roots: Vec<Tree>) -> Model {
+        Model { roots }
+    }
+
     /// The root row of the model.
     pub fn roots(&self) -> &[Tree] {
         &self.roots
@@ -181,13 +188,39 @@ pub enum Telemetry {
         /// Triples proved when the run finished.
         proved: usize,
     },
-    /// A dual cross-check run: both sub-runs' telemetry.
+    /// A dual cross-check run: both sub-runs' telemetry, with each
+    /// driver's iteration count reported distinctly (the top-level
+    /// [`Stats::iterations`] is the symbolic driver's alone — summing the
+    /// two drivers used to double-count).
     Dual {
         /// The symbolic sub-run.
         symbolic: Box<Telemetry>,
         /// The explicit sub-run.
         explicit: Box<Telemetry>,
+        /// Fixpoint iterations of the symbolic driver.
+        symbolic_iterations: usize,
+        /// Fixpoint iterations of the explicit driver.
+        explicit_iterations: usize,
     },
+    /// A portfolio race: the winning backend's telemetry plus the names of
+    /// every backend that was actually raced.
+    Portfolio {
+        /// Protocol name of the backend whose verdict was returned.
+        winner: &'static str,
+        /// Protocol names of all raced backends, in protocol order.
+        raced: Vec<&'static str>,
+        /// The winner's own telemetry.
+        inner: Box<Telemetry>,
+    },
+}
+
+/// Protocol order of the backend names, for deterministic portfolio
+/// merging (mirrors `BackendChoice::ALL`).
+fn backend_rank(name: &str) -> usize {
+    ["symbolic", "explicit", "witnessed", "dual", "portfolio"]
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or(usize::MAX)
 }
 
 impl Default for Telemetry {
@@ -207,6 +240,7 @@ impl Telemetry {
             Telemetry::Explicit { .. } => "explicit",
             Telemetry::Witnessed { .. } => "witnessed",
             Telemetry::Dual { .. } => "dual",
+            Telemetry::Portfolio { .. } => "portfolio",
         }
     }
 
@@ -216,6 +250,7 @@ impl Telemetry {
         match self {
             Telemetry::Symbolic { bdd_nodes, .. } => Some(*bdd_nodes),
             Telemetry::Dual { symbolic, .. } => symbolic.bdd_nodes(),
+            Telemetry::Portfolio { inner, .. } => inner.bdd_nodes(),
             _ => None,
         }
     }
@@ -226,6 +261,7 @@ impl Telemetry {
         match self {
             Telemetry::Symbolic { counters, .. } => Some(counters),
             Telemetry::Dual { symbolic, .. } => symbolic.bdd_counters(),
+            Telemetry::Portfolio { inner, .. } => inner.bdd_counters(),
             _ => None,
         }
     }
@@ -246,6 +282,7 @@ impl Telemetry {
         match self {
             Telemetry::Explicit { types } | Telemetry::Witnessed { types, .. } => Some(*types),
             Telemetry::Dual { explicit, .. } => explicit.explicit_types(),
+            Telemetry::Portfolio { inner, .. } => inner.explicit_types(),
             _ => None,
         }
     }
@@ -267,9 +304,62 @@ impl Telemetry {
     /// The merge is also *commutative*: `a.merge(b)` and `b.merge(a)`
     /// report the same counters for every variant pair, so dual-mode
     /// aggregation never depends on which sub-solve finished first.
+    ///
+    /// Portfolio telemetry has the highest precedence: merging two
+    /// portfolio runs unions the raced sets, keeps the
+    /// protocol-order-first winner, and merges the inner telemetry;
+    /// merging a portfolio with anything else absorbs the other side into
+    /// the portfolio's inner telemetry.
     pub fn merge(self, other: Telemetry) -> Telemetry {
-        use Telemetry::{Dual, Explicit, Symbolic, Witnessed};
+        use Telemetry::{Dual, Explicit, Portfolio, Symbolic, Witnessed};
         match (self, other) {
+            (
+                Portfolio {
+                    winner: wa,
+                    raced: ra,
+                    inner: ia,
+                },
+                Portfolio {
+                    winner: wb,
+                    raced: rb,
+                    inner: ib,
+                },
+            ) => {
+                let mut raced: Vec<&'static str> = ra;
+                raced.extend(rb);
+                raced.sort_by_key(|n| backend_rank(n));
+                raced.dedup();
+                let winner = if backend_rank(wa) <= backend_rank(wb) {
+                    wa
+                } else {
+                    wb
+                };
+                Portfolio {
+                    winner,
+                    raced,
+                    inner: Box::new(ia.merge(*ib)),
+                }
+            }
+            (
+                Portfolio {
+                    winner,
+                    raced,
+                    inner,
+                },
+                t,
+            )
+            | (
+                t,
+                Portfolio {
+                    winner,
+                    raced,
+                    inner,
+                },
+            ) => Portfolio {
+                winner,
+                raced,
+                inner: Box::new(inner.merge(t)),
+            },
             (
                 Symbolic {
                     bdd_nodes: a,
@@ -301,40 +391,91 @@ impl Telemetry {
                 Dual {
                     symbolic: sa,
                     explicit: ea,
+                    symbolic_iterations: sia,
+                    explicit_iterations: eia,
                 },
                 Dual {
                     symbolic: sb,
                     explicit: eb,
+                    symbolic_iterations: sib,
+                    explicit_iterations: eib,
                 },
             ) => Dual {
                 symbolic: Box::new(sa.merge(*sb)),
                 explicit: Box::new(ea.merge(*eb)),
+                symbolic_iterations: sia + sib,
+                explicit_iterations: eia + eib,
             },
             // A dual absorbs a single-backend run into its matching half.
-            (Dual { symbolic, explicit }, s @ Symbolic { .. }) => Dual {
+            (
+                Dual {
+                    symbolic,
+                    explicit,
+                    symbolic_iterations,
+                    explicit_iterations,
+                },
+                s @ Symbolic { .. },
+            ) => Dual {
                 symbolic: Box::new(symbolic.merge(s)),
                 explicit,
+                symbolic_iterations,
+                explicit_iterations,
             },
-            (s @ Symbolic { .. }, Dual { symbolic, explicit }) => Dual {
+            (
+                s @ Symbolic { .. },
+                Dual {
+                    symbolic,
+                    explicit,
+                    symbolic_iterations,
+                    explicit_iterations,
+                },
+            ) => Dual {
                 symbolic: Box::new(s.merge(*symbolic)),
                 explicit,
+                symbolic_iterations,
+                explicit_iterations,
             },
-            (Dual { symbolic, explicit }, e) => Dual {
+            (
+                Dual {
+                    symbolic,
+                    explicit,
+                    symbolic_iterations,
+                    explicit_iterations,
+                },
+                e,
+            ) => Dual {
                 symbolic,
                 explicit: Box::new(explicit.merge(e)),
+                symbolic_iterations,
+                explicit_iterations,
             },
-            (e, Dual { symbolic, explicit }) => Dual {
+            (
+                e,
+                Dual {
+                    symbolic,
+                    explicit,
+                    symbolic_iterations,
+                    explicit_iterations,
+                },
+            ) => Dual {
                 symbolic,
                 explicit: Box::new(e.merge(*explicit)),
+                symbolic_iterations,
+                explicit_iterations,
             },
-            // Symbolic + enumerating: the pair is exactly a dual's shape.
+            // Symbolic + enumerating: the pair is exactly a dual's shape
+            // (no driver iteration counts are known for the halves).
             (s @ Symbolic { .. }, e) => Dual {
                 symbolic: Box::new(s),
                 explicit: Box::new(e),
+                symbolic_iterations: 0,
+                explicit_iterations: 0,
             },
             (e, s @ Symbolic { .. }) => Dual {
                 symbolic: Box::new(s),
                 explicit: Box::new(e),
+                symbolic_iterations: 0,
+                explicit_iterations: 0,
             },
             // Explicit vs witnessed: both enumerate ψ-types. Fold to the
             // witnessed shape in either order, summing the shared `types`
@@ -465,11 +606,22 @@ mod tests {
         let d = Telemetry::Dual {
             symbolic: Box::new(s.clone()),
             explicit: Box::new(e.clone()),
+            symbolic_iterations: 3,
+            explicit_iterations: 4,
         };
         assert_eq!(d.backend_name(), "dual");
         assert_eq!(d.bdd_nodes(), Some(10));
         assert_eq!(d.explicit_types(), Some(4));
         assert_eq!(d.cache_hit_rate(), Some(0.75));
+        let p = Telemetry::Portfolio {
+            winner: "symbolic",
+            raced: vec!["symbolic", "explicit"],
+            inner: Box::new(s.clone()),
+        };
+        assert_eq!(p.backend_name(), "portfolio");
+        assert_eq!(p.bdd_nodes(), Some(10));
+        assert_eq!(p.cache_hit_rate(), Some(0.75));
+        assert_eq!(p.explicit_types(), None);
         let c5 = BddCounters {
             peak_nodes: 50,
             created_nodes: 7,
@@ -515,7 +667,39 @@ mod tests {
         let d = Telemetry::Dual {
             symbolic: Box::new(s.clone()),
             explicit: Box::new(e.clone()),
+            symbolic_iterations: 2,
+            explicit_iterations: 5,
         };
+        // A portfolio absorbs anything into its inner telemetry, keeping
+        // the winner and raced set.
+        let p = Telemetry::Portfolio {
+            winner: "witnessed",
+            raced: vec!["symbolic", "witnessed"],
+            inner: Box::new(s.clone()),
+        };
+        let m = p.clone().merge(w.clone());
+        match &m {
+            Telemetry::Portfolio { winner, raced, .. } => {
+                assert_eq!(*winner, "witnessed");
+                assert_eq!(raced, &vec!["symbolic", "witnessed"]);
+            }
+            other => panic!("expected portfolio, got {other:?}"),
+        }
+        assert_eq!(m.explicit_types(), Some(2));
+        // Two portfolios union the raced sets and keep the
+        // protocol-order-first winner.
+        let p2 = Telemetry::Portfolio {
+            winner: "explicit",
+            raced: vec!["explicit", "dual"],
+            inner: Box::new(e.clone()),
+        };
+        match p.clone().merge(p2) {
+            Telemetry::Portfolio { winner, raced, .. } => {
+                assert_eq!(winner, "explicit");
+                assert_eq!(raced, vec!["symbolic", "explicit", "witnessed", "dual"]);
+            }
+            other => panic!("expected portfolio, got {other:?}"),
+        }
         // A dual absorbs a symbolic run into its symbolic half…
         let m = d.clone().merge(s.clone());
         assert_eq!(m.bdd_nodes(), Some(20));
@@ -571,6 +755,21 @@ mod tests {
                     types: 6,
                     proved: 5,
                 }),
+                symbolic_iterations: 2,
+                explicit_iterations: 3,
+            },
+            Telemetry::Portfolio {
+                winner: "witnessed",
+                raced: vec!["symbolic", "witnessed"],
+                inner: Box::new(Telemetry::Witnessed {
+                    types: 8,
+                    proved: 1,
+                }),
+            },
+            Telemetry::Portfolio {
+                winner: "symbolic",
+                raced: vec!["symbolic", "explicit"],
+                inner: Box::new(sym(7, BddCounters::default())),
             },
         ];
         for a in &variants {

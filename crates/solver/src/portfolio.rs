@@ -1,0 +1,435 @@
+//! Multi-backend solving strategies: dual cross-checking and portfolio
+//! racing.
+//!
+//! Both modes run several backends over the same problem on worker
+//! threads. They differ in what they do with the results:
+//!
+//! * [`solve_dual`] runs the symbolic and explicit backends to
+//!   *completion* and compares their verdicts — a cross-validation mode
+//!   that turns an implementation bug into a loud
+//!   [`SolveError::Disagreement`] instead of a silent wrong answer.
+//! * [`solve_portfolio`] *races* every feasible backend under one shared
+//!   deadline and returns the first verdict. The moment a racer finishes,
+//!   the shared [`CancelToken`] in the racers' [`Limits`] flips and the
+//!   losers abort at their next budget poll (each `Upd` step, each
+//!   64-type status block, each enumeration mask, and between the
+//!   symbolic backend's relational-product clauses), so the race costs
+//!   one backend's wall-clock time plus a poll interval — not the sum.
+//!
+//! Models hold `Rc` trees and cannot cross threads, so racers ship
+//! satisfying models as thread-safe [`BinaryTree`]s and the coordinator
+//! rebuilds the unranked [`Model`] on the calling thread.
+//!
+//! The portfolio quietly degrades rather than erroring on gates: an
+//! oversized lean drops the enumerating racers (leaving a symbolic-only
+//! "race"), and a racer that dies on a budget it alone exhausted simply
+//! never claims the win. Only when *no* racer completes does the
+//! coordinator report failure — the symbolic backend's error, since that
+//! racer always runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use ftree::BinaryTree;
+use mulogic::{Formula, Logic};
+use obs::{FieldValue, Recorder};
+
+use crate::kernel::{enumeration_feasible, feasible_traced, SolveError};
+use crate::limits::{CancelToken, Limits};
+use crate::outcome::{Model, Outcome, Solved, Stats, Telemetry};
+use crate::prepare::Prepared;
+use crate::symbolic::SymbolicOptions;
+
+/// Backend names in racer-index order; indices double as claim values.
+const RACERS: [&str; 3] = ["symbolic", "explicit", "witnessed"];
+
+/// Sentinel claim value meaning "no racer has finished yet".
+const OPEN: usize = usize::MAX;
+
+/// A solve result made thread-safe for shipping back to the coordinator:
+/// the satisfying model (if any) as owned binary trees, plus the stats.
+struct Shipped {
+    sat_roots: Option<Vec<BinaryTree>>,
+    stats: Stats,
+}
+
+fn ship(solved: Solved) -> Shipped {
+    let sat_roots = solved
+        .outcome
+        .model()
+        .map(|m| m.roots().iter().map(BinaryTree::from_unranked).collect());
+    Shipped {
+        sat_roots,
+        stats: solved.stats,
+    }
+}
+
+fn unship(shipped: Shipped) -> Solved {
+    let outcome = match shipped.sat_roots {
+        Some(roots) => Outcome::Satisfiable(Model::from_roots(
+            roots.iter().map(BinaryTree::to_unranked).collect(),
+        )),
+        None => Outcome::Unsatisfiable,
+    };
+    Solved {
+        outcome,
+        stats: shipped.stats,
+    }
+}
+
+/// Post-processes one racer's result: a completed racer tries to claim
+/// the race and, on winning, cancels everyone else.
+fn finish(
+    idx: usize,
+    result: Result<Solved, SolveError>,
+    claim: &AtomicUsize,
+    token: &CancelToken,
+) -> Result<Shipped, SolveError> {
+    let solved = result?;
+    if claim
+        .compare_exchange(OPEN, idx, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        token.cancel();
+    }
+    Ok(ship(solved))
+}
+
+/// Wraps a winning racer's result in the portfolio envelope: the winner
+/// event on the recorder, [`Telemetry::Portfolio`] naming winner and
+/// field, and the race's own wall-clock duration.
+fn crown(
+    solved: Solved,
+    winner: &'static str,
+    raced: Vec<&'static str>,
+    t0: Instant,
+    rec: &Recorder,
+) -> Solved {
+    rec.event(
+        "winner",
+        &[
+            ("backend", FieldValue::Str(winner)),
+            ("raced", FieldValue::U64(raced.len() as u64)),
+        ],
+    );
+    Solved {
+        outcome: solved.outcome,
+        stats: Stats {
+            lean_size: solved.stats.lean_size,
+            closure_size: solved.stats.closure_size,
+            iterations: solved.stats.iterations,
+            duration: t0.elapsed(),
+            telemetry: Telemetry::Portfolio {
+                winner,
+                raced,
+                inner: Box::new(solved.stats.telemetry),
+            },
+        },
+    }
+}
+
+/// Races every feasible backend and returns the first verdict.
+///
+/// The symbolic backend always races (on the calling thread, reusing the
+/// caller's BDD manager); the explicit and witnessed backends join only
+/// when their lean fits the enumeration budget. The winner's outcome and
+/// stats are returned wrapped in [`Telemetry::Portfolio`], which records
+/// who won and who raced.
+///
+/// Concurrency adapts to the machine: with at least two hardware threads
+/// the racers genuinely run in parallel under the shared cancel token; on
+/// a single-threaded box a concurrent race would only time-slice the
+/// winner slower, so the backends are attempted *in order* with early
+/// exit instead — the same rescue semantics, minus the parallelism.
+pub(crate) fn solve_portfolio(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
+    let slots = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if slots >= 2 {
+        race_concurrently(lg, goal, opts, mgr, limits, rec)
+    } else {
+        attempt_in_order(lg, goal, opts, mgr, limits, rec)
+    }
+}
+
+/// The single-core portfolio: ordered attempts with early exit.
+///
+/// The symbolic backend goes first and, when it completes, is the whole
+/// race — no gate is computed and no arena is cloned, so the fast path
+/// costs the symbolic solve plus an event. Only when it fails do the
+/// feasible enumerating backends take their turn at the rescue.
+fn attempt_in_order(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
+    let t0 = Instant::now();
+    let mut raced = vec!["symbolic"];
+    let symbolic_err = match crate::solve_symbolic_traced(lg, goal, opts, mgr, limits, rec) {
+        Ok(s) => return Ok(crown(s, "symbolic", raced, t0, rec)),
+        Err(e) => e,
+    };
+    let mut backup_lg = lg.clone();
+    let prep = Prepared::new(&mut backup_lg, goal);
+    if enumeration_feasible(prep.lean.diam_entries().count(), limits).is_ok() {
+        raced.push("explicit");
+        if let Ok(s) = crate::explicit::solve_prepared(&mut backup_lg, prep, limits, rec) {
+            return Ok(crown(s, "explicit", raced, t0, rec));
+        }
+        raced.push("witnessed");
+        if let Ok(s) = crate::witnessed::solve_witnessed_bounded(lg, goal, limits, rec) {
+            return Ok(crown(s, "witnessed", raced, t0, rec));
+        }
+    }
+    // Every attempt failed; the symbolic backend's error is the one to
+    // report (it always ran, and its budgets are the authoritative ones).
+    Err(symbolic_err)
+}
+
+/// The multi-core portfolio: worker-thread racers under one shared
+/// cancel token, first completion wins and cancels the rest.
+fn race_concurrently(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
+    let t0 = Instant::now();
+    // Each enumerating racer gets its own arena clone so the backends can
+    // run on separate threads; formula ids stay valid across the clone.
+    let mut explicit_lg = lg.clone();
+    let prep = Prepared::new(&mut explicit_lg, goal);
+    // Gate the enumerating racers silently: an oversized lean shrinks the
+    // field instead of failing the solve (the symbolic racer still runs).
+    // The witnessed backend's own (unplunged) lean is two diamonds
+    // smaller than the prepared one, so the shared gate errs conservative.
+    let feasible = enumeration_feasible(prep.lean.diam_entries().count(), limits).is_ok();
+    let explicit_ok = feasible;
+    let witnessed_ok = feasible;
+    let mut witnessed_lg = witnessed_ok.then(|| lg.clone());
+
+    let token = CancelToken::armed();
+    let race_limits = Limits {
+        cancel: token.clone(),
+        ..limits.clone()
+    };
+    let claim = AtomicUsize::new(OPEN);
+
+    let (symbolic_r, explicit_r, witnessed_r) = std::thread::scope(|scope| {
+        let explicit_handle = explicit_ok.then(|| {
+            let racer_limits = race_limits.clone();
+            // All racers share the recorder (same solve id and clock);
+            // their events interleave in sink order.
+            let racer_rec = rec.clone();
+            let (claim, token) = (&claim, &token);
+            scope.spawn(move || {
+                let r = crate::explicit::solve_prepared(
+                    &mut explicit_lg,
+                    prep,
+                    &racer_limits,
+                    &racer_rec,
+                );
+                finish(1, r, claim, token)
+            })
+        });
+        let witnessed_handle = witnessed_ok.then(|| {
+            let racer_limits = race_limits.clone();
+            let racer_rec = rec.clone();
+            let (claim, token) = (&claim, &token);
+            let mut racer_lg = witnessed_lg.take().expect("cloned when feasible");
+            scope.spawn(move || {
+                let r = crate::witnessed::solve_witnessed_bounded(
+                    &mut racer_lg,
+                    goal,
+                    &racer_limits,
+                    &racer_rec,
+                );
+                finish(2, r, claim, token)
+            })
+        });
+        let symbolic_r = finish(
+            0,
+            crate::solve_symbolic_traced(lg, goal, opts, mgr, &race_limits, rec),
+            &claim,
+            &token,
+        );
+        (
+            symbolic_r,
+            explicit_handle.map(|h| h.join().expect("explicit racer panicked")),
+            witnessed_handle.map(|h| h.join().expect("witnessed racer panicked")),
+        )
+    });
+
+    let mut results = [Some(symbolic_r), explicit_r, witnessed_r];
+    let winner_idx = claim.load(Ordering::SeqCst);
+    if winner_idx == OPEN {
+        // Nobody completed. The symbolic racer always runs and a
+        // completed symbolic racer always claims an open race, so its
+        // slot necessarily holds the error to report.
+        return Err(match results[0].take() {
+            Some(Err(e)) => e,
+            _ => unreachable!("symbolic completion claims an open race"),
+        });
+    }
+    let shipped = match results[winner_idx].take() {
+        Some(Ok(s)) => s,
+        _ => unreachable!("the claimed winner completed"),
+    };
+    let raced: Vec<&'static str> = [true, explicit_ok, witnessed_ok]
+        .iter()
+        .zip(RACERS)
+        .filter_map(|(&ran, name)| ran.then_some(name))
+        .collect();
+    Ok(crown(unship(shipped), RACERS[winner_idx], raced, t0, rec))
+}
+
+/// Runs the symbolic and explicit backends to completion on separate
+/// threads and cross-checks their verdicts.
+///
+/// Unlike the portfolio, neither side is cancelled: the point is the
+/// comparison, so both verdicts are needed. A verdict mismatch is
+/// reported as [`SolveError::Disagreement`].
+pub(crate) fn solve_dual(
+    lg: &mut Logic,
+    goal: Formula,
+    opts: &SymbolicOptions,
+    mgr: &mut bdd::Bdd,
+    limits: &Limits,
+    rec: &Recorder,
+) -> Result<Solved, SolveError> {
+    let t0 = Instant::now();
+    // The explicit run gets its own arena so the two backends can run on
+    // separate threads; formula ids stay valid across the clone.
+    let mut explicit_lg = lg.clone();
+    let prep = Prepared::new(&mut explicit_lg, goal);
+    feasible_traced(prep.lean.diam_entries().count(), limits, rec)?;
+    let explicit_limits = limits.clone();
+    // Both halves share the recorder (same solve id and clock); their
+    // events interleave in sink order.
+    let explicit_rec = rec.clone();
+    let (symbolic, explicit_result) = std::thread::scope(|scope| {
+        // Models hold `Rc` trees and cannot cross threads, so the explicit
+        // side ships only its verdict and stats back; its model is
+        // redundant with the symbolic one anyway.
+        let handle = scope.spawn(move || {
+            crate::explicit::solve_prepared(&mut explicit_lg, prep, &explicit_limits, &explicit_rec)
+                .map(|solved| (solved.outcome.is_satisfiable(), solved.stats))
+        });
+        let symbolic = crate::solve_symbolic_traced(lg, goal, opts, mgr, limits, rec);
+        (symbolic, handle.join().expect("explicit backend panicked"))
+    });
+    let symbolic = symbolic?;
+    let (explicit_sat, explicit) = explicit_result?;
+    if symbolic.outcome.is_satisfiable() != explicit_sat {
+        return Err(SolveError::Disagreement {
+            symbolic_sat: symbolic.outcome.is_satisfiable(),
+            explicit_sat,
+            formula: lg.display(goal).to_string(),
+        });
+    }
+    Ok(Solved {
+        outcome: symbolic.outcome,
+        stats: Stats {
+            lean_size: symbolic.stats.lean_size,
+            closure_size: symbolic.stats.closure_size,
+            // The driving backend's count; the explicit side's is reported
+            // separately in the telemetry rather than summed into one
+            // meaningless total.
+            iterations: symbolic.stats.iterations,
+            duration: t0.elapsed(),
+            telemetry: Telemetry::Dual {
+                symbolic_iterations: symbolic.stats.iterations,
+                explicit_iterations: explicit.iterations,
+                symbolic: Box::new(symbolic.stats.telemetry),
+                explicit: Box::new(explicit.telemetry),
+            },
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mulogic::ModelChecker;
+
+    /// The concurrent race path, invoked directly so it is exercised even
+    /// on single-core machines (where `solve_portfolio` would pick the
+    /// ordered-attempt path).
+    fn race(input: &str) -> (Logic, Formula, Result<Solved, SolveError>) {
+        let mut lg = Logic::new();
+        let goal = lg.parse(input).expect("test formula parses");
+        let mut mgr = bdd::Bdd::new();
+        let r = race_concurrently(
+            &mut lg,
+            goal,
+            &SymbolicOptions::default(),
+            &mut mgr,
+            &Limits::none(),
+            &Recorder::noop(),
+        );
+        (lg, goal, r)
+    }
+
+    #[test]
+    fn concurrent_race_verdicts_and_models_check_out() {
+        for (input, sat) in [
+            ("a & <1>(b & <2>c)", true),
+            ("a & ~a", false),
+            ("a & <1>b & <1>~b", false),
+        ] {
+            let (lg, goal, r) = race(input);
+            let solved = r.expect("unbounded race completes");
+            assert_eq!(solved.outcome.is_satisfiable(), sat, "{input}");
+            if let Some(m) = solved.outcome.model() {
+                let mc = ModelChecker::new_row(m.roots());
+                assert!(!mc.eval(&lg, goal).is_empty(), "{input}: model fails");
+            }
+            let Telemetry::Portfolio {
+                winner,
+                raced,
+                inner,
+            } = &solved.stats.telemetry
+            else {
+                panic!("{input}: wrong telemetry {:?}", solved.stats.telemetry);
+            };
+            assert!(raced.contains(winner), "{input}: {winner} not in {raced:?}");
+            assert_eq!(raced[0], "symbolic");
+            assert_eq!(inner.backend_name(), *winner, "{input}");
+        }
+    }
+
+    #[test]
+    fn concurrent_race_cancels_losers_promptly() {
+        // A race on a lean large enough that the enumerating racers take
+        // far longer than the symbolic one: the scope join (and thus this
+        // test) only returns quickly if the losers honor the cancel token.
+        let input = "a & <1>(b | <2>(c & <1>(d | <2>(e & <1>f)))) & <2>g";
+        let t0 = Instant::now();
+        let (_, _, r) = race(input);
+        let solved = r.expect("race completes");
+        let Telemetry::Portfolio { raced, .. } = &solved.stats.telemetry else {
+            panic!("wrong telemetry");
+        };
+        assert!(raced.len() > 1, "expected enumerating racers in {raced:?}");
+        // Generous bound: the losers' exponential run would take far
+        // longer; cancellation keeps the whole race near the winner's
+        // time even with the enumerators mid-build.
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "race took {:?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -32,7 +32,7 @@ use mulogic::{status, BoolAlg, Formula, Logic, Program};
 use obs::Recorder;
 
 use crate::kernel::{limit_event, run_fixpoint_traced, Backend, SolveError, StepObservation};
-use crate::limits::{Exhausted, Limits, Resource};
+use crate::limits::{CancelToken, Exhausted, Limits, Resource};
 use crate::outcome::{Model, Solved, Telemetry};
 use crate::prepare::Prepared;
 
@@ -141,6 +141,9 @@ struct Sym<'m> {
     started: Instant,
     /// Wall-clock budget of the run, when one is set.
     deadline: Option<Duration>,
+    /// Cooperative cancellation, polled with the deadline: a portfolio
+    /// sibling's win aborts this run between relational-product clauses.
+    cancel: CancelToken,
 }
 
 impl<'m> Sym<'m> {
@@ -251,6 +254,7 @@ impl<'m> Sym<'m> {
             state,
             started,
             deadline: limits.deadline,
+            cancel: limits.cancel.clone(),
         }
     }
 
@@ -272,6 +276,9 @@ impl<'m> Sym<'m> {
             if elapsed >= deadline {
                 return Err(Exhausted::wall_clock(elapsed, deadline));
             }
+        }
+        if self.cancel.is_cancelled() {
+            return Err(Exhausted::cancelled(self.started.elapsed()));
         }
         Ok(())
     }

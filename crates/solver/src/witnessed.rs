@@ -18,13 +18,14 @@
 //! recursive `dsat` search instead of the plunge filter.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use ftree::BinaryTree;
-use mulogic::{status, BitsAlg, Closure, Formula, Lean, Logic, Program};
+use mulogic::{Closure, Formula, Lean, Logic, Program};
 
 use obs::Recorder;
 
-use crate::bits::{TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
+use crate::bits::{status_columns, TypeEnumerator, MAX_EXPLICIT_DIAMONDS};
 use crate::kernel::{limit_event, run_fixpoint_traced, Backend, SolveError, StepObservation};
 use crate::limits::{Exhausted, Limits};
 use crate::outcome::{Model, Solved, Telemetry};
@@ -45,24 +46,32 @@ struct Tables {
 }
 
 impl Tables {
-    fn build(lg: &mut Logic, lean: &Lean, goal: Formula) -> Tables {
+    fn build(
+        lg: &mut Logic,
+        lean: &Lean,
+        goal: Formula,
+        limits: &Limits,
+        started: Instant,
+    ) -> Result<Tables, Exhausted> {
         let en = TypeEnumerator::new(lean);
-        let types = en.all();
+        // The enumeration and the word-parallel status evaluation both
+        // poll the limits, so a cancelled portfolio racer aborts
+        // mid-construction.
+        let types = en.enumerate(true, limits, started)?;
         let entries: Vec<(usize, Program, Formula)> = lean.diam_entries().collect();
-        let mut arg_status = Vec::with_capacity(types.len());
-        let mut goal_status = Vec::with_capacity(types.len());
-        for t in &types {
-            let bools = t.to_bools();
-            let mut alg = BitsAlg::new(&bools);
-            let mut memo = HashMap::new();
-            let row: Vec<bool> = entries
-                .iter()
-                .map(|&(_, _, phi)| status(lg, lean, phi, &mut alg, &mut memo))
-                .collect();
-            goal_status.push(status(lg, lean, goal, &mut alg, &mut memo));
-            arg_status.push(row);
-        }
-        Tables {
+        let formulas: Vec<Formula> = entries
+            .iter()
+            .map(|&(_, _, phi)| phi)
+            .chain([goal])
+            .collect();
+        let mut cols = status_columns(lg, lean, &types, &formulas, limits, started)?;
+        let goal_col = cols.pop().expect("goal column");
+        let n = types.len();
+        let arg_status: Vec<Vec<bool>> = (0..n)
+            .map(|ti| cols.iter().map(|c| c.get(ti)).collect())
+            .collect();
+        let goal_status: Vec<bool> = (0..n).map(|ti| goal_col.get(ti)).collect();
+        Ok(Tables {
             types,
             arg_status,
             goal_status,
@@ -75,7 +84,7 @@ impl Tables {
             ],
             start_idx: lean.start_index(),
             props: lean.prop_entries().collect(),
-        }
+        })
     }
 
     fn delta(&self, a: Program, ti: usize, tj: usize) -> bool {
@@ -142,15 +151,22 @@ struct Witnessed {
 }
 
 impl Witnessed {
-    fn new(lg: &mut Logic, lean: &Lean, goal: Formula, uses_mark: bool) -> Witnessed {
-        Witnessed {
-            tab: Tables::build(lg, lean, goal),
+    fn new(
+        lg: &mut Logic,
+        lean: &Lean,
+        goal: Formula,
+        uses_mark: bool,
+        limits: &Limits,
+        started: Instant,
+    ) -> Result<Witnessed, Exhausted> {
+        Ok(Witnessed {
+            tab: Tables::build(lg, lean, goal, limits, started)?,
             uses_mark,
             proved: HashSet::new(),
             witnesses: HashMap::new(),
             first_proved: HashMap::new(),
             round: 0,
-        }
+        })
     }
 }
 
@@ -334,8 +350,12 @@ pub(crate) fn solve_witnessed_bounded(
     };
     let backend = {
         let _span = rec.span("enumerate");
-        Witnessed::new(lg, &lean, goal, uses_mark)
-    };
+        Witnessed::new(lg, &lean, goal, uses_mark, limits, started)
+    }
+    .map_err(|e| {
+        limit_event(rec, &e);
+        SolveError::from(e)
+    })?;
     let remaining = limits.after(started.elapsed()).inspect_err(|e| {
         limit_event(rec, e);
     })?;

@@ -17,7 +17,7 @@ use mulogic::{cycle_free, Formula, Logic, ModelChecker, Program};
 use proptest::prelude::*;
 use solver::{
     solve_explicit, solve_symbolic, solve_with, solve_witnessed, BackendChoice, Limits,
-    SymbolicOptions,
+    SymbolicOptions, Telemetry,
 };
 
 /// A recipe for building random cycle-free formulas without reference to a
@@ -276,6 +276,7 @@ proptest! {
             max_bdd_nodes: Some(100_000_000),
             max_iterations: Some(1_000_000),
             max_lean_diamonds: 16,
+            ..Limits::none()
         };
         for choice in BackendChoice::ALL {
             let bounded = solve_with(
@@ -303,6 +304,57 @@ proptest! {
                     lg.display(goal)
                 );
             }
+        }
+    }
+
+    /// The portfolio race under generous limits returns the symbolic
+    /// verdict, and the telemetry names a winner that actually raced.
+    #[test]
+    fn portfolio_agrees_with_symbolic(shape in arb_shape(2)) {
+        let mut lg = Logic::new();
+        let goal = build(&mut lg, &shape);
+        prop_assume!(cycle_free(&lg, goal));
+
+        let reference = solve_symbolic(&mut lg, goal).outcome.is_satisfiable();
+        let generous = Limits {
+            deadline: Some(Duration::from_secs(300)),
+            max_bdd_nodes: Some(100_000_000),
+            max_iterations: Some(1_000_000),
+            max_lean_diamonds: 16,
+            ..Limits::none()
+        };
+        let raced_run = solve_with(
+            &mut lg,
+            goal,
+            BackendChoice::Portfolio,
+            &SymbolicOptions::default(),
+            &generous,
+        )
+        .unwrap_or_else(|e| panic!("portfolio exhausted generous limits on {}: {e}", lg.display(goal)));
+        prop_assert_eq!(
+            raced_run.outcome.is_satisfiable(),
+            reference,
+            "portfolio disagrees with symbolic on {}",
+            lg.display(goal)
+        );
+        let Telemetry::Portfolio { winner, raced, .. } = &raced_run.stats.telemetry else {
+            panic!("portfolio run reported {} telemetry", raced_run.stats.telemetry.backend_name());
+        };
+        prop_assert!(
+            raced.contains(winner),
+            "winner {} was not among the raced backends {:?}",
+            winner,
+            raced
+        );
+        prop_assert!(raced.contains(&"symbolic"), "symbolic always races");
+        if let Some(m) = raced_run.outcome.model() {
+            let mc = ModelChecker::new_row(m.roots());
+            prop_assert!(
+                !mc.eval(&lg, goal).is_empty(),
+                "portfolio model {} fails check for {}",
+                m,
+                lg.display(goal)
+            );
         }
     }
 }

@@ -17,10 +17,12 @@
 //! the solve could decide (the `unknown` verdict), so they compose with
 //! shell logic.
 //!
-//! `--backend {symbolic,explicit,witnessed,dual}` selects the solver
-//! backend (default `symbolic`); `dual` runs the symbolic and explicit
-//! backends concurrently and fails loudly if their verdicts ever
-//! disagree — the recommended CI configuration. For `batch`/`serve` the
+//! `--backend {symbolic,explicit,witnessed,dual,portfolio}` selects the
+//! solver backend (default `symbolic`); `dual` runs the symbolic and
+//! explicit backends concurrently and fails loudly if their verdicts ever
+//! disagree — the recommended CI configuration — while `portfolio` races
+//! every feasible backend under one shared deadline and returns the first
+//! verdict, cancelling the losers. For `batch`/`serve` the
 //! flag sets the default backend of the engine, which individual requests
 //! override with a `"backend"` field; every verdict echoes the backend
 //! that produced it.
@@ -125,6 +127,8 @@ Backends (--backend, default symbolic):
   witnessed   the literal Fig 16 algorithm with explicit witness sets
   dual        run symbolic + explicit concurrently and fail loudly on any
               verdict disagreement (recommended for CI)
+  portfolio   race every feasible backend under one shared deadline,
+              return the first verdict and cancel the losers
 
 Resource limits (LIMITS, on every subcommand — the engine defaults, which
 individual batch/serve requests override with a \"limits\" object):
