@@ -73,6 +73,7 @@
 pub mod paper;
 pub mod problem;
 pub mod types;
+pub mod witness;
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -328,13 +329,13 @@ impl Analyzer {
                 let span = rec.span("compile");
                 let f = self.query_formula(query, ty.as_deref());
                 drop(span);
-                self.check_unsat_traced(f, limits, rec)
+                self.check_unsat_traced(f, limits, rec, &dtd_refs(&[ty]))
             }
             Problem::Sat { query, ty } => {
                 let span = rec.span("compile");
                 let f = self.query_formula(query, ty.as_deref());
                 drop(span);
-                self.check_sat(f, limits, rec)
+                self.check_sat(f, limits, rec, &dtd_refs(&[ty]))
             }
             Problem::Contains {
                 lhs,
@@ -345,7 +346,9 @@ impl Analyzer {
                 let span = rec.span("compile");
                 let goal = self.containment_goal(lhs, ltype.as_deref(), rhs, rtype.as_deref());
                 drop(span);
-                self.check_unsat_traced(goal, limits, rec)
+                // A containment witness inhabits the *left* type only: the
+                // right-hand query (and its type) appear negated in the goal.
+                self.check_unsat_traced(goal, limits, rec, &dtd_refs(&[ltype]))
             }
             Problem::Overlap {
                 lhs,
@@ -358,7 +361,7 @@ impl Analyzer {
                 let f2 = self.query_formula(rhs, rtype.as_deref());
                 let goal = self.lg.and(f1, f2);
                 drop(span);
-                self.check_sat(goal, limits, rec)
+                self.check_sat(goal, limits, rec, &dtd_refs(&[ltype, rtype]))
             }
             Problem::Covers { query, ty, by } => {
                 let span = rec.span("compile");
@@ -369,7 +372,7 @@ impl Analyzer {
                     goal = self.lg.and(goal, nfi);
                 }
                 drop(span);
-                self.check_unsat_traced(goal, limits, rec)
+                self.check_unsat_traced(goal, limits, rec, &dtd_refs(&[ty]))
             }
             Problem::TypeCheck {
                 query,
@@ -382,7 +385,9 @@ impl Analyzer {
                 let nout = self.lg.not(out);
                 let goal = self.lg.and(f, nout);
                 drop(span);
-                self.check_unsat_traced(goal, limits, rec)
+                // The witness is a valid *input* document on which the query
+                // selects a node outside the output type.
+                self.check_unsat_traced(goal, limits, rec, &[input.as_ref()])
             }
             Problem::Equiv {
                 lhs,
@@ -396,12 +401,13 @@ impl Analyzer {
                 let span = rec.span("compile");
                 let fwd_goal = self.containment_goal(lhs, ltype.as_deref(), rhs, rtype.as_deref());
                 drop(span);
-                let fwd = self.check_unsat_traced(fwd_goal, limits, rec)?;
+                let fwd = self.check_unsat_traced(fwd_goal, limits, rec, &dtd_refs(&[ltype]))?;
                 let remaining = limits.after(started.elapsed())?;
                 let span = rec.span("compile");
                 let bwd_goal = self.containment_goal(rhs, rtype.as_deref(), lhs, ltype.as_deref());
                 drop(span);
-                let bwd = self.check_unsat_traced(bwd_goal, &remaining, rec)?;
+                let bwd =
+                    self.check_unsat_traced(bwd_goal, &remaining, rec, &dtd_refs(&[rtype]))?;
                 Ok(Analysis {
                     holds: fwd.holds && bwd.holds,
                     // The witness is whichever direction failed first.
@@ -428,7 +434,7 @@ impl Analyzer {
     }
 
     pub(crate) fn check_unsat(&mut self, f: Formula, limits: &Limits) -> AnalysisResult {
-        self.check_unsat_traced(f, limits, &Recorder::noop())
+        self.check_unsat_traced(f, limits, &Recorder::noop(), &[])
     }
 
     fn check_unsat_traced(
@@ -436,6 +442,7 @@ impl Analyzer {
         f: Formula,
         limits: &Limits,
         rec: &Recorder,
+        dtds: &[&Dtd],
     ) -> AnalysisResult {
         let solved = self.solve_formula_traced(f, limits, rec)?;
         Ok(match solved.outcome {
@@ -445,24 +452,36 @@ impl Analyzer {
                 stats: solved.stats,
                 backend: self.options.backend,
             },
-            Outcome::Satisfiable(m) => Analysis {
-                holds: false,
-                counter_example: Some(m),
-                stats: solved.stats,
-                backend: self.options.backend,
-            },
+            Outcome::Satisfiable(m) => {
+                witness::verify_model(&self.lg, f, &m, dtds)?;
+                Analysis {
+                    holds: false,
+                    counter_example: Some(m),
+                    stats: solved.stats,
+                    backend: self.options.backend,
+                }
+            }
         })
     }
 
-    fn check_sat(&mut self, f: Formula, limits: &Limits, rec: &Recorder) -> AnalysisResult {
+    fn check_sat(
+        &mut self,
+        f: Formula,
+        limits: &Limits,
+        rec: &Recorder,
+        dtds: &[&Dtd],
+    ) -> AnalysisResult {
         let solved = self.solve_formula_traced(f, limits, rec)?;
         Ok(match solved.outcome {
-            Outcome::Satisfiable(m) => Analysis {
-                holds: true,
-                counter_example: Some(m),
-                stats: solved.stats,
-                backend: self.options.backend,
-            },
+            Outcome::Satisfiable(m) => {
+                witness::verify_model(&self.lg, f, &m, dtds)?;
+                Analysis {
+                    holds: true,
+                    counter_example: Some(m),
+                    stats: solved.stats,
+                    backend: self.options.backend,
+                }
+            }
             Outcome::Unsatisfiable => Analysis {
                 holds: false,
                 counter_example: None,
@@ -564,6 +583,14 @@ impl Analyzer {
 /// carries.
 fn arc_dtd(ty: Option<&Dtd>) -> Option<Arc<Dtd>> {
     ty.map(|d| Arc::new(d.clone()))
+}
+
+/// The governing DTDs of a (sub-)problem: the present ones among the type
+/// slots whose query appears *positively* in the goal. These are the types a
+/// witness document must inhabit, so [`witness::verify_model`] re-validates
+/// against each.
+fn dtd_refs<'a>(tys: &[&'a Option<Arc<Dtd>>]) -> Vec<&'a Dtd> {
+    tys.iter().filter_map(|t| t.as_deref()).collect()
 }
 
 #[cfg(test)]

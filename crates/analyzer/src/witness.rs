@@ -1,0 +1,155 @@
+//! Witness verification: every counter-example is independently re-checked
+//! before it leaves the analyzer.
+//!
+//! The satisfiability backends reconstruct counter-example documents from
+//! ψ-type runs (paper §7.2); that reconstruction is the most intricate part
+//! of the pipeline, so its output is never trusted blindly.  Each model is
+//! replayed through two *independent* oracles:
+//!
+//! 1. **Semantic** — [`mulogic::model_check`], the denotational semantics of
+//!    Fig 2 evaluated over the foci of the concrete tree.  The goal formula
+//!    must hold at at least one focus of the model, exactly the plunging
+//!    interpretation of satisfiability (§7.1).
+//! 2. **Syntactic** — [`Dtd::validates`]: when the decision problem is typed,
+//!    the witness document must actually be valid against the governing DTD,
+//!    not merely satisfy its compiled tree-logic translation.
+//!
+//! A rejection by either oracle is a bug in the solver, never a legitimate
+//! verdict, and surfaces loudly as [`SolveError::WitnessInvalid`] rather
+//! than a silent `fails`.
+
+use mulogic::{Formula, Logic};
+use solver::{Model, SolveError};
+use treetypes::Dtd;
+
+/// Re-checks a reconstructed `model` against the `goal` formula it is
+/// supposed to satisfy, and against every governing DTD in `dtds`.
+///
+/// Returns `Ok(())` when both oracles accept, and
+/// [`SolveError::WitnessInvalid`] when either disagrees with the solver.
+/// The DTD oracle only applies to single-rooted witnesses: a multi-rooted
+/// model is a hedge, which no XML document type can describe, so only the
+/// semantic oracle constrains it.
+///
+/// # Example
+///
+/// ```
+/// use analyzer::witness::verify_model;
+/// use mulogic::Logic;
+/// use solver::{Model, SolveError};
+///
+/// let mut lg = Logic::new();
+/// let goal = lg.parse("a & <1>b").unwrap();
+/// let good = Model::from_trees(vec![ftree::Tree::parse_xml("<a><b/></a>").unwrap()]);
+/// assert!(verify_model(&lg, goal, &good, &[]).is_ok());
+///
+/// // A hand-corrupted witness is rejected by the model-checking oracle.
+/// let bad = Model::from_trees(vec![ftree::Tree::parse_xml("<a><c/></a>").unwrap()]);
+/// match verify_model(&lg, goal, &bad, &[]) {
+///     Err(SolveError::WitnessInvalid { .. }) => {}
+///     other => panic!("expected WitnessInvalid, got {other:?}"),
+/// }
+/// ```
+pub fn verify_model(
+    lg: &Logic,
+    goal: Formula,
+    model: &Model,
+    dtds: &[&Dtd],
+) -> Result<(), SolveError> {
+    if !mulogic::model_check(lg, goal, model.roots()) {
+        return Err(invalid(
+            lg,
+            goal,
+            model,
+            "the model-checking oracle refutes the witness at every focus",
+        ));
+    }
+    if let [root] = model.roots() {
+        for dtd in dtds {
+            if !dtd.validates(root) {
+                return Err(invalid(
+                    lg,
+                    goal,
+                    model,
+                    "the witness is not valid against the governing DTD",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn invalid(lg: &Logic, goal: Formula, model: &Model, reason: &str) -> SolveError {
+    SolveError::WitnessInvalid {
+        formula: lg.display(goal).to_string(),
+        reason: reason.to_owned(),
+        witness: model.xml(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftree::Tree;
+
+    fn model(xml: &str) -> Model {
+        Model::from_trees(vec![Tree::parse_xml(xml).unwrap()])
+    }
+
+    #[test]
+    fn accepts_a_genuine_witness() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>(b & ~<2>T)").unwrap();
+        assert!(verify_model(&lg, goal, &model("<a><b/></a>"), &[]).is_ok());
+    }
+
+    #[test]
+    fn corrupted_witness_is_witness_invalid_never_silent() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a & <1>b").unwrap();
+        // Deliberately corrupted: the child is c, not b.
+        let err = verify_model(&lg, goal, &model("<a><c/></a>"), &[]).unwrap_err();
+        match &err {
+            SolveError::WitnessInvalid {
+                formula,
+                reason,
+                witness,
+            } => {
+                assert!(formula.contains('a'));
+                assert!(reason.contains("oracle"));
+                assert!(witness.contains("<c/>"));
+            }
+            other => panic!("expected WitnessInvalid, got {other:?}"),
+        }
+        // The failure is an error, not a verdict: `exhausted()` has nothing
+        // to report and the message names the witness.
+        assert!(err.exhausted().is_none());
+        assert!(err.to_string().contains("invalid witness"));
+    }
+
+    #[test]
+    fn dtd_oracle_rejects_invalid_documents() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("doc").unwrap();
+        let dtd = Dtd::parse("<!ELEMENT doc (item+)> <!ELEMENT item EMPTY>").unwrap();
+        // Semantically fine (the root is labeled doc) but the DTD demands
+        // at least one item child.
+        let err = verify_model(&lg, goal, &model("<doc/>"), &[&dtd]).unwrap_err();
+        assert!(matches!(err, SolveError::WitnessInvalid { .. }));
+        assert!(verify_model(&lg, goal, &model("<doc><item/></doc>"), &[&dtd]).is_ok());
+    }
+
+    #[test]
+    fn hedges_skip_the_dtd_oracle() {
+        let mut lg = Logic::new();
+        let goal = lg.parse("a").unwrap();
+        let dtd = Dtd::parse("<!ELEMENT b EMPTY>").unwrap();
+        let hedge = Model::from_trees(vec![
+            Tree::parse_xml("<a/>").unwrap(),
+            Tree::parse_xml("<a/>").unwrap(),
+        ]);
+        // Two roots: no DTD can describe a hedge, so only the semantic
+        // oracle applies and the mismatched DTD is not consulted.
+        assert!(verify_model(&lg, goal, &hedge, &[&dtd]).is_ok());
+    }
+}

@@ -63,10 +63,12 @@ use solver::SymbolicOptions;
 pub use executor::{BatchOutcome, BatchStats};
 pub use json::Value;
 pub use obs::{JsonlSink, MemorySink, Recorder, Sink, SlowEntry, SlowLog};
-pub use problem::{run_job, Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats};
+pub use problem::{
+    run_job, CounterExample, Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats,
+};
 pub use protocol::{
-    event_value, metrics_response, slowlog_response, trace_value, LimitsSpec, Op, ProblemSpec,
-    Request, RequestKind, Status, PROTOCOL_VERSION,
+    counterexample_value, event_value, metrics_response, slowlog_response, trace_value, LimitsSpec,
+    Op, ProblemSpec, Request, RequestKind, Status, PROTOCOL_VERSION,
 };
 pub use solver::{BackendChoice, BddCounters, Limits, Resource, SolveError, Telemetry};
 pub use workspace::Workspace;

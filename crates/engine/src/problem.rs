@@ -13,7 +13,11 @@
 //! protocol's `status` field: a definite [`Verdict`] (`holds` / `fails`),
 //! an [`UnknownVerdict`] when a resource budget ran out (never cached — a
 //! retry with bigger limits must re-solve), or an error string (dual-mode
-//! disagreement; never cached either).
+//! disagreement or an oracle-rejected witness; never cached either).
+//!
+//! Because the memo cache stores whole [`Verdict`]s, the attached
+//! [`CounterExample`] evidence survives cache hits for free: a repeated
+//! `fails` problem answers with the same verified witness document.
 
 use std::time::Instant;
 
@@ -60,6 +64,31 @@ impl VerdictStats {
     }
 }
 
+/// A verified counter-example document, the evidence attached to a `fails`
+/// verdict of a refutable operation (containment, emptiness, coverage,
+/// type-checking, equivalence).
+///
+/// Both renderings serialize the same tree; `pretty` is the indented
+/// multi-line form `--explain` prints. The analyzer re-checks every model
+/// through the [`mulogic::model_check`] oracle (and the governing DTDs)
+/// before it gets here — a rejected witness is a [`SolveError::WitnessInvalid`]
+/// error response, never a silently unverified counter-example — so
+/// `verified` is always `true` on emitted verdicts; the field pins that
+/// guarantee on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterExample {
+    /// Compact single-line XML (identical to the legacy `counter_example`
+    /// string field).
+    pub xml: String,
+    /// Indented multi-line XML for human-facing output.
+    pub pretty: String,
+    /// Node count of the witness document.
+    pub size: usize,
+    /// Whether the witness passed the model-checking and DTD oracles
+    /// (always `true`; failures become error responses instead).
+    pub verified: bool,
+}
+
 /// The outcome of one decision problem, in wire-friendly form.
 ///
 /// Counter-examples are rendered to XML eagerly: solver models hold
@@ -74,6 +103,12 @@ pub struct Verdict {
     /// emptiness, coverage, type-checking, equivalence), for it on
     /// satisfiability and overlap.
     pub counter_example: Option<String>,
+    /// The verified counter-example document, present exactly when the
+    /// verdict is `fails` and a witness was reconstructed. `holds`
+    /// verdicts of satisfiability/overlap keep their supporting model in
+    /// `counter_example` only — that model is evidence *for* the property,
+    /// not a counter-example.
+    pub counterexample: Option<CounterExample>,
     /// The backend that produced the verdict, echoed on every response.
     pub backend: BackendChoice,
     /// Solver measurements.
@@ -85,9 +120,20 @@ pub struct Verdict {
 
 impl Verdict {
     fn from_analysis(a: Analysis, wall_ms: f64) -> Verdict {
+        let counterexample = if a.holds {
+            None
+        } else {
+            a.counter_example.as_ref().map(|m| CounterExample {
+                xml: m.xml(),
+                pretty: m.xml_pretty(),
+                size: m.size(),
+                verified: true,
+            })
+        };
         Verdict {
             holds: a.holds,
             counter_example: a.counter_example.map(|m| m.xml()),
+            counterexample,
             backend: a.backend,
             stats: VerdictStats::from_solver(&a.stats),
             wall_ms,
@@ -124,8 +170,8 @@ pub enum RunOutcome {
     Verdict(Verdict),
     /// A budget ran out: `"status":"unknown"`, never cached.
     Unknown(UnknownVerdict),
-    /// A solver-level failure (dual-mode disagreement): an error response,
-    /// never cached.
+    /// A solver-level failure (dual-mode disagreement, or a witness the
+    /// verification oracles rejected): an error response, never cached.
     Error(String),
 }
 
@@ -152,10 +198,13 @@ pub fn run_job(az: &mut Analyzer, job: &Job, limits: &Limits, rec: &Recorder) ->
     let started = Instant::now();
     az.set_backend(job.backend);
     let outcome = match az.solve_traced(&job.problem, limits, rec) {
-        Ok(analysis) => RunOutcome::Verdict(Verdict::from_analysis(
-            analysis,
-            duration_ms(started.elapsed()),
-        )),
+        Ok(analysis) => {
+            let analysis = rescue_witness(az, job, limits, analysis);
+            RunOutcome::Verdict(Verdict::from_analysis(
+                analysis,
+                duration_ms(started.elapsed()),
+            ))
+        }
         Err(e @ SolveError::ResourceExhausted { .. }) => {
             let x = e.exhausted().expect("exhausted variant");
             RunOutcome::Unknown(UnknownVerdict {
@@ -167,10 +216,42 @@ pub fn run_job(az: &mut Analyzer, job: &Job, limits: &Limits, rec: &Recorder) ->
                 wall_ms: duration_ms(started.elapsed()),
             })
         }
-        Err(e @ SolveError::Disagreement { .. }) => RunOutcome::Error(e.to_string()),
+        Err(e @ (SolveError::Disagreement { .. } | SolveError::WitnessInvalid { .. })) => {
+            RunOutcome::Error(e.to_string())
+        }
     };
     record_metrics(job, &outcome, duration_ms(started.elapsed()));
     outcome
+}
+
+/// Re-solves on the witnessed backend when a refuting analysis carries no
+/// model, so `fails` verdicts of refutable operations always ship evidence
+/// when one is computable.
+///
+/// Every current backend reconstructs a model on satisfiable outcomes, so
+/// this is a defensive path; a rescue that itself fails (exhaustion, lean
+/// too large) is swallowed and the original verdict stands, witness-less.
+/// Satisfiability and overlap are excluded: their `fails` means the goal is
+/// *unsatisfiable*, so no witness document can exist.
+fn rescue_witness(az: &mut Analyzer, job: &Job, limits: &Limits, a: Analysis) -> Analysis {
+    let refutable = !matches!(job.problem, Problem::Sat { .. } | Problem::Overlap { .. });
+    if a.holds
+        || a.counter_example.is_some()
+        || !refutable
+        || job.backend == BackendChoice::Witnessed
+    {
+        return a;
+    }
+    az.set_backend(BackendChoice::Witnessed);
+    let rescued = az.solve_traced(&job.problem, limits, &Recorder::noop());
+    az.set_backend(job.backend);
+    match rescued {
+        Ok(r) if !r.holds && r.counter_example.is_some() => Analysis {
+            counter_example: r.counter_example,
+            ..a
+        },
+        _ => a,
+    }
 }
 
 /// The protocol status of an outcome, as the wire string.

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use analyzer::{BackendChoice, Limits, Telemetry};
 
 use crate::json::{obj, Value};
-use crate::problem::{Problem, UnknownVerdict, Verdict};
+use crate::problem::{CounterExample, Problem, UnknownVerdict, Verdict};
 use crate::workspace::Workspace;
 
 /// The protocol version spoken by this engine, echoed on `stats`
@@ -598,6 +598,9 @@ pub fn verdict_response(
         Some(xml) => fields.push(("counter_example", Value::from(xml.as_str()))),
         None => fields.push(("counter_example", Value::Null)),
     }
+    if let Some(ce) = &verdict.counterexample {
+        fields.push(("counterexample", counterexample_value(ce)));
+    }
     fields.push(("cached", Value::Bool(cached)));
     fields.push(("wall_ms", Value::Num(round3(wall_ms))));
     let s = &verdict.stats;
@@ -648,6 +651,19 @@ pub fn unknown_response(
     obj(fields)
 }
 
+/// Serializes a verified counter-example as the protocol's
+/// `"counterexample"` object: compact `xml`, indented `pretty`, node
+/// `size`, and the `verified` oracle stamp. Present exactly on `fails`
+/// verdicts that carry a witness (see `docs/PROTOCOL.md`).
+pub fn counterexample_value(ce: &CounterExample) -> Value {
+    obj(vec![
+        ("xml", Value::from(ce.xml.as_str())),
+        ("pretty", Value::from(ce.pretty.as_str())),
+        ("size", Value::from(ce.size)),
+        ("verified", Value::Bool(ce.verified)),
+    ])
+}
+
 /// Serializes per-backend telemetry as a tagged JSON object.
 ///
 /// The symbolic payload carries the BDD kernel counters (live/peak/created
@@ -679,7 +695,7 @@ pub fn telemetry_value(t: &Telemetry) -> Value {
         Telemetry::Explicit { types } => {
             fields.push(("types", Value::from(*types)));
         }
-        Telemetry::Witnessed { types, proved } => {
+        Telemetry::Witnessed { types, proved, .. } => {
             fields.push(("types", Value::from(*types)));
             fields.push(("proved", Value::from(*proved)));
         }

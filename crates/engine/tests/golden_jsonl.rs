@@ -34,12 +34,12 @@ const GOLDEN: &[(&str, &str)] = &[
     ),
     (
         r#"{"id":2,"op":"contains","lhs":"q1","rhs":"q2"}"#,
-        r#"{"id":2,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+        r#"{"id":2,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","counterexample":{"xml":"<_other s=\"1\"><_other/></_other>","pretty":"<_other s=\"1\">\n  <_other/>\n</_other>","size":2,"verified":true},"cached":false}"#,
     ),
     // The Fig 18 counter-example-carrying containment failure.
     (
         r#"{"id":3,"op":"contains","lhs":"child::c/preceding-sibling::a[child::b]","rhs":"child::c[child::b]"}"#,
-        r#"{"id":3,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","cached":false}"#,
+        r#"{"id":3,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","counterexample":{"xml":"<_other s=\"1\"><a><b/></a><c/></_other>","pretty":"<_other s=\"1\">\n  <a>\n    <b/>\n  </a>\n  <c/>\n</_other>","size":4,"verified":true},"cached":false}"#,
     ),
     // Cache-hit repeat of request id 1 (same problem, same names).
     (
@@ -61,7 +61,7 @@ const GOLDEN: &[(&str, &str)] = &[
     ),
     (
         r#"{"id":8,"op":"covers","query":"child::*","by":["child::a"]}"#,
-        r#"{"id":8,"ok":true,"op":"covers","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","cached":false}"#,
+        r#"{"id":8,"ok":true,"op":"covers","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><_other/></_other>","counterexample":{"xml":"<_other s=\"1\"><_other/></_other>","pretty":"<_other s=\"1\">\n  <_other/>\n</_other>","size":2,"verified":true},"cached":false}"#,
     ),
     (
         r#"{"id":9,"op":"equiv","lhs":"a/b[c]","rhs":"a/b[c]"}"#,
@@ -81,7 +81,7 @@ const GOLDEN: &[(&str, &str)] = &[
     ),
     (
         r#"{"id":13,"op":"typecheck","query":"child::x","input":"<!ELEMENT r (x)> <!ELEMENT x (y)> <!ELEMENT y EMPTY>","output":"<!ELEMENT x EMPTY>"}"#,
-        r#"{"id":13,"ok":true,"op":"typecheck","backend":"symbolic","status":"fails","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","cached":false}"#,
+        r#"{"id":13,"ok":true,"op":"typecheck","backend":"symbolic","status":"fails","holds":false,"counter_example":"<r s=\"1\"><x><y/></x></r>","counterexample":{"xml":"<r s=\"1\"><x><y/></x></r>","pretty":"<r s=\"1\">\n  <x>\n    <y/>\n  </x>\n</r>","size":3,"verified":true},"cached":false}"#,
     ),
     // Errors: unresolvable reference and unknown op.
     (
@@ -128,7 +128,7 @@ const GOLDEN: &[(&str, &str)] = &[
     // the symbolic witness is reported.
     (
         r#"{"id":21,"op":"contains","lhs":"child::a","rhs":"child::a[child::b]","backend":"dual"}"#,
-        r#"{"id":21,"ok":true,"op":"contains","backend":"dual","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a/></_other>","cached":false}"#,
+        r#"{"id":21,"ok":true,"op":"contains","backend":"dual","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a/></_other>","counterexample":{"xml":"<_other s=\"1\"><a/></_other>","pretty":"<_other s=\"1\">\n  <a/>\n</_other>","size":2,"verified":true},"cached":false}"#,
     ),
     // Protocol v2 limits round-trip: a generous `limits` object changes
     // nothing about the verdict.
@@ -154,6 +154,13 @@ const GOLDEN: &[(&str, &str)] = &[
     (
         r#"{"id":25,"op":"empty","query":"child::a ∩ child::b","backend":"portfolio"}"#,
         r#"{"id":25,"ok":true,"op":"empty","backend":"portfolio","status":"holds","holds":true,"counter_example":null,"cached":false}"#,
+    ),
+    // Cache-hit repeat of the Fig 18 failure (id 3): the memo cache stores
+    // whole verdicts, so the verified counterexample object survives the
+    // hit byte-for-byte.
+    (
+        r#"{"id":26,"op":"contains","lhs":"child::c/preceding-sibling::a[child::b]","rhs":"child::c[child::b]"}"#,
+        r#"{"id":26,"ok":true,"op":"contains","backend":"symbolic","status":"fails","holds":false,"counter_example":"<_other s=\"1\"><a><b/></a><c/></_other>","counterexample":{"xml":"<_other s=\"1\"><a><b/></a><c/></_other>","pretty":"<_other s=\"1\">\n  <a>\n    <b/>\n  </a>\n  <c/>\n</_other>","size":4,"verified":true},"cached":true}"#,
     ),
 ];
 
@@ -202,14 +209,15 @@ fn batch_matches_golden_stream() {
             normalize(got).to_json(),
         );
     }
-    // 23 decision problems were posed; ids 4, 5 and 24 repeat id 1's
-    // problem and id 17 repeats id 15's (problem, backend) job. Ids 16,
-    // 21 and 25 repeat *problems* under different backends, which are
-    // distinct jobs; id 23 exhausts its iteration cap and is counted as
-    // `unknown`, not an error.
-    assert_eq!(outcome.stats.problems, 23);
+    // 24 decision problems were posed; ids 4, 5 and 24 repeat id 1's
+    // problem, id 17 repeats id 15's (problem, backend) job, and id 26
+    // repeats id 3's failing containment. Ids 16, 21 and 25 repeat
+    // *problems* under different backends, which are distinct jobs; id 23
+    // exhausts its iteration cap and is counted as `unknown`, not an
+    // error.
+    assert_eq!(outcome.stats.problems, 24);
     assert_eq!(outcome.stats.unique_problems, 19);
-    assert_eq!(outcome.stats.cache_hits, 4);
+    assert_eq!(outcome.stats.cache_hits, 5);
     assert_eq!(outcome.stats.unknown, 1);
     assert_eq!(outcome.stats.errors, 3);
 
@@ -262,9 +270,70 @@ fn repeated_batch_is_fully_cached() {
         if matches!(status, Some("holds") | Some("fails")) {
             assert_eq!(c.get("holds"), w.get("holds"));
             assert_eq!(c.get("counter_example"), w.get("counter_example"));
+            assert_eq!(c.get("counterexample"), w.get("counterexample"));
             assert_eq!(w.get("wall_ms").and_then(Value::as_f64), Some(0.0));
         }
     }
+}
+
+/// Asserts the normative `"counterexample"` schema of `docs/PROTOCOL.md` on
+/// a `fails` response: exactly the four keys, `xml` equal to the legacy
+/// string field, `pretty` an indented rendering of the same document, and
+/// the `verified` oracle stamp.
+fn assert_counterexample_shape(r: &Value) {
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("fails"));
+    let ce = r
+        .get("counterexample")
+        .unwrap_or_else(|| panic!("no counterexample in {}", r.to_json()));
+    let keys: Vec<&str> = match ce {
+        Value::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("counterexample is not an object: {other:?}"),
+    };
+    assert_eq!(keys, ["xml", "pretty", "size", "verified"]);
+    let xml = ce.get("xml").and_then(Value::as_str).unwrap();
+    assert_eq!(r.get("counter_example").and_then(Value::as_str), Some(xml));
+    let pretty = ce.get("pretty").and_then(Value::as_str).unwrap();
+    assert_eq!(pretty.replace(['\n', ' '], ""), xml.replace(' ', ""));
+    assert!(ce.get("size").and_then(Value::as_f64).unwrap() >= 1.0);
+    assert_eq!(ce.get("verified").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn counterexample_field_shape_across_backends_and_cache() {
+    let mut e = Engine::new();
+    let fig18 = |id: &str, backend: &str| {
+        format!(
+            r#"{{"id":"{id}","op":"contains","lhs":"child::c/preceding-sibling::a[child::b]","rhs":"child::c[child::b]","backend":"{backend}"}}"#
+        )
+    };
+    // Present on witnessed and portfolio `fails` verdicts…
+    for backend in ["symbolic", "explicit", "witnessed", "dual", "portfolio"] {
+        let r = e.execute_line(&fig18(backend, backend));
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        assert_counterexample_shape(&r);
+        // …and byte-stable across a memo-cache hit.
+        let hit = e.execute_line(&fig18(&format!("{backend}-again"), backend));
+        assert_eq!(hit.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(hit.get("counterexample"), r.get("counterexample"));
+        // The whole response round-trips through the hand-rolled json
+        // module.
+        assert_eq!(json::parse(&r.to_json()).unwrap(), r);
+    }
+    // Absent on `holds` — including satisfiability, whose supporting model
+    // keeps riding the legacy `counter_example` string only.
+    let r = e.execute_line(r#"{"op":"sat","query":"child::a"}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("holds"));
+    assert!(r.get("counter_example").and_then(Value::as_str).is_some());
+    assert!(r.get("counterexample").is_none());
+    // Absent on unsatisfiable overlap (`fails` with no possible witness).
+    let r = e.execute_line(r#"{"op":"overlap","lhs":"child::a","rhs":"child::b"}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("fails"));
+    assert_eq!(r.get("counter_example"), Some(&Value::Null));
+    assert!(r.get("counterexample").is_none());
+    // Absent on `unknown`.
+    let r = e.execute_line(r#"{"op":"sat","query":"a/b[c]","limits":{"max_iterations":1}}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("unknown"));
+    assert!(r.get("counterexample").is_none());
 }
 
 /// Every key of the extended symbolic telemetry schema (the BDD kernel

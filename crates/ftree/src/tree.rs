@@ -154,6 +154,15 @@ impl Tree {
         s
     }
 
+    /// Renders the tree as indented multi-line XML (two spaces per depth
+    /// level), for human-facing counter-example output. The compact
+    /// [`Tree::to_xml`] form and this one parse back to the same tree.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut s = String::new();
+        xml::write_tree_pretty(&mut s, self, 0);
+        s
+    }
+
     /// Parses a tree from a tiny XML fragment (elements and the `s`
     /// attribute only, no text nodes).
     ///

@@ -58,6 +58,33 @@ pub(crate) fn write_tree(out: &mut String, t: &Tree) {
     }
 }
 
+pub(crate) fn write_tree_pretty(out: &mut String, t: &Tree, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(t.label().as_str());
+    if t.is_marked() {
+        out.push_str(" s=\"1\"");
+    }
+    if t.children().is_empty() {
+        out.push_str("/>");
+    } else {
+        out.push('>');
+        for c in t.children() {
+            out.push('\n');
+            write_tree_pretty(out, c, depth + 1);
+        }
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str("</");
+        out.push_str(t.label().as_str());
+        out.push('>');
+    }
+}
+
 struct Parser<'a> {
     input: &'a str,
     pos: usize,
@@ -193,6 +220,18 @@ mod tests {
         let t = parse_tree(src).unwrap();
         assert_eq!(t.to_xml(), src);
         assert_eq!(t.mark_count(), 1);
+    }
+
+    #[test]
+    fn pretty_roundtrips_and_indents() {
+        let t = parse_tree("<a><b s=\"1\"/><c><d/></c></a>").unwrap();
+        let pretty = t.to_xml_pretty();
+        assert_eq!(pretty, "<a>\n  <b s=\"1\"/>\n  <c>\n    <d/>\n  </c>\n</a>");
+        // The pretty form parses back to the same tree.
+        assert_eq!(parse_tree(&pretty).unwrap(), t);
+        // A leaf document stays a one-liner.
+        let leaf = parse_tree("<a/>").unwrap();
+        assert_eq!(leaf.to_xml_pretty(), "<a/>");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Property tests for the first-child/next-sibling encoding (§7.2):
+//! `to_unranked ∘ from_unranked` is the identity on arbitrary n-ary trees,
+//! so every counter-example the solver reconstructs as a [`BinaryTree`]
+//! decodes to exactly one unranked XML document.
+
+use ftree::{BinaryTree, Tree};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_label() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(&LABELS[..])
+}
+
+/// Random unranked trees up to depth 4 with up to 4 children per node,
+/// with independently marked nodes (the encoding must preserve marks
+/// wherever they sit, even if the logic only ever places one).
+fn arb_tree(depth: u32) -> impl Strategy<Value = Tree> {
+    let leaf = (arb_label(), any::<bool>()).prop_map(|(l, m)| {
+        if m {
+            Tree::marked_node(l, Vec::new())
+        } else {
+            Tree::leaf(l)
+        }
+    });
+    leaf.prop_recursive(depth, 16, 4, |inner| {
+        (
+            arb_label(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(l, m, cs)| {
+                if m {
+                    Tree::marked_node(l, cs)
+                } else {
+                    Tree::node(l, cs)
+                }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unbinarization inverts binarization node-for-node.
+    #[test]
+    fn binarize_then_unbinarize_is_identity(t in arb_tree(4)) {
+        let b = BinaryTree::from_unranked(&t);
+        prop_assert_eq!(b.to_unranked(), t.clone());
+        // Node counts agree: the encoding is a bijection on nodes.
+        prop_assert_eq!(b.size(), t.size());
+        // The root of the encoding never grows a 2-successor.
+        prop_assert!(b.child2().is_none());
+    }
+
+    /// The encoding round-trips through XML serialization too: the
+    /// counter-example pipeline (reconstruct → unbinarize → serialize)
+    /// loses nothing that `parse_xml` can see.
+    #[test]
+    fn roundtrip_through_xml(t in arb_tree(3)) {
+        let b = BinaryTree::from_unranked(&t);
+        let xml = b.to_unranked().to_xml();
+        prop_assert_eq!(Tree::parse_xml(&xml).unwrap(), t.clone());
+        // The pretty form parses back to the same tree as the compact form.
+        let pretty = b.to_unranked().to_xml_pretty();
+        prop_assert_eq!(Tree::parse_xml(&pretty).unwrap(), t);
+    }
+
+    /// A sibling row (the general model shape: the focused root may have
+    /// siblings) survives `to_unranked_row`.
+    #[test]
+    fn sibling_rows_roundtrip(row in prop::collection::vec(arb_tree(3), 1..4)) {
+        // Encode the row as a 2-chain, the way reconstruction produces it.
+        let mut encoded: Option<BinaryTree> = None;
+        for t in row.iter().rev() {
+            let one = BinaryTree::from_unranked(t);
+            encoded = Some(BinaryTree::new(
+                one.label(),
+                one.is_marked(),
+                one.child1().cloned(),
+                encoded,
+            ));
+        }
+        let decoded = encoded.expect("non-empty row").to_unranked_row();
+        prop_assert_eq!(decoded, row);
+    }
+}
+
+/// The smallest document: a single unmarked leaf.
+#[test]
+fn empty_document_roundtrips() {
+    let t = Tree::leaf("doc");
+    let b = BinaryTree::from_unranked(&t);
+    assert_eq!(b.size(), 1);
+    assert!(b.child1().is_none() && b.child2().is_none());
+    assert_eq!(b.to_unranked(), t);
+    assert_eq!(b.to_unranked().to_xml(), "<doc/>");
+}
+
+/// Labels standing in for text nodes and attributes: the tree fragment has
+/// no text or attribute nodes, so tools encode them as specially-named
+/// element labels (`_text`, `att:id`, `xml.lang` — every char class the
+/// XML name parser accepts). The encoding must treat them as opaque.
+#[test]
+fn text_and_attribute_style_labels_roundtrip() {
+    for label in ["_text", "att:id", "xml.lang", "x-y_z.0"] {
+        let t = Tree::node("e", vec![Tree::leaf(label)]);
+        let b = BinaryTree::from_unranked(&t);
+        assert_eq!(b.to_unranked(), t, "{label}");
+        let xml = b.to_unranked().to_xml();
+        assert_eq!(Tree::parse_xml(&xml).unwrap(), t, "{xml}");
+    }
+}
+
+/// Deep 1-chains and wide 2-chains — the two degenerate shapes of the
+/// encoding — both invert.
+#[test]
+fn degenerate_shapes_roundtrip() {
+    // Deep: a/b/c/d nested.
+    let deep = Tree::parse_xml("<a><b><c><d/></c></b></a>").unwrap();
+    let b = BinaryTree::from_unranked(&deep);
+    assert_eq!(b.to_unranked(), deep);
+    // Wide: one root with five leaf children becomes a 2-chain.
+    let wide = Tree::parse_xml("<r><a/><a/><a/><a/><a/></r>").unwrap();
+    let b = BinaryTree::from_unranked(&wide);
+    let mut chain = 0;
+    let mut cur = b.child1();
+    while let Some(n) = cur {
+        chain += 1;
+        cur = n.child2();
+    }
+    assert_eq!(chain, 5);
+    assert_eq!(b.to_unranked(), wide);
+}
+
+/// The start mark survives wherever it sits.
+#[test]
+fn marks_roundtrip_at_every_position() {
+    let base = Tree::parse_xml("<a><b><d/></b><c/></a>").unwrap();
+    for path in base.node_paths() {
+        let marked = base.mark_at(&path).unwrap();
+        let b = BinaryTree::from_unranked(&marked);
+        assert_eq!(b.to_unranked(), marked, "{path:?}");
+        assert_eq!(b.to_unranked().mark_count(), 1);
+    }
+}

@@ -48,7 +48,7 @@ mod syntax;
 pub use closure::{Closure, Lean, LeanAtom};
 pub use cyclefree::cycle_free;
 pub use logic::Logic;
-pub use model_check::{FociSet, ModelChecker};
+pub use model_check::{model_check, FociSet, ModelChecker};
 pub use parser::ParseFormulaError;
 pub use status::{status, BitsAlg, BoolAlg};
 pub use syntax::{Formula, FormulaKind, Program, Var};

@@ -283,6 +283,35 @@ impl ModelChecker {
     }
 }
 
+/// Whether `f` is satisfied somewhere on the top-level sibling row `roots`
+/// — the oracle predicate behind witness verification.
+///
+/// The satisfiability solvers answer "some finite tree has a focus
+/// satisfying ψ" (the plunging formula of §7.1 quantifies over foci), so a
+/// reconstructed model is *valid* exactly when ψ's denotation over the
+/// model's foci is non-empty. Every counter-example the analyzer emits is
+/// re-checked through this function before it leaves the engine.
+///
+/// # Example
+///
+/// ```
+/// use ftree::Tree;
+/// use mulogic::{model_check, Logic};
+///
+/// let mut lg = Logic::new();
+/// let f = lg.parse("a & <1>b").unwrap();
+/// let good = Tree::parse_xml("<a><b/></a>").unwrap();
+/// let bad = Tree::parse_xml("<a><c/></a>").unwrap();
+/// assert!(model_check(&lg, f, std::slice::from_ref(&good)));
+/// assert!(!model_check(&lg, f, std::slice::from_ref(&bad)));
+/// ```
+pub fn model_check(lg: &Logic, f: Formula, roots: &[Tree]) -> bool {
+    if roots.is_empty() {
+        return false;
+    }
+    !ModelChecker::new_row(roots).eval(lg, f).is_empty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -352,12 +352,16 @@ impl FromStr for BackendChoice {
 
 /// Why a solve could not produce a verdict.
 ///
-/// Two very different situations share this type, and callers are expected
-/// to treat them differently:
+/// Three very different situations share this type, and callers are
+/// expected to treat them differently:
 ///
 /// * [`Disagreement`](SolveError::Disagreement) is a solver bug — the dual
 ///   cross-check caught the backends contradicting each other. Fail
 ///   loudly.
+/// * [`WitnessInvalid`](SolveError::WitnessInvalid) is also a solver bug:
+///   a reconstructed model failed the semantic oracle
+///   (`mulogic::model_check`) or DTD re-validation. A wrong witness must
+///   never be served as a silent `fails` verdict.
 /// * [`ResourceExhausted`](SolveError::ResourceExhausted) is the *third
 ///   verdict*: a budget of the caller's [`Limits`] ran out before the
 ///   fixpoint finished. The property is neither proved nor refuted; the
@@ -374,6 +378,21 @@ pub enum SolveError {
         explicit_sat: bool,
         /// Display form of the goal formula.
         formula: String,
+    },
+    /// A reconstructed witness failed its independent re-check: the
+    /// model-checking oracle rejected it against the goal formula, or the
+    /// document is invalid against its governing DTD. Like
+    /// [`Disagreement`](SolveError::Disagreement), this is a solver bug
+    /// surfaced loudly instead of an unsound verdict.
+    WitnessInvalid {
+        /// Display form of the goal formula the witness was checked
+        /// against.
+        formula: String,
+        /// What the oracle rejected (`model_check refuted the witness`,
+        /// `witness invalid against the DTD`, ...).
+        reason: String,
+        /// Compact XML of the rejected witness document.
+        witness: String,
     },
     /// A resource budget ran out before the run could decide. Subsumes the
     /// old bespoke "explicit enumeration infeasible" error: a lean beyond
@@ -407,7 +426,7 @@ impl SolveError {
                 spent,
                 limit,
             }),
-            SolveError::Disagreement { .. } => None,
+            SolveError::Disagreement { .. } | SolveError::WitnessInvalid { .. } => None,
         }
     }
 }
@@ -434,6 +453,14 @@ impl fmt::Display for SolveError {
                 "backend disagreement on `{formula}`: symbolic says {}, explicit says {}",
                 verdict_name(*symbolic_sat),
                 verdict_name(*explicit_sat)
+            ),
+            SolveError::WitnessInvalid {
+                formula,
+                reason,
+                witness,
+            } => write!(
+                f,
+                "invalid witness for `{formula}`: {reason} (witness: {witness})"
             ),
             SolveError::ResourceExhausted { .. } => {
                 write!(f, "{}", self.exhausted().expect("exhausted variant"))

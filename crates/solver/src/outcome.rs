@@ -29,6 +29,13 @@ impl Model {
         Model { roots }
     }
 
+    /// Builds a model from an explicit root row. Used by witness
+    /// verification tests and the regression corpus to replay hand-written
+    /// counter-examples through the same oracles that gate solver output.
+    pub fn from_trees(roots: Vec<Tree>) -> Model {
+        Model { roots }
+    }
+
     /// The root row of the model.
     pub fn roots(&self) -> &[Tree] {
         &self.roots
@@ -46,6 +53,12 @@ impl Model {
     /// Renders the model as XML (the start mark becomes `s="1"`).
     pub fn xml(&self) -> String {
         self.tree().to_xml()
+    }
+
+    /// Renders the model as indented multi-line XML, for human-facing
+    /// counter-example output (`xsat … --explain`).
+    pub fn xml_pretty(&self) -> String {
+        self.tree().to_xml_pretty()
     }
 
     /// Total node count.
@@ -187,6 +200,13 @@ pub enum Telemetry {
         types: usize,
         /// Triples proved when the run finished.
         proved: usize,
+        /// Compact XML of the reconstructed satisfying model, when the run
+        /// was satisfiable. Kept here (a `Send`-safe string, unlike the
+        /// `Rc`-based [`Model`]) so the witness stays reachable wherever
+        /// the telemetry travels — across portfolio racer threads and
+        /// through memo-cached verdicts — instead of dying with the
+        /// outcome.
+        witness: Option<String>,
     },
     /// A dual cross-check run: both sub-runs' telemetry, with each
     /// driver's iteration count reported distinctly (the top-level
@@ -221,6 +241,18 @@ fn backend_rank(name: &str) -> usize {
         .iter()
         .position(|&n| n == name)
         .unwrap_or(usize::MAX)
+}
+
+/// Commutative combine of two optional witness documents: keep the one
+/// that exists; when both sub-solves carry one (an equivalence refuted in
+/// both directions), keep the lexicographically smaller so the merge never
+/// depends on argument order.
+fn merge_witness(a: Option<String>, b: Option<String>) -> Option<String> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x <= y { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
 }
 
 impl Default for Telemetry {
@@ -274,6 +306,18 @@ impl Telemetry {
     /// Operation-cache hit rate of the symbolic side, when one exists.
     pub fn cache_hit_rate(&self) -> Option<f64> {
         self.bdd_counters().map(BddCounters::cache_hit_rate)
+    }
+
+    /// The witnessed backend's reconstructed model as compact XML, when a
+    /// satisfiable witnessed run is involved (for portfolio and dual runs,
+    /// dug out of the inner telemetry).
+    pub fn witness_xml(&self) -> Option<&str> {
+        match self {
+            Telemetry::Witnessed { witness, .. } => witness.as_deref(),
+            Telemetry::Dual { explicit, .. } => explicit.witness_xml(),
+            Telemetry::Portfolio { inner, .. } => inner.witness_xml(),
+            _ => None,
+        }
     }
 
     /// Enumerated ψ-types, when an enumerating run is involved (for dual
@@ -378,14 +422,17 @@ impl Telemetry {
                 Witnessed {
                     types: a,
                     proved: pa,
+                    witness: wa,
                 },
                 Witnessed {
                     types: b,
                     proved: pb,
+                    witness: wb,
                 },
             ) => Witnessed {
                 types: a + b,
                 proved: pa + pb,
+                witness: merge_witness(wa, wb),
             },
             (
                 Dual {
@@ -487,20 +534,24 @@ impl Telemetry {
                 Witnessed {
                     types: b,
                     proved: pb,
+                    witness: wb,
                 },
             ) => Witnessed {
                 types: a + b,
                 proved: pb,
+                witness: wb,
             },
             (
                 Witnessed {
                     types: a,
                     proved: pa,
+                    witness: wa,
                 },
                 Explicit { types: b },
             ) => Witnessed {
                 types: a + b,
                 proved: pa,
+                witness: wa,
             },
         }
     }
@@ -646,12 +697,14 @@ mod tests {
         let w = Telemetry::Witnessed {
             types: 2,
             proved: 3,
+            witness: None,
         };
         assert_eq!(
             w.clone().merge(w),
             Telemetry::Witnessed {
                 types: 4,
-                proved: 6
+                proved: 6,
+                witness: None
             }
         );
     }
@@ -663,6 +716,7 @@ mod tests {
         let w = Telemetry::Witnessed {
             types: 2,
             proved: 3,
+            witness: None,
         };
         let d = Telemetry::Dual {
             symbolic: Box::new(s.clone()),
@@ -739,6 +793,7 @@ mod tests {
             Telemetry::Witnessed {
                 types: 2,
                 proved: 3,
+                witness: None,
             },
             Telemetry::Dual {
                 symbolic: Box::new(sym(
@@ -754,6 +809,7 @@ mod tests {
                 explicit: Box::new(Telemetry::Witnessed {
                     types: 6,
                     proved: 5,
+                    witness: None,
                 }),
                 symbolic_iterations: 2,
                 explicit_iterations: 3,
@@ -764,6 +820,7 @@ mod tests {
                 inner: Box::new(Telemetry::Witnessed {
                     types: 8,
                     proved: 1,
+                    witness: None,
                 }),
             },
             Telemetry::Portfolio {
@@ -793,10 +850,12 @@ mod tests {
         let w = Telemetry::Witnessed {
             types: 2,
             proved: 3,
+            witness: None,
         };
         let expect = Telemetry::Witnessed {
             types: 6,
             proved: 3,
+            witness: None,
         };
         assert_eq!(e.clone().merge(w.clone()), expect);
         assert_eq!(w.merge(e), expect);

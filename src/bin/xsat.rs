@@ -90,14 +90,20 @@ const USAGE: &str = "\
 xsat — efficient static analysis of XML paths and types
 
 USAGE:
-  xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json] [LIMITS]
+  xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--explain] [--json] [LIMITS]
       Decide satisfiability (default) or emptiness (--empty) of a query,
       optionally under the DTD in FILE. Exits 0 when the property holds,
       1 when it does not, 3 when a resource budget ran out (unknown).
 
-  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [LIMITS]
+  xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--explain] [--json] [LIMITS]
       Decide containment (default), overlap or equivalence of two queries,
       optionally under the DTD in FILE. Exit codes as for check.
+
+  --explain (check and compare): additionally print the witness document
+      as indented XML — the verified counter-example on a failing
+      property, the satisfying model on sat/overlap. Every printed
+      document was re-checked against the source formula (and the DTD)
+      by the model-checking oracle before being emitted.
 
   xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [LIMITS]
       Run a JSON-lines request file through the parallel batch executor.
@@ -159,6 +165,7 @@ struct Opts {
     threads: usize,
     json: bool,
     empty: bool,
+    explain: bool,
     summary_only: bool,
     trace_file: Option<String>,
     slow_ms: Option<u64>,
@@ -174,6 +181,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threads: 0,
         json: false,
         empty: false,
+        explain: false,
         summary_only: false,
         trace_file: None,
         slow_ms: None,
@@ -240,6 +248,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--json" => opts.json = true,
             "--empty" => opts.empty = true,
+            "--explain" => opts.explain = true,
             "--summary-only" => opts.summary_only = true,
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             _ => opts.positional.push(arg.clone()),
@@ -331,7 +340,7 @@ fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
     if opts.json {
         println!("{}", response.to_json());
     } else {
-        print_human(&response);
+        print_human(&response, opts.explain);
     }
     match response.get("status").and_then(Value::as_str) {
         Some("holds") => Ok(ExitCode::SUCCESS),
@@ -341,7 +350,7 @@ fn run_one(request: Value, opts: &Opts) -> Result<ExitCode, String> {
     }
 }
 
-fn print_human(response: &Value) {
+fn print_human(response: &Value, explain: bool) {
     let op = response.get("op").and_then(Value::as_str).unwrap_or("?");
     let backend = response
         .get("backend")
@@ -369,6 +378,25 @@ fn print_human(response: &Value) {
             _ => "counter-example",
         };
         println!("{role}: {xml}");
+        if explain {
+            // Prefer the verdict's own pretty rendering (the verified
+            // `counterexample` object of `fails` responses); a holds-side
+            // witness is re-rendered from its compact XML.
+            let pretty = response
+                .get("counterexample")
+                .and_then(|ce| ce.get("pretty"))
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .or_else(|| {
+                    xsat::ftree::Tree::parse_xml(xml)
+                        .ok()
+                        .map(|t| t.to_xml_pretty())
+                });
+            if let Some(pretty) = pretty {
+                println!("{role} document (s=\"1\" marks the context node):");
+                println!("{pretty}");
+            }
+        }
     }
     if let Some(stats) = response.get("stats") {
         let pick = |k: &str| stats.get(k).and_then(Value::as_f64).unwrap_or(0.0);
