@@ -28,7 +28,7 @@ fn bench_delta_and_order(c: &mut Criterion) {
                 let goal = containment_goal(&mut az, black_box(1), black_box(2), None);
                 let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
-            })
+            });
         });
     }
     g.finish();
@@ -45,7 +45,7 @@ fn bench_delta_and_order(c: &mut Criterion) {
                 let goal = containment_goal(&mut az, black_box(4), black_box(3), None);
                 let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
-            })
+            });
         });
     }
     g.finish();
@@ -63,7 +63,7 @@ fn bench_explicit_vs_symbolic(c: &mut Criterion) {
             let goal = lg.parse(black_box(src)).unwrap();
             let s = solver::solve_symbolic(&mut lg, goal);
             assert!(s.outcome.is_satisfiable());
-        })
+        });
     });
     g.bench_function("explicit", |b| {
         b.iter(|| {
@@ -71,7 +71,7 @@ fn bench_explicit_vs_symbolic(c: &mut Criterion) {
             let goal = lg.parse(black_box(src)).unwrap();
             let s = solver::solve_explicit(&mut lg, goal);
             assert!(s.outcome.is_satisfiable());
-        })
+        });
     });
     g.bench_function("witnessed", |b| {
         b.iter(|| {
@@ -79,7 +79,7 @@ fn bench_explicit_vs_symbolic(c: &mut Criterion) {
             let goal = lg.parse(black_box(src)).unwrap();
             let s = solver::solve_witnessed(&mut lg, goal);
             assert!(s.outcome.is_satisfiable());
-        })
+        });
     });
     g.finish();
 }

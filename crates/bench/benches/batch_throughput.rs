@@ -96,7 +96,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
             let out = e.run_batch(black_box(&requests));
             assert_eq!(out.stats.errors, 0);
             out.stats.problems
-        })
+        });
     });
     let mut warm_engine = engine();
     let _ = warm_engine.run_batch(&requests);
@@ -105,7 +105,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
             let out = warm_engine.run_batch(black_box(&requests));
             assert_eq!(out.stats.cache_hits, out.stats.problems);
             out.stats.problems
-        })
+        });
     });
     g.finish();
 
@@ -155,8 +155,7 @@ fn obs_overhead(requests: &[Request]) {
     let problems = 100.0;
     let round3 = |v: f64| (v * 1000.0).round() / 1000.0;
     println!(
-        "obs-overhead: noop {:.1} ms, instrumented {:.1} ms ({:+.2}% with full trace + slow capture, {samples} samples)",
-        noop_ms, instrumented_ms, overhead_pct
+        "obs-overhead: noop {noop_ms:.1} ms, instrumented {instrumented_ms:.1} ms ({overhead_pct:+.2}% with full trace + slow capture, {samples} samples)"
     );
     let json = format!(
         concat!(

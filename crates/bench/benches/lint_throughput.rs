@@ -1,0 +1,123 @@
+//! Lint-engine baseline: findings/sec and probes/sec for a full lint run
+//! over the seeded corpus workspace, cold (fresh engine, empty memo
+//! cache) vs. memo-warm (the same engine immediately re-linting — every
+//! probe answered from the verdict cache).
+//!
+//! The warm run exercises the lint op's incrementality claim: probes are
+//! ordinary memoized decision problems, so a re-lint after nothing
+//! changed should cost roughly the plan + judge passes alone. The
+//! one-sample summary lands in `BENCH_lint.json` at the workspace root;
+//! CI runs this bench with `CRITERION_SAMPLES=1` so engine refactors that
+//! regress the probe fan-out fail loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{Engine, EngineConfig, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The seeded lint corpus: one planted finding per rule.
+const SEEDED: &str = include_str!("../../../fixtures/lint/seeded.jsonl");
+
+fn engine_with_corpus() -> Engine {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let out = e.run_batch_lines(SEEDED);
+    assert_eq!(out.stats.errors, 0, "seeded corpus must load cleanly");
+    e
+}
+
+/// One lint run; returns (findings, probes, elapsed ms).
+fn lint_once(e: &mut Engine) -> (f64, f64, f64) {
+    let started = Instant::now();
+    let r = e.execute_line(black_box(r#"{"op":"lint"}"#));
+    let elapsed = started.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let findings = r.get("findings").and_then(Value::as_f64).unwrap();
+    let probes = r.get("probes").and_then(Value::as_f64).unwrap();
+    assert!(findings > 0.0, "the seeded corpus must produce findings");
+    (findings, probes, elapsed)
+}
+
+fn bench_lint_throughput(c: &mut Criterion) {
+    let samples: usize = std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    // Instrumented cold/warm pairs outside the timing loops, for the
+    // findings/sec report and BENCH_lint.json. Cold engines are rebuilt
+    // per sample; the warm engine re-lints its own populated cache.
+    let mut cold_ms = f64::INFINITY;
+    let mut findings = 0.0;
+    let mut probes = 0.0;
+    for _ in 0..samples {
+        let mut e = engine_with_corpus();
+        let (f, p, ms) = lint_once(&mut e);
+        findings = f;
+        probes = p;
+        cold_ms = cold_ms.min(ms);
+    }
+    let mut warm_engine = engine_with_corpus();
+    let _ = lint_once(&mut warm_engine);
+    let hits_before = warm_engine.counters().cache_hits;
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..samples {
+        let (_, _, ms) = lint_once(&mut warm_engine);
+        warm_ms = warm_ms.min(ms);
+    }
+    // Every warm probe is a memo hit — the incremental-lint guarantee.
+    let warm_hits = warm_engine.counters().cache_hits - hits_before;
+    assert_eq!(warm_hits as f64, probes * samples as f64);
+
+    let round3 = |v: f64| (v * 1000.0).round() / 1000.0;
+    let per_sec = |n: f64, ms: f64| round3(n / ms * 1000.0);
+    println!(
+        "lint-throughput: cold {cold_ms:.1} ms ({} findings, {} probes, {:.1} probes/sec)",
+        findings,
+        probes,
+        probes / cold_ms * 1000.0,
+    );
+    println!(
+        "lint-throughput: warm {warm_ms:.1} ms (all probes memo-cached), speedup {:.1}x",
+        cold_ms / warm_ms.max(1e-9),
+    );
+    let json = format!(
+        concat!(
+            r#"{{"bench":"lint_throughput","samples":{},"findings":{},"probes":{},"#,
+            r#""cold":{{"min_ms":{},"findings_per_sec":{},"probes_per_sec":{}}},"#,
+            r#""warm":{{"min_ms":{},"findings_per_sec":{},"probes_per_sec":{}}},"#,
+            r#""warm_speedup":{}}}"#,
+        ),
+        samples,
+        findings,
+        probes,
+        round3(cold_ms),
+        per_sec(findings, cold_ms),
+        per_sec(probes, cold_ms),
+        round3(warm_ms),
+        per_sec(findings, warm_ms),
+        per_sec(probes, warm_ms),
+        round3(cold_ms / warm_ms.max(1e-9)),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_lint.json");
+    println!("lint-throughput: wrote {path}");
+
+    let mut g = c.benchmark_group("lint-throughput");
+    g.sample_size(10);
+    g.bench_function("cold/seeded-corpus", |b| {
+        b.iter(|| {
+            let mut e = engine_with_corpus();
+            lint_once(&mut e).0
+        });
+    });
+    let mut warm = engine_with_corpus();
+    let _ = lint_once(&mut warm);
+    g.bench_function("warm/seeded-corpus", |b| b.iter(|| lint_once(&mut warm).0));
+    g.finish();
+}
+
+criterion_group!(benches, bench_lint_throughput);
+criterion_main!(benches);

@@ -31,7 +31,7 @@ fn bench_chains(c: &mut Criterion) {
                 let goal = chain_containment(&mut az, black_box(n), true);
                 let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
-            })
+            });
         });
     }
     g.finish();
@@ -49,7 +49,7 @@ fn bench_repeated_label_chains(c: &mut Criterion) {
                 let goal = chain_containment(&mut az, black_box(n), false);
                 let s = az.solve_formula(goal).unwrap();
                 assert!(!s.outcome.is_satisfiable());
-            })
+            });
         });
     }
     g.finish();

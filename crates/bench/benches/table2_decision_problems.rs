@@ -25,18 +25,18 @@ fn bench_rows(c: &mut Criterion) {
 
     // Row 1: e1 ⊆ e2 (holds) and e2 ⊄ e1 — paper: 353 ms.
     g.bench_function("row1/e1-in-e2", |b| {
-        b.iter(|| assert!(solve_containment(black_box(1), black_box(2))))
+        b.iter(|| assert!(solve_containment(black_box(1), black_box(2))));
     });
     g.bench_function("row1/e2-not-in-e1", |b| {
-        b.iter(|| assert!(!solve_containment(black_box(2), black_box(1))))
+        b.iter(|| assert!(!solve_containment(black_box(2), black_box(1))));
     });
 
     // Row 2: e4 ⊆ e3 (holds, both directions) — paper: 45 ms.
     g.bench_function("row2/e4-in-e3", |b| {
-        b.iter(|| assert!(solve_containment(black_box(4), black_box(3))))
+        b.iter(|| assert!(solve_containment(black_box(4), black_box(3))));
     });
     g.bench_function("row2/e3-in-e4", |b| {
-        b.iter(|| assert!(solve_containment(black_box(3), black_box(4))))
+        b.iter(|| assert!(solve_containment(black_box(3), black_box(4))));
     });
 
     // Row 3 — paper: 41 ms, verdict e6 ⊆ e5. Under the standard XPath
@@ -44,10 +44,10 @@ fn bench_rows(c: &mut Criterion) {
     // see EXPERIMENTS.md "Row 3 divergence"), so the bench asserts the
     // measured verdicts.
     g.bench_function("row3/e6-not-in-e5", |b| {
-        b.iter(|| assert!(!solve_containment(black_box(6), black_box(5))))
+        b.iter(|| assert!(!solve_containment(black_box(6), black_box(5))));
     });
     g.bench_function("row3/e5-not-in-e6", |b| {
-        b.iter(|| assert!(!solve_containment(black_box(5), black_box(6))))
+        b.iter(|| assert!(!solve_containment(black_box(5), black_box(6))));
     });
 
     g.finish();
@@ -64,7 +64,7 @@ fn bench_smil(c: &mut Criterion) {
             let goal = satisfiability_goal(&mut az, black_box(7), Some(&dtd));
             let s = az.solve_formula(goal).unwrap();
             assert!(s.outcome.is_satisfiable());
-        })
+        });
     });
     g.finish();
 }

@@ -277,8 +277,7 @@ pub(crate) fn run_batch(
                         },
                         limits: limits
                             .as_ref()
-                            .map(|l| l.apply(default_limits))
-                            .unwrap_or_else(|| default_limits.clone()),
+                            .map_or_else(|| default_limits.clone(), |l| l.apply(default_limits)),
                         trace: *trace,
                     };
                     let (item, duplicate) = match work_of.get(&key) {
@@ -303,6 +302,14 @@ pub(crate) fn run_batch(
                     responses[slot] = Some(error_response(req.id.as_ref(), &e));
                 }
             },
+            RequestKind::Lint(_) => {
+                responses[slot] = Some(error_response(
+                    req.id.as_ref(),
+                    "`lint` runs on the sequential front end; \
+                     it is not valid inside a batch",
+                ));
+                stats.errors += 1;
+            }
             RequestKind::Stats
             | RequestKind::Metrics
             | RequestKind::SlowLog
@@ -415,6 +422,137 @@ pub(crate) fn run_batch(
             .collect(),
         stats,
     }
+}
+
+/// Aggregate counters for one lint probe fan-out, folded into the engine's
+/// session counters by `Engine::run_lint`.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ProbeStats {
+    /// Probes answered from the memo cache (in-plan duplicates included).
+    pub hits: usize,
+    /// Probes that ran a fresh solve.
+    pub misses: usize,
+    /// Probes whose solve exhausted a budget.
+    pub unknown: usize,
+}
+
+/// Solves a lint plan's probes through the batch machinery: probes are
+/// deduplicated on their canonical [`Job`] key, fanned out over the worker
+/// analyzers, and served from / inserted into the shared memo cache exactly
+/// like batch decision problems — a lint run warms the cache for later
+/// `check`/batch traffic and vice versa. Returns one [`lint::ProbeOutcome`]
+/// per probe, in probe order.
+pub(crate) fn solve_probes(
+    workers: &mut [Analyzer],
+    cache: &Mutex<HashMap<Job, Verdict>>,
+    backend: BackendChoice,
+    limits: &Limits,
+    obs_ctx: &ObsCtx<'_>,
+    probes: &[lint::Probe],
+) -> (Vec<lint::ProbeOutcome>, ProbeStats) {
+    // Dedup on the memo key: distinct rules frequently pose the same
+    // problem (a step prefix shared by dead-step and contradiction
+    // probes), and each unique job must run exactly once.
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut job_of: HashMap<Job, usize> = HashMap::new();
+    let mut slots: Vec<(usize, bool)> = Vec::with_capacity(probes.len());
+    for probe in probes {
+        let job = Job {
+            problem: probe.problem.clone(),
+            backend,
+        };
+        match job_of.get(&job) {
+            Some(&j) => slots.push((j, true)),
+            None => {
+                let j = jobs.len();
+                job_of.insert(job.clone(), j);
+                jobs.push(job);
+                slots.push((j, false));
+            }
+        }
+    }
+
+    let results: Vec<OnceLock<(RunOutcome, bool)>> =
+        (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let queue_depth = obs::metrics().gauge("xsat_executor_queue_depth", &[]);
+    queue_depth.set(jobs.len() as u64);
+    let cursor = AtomicUsize::new(0);
+    let jobs_ref = &jobs;
+    let results_ref = &results;
+    let cursor_ref = &cursor;
+    let queue_ref = &queue_depth;
+    std::thread::scope(|scope| {
+        for az in workers.iter_mut() {
+            scope.spawn(move || loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs_ref.get(i) else {
+                    break;
+                };
+                queue_ref.sub(1);
+                let (rec, capture) = obs_ctx.recorder(false);
+                let hit = lock(cache).get(job).cloned();
+                note_memo_lookup(&rec, job, hit.is_some());
+                let (outcome, cached) = match hit {
+                    Some(v) => (RunOutcome::Verdict(v), true),
+                    None => {
+                        let outcome = run_job(az, job, limits, &rec);
+                        if let RunOutcome::Verdict(v) = &outcome {
+                            lock(cache).insert(job.clone(), v.clone());
+                        }
+                        (outcome, false)
+                    }
+                };
+                if !cached {
+                    if let Some(events) = capture.map(|mem| mem.drain()) {
+                        let wall_ms = match &outcome {
+                            RunOutcome::Verdict(v) => v.wall_ms,
+                            RunOutcome::Unknown(u) => u.wall_ms,
+                            RunOutcome::Error(_) => 0.0,
+                        };
+                        obs_ctx.note_slow(job, outcome_status(&outcome), wall_ms, &events);
+                    }
+                }
+                results_ref[i]
+                    .set((outcome, cached))
+                    .expect("lint job executed twice");
+            });
+        }
+    });
+
+    let mut stats = ProbeStats::default();
+    let outcomes = slots
+        .iter()
+        .map(|&(j, duplicate)| {
+            let (outcome, job_was_hit) = results[j].get().expect("lint job not executed");
+            match outcome {
+                RunOutcome::Verdict(v) => {
+                    if *job_was_hit || duplicate {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
+                    let witness = v.counter_example.clone();
+                    if v.holds {
+                        lint::ProbeOutcome::Holds { witness }
+                    } else {
+                        lint::ProbeOutcome::Fails { witness }
+                    }
+                }
+                RunOutcome::Unknown(u) => {
+                    stats.misses += 1;
+                    stats.unknown += 1;
+                    lint::ProbeOutcome::Unknown {
+                        reason: u.reason.clone(),
+                    }
+                }
+                RunOutcome::Error(e) => {
+                    stats.misses += 1;
+                    lint::ProbeOutcome::Error { reason: e.clone() }
+                }
+            }
+        })
+        .collect();
+    (outcomes, stats)
 }
 
 /// Locks ignoring poisoning: a panicked worker must not wedge the service,

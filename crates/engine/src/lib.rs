@@ -67,8 +67,9 @@ pub use problem::{
     run_job, CounterExample, Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats,
 };
 pub use protocol::{
-    counterexample_value, event_value, metrics_response, slowlog_response, trace_value, LimitsSpec,
-    Op, ProblemSpec, Request, RequestKind, Status, PROTOCOL_VERSION,
+    counterexample_value, event_value, lint_response, metrics_response, slowlog_response,
+    trace_value, LimitsSpec, LintSpec, Op, ProblemSpec, Request, RequestKind, Status,
+    PROTOCOL_VERSION,
 };
 pub use solver::{BackendChoice, BddCounters, Limits, Resource, SolveError, Telemetry};
 pub use workspace::Workspace;
@@ -171,8 +172,7 @@ impl Engine {
     pub fn with_config(config: EngineConfig) -> Engine {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+                .map_or(1, std::num::NonZeroUsize::get)
                 .min(16)
         } else {
             config.threads
@@ -270,8 +270,7 @@ impl Engine {
                     };
                     let effective = limits
                         .as_ref()
-                        .map(|l| l.apply(&self.limits))
-                        .unwrap_or_else(|| self.limits.clone());
+                        .map_or_else(|| self.limits.clone(), |l| l.apply(&self.limits));
                     let obs_ctx = ObsCtx {
                         trace_sink: self.trace_sink.as_ref(),
                         slow_ms: self.slow_solve_ms,
@@ -316,6 +315,7 @@ impl Engine {
                 }
                 Err(e) => self.error(req.id.as_ref(), &e),
             },
+            RequestKind::Lint(spec) => self.run_lint(req.id.as_ref(), spec),
             RequestKind::Stats => self.stats_response(req.id.as_ref()),
             RequestKind::Metrics => {
                 protocol::metrics_response(req.id.as_ref(), &obs::metrics().snapshot())
@@ -427,6 +427,60 @@ impl Engine {
             output.flush()?;
         }
         Ok(())
+    }
+
+    /// Handles a `lint` request: plan on the sequential analyzer, fan the
+    /// probes out over the batch workers (sharing the verdict memo cache,
+    /// so a lint run warms the cache for later decision traffic and vice
+    /// versa), then judge the outcomes into diagnostics.
+    fn run_lint(&mut self, id: Option<&Value>, spec: &protocol::LintSpec) -> Value {
+        let started = std::time::Instant::now();
+        let config = spec.config();
+        let queries: Vec<(String, Arc<xpath::Expr>)> = self
+            .workspace
+            .queries_sorted()
+            .into_iter()
+            .map(|(n, e)| (n.to_owned(), e))
+            .collect();
+        let dtds: Vec<(String, Arc<treetypes::Dtd>)> = self
+            .workspace
+            .dtds_sorted()
+            .into_iter()
+            .map(|(n, d)| (n.to_owned(), d))
+            .collect();
+        let plan = match lint::plan(&mut self.session, &queries, &dtds, &config) {
+            Ok(plan) => plan,
+            Err(e) => return self.error(id, &e),
+        };
+        let backend = spec.backend.unwrap_or(self.options.backend);
+        let effective = spec
+            .limits
+            .as_ref()
+            .map_or_else(|| self.limits.clone(), |l| l.apply(&self.limits));
+        let obs_ctx = ObsCtx {
+            trace_sink: self.trace_sink.as_ref(),
+            slow_ms: self.slow_solve_ms,
+            slow_log: &self.slow_log,
+        };
+        let (outcomes, probe_stats) = executor::solve_probes(
+            &mut self.workers,
+            &self.cache,
+            backend,
+            &effective,
+            &obs_ctx,
+            &plan.probes,
+        );
+        self.counters.problems += plan.probes.len() as u64;
+        self.counters.cache_hits += probe_stats.hits as u64;
+        self.counters.cache_misses += probe_stats.misses as u64;
+        self.counters.unknown += probe_stats.unknown as u64;
+        let diagnostics = lint::judge(&plan, &outcomes);
+        protocol::lint_response(
+            id,
+            &diagnostics,
+            plan.probes.len(),
+            problem::duration_ms(started.elapsed()),
+        )
     }
 
     fn error(&mut self, id: Option<&Value>, message: &str) -> Value {

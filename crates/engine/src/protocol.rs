@@ -80,6 +80,9 @@ pub enum RequestKind {
         /// response (`"trace": true`).
         trace: bool,
     },
+    /// Lint the workspace: run the solver-backed rule registry over every
+    /// registered query and DTD.
+    Lint(LintSpec),
     /// Report engine counters.
     Stats,
     /// Snapshot the process-wide metrics registry.
@@ -337,6 +340,98 @@ impl ProblemSpec {
     }
 }
 
+/// The configuration of a `lint` request, before defaults are applied.
+///
+/// Wire shape:
+///
+/// ```text
+/// {"op":"lint","type":"d1",
+///  "rules":{"dead-step":"error","query-shadowing":"off"},
+///  "max_diamonds":16,"limits":{"timeout_ms":500},"backend":"symbolic"}
+/// ```
+///
+/// Every field is optional. `rules` maps rule ids ([`lint::RuleId::TABLE`])
+/// to a severity (`error` | `warning` | `info`, with `deny`/`warn` as
+/// aliases) or to `off`/`allow` to disable the rule; unlisted rules run at
+/// their default severity. `type` names the governing DTD (defaulting to
+/// the single registered DTD when there is exactly one). `max_diamonds`
+/// overrides the `wildcard-explosion` threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintSpec {
+    /// Per-rule overrides, in wire order.
+    pub rules: Vec<(lint::RuleId, lint::RuleSetting)>,
+    /// The governing type name (see [`lint::LintConfig::type_name`]).
+    pub type_name: Option<String>,
+    /// `wildcard-explosion` threshold override.
+    pub max_diamonds: Option<usize>,
+    /// Requested solver backend for the probes.
+    pub backend: Option<BackendChoice>,
+    /// Per-request limit overrides for every probe solve.
+    pub limits: Option<LimitsSpec>,
+}
+
+impl LintSpec {
+    /// The effective lint configuration.
+    pub fn config(&self) -> lint::LintConfig {
+        let mut config = lint::LintConfig {
+            type_name: self.type_name.clone(),
+            ..lint::LintConfig::default()
+        };
+        if let Some(n) = self.max_diamonds {
+            config.max_diamonds = n;
+        }
+        for &(rule, setting) in &self.rules {
+            config.settings.insert(rule, setting);
+        }
+        config
+    }
+}
+
+/// Parses the fields of a `lint` request.
+fn lint_spec(v: &Value) -> Result<LintSpec, String> {
+    let mut rules = Vec::new();
+    if let Some(r) = v.get("rules") {
+        let Value::Obj(fields) = r else {
+            return Err("`rules` must be an object mapping rule ids to severities".to_owned());
+        };
+        for (key, val) in fields {
+            let rule =
+                lint::RuleId::from_wire(key).ok_or_else(|| format!("unknown lint rule `{key}`"))?;
+            let name = val
+                .as_str()
+                .ok_or_else(|| format!("rule `{key}` setting must be a string"))?;
+            let setting = match name {
+                "off" | "allow" => lint::RuleSetting::Off,
+                other => lint::Severity::from_wire(other)
+                    .map(lint::RuleSetting::At)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown severity `{other}` for rule `{key}` \
+                             (expected error, warning, info or off)"
+                        )
+                    })?,
+            };
+            rules.push((rule, setting));
+        }
+    }
+    let max_diamonds = match v.get("max_diamonds") {
+        None => None,
+        Some(n) => Some(
+            n.as_f64()
+                .filter(|x| x.fract() == 0.0 && *x >= 0.0)
+                .map(|x| x as usize)
+                .ok_or_else(|| "`max_diamonds` must be a non-negative integer".to_owned())?,
+        ),
+    };
+    Ok(LintSpec {
+        rules,
+        type_name: opt_str_field(v, "type"),
+        max_diamonds,
+        backend: backend_field(v)?,
+        limits: limits_field(v)?,
+    })
+}
+
 /// Per-request limit overrides, parsed from the `"limits"` object.
 ///
 /// Each field overrides the corresponding engine default when present;
@@ -394,6 +489,7 @@ impl Request {
                 name: str_field(v, "name")?,
                 xpath: str_field(v, "xpath")?,
             },
+            "lint" => RequestKind::Lint(lint_spec(v)?),
             "stats" => RequestKind::Stats,
             "metrics" => RequestKind::Metrics,
             "slowlog" | "slow-log" => RequestKind::SlowLog,
@@ -649,6 +745,81 @@ pub fn unknown_response(
         fields.push(("trace", trace));
     }
     obj(fields)
+}
+
+/// Builds the response for a `lint` request: the per-severity tallies and
+/// the diagnostics in their deterministic order (rule id, then subject,
+/// step, span). `status` is `"clean"` exactly when there are no findings.
+pub fn lint_response(
+    id: Option<&Value>,
+    diagnostics: &[lint::Diagnostic],
+    probes: usize,
+    wall_ms: f64,
+) -> Value {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    let count = |sev: lint::Severity| diagnostics.iter().filter(|d| d.severity == sev).count();
+    let status = if diagnostics.is_empty() {
+        "clean"
+    } else {
+        "findings"
+    };
+    fields.extend([
+        ("ok", Value::Bool(true)),
+        ("op", Value::from("lint")),
+        ("status", Value::from(status)),
+        ("findings", Value::from(diagnostics.len())),
+        ("errors", Value::from(count(lint::Severity::Error))),
+        ("warnings", Value::from(count(lint::Severity::Warning))),
+        ("infos", Value::from(count(lint::Severity::Info))),
+        ("probes", Value::from(probes)),
+        (
+            "diagnostics",
+            Value::Arr(diagnostics.iter().map(diagnostic_value).collect()),
+        ),
+        ("wall_ms", Value::Num(round3(wall_ms))),
+    ]);
+    obj(fields)
+}
+
+/// Serializes one lint finding. `evidence` is `null` for pure graph passes
+/// (`unreachable-element`) and unverified degradations; a witness-backed
+/// finding carries the decided problem's op name, the oracle-verified
+/// witness document, and `"verified": true`; a verdict-backed finding
+/// carries the op name and the decisive status instead.
+fn diagnostic_value(d: &lint::Diagnostic) -> Value {
+    let step = match d.step {
+        Some(n) => Value::from(n),
+        None => Value::Null,
+    };
+    let span = match &d.span {
+        Some(s) => Value::from(s.as_str()),
+        None => Value::Null,
+    };
+    let evidence = match &d.evidence {
+        None => Value::Null,
+        Some(ev @ lint::Evidence::Witness { xml, .. }) => obj(vec![
+            ("op", Value::from(ev.op_name())),
+            ("witness", Value::from(xml.as_str())),
+            ("verified", Value::Bool(true)),
+        ]),
+        Some(ev @ lint::Evidence::Verdict { status, .. }) => obj(vec![
+            ("op", Value::from(ev.op_name())),
+            ("status", Value::from(*status)),
+        ]),
+    };
+    obj(vec![
+        ("rule", Value::from(d.rule.as_str())),
+        ("severity", Value::from(d.severity.as_str())),
+        ("subject", Value::from(d.subject.as_str())),
+        ("step", step),
+        ("span", span),
+        ("message", Value::from(d.message.as_str())),
+        ("unverified", Value::Bool(d.unverified())),
+        ("evidence", evidence),
+    ])
 }
 
 /// Serializes a verified counter-example as the protocol's

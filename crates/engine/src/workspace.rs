@@ -33,8 +33,12 @@ impl Workspace {
     }
 
     /// Registers (or rebinds) a named query, parsed from XPath syntax.
+    ///
+    /// Queries are normalized at this parse boundary
+    /// ([`xpath::parse_normalized`]), so the form the engine compiles, the
+    /// form it displays, and the step spans lint reports against all agree.
     pub fn register_query(&mut self, name: &str, xpath: &str) -> Result<(), String> {
-        let expr = xpath::parse(xpath).map_err(|e| e.to_string())?;
+        let expr = xpath::parse_normalized(xpath).map_err(|e| e.to_string())?;
         self.queries.insert(name.to_owned(), Arc::new(expr));
         Ok(())
     }
@@ -45,7 +49,7 @@ impl Workspace {
         if let Some(e) = self.queries.get(reference) {
             return Ok(Arc::clone(e));
         }
-        match xpath::parse(reference) {
+        match xpath::parse_normalized(reference) {
             Ok(e) => Ok(Arc::new(e)),
             Err(parse_err) => Err(format!(
                 "`{reference}` is not a registered query and does not parse as XPath ({parse_err})"
@@ -64,6 +68,29 @@ impl Workspace {
                 .map_err(|e| e.to_string());
         }
         Err(format!("`{reference}` is not a registered type"))
+    }
+
+    /// Registered queries as `(name, expr)` pairs, sorted by name — the
+    /// deterministic iteration order lint rules and reports rely on.
+    pub fn queries_sorted(&self) -> Vec<(&str, Arc<Expr>)> {
+        let mut v: Vec<_> = self
+            .queries
+            .iter()
+            .map(|(n, e)| (n.as_str(), Arc::clone(e)))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Registered DTDs as `(name, dtd)` pairs, sorted by name.
+    pub fn dtds_sorted(&self) -> Vec<(&str, Arc<Dtd>)> {
+        let mut v: Vec<_> = self
+            .dtds
+            .iter()
+            .map(|(n, d)| (n.as_str(), Arc::clone(d)))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
     }
 
     /// Number of registered DTDs.

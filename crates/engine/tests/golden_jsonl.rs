@@ -774,14 +774,11 @@ fn metrics_request_snapshots_the_registry() {
         .iter()
         .find(|row| {
             row.get("name").and_then(Value::as_str) == Some("xsat_solves_total")
-                && row
-                    .get("labels")
-                    .map(|l| {
-                        l.get("op").and_then(Value::as_str) == Some("sat")
-                            && l.get("backend").and_then(Value::as_str) == Some("symbolic")
-                            && l.get("status").and_then(Value::as_str) == Some("holds")
-                    })
-                    .unwrap_or(false)
+                && row.get("labels").is_some_and(|l| {
+                    l.get("op").and_then(Value::as_str) == Some("sat")
+                        && l.get("backend").and_then(Value::as_str) == Some("symbolic")
+                        && l.get("status").and_then(Value::as_str) == Some("holds")
+                })
         })
         .unwrap_or_else(|| panic!("no solves row in {}", r.to_json()));
     assert_eq!(solves.get("kind").and_then(Value::as_str), Some("counter"));

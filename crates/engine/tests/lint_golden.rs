@@ -1,0 +1,234 @@
+//! Golden JSONL pins for the protocol's `lint` op: the seeded corpus in
+//! `fixtures/lint/` must produce byte-stable diagnostics in the protocol's
+//! deterministic order (rule id, then subject, step, span), severity
+//! overrides must round-trip through the `rules` object, and starved
+//! limits must degrade solver-backed findings to info-level `unverified`
+//! diagnostics instead of failing the run.
+
+use engine::{json, Engine, EngineConfig, Request, Value};
+
+/// The seeded corpus: one planted finding per lint rule.
+const SEEDED: &str = include_str!("../../../fixtures/lint/seeded.jsonl");
+/// The clean workspace: zero findings expected.
+const CLEAN: &str = include_str!("../../../fixtures/lint/clean.jsonl");
+/// The CI golden file: `xsat lint --json` on the seeded corpus, minus the
+/// volatile `wall_ms`.
+const EXPECTED: &str = include_str!("../../../fixtures/lint/seeded.expected.json");
+
+/// Drops the volatile `wall_ms` measurement field.
+fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Obj(fields) => Value::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "wall_ms")
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// An engine with the given workspace file loaded (every line must
+/// register cleanly).
+fn engine_with_workspace(input: &str) -> Engine {
+    let mut e = Engine::with_config(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let outcome = e.run_batch_lines(input);
+    assert_eq!(outcome.stats.errors, 0, "workspace must load cleanly");
+    e
+}
+
+#[test]
+fn seeded_corpus_matches_the_golden_diagnostics() {
+    let mut e = engine_with_workspace(SEEDED);
+    let r = e.execute_line(r#"{"op":"lint"}"#);
+    let expected = json::parse(EXPECTED).unwrap();
+    assert_eq!(
+        normalize(&r),
+        expected,
+        "\n  got      {}\n  expected {}",
+        normalize(&r).to_json(),
+        expected.to_json(),
+    );
+    // Deterministic ordering: rule ids ascend, ties broken by subject.
+    let diags = r.get("diagnostics").and_then(Value::as_arr).unwrap();
+    let keys: Vec<(String, String)> = diags
+        .iter()
+        .map(|d| {
+            (
+                d.get("rule").and_then(Value::as_str).unwrap().to_owned(),
+                d.get("subject").and_then(Value::as_str).unwrap().to_owned(),
+            )
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        keys, sorted,
+        "diagnostics must be sorted by (rule, subject)"
+    );
+    // Every solver-backed finding is verified evidence; only the pure
+    // graph pass (`unreachable-element`) carries none.
+    for d in diags {
+        let rule = d.get("rule").and_then(Value::as_str).unwrap();
+        assert_eq!(d.get("unverified").and_then(Value::as_bool), Some(false));
+        match rule {
+            "unreachable-element" => assert_eq!(d.get("evidence"), Some(&Value::Null)),
+            _ => assert!(
+                d.get("evidence")
+                    .is_some_and(|ev| !matches!(ev, Value::Null)),
+                "{rule} must carry evidence"
+            ),
+        }
+    }
+    // A repeat lint run is served from the memo cache and reproduces the
+    // diagnostics byte-for-byte.
+    let hits_before = e.counters().cache_hits;
+    let again = e.execute_line(r#"{"op":"lint"}"#);
+    assert_eq!(normalize(&again), expected);
+    let probes = r.get("probes").and_then(Value::as_f64).unwrap() as u64;
+    assert_eq!(e.counters().cache_hits, hits_before + probes);
+    // The whole response survives a round-trip through the json module.
+    assert_eq!(json::parse(&r.to_json()).unwrap(), r);
+}
+
+#[test]
+fn clean_corpus_reports_clean() {
+    let mut e = engine_with_workspace(CLEAN);
+    let r = e.execute_line(r#"{"op":"lint"}"#);
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("clean"));
+    assert_eq!(r.get("findings").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(
+        r.get("diagnostics")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(0)
+    );
+}
+
+#[test]
+fn severity_overrides_round_trip_through_the_rules_object() {
+    let mut e = engine_with_workspace(SEEDED);
+    let r = e.execute_line(
+        r#"{"op":"lint","rules":{"dead-step":"info","unreachable-element":"off","query-shadowing":"deny","contradictory-predicate":"allow"}}"#,
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let diags = r.get("diagnostics").and_then(Value::as_arr).unwrap();
+    let sev_of = |rule: &str| -> Vec<&str> {
+        diags
+            .iter()
+            .filter(|d| d.get("rule").and_then(Value::as_str) == Some(rule))
+            .map(|d| d.get("severity").and_then(Value::as_str).unwrap())
+            .collect()
+    };
+    // Demoted to info; `deny` is an alias for error severity.
+    assert_eq!(sev_of("dead-step"), ["info"]);
+    assert_eq!(sev_of("query-shadowing"), ["error", "error"]);
+    // Disabled rules plan no probes and emit nothing (`allow` = off).
+    assert!(sev_of("unreachable-element").is_empty());
+    assert!(sev_of("contradictory-predicate").is_empty());
+    // The tallies follow the overridden severities.
+    assert_eq!(r.get("errors").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(r.get("infos").and_then(Value::as_f64), Some(1.0));
+    // Fewer rules, fewer probes than the default run.
+    let default_probes = 56.0;
+    assert!(r.get("probes").and_then(Value::as_f64).unwrap() < default_probes);
+}
+
+#[test]
+fn starved_limits_degrade_to_unverified_info_diagnostics() {
+    let mut e = engine_with_workspace(SEEDED);
+    // One fixpoint iteration decides nothing: every solver-backed rule
+    // must degrade its finding to an info-level `unverified` diagnostic
+    // rather than erroring out or going silent. The pure graph pass is
+    // disabled so only solver-backed rules remain.
+    let r = e.execute_line(
+        r#"{"op":"lint","rules":{"unreachable-element":"off"},"limits":{"max_iterations":1}}"#,
+    );
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+    let diags = r.get("diagnostics").and_then(Value::as_arr).unwrap();
+    assert!(!diags.is_empty(), "degraded findings must surface");
+    for d in diags {
+        assert_eq!(
+            d.get("severity").and_then(Value::as_str),
+            Some("info"),
+            "{}",
+            d.to_json()
+        );
+        assert_eq!(d.get("unverified").and_then(Value::as_bool), Some(true));
+        let msg = d.get("message").and_then(Value::as_str).unwrap();
+        assert!(msg.starts_with("unverified:"), "{msg}");
+        assert_eq!(d.get("evidence"), Some(&Value::Null));
+    }
+    assert_eq!(r.get("errors").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(r.get("warnings").and_then(Value::as_f64), Some(0.0));
+    // Unknown probe outcomes are never cached: the starved run leaves the
+    // cache cold, and a follow-up lint under default limits re-solves to
+    // the full golden verdict set.
+    let r = e.execute_line(r#"{"op":"lint","limits":{"timeout_ms":60000}}"#);
+    assert_eq!(r.get("status").and_then(Value::as_str), Some("findings"));
+    assert_eq!(r.get("findings").and_then(Value::as_f64), Some(7.0));
+    assert_eq!(r.get("infos").and_then(Value::as_f64), Some(0.0));
+}
+
+#[test]
+fn lint_warms_the_memo_cache_for_decision_traffic() {
+    let mut e = engine_with_workspace(SEEDED);
+    e.execute_line(r#"{"op":"lint"}"#);
+    // The shadowing rule posed exactly this satisfiability problem, so the
+    // explicit decision request is a cache hit.
+    let r = e.execute_line(r#"{"op":"sat","query":"narrow","type":"lib"}"#);
+    assert_eq!(r.get("holds").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn lint_is_rejected_inside_a_batch() {
+    let mut e = Engine::new();
+    let out = e.run_batch(&[
+        Request::parse(r#"{"op":"query","name":"q","xpath":"a/b"}"#).unwrap(),
+        Request::parse(r#"{"id":"l","op":"lint"}"#).unwrap(),
+    ]);
+    assert_eq!(
+        out.responses[1].get("ok").and_then(Value::as_bool),
+        Some(false)
+    );
+    let msg = out.responses[1]
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap();
+    assert!(msg.contains("not valid inside a batch"), "{msg}");
+    assert_eq!(
+        out.responses[1].get("id").and_then(Value::as_str),
+        Some("l")
+    );
+}
+
+#[test]
+fn config_errors_are_protocol_errors() {
+    let mut e = engine_with_workspace(SEEDED);
+    let r = e.execute_line(r#"{"op":"lint","rules":{"frobnicate":"error"}}"#);
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        r.get("error").and_then(Value::as_str),
+        Some("unknown lint rule `frobnicate`")
+    );
+    let r = e.execute_line(r#"{"op":"lint","rules":{"dead-step":"fatal"}}"#);
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(r
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("unknown severity `fatal`"));
+    let r = e.execute_line(r#"{"op":"lint","type":"no-such-dtd"}"#);
+    assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(r
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("not a registered type"));
+}

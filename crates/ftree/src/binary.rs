@@ -130,7 +130,7 @@ impl fmt::Debug for BinaryTree {
             None => write!(f, "#, ")?,
         }
         match self.child2() {
-            Some(c) => write!(f, "{c:?})", c = c),
+            Some(c) => write!(f, "{c:?})"),
             None => write!(f, "#)"),
         }
     }

@@ -1,0 +1,296 @@
+//! Diagnostic vocabulary: rule identities, severities, findings, and the
+//! solver evidence attached to them.
+//!
+//! Every rule lives in [`RuleId::TABLE`] — the single authority mapping
+//! wire names to default severities and one-line summaries, mirrored by
+//! `docs/LINT.md` and the CLI's `--deny`/`--allow` parsing. A
+//! [`Diagnostic`] pins a finding to a *subject* (a query or DTD name) and
+//! a *span* (a spine-step index plus its rendered form, stable across
+//! print→reparse round trips by the `xpath::decompose` contract), and
+//! carries [`Evidence`] — the decision [`Problem`] whose verdict backs the
+//! finding, with the oracle-verified witness document when one exists.
+
+use analyzer::Problem;
+
+/// Finding severity, ordered `Error > Warning > Info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, not actionable by itself.
+    Info,
+    /// Probably a defect; does not fail `xsat lint`.
+    Warning,
+    /// A defect; fails `xsat lint` (exit code 1).
+    Error,
+}
+
+impl Severity {
+    /// The wire name of the severity.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_wire(name: &str) -> Option<Severity> {
+        match name {
+            "error" | "deny" => Some(Severity::Error),
+            "warning" | "warn" => Some(Severity::Warning),
+            "info" => Some(Severity::Info),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// A step (axis + node test) no document of the schema can satisfy;
+    /// everything after it selects nothing.
+    DeadStep,
+    /// A predicate that empties its step, or whose removal provably does
+    /// not change the selected set.
+    ContradictoryPredicate,
+    /// A `|` branch contained in a sibling branch.
+    RedundantUnionBranch,
+    /// A workspace query contained in (or equivalent to) another.
+    QueryShadowing,
+    /// A DTD element not reachable from the root content graph.
+    UnreachableElement,
+    /// A query whose lean-diamond count exceeds the enumeration cap,
+    /// forcing symbolic-only solving.
+    WildcardExplosion,
+}
+
+impl RuleId {
+    /// The canonical rule table: wire id, default severity, and the
+    /// one-line summary. This is the single authority shared by the
+    /// config parser, the CLI, and `docs/LINT.md`.
+    pub const TABLE: &'static [(RuleId, &'static str, Severity, &'static str)] = &[
+        (
+            RuleId::DeadStep,
+            "dead-step",
+            Severity::Error,
+            "a step no document of the schema can match",
+        ),
+        (
+            RuleId::ContradictoryPredicate,
+            "contradictory-predicate",
+            Severity::Warning,
+            "a predicate that empties its step or never filters anything",
+        ),
+        (
+            RuleId::RedundantUnionBranch,
+            "redundant-union-branch",
+            Severity::Warning,
+            "a union branch contained in a sibling branch",
+        ),
+        (
+            RuleId::QueryShadowing,
+            "query-shadowing",
+            Severity::Warning,
+            "a workspace query contained in or equivalent to another",
+        ),
+        (
+            RuleId::UnreachableElement,
+            "unreachable-element",
+            Severity::Warning,
+            "a DTD element unreachable from the root content graph",
+        ),
+        (
+            RuleId::WildcardExplosion,
+            "wildcard-explosion",
+            Severity::Info,
+            "a query too wide for the enumerating backends",
+        ),
+    ];
+
+    /// All rules, in table order.
+    pub fn all() -> impl Iterator<Item = RuleId> {
+        RuleId::TABLE.iter().map(|&(id, ..)| id)
+    }
+
+    /// The wire id of the rule.
+    pub fn as_str(self) -> &'static str {
+        RuleId::TABLE
+            .iter()
+            .find(|&&(id, ..)| id == self)
+            .map(|&(_, name, ..)| name)
+            .expect("every rule is in the table")
+    }
+
+    /// Resolves a wire id.
+    pub fn from_wire(name: &str) -> Option<RuleId> {
+        RuleId::TABLE
+            .iter()
+            .find(|&&(_, n, ..)| n == name)
+            .map(|&(id, ..)| id)
+    }
+
+    /// The rule's default severity.
+    pub fn default_severity(self) -> Severity {
+        RuleId::TABLE
+            .iter()
+            .find(|&&(id, ..)| id == self)
+            .map(|&(_, _, sev, _)| sev)
+            .expect("every rule is in the table")
+    }
+
+    /// The rule's one-line summary.
+    pub fn summary(self) -> &'static str {
+        RuleId::TABLE
+            .iter()
+            .find(|&&(id, ..)| id == self)
+            .map(|&(.., s)| s)
+            .expect("every rule is in the table")
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The solver evidence behind a finding — auditable and replayable: the
+/// witness document re-checks through the model-check + DTD oracles
+/// against the carried [`Problem`]'s goal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Evidence {
+    /// A satisfying model (or counter-example) document, oracle-verified
+    /// before it got here.
+    Witness {
+        /// The decision problem whose solve produced the document.
+        problem: Problem,
+        /// Compact single-line XML of the witness.
+        xml: String,
+    },
+    /// A proving verdict with no document (the holds side of a refutable
+    /// operation, or an unsatisfiable goal).
+    Verdict {
+        /// The decision problem that was decided.
+        problem: Problem,
+        /// Its wire status (`holds` / `fails`).
+        status: &'static str,
+    },
+}
+
+impl Evidence {
+    /// The operation name of the backing problem.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Evidence::Witness { problem, .. } | Evidence::Verdict { problem, .. } => {
+                problem.op_name()
+            }
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Effective severity (default or configured override; `unverified`
+    /// degradations are always [`Severity::Info`]).
+    pub severity: Severity,
+    /// The artifact the finding is about: a query or DTD name.
+    pub subject: String,
+    /// Spine-step index within the subject query, when the finding is
+    /// step-localized.
+    pub step: Option<usize>,
+    /// Rendered form of the localized part (a step, predicate, branch, or
+    /// element name).
+    pub span: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The solver evidence, absent for pure graph passes.
+    pub evidence: Option<Evidence>,
+}
+
+impl Diagnostic {
+    /// Whether this is an `unverified` degradation (an inconclusive probe
+    /// reported at info level instead of a hard error).
+    pub fn unverified(&self) -> bool {
+        self.message.starts_with("unverified:")
+    }
+}
+
+/// Sorts diagnostics into the protocol's deterministic order: rule id,
+/// then subject, then step span, then message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.rule.as_str(), &a.subject, a.step, &a.span, &a.message).cmp(&(
+            b.rule.as_str(),
+            &b.subject,
+            b.step,
+            &b.span,
+            &b.message,
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trips() {
+        for id in RuleId::all() {
+            assert_eq!(RuleId::from_wire(id.as_str()), Some(id));
+            assert!(!id.summary().is_empty());
+        }
+        assert_eq!(RuleId::from_wire("frobnicate"), None);
+        assert_eq!(RuleId::all().count(), 6);
+    }
+
+    #[test]
+    fn severity_round_trips() {
+        for s in [Severity::Error, Severity::Warning, Severity::Info] {
+            assert_eq!(Severity::from_wire(s.as_str()), Some(s));
+        }
+        assert_eq!(Severity::from_wire("deny"), Some(Severity::Error));
+        assert_eq!(Severity::from_wire("warn"), Some(Severity::Warning));
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn sorting_is_by_rule_then_span() {
+        let d = |rule: RuleId, subject: &str, step: Option<usize>| Diagnostic {
+            rule,
+            severity: rule.default_severity(),
+            subject: subject.to_owned(),
+            step,
+            span: None,
+            message: String::new(),
+            evidence: None,
+        };
+        let mut v = vec![
+            d(RuleId::QueryShadowing, "q2", None),
+            d(RuleId::DeadStep, "q9", Some(2)),
+            d(RuleId::DeadStep, "q1", Some(3)),
+            d(RuleId::DeadStep, "q1", Some(1)),
+        ];
+        sort_diagnostics(&mut v);
+        let order: Vec<(&str, Option<usize>)> =
+            v.iter().map(|d| (d.subject.as_str(), d.step)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("q1", Some(1)),
+                ("q1", Some(3)),
+                ("q9", Some(2)),
+                ("q2", None)
+            ]
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! End-to-end rule tests: seeded workspaces with planted defects, exact
+//! rule/severity/span assertions, and evidence replay through the
+//! model-check + DTD oracles.
+//!
+//! The seeded library schema (root `lib`):
+//!
+//! ```text
+//! <!ELEMENT lib (book*, journal*)>   book has (title, author*)
+//! <!ELEMENT journal (title)>         journal has no author
+//! <!ELEMENT orphan (title)>          declared, never reachable
+//! ```
+//!
+//! Queries are evaluated from the document root (the `lib` element), per
+//! the root-anchored translation of the paper's §5.2.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use analyzer::{Limits, Problem};
+use lint::{
+    Diagnostic, Evidence, LintConfig, LintEngine, LintReport, RuleId, RuleSetting, Severity,
+};
+use treetypes::Dtd;
+use xpath::Expr;
+
+const LIB_DTD: &str = "<!ELEMENT lib (book*, journal*)> <!ELEMENT book (title, author*)> \
+                       <!ELEMENT title EMPTY> <!ELEMENT author EMPTY> \
+                       <!ELEMENT journal (title)> <!ELEMENT orphan (title)>";
+
+fn dtd(src: &str) -> Arc<Dtd> {
+    Arc::new(Dtd::parse(src).expect("test dtd parses"))
+}
+
+fn q(src: &str) -> Arc<Expr> {
+    Arc::new(xpath::parse_normalized(src).expect("test query parses"))
+}
+
+/// A config with exactly one rule enabled (at its default severity).
+fn only(rule: RuleId) -> LintConfig {
+    let mut settings = BTreeMap::new();
+    for r in RuleId::all() {
+        if r != rule {
+            settings.insert(r, RuleSetting::Off);
+        }
+    }
+    LintConfig {
+        settings,
+        ..LintConfig::default()
+    }
+}
+
+fn run(
+    queries: &[(&str, &str)],
+    dtds: &[(&str, &str)],
+    config: &LintConfig,
+    limits: &Limits,
+) -> LintReport {
+    let queries: Vec<(String, Arc<Expr>)> = queries
+        .iter()
+        .map(|(n, s)| ((*n).to_owned(), q(s)))
+        .collect();
+    let dtds: Vec<(String, Arc<Dtd>)> = dtds
+        .iter()
+        .map(|(n, s)| ((*n).to_owned(), dtd(s)))
+        .collect();
+    LintEngine::new()
+        .run(&queries, &dtds, config, limits)
+        .expect("lint run succeeds")
+}
+
+/// Replays a witness document against the carried problem: the tree must
+/// validate against the governing DTD(s) and the compiled goal formula
+/// must hold somewhere on it — the same oracle the solver itself passed
+/// before releasing the model.
+fn replay_witness(d: &Diagnostic) {
+    let Some(Evidence::Witness { problem, xml }) = &d.evidence else {
+        panic!("expected witness evidence on {d:?}");
+    };
+    let tree = ftree::Tree::parse_xml(xml).expect("witness XML parses");
+    let mut az = analyzer::Analyzer::new();
+    let (goal, tys): (_, Vec<&Dtd>) = match problem {
+        Problem::Sat { query, ty } => (
+            az.query_formula(query, ty.as_deref()),
+            ty.iter().map(std::convert::AsRef::as_ref).collect(),
+        ),
+        other => panic!("witness evidence should back a sat probe, got {other:?}"),
+    };
+    for t in tys {
+        assert!(t.validates(&tree), "witness must validate: {xml}");
+    }
+    let mc = mulogic::ModelChecker::new(&tree);
+    assert!(
+        !mc.sat_foci(az.logic_mut(), goal).is_empty(),
+        "witness must satisfy the probe goal: {xml}"
+    );
+}
+
+#[test]
+fn dead_step_localizes_the_first_dead_axis() {
+    let report = run(
+        &[("bad", "book/journal"), ("ok", "book/title")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::DeadStep),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::DeadStep);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.subject, "bad");
+    assert_eq!(d.step, Some(1));
+    assert_eq!(d.span.as_deref(), Some("child::journal"));
+    // The evidence is the satisfiable prefix one step earlier, with its
+    // witness document — replayable through the oracles.
+    replay_witness(d);
+}
+
+#[test]
+fn chain_initial_dead_step_carries_a_failing_verdict() {
+    let report = run(
+        &[("orphaned", "orphan/title")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::DeadStep),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.step, Some(0));
+    assert_eq!(d.span.as_deref(), Some("child::orphan"));
+    // No earlier prefix exists: the evidence is the failing sat verdict
+    // itself.
+    let Some(Evidence::Verdict { problem, status }) = &d.evidence else {
+        panic!("expected verdict evidence, got {:?}", d.evidence);
+    };
+    assert_eq!(*status, "fails");
+    assert_eq!(problem.op_name(), "sat");
+}
+
+#[test]
+fn contradictory_predicate_is_flagged_with_a_witness_without_it() {
+    let report = run(
+        &[("noauthor", "journal[author]")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::ContradictoryPredicate),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::ContradictoryPredicate);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.step, Some(0));
+    assert!(d.message.contains("contradicts"), "{}", d.message);
+    // The witness shows the step satisfiable once the predicate is gone.
+    replay_witness(d);
+}
+
+#[test]
+fn never_filtering_predicate_is_flagged_as_redundant() {
+    // Every book has a title, so `[title]` can never filter anything.
+    let report = run(
+        &[("alwaystrue", "book[title]")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::ContradictoryPredicate),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("redundant"), "{}", d.message);
+    let Some(Evidence::Verdict { problem, status }) = &d.evidence else {
+        panic!("expected the equivalence verdict, got {:?}", d.evidence);
+    };
+    assert_eq!(*status, "holds");
+    assert_eq!(problem.op_name(), "equiv");
+}
+
+#[test]
+fn discriminating_predicate_is_not_flagged() {
+    // `[author]` genuinely filters books (author* admits zero authors).
+    let report = run(
+        &[("filtered", "book[author]")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::ContradictoryPredicate),
+        &Limits::default(),
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn redundant_union_branch_is_contained_in_its_sibling() {
+    let report = run(
+        &[("wide", "book | *")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::RedundantUnionBranch),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::RedundantUnionBranch);
+    assert_eq!(d.step, Some(0));
+    assert_eq!(d.span.as_deref(), Some("child::book"));
+    assert!(d.message.contains("contained in branch 1"), "{}", d.message);
+    replay_witness(d);
+}
+
+#[test]
+fn disjoint_union_branches_are_kept() {
+    let report = run(
+        &[("split", "book | journal")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::RedundantUnionBranch),
+        &Limits::default(),
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn narrow_query_is_shadowed_by_the_wide_one() {
+    let report = run(
+        &[("narrow", "book/title"), ("wide", "*/title")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::QueryShadowing),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::QueryShadowing);
+    assert_eq!(d.subject, "narrow");
+    assert!(
+        d.message.contains("`narrow` is shadowed by `wide`"),
+        "{}",
+        d.message
+    );
+    replay_witness(d);
+}
+
+#[test]
+fn equivalent_queries_report_the_later_name_once() {
+    // `self::*` is eliminated by normalization, so both parse to the same
+    // AST — the strongest form of equivalence.
+    let report = run(
+        &[("qa", "book/title"), ("qb", "self::*/book/title")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::QueryShadowing),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.subject, "qb");
+    assert!(d.message.contains("equivalent"), "{}", d.message);
+}
+
+#[test]
+fn dead_queries_do_not_count_as_shadowed() {
+    // `book/journal` is empty, hence trivially contained everywhere; the
+    // shadowing rule must stay silent about it.
+    let report = run(
+        &[("dead", "book/journal"), ("live", "book/title")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::QueryShadowing),
+        &Limits::default(),
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn unreachable_element_is_found_by_the_graph_pass() {
+    let report = run(
+        &[],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::UnreachableElement),
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::UnreachableElement);
+    assert_eq!(d.subject, "lib");
+    assert_eq!(d.span.as_deref(), Some("orphan"));
+    assert!(d.evidence.is_none(), "graph pass needs no solver evidence");
+}
+
+#[test]
+fn wildcard_explosion_reads_the_lean_diamond_accounting() {
+    let config = LintConfig {
+        max_diamonds: 2,
+        ..only(RuleId::WildcardExplosion)
+    };
+    let report = run(
+        &[("wide", "descendant::*/descendant::*"), ("thin", "self::*")],
+        &[],
+        &config,
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::WildcardExplosion);
+    assert_eq!(d.severity, Severity::Info);
+    assert_eq!(d.subject, "wide");
+    assert!(d.message.contains("diamond"), "{}", d.message);
+}
+
+#[test]
+fn clean_workspace_reports_nothing() {
+    let clean_dtd = "<!ELEMENT lib (book*, journal*)> <!ELEMENT book (title, author*)> \
+                     <!ELEMENT title EMPTY> <!ELEMENT author EMPTY> <!ELEMENT journal (title)>";
+    let report = run(
+        &[("books", "book/title"), ("journals", "journal/title")],
+        &[("lib", clean_dtd)],
+        &LintConfig::default(),
+        &Limits::default(),
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.max_severity(), None);
+    assert!(report.probes > 0, "a clean verdict still solved probes");
+}
+
+#[test]
+fn starved_limits_degrade_to_unverified_info() {
+    let starved = Limits {
+        max_bdd_nodes: Some(2),
+        ..Limits::default()
+    };
+    let report = run(
+        &[("bad", "book/journal")],
+        &[("lib", LIB_DTD)],
+        &only(RuleId::DeadStep),
+        &starved,
+    );
+    assert!(!report.diagnostics.is_empty());
+    for d in &report.diagnostics {
+        assert!(d.unverified(), "{d:?}");
+        assert_eq!(d.severity, Severity::Info);
+    }
+    assert_eq!(report.max_severity(), Some(Severity::Info));
+}
+
+#[test]
+fn severity_overrides_and_off_are_honoured() {
+    let mut settings = BTreeMap::new();
+    for r in RuleId::all() {
+        settings.insert(r, RuleSetting::Off);
+    }
+    settings.insert(RuleId::DeadStep, RuleSetting::At(Severity::Info));
+    let config = LintConfig {
+        settings,
+        ..LintConfig::default()
+    };
+    let report = run(
+        &[("bad", "book/journal"), ("u", "book | *")],
+        &[("lib", LIB_DTD)],
+        &config,
+        &Limits::default(),
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].rule, RuleId::DeadStep);
+    assert_eq!(report.diagnostics[0].severity, Severity::Info);
+    assert_eq!(report.count_at(Severity::Info), 1);
+}
+
+#[test]
+fn unknown_type_name_is_a_config_error() {
+    let config = LintConfig {
+        type_name: Some("nope".to_owned()),
+        ..LintConfig::default()
+    };
+    let err = LintEngine::new()
+        .run(&[], &[], &config, &Limits::default())
+        .unwrap_err();
+    assert!(err.contains("nope"), "{err}");
+}
+
+#[test]
+fn diagnostics_are_deterministically_ordered() {
+    let workspace: &[(&str, &str)] = &[
+        ("z_bad", "book/journal"),
+        ("a_bad", "journal/author"),
+        ("narrow", "book/title"),
+        ("wide", "*/title"),
+    ];
+    let run_once = || {
+        run(
+            workspace,
+            &[("lib", LIB_DTD)],
+            &LintConfig::default(),
+            &Limits::default(),
+        )
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.diagnostics, b.diagnostics);
+    // Sorted by rule id first, then subject.
+    let keys: Vec<(&str, &str)> = a
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.as_str(), d.subject.as_str()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

@@ -82,7 +82,7 @@ impl Checker<'_> {
                     .iter()
                     .map(|&v| (v, self.defs.get(&v).copied()))
                     .collect();
-                for &(v, phi) in binds.iter() {
+                for &(v, phi) in &binds {
                     self.defs.insert(v, phi);
                 }
                 // Γ + X̄ : ⊘ ; R \ X̄ ; I \ X̄

@@ -447,7 +447,7 @@ impl Logic {
             panic!("exp: not a least fixpoint");
         };
         let mut map = HashMap::with_capacity(binds.len());
-        for &(v, _) in binds.iter() {
+        for &(v, _) in &binds {
             let vf = self.var(v);
             let handle = self.mu(binds.to_vec(), vf);
             map.insert(v, handle);
@@ -457,8 +457,7 @@ impl Logic {
             FormulaKind::Var(v) => binds
                 .iter()
                 .find(|&&(bv, _)| bv == *v)
-                .map(|&(_, phi)| phi)
-                .unwrap_or(body),
+                .map_or(body, |&(_, phi)| phi),
             _ => body,
         };
         self.subst(target, &map)
@@ -488,7 +487,7 @@ impl Logic {
                 FormulaKind::Mu(binds, body) | FormulaKind::Nu(binds, body) => {
                     let n = bound.len();
                     bound.extend(binds.iter().map(|&(v, _)| v));
-                    for &(_, phi) in binds.iter() {
+                    for &(_, phi) in binds {
                         go(lg, phi, bound, out, seen);
                     }
                     go(lg, *body, bound, out, seen);

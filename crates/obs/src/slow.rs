@@ -66,7 +66,7 @@ impl SlowLog {
 
     /// Number of captured entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map(|g| g.len()).unwrap_or(0)
+        self.inner.lock().map_or(0, |g| g.len())
     }
 
     /// Whether the log is empty.

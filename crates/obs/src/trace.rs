@@ -245,7 +245,7 @@ impl MemorySink {
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.events.lock().map(|g| g.len()).unwrap_or(0)
+        self.events.lock().map_or(0, |g| g.len())
     }
 
     /// Whether no events have been recorded.

@@ -595,7 +595,7 @@ mod tests {
         let goal = lg.parse("<-1><2>s").unwrap();
         let s = solve_explicit(&mut lg, goal);
         let m = s.outcome.model().expect("satisfiable");
-        let marks: usize = m.roots().iter().map(|t| t.mark_count()).sum();
+        let marks: usize = m.roots().iter().map(ftree::Tree::mark_count).sum();
         assert_eq!(marks, 1, "{m}");
     }
 

@@ -82,4 +82,4 @@ pub use symbolic::{
     solve_symbolic, solve_symbolic_in, solve_symbolic_traced, solve_symbolic_with, SymbolicOptions,
     VarOrder,
 };
-pub use witnessed::solve_witnessed;
+pub use witnessed::{lean_diamonds, solve_witnessed};

@@ -149,9 +149,7 @@ pub(crate) fn solve_portfolio(
     limits: &Limits,
     rec: &Recorder,
 ) -> Result<Solved, SolveError> {
-    let slots = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let slots = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     if slots >= 2 {
         race_concurrently(lg, goal, opts, mgr, limits, rec)
     } else {
@@ -283,9 +281,8 @@ fn race_concurrently(
             _ => unreachable!("symbolic completion claims an open race"),
         });
     }
-    let shipped = match results[winner_idx].take() {
-        Some(Ok(s)) => s,
-        _ => unreachable!("the claimed winner completed"),
+    let Some(Ok(shipped)) = results[winner_idx].take() else {
+        unreachable!("the claimed winner completed")
     };
     let raced: Vec<&'static str> = [true, explicit_ok, witnessed_ok]
         .iter()

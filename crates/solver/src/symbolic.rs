@@ -451,7 +451,7 @@ impl<'m> Sym<'m> {
         ];
         roots.extend(state.im_un.iter_mut());
         roots.extend(state.im_mk.iter_mut());
-        for (a, b) in state.snapshots.iter_mut() {
+        for (a, b) in &mut state.snapshots {
             roots.push(a);
             roots.push(b);
         }

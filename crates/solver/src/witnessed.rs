@@ -307,9 +307,15 @@ impl Backend for Witnessed {
 
 /// Diamond count of the witnessed backend's (unplunged) lean for `goal` —
 /// the enumeration-feasibility measure checked by
-/// [`solve_with`](crate::solve_with). The arena's hash-consing makes the
-/// recomputation inside [`solve_witnessed`] free of duplicate nodes.
-pub(crate) fn lean_diamonds(lg: &mut Logic, goal: Formula) -> usize {
+/// [`solve_with`](crate::solve_with): the governed dispatch path refuses
+/// to enumerate leans with more than
+/// [`Limits::max_lean_diamonds`](crate::Limits::max_lean_diamonds)
+/// diamonds, leaving only the symbolic backend feasible. Exposed so
+/// front-end analyses (the lint engine's `wildcard-explosion` rule) can
+/// read the same infeasibility accounting without running a solve. The
+/// arena's hash-consing makes the recomputation inside
+/// [`solve_witnessed`] free of duplicate nodes.
+pub fn lean_diamonds(lg: &mut Logic, goal: Formula) -> usize {
     let goal = lg.collapse_nu(goal);
     let closure = Closure::compute(lg, goal);
     let lean = Lean::compute(lg, &closure);

@@ -137,7 +137,7 @@ proptest! {
             if let Some(m) = solved.outcome.model() {
                 // Marked iff the goal mentions s.
                 if lg.mentions_start(goal) {
-                    let marks: usize = m.roots().iter().map(|t| t.mark_count()).sum();
+                    let marks: usize = m.roots().iter().map(ftree::Tree::mark_count).sum();
                     prop_assert_eq!(marks, 1, "bad mark count in {}", m);
                 }
                 let mc = ModelChecker::new_row(m.roots());

@@ -1,0 +1,482 @@
+//! Structural decomposition of XPath expressions into spine steps,
+//! per-step prefixes, and predicate sites.
+//!
+//! The lint engine reduces workspace diagnostics to decision problems over
+//! *parts* of a query: "is the query still satisfiable after step 3?",
+//! "does removing this predicate change the selected set?". This module is
+//! the shared vocabulary for those parts.
+//!
+//! A query's **spine** is the sequence of navigation steps reached by
+//! walking the expression left to right, *excluding* steps nested inside
+//! qualifiers. Spine steps get stable zero-based indices; every branch of a
+//! union or intersection contributes its own run of indices to one global
+//! sequence, so an index uniquely names a step in the whole expression.
+//! Because indices are assigned over the flattened left-to-right walk they
+//! are insensitive to `Seq` association and survive a
+//! pretty-print→reparse round trip of the normalized expression.
+//!
+//! Three families of derived expressions are built from a spine:
+//!
+//! * [`prefix`] — the expression truncated just after step `i`, keeping
+//!   only the union/intersection branch that contains the step. With
+//!   [`PrefixQuals::Strip`] the target step's own qualifiers are dropped,
+//!   separating "this axis/test can never match" from "this predicate is
+//!   contradictory".
+//! * [`predicate_sites`] / [`without_site`] — the top-level `and`-conjuncts
+//!   of each step's qualifiers, and the query with one conjunct removed.
+//! * [`union_branches`] — the top-level `|` branches of the expression.
+
+use crate::ast::{Axis, Expr, NodeTest, Path, Qualifier};
+
+/// One spine step of an expression, with its stable index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Zero-based index in the left-to-right spine walk.
+    pub index: usize,
+    /// The step's axis.
+    pub axis: Axis,
+    /// The step's node test.
+    pub test: NodeTest,
+    /// Rendered `axis::test` form, for diagnostics.
+    pub display: String,
+}
+
+/// How [`prefix`] treats qualifiers attached to the target step itself.
+///
+/// Qualifiers on *earlier* steps are always kept — they are part of the
+/// path that reaches the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixQuals {
+    /// Keep the target step's qualifiers.
+    Keep,
+    /// Drop the target step's qualifiers (dead-axis detection).
+    Strip,
+}
+
+/// A top-level `and`-conjunct of some spine step's qualifiers.
+///
+/// `conj` counts conjuncts across all qualifier layers of the step, in
+/// source order (`p[q1][q2]` lists `q1`'s conjuncts before `q2`'s).
+/// Qualifier layers shared by several steps (a qualifier on a whole union,
+/// `(a | b)[q]`) are not enumerated — removing such a layer would change
+/// more than one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateSite {
+    /// Spine index of the step the conjunct qualifies.
+    pub step: usize,
+    /// Zero-based conjunct ordinal within that step.
+    pub conj: usize,
+    /// Rendered form of the conjunct, for diagnostics.
+    pub display: String,
+}
+
+/// The spine steps of `e`, in stable index order.
+pub fn steps(e: &Expr) -> Vec<StepInfo> {
+    let mut acc = Vec::new();
+    match e {
+        Expr::Absolute(p) | Expr::Relative(p) => collect_steps(p, &mut acc),
+        Expr::Union(a, b) | Expr::Intersect(a, b) => {
+            for branch in [a, b] {
+                for s in steps(branch) {
+                    acc.push(StepInfo {
+                        index: acc.len(),
+                        ..s
+                    });
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn collect_steps(p: &Path, acc: &mut Vec<StepInfo>) {
+    match p {
+        Path::Seq(l, r) | Path::Union(l, r) => {
+            collect_steps(l, acc);
+            collect_steps(r, acc);
+        }
+        Path::Qualified(inner, _) => collect_steps(inner, acc),
+        Path::Step(axis, test) => acc.push(StepInfo {
+            index: acc.len(),
+            axis: *axis,
+            test: *test,
+            display: format!("{axis}::{test}"),
+        }),
+    }
+}
+
+/// The expression truncated just after spine step `target`.
+///
+/// Only the union/intersection branch containing the step is kept, so the
+/// prefix is satisfiable exactly when *that step* can select something.
+/// Returns `None` if `target` is out of range.
+pub fn prefix(e: &Expr, target: usize, quals: PrefixQuals) -> Option<Expr> {
+    let mut counter = 0;
+    expr_prefix(e, target, &mut counter, quals)
+}
+
+fn expr_prefix(e: &Expr, target: usize, counter: &mut usize, quals: PrefixQuals) -> Option<Expr> {
+    match e {
+        Expr::Absolute(p) => path_prefix(p, target, counter, quals).map(|(p, _)| Expr::Absolute(p)),
+        Expr::Relative(p) => path_prefix(p, target, counter, quals).map(|(p, _)| Expr::Relative(p)),
+        Expr::Union(a, b) | Expr::Intersect(a, b) => expr_prefix(a, target, counter, quals)
+            .or_else(|| expr_prefix(b, target, counter, quals)),
+    }
+}
+
+/// Truncates `p` just after spine step `target`. The boolean is true when
+/// the target step is *terminal* in the truncated subpath — nothing follows
+/// it, so an enclosing qualifier layer applies to it.
+fn path_prefix(
+    p: &Path,
+    target: usize,
+    counter: &mut usize,
+    quals: PrefixQuals,
+) -> Option<(Path, bool)> {
+    match p {
+        Path::Step(axis, test) => {
+            let idx = *counter;
+            *counter += 1;
+            (idx == target).then_some((Path::Step(*axis, *test), true))
+        }
+        Path::Seq(l, r) => {
+            if let Some((lp, _)) = path_prefix(l, target, counter, quals) {
+                return Some((lp, false));
+            }
+            let (rp, term) = path_prefix(r, target, counter, quals)?;
+            Some((Path::Seq(l.clone(), Box::new(rp)), term))
+        }
+        Path::Qualified(inner, q) => {
+            let (ip, term) = path_prefix(inner, target, counter, quals)?;
+            if term && quals == PrefixQuals::Keep {
+                Some((Path::Qualified(Box::new(ip), q.clone()), true))
+            } else {
+                // Either the target lies strictly inside `inner` (the layer's
+                // anchor steps are truncated away), or we are stripping the
+                // target's own qualifiers.
+                Some((ip, term))
+            }
+        }
+        Path::Union(l, r) => path_prefix(l, target, counter, quals)
+            .or_else(|| path_prefix(r, target, counter, quals)),
+    }
+}
+
+/// All removable predicate sites of `e`, in (step, conj) order.
+pub fn predicate_sites(e: &Expr) -> Vec<PredicateSite> {
+    let mut acc = Vec::new();
+    let mut counter = 0;
+    expr_sites(e, &mut counter, &mut acc);
+    acc.sort_by_key(|s| (s.step, s.conj));
+    acc
+}
+
+fn expr_sites(e: &Expr, counter: &mut usize, acc: &mut Vec<PredicateSite>) {
+    match e {
+        Expr::Absolute(p) | Expr::Relative(p) => {
+            path_sites(p, counter, acc);
+        }
+        Expr::Union(a, b) | Expr::Intersect(a, b) => {
+            expr_sites(a, counter, acc);
+            expr_sites(b, counter, acc);
+        }
+    }
+}
+
+/// Collects sites in `p`; returns the spine indices of `p`'s terminal
+/// steps (the steps an enclosing qualifier layer would attach to).
+fn path_sites(p: &Path, counter: &mut usize, acc: &mut Vec<PredicateSite>) -> Vec<usize> {
+    match p {
+        Path::Step(..) => {
+            let idx = *counter;
+            *counter += 1;
+            vec![idx]
+        }
+        Path::Seq(l, r) => {
+            path_sites(l, counter, acc);
+            path_sites(r, counter, acc)
+        }
+        Path::Union(l, r) => {
+            let mut terms = path_sites(l, counter, acc);
+            terms.extend(path_sites(r, counter, acc));
+            terms
+        }
+        Path::Qualified(inner, q) => {
+            let terms = path_sites(inner, counter, acc);
+            if let [step] = terms[..] {
+                let base = acc.iter().filter(|s| s.step == step).count();
+                for (i, c) in conjuncts(q).into_iter().enumerate() {
+                    acc.push(PredicateSite {
+                        step,
+                        conj: base + i,
+                        display: c.to_string(),
+                    });
+                }
+            }
+            terms
+        }
+    }
+}
+
+/// The top-level `and`-conjuncts of `q`, left to right.
+fn conjuncts(q: &Qualifier) -> Vec<&Qualifier> {
+    match q {
+        Qualifier::And(a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        _ => vec![q],
+    }
+}
+
+fn rebuild_and(mut parts: Vec<Qualifier>) -> Option<Qualifier> {
+    let first = match parts.is_empty() {
+        true => return None,
+        false => parts.remove(0),
+    };
+    Some(
+        parts
+            .into_iter()
+            .fold(first, |acc, q| Qualifier::And(Box::new(acc), Box::new(q))),
+    )
+}
+
+/// The expression with the conjunct at `site` removed. Spine indices of
+/// the result are unchanged. Returns `None` if the site does not exist.
+pub fn without_site(e: &Expr, site: &PredicateSite) -> Option<Expr> {
+    let mut counter = 0;
+    let mut conj_counter = 0;
+    let mut removed = false;
+    let out = expr_remove(e, site, &mut counter, &mut conj_counter, &mut removed);
+    removed.then_some(out)
+}
+
+fn expr_remove(
+    e: &Expr,
+    site: &PredicateSite,
+    counter: &mut usize,
+    conj_counter: &mut usize,
+    removed: &mut bool,
+) -> Expr {
+    match e {
+        Expr::Absolute(p) => Expr::Absolute(path_remove(p, site, counter, conj_counter, removed).0),
+        Expr::Relative(p) => Expr::Relative(path_remove(p, site, counter, conj_counter, removed).0),
+        Expr::Union(a, b) => Expr::Union(
+            Box::new(expr_remove(a, site, counter, conj_counter, removed)),
+            Box::new(expr_remove(b, site, counter, conj_counter, removed)),
+        ),
+        Expr::Intersect(a, b) => Expr::Intersect(
+            Box::new(expr_remove(a, site, counter, conj_counter, removed)),
+            Box::new(expr_remove(b, site, counter, conj_counter, removed)),
+        ),
+    }
+}
+
+fn path_remove(
+    p: &Path,
+    site: &PredicateSite,
+    counter: &mut usize,
+    conj_counter: &mut usize,
+    removed: &mut bool,
+) -> (Path, Vec<usize>) {
+    match p {
+        Path::Step(axis, test) => {
+            let idx = *counter;
+            *counter += 1;
+            (Path::Step(*axis, *test), vec![idx])
+        }
+        Path::Seq(l, r) => {
+            let (lp, _) = path_remove(l, site, counter, conj_counter, removed);
+            let (rp, terms) = path_remove(r, site, counter, conj_counter, removed);
+            (Path::Seq(Box::new(lp), Box::new(rp)), terms)
+        }
+        Path::Union(l, r) => {
+            let (lp, mut terms) = path_remove(l, site, counter, conj_counter, removed);
+            let (rp, rterms) = path_remove(r, site, counter, conj_counter, removed);
+            terms.extend(rterms);
+            (Path::Union(Box::new(lp), Box::new(rp)), terms)
+        }
+        Path::Qualified(inner, q) => {
+            let (ip, terms) = path_remove(inner, site, counter, conj_counter, removed);
+            if terms[..] == [site.step] {
+                let mut kept = Vec::new();
+                for c in conjuncts(q) {
+                    let ordinal = *conj_counter;
+                    *conj_counter += 1;
+                    if ordinal == site.conj {
+                        *removed = true;
+                    } else {
+                        kept.push(c.clone());
+                    }
+                }
+                match rebuild_and(kept) {
+                    Some(nq) => (Path::Qualified(Box::new(ip), Box::new(nq)), terms),
+                    None => (ip, terms),
+                }
+            } else {
+                (Path::Qualified(Box::new(ip), q.clone()), terms)
+            }
+        }
+    }
+}
+
+/// The top-level union branches of `e`, flattened.
+///
+/// Both expression-level union (`e1 | e2`) and a path-level union that *is*
+/// the whole path (`/(a | b)`) are split; a single-branch expression
+/// returns itself. Branches keep their absolute/relative anchoring.
+pub fn union_branches(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Union(a, b) => {
+            let mut v = union_branches(a);
+            v.extend(union_branches(b));
+            v
+        }
+        Expr::Absolute(p) => path_branches(p).into_iter().map(Expr::Absolute).collect(),
+        Expr::Relative(p) => path_branches(p).into_iter().map(Expr::Relative).collect(),
+        Expr::Intersect(..) => vec![e.clone()],
+    }
+}
+
+fn path_branches(p: &Path) -> Vec<Path> {
+    match p {
+        Path::Union(a, b) => {
+            let mut v = path_branches(a);
+            v.extend(path_branches(b));
+            v
+        }
+        _ => vec![p.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn spine(input: &str) -> Vec<String> {
+        steps(&parse(input).unwrap())
+            .into_iter()
+            .map(|s| s.display)
+            .collect()
+    }
+
+    #[test]
+    fn spine_skips_qualifier_interiors() {
+        assert_eq!(
+            spine("a[b/c]/d"),
+            vec!["child::a".to_owned(), "child::d".to_owned()]
+        );
+    }
+
+    #[test]
+    fn spine_spans_union_branches() {
+        let s = spine("a/b | c");
+        assert_eq!(s, vec!["child::a", "child::b", "child::c"]);
+        let infos = steps(&parse("a/b | c").unwrap());
+        assert_eq!(
+            infos.iter().map(|s| s.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn prefix_truncates_and_strips() {
+        let e = parse("a[b]/c[d]/e").unwrap();
+        let p1 = prefix(&e, 1, PrefixQuals::Strip).unwrap();
+        assert_eq!(p1.to_string(), "child::a[child::b]/child::c");
+        let p1k = prefix(&e, 1, PrefixQuals::Keep).unwrap();
+        assert_eq!(p1k.to_string(), "child::a[child::b]/child::c[child::d]");
+        let p2 = prefix(&e, 2, PrefixQuals::Strip).unwrap();
+        assert_eq!(
+            p2.to_string(),
+            "child::a[child::b]/child::c[child::d]/child::e"
+        );
+        assert!(prefix(&e, 3, PrefixQuals::Strip).is_none());
+    }
+
+    #[test]
+    fn prefix_keeps_only_the_containing_branch() {
+        let e = parse("a/b | c/d").unwrap();
+        assert_eq!(
+            prefix(&e, 2, PrefixQuals::Strip).unwrap().to_string(),
+            "child::c"
+        );
+        let abs = parse("/(a | b)").unwrap();
+        assert_eq!(
+            prefix(&abs, 1, PrefixQuals::Strip).unwrap().to_string(),
+            "/child::b"
+        );
+    }
+
+    #[test]
+    fn sites_enumerate_conjuncts_in_order() {
+        let e = parse("a[b and c]/d[e]").unwrap();
+        let sites = predicate_sites(&e);
+        let got: Vec<(usize, usize, &str)> = sites
+            .iter()
+            .map(|s| (s.step, s.conj, s.display.as_str()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(0, 0, "child::b"), (0, 1, "child::c"), (1, 0, "child::e")]
+        );
+    }
+
+    #[test]
+    fn layered_qualifiers_count_inner_first() {
+        let e = parse("a[b][c]").unwrap();
+        let sites = predicate_sites(&e);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].display, "child::b");
+        assert_eq!(sites[1].display, "child::c");
+    }
+
+    #[test]
+    fn shared_union_qualifier_has_no_sites() {
+        let e = parse("(a | b)[c]").unwrap();
+        assert!(predicate_sites(&e).is_empty());
+    }
+
+    #[test]
+    fn without_site_removes_one_conjunct() {
+        let e = parse("a[b and c]/d[e]").unwrap();
+        let sites = predicate_sites(&e);
+        let w0 = without_site(&e, &sites[0]).unwrap();
+        assert_eq!(w0.to_string(), "child::a[child::c]/child::d[child::e]");
+        let w2 = without_site(&e, &sites[2]).unwrap();
+        assert_eq!(w2.to_string(), "child::a[child::b and child::c]/child::d");
+        let bogus = PredicateSite {
+            step: 7,
+            conj: 0,
+            display: String::new(),
+        };
+        assert!(without_site(&e, &bogus).is_none());
+    }
+
+    #[test]
+    fn without_site_keeps_spine_indices() {
+        let e = parse("a[b]/c[d]").unwrap();
+        let sites = predicate_sites(&e);
+        let w = without_site(&e, &sites[0]).unwrap();
+        assert_eq!(
+            steps(&w).iter().map(|s| s.index).collect::<Vec<_>>(),
+            steps(&e).iter().map(|s| s.index).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn union_branches_flatten() {
+        let e = parse("a | b | c").unwrap();
+        let branches = union_branches(&e);
+        assert_eq!(branches.len(), 3);
+        assert_eq!(branches[2].to_string(), "child::c");
+        let abs = parse("/(head | body)").unwrap();
+        let branches = union_branches(&abs);
+        assert_eq!(branches.len(), 2);
+        assert_eq!(branches[0].to_string(), "/child::head");
+        let single = parse("a/b").unwrap();
+        assert_eq!(union_branches(&single), vec![single]);
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod ast;
 mod compile;
+pub mod decompose;
 mod parser;
 mod rewrite;
 mod semantics;
@@ -48,3 +49,14 @@ pub use compile::{compile_axis_fwd, compile_expr, compile_query};
 pub use parser::{parse, ParseXPathError};
 pub use rewrite::normalize;
 pub use semantics::{eval_axis, eval_expr, eval_on_tree};
+
+/// Parses `input` and applies [`normalize`] — the canonical parse boundary.
+///
+/// [`parse`] deliberately returns the raw desugared AST (its output is
+/// pinned by round-trip tests); front ends that go on to *compile* or
+/// *display* an expression should use this entry point instead, so the
+/// compiled form and the printed form agree and step spans reported
+/// against the normalized expression survive a print→reparse round trip.
+pub fn parse_normalized(input: &str) -> Result<Expr, ParseXPathError> {
+    parse(input).map(|e| normalize(&e))
+}

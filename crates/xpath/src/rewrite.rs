@@ -4,6 +4,8 @@
 //! optimization* (its §1 cites logic-based XPath optimizers). This module
 //! implements a small rewriting engine whose rules are classical:
 //!
+//! * canonical left association of `/`, so normal forms are independent of
+//!   how a `Seq` spine was built;
 //! * trivial-step elimination: `p/self::* → p`, `self::*/p → p`;
 //! * qualifier fusion: `p[q1][q2] → p[q1 and q2]`;
 //! * the `//`-fusion `desc-or-self::*/child::t → descendant::t` (and the
@@ -95,6 +97,13 @@ fn rewrite_path(p: &Path) -> Path {
             }
             if is_trivial_self(&ra) {
                 return rb;
+            }
+            // Canonical left association: a/(b/c) → (a/b)/c. Keeping every
+            // `Seq` spine left-associated means the pairwise rules below see
+            // each adjacent step pair regardless of how the expression was
+            // built, so normal forms don't depend on association.
+            if let Path::Seq(y, z) = rb {
+                return Path::Seq(Box::new(Path::Seq(Box::new(ra), y)), z);
             }
             // Left-associated variant: (x/desc-or-self::*)/child::t →
             // x/descendant::t.

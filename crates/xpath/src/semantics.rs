@@ -47,7 +47,7 @@ pub fn eval_on_tree(e: &Expr, tree: &Tree) -> Vec<FocusedTree> {
 pub fn eval_expr(e: &Expr, universe: &FSet) -> FSet {
     match e {
         Expr::Absolute(p) => {
-            let roots: FSet = universe.iter().map(|f| f.root()).collect();
+            let roots: FSet = universe.iter().map(ftree::FocusedTree::root).collect();
             eval_path(p, &roots, universe)
         }
         Expr::Relative(p) => {
@@ -148,18 +148,18 @@ pub fn eval_axis(a: Axis, from: &FSet) -> FSet {
         Axis::SelfAxis => from.clone(),
         Axis::Child => {
             let first = image(from, FocusedTree::down1);
-            let later = plus(&first, |f| f.down2());
+            let later = plus(&first, ftree::FocusedTree::down2);
             first.union(&later).cloned().collect()
         }
-        Axis::FollSibling => plus(from, |f| f.down2()),
-        Axis::PrecSibling => plus(from, |f| f.up2()),
-        Axis::Parent => image(from, |f| f.parent()),
+        Axis::FollSibling => plus(from, ftree::FocusedTree::down2),
+        Axis::PrecSibling => plus(from, ftree::FocusedTree::up2),
+        Axis::Parent => image(from, ftree::FocusedTree::parent),
         Axis::Descendant => plus_set(from, |s| eval_axis(Axis::Child, s)),
         Axis::DescOrSelf => {
             let desc = eval_axis(Axis::Descendant, from);
             from.union(&desc).cloned().collect()
         }
-        Axis::Ancestor => plus(from, |f| f.parent()),
+        Axis::Ancestor => plus(from, ftree::FocusedTree::parent),
         Axis::AncOrSelf => {
             let anc = eval_axis(Axis::Ancestor, from);
             from.union(&anc).cloned().collect()

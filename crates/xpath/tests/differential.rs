@@ -152,4 +152,33 @@ proptest! {
         let reparsed = xpath::parse(&shown).unwrap();
         prop_assert_eq!(reparsed.to_string(), shown);
     }
+
+    /// The normalized parse boundary is a fixpoint: pretty-printing a
+    /// normalized expression and feeding it back through
+    /// [`xpath::parse_normalized`] reproduces the same printed form.
+    #[test]
+    fn parse_normalized_is_a_fixpoint(e in arb_expr()) {
+        let n = xpath::normalize(&e);
+        let shown = n.to_string();
+        let back = xpath::parse_normalized(&shown).unwrap();
+        prop_assert_eq!(back.to_string(), shown);
+    }
+
+    /// Lint spans survive a print→reparse round trip: the spine steps (and
+    /// predicate sites) of the reparsed expression match the original's.
+    #[test]
+    fn decomposition_survives_roundtrip(e in arb_expr()) {
+        let n = xpath::normalize(&e);
+        let back = xpath::parse_normalized(&n.to_string()).unwrap();
+        prop_assert_eq!(
+            xpath::decompose::steps(&back),
+            xpath::decompose::steps(&n),
+            "spine drift for {}", n
+        );
+        prop_assert_eq!(
+            xpath::decompose::predicate_sites(&back),
+            xpath::decompose::predicate_sites(&n),
+            "site drift for {}", n
+        );
+    }
 }

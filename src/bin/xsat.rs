@@ -4,6 +4,7 @@
 //! xsat check <XPATH> [--dtd FILE] [--backend B] [--empty] [--json] [OBS] [LIMITS]
 //! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [OBS] [LIMITS]
 //! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [OBS] [LIMITS]
+//! xsat lint <FILE.jsonl> [--deny RULE]... [--allow RULE]... [--type NAME] [--max-diamonds N] [--json] [OBS] [LIMITS]
 //! xsat serve [--threads N] [--backend B] [OBS] [LIMITS]
 //! xsat metrics [FILE.jsonl] [--threads N] [--backend B] [OBS] [LIMITS]
 //! OBS:    [--trace-file FILE] [--slow-ms N]
@@ -69,6 +70,7 @@ fn main() -> ExitCode {
         "check" => check(rest),
         "compare" => compare(rest),
         "batch" => batch(rest),
+        "lint" => lint(rest),
         "serve" => serve(rest),
         "metrics" => metrics(rest),
         "--help" | "-h" | "help" => {
@@ -108,6 +110,17 @@ USAGE:
   xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [LIMITS]
       Run a JSON-lines request file through the parallel batch executor.
       One response line per request on stdout; a summary object on stderr.
+
+  xsat lint <FILE.jsonl> [--deny RULE]... [--allow RULE]... [--type NAME] [--max-diamonds N] [--threads N] [--backend B] [--json] [LIMITS]
+      Load the workspace registrations in FILE (dtd/query requests), then
+      run the solver-backed lint rules over every registered query:
+      dead-step, contradictory-predicate, redundant-union-branch,
+      query-shadowing, unreachable-element, wildcard-explosion (catalog:
+      docs/LINT.md). --deny RULE raises a rule to error severity,
+      --allow RULE disables it; --type names the governing DTD when
+      several are registered; --max-diamonds overrides the
+      wildcard-explosion threshold. Exits 0 when no error-severity
+      findings remain, 1 otherwise, 2 on workspace/config errors.
 
   xsat serve [--threads N] [--backend B] [LIMITS]
       Speak the JSONL protocol as a co-process: requests on stdin, one
@@ -169,6 +182,10 @@ struct Opts {
     summary_only: bool,
     trace_file: Option<String>,
     slow_ms: Option<u64>,
+    deny: Vec<String>,
+    allow: Vec<String>,
+    type_name: Option<String>,
+    max_diamonds: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -185,6 +202,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         summary_only: false,
         trace_file: None,
         slow_ms: None,
+        deny: Vec::new(),
+        allow: Vec::new(),
+        type_name: None,
+        max_diamonds: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -245,6 +266,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--slow-ms: {e}"))?;
                 opts.slow_ms = Some(ms);
+            }
+            "--deny" => opts
+                .deny
+                .push(it.next().ok_or("--deny needs a rule id")?.clone()),
+            "--allow" => opts
+                .allow
+                .push(it.next().ok_or("--allow needs a rule id")?.clone()),
+            "--type" => opts.type_name = Some(it.next().ok_or("--type needs a name")?.clone()),
+            "--max-diamonds" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--max-diamonds needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--max-diamonds: {e}"))?;
+                opts.max_diamonds = Some(n);
             }
             "--json" => opts.json = true,
             "--empty" => opts.empty = true,
@@ -451,6 +487,128 @@ fn batch(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn lint(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("lint needs exactly one workspace JSONL file argument".into());
+    };
+    let input = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut engine = engine_with(opts.threads, &opts)?;
+    // Load the workspace: the file may also carry decision requests (their
+    // verdicts are discarded here but warm the shared memo cache), yet any
+    // failing line is a broken workspace and stops the lint.
+    let outcome = engine.run_batch_lines(&input);
+    if outcome.stats.errors > 0 {
+        for response in &outcome.responses {
+            if response.get("ok").and_then(Value::as_bool) != Some(true) {
+                eprintln!(
+                    "xsat lint: workspace error: {}",
+                    response
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("request failed"),
+                );
+            }
+        }
+        return Ok(ExitCode::from(2));
+    }
+    let mut fields = vec![("op".to_owned(), Value::from("lint"))];
+    let mut rules: Vec<(String, Value)> = Vec::new();
+    for rule in &opts.deny {
+        rules.push((rule.clone(), Value::from("error")));
+    }
+    for rule in &opts.allow {
+        rules.push((rule.clone(), Value::from("off")));
+    }
+    if !rules.is_empty() {
+        fields.push(("rules".to_owned(), Value::Obj(rules)));
+    }
+    if let Some(name) = &opts.type_name {
+        fields.push(("type".to_owned(), Value::from(name.as_str())));
+    }
+    if let Some(n) = opts.max_diamonds {
+        fields.push(("max_diamonds".to_owned(), Value::from(n)));
+    }
+    if let Some(b) = opts.backend {
+        fields.push(("backend".to_owned(), Value::from(b.as_str())));
+    }
+    let req = Request::from_value(&Value::Obj(fields))?;
+    let response = engine.execute(&req);
+    if response.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(response
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("lint failed")
+            .to_owned());
+    }
+    if opts.json {
+        println!("{}", response.to_json());
+    } else {
+        print_lint_human(&response);
+    }
+    let errors = response
+        .get("errors")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    Ok(if errors > 0.0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Renders lint findings rustc-style: one `severity[rule]` headline per
+/// finding with its span and solver evidence indented below, then a
+/// one-line summary.
+fn print_lint_human(response: &Value) {
+    let empty = Vec::new();
+    let diagnostics = match response.get("diagnostics") {
+        Some(Value::Arr(items)) => items,
+        _ => &empty,
+    };
+    for d in diagnostics {
+        let s = |k: &str| d.get(k).and_then(Value::as_str).unwrap_or("?");
+        println!(
+            "{}[{}] {}: {}",
+            s("severity"),
+            s("rule"),
+            s("subject"),
+            s("message")
+        );
+        if let Some(span) = d.get("span").and_then(Value::as_str) {
+            match d.get("step").and_then(Value::as_f64) {
+                Some(step) => println!("  --> {} step {step}: `{span}`", s("subject")),
+                None => println!("  --> {}: `{span}`", s("subject")),
+            }
+        }
+        if let Some(ev) = d.get("evidence") {
+            let op = ev.get("op").and_then(Value::as_str).unwrap_or("?");
+            if let Some(xml) = ev.get("witness").and_then(Value::as_str) {
+                println!("  evidence: oracle-verified {op} witness {xml}");
+            } else if let Some(status) = ev.get("status").and_then(Value::as_str) {
+                println!("  evidence: {op} verdict `{status}`");
+            }
+        }
+    }
+    let n = |k: &str| response.get(k).and_then(Value::as_f64).unwrap_or(0.0) as usize;
+    let wall = response
+        .get("wall_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if response.get("status").and_then(Value::as_str) == Some("clean") {
+        println!("lint: clean — {} probes in {wall:.3} ms", n("probes"));
+    } else {
+        println!(
+            "lint: {} findings ({} errors, {} warnings, {} infos) — {} probes in {wall:.3} ms",
+            n("findings"),
+            n("errors"),
+            n("warnings"),
+            n("infos"),
+            n("probes"),
+        );
+    }
 }
 
 fn serve(args: &[String]) -> Result<ExitCode, String> {
