@@ -1,0 +1,157 @@
+//! Serving-tier baseline: mixed-tenant load over real loopback sockets.
+//!
+//! Boots the TCP serving tier (the `serve` crate — bounded admission,
+//! per-tenant workspaces) and drives it with concurrent JSONL clients
+//! spread across three tenants, each round-tripping a stream of distinct
+//! containment problems. Reports end-to-end problems/sec and latency
+//! percentiles — the full protocol cost: socket, framing, admission,
+//! queue, worker solve, ordered write-back. The one-sample summary lands
+//! in `BENCH_serve.json` at the workspace root; CI runs this bench with
+//! `CRITERION_SAMPLES=1` so serving-tier refactors that regress the
+//! request path fail loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{json, Value};
+use serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const TENANTS: &[&str] = &["alpha", "beta", "gamma"];
+/// Concurrent client connections (spread round-robin over the tenants).
+const CLIENTS: usize = 6;
+/// Problems each client round-trips per load run.
+const PROBLEMS_PER_CLIENT: usize = 50;
+
+fn boot() -> Server {
+    Server::bind(
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+/// One client's slice of the load: round-trips `PROBLEMS_PER_CLIENT`
+/// distinct containments for `tenant`, returning per-request latencies in
+/// milliseconds. Every verdict is asserted, so a serving tier that starts
+/// shedding or erroring under this light load fails the bench.
+fn client_run(addr: std::net::SocketAddr, tenant: &str, client: usize) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    // Without this the measurement is Nagle + delayed-ACK (~40 ms per
+    // round-trip on loopback), not the serving tier.
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    let mut latencies = Vec::with_capacity(PROBLEMS_PER_CLIENT);
+    for i in 0..PROBLEMS_PER_CLIENT {
+        // Distinct per (tenant, client, i): the load is real solves plus
+        // the memo hits tenants earn by structural sharing, like
+        // production traffic — not a single cached problem replayed.
+        let line = format!(
+            "{{\"id\":{i},\"op\":\"contains\",\"tenant\":\"{tenant}\",\
+             \"lhs\":\"child::e{client}_{i}[child::x]\",\"rhs\":\"child::e{client}_{i}\"}}"
+        );
+        let started = Instant::now();
+        writeln!(stream, "{line}").expect("send");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("recv");
+        latencies.push(started.elapsed().as_secs_f64() * 1000.0);
+        let v = json::parse(response.trim()).expect("json response");
+        assert_eq!(
+            v.get("status").and_then(Value::as_str),
+            Some("holds"),
+            "{response}"
+        );
+    }
+    latencies
+}
+
+/// One full mixed-tenant load run; returns (problems/sec, latencies ms).
+fn load_once(server: &Server) -> (f64, Vec<f64>) {
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let tenant = TENANTS[c % TENANTS.len()];
+            std::thread::spawn(move || client_run(addr, tenant, c))
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    (latencies.len() as f64 / wall, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn bench_serve_load(c: &mut Criterion) {
+    let samples: usize = std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let server = boot();
+    // Instrumented runs for the problems/sec report and BENCH_serve.json;
+    // best-of-N throughput, latencies pooled across every run.
+    let mut best_pps = 0.0f64;
+    let mut all_latencies = Vec::new();
+    for _ in 0..samples {
+        let (pps, lat) = load_once(&server);
+        best_pps = best_pps.max(pps);
+        all_latencies.extend(lat);
+    }
+    all_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let round3 = |v: f64| (v * 1000.0).round() / 1000.0;
+    let p50 = percentile(&all_latencies, 0.50);
+    let p99 = percentile(&all_latencies, 0.99);
+    let max = *all_latencies.last().expect("nonempty");
+    println!(
+        "serve-load: {} tenants x {CLIENTS} clients x {PROBLEMS_PER_CLIENT} problems — \
+         {best_pps:.0} problems/sec end to end",
+        TENANTS.len(),
+    );
+    println!("serve-load: latency p50 {p50:.3} ms, p99 {p99:.3} ms, max {max:.3} ms");
+
+    let json = format!(
+        concat!(
+            r#"{{"bench":"serve_load","samples":{},"tenants":{},"clients":{},"#,
+            r#""problems_per_run":{},"problems_per_sec":{},"#,
+            r#""latency_ms":{{"p50":{},"p99":{},"max":{}}}}}"#,
+        ),
+        samples,
+        TENANTS.len(),
+        CLIENTS,
+        CLIENTS * PROBLEMS_PER_CLIENT,
+        round3(best_pps),
+        round3(p50),
+        round3(p99),
+        round3(max),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_serve.json");
+    println!("serve-load: wrote {path}");
+
+    let mut g = c.benchmark_group("serve-load");
+    g.sample_size(10);
+    g.bench_function("mixed-tenant/end-to-end", |b| {
+        b.iter(|| load_once(&server).0);
+    });
+    g.finish();
+
+    let report = server.shutdown();
+    assert!(report.drained, "load bench must drain cleanly");
+}
+
+criterion_group!(benches, bench_serve_load);
+criterion_main!(benches);

@@ -17,11 +17,12 @@
 //! **never** cached — a retry with bigger limits must re-solve.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use analyzer::{Analyzer, BackendChoice, Limits};
+use analyzer::{Analyzer, AnalyzerOptions, BackendChoice, Limits};
 use obs::{FieldValue, MemorySink, Recorder, Sink, SlowEntry, SlowLog};
 
 use crate::json::{obj, Value};
@@ -88,9 +89,49 @@ impl ObsCtx<'_> {
     }
 }
 
+/// Runs one job with panic containment: a panicking solve produces a
+/// [`RunOutcome::Error`] and rebuilds the worker's analyzer (its arenas
+/// may be mid-mutation), so one poisoned problem degrades one response
+/// instead of killing the worker — and with it every other response of
+/// the batch. Each contained panic increments `xsat_worker_panics_total`.
+pub fn run_job_contained(
+    az: &mut Analyzer,
+    options: &AnalyzerOptions,
+    job: &Job,
+    limits: &Limits,
+    rec: &Recorder,
+) -> RunOutcome {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| run_job(az, job, limits, rec))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            *az = Analyzer::with_options(options.clone());
+            obs::metrics()
+                .counter("xsat_worker_panics_total", &[])
+                .inc();
+            RunOutcome::Error(format!(
+                "solver panicked ({}); the worker analyzer was rebuilt and \
+                 this response degraded to an error",
+                panic_message(&payload)
+            ))
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (the `&str`/`String` carried by
+/// `panic!`; anything else renders as an opaque marker).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// One memo-cache lookup: the `memo` trace event plus the process-wide
 /// hit/miss counters.
-pub(crate) fn note_memo_lookup(rec: &Recorder, job: &Job, hit: bool) {
+pub fn note_memo_lookup(rec: &Recorder, job: &Job, hit: bool) {
     rec.event(
         "memo",
         &[
@@ -216,9 +257,13 @@ struct WorkItem {
     trace: bool,
 }
 
+// The engine's full execution context is genuinely this wide; bundling
+// the arguments into a one-use struct would only rename the problem.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch(
     workspace: &mut Workspace,
     workers: &mut [Analyzer],
+    options: &AnalyzerOptions,
     cache: &Mutex<HashMap<Job, Verdict>>,
     default_backend: BackendChoice,
     default_limits: &Limits,
@@ -352,7 +397,7 @@ pub(crate) fn run_batch(
                 let (outcome, cached) = match hit {
                     Some(v) => (RunOutcome::Verdict(v), true),
                     None => {
-                        let outcome = run_job(az, &item.job, &item.limits, &rec);
+                        let outcome = run_job_contained(az, options, &item.job, &item.limits, &rec);
                         if let RunOutcome::Verdict(v) = &outcome {
                             lock(cache).insert(item.job.clone(), v.clone());
                         }
@@ -370,16 +415,30 @@ pub(crate) fn run_batch(
                     }
                     trace_value(&events)
                 });
-                results_ref[i]
-                    .set((outcome, cached, item.trace.then_some(trace).flatten()))
-                    .expect("work item executed twice");
+                // First write wins; a duplicate write (which would take a
+                // scheduling bug) is dropped rather than panicking the
+                // worker.
+                let _ =
+                    results_ref[i].set((outcome, cached, item.trace.then_some(trace).flatten()));
             });
         }
     });
 
-    // Pass 3: fill problem responses in request order.
+    // Pass 3: fill problem responses in request order. A work item with no
+    // result (a lost worker — which catch_unwind should make impossible)
+    // degrades that one response to an error instead of aborting the
+    // whole batch.
     for p in pending {
-        let (outcome, item_was_hit, trace) = results[p.work].get().expect("work item not executed");
+        let Some((outcome, item_was_hit, trace)) = results[p.work].get() else {
+            stats.errors += 1;
+            stats.cache_misses += 1;
+            responses[p.slot] = Some(error_response(
+                p.id.as_ref(),
+                "internal: the work item for this request was never executed; \
+                 the response degraded to an error",
+            ));
+            continue;
+        };
         match outcome {
             RunOutcome::Error(e) => {
                 stats.errors += 1;
@@ -415,13 +474,22 @@ pub(crate) fn run_batch(
     }
 
     stats.wall_ms = duration_ms(started.elapsed());
-    BatchOutcome {
-        responses: responses
-            .into_iter()
-            .map(|r| r.expect("every request answered"))
-            .collect(),
-        stats,
-    }
+    // Every slot should be filled by now; an unanswered one (a bookkeeping
+    // bug) becomes an error response rather than a process abort.
+    let responses = responses
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                stats.errors += 1;
+                error_response(
+                    None,
+                    "internal: this request was never answered; \
+                     the response degraded to an error",
+                )
+            })
+        })
+        .collect();
+    BatchOutcome { responses, stats }
 }
 
 /// Aggregate counters for one lint probe fan-out, folded into the engine's
@@ -444,6 +512,7 @@ pub(crate) struct ProbeStats {
 /// per probe, in probe order.
 pub(crate) fn solve_probes(
     workers: &mut [Analyzer],
+    options: &AnalyzerOptions,
     cache: &Mutex<HashMap<Job, Verdict>>,
     backend: BackendChoice,
     limits: &Limits,
@@ -495,7 +564,7 @@ pub(crate) fn solve_probes(
                 let (outcome, cached) = match hit {
                     Some(v) => (RunOutcome::Verdict(v), true),
                     None => {
-                        let outcome = run_job(az, job, limits, &rec);
+                        let outcome = run_job_contained(az, options, job, limits, &rec);
                         if let RunOutcome::Verdict(v) = &outcome {
                             lock(cache).insert(job.clone(), v.clone());
                         }
@@ -512,9 +581,7 @@ pub(crate) fn solve_probes(
                         obs_ctx.note_slow(job, outcome_status(&outcome), wall_ms, &events);
                     }
                 }
-                results_ref[i]
-                    .set((outcome, cached))
-                    .expect("lint job executed twice");
+                let _ = results_ref[i].set((outcome, cached));
             });
         }
     });
@@ -523,7 +590,12 @@ pub(crate) fn solve_probes(
     let outcomes = slots
         .iter()
         .map(|&(j, duplicate)| {
-            let (outcome, job_was_hit) = results[j].get().expect("lint job not executed");
+            let Some((outcome, job_was_hit)) = results[j].get() else {
+                stats.misses += 1;
+                return lint::ProbeOutcome::Error {
+                    reason: "internal: this lint probe was never executed".to_owned(),
+                };
+            };
             match outcome {
                 RunOutcome::Verdict(v) => {
                     if *job_was_hit || duplicate {

@@ -1,0 +1,202 @@
+//! Bounded JSONL framing: reading one request line without trusting the
+//! peer.
+//!
+//! `BufRead::read_line` has two failure modes a service cannot afford: a
+//! line with no newline grows the buffer without bound (a hostile or
+//! broken client can exhaust memory with one request), and invalid UTF-8
+//! kills the whole stream with an [`std::io::Error`] even though every
+//! later line might be fine. [`read_framed`] fixes both — it reads at most
+//! `max_bytes` of one line, discards the oversized remainder in bounded
+//! chunks so framing recovers at the next newline, and converts bytes
+//! lossily so a garbage line becomes a parse error *response* rather than
+//! a dead connection. Both the stdin serve loop ([`Engine::serve`]) and
+//! the TCP serving tier read frames through this module.
+//!
+//! [`Engine::serve`]: crate::Engine::serve
+
+use std::io::BufRead;
+
+/// The default per-line byte cap of the serve loops: generous enough for
+/// inline DTD sources, small enough that one client cannot balloon the
+/// process. Overridable via [`EngineConfig::max_line_bytes`].
+///
+/// [`EngineConfig::max_line_bytes`]: crate::EngineConfig::max_line_bytes
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One framed read from a JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Framed {
+    /// A complete line (without its newline), decoded lossily — invalid
+    /// UTF-8 becomes replacement characters and then a parse-error
+    /// response, never a dead stream.
+    Line(String),
+    /// A line longer than the cap. The oversized remainder (up to the next
+    /// newline or end of stream) has already been discarded, so the next
+    /// read starts on a fresh frame.
+    Oversized {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one newline-delimited frame, holding at most `max_bytes` of it in
+/// memory.
+///
+/// Returns [`Framed::Oversized`] when the line exceeds the cap; the rest
+/// of that line is consumed (in `max_bytes`-sized chunks, never buffered
+/// whole) so the stream stays line-synchronized. I/O errors — including
+/// read timeouts on sockets — surface as `Err` for the caller's
+/// connection policy to handle.
+pub fn read_framed<R: BufRead>(reader: &mut R, max_bytes: usize) -> std::io::Result<Framed> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // End of stream: a final unterminated line still counts.
+            return Ok(if line.is_empty() {
+                Framed::Eof
+            } else {
+                Framed::Line(decode(line))
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if line.len() + nl > max_bytes {
+                    reader.consume(nl + 1);
+                    return Ok(Framed::Oversized { limit: max_bytes });
+                }
+                line.extend_from_slice(&buf[..nl]);
+                reader.consume(nl + 1);
+                return Ok(Framed::Line(decode(line)));
+            }
+            None => {
+                let chunk = buf.len();
+                if line.len() + chunk > max_bytes {
+                    reader.consume(chunk);
+                    discard_to_newline(reader)?;
+                    return Ok(Framed::Oversized { limit: max_bytes });
+                }
+                line.extend_from_slice(buf);
+                reader.consume(chunk);
+            }
+        }
+    }
+}
+
+/// Consumes bytes up to and including the next newline (or end of stream)
+/// without buffering them — the recovery path after an oversized frame.
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                reader.consume(nl + 1);
+                return Ok(());
+            }
+            None => {
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Lossy UTF-8 decoding: replacement characters instead of a dead stream.
+fn decode(bytes: Vec<u8>) -> String {
+    match String::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<Framed> {
+        let mut r = std::io::BufReader::with_capacity(8, input);
+        let mut out = Vec::new();
+        loop {
+            let f = read_framed(&mut r, max).unwrap();
+            let eof = f == Framed::Eof;
+            out.push(f);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn frames_lines_and_final_unterminated() {
+        let frames = read_all(b"alpha\nbeta\ngamma", 64);
+        assert_eq!(
+            frames,
+            vec![
+                Framed::Line("alpha".into()),
+                Framed::Line("beta".into()),
+                Framed::Line("gamma".into()),
+                Framed::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_and_framing_recovers() {
+        let input = format!("ok1\n{}\nok2\n", "x".repeat(100));
+        let frames = read_all(input.as_bytes(), 10);
+        assert_eq!(
+            frames,
+            vec![
+                Framed::Line("ok1".into()),
+                Framed::Oversized { limit: 10 },
+                Framed::Line("ok2".into()),
+                Framed::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline() {
+        let input = format!("ok\n{}", "y".repeat(50));
+        let frames = read_all(input.as_bytes(), 10);
+        assert_eq!(
+            frames,
+            vec![
+                Framed::Line("ok".into()),
+                Framed::Oversized { limit: 10 },
+                Framed::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_decodes_lossily() {
+        let input = b"\xff\xfe{not json}\nok\n";
+        let frames = read_all(input, 64);
+        assert_eq!(frames.len(), 3);
+        match &frames[0] {
+            Framed::Line(s) => assert!(s.contains('\u{FFFD}'), "{s}"),
+            other => panic!("expected a lossy line, got {other:?}"),
+        }
+        assert_eq!(frames[1], Framed::Line("ok".into()));
+    }
+
+    #[test]
+    fn empty_lines_are_frames() {
+        let frames = read_all(b"\n\nx\n", 8);
+        assert_eq!(
+            frames,
+            vec![
+                Framed::Line(String::new()),
+                Framed::Line(String::new()),
+                Framed::Line("x".into()),
+                Framed::Eof,
+            ]
+        );
+    }
+}

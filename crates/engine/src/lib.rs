@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod framing;
 pub mod json;
 pub mod problem;
 pub mod protocol;
@@ -60,22 +61,22 @@ use std::sync::{Arc, Mutex};
 use analyzer::{Analyzer, AnalyzerOptions};
 use solver::SymbolicOptions;
 
-pub use executor::{BatchOutcome, BatchStats};
+pub use executor::{note_memo_lookup, run_job_contained, BatchOutcome, BatchStats};
+pub use framing::{read_framed, Framed, DEFAULT_MAX_LINE_BYTES};
 pub use json::Value;
 pub use obs::{JsonlSink, MemorySink, Recorder, Sink, SlowEntry, SlowLog};
 pub use problem::{
     run_job, CounterExample, Job, Problem, RunOutcome, UnknownVerdict, Verdict, VerdictStats,
 };
 pub use protocol::{
-    counterexample_value, event_value, lint_response, metrics_response, slowlog_response,
-    trace_value, LimitsSpec, LintSpec, Op, ProblemSpec, Request, RequestKind, Status,
-    PROTOCOL_VERSION,
+    counterexample_value, error_response, event_value, lint_response, metrics_response,
+    registration_response, slowlog_response, trace_value, unknown_response, verdict_response,
+    LimitsSpec, LintSpec, Op, ProblemSpec, Request, RequestKind, Status, PROTOCOL_VERSION,
 };
 pub use solver::{BackendChoice, BddCounters, Limits, Resource, SolveError, Telemetry};
 pub use workspace::Workspace;
 
-use executor::{lock, note_memo_lookup, ObsCtx};
-use protocol::{error_response, registration_response, unknown_response, verdict_response};
+use executor::{lock, ObsCtx};
 
 /// Construction-time knobs of an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -98,6 +99,11 @@ pub struct EngineConfig {
     /// captures its full event trace into the engine's ring-buffered slow
     /// log (dumped by the `slowlog` op). `None` disables capture.
     pub slow_solve_ms: Option<u64>,
+    /// Per-line byte cap of the serve loop; `0` picks
+    /// [`framing::DEFAULT_MAX_LINE_BYTES`]. An oversized line is answered
+    /// with one protocol error response and discarded — the stream keeps
+    /// serving from the next line.
+    pub max_line_bytes: usize,
 }
 
 /// Cumulative service counters, reported by the `stats` op.
@@ -154,6 +160,8 @@ pub struct Engine {
     /// Ring buffer of captured slow solves, shared by the sequential
     /// front end and the batch workers.
     slow_log: SlowLog,
+    /// Per-line byte cap of the serve loop.
+    max_line_bytes: usize,
 }
 
 impl Default for Engine {
@@ -194,6 +202,11 @@ impl Engine {
             trace_sink: config.trace_sink,
             slow_solve_ms: config.slow_solve_ms,
             slow_log: SlowLog::default(),
+            max_line_bytes: if config.max_line_bytes == 0 {
+                framing::DEFAULT_MAX_LINE_BYTES
+            } else {
+                config.max_line_bytes
+            },
         }
     }
 
@@ -361,6 +374,7 @@ impl Engine {
         let outcome = executor::run_batch(
             &mut self.workspace,
             &mut self.workers,
+            &self.options,
             &self.cache,
             self.options.backend,
             &self.limits,
@@ -415,9 +429,34 @@ impl Engine {
     /// The daemon loop: reads one JSONL request per line, writes one JSON
     /// response per line, flushing after each so the engine is scriptable
     /// as a co-process. Returns when the reader is exhausted.
-    pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut output: W) -> std::io::Result<()> {
-        for line in input.lines() {
-            let line = line?;
+    ///
+    /// The loop is hardened against hostile or broken peers: a line that
+    /// fails to parse (including invalid UTF-8, decoded lossily) is
+    /// answered with one `"status":"error"` response, a line longer than
+    /// [`EngineConfig::max_line_bytes`] is answered with one error
+    /// response and discarded without ever being buffered whole, and in
+    /// both cases the loop keeps serving subsequent requests. Only a real
+    /// I/O failure of the underlying reader or writer ends the loop.
+    pub fn serve<R: BufRead, W: Write>(
+        &mut self,
+        mut input: R,
+        mut output: W,
+    ) -> std::io::Result<()> {
+        loop {
+            let line = match framing::read_framed(&mut input, self.max_line_bytes)? {
+                Framed::Eof => return Ok(()),
+                Framed::Oversized { limit } => {
+                    self.counters.errors += 1;
+                    let response = error_response(
+                        None,
+                        &format!("request line exceeds the {limit}-byte cap and was discarded"),
+                    );
+                    writeln!(output, "{}", response.to_json())?;
+                    output.flush()?;
+                    continue;
+                }
+                Framed::Line(line) => line,
+            };
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -426,7 +465,6 @@ impl Engine {
             writeln!(output, "{}", response.to_json())?;
             output.flush()?;
         }
-        Ok(())
     }
 
     /// Handles a `lint` request: plan on the sequential analyzer, fan the
@@ -464,6 +502,7 @@ impl Engine {
         };
         let (outcomes, probe_stats) = executor::solve_probes(
             &mut self.workers,
+            &self.options,
             &self.cache,
             backend,
             &effective,

@@ -248,6 +248,82 @@ fn serve_matches_golden_stream() {
 }
 
 #[test]
+fn serve_survives_garbage_and_oversized_lines() {
+    // Garbage interleaved between valid requests: each bad line costs one
+    // `error` response, never the stream. The oversized line exceeds the
+    // configured cap and must be shed without being buffered whole.
+    let mut e = Engine::with_config(EngineConfig {
+        max_line_bytes: 256,
+        ..EngineConfig::default()
+    });
+    let huge = format!(
+        "{{\"op\":\"query\",\"name\":\"big\",\"xpath\":\"{}\"}}",
+        "a".repeat(4096)
+    );
+    let mut input = Vec::new();
+    input.extend_from_slice(b"{\"op\":\"query\",\"name\":\"q1\",\"xpath\":\"child::a\"}\n");
+    input.extend_from_slice(b"this is not json at all\n");
+    input.extend_from_slice(
+        b"{\"op\":\"query\",\"name\":\"q2\",\"xpath\":\"child::a | child::b\"}\n",
+    );
+    input.extend_from_slice(b"\xff\xfe\x00{binary garbage}\x01\n");
+    input.extend_from_slice(huge.as_bytes());
+    input.push(b'\n');
+    input.extend_from_slice(b"{\"op\":\"contains\"\n"); // truncated JSON
+    input.extend_from_slice(b"{\"id\":9,\"op\":\"contains\",\"lhs\":\"q1\",\"rhs\":\"q2\"}\n");
+    let mut out = Vec::new();
+    e.serve(&input[..], &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<Value> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+    assert_eq!(
+        lines.len(),
+        7,
+        "one response per line, good or bad:\n{text}"
+    );
+
+    let ok = |v: &Value| v.get("ok").and_then(Value::as_bool) == Some(true);
+    let err_status = |v: &Value| v.get("status").and_then(Value::as_str) == Some("error");
+    assert!(ok(&lines[0]), "q1 registers: {}", lines[0].to_json());
+    assert!(
+        err_status(&lines[1]),
+        "garbage text: {}",
+        lines[1].to_json()
+    );
+    assert!(ok(&lines[2]), "q2 registers: {}", lines[2].to_json());
+    assert!(
+        err_status(&lines[3]),
+        "binary garbage: {}",
+        lines[3].to_json()
+    );
+    assert!(
+        err_status(&lines[4]),
+        "oversized line: {}",
+        lines[4].to_json()
+    );
+    assert!(
+        lines[4]
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("256-byte cap")),
+        "oversized error names the cap: {}",
+        lines[4].to_json()
+    );
+    assert!(
+        err_status(&lines[5]),
+        "truncated JSON: {}",
+        lines[5].to_json()
+    );
+    // The final decision request still solves correctly after four bad
+    // lines — the serve loop never lost sync.
+    assert_eq!(
+        lines[6].get("status").and_then(Value::as_str),
+        Some("holds"),
+        "final request solves: {}",
+        lines[6].to_json()
+    );
+}
+
+#[test]
 fn repeated_batch_is_fully_cached() {
     let mut e = Engine::with_config(EngineConfig {
         threads: 4,

@@ -1,0 +1,102 @@
+//! Test harness shared by the TCP serving-tier suites: a tiny JSONL
+//! client over a real socket, plus config shorthands.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of the helpers.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use engine::{json, Value};
+use serve::{Server, ServerConfig};
+
+/// A blocking JSONL client on a real TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `server`.
+    pub fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        // Tests must fail, not hang, when a response never arrives.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Client { stream, reader }
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").expect("send");
+        self.stream.flush().expect("flush");
+    }
+
+    /// Sends raw bytes, no newline appended.
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send raw");
+        self.stream.flush().expect("flush");
+    }
+
+    /// Reads one response line; `None` at EOF (connection closed).
+    pub fn recv(&mut self) -> Option<Value> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        if n == 0 {
+            return None;
+        }
+        Some(json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}")))
+    }
+
+    /// One request, one response.
+    pub fn roundtrip(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv().expect("response before EOF")
+    }
+
+    /// The write half, for tests that shut down rudely.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// A small, deterministic test server: 2 workers, fault injection on.
+pub fn test_config() -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        fault_injection: true,
+        ..ServerConfig::default()
+    }
+}
+
+/// Binds a server on a free loopback port.
+pub fn start(config: ServerConfig) -> Server {
+    Server::bind(config, "127.0.0.1:0").expect("bind")
+}
+
+/// Field accessors for assertions.
+pub fn s<'v>(v: &'v Value, k: &str) -> Option<&'v str> {
+    v.get(k).and_then(Value::as_str)
+}
+
+/// Boolean field.
+pub fn b(v: &Value, k: &str) -> Option<bool> {
+    v.get(k).and_then(Value::as_bool)
+}
+
+/// Polls the server-side `stats` op until `pred` holds (or panics after
+/// ~2s) — the deterministic way to wait for a queue/in-flight state.
+pub fn wait_stats(client: &mut Client, pred: impl Fn(&Value) -> bool) {
+    for _ in 0..200 {
+        let stats = client.roundtrip(r#"{"op":"stats"}"#);
+        if pred(&stats) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("stats predicate never held");
+}

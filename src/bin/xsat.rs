@@ -5,10 +5,12 @@
 //! xsat compare <XPATH1> <XPATH2> [--dtd FILE] [--backend B] [--op contains|overlap|equiv] [--json] [OBS] [LIMITS]
 //! xsat batch <FILE.jsonl> [--threads N] [--backend B] [--summary-only] [OBS] [LIMITS]
 //! xsat lint <FILE.jsonl> [--deny RULE]... [--allow RULE]... [--type NAME] [--max-diamonds N] [--json] [OBS] [LIMITS]
-//! xsat serve [--threads N] [--backend B] [OBS] [LIMITS]
+//! xsat serve [--tcp ADDR] [--threads N] [--backend B] [SERVE] [OBS] [LIMITS]
 //! xsat metrics [FILE.jsonl] [--threads N] [--backend B] [OBS] [LIMITS]
 //! OBS:    [--trace-file FILE] [--slow-ms N]
 //! LIMITS: [--timeout-ms N] [--max-bdd-nodes N] [--max-lean N]
+//! SERVE:  [--max-connections N] [--queue-depth N] [--tenant-inflight N]
+//!         [--drain-ms N] [--read-timeout-ms N] [--max-line-bytes N]
 //! ```
 //!
 //! `check` decides satisfiability (default) or emptiness of one query,
@@ -40,7 +42,11 @@
 //! (one response line per request on stdout, summary on stderr; see the
 //! `engine` crate docs for the protocol) and `serve` runs the same
 //! protocol as a co-process daemon: JSONL requests on stdin, verdicts
-//! streamed to stdout.
+//! streamed to stdout. `serve --tcp ADDR` instead boots the network
+//! serving tier (the `serve` crate, docs/SERVING.md): a bounded
+//! connection pool, shed-don't-queue admission control, per-tenant
+//! workspace namespaces selected by the request's `"tenant"` field, and
+//! a graceful drain triggered by the `shutdown` request.
 //!
 //! Observability (see docs/OBSERVABILITY.md): `--trace-file FILE` streams
 //! one JSON event per line — solve begin/end, compile and fixpoint
@@ -122,9 +128,27 @@ USAGE:
       wildcard-explosion threshold. Exits 0 when no error-severity
       findings remain, 1 otherwise, 2 on workspace/config errors.
 
-  xsat serve [--threads N] [--backend B] [LIMITS]
+  xsat serve [--tcp ADDR] [--threads N] [--backend B] [SERVE] [LIMITS]
       Speak the JSONL protocol as a co-process: requests on stdin, one
-      verdict per line on stdout (flushed per line).
+      verdict per line on stdout (flushed per line). With --tcp ADDR,
+      listen on ADDR instead (e.g. 127.0.0.1:7600) and serve the same
+      protocol over sockets — bounded connection pool, shed-don't-queue
+      admission control, per-tenant workspaces (request field
+      \"tenant\"), and graceful drain on the `shutdown` request. See
+      docs/SERVING.md.
+
+Serving tier (SERVE, with serve --tcp only):
+  --max-connections N  concurrent-connection bound (default 64); excess
+                       connections get one error line and are closed
+  --queue-depth N      admission queue bound (default 256); requests
+                       beyond it are shed with status \"unknown\",
+                       resource \"shed\" — never silently queued
+  --tenant-inflight N  per-tenant in-flight cap (default 64)
+  --drain-ms N         shutdown drain deadline in ms (default 5000);
+                       work still running after it is cancelled
+  --read-timeout-ms N  per-connection idle timeout in ms (default
+                       30000); 0 waits forever
+  --max-line-bytes N   request-line size cap (default 1 MiB)
 
   xsat metrics [FILE.jsonl] [--threads N] [--backend B] [LIMITS]
       Run the (optional) JSON-lines request file, then render the
@@ -186,6 +210,13 @@ struct Opts {
     allow: Vec<String>,
     type_name: Option<String>,
     max_diamonds: Option<usize>,
+    tcp: Option<String>,
+    max_connections: Option<usize>,
+    queue_depth: Option<usize>,
+    tenant_inflight: Option<usize>,
+    drain_ms: Option<u64>,
+    read_timeout_ms: Option<u64>,
+    max_line_bytes: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -206,7 +237,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         allow: Vec::new(),
         type_name: None,
         max_diamonds: None,
+        tcp: None,
+        max_connections: None,
+        queue_depth: None,
+        tenant_inflight: None,
+        drain_ms: None,
+        read_timeout_ms: None,
+        max_line_bytes: None,
     };
+    // Numeric serve flags share one parse-and-store shape.
+    fn num<T: std::str::FromStr>(flag: &str, arg: Option<&String>) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        arg.ok_or(format!("{flag} needs a number"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -281,6 +328,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--max-diamonds: {e}"))?;
                 opts.max_diamonds = Some(n);
+            }
+            "--tcp" => {
+                opts.tcp = Some(it.next().ok_or("--tcp needs a listen address")?.clone());
+            }
+            "--max-connections" => {
+                opts.max_connections = Some(num("--max-connections", it.next())?);
+            }
+            "--queue-depth" => opts.queue_depth = Some(num("--queue-depth", it.next())?),
+            "--tenant-inflight" => {
+                opts.tenant_inflight = Some(num("--tenant-inflight", it.next())?);
+            }
+            "--drain-ms" => opts.drain_ms = Some(num("--drain-ms", it.next())?),
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = Some(num("--read-timeout-ms", it.next())?);
+            }
+            "--max-line-bytes" => {
+                opts.max_line_bytes = Some(num("--max-line-bytes", it.next())?);
             }
             "--json" => opts.json = true,
             "--empty" => opts.empty = true,
@@ -616,12 +680,50 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     if !opts.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
+    if let Some(addr) = &opts.tcp {
+        return serve_tcp(addr, &opts);
+    }
     let mut engine = engine_with(opts.threads, &opts)?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     engine
         .serve(stdin.lock(), stdout.lock())
         .map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Boots the TCP serving tier on `addr` and blocks until a client's
+/// `shutdown` request drains it.
+fn serve_tcp(addr: &str, opts: &Opts) -> Result<ExitCode, String> {
+    use std::time::Duration;
+    let defaults = xsat::serve::ServerConfig::default();
+    let config = xsat::serve::ServerConfig {
+        threads: opts.threads,
+        backend: opts.backend.unwrap_or_default(),
+        limits: opts.limits.clone(),
+        max_connections: opts.max_connections.unwrap_or(defaults.max_connections),
+        queue_depth: opts.queue_depth.unwrap_or(defaults.queue_depth),
+        tenant_inflight: opts.tenant_inflight.unwrap_or(defaults.tenant_inflight),
+        read_timeout: match opts.read_timeout_ms {
+            // `--read-timeout-ms 0` disables the idle timeout entirely.
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => defaults.read_timeout,
+        },
+        drain_deadline: opts
+            .drain_ms
+            .map_or(defaults.drain_deadline, Duration::from_millis),
+        max_line_bytes: opts.max_line_bytes.unwrap_or(defaults.max_line_bytes),
+        ..defaults
+    };
+    let server = xsat::serve::Server::bind(config, addr).map_err(|e| e.to_string())?;
+    eprintln!("xsat: serving JSONL protocol on {}", server.local_addr());
+    let report = server.wait();
+    eprintln!(
+        "xsat: drained ({} cancelled, {} pending) — bye",
+        if report.forced { "stragglers" } else { "none" },
+        report.pending
+    );
     Ok(ExitCode::SUCCESS)
 }
 

@@ -26,7 +26,10 @@
 //! * [`analyzer`] — the decision-problem front end;
 //! * [`engine`] — the long-lived batch-analysis service: a workspace of
 //!   named DTDs/queries, a JSON-lines request protocol, and a parallel
-//!   executor with a memoized verdict cache (the `xsat` binary wraps it).
+//!   executor with a memoized verdict cache (the `xsat` binary wraps it);
+//! * [`serve`] — the TCP serving tier over the same protocol: bounded
+//!   admission, per-tenant workspaces, panic containment and graceful
+//!   drain (`xsat serve --tcp`).
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use engine;
 pub use ftree;
 pub use mulogic;
 pub use obs;
+pub use serve;
 pub use solver;
 pub use treetypes;
 pub use xpath;
